@@ -1,0 +1,104 @@
+//! Criterion ablations for the graph-index design choices DESIGN.md §4
+//! calls out: Vamana's α and HNSW's M, plus the visited-set
+//! representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdb_core::bitset::{BitSet, VisitedSet};
+use vdb_core::{dataset, Metric, Rng, SearchParams, VectorIndex};
+use vdb_index_graph::{HnswConfig, HnswIndex, VamanaConfig, VamanaIndex};
+
+fn bench_vamana_alpha(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(50);
+    let data = dataset::clustered(8_000, 32, 16, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 64, 0.05, &mut rng);
+    let params = SearchParams::default().with_beam_width(48);
+    let mut group = c.benchmark_group("vamana_alpha_search");
+    for alpha in [1.0f32, 1.2, 1.4] {
+        let idx = VamanaIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            VamanaConfig { alpha, ..Default::default() },
+        )
+        .unwrap();
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
+            b.iter(|| {
+                let q = queries.get(qi % queries.len());
+                qi += 1;
+                black_box(idx.search(black_box(q), 10, &params).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hnsw_m(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(51);
+    let data = dataset::clustered(8_000, 32, 16, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 64, 0.05, &mut rng);
+    let params = SearchParams::default().with_beam_width(48);
+    let mut group = c.benchmark_group("hnsw_m_search");
+    for m in [8usize, 16, 32] {
+        let idx = HnswIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            HnswConfig { m, ..Default::default() },
+        )
+        .unwrap();
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let q = queries.get(qi % queries.len());
+                qi += 1;
+                black_box(idx.search(black_box(q), 10, &params).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_visited_set(c: &mut Criterion) {
+    // The visited-set ablation: epoch-stamped VisitedSet vs clearing a
+    // BitSet vs a HashSet, under a realistic "visit 1% of 100k ids" load.
+    let n = 100_000;
+    let mut rng = Rng::seed_from_u64(52);
+    let ids: Vec<usize> = (0..1_000).map(|_| rng.below(n)).collect();
+    let mut group = c.benchmark_group("visited_set_per_query");
+    group.bench_function("epoch_visited_set", |b| {
+        let mut vs = VisitedSet::new(n);
+        b.iter(|| {
+            vs.reset();
+            let mut news = 0usize;
+            for &id in &ids {
+                news += vs.visit(id) as usize;
+            }
+            black_box(news)
+        })
+    });
+    group.bench_function("cleared_bitset", |b| {
+        let mut bs = BitSet::new(n);
+        b.iter(|| {
+            bs.clear();
+            let mut news = 0usize;
+            for &id in &ids {
+                news += bs.insert(id) as usize;
+            }
+            black_box(news)
+        })
+    });
+    group.bench_function("hash_set", |b| {
+        b.iter(|| {
+            let mut hs = std::collections::HashSet::new();
+            let mut news = 0usize;
+            for &id in &ids {
+                news += hs.insert(id) as usize;
+            }
+            black_box(news)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vamana_alpha, bench_hnsw_m, bench_visited_set);
+criterion_main!(benches);

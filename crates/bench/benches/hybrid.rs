@@ -1,0 +1,50 @@
+//! Criterion hybrid-strategy benches (experiment F3's statistical
+//! companion): one fixed mid-selectivity predicate, all five strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdb_core::{dataset, AttrType, Metric, Rng, SearchParams};
+use vdb_index_graph::{HnswConfig, HnswIndex};
+use vdb_query::{execute, Predicate, QueryContext, Strategy, VectorQuery};
+use vdb_storage::{AttributeStore, Column};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(40);
+    let n = 10_000;
+    let data = dataset::clustered(n, 32, 16, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 64, 0.05, &mut rng);
+    let mut attrs = AttributeStore::new();
+    attrs
+        .add_column(
+            Column::from_values("price", AttrType::Int, dataset::int_column(n, 0, 1000, &mut rng))
+                .unwrap(),
+        )
+        .unwrap();
+    let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+    let ctx = QueryContext::new(&data, &attrs, &index).unwrap();
+    let pred = Predicate::lt("price", 200); // ~20% selectivity
+    let params = SearchParams::default().with_beam_width(64);
+
+    let mut group = c.benchmark_group("hybrid_strategies_sel20pct");
+    for strategy in Strategy::ALL {
+        let mut qi = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let qv = queries.get(qi % queries.len());
+                    qi += 1;
+                    let q = VectorQuery::knn(qv.to_vec(), 10)
+                        .filtered(pred.clone())
+                        .with_params(params.clone());
+                    black_box(execute(&ctx, &q, strategy).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

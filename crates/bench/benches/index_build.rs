@@ -1,0 +1,23 @@
+//! Criterion build-time benches (experiment T1's statistical companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdb::IndexSpec;
+use vdb_core::{dataset, Metric, Rng};
+
+fn bench_build(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(20);
+    let data = dataset::clustered(4_000, 32, 16, 0.5, &mut rng).vectors;
+    let mut group = c.benchmark_group("index_build_4k_d32");
+    group.sample_size(10);
+    for name in ["flat", "lsh", "ivf_flat", "ivf_pq", "kd_tree", "annoy", "nsw", "hnsw", "nsg", "vamana"] {
+        let spec = IndexSpec::parse(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| black_box(spec.build(data.clone(), Metric::Euclidean).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

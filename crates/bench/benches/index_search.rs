@@ -1,0 +1,37 @@
+//! Criterion search-latency benches across the index zoo (experiment F1's
+//! statistical companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdb::IndexSpec;
+use vdb_core::{dataset, Metric, Rng, SearchParams};
+
+fn bench_search(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(10);
+    let data = dataset::clustered(10_000, 32, 16, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 64, 0.05, &mut rng);
+    let mut group = c.benchmark_group("index_search_10k_d32");
+    for name in ["flat", "lsh", "ivf_flat", "ivf_pq", "annoy", "flann", "nsw", "hnsw", "vamana"] {
+        let index = IndexSpec::parse(name)
+            .unwrap()
+            .build(data.clone(), Metric::Euclidean)
+            .unwrap();
+        let params = SearchParams::default()
+            .with_beam_width(64)
+            .with_nprobe(8)
+            .with_max_leaf_points(512)
+            .with_rerank(64);
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let q = queries.get(qi % queries.len());
+                qi += 1;
+                black_box(index.search(black_box(q), 10, &params).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

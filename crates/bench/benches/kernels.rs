@@ -1,0 +1,61 @@
+//! Criterion microbenches for the distance kernels (experiment T5's
+//! statistical companion): scalar vs blocked implementations and the
+//! batched ADC scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vdb_core::{dataset, kernel, Rng};
+use vdb_quant::{PqConfig, ProductQuantizer};
+
+fn bench_pairwise_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_kernels");
+    let mut rng = Rng::seed_from_u64(1);
+    for dim in [64usize, 256, 1024] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+        group.throughput(Throughput::Bytes((dim * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("l2_sq_scalar", dim), &dim, |bch, _| {
+            bch.iter(|| kernel::l2_sq_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq_blocked", dim), &dim, |bch, _| {
+            bch.iter(|| kernel::l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_scalar", dim), &dim, |bch, _| {
+            bch.iter(|| kernel::dot_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_blocked", dim), &dim, |bch, _| {
+            bch.iter(|| kernel::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_projection_10k");
+    let mut rng = Rng::seed_from_u64(2);
+    let dim = 64;
+    let n = 10_000;
+    let data = dataset::gaussian(n, dim, &mut rng);
+    let q: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+    let mut out = vec![0.0f32; n];
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("full_f32_l2_batch", |bch| {
+        bch.iter(|| {
+            kernel::l2_sq_batch(black_box(&q), black_box(data.as_flat()), dim, &mut out);
+            black_box(&out);
+        })
+    });
+    let pq = ProductQuantizer::train(&data, &PqConfig::new(8)).unwrap();
+    let codes: Vec<u8> = data.iter().flat_map(|v| pq.encode(v).unwrap()).collect();
+    let table = pq.adc_table(&q).unwrap();
+    group.bench_function("pq_adc_batch_m8", |bch| {
+        bch.iter(|| {
+            table.distance_batch(black_box(&codes), &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_kernels, bench_batched_projection);
+criterion_main!(benches);

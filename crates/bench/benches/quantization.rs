@@ -1,0 +1,55 @@
+//! Criterion quantizer benches (experiment T2's statistical companion):
+//! training, encoding, and ADC table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdb_core::{dataset, Rng};
+use vdb_quant::{KMeans, KMeansConfig, PqConfig, ProductQuantizer, ScalarQuantizer, SqBits};
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(30);
+    let data = dataset::clustered(4_000, 64, 16, 0.5, &mut rng).vectors;
+    let v = data.get(0).to_vec();
+
+    let mut group = c.benchmark_group("quantization");
+    group.sample_size(20);
+
+    group.bench_function("kmeans_train_k64", |b| {
+        b.iter(|| {
+            black_box(
+                KMeans::train(
+                    &data,
+                    &KMeansConfig { k: 64, max_iters: 10, tolerance: 1e-4, seed: 1 },
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+    let mut code = vec![0u8; sq.code_len()];
+    group.bench_function("sq8_encode", |b| {
+        b.iter(|| sq.encode_into(black_box(&v), &mut code).unwrap())
+    });
+    let sq_code = sq.encode(&v).unwrap();
+    group.bench_function("sq8_asymmetric_distance", |b| {
+        b.iter(|| black_box(sq.asymmetric_l2_sq(black_box(&v), black_box(&sq_code))))
+    });
+
+    let pq = ProductQuantizer::train(&data, &PqConfig::new(8)).unwrap();
+    let mut pq_code = vec![0u8; pq.code_len()];
+    group.bench_function("pq_m8_encode", |b| {
+        b.iter(|| pq.encode_into(black_box(&v), &mut pq_code).unwrap())
+    });
+    group.bench_function("pq_m8_adc_table", |b| {
+        b.iter(|| black_box(pq.adc_table(black_box(&v)).unwrap()))
+    });
+    let table = pq.adc_table(&v).unwrap();
+    group.bench_function("pq_m8_adc_lookup", |b| {
+        b.iter(|| black_box(table.distance(black_box(&pq_code))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizers);
+criterion_main!(benches);

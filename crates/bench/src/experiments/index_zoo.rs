@@ -1,0 +1,131 @@
+//! F1 (recall@10 vs QPS curves for every index) and T1 (build time /
+//! memory / operating point) — the ann-benchmarks-style core comparison
+//! (§2.2 and §2.5 of the paper).
+
+use crate::workload::{standard, GT_K};
+use crate::{fmt, print_table, time_queries, Scale};
+use std::time::Instant;
+use vdb::IndexSpec;
+use vdb_core::index::SearchParams;
+use vdb_core::metric::Metric;
+use vdb_core::Result;
+
+/// The search-time knob each index family sweeps in F1.
+enum Knob {
+    Beam(Vec<usize>),
+    Nprobe(Vec<usize>),
+    LeafPoints(Vec<usize>),
+    None,
+}
+
+fn knob_for(name: &str) -> Knob {
+    match name {
+        "flat" | "lsh" => Knob::None,
+        n if n.starts_with("ivf") || n == "spann" => Knob::Nprobe(vec![1, 2, 4, 8, 16, 32]),
+        "kd_tree" | "pca_tree" | "rp_forest" | "annoy" | "flann" => {
+            Knob::LeafPoints(vec![64, 256, 1024, 4096])
+        }
+        _ => Knob::Beam(vec![10, 20, 40, 80, 160]),
+    }
+}
+
+fn apply(knob: &Knob, value: usize) -> SearchParams {
+    let base = SearchParams::default().with_rerank(128);
+    match knob {
+        Knob::Beam(_) => base.with_beam_width(value),
+        Knob::Nprobe(_) => base.with_nprobe(value),
+        Knob::LeafPoints(_) => base.with_max_leaf_points(value),
+        Knob::None => base,
+    }
+}
+
+/// F1: per-index recall/QPS tradeoff series.
+pub fn f1_recall_qps_curves(scale: Scale) -> Result<()> {
+    let w = standard(scale, 0xF1);
+    let mut rows = Vec::new();
+    for spec in IndexSpec::all_defaults() {
+        let name = spec.name();
+        let index = spec.build(w.data.clone(), Metric::Euclidean)?;
+        let knob = knob_for(name);
+        let values: Vec<usize> = match &knob {
+            Knob::Beam(v) | Knob::Nprobe(v) | Knob::LeafPoints(v) => v.clone(),
+            Knob::None => vec![0],
+        };
+        for v in values {
+            let params = apply(&knob, v);
+            let (us, qps, results) =
+                time_queries(&w.queries, |q| index.search(q, GT_K, &params).expect("search"));
+            let recall = w.gt.recall_batch(&results);
+            rows.push(vec![
+                name.to_string(),
+                if v == 0 { "-".into() } else { v.to_string() },
+                fmt(recall, 3),
+                fmt(qps, 0),
+                fmt(us, 1),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "F1: recall@10 vs QPS, all indexes (n={}, dim={}, {} queries)",
+            scale.n(),
+            scale.dim(),
+            scale.queries()
+        ),
+        &["index", "knob", "recall@10", "qps", "latency_us"],
+        &rows,
+    );
+    println!(
+        "  knob: beam width (graphs), nprobe (IVF family), leaf budget (trees).\n  \
+         Expected shape: graph indexes dominate the high-recall/high-QPS frontier."
+    );
+    Ok(())
+}
+
+/// T1: build cost, memory footprint, and a tuned operating point per index.
+pub fn t1_build_and_memory(scale: Scale) -> Result<()> {
+    let w = standard(scale, 0x71);
+    let raw_mb = (w.data.len() * w.data.dim() * 4) as f64 / 1e6;
+    let mut rows = Vec::new();
+    for spec in IndexSpec::all_defaults() {
+        let name = spec.name();
+        let start = Instant::now();
+        let index = spec.build(w.data.clone(), Metric::Euclidean)?;
+        let build_s = start.elapsed().as_secs_f64();
+        let stats = index.stats();
+        // Tuned operating point: generous but uniform settings.
+        let params = SearchParams::default()
+            .with_beam_width(80)
+            .with_nprobe(8)
+            .with_max_leaf_points(1024)
+            .with_rerank(128);
+        let (us, qps, results) =
+            time_queries(&w.queries, |q| index.search(q, GT_K, &params).expect("search"));
+        let recall = w.gt.recall_batch(&results);
+        rows.push(vec![
+            name.to_string(),
+            fmt(build_s, 2),
+            fmt(stats.memory_bytes as f64 / 1e6, 2),
+            stats.structure_entries.to_string(),
+            fmt(recall, 3),
+            fmt(qps, 0),
+            fmt(us, 1),
+            stats.detail,
+        ]);
+    }
+    print_table(
+        &format!(
+            "T1: build time / memory / operating point (n={}, dim={}, raw data {:.1} MB)",
+            scale.n(),
+            scale.dim(),
+            raw_mb
+        ),
+        &["index", "build_s", "mem_MB", "entries", "recall@10", "qps", "latency_us", "detail"],
+        &rows,
+    );
+    println!(
+        "  Expected shape: table indexes build fastest; graphs cost the most to\n  \
+         build but win the operating point; quantized indexes use the least memory."
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! One module per experiment family; see the index in DESIGN.md §3.
+
+pub mod compression;
+pub mod execution;
+pub mod hybrid;
+pub mod index_zoo;
+pub mod scale_out;
+pub mod score;
+
+use crate::Scale;
+
+/// All experiment ids in presentation order.
+pub const ALL: [&str; 13] =
+    ["f1", "t1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5"];
+
+/// Dispatch one experiment by id.
+pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
+    match id {
+        "f1" => index_zoo::f1_recall_qps_curves(scale),
+        "t1" => index_zoo::t1_build_and_memory(scale),
+        "t2" => compression::t2_quantization(scale),
+        "f2" => compression::f2_lsh_sweep(scale),
+        "f3" => hybrid::f3_strategies_vs_selectivity(scale),
+        "t3" => hybrid::t3_plan_selection(scale),
+        "f4" => execution::f4_batched_queries(scale),
+        "t4" => execution::t4_multivector(scale),
+        "f5" => scale_out::f5_distributed(scale),
+        "f6" => scale_out::f6_out_of_place_updates(scale),
+        "f7" => scale_out::f7_disk_resident(scale),
+        "f8" => score::f8_curse_of_dimensionality(scale),
+        "t5" => execution::t5_kernels(),
+        other => Err(vdb_core::Error::InvalidParameter(format!(
+            "unknown experiment `{other}`; known: {ALL:?}"
+        ))),
+    }
+}

@@ -1,0 +1,39 @@
+//! F8: the curse of dimensionality (§2.1) — relative distance contrast vs
+//! dimensionality for different Minkowski orders.
+
+use crate::{fmt, print_table, Scale};
+use vdb_core::analysis::contrast_at_dim;
+use vdb_core::metric::Metric;
+use vdb_core::Result;
+
+/// F8: contrast collapse across dimensions and norms.
+pub fn f8_curse_of_dimensionality(scale: Scale) -> Result<()> {
+    let n = (scale.n() / 4).max(1000);
+    let metrics: [(&str, Metric); 4] = [
+        ("minkowski_0.5", Metric::Minkowski(0.5)),
+        ("l1", Metric::Manhattan),
+        ("l2", Metric::Euclidean),
+        ("linf", Metric::Chebyshev),
+    ];
+    let mut rows = Vec::new();
+    for dim in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let mut row = vec![dim.to_string()];
+        for (_, metric) in &metrics {
+            let report = contrast_at_dim(dim, n, 10, metric, 0xF8);
+            row.push(fmt(report.relative_contrast, 3));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("dim").chain(metrics.iter().map(|(n, _)| *n)).collect();
+    print_table(
+        &format!("F8: relative distance contrast (d_max - d_min)/d_min, uniform data, n={n}"),
+        &headers,
+        &rows,
+    );
+    println!(
+        "  Expected shape: contrast collapses as dimensionality grows (nearest\n  \
+         neighbors stop being meaningful), and lower-order norms retain more\n  \
+         contrast than higher-order ones (Aggarwal et al.; Beyer et al.)."
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! # vdb-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! evaluation suite defined in DESIGN.md (F1-F8, T1-T5), ann-benchmarks
+//! style (§2.5 of the paper). `cargo run -p vdb-bench --release --bin
+//! harness -- <experiment|all>`; Criterion microbenches live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Index loops over parallel slices/pages are clearer than zipped
+// iterator chains in the kernels and (de)serializers below.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod experiments;
+pub mod workload;
+
+use std::time::Instant;
+use vdb_core::topk::Neighbor;
+use vdb_core::vector::Vectors;
+
+/// Time a per-query closure over a query set, returning (mean latency in
+/// microseconds, QPS, the collected results).
+pub fn time_queries<F>(queries: &Vectors, run: F) -> (f64, f64, Vec<Vec<Neighbor>>)
+where
+    F: FnMut(&[f32]) -> Vec<Neighbor>,
+{
+    let start = Instant::now();
+    let results: Vec<Vec<Neighbor>> = queries.iter().map(run).collect();
+    let total = start.elapsed().as_secs_f64();
+    let nq = queries.len() as f64;
+    (total * 1e6 / nq, nq / total, results)
+}
+
+/// Render an aligned text table (the harness's output format).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with fixed decimals (table cells).
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Experiment scale, settable via the `--quick` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets for smoke runs and CI.
+    Quick,
+    /// The full laptop-scale configuration from DESIGN.md.
+    Full,
+}
+
+impl Scale {
+    /// Base collection size.
+    pub fn n(&self) -> usize {
+        match self {
+            Scale::Quick => 4_000,
+            Scale::Full => 20_000,
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            Scale::Quick => 32,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Query count.
+    pub fn queries(&self) -> usize {
+        match self {
+            Scale::Quick => 50,
+            Scale::Full => 200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::rng::Rng;
+
+    #[test]
+    fn time_queries_counts_all() {
+        let mut rng = Rng::seed_from_u64(1);
+        let qs = vdb_core::dataset::gaussian(10, 4, &mut rng);
+        let (us, qps, results) = time_queries(&qs, |_| vec![Neighbor::new(0, 0.0)]);
+        assert_eq!(results.len(), 10);
+        assert!(us >= 0.0 && qps > 0.0);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.n() < Scale::Full.n());
+        assert!(Scale::Quick.dim() <= Scale::Full.dim());
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared benchmark workloads: seeded datasets, queries, ground truth,
+//! and attribute columns.
+
+use crate::Scale;
+use vdb_core::attr::AttrType;
+use vdb_core::dataset;
+use vdb_core::metric::Metric;
+use vdb_core::recall::GroundTruth;
+use vdb_core::rng::Rng;
+use vdb_core::vector::Vectors;
+use vdb_storage::{AttributeStore, Column};
+
+/// A complete benchmark workload.
+pub struct Workload {
+    /// The collection.
+    pub data: Vectors,
+    /// Held-out queries.
+    pub queries: Vectors,
+    /// Exact top-10 ground truth.
+    pub gt: GroundTruth,
+    /// Attribute columns aligned with `data` ("price" int 0..1000,
+    /// "category" zipf over 20 labels).
+    pub attrs: AttributeStore,
+    /// Cluster assignment of each row (for index-guided experiments).
+    pub cluster_of: Vec<usize>,
+}
+
+/// Ground-truth depth used throughout the harness.
+pub const GT_K: usize = 10;
+
+/// Build the standard clustered workload at the given scale.
+pub fn standard(scale: Scale, seed: u64) -> Workload {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = scale.n();
+    let clustered = dataset::clustered(n, scale.dim(), 32, 0.6, &mut rng);
+    let queries = dataset::split_queries(&clustered.vectors, scale.queries(), 0.05, &mut rng);
+    let gt = GroundTruth::compute(&clustered.vectors, &queries, Metric::Euclidean, GT_K)
+        .expect("ground truth");
+    let mut attrs = AttributeStore::new();
+    attrs
+        .add_column(
+            Column::from_values("price", AttrType::Int, dataset::int_column(n, 0, 1000, &mut rng))
+                .expect("price column"),
+        )
+        .expect("add price");
+    attrs
+        .add_column(
+            Column::from_values(
+                "category",
+                AttrType::Str,
+                dataset::zipf_category_column(n, 20, 1.1, &mut rng),
+            )
+            .expect("category column"),
+        )
+        .expect("add category");
+    Workload {
+        data: clustered.vectors,
+        queries,
+        gt,
+        attrs,
+        cluster_of: clustered.assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workload_is_consistent() {
+        let w = standard(Scale::Quick, 1);
+        assert_eq!(w.data.len(), Scale::Quick.n());
+        assert_eq!(w.queries.len(), Scale::Quick.queries());
+        assert_eq!(w.attrs.rows(), w.data.len());
+        assert_eq!(w.cluster_of.len(), w.data.len());
+        assert_eq!(w.gt.truth.len(), w.queries.len());
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = standard(Scale::Quick, 7);
+        let b = standard(Scale::Quick, 7);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.queries, b.queries);
+    }
+}

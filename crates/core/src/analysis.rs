@@ -1,0 +1,103 @@
+//! Instrumentation for the curse of dimensionality (§2.1).
+//!
+//! As dimensionality grows, the gap between the nearest and farthest
+//! neighbor shrinks relative to the nearest distance, making distance-based
+//! scores less informative (Beyer et al.; Aggarwal et al.). Experiment F8
+//! uses [`distance_contrast`] to reproduce that collapse and its dependence
+//! on the Minkowski order.
+
+use crate::metric::Metric;
+use crate::rng::Rng;
+use crate::vector::Vectors;
+
+/// Summary of the distance distribution from sample queries to a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContrastReport {
+    /// Mean over queries of `(d_max - d_min) / d_min` — the "relative
+    /// contrast". High contrast = nearest neighbors are meaningful.
+    pub relative_contrast: f64,
+    /// Mean nearest distance.
+    pub mean_min: f64,
+    /// Mean farthest distance.
+    pub mean_max: f64,
+}
+
+/// Measure relative distance contrast of `metric` on `data` using
+/// `n_queries` fresh random queries from the same distribution generator.
+pub fn distance_contrast(
+    data: &Vectors,
+    queries: &Vectors,
+    metric: &Metric,
+) -> ContrastReport {
+    assert!(!data.is_empty() && !queries.is_empty());
+    let mut sum_contrast = 0.0;
+    let mut sum_min = 0.0;
+    let mut sum_max = 0.0;
+    for q in queries.iter() {
+        let mut dmin = f64::INFINITY;
+        let mut dmax = f64::NEG_INFINITY;
+        for row in data.iter() {
+            let d = metric.distance(q, row) as f64;
+            dmin = dmin.min(d);
+            dmax = dmax.max(d);
+        }
+        if dmin > 0.0 {
+            sum_contrast += (dmax - dmin) / dmin;
+        }
+        sum_min += dmin;
+        sum_max += dmax;
+    }
+    let nq = queries.len() as f64;
+    ContrastReport {
+        relative_contrast: sum_contrast / nq,
+        mean_min: sum_min / nq,
+        mean_max: sum_max / nq,
+    }
+}
+
+/// Convenience driver for F8: contrast of uniform data at dimension `dim`.
+pub fn contrast_at_dim(dim: usize, n: usize, n_queries: usize, metric: &Metric, seed: u64) -> ContrastReport {
+    let mut rng = Rng::seed_from_u64(seed);
+    let data = crate::dataset::uniform_cube(n, dim, &mut rng);
+    let queries = crate::dataset::uniform_cube(n_queries, dim, &mut rng);
+    distance_contrast(&data, &queries, metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrast_collapses_with_dimension() {
+        let lo = contrast_at_dim(2, 500, 10, &Metric::Euclidean, 42);
+        let hi = contrast_at_dim(256, 500, 10, &Metric::Euclidean, 42);
+        assert!(
+            lo.relative_contrast > 4.0 * hi.relative_contrast,
+            "contrast should collapse: d=2 gives {}, d=256 gives {}",
+            lo.relative_contrast,
+            hi.relative_contrast
+        );
+    }
+
+    #[test]
+    fn lower_order_norms_retain_more_contrast_in_high_dim() {
+        // Aggarwal et al.: fractional norms degrade more slowly. At d=128
+        // the L1 (and fractional) contrast should exceed L-infinity.
+        let l1 = contrast_at_dim(128, 400, 10, &Metric::Manhattan, 7);
+        let linf = contrast_at_dim(128, 400, 10, &Metric::Chebyshev, 7);
+        assert!(
+            l1.relative_contrast > linf.relative_contrast,
+            "L1 {} vs Linf {}",
+            l1.relative_contrast,
+            linf.relative_contrast
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let r = contrast_at_dim(8, 200, 5, &Metric::Euclidean, 1);
+        assert!(r.mean_min > 0.0);
+        assert!(r.mean_max > r.mean_min);
+        assert!(r.relative_contrast > 0.0);
+    }
+}

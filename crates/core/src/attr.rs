@@ -1,0 +1,189 @@
+//! Structured attribute values and types.
+//!
+//! Hybrid queries (§2.1, §2.3) combine vector similarity with boolean
+//! predicates over per-entity attributes. These types are shared by the
+//! storage layer (attribute columns) and the query layer (predicates).
+
+use crate::error::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of an attribute column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string (categorical or free-form).
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "str",
+            AttrType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single attribute value. `Null` represents a missing value; any
+/// comparison against `Null` is false (SQL-like three-valued logic
+/// collapsed to false at the predicate boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Missing value.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The type of this value, or `None` for `Null`.
+    pub fn attr_type(&self) -> Option<AttrType> {
+        match self {
+            AttrValue::Null => None,
+            AttrValue::Int(_) => Some(AttrType::Int),
+            AttrValue::Float(_) => Some(AttrType::Float),
+            AttrValue::Str(_) => Some(AttrType::Str),
+            AttrValue::Bool(_) => Some(AttrType::Bool),
+        }
+    }
+
+    /// Whether this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, AttrValue::Null)
+    }
+
+    /// Ordering comparison. Numeric types compare across Int/Float;
+    /// comparisons involving `Null` or mismatched types return `None`.
+    pub fn compare(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality under the same coercion rules as [`AttrValue::compare`].
+    pub fn loosely_equals(&self, other: &AttrValue) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Check that the value is storable in a column of `ty` (Null always is).
+    pub fn check_type(&self, ty: AttrType) -> Result<()> {
+        match self.attr_type() {
+            None => Ok(()),
+            Some(t) if t == ty => Ok(()),
+            Some(t) => Err(Error::InvalidParameter(format!(
+                "attribute value of type {t} does not fit column of type {ty}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Null => write!(f, "NULL"),
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "'{v}'"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(AttrValue::Int(3).compare(&AttrValue::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(AttrValue::Float(2.5).compare(&AttrValue::Int(3)), Some(Ordering::Less));
+        assert!(AttrValue::Int(1).loosely_equals(&AttrValue::Float(1.0)));
+    }
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(AttrValue::Null.compare(&AttrValue::Int(1)), None);
+        assert_eq!(AttrValue::Int(1).compare(&AttrValue::Null), None);
+        assert!(!AttrValue::Null.loosely_equals(&AttrValue::Null));
+    }
+
+    #[test]
+    fn mismatched_types_incomparable() {
+        assert_eq!(AttrValue::Str("a".into()).compare(&AttrValue::Int(1)), None);
+        assert_eq!(AttrValue::Bool(true).compare(&AttrValue::Int(1)), None);
+    }
+
+    #[test]
+    fn type_checking() {
+        assert!(AttrValue::Int(1).check_type(AttrType::Int).is_ok());
+        assert!(AttrValue::Int(1).check_type(AttrType::Float).is_err());
+        assert!(AttrValue::Null.check_type(AttrType::Str).is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrValue::Str("x".into()).to_string(), "'x'");
+        assert_eq!(AttrValue::Null.to_string(), "NULL");
+        assert_eq!(AttrType::Float.to_string(), "float");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from(3i32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from("hi"), AttrValue::Str("hi".into()));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+    }
+}

@@ -1,0 +1,278 @@
+//! Fixed-capacity bitsets.
+//!
+//! Two use cases in a VDBMS: (1) *visited sets* during graph traversal,
+//! which are cleared and reused across queries, and (2) *blocking bitmasks*
+//! for block-first hybrid scans, built once per query from attribute
+//! predicates (§2.3 of the paper).
+
+/// A fixed-capacity bitset over `usize` ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Create a bitset able to hold ids in `[0, capacity)`, all unset.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Create a bitset with every bit in `[0, capacity)` set.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        // Clear the tail beyond `capacity`.
+        let tail = capacity % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    /// Number of ids this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Set bit `i`. Returns whether the bit was previously unset.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was_unset = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        was_unset
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Clear all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection with another set of the same capacity.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with another set of the same capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement (within capacity).
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Iterate over set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A visited-set that supports O(1) reset via generation stamping.
+///
+/// Graph search visits a small fraction of a large collection; zeroing a
+/// whole `BitSet` per query would dominate cheap queries. `VisitedSet`
+/// stores a `u32` epoch per slot and bumps the epoch to reset.
+#[derive(Debug, Clone)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Create a visited set over ids `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        VisitedSet { stamps: vec![0; capacity], epoch: 1 }
+    }
+
+    /// Reset in O(1) (amortized; full clear every 2^32 - 1 resets).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            for s in &mut self.stamps {
+                *s = 0;
+            }
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `i` visited; returns true if it was not yet visited this epoch.
+    #[inline]
+    pub fn visit(&mut self, i: usize) -> bool {
+        if self.stamps[i] == self.epoch {
+            false
+        } else {
+            self.stamps[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `i` was visited this epoch.
+    #[inline]
+    pub fn is_visited(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+
+    /// Grow capacity to at least `capacity`.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.stamps.len() {
+            self.stamps.resize(capacity, 0);
+        }
+    }
+
+    /// Capacity in ids.
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0), "double insert reports already-set");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn negate_within_capacity() {
+        let mut s = BitSet::new(70);
+        s.insert(3);
+        s.negate();
+        assert_eq!(s.count(), 69);
+        assert!(!s.contains(3));
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in (0..100).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.insert(i);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), (0..100).step_by(6).collect::<Vec<_>>());
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.count(), 50 + 34 - 17);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(200);
+        for &i in &[5usize, 64, 65, 199, 0] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 64, 65, 199]);
+    }
+
+    #[test]
+    fn visited_set_reset_is_cheap_and_correct() {
+        let mut v = VisitedSet::new(10);
+        assert!(v.visit(3));
+        assert!(!v.visit(3));
+        v.reset();
+        assert!(!v.is_visited(3));
+        assert!(v.visit(3));
+    }
+
+    #[test]
+    fn visited_set_epoch_wrap() {
+        let mut v = VisitedSet::new(4);
+        v.visit(1);
+        // Force the epoch all the way around.
+        v.epoch = u32::MAX;
+        v.reset(); // wraps to 0 -> full clear -> epoch 1
+        assert!(!v.is_visited(1));
+        assert!(v.visit(1));
+    }
+
+    #[test]
+    fn visited_set_grow() {
+        let mut v = VisitedSet::new(2);
+        v.visit(1);
+        v.grow(10);
+        assert!(v.is_visited(1));
+        assert!(v.visit(9));
+    }
+}

@@ -1,0 +1,280 @@
+//! Seeded synthetic dataset generators.
+//!
+//! Substitutes for the real image/text/audio collections used by the
+//! benchmarks the paper surveys (§2.5). The generators control the two
+//! properties that shape recall/QPS curves — cluster structure and
+//! intrinsic dimensionality — and the attribute generators produce the
+//! structured columns hybrid-query experiments sweep over.
+
+use crate::attr::AttrValue;
+use crate::rng::Rng;
+use crate::vector::Vectors;
+
+/// Uniform vectors in the unit hypercube `[0, 1)^dim`.
+pub fn uniform_cube(n: usize, dim: usize, rng: &mut Rng) -> Vectors {
+    let mut v = Vectors::with_capacity(dim, n);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.f32();
+        }
+        v.push(&row).expect("generated vector is valid");
+    }
+    v
+}
+
+/// Isotropic standard Gaussian vectors.
+pub fn gaussian(n: usize, dim: usize, rng: &mut Rng) -> Vectors {
+    let mut v = Vectors::with_capacity(dim, n);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.normal_f32();
+        }
+        v.push(&row).expect("generated vector is valid");
+    }
+    v
+}
+
+/// A Gaussian-mixture dataset with labelled cluster assignments.
+#[derive(Debug, Clone)]
+pub struct Clustered {
+    /// The generated vectors.
+    pub vectors: Vectors,
+    /// Cluster id of each vector (aligned with `vectors`).
+    pub assignments: Vec<usize>,
+    /// The mixture centers.
+    pub centers: Vectors,
+}
+
+/// Gaussian mixture: `n` points around `n_clusters` centers drawn uniformly
+/// in `[0, spread)^dim`, with per-cluster standard deviation `std`.
+/// Clustered data is the regime where IVF-style partitioning shines and
+/// where real embedding collections live.
+pub fn clustered(
+    n: usize,
+    dim: usize,
+    n_clusters: usize,
+    std: f32,
+    rng: &mut Rng,
+) -> Clustered {
+    assert!(n_clusters > 0, "need at least one cluster");
+    let spread = 10.0f32;
+    let mut centers = Vectors::with_capacity(dim, n_clusters);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n_clusters {
+        for x in &mut row {
+            *x = rng.f32() * spread;
+        }
+        centers.push(&row).expect("center is valid");
+    }
+    let mut vectors = Vectors::with_capacity(dim, n);
+    let mut assignments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(n_clusters);
+        let center = centers.get(c);
+        for (x, &m) in row.iter_mut().zip(center) {
+            *x = m + rng.normal_f32() * std;
+        }
+        vectors.push(&row).expect("point is valid");
+        assignments.push(c);
+    }
+    Clustered { vectors, assignments, centers }
+}
+
+/// Vectors with low intrinsic dimensionality: points on a random
+/// `intrinsic`-dimensional linear subspace embedded in `dim` dimensions,
+/// plus small ambient noise. Tree indexes that adapt to intrinsic
+/// dimensionality (RP-trees) are motivated by exactly this structure.
+pub fn low_intrinsic_dim(
+    n: usize,
+    dim: usize,
+    intrinsic: usize,
+    noise: f32,
+    rng: &mut Rng,
+) -> Vectors {
+    assert!(intrinsic <= dim);
+    // Random basis (not orthonormalized; fine for generating structure).
+    let basis: Vec<Vec<f32>> = (0..intrinsic)
+        .map(|_| (0..dim).map(|_| rng.normal_f32()).collect())
+        .collect();
+    let mut v = Vectors::with_capacity(dim, n);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.normal_f32() * noise;
+        }
+        for b in &basis {
+            let coef = rng.normal_f32();
+            for (x, &bv) in row.iter_mut().zip(b) {
+                *x += coef * bv;
+            }
+        }
+        v.push(&row).expect("point is valid");
+    }
+    v
+}
+
+/// Hold out `n_queries` rows of a generated set as queries, perturbing each
+/// by Gaussian noise of scale `jitter` so queries are near but not identical
+/// to database points.
+pub fn split_queries(data: &Vectors, n_queries: usize, jitter: f32, rng: &mut Rng) -> Vectors {
+    let n = data.len();
+    assert!(n_queries <= n, "cannot hold out more queries than points");
+    let picks = rng.sample_indices(n, n_queries);
+    let mut q = Vectors::with_capacity(data.dim(), n_queries);
+    let mut row = vec![0.0f32; data.dim()];
+    for &p in &picks {
+        for (x, &v) in row.iter_mut().zip(data.get(p)) {
+            *x = v + rng.normal_f32() * jitter;
+        }
+        q.push(&row).expect("query is valid");
+    }
+    q
+}
+
+// ---------------------------------------------------------------------------
+// Attribute generators (for hybrid-query experiments)
+// ---------------------------------------------------------------------------
+
+/// Uniform integer column over `[lo, hi)`.
+pub fn int_column(n: usize, lo: i64, hi: i64, rng: &mut Rng) -> Vec<AttrValue> {
+    assert!(lo < hi);
+    (0..n)
+        .map(|_| AttrValue::Int(lo + rng.below((hi - lo) as usize) as i64))
+        .collect()
+}
+
+/// Uniform float column over `[lo, hi)`.
+pub fn float_column(n: usize, lo: f64, hi: f64, rng: &mut Rng) -> Vec<AttrValue> {
+    (0..n).map(|_| AttrValue::Float(lo + (hi - lo) * rng.f64())).collect()
+}
+
+/// Categorical column with Zipf-distributed label frequencies (skew `s`).
+/// Labels are `"cat_0"` (most frequent) through `"cat_{k-1}"`.
+pub fn zipf_category_column(n: usize, k: usize, s: f64, rng: &mut Rng) -> Vec<AttrValue> {
+    assert!(k > 0);
+    // Precompute the CDF of the Zipf pmf.
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u = rng.f64();
+            let idx = cdf.partition_point(|&c| c < u).min(k - 1);
+            AttrValue::Str(format!("cat_{idx}"))
+        })
+        .collect()
+}
+
+/// Boolean column where each row is true with probability `p`.
+pub fn bool_column(n: usize, p: f64, rng: &mut Rng) -> Vec<AttrValue> {
+    (0..n).map(|_| AttrValue::Bool(rng.chance(p))).collect()
+}
+
+/// Integer column correlated with cluster assignment (attribute value =
+/// cluster id). Used to study index-guided partitioning and offline
+/// blocking, where attributes align with vector locality.
+pub fn cluster_correlated_column(assignments: &[usize]) -> Vec<AttrValue> {
+    assignments.iter().map(|&c| AttrValue::Int(c as i64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_shape() {
+        let mut rng = Rng::seed_from_u64(1);
+        let u = uniform_cube(50, 7, &mut rng);
+        assert_eq!((u.len(), u.dim()), (50, 7));
+        let g = gaussian(30, 4, &mut rng);
+        assert_eq!((g.len(), g.dim()), (30, 4));
+        assert!(u.as_flat().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gaussian(20, 5, &mut Rng::seed_from_u64(9));
+        let b = gaussian(20, 5, &mut Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_points_near_their_centers() {
+        let mut rng = Rng::seed_from_u64(2);
+        let c = clustered(500, 8, 5, 0.1, &mut rng);
+        assert_eq!(c.vectors.len(), 500);
+        assert_eq!(c.assignments.len(), 500);
+        assert_eq!(c.centers.len(), 5);
+        // Each point should be far closer to its own center than the
+        // typical inter-center distance.
+        for i in 0..c.vectors.len() {
+            let own = crate::kernel::l2_sq(c.vectors.get(i), c.centers.get(c.assignments[i]));
+            assert!(own < 8.0 * 8.0 * 0.1 * 0.1 * 50.0, "point {i} too far: {own}");
+        }
+    }
+
+    #[test]
+    fn low_intrinsic_dim_lives_near_subspace() {
+        let mut rng = Rng::seed_from_u64(3);
+        let v = low_intrinsic_dim(100, 32, 2, 0.01, &mut rng);
+        assert_eq!((v.len(), v.dim()), (100, 32));
+        // Covariance should be dominated by ~2 directions: top-2 eigenvalues
+        // should dwarf the rest. Use principal_components' deflation.
+        let pcs = crate::linalg::principal_components(&v, 4, &mut rng).unwrap();
+        assert_eq!(pcs.rows(), 4);
+    }
+
+    #[test]
+    fn split_queries_shape_and_jitter() {
+        let mut rng = Rng::seed_from_u64(4);
+        let data = gaussian(100, 6, &mut rng);
+        let q = split_queries(&data, 10, 0.0, &mut rng);
+        assert_eq!(q.len(), 10);
+        // With jitter 0 every query equals some data row.
+        for qi in q.iter() {
+            assert!(data.iter().any(|row| row == qi));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = Rng::seed_from_u64(5);
+        let col = zipf_category_column(10_000, 10, 1.2, &mut rng);
+        let count = |label: &str| col.iter().filter(|v| **v == AttrValue::Str(label.into())).count();
+        assert!(count("cat_0") > 3 * count("cat_5"), "head should dominate tail");
+        assert_eq!(col.len(), 10_000);
+    }
+
+    #[test]
+    fn attribute_columns_have_right_types_and_ranges() {
+        let mut rng = Rng::seed_from_u64(6);
+        for v in int_column(100, -5, 5, &mut rng) {
+            match v {
+                AttrValue::Int(x) => assert!((-5..5).contains(&x)),
+                _ => panic!("wrong type"),
+            }
+        }
+        for v in float_column(100, 0.0, 2.0, &mut rng) {
+            match v {
+                AttrValue::Float(x) => assert!((0.0..2.0).contains(&x)),
+                _ => panic!("wrong type"),
+            }
+        }
+        let bools = bool_column(10_000, 0.25, &mut rng);
+        let trues = bools.iter().filter(|v| **v == AttrValue::Bool(true)).count();
+        assert!((1_800..3_200).contains(&trues), "p=0.25 gives ~2500, got {trues}");
+    }
+
+    #[test]
+    fn cluster_correlated_column_mirrors_assignments() {
+        let col = cluster_correlated_column(&[0, 2, 1]);
+        assert_eq!(col, vec![AttrValue::Int(0), AttrValue::Int(2), AttrValue::Int(1)]);
+    }
+}

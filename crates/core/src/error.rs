@@ -1,0 +1,98 @@
+//! Error types shared across the vectordb-rs workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for vector-database operations.
+#[derive(Debug)]
+pub enum Error {
+    /// A vector had a different dimensionality than the collection expects.
+    DimensionMismatch {
+        /// Dimensionality the collection/index expects.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// A vector contained a NaN or infinite component.
+    NonFiniteVector {
+        /// Index of the offending component.
+        position: usize,
+    },
+    /// An operation required a non-empty collection.
+    EmptyCollection,
+    /// A referenced vector, collection, or index does not exist.
+    NotFound(String),
+    /// An identifier is already in use.
+    AlreadyExists(String),
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// A query was malformed (bad predicate, unknown attribute, ...).
+    InvalidQuery(String),
+    /// Parsing a textual query failed.
+    Parse(String),
+    /// The storage layer failed.
+    Io(std::io::Error),
+    /// Data on disk is corrupt or has an unexpected format.
+    Corrupt(String),
+    /// The operation is not supported by this index or configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::NonFiniteVector { position } => {
+                write!(f, "vector has a non-finite component at position {position}")
+            }
+            Error::EmptyCollection => write!(f, "operation requires a non-empty collection"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::DimensionMismatch { expected: 4, actual: 3 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 3");
+        let e = Error::NotFound("collection `docs`".into());
+        assert!(e.to_string().contains("docs"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

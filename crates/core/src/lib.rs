@@ -1,0 +1,54 @@
+//! # vdb-core
+//!
+//! Core building blocks of the `vectordb-rs` workspace, a from-scratch
+//! implementation of the vector-database techniques surveyed in
+//! *"Vector Database Management Techniques and Systems"* (SIGMOD 2024):
+//!
+//! - [`vector::Vectors`] — validated dense `f32` vector storage,
+//! - [`metric::Metric`] — the similarity-score taxonomy of §2.1 (basic
+//!   scores, learned scores) under a single lower-is-better convention,
+//! - [`kernel`] — scalar and blocked (auto-vectorizing) distance kernels,
+//! - [`topk`] — bounded top-k selection and scatter-gather merging,
+//! - [`index::VectorIndex`] — the interface every index in the workspace
+//!   implements, including filtered (hybrid) and range search,
+//! - [`flat::FlatIndex`] — the exact brute-force baseline,
+//! - [`recall`] — ground truth and result-quality metrics,
+//! - [`dataset`] — seeded synthetic vector/attribute generators,
+//! - [`analysis`] — curse-of-dimensionality instrumentation,
+//! - [`score`] — aggregate (multi-vector) and learned scores,
+//! - [`rng`] — vendored deterministic RNG so index builds are bit-stable,
+//! - [`linalg`] — small dense linear algebra (PCA, rotations, inverses),
+//! - [`bitset`] — blocking bitmasks and O(1)-reset visited sets,
+//! - [`attr`] — structured attribute values for hybrid queries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Index loops over parallel slices/pages are clearer than zipped
+// iterator chains in the kernels and (de)serializers below.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod analysis;
+pub mod attr;
+pub mod bitset;
+pub mod dataset;
+pub mod error;
+pub mod flat;
+pub mod index;
+pub mod kernel;
+pub mod linalg;
+pub mod metric;
+pub mod recall;
+pub mod rng;
+pub mod score;
+pub mod topk;
+pub mod vector;
+
+pub use attr::{AttrType, AttrValue};
+pub use error::{Error, Result};
+pub use flat::FlatIndex;
+pub use index::{DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};
+pub use metric::Metric;
+pub use rng::Rng;
+pub use topk::Neighbor;
+pub use vector::Vectors;

@@ -1,0 +1,374 @@
+//! Minimal dense linear algebra for the workspace.
+//!
+//! Needed by: PCA trees (principal axes), OPQ (orthonormal rotations),
+//! Mahalanobis distance (inverse covariance). Sizes are small (d ≤ ~1k),
+//! so simple O(d³) routines suffice; no external BLAS.
+
+use crate::error::{Error, Result};
+use crate::rng::Rng;
+use crate::vector::Vectors;
+
+/// A dense row-major matrix of `f64` (double precision keeps the iterative
+/// eigen routines stable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major buffer.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::InvalidParameter(format!(
+                "matrix buffer has {} entries, expected {}",
+                data.len(),
+                rows * cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Apply the matrix to an `f32` vector (rotations in PQ/OPQ paths).
+    pub fn apply_f32(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(self.cols, v.len());
+        assert_eq!(self.rows, out.len());
+        for r in 0..self.rows {
+            let mut acc = 0.0f64;
+            for (a, &b) in self.row(r).iter().zip(v) {
+                acc += a * b as f64;
+            }
+            out[r] = acc as f32;
+        }
+    }
+
+    /// Invert via Gauss-Jordan with partial pivoting. Errors on singular
+    /// matrices.
+    pub fn inverse(&self) -> Result<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in col + 1..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() < 1e-12 {
+                return Err(Error::InvalidParameter("singular matrix".into()));
+            }
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a[(col, col)];
+            for c in 0..n {
+                a[(col, c)] /= p;
+                inv[(col, c)] /= p;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    a[(r, c)] -= f * a[(col, c)];
+                    inv[(r, c)] -= f * inv[(col, c)];
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(i * self.cols + c, j * self.cols + c);
+        }
+    }
+
+    /// A random orthonormal matrix (QR of a Gaussian matrix via
+    /// Gram-Schmidt). Used to initialize OPQ rotations.
+    pub fn random_rotation(n: usize, rng: &mut Rng) -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+        gram_schmidt(&mut rows);
+        let mut m = Matrix::zeros(n, n);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Orthonormalize a set of row vectors in place (modified Gram-Schmidt).
+/// Rows that become numerically zero are re-randomized deterministically.
+fn gram_schmidt(rows: &mut [Vec<f64>]) {
+    let n = rows.len();
+    for i in 0..n {
+        for j in 0..i {
+            let dot: f64 = rows[i].iter().zip(&rows[j]).map(|(a, b)| a * b).sum();
+            let (head, tail) = rows.split_at_mut(i);
+            for (a, b) in tail[0].iter_mut().zip(&head[j]) {
+                *a -= dot * b;
+            }
+        }
+        let norm: f64 = rows[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for x in &mut rows[i] {
+                *x /= norm;
+            }
+        } else {
+            // Degenerate: replace with a unit basis vector not yet used.
+            let len = rows[i].len();
+            for x in rows[i].iter_mut() {
+                *x = 0.0;
+            }
+            rows[i][i % len] = 1.0;
+        }
+    }
+}
+
+/// Covariance matrix (d×d) of a vector collection around its mean.
+pub fn covariance(vectors: &Vectors) -> Result<Matrix> {
+    if vectors.is_empty() {
+        return Err(Error::EmptyCollection);
+    }
+    let d = vectors.dim();
+    let mean = vectors.centroid()?;
+    let mut cov = Matrix::zeros(d, d);
+    for row in vectors.iter() {
+        for i in 0..d {
+            let di = (row[i] - mean[i]) as f64;
+            for j in i..d {
+                let dj = (row[j] - mean[j]) as f64;
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let n = vectors.len() as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[(i, j)] / n;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// Top-`k` principal components of a collection, returned as rows of a
+/// `k × d` matrix, computed by power iteration with deflation.
+pub fn principal_components(vectors: &Vectors, k: usize, rng: &mut Rng) -> Result<Matrix> {
+    let d = vectors.dim();
+    let k = k.min(d);
+    let mut cov = covariance(vectors)?;
+    let mut out = Matrix::zeros(k, d);
+    for comp in 0..k {
+        let mut v: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+        let mut lambda = 0.0;
+        for _ in 0..100 {
+            let mut w = cov.matvec(&v);
+            let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-15 {
+                break;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            lambda = norm;
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        for (c, &x) in v.iter().enumerate() {
+            out[(comp, c)] = x;
+        }
+        // Deflate: cov -= lambda * v v^T
+        for i in 0..d {
+            for j in 0..d {
+                cov[(i, j)] -= lambda * v[i] * v[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_rows(3, 3, vec![2.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 3.0, 1.0]).unwrap();
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn random_rotation_is_orthonormal() {
+        let mut rng = Rng::seed_from_u64(5);
+        let r = Matrix::random_rotation(8, &mut rng);
+        let prod = r.matmul(&r.transpose());
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-8, "({i},{j}) = {}", prod[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_axis_aligned_data() {
+        // Points spread along x only: variance on x, none on y.
+        let v = Vectors::from_flat(2, vec![-1.0, 0.0, 1.0, 0.0, 3.0, 0.0, -3.0, 0.0]).unwrap();
+        let cov = covariance(&v).unwrap();
+        assert!(cov[(0, 0)] > 1.0);
+        assert!(cov[(1, 1)].abs() < 1e-12);
+        assert!(cov[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn principal_component_finds_dominant_axis() {
+        // Data varies strongly along (1,1)/sqrt(2), weakly orthogonal.
+        let mut rng = Rng::seed_from_u64(42);
+        let mut v = Vectors::new(2);
+        for _ in 0..500 {
+            let t = rng.normal_f32() * 10.0;
+            let s = rng.normal_f32() * 0.1;
+            v.push(&[t + s, t - s]).unwrap();
+        }
+        let pc = principal_components(&v, 1, &mut rng).unwrap();
+        let (a, b) = (pc[(0, 0)], pc[(0, 1)]);
+        // Should be parallel to (1,1): components nearly equal in magnitude.
+        assert!((a.abs() - b.abs()).abs() < 0.05, "pc = ({a}, {b})");
+        assert!((a * a + b * b - 1.0).abs() < 1e-6, "unit norm");
+    }
+
+    #[test]
+    fn apply_f32_matches_matvec() {
+        let m = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let mut out = [0.0f32; 2];
+        m.apply_f32(&[3.0, 4.0], &mut out);
+        assert_eq!(out, [4.0, 3.0]);
+    }
+}

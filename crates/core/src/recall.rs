@@ -1,0 +1,132 @@
+//! Ground-truth computation and result-quality metrics (precision/recall,
+//! §2.1 "the quality of a result set").
+
+use crate::error::Result;
+use crate::flat::FlatIndex;
+use crate::index::{SearchParams, VectorIndex};
+use crate::metric::Metric;
+use crate::topk::Neighbor;
+use crate::vector::Vectors;
+
+/// Exact k-NN ground truth for a query set.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// `truth[q]` holds the exact `k` nearest neighbors of query `q`.
+    pub truth: Vec<Vec<Neighbor>>,
+    /// The `k` the truth was computed for.
+    pub k: usize,
+}
+
+impl GroundTruth {
+    /// Compute exact top-`k` for every query by brute force.
+    pub fn compute(data: &Vectors, queries: &Vectors, metric: Metric, k: usize) -> Result<Self> {
+        let flat = FlatIndex::build(data.clone(), metric)?;
+        let params = SearchParams::default();
+        let truth = queries
+            .iter()
+            .map(|q| flat.search(q, k, &params))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(GroundTruth { truth, k })
+    }
+
+    /// Recall@k of one result list against query `q`'s truth: the fraction
+    /// of true neighbors present in the result.
+    pub fn recall_one(&self, q: usize, result: &[Neighbor]) -> f64 {
+        recall(&self.truth[q], result)
+    }
+
+    /// Mean recall@k over a batch of result lists (aligned with queries).
+    pub fn recall_batch(&self, results: &[Vec<Neighbor>]) -> f64 {
+        assert_eq!(results.len(), self.truth.len());
+        if results.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = results.iter().enumerate().map(|(q, r)| self.recall_one(q, r)).sum();
+        sum / results.len() as f64
+    }
+}
+
+/// Recall of `result` against `truth`: |truth ∩ result| / |truth|.
+/// Duplicates in `result` are counted once.
+pub fn recall(truth: &[Neighbor], result: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.id).collect();
+    let hit: std::collections::HashSet<usize> =
+        result.iter().map(|n| n.id).filter(|id| truth_ids.contains(id)).collect();
+    hit.len() as f64 / truth_ids.len() as f64
+}
+
+/// Precision of `result` against `truth`: |truth ∩ result| / |result|.
+pub fn precision(truth: &[Neighbor], result: &[Neighbor]) -> f64 {
+    if result.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.id).collect();
+    let hits = result.iter().filter(|n| truth_ids.contains(&n.id)).count();
+    hits as f64 / result.len() as f64
+}
+
+/// Verify the (c,k)-search guarantee from §2.1: no returned distance may be
+/// worse than `(1 + c)` times the true k-th best distance. Returns the
+/// fraction of results satisfying the bound.
+pub fn ck_satisfaction(truth: &[Neighbor], result: &[Neighbor], c: f32) -> f64 {
+    if result.is_empty() {
+        return 1.0;
+    }
+    let Some(kth) = truth.last() else { return 1.0 };
+    let bound = kth.dist * (1.0 + c);
+    let ok = result.iter().filter(|n| n.dist <= bound).count();
+    ok as f64 / result.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+    use crate::rng::Rng;
+
+    #[test]
+    fn recall_and_precision_basics() {
+        let truth = vec![Neighbor::new(0, 0.1), Neighbor::new(1, 0.2), Neighbor::new(2, 0.3)];
+        let result = vec![Neighbor::new(0, 0.1), Neighbor::new(9, 0.5)];
+        assert!((recall(&truth, &result) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((precision(&truth, &result) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&[], &result), 1.0);
+        assert_eq!(precision(&truth, &[]), 1.0);
+    }
+
+    #[test]
+    fn duplicate_results_counted_once() {
+        let truth = vec![Neighbor::new(0, 0.1), Neighbor::new(1, 0.2)];
+        let result = vec![Neighbor::new(0, 0.1), Neighbor::new(0, 0.1)];
+        assert!((recall(&truth, &result) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_matches_flat_search() {
+        let mut rng = Rng::seed_from_u64(10);
+        let data = dataset::gaussian(300, 12, &mut rng);
+        let queries = dataset::split_queries(&data, 5, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        assert_eq!(gt.truth.len(), 5);
+        for t in &gt.truth {
+            assert_eq!(t.len(), 10);
+            // Truth must be sorted best-first.
+            assert!(t.windows(2).all(|w| w[0].dist <= w[1].dist));
+        }
+        // A perfect result has recall 1.
+        let results = gt.truth.clone();
+        assert_eq!(gt.recall_batch(&results), 1.0);
+    }
+
+    #[test]
+    fn ck_bound() {
+        let truth = vec![Neighbor::new(0, 1.0), Neighbor::new(1, 2.0)];
+        // Distances within (1 + 0.5) * 2.0 = 3.0 satisfy the bound.
+        let result = vec![Neighbor::new(5, 2.9), Neighbor::new(6, 3.5)];
+        assert!((ck_satisfaction(&truth, &result, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(ck_satisfaction(&truth, &[], 0.5), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Aggregate scores (§2.1): combine multiple per-vector scores for an
+//! entity represented by several feature vectors into one scalar.
+
+use crate::error::{Error, Result};
+
+/// How to fold a list of per-vector distances into one entity-level
+/// distance. All variants preserve the lower-is-better convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregator {
+    /// Arithmetic mean of the distances.
+    Mean,
+    /// Minimum distance (entity matches if *any* of its vectors matches —
+    /// the usual choice for facial recognition galleries).
+    Min,
+    /// Maximum distance (entity matches only if *all* vectors match).
+    Max,
+    /// Weighted sum with fixed weights (must match the number of scores).
+    WeightedSum(Vec<f32>),
+}
+
+impl Aggregator {
+    /// Fold per-vector distances into an entity distance.
+    pub fn combine(&self, distances: &[f32]) -> Result<f32> {
+        if distances.is_empty() {
+            return Err(Error::InvalidParameter("cannot aggregate zero scores".into()));
+        }
+        match self {
+            Aggregator::Mean => {
+                Ok(distances.iter().sum::<f32>() / distances.len() as f32)
+            }
+            Aggregator::Min => Ok(distances.iter().copied().fold(f32::INFINITY, f32::min)),
+            Aggregator::Max => Ok(distances.iter().copied().fold(f32::NEG_INFINITY, f32::max)),
+            Aggregator::WeightedSum(w) => {
+                if w.len() != distances.len() {
+                    return Err(Error::InvalidParameter(format!(
+                        "weighted sum has {} weights but {} scores",
+                        w.len(),
+                        distances.len()
+                    )));
+                }
+                Ok(distances.iter().zip(w).map(|(d, w)| d * w).sum())
+            }
+        }
+    }
+
+    /// Short stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregator::Mean => "mean",
+            Aggregator::Min => "min",
+            Aggregator::Max => "max",
+            Aggregator::WeightedSum(_) => "weighted_sum",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_aggregates() {
+        let d = [1.0, 3.0, 2.0];
+        assert_eq!(Aggregator::Mean.combine(&d).unwrap(), 2.0);
+        assert_eq!(Aggregator::Min.combine(&d).unwrap(), 1.0);
+        assert_eq!(Aggregator::Max.combine(&d).unwrap(), 3.0);
+        assert_eq!(
+            Aggregator::WeightedSum(vec![1.0, 0.0, 0.5]).combine(&d).unwrap(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs_rejected() {
+        assert!(Aggregator::Mean.combine(&[]).is_err());
+        assert!(Aggregator::WeightedSum(vec![1.0]).combine(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn min_le_mean_le_max() {
+        let d = [0.5, 9.0, 4.0, 2.0];
+        let min = Aggregator::Min.combine(&d).unwrap();
+        let mean = Aggregator::Mean.combine(&d).unwrap();
+        let max = Aggregator::Max.combine(&d).unwrap();
+        assert!(min <= mean && mean <= max);
+    }
+}

@@ -1,0 +1,192 @@
+//! Learned similarity scores (§2.1 "metric learning").
+//!
+//! A deliberately small instance of metric learning: fit per-dimension
+//! weights `w ≥ 0` for a weighted squared-Euclidean distance from labelled
+//! pairs, by stochastic gradient descent on a margin loss that pushes
+//! similar pairs below a threshold and dissimilar pairs above it. This
+//! exercises the "learned score" code path end-to-end (training, the
+//! `Metric::WeightedL2` integration, and selection experiments) without
+//! pretending to be a deep model.
+
+use crate::error::{Error, Result};
+use crate::metric::Metric;
+use std::sync::Arc;
+
+/// A labelled training pair: two vectors plus whether they are similar.
+#[derive(Debug, Clone)]
+pub struct LabeledPair {
+    /// First vector.
+    pub a: Vec<f32>,
+    /// Second vector.
+    pub b: Vec<f32>,
+    /// True if the pair should score as similar (small distance).
+    pub similar: bool,
+}
+
+/// Training configuration for [`LearnedWeights::fit`].
+#[derive(Debug, Clone)]
+pub struct LearnConfig {
+    /// Number of passes over the training pairs.
+    pub epochs: usize,
+    /// SGD step size.
+    pub learning_rate: f32,
+    /// Margin threshold separating similar from dissimilar distances.
+    pub threshold: f32,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig { epochs: 50, learning_rate: 0.05, threshold: 1.0 }
+    }
+}
+
+/// Per-dimension weights defining a learned diagonal Mahalanobis metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedWeights {
+    weights: Vec<f32>,
+}
+
+impl LearnedWeights {
+    /// Fit weights from labelled pairs.
+    pub fn fit(pairs: &[LabeledPair], dim: usize, cfg: &LearnConfig) -> Result<Self> {
+        if pairs.is_empty() {
+            return Err(Error::InvalidParameter("need at least one training pair".into()));
+        }
+        for p in pairs {
+            if p.a.len() != dim || p.b.len() != dim {
+                return Err(Error::DimensionMismatch {
+                    expected: dim,
+                    actual: if p.a.len() != dim { p.a.len() } else { p.b.len() },
+                });
+            }
+        }
+        let mut w = vec![1.0f32; dim];
+        let mut sq_diff = vec![0.0f32; dim];
+        for _ in 0..cfg.epochs {
+            for p in pairs {
+                for i in 0..dim {
+                    let d = p.a[i] - p.b[i];
+                    sq_diff[i] = d * d;
+                }
+                let dist: f32 = w.iter().zip(&sq_diff).map(|(w, s)| w * s).sum();
+                // Hinge: similar pairs want dist < threshold, dissimilar
+                // pairs want dist > threshold.
+                let violated = if p.similar { dist > cfg.threshold } else { dist < cfg.threshold };
+                if !violated {
+                    continue;
+                }
+                let sign = if p.similar { -1.0 } else { 1.0 };
+                for i in 0..dim {
+                    w[i] = (w[i] + sign * cfg.learning_rate * sq_diff[i]).max(1e-4);
+                }
+            }
+        }
+        Ok(LearnedWeights { weights: w })
+    }
+
+    /// Borrow the learned weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Convert into a [`Metric`] usable by any index.
+    pub fn into_metric(self) -> Metric {
+        Metric::WeightedL2(Arc::new(self.weights))
+    }
+
+    /// Training accuracy: fraction of pairs classified on the correct side
+    /// of the threshold.
+    pub fn accuracy(&self, pairs: &[LabeledPair], threshold: f32) -> f64 {
+        if pairs.is_empty() {
+            return 1.0;
+        }
+        let metric = Metric::WeightedL2(Arc::new(self.weights.clone()));
+        let correct = pairs
+            .iter()
+            .filter(|p| {
+                let d = metric.distance(&p.a, &p.b);
+                if p.similar {
+                    d <= threshold
+                } else {
+                    d > threshold
+                }
+            })
+            .count();
+        correct as f64 / pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Build pairs where only the first `signal` dimensions matter:
+    /// similar pairs agree there, dissimilar pairs differ there, and all
+    /// remaining dimensions are pure noise.
+    fn signal_noise_pairs(n: usize, dim: usize, signal: usize, rng: &mut Rng) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| {
+                let similar = i % 2 == 0;
+                let base: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+                let mut other = base.clone();
+                for (j, o) in other.iter_mut().enumerate() {
+                    if j < signal {
+                        if !similar {
+                            *o += 3.0; // strong signal separation
+                        }
+                    } else {
+                        *o += rng.normal_f32() * 2.0; // noise everywhere
+                    }
+                }
+                LabeledPair { a: base, b: other, similar }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_to_upweight_signal_dimensions() {
+        let mut rng = Rng::seed_from_u64(8);
+        let pairs = signal_noise_pairs(400, 8, 2, &mut rng);
+        let lw = LearnedWeights::fit(&pairs, 8, &LearnConfig::default()).unwrap();
+        let w = lw.weights();
+        let signal_avg = (w[0] + w[1]) / 2.0;
+        let noise_avg = w[2..].iter().sum::<f32>() / 6.0;
+        assert!(
+            signal_avg > noise_avg,
+            "signal dims should outweigh noise dims: {w:?}"
+        );
+    }
+
+    #[test]
+    fn learned_metric_beats_plain_l2_on_held_out_pairs() {
+        let mut rng = Rng::seed_from_u64(9);
+        let train = signal_noise_pairs(400, 8, 2, &mut rng);
+        let test = signal_noise_pairs(200, 8, 2, &mut rng);
+        let cfg = LearnConfig::default();
+        let lw = LearnedWeights::fit(&train, 8, &cfg).unwrap();
+        let learned_acc = lw.accuracy(&test, cfg.threshold);
+        let unit = LearnedWeights { weights: vec![1.0; 8] };
+        let plain_acc = unit.accuracy(&test, cfg.threshold);
+        assert!(
+            learned_acc >= plain_acc,
+            "learned {learned_acc} vs plain {plain_acc}"
+        );
+        assert!(learned_acc > 0.7, "learned accuracy too low: {learned_acc}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(LearnedWeights::fit(&[], 4, &LearnConfig::default()).is_err());
+        let bad = vec![LabeledPair { a: vec![0.0; 3], b: vec![0.0; 4], similar: true }];
+        assert!(LearnedWeights::fit(&bad, 4, &LearnConfig::default()).is_err());
+    }
+
+    #[test]
+    fn weights_stay_positive() {
+        let mut rng = Rng::seed_from_u64(10);
+        let pairs = signal_noise_pairs(200, 4, 1, &mut rng);
+        let lw = LearnedWeights::fit(&pairs, 4, &LearnConfig { epochs: 200, ..Default::default() }).unwrap();
+        assert!(lw.weights().iter().all(|&w| w > 0.0));
+    }
+}

@@ -1,0 +1,10 @@
+//! Score composition beyond basic metrics: aggregate scores for
+//! multi-vector entities and learned scores (§2.1 of the paper).
+
+pub mod aggregate;
+pub mod learned;
+pub mod selection;
+
+pub use aggregate::Aggregator;
+pub use learned::LearnedWeights;
+pub use selection::{select_score, ScoreEvaluation};

@@ -1,0 +1,174 @@
+//! Similarity-score selection (§2.1 "score selection", §2.6(1)).
+//!
+//! The paper lists automatic score selection as an open problem and cites
+//! EuclidesDB's pragmatic approach: evaluate many scores and let evidence
+//! decide. This module implements that evaluation loop: rank candidate
+//! metrics by how well their distances separate labelled similar from
+//! dissimilar pairs, scored by ROC-AUC (threshold-free, scale-invariant —
+//! so metrics with incomparable ranges compete fairly).
+
+use crate::error::{Error, Result};
+use crate::metric::Metric;
+use crate::score::learned::LabeledPair;
+
+/// Evaluation of one candidate metric.
+#[derive(Debug, Clone)]
+pub struct ScoreEvaluation {
+    /// The candidate metric.
+    pub metric: Metric,
+    /// ROC-AUC of `-distance` as a similarity classifier (1.0 = perfect
+    /// separation, 0.5 = chance).
+    pub auc: f64,
+}
+
+/// Rank `candidates` on labelled pairs, best first.
+pub fn select_score(
+    candidates: &[Metric],
+    pairs: &[LabeledPair],
+) -> Result<Vec<ScoreEvaluation>> {
+    if candidates.is_empty() {
+        return Err(Error::InvalidParameter("no candidate metrics".into()));
+    }
+    if pairs.iter().all(|p| p.similar) || pairs.iter().all(|p| !p.similar) {
+        return Err(Error::InvalidParameter(
+            "score selection needs both similar and dissimilar pairs".into(),
+        ));
+    }
+    let mut out: Vec<ScoreEvaluation> = candidates
+        .iter()
+        .map(|metric| ScoreEvaluation { metric: metric.clone(), auc: auc(metric, pairs) })
+        .collect();
+    out.sort_by(|a, b| b.auc.total_cmp(&a.auc));
+    Ok(out)
+}
+
+/// ROC-AUC via the rank-sum (Mann-Whitney) formulation: the probability
+/// that a random similar pair scores closer than a random dissimilar one.
+fn auc(metric: &Metric, pairs: &[LabeledPair]) -> f64 {
+    let mut scored: Vec<(f32, bool)> =
+        pairs.iter().map(|p| (metric.distance(&p.a, &p.b), p.similar)).collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n_pos = scored.iter().filter(|(_, s)| *s).count() as f64;
+    let n_neg = scored.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return 0.5;
+    }
+    // Sum of ranks of the positive (similar) class, with midranks for ties.
+    let mut rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < scored.len() {
+        let mut j = i;
+        while j < scored.len() && scored[j].0 == scored[i].0 {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0; // average of ranks i+1..=j
+        for e in &scored[i..j] {
+            if e.1 {
+                rank_sum += midrank;
+            }
+        }
+        i = j;
+    }
+    // Similar pairs should have *small* distances => small ranks => low U.
+    let u = rank_sum - n_pos * (n_pos + 1.0) / 2.0;
+    1.0 - u / (n_pos * n_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Pairs where cosine is the right score: similar pairs are scaled
+    /// copies (same direction, different magnitude), dissimilar pairs are
+    /// random directions.
+    fn direction_pairs(n: usize, dim: usize, rng: &mut Rng) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| {
+                let a: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+                let similar = i % 2 == 0;
+                let b: Vec<f32> = if similar {
+                    let scale = 0.5 + rng.f32() * 4.0;
+                    a.iter().map(|x| x * scale + rng.normal_f32() * 0.01).collect()
+                } else {
+                    (0..dim).map(|_| rng.normal_f32()).collect()
+                };
+                LabeledPair { a, b, similar }
+            })
+            .collect()
+    }
+
+    /// Pairs where plain L2 is right: similar = small offset.
+    fn offset_pairs(n: usize, dim: usize, rng: &mut Rng) -> Vec<LabeledPair> {
+        (0..n)
+            .map(|i| {
+                let a: Vec<f32> = (0..dim).map(|_| rng.normal_f32() * 5.0).collect();
+                let similar = i % 2 == 0;
+                let noise = if similar { 0.1 } else { 5.0 };
+                let b: Vec<f32> = a.iter().map(|x| x + rng.normal_f32() * noise).collect();
+                LabeledPair { a, b, similar }
+            })
+            .collect()
+    }
+
+    fn candidates() -> Vec<Metric> {
+        vec![Metric::Euclidean, Metric::Cosine, Metric::Manhattan, Metric::InnerProduct]
+    }
+
+    #[test]
+    fn picks_cosine_for_direction_data() {
+        let mut rng = Rng::seed_from_u64(1);
+        let pairs = direction_pairs(400, 16, &mut rng);
+        let ranked = select_score(&candidates(), &pairs).unwrap();
+        assert_eq!(ranked[0].metric.name(), "cosine", "{:?}", ranked.iter().map(|e| (e.metric.name(), e.auc)).collect::<Vec<_>>());
+        assert!(ranked[0].auc > 0.95);
+    }
+
+    #[test]
+    fn picks_a_distance_metric_for_offset_data() {
+        let mut rng = Rng::seed_from_u64(2);
+        let pairs = offset_pairs(400, 16, &mut rng);
+        let ranked = select_score(&candidates(), &pairs).unwrap();
+        assert!(
+            matches!(ranked[0].metric.name(), "l2" | "l1"),
+            "best = {}",
+            ranked[0].metric.name()
+        );
+        assert!(ranked[0].auc > 0.95);
+    }
+
+    #[test]
+    fn auc_is_half_for_uninformative_labels() {
+        let mut rng = Rng::seed_from_u64(3);
+        // Random labels: nothing separates the classes.
+        let pairs: Vec<LabeledPair> = (0..300)
+            .map(|i| LabeledPair {
+                a: (0..8).map(|_| rng.normal_f32()).collect(),
+                b: (0..8).map(|_| rng.normal_f32()).collect(),
+                similar: i % 2 == 0,
+            })
+            .collect();
+        let ranked = select_score(&[Metric::Euclidean], &pairs).unwrap();
+        assert!((ranked[0].auc - 0.5).abs() < 0.1, "auc {}", ranked[0].auc);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut rng = Rng::seed_from_u64(4);
+        let pairs = offset_pairs(10, 4, &mut rng);
+        assert!(select_score(&[], &pairs).is_err());
+        let all_similar: Vec<LabeledPair> =
+            pairs.iter().cloned().map(|mut p| { p.similar = true; p }).collect();
+        assert!(select_score(&candidates(), &all_similar).is_err());
+    }
+
+    #[test]
+    fn tied_distances_get_midranks() {
+        // All distances identical => AUC exactly 0.5.
+        let pairs: Vec<LabeledPair> = (0..10)
+            .map(|i| LabeledPair { a: vec![0.0, 0.0], b: vec![1.0, 0.0], similar: i % 2 == 0 })
+            .collect();
+        let ranked = select_score(&[Metric::Euclidean], &pairs).unwrap();
+        assert!((ranked[0].auc - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Dense vector storage: a row-major `f32` matrix with validation.
+
+use crate::error::{Error, Result};
+
+/// A collection of fixed-dimension `f32` vectors stored contiguously in
+/// row-major order.
+///
+/// This is the in-memory representation every index builds from. Vectors
+/// are validated on insert: components must be finite (NaN would poison
+/// similarity comparisons and heap ordering downstream).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Vectors {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Vectors {
+    /// Create an empty collection of `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Vectors { dim, data: Vec::new() }
+    }
+
+    /// Create with capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Vectors { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Build from a flat row-major buffer. `data.len()` must be a multiple
+    /// of `dim` and every component must be finite.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self> {
+        if dim == 0 {
+            return Err(Error::InvalidParameter("dimension must be positive".into()));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
+        }
+        if let Some(pos) = data.iter().position(|x| !x.is_finite()) {
+            return Err(Error::NonFiniteVector { position: pos % dim });
+        }
+        Ok(Vectors { dim, data })
+    }
+
+    /// Dimensionality of every vector in the collection.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the collection is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a vector, validating dimension and finiteness. Returns the
+    /// new vector's position.
+    pub fn push(&mut self, v: &[f32]) -> Result<usize> {
+        if v.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+        }
+        if let Some(pos) = v.iter().position(|x| !x.is_finite()) {
+            return Err(Error::NonFiniteVector { position: pos });
+        }
+        self.data.extend_from_slice(v);
+        Ok(self.len() - 1)
+    }
+
+    /// Borrow vector `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutably borrow vector `i`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterate over all vectors in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Copy out a subset of rows as a new `Vectors` (used by partitioners).
+    pub fn select(&self, rows: &[usize]) -> Vectors {
+        let mut out = Vectors::with_capacity(self.dim, rows.len());
+        for &r in rows {
+            out.data.extend_from_slice(self.get(r));
+        }
+        out
+    }
+
+    /// L2-normalize every vector in place. Zero vectors are left unchanged.
+    pub fn normalize(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_exact_mut(dim) {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Component-wise mean of all vectors.
+    pub fn centroid(&self) -> Result<Vec<f32>> {
+        if self.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        let mut c = vec![0.0f64; self.dim];
+        for row in self.iter() {
+            for (a, &b) in c.iter_mut().zip(row) {
+                *a += b as f64;
+            }
+        }
+        let n = self.len() as f64;
+        Ok(c.into_iter().map(|x| (x / n) as f32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut v = Vectors::new(3);
+        assert_eq!(v.push(&[1.0, 2.0, 3.0]).unwrap(), 0);
+        assert_eq!(v.push(&[4.0, 5.0, 6.0]).unwrap(), 1);
+        assert_eq!(v.get(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.dim(), 3);
+    }
+
+    #[test]
+    fn rejects_wrong_dimension() {
+        let mut v = Vectors::new(3);
+        assert!(matches!(
+            v.push(&[1.0, 2.0]),
+            Err(Error::DimensionMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut v = Vectors::new(2);
+        assert!(matches!(v.push(&[1.0, f32::NAN]), Err(Error::NonFiniteVector { position: 1 })));
+        assert!(matches!(
+            v.push(&[f32::INFINITY, 0.0]),
+            Err(Error::NonFiniteVector { position: 0 })
+        ));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn from_flat_validates() {
+        assert!(Vectors::from_flat(3, vec![1.0; 7]).is_err());
+        assert!(Vectors::from_flat(0, vec![]).is_err());
+        assert!(Vectors::from_flat(2, vec![0.0, f32::NAN]).is_err());
+        let v = Vectors::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn select_copies_rows() {
+        let v = Vectors::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]).unwrap();
+        let s = v.select(&[2, 0]);
+        assert_eq!(s.get(0), &[2.0, 2.0]);
+        assert_eq!(s.get(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = Vectors::from_flat(2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        v.normalize();
+        assert!((v.get(0)[0] - 0.6).abs() < 1e-6);
+        assert!((v.get(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(v.get(1), &[0.0, 0.0], "zero vector untouched");
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let v = Vectors::from_flat(2, vec![0.0, 0.0, 2.0, 4.0]).unwrap();
+        assert_eq!(v.centroid().unwrap(), vec![1.0, 2.0]);
+        assert!(matches!(Vectors::new(2).centroid(), Err(Error::EmptyCollection)));
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let v = Vectors::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let rows: Vec<&[f32]> = v.iter().collect();
+        assert_eq!(rows, vec![v.get(0), v.get(1)]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Sharded, replicated, scatter-gather vector search (§2.3 "distributed
+//! search").
+//!
+//! Shards are in-process (the substitution DESIGN.md documents: the object
+//! of study is the partitioning/fan-out/merge algorithmics, not network
+//! latency). Each shard owns its own index over its slice of the
+//! collection; replicas are additional copies used for load spreading and
+//! failover; queries scatter to the routed shards on scoped threads and
+//! gather through a global top-k merge.
+
+use crate::partition::{partition, PartitionPolicy, Partitioning};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{merge_sorted_topk, Neighbor};
+use vdb_core::vector::Vectors;
+
+/// Factory that builds a shard-local index over a slice of the collection.
+pub type IndexBuilder = dyn Fn(Vectors, Metric) -> Result<Box<dyn VectorIndex>> + Sync;
+
+/// Configuration of a distributed deployment.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Replicas per shard (1 = no redundancy).
+    pub replicas: usize,
+    /// Partitioning policy.
+    pub policy: PartitionPolicy,
+    /// Shards probed per query: `None` = all (scatter-gather); `Some(p)`
+    /// = routed search over the `p` nearest shards (index-guided only).
+    pub probe_shards: Option<usize>,
+    /// Seed for partitioning.
+    pub seed: u64,
+}
+
+impl DistributedConfig {
+    /// Scatter-gather over `n_shards` uniform shards, no replication.
+    pub fn uniform(n_shards: usize) -> Self {
+        DistributedConfig {
+            n_shards,
+            replicas: 1,
+            policy: PartitionPolicy::Uniform,
+            probe_shards: None,
+            seed: 0xD157,
+        }
+    }
+
+    /// Routed search over index-guided shards.
+    pub fn index_guided(n_shards: usize, probe_shards: usize) -> Self {
+        DistributedConfig {
+            n_shards,
+            replicas: 1,
+            policy: PartitionPolicy::IndexGuided,
+            probe_shards: Some(probe_shards),
+            seed: 0xD157,
+        }
+    }
+}
+
+struct Replica {
+    index: Box<dyn VectorIndex>,
+    /// Simulated availability (failover experiments).
+    up: AtomicBool,
+}
+
+struct Shard {
+    /// Local row -> global row.
+    global_ids: Vec<usize>,
+    replicas: Vec<Replica>,
+    /// Round-robin cursor for replica selection.
+    next_replica: AtomicU64,
+}
+
+/// A sharded, replicated collection with scatter-gather search.
+pub struct DistributedIndex {
+    shards: Vec<Shard>,
+    partitioning: Partitioning,
+    cfg: DistributedConfig,
+    /// Scatter/gather accounting: total shard probes issued.
+    probes_issued: AtomicU64,
+}
+
+impl DistributedIndex {
+    /// Build: partition the collection, then build `replicas` indexes per
+    /// shard with `builder`.
+    pub fn build(
+        vectors: &Vectors,
+        metric: Metric,
+        cfg: DistributedConfig,
+        builder: &IndexBuilder,
+    ) -> Result<Self> {
+        if cfg.replicas == 0 {
+            return Err(Error::InvalidParameter("need at least one replica".into()));
+        }
+        if let Some(p) = cfg.probe_shards {
+            if p == 0 {
+                return Err(Error::InvalidParameter("probe_shards must be >= 1".into()));
+            }
+        }
+        let partitioning = partition(vectors, cfg.n_shards, cfg.policy, cfg.seed)?;
+        let mut shards = Vec::with_capacity(partitioning.n_shards);
+        for s in 0..partitioning.n_shards {
+            let rows = partitioning.shard_rows(s);
+            let slice = vectors.select(&rows);
+            let mut replicas = Vec::with_capacity(cfg.replicas);
+            for _ in 0..cfg.replicas {
+                replicas.push(Replica {
+                    index: builder(slice.clone(), metric.clone())?,
+                    up: AtomicBool::new(true),
+                });
+            }
+            shards.push(Shard { global_ids: rows, replicas, next_replica: AtomicU64::new(0) });
+        }
+        Ok(DistributedIndex { shards, partitioning, cfg, probes_issued: AtomicU64::new(0) })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total vectors across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.global_ids.len()).sum()
+    }
+
+    /// Whether the deployment holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard sizes (balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global_ids.len()).collect()
+    }
+
+    /// Total shard probes issued since construction.
+    pub fn probes_issued(&self) -> u64 {
+        self.probes_issued.load(Ordering::Relaxed)
+    }
+
+    /// Simulate a replica failure.
+    pub fn set_replica_up(&self, shard: usize, replica: usize, up: bool) {
+        self.shards[shard].replicas[replica].up.store(up, Ordering::Relaxed);
+    }
+
+    /// Pick a live replica round-robin. `None` if the shard is fully down.
+    fn pick_replica(&self, shard: usize) -> Option<&Replica> {
+        let s = &self.shards[shard];
+        let n = s.replicas.len();
+        let start = s.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
+        (0..n).map(|i| &s.replicas[(start + i) % n]).find(|r| r.up.load(Ordering::Relaxed))
+    }
+
+    /// Scatter-gather search. Returns global-id neighbors. Errors if every
+    /// replica of a probed shard is down.
+    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let order = self.partitioning.route(query);
+        let probe = match (self.cfg.probe_shards, self.cfg.policy) {
+            (Some(p), PartitionPolicy::IndexGuided) => p.min(order.len()),
+            _ => order.len(),
+        };
+        let targets = &order[..probe];
+        self.probes_issued.fetch_add(targets.len() as u64, Ordering::Relaxed);
+
+        // Scatter on scoped threads; gather into per-shard result slots.
+        let mut slots: Vec<Option<Result<Vec<Neighbor>>>> = Vec::new();
+        slots.resize_with(targets.len(), || None);
+        let results: Mutex<Vec<Option<Result<Vec<Neighbor>>>>> = Mutex::new(slots);
+        std::thread::scope(|scope| {
+            for (slot, &shard) in targets.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move || {
+                    let out = match self.pick_replica(shard) {
+                        Some(replica) => {
+                            replica.index.search(query, k, params).map(|hits| {
+                                hits.into_iter()
+                                    .map(|n| {
+                                        Neighbor::new(self.shards[shard].global_ids[n.id], n.dist)
+                                    })
+                                    .collect()
+                            })
+                        }
+                        None => Err(Error::Unsupported(format!(
+                            "shard {shard} has no live replica"
+                        ))),
+                    };
+                    results.lock()[slot] = Some(out);
+                });
+            }
+        });
+        let mut lists = Vec::with_capacity(targets.len());
+        for slot in results.into_inner() {
+            lists.push(slot.expect("every scatter slot filled")?);
+        }
+        Ok(merge_sorted_topk(&lists, k))
+    }
+}
+
+impl std::fmt::Debug for DistributedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DistributedIndex(shards={}, replicas={}, n={})",
+            self.shards.len(),
+            self.cfg.replicas,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::flat::FlatIndex;
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+    use vdb_index_graph::{HnswConfig, HnswIndex};
+
+    fn hnsw_builder() -> Box<IndexBuilder> {
+        Box::new(|v: Vectors, m: Metric| {
+            Ok(Box::new(HnswIndex::build(v, m, HnswConfig::default())?) as Box<dyn VectorIndex>)
+        })
+    }
+
+    fn flat_builder() -> Box<IndexBuilder> {
+        Box::new(|v: Vectors, m: Metric| {
+            Ok(Box::new(FlatIndex::build(v, m)?) as Box<dyn VectorIndex>)
+        })
+    }
+
+    fn setup() -> (Vectors, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(140);
+        let data = dataset::clustered(2000, 12, 8, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        (data, queries, gt)
+    }
+
+    #[test]
+    fn full_fanout_with_exact_shards_is_exact() {
+        let (data, queries, gt) = setup();
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(4),
+            &*flat_builder(),
+        )
+        .unwrap();
+        let params = SearchParams::default();
+        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        assert!((gt.recall_batch(&results) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_ids_are_translated() {
+        let (data, _, _) = setup();
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(4),
+            &*flat_builder(),
+        )
+        .unwrap();
+        // Searching for an exact database vector returns its global row.
+        for row in [0usize, 777, 1999] {
+            let hits = d.search(data.get(row), 1, &SearchParams::default()).unwrap();
+            assert_eq!(hits[0].id, row);
+            assert_eq!(hits[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn routed_search_probes_fewer_shards() {
+        let (data, queries, gt) = setup();
+        let full = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::index_guided(8, 8),
+            &*flat_builder(),
+        )
+        .unwrap();
+        let routed = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::index_guided(8, 2),
+            &*flat_builder(),
+        )
+        .unwrap();
+        let params = SearchParams::default();
+        let full_r: Vec<_> = queries.iter().map(|q| full.search(q, 10, &params).unwrap()).collect();
+        let routed_r: Vec<_> =
+            queries.iter().map(|q| routed.search(q, 10, &params).unwrap()).collect();
+        assert_eq!(full.probes_issued(), 20 * 8);
+        assert_eq!(routed.probes_issued(), 20 * 2);
+        let rf = gt.recall_batch(&full_r);
+        let rr = gt.recall_batch(&routed_r);
+        assert!((rf - 1.0).abs() < 1e-12);
+        assert!(rr > 0.8, "2-of-8 routed recall {rr} (clustered data co-locates neighbors)");
+    }
+
+    #[test]
+    fn hnsw_shards_reach_high_recall() {
+        let (data, queries, gt) = setup();
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(4),
+            &*hnsw_builder(),
+        )
+        .unwrap();
+        let params = SearchParams::default().with_beam_width(64);
+        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r > 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn failover_to_replica() {
+        let (data, queries, _) = setup();
+        let mut cfg = DistributedConfig::uniform(2);
+        cfg.replicas = 2;
+        let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &*flat_builder()).unwrap();
+        d.set_replica_up(0, 0, false);
+        // Still answers via replica 1.
+        let hits = d.search(queries.get(0), 5, &SearchParams::default()).unwrap();
+        assert_eq!(hits.len(), 5);
+        // Whole shard down => error.
+        d.set_replica_up(0, 1, false);
+        assert!(d.search(queries.get(0), 5, &SearchParams::default()).is_err());
+        // Recovery.
+        d.set_replica_up(0, 0, true);
+        assert!(d.search(queries.get(0), 5, &SearchParams::default()).is_ok());
+    }
+
+    #[test]
+    fn results_deduped_and_sorted() {
+        let (data, queries, _) = setup();
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(4),
+            &*flat_builder(),
+        )
+        .unwrap();
+        let hits = d.search(queries.get(3), 20, &SearchParams::default()).unwrap();
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let ids: std::collections::HashSet<_> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids.len(), hits.len());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (data, _, _) = setup();
+        let mut cfg = DistributedConfig::uniform(2);
+        cfg.replicas = 0;
+        assert!(DistributedIndex::build(&data, Metric::Euclidean, cfg, &*flat_builder()).is_err());
+        let cfg = DistributedConfig::index_guided(4, 0);
+        assert!(DistributedIndex::build(&data, Metric::Euclidean, cfg, &*flat_builder()).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # vdb-distributed
+//!
+//! Distributed vector search (§2.3 of *"Vector Database Management
+//! Techniques and Systems"*, SIGMOD 2024): sharding, replication, and
+//! scatter-gather execution.
+//!
+//! - [`partition`] — uniform (equal) and index-guided (k-means-aligned)
+//!   shard placement with query routing,
+//! - [`cluster`] — the sharded deployment: per-shard indexes, replica
+//!   failover, scoped-thread scatter, global top-k gather.
+//!
+//! Shards are in-process; the network is out of scope (see the
+//! substitution table in DESIGN.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod partition;
+
+pub use cluster::{DistributedConfig, DistributedIndex, IndexBuilder};
+pub use partition::{partition, PartitionPolicy, Partitioning};

@@ -1,0 +1,212 @@
+//! Shard partitioning policies (§2.3 "distributed search").
+//!
+//! The paper contrasts *equal* partitioning (uniform spread, every shard
+//! must be searched) with *index-guided* partitioning (cluster-aligned
+//! placement, enabling routed search that probes only the shards nearest
+//! the query).
+
+use vdb_core::error::{Error, Result};
+use vdb_core::rng::Rng;
+use vdb_core::vector::Vectors;
+use vdb_quant::{KMeans, KMeansConfig};
+
+/// How the collection is split across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Equal split by shuffled round-robin: shards are statistically
+    /// identical, and every query must fan out to all of them.
+    Uniform,
+    /// k-means-guided placement: shard `i` holds the vectors of centroid
+    /// `i`, so queries can be routed to the nearest shards only.
+    IndexGuided,
+}
+
+/// The result of partitioning: per-row shard assignment plus (for guided
+/// policies) shard centroids for routing.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Shard id per row.
+    pub assignment: Vec<usize>,
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Routing centroids (one per shard) for index-guided partitioning.
+    pub centroids: Option<Vectors>,
+}
+
+impl Partitioning {
+    /// Rows of one shard.
+    pub fn shard_rows(&self, shard: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == shard)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Shard sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_shards];
+        for &s in &self.assignment {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+
+    /// Rank shards by routing distance to `query` (nearest first). Falls
+    /// back to `0..n` order for uniform partitionings.
+    pub fn route(&self, query: &[f32]) -> Vec<usize> {
+        match &self.centroids {
+            Some(c) => {
+                let mut order: Vec<(f32, usize)> = c
+                    .iter()
+                    .enumerate()
+                    .map(|(s, cent)| (vdb_core::kernel::l2_sq(query, cent), s))
+                    .collect();
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                order.into_iter().map(|(_, s)| s).collect()
+            }
+            None => (0..self.n_shards).collect(),
+        }
+    }
+}
+
+/// Partition `vectors` into `n_shards` shards under `policy`.
+pub fn partition(
+    vectors: &Vectors,
+    n_shards: usize,
+    policy: PartitionPolicy,
+    seed: u64,
+) -> Result<Partitioning> {
+    if n_shards == 0 {
+        return Err(Error::InvalidParameter("need at least one shard".into()));
+    }
+    if vectors.is_empty() {
+        return Err(Error::EmptyCollection);
+    }
+    let n = vectors.len();
+    let n_shards = n_shards.min(n);
+    match policy {
+        PartitionPolicy::Uniform => {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            let mut assignment = vec![0usize; n];
+            for (i, &row) in order.iter().enumerate() {
+                assignment[row] = i % n_shards;
+            }
+            Ok(Partitioning { assignment, n_shards, centroids: None })
+        }
+        PartitionPolicy::IndexGuided => {
+            let km = KMeans::train(
+                vectors,
+                &KMeansConfig { k: n_shards, max_iters: 15, tolerance: 1e-4, seed },
+            )?;
+            let assignment = km.assign_all(vectors);
+            Ok(Partitioning {
+                assignment,
+                n_shards: km.k(),
+                centroids: Some(km.centroids().clone()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+
+    #[test]
+    fn uniform_is_balanced() {
+        let mut rng = Rng::seed_from_u64(1);
+        let data = dataset::gaussian(1000, 8, &mut rng);
+        let p = partition(&data, 4, PartitionPolicy::Uniform, 7).unwrap();
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for &s in &sizes {
+            assert_eq!(s, 250, "uniform split must be perfectly balanced: {sizes:?}");
+        }
+        assert!(p.centroids.is_none());
+    }
+
+    #[test]
+    fn index_guided_coclusters() {
+        let mut rng = Rng::seed_from_u64(2);
+        let c = dataset::clustered(800, 8, 4, 0.1, &mut rng);
+        let p = partition(&c.vectors, 4, PartitionPolicy::IndexGuided, 7).unwrap();
+        // Points of the same generator cluster should overwhelmingly land
+        // in the same shard.
+        let mut agreements = 0usize;
+        let mut total = 0usize;
+        for cluster in 0..4 {
+            let shard_of: Vec<usize> = (0..800)
+                .filter(|&i| c.assignments[i] == cluster)
+                .map(|i| p.assignment[i])
+                .collect();
+            let mut counts = std::collections::HashMap::new();
+            for &s in &shard_of {
+                *counts.entry(s).or_insert(0usize) += 1;
+            }
+            let majority = counts.values().copied().max().unwrap_or(0);
+            agreements += majority;
+            total += shard_of.len();
+        }
+        assert!(
+            agreements as f64 / total as f64 > 0.95,
+            "cluster/shard agreement {agreements}/{total}"
+        );
+    }
+
+    #[test]
+    fn routing_prefers_near_shards() {
+        let mut rng = Rng::seed_from_u64(3);
+        let c = dataset::clustered(800, 8, 4, 0.1, &mut rng);
+        let p = partition(&c.vectors, 4, PartitionPolicy::IndexGuided, 7).unwrap();
+        // A query at a cluster center routes first to that cluster's shard.
+        for cluster in 0..4 {
+            let q = c.centers.get(cluster);
+            let first = p.route(q)[0];
+            // The first-routed shard should hold the majority of this
+            // cluster's points.
+            let members: Vec<usize> =
+                (0..800).filter(|&i| c.assignments[i] == cluster).collect();
+            let in_first = members.iter().filter(|&&i| p.assignment[i] == first).count();
+            assert!(in_first * 2 > members.len(), "cluster {cluster} routed to shard {first}");
+        }
+    }
+
+    #[test]
+    fn uniform_routing_is_identity_order() {
+        let mut rng = Rng::seed_from_u64(4);
+        let data = dataset::gaussian(100, 4, &mut rng);
+        let p = partition(&data, 3, PartitionPolicy::Uniform, 7).unwrap();
+        assert_eq!(p.route(&[0.0; 4]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_rows_partition_the_collection() {
+        let mut rng = Rng::seed_from_u64(5);
+        let data = dataset::gaussian(100, 4, &mut rng);
+        let p = partition(&data, 3, PartitionPolicy::IndexGuided, 7).unwrap();
+        let mut all: Vec<usize> = (0..p.n_shards).flat_map(|s| p.shard_rows(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut rng = Rng::seed_from_u64(6);
+        let data = dataset::gaussian(10, 4, &mut rng);
+        assert!(partition(&data, 0, PartitionPolicy::Uniform, 1).is_err());
+        assert!(partition(&Vectors::new(4), 2, PartitionPolicy::Uniform, 1).is_err());
+    }
+
+    #[test]
+    fn more_shards_than_rows_clamps() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data = dataset::gaussian(3, 4, &mut rng);
+        let p = partition(&data, 10, PartitionPolicy::Uniform, 1).unwrap();
+        assert!(p.n_shards <= 3);
+    }
+}

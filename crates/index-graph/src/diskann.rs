@@ -1,0 +1,571 @@
+//! DiskANN (Subramanya et al.; §2.2(2) "disk-resident Vamana").
+//!
+//! The Vamana graph lives on disk: each node is a fixed-size record
+//! `[degree, neighbors[R], vector[d]]` packed into pages, so expanding one
+//! node during search costs exactly one page read. Navigation uses
+//! in-memory PQ codes (ADC distances steer the frontier without I/O);
+//! exact distances come free with each record read and form the result.
+//! Queries therefore cost ~`beam_width` page reads — the metric
+//! experiment F7 reports under different cache budgets.
+
+use crate::vamana::VamanaIndex;
+use vdb_quant::{KMeans, KMeansConfig};
+use std::path::Path;
+use std::sync::Arc;
+use vdb_core::bitset::VisitedSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_quant::{PqConfig, ProductQuantizer};
+use vdb_storage::{Page, PageCache, PagedFile, PageId, PAGE_SIZE};
+
+const MAGIC: u32 = 0x4449_534B; // "DISK"
+
+/// Build-time configuration.
+#[derive(Debug, Clone)]
+pub struct DiskAnnConfig {
+    /// PQ subspaces for the in-memory navigation codes.
+    pub pq_m: usize,
+    /// Coarse clusters for *residual* navigation codes: quantizing
+    /// `v - centroid` (the IVFADC trick) keeps the codes discriminative
+    /// within clusters, where raw-vector PQ cells would be far wider than
+    /// true neighbor distances.
+    pub nav_nlist: usize,
+    /// Page-cache budget in pages.
+    pub cache_pages: usize,
+}
+
+impl Default for DiskAnnConfig {
+    fn default() -> Self {
+        DiskAnnConfig { pq_m: 8, nav_nlist: 64, cache_pages: 128 }
+    }
+}
+
+/// The disk-resident index.
+pub struct DiskAnnIndex {
+    dim: usize,
+    n: usize,
+    r: usize,
+    start: usize,
+    metric: Metric,
+    pq: ProductQuantizer,
+    /// Coarse centroids of the residual navigation codes.
+    nav_centroids: vdb_core::vector::Vectors,
+    /// Coarse-cluster assignment per node.
+    nav_assign: Vec<u32>,
+    /// In-memory residual PQ codes, `n × m` bytes.
+    codes: Vec<u8>,
+    cache: Arc<PageCache>,
+    records_per_page: usize,
+    data_start: u64,
+}
+
+impl DiskAnnIndex {
+    /// Serialize a built Vamana graph to `path` and open it.
+    pub fn build<P: AsRef<Path>>(
+        path: P,
+        vamana: &VamanaIndex,
+        cfg: &DiskAnnConfig,
+    ) -> Result<Self> {
+        let vectors = vamana.vectors();
+        let dim = vectors.dim();
+        let n = vectors.len();
+        // Size records by the *actual* maximum out-degree: connectivity
+        // repair can push a few nodes past the configured R, and truncating
+        // those edges would disconnect the on-disk graph.
+        let r = (0..n)
+            .map(|u| vamana.adjacency().neighbors(u).len())
+            .max()
+            .unwrap_or(0)
+            .max(vamana.config().r);
+        let record_bytes = 4 + r * 4 + dim * 4;
+        if record_bytes > PAGE_SIZE {
+            return Err(Error::Unsupported(format!(
+                "node record ({record_bytes} B) exceeds a page; reduce R or dim"
+            )));
+        }
+        if !dim.is_multiple_of(cfg.pq_m) {
+            return Err(Error::InvalidParameter(format!(
+                "pq_m={} must divide dim {dim}",
+                cfg.pq_m
+            )));
+        }
+        if cfg.nav_nlist == 0 {
+            return Err(Error::InvalidParameter("nav_nlist must be positive".into()));
+        }
+        // Train the residual navigation codes: coarse k-means, then PQ on
+        // the residuals (the IVFADC trick applied to graph navigation).
+        let coarse = KMeans::train(
+            vectors,
+            &KMeansConfig { k: cfg.nav_nlist, max_iters: 12, tolerance: 1e-4, seed: 0xD15C },
+        )?;
+        let nav_centroids = coarse.centroids().clone();
+        let mut nav_assign = Vec::with_capacity(n);
+        let mut residuals = vdb_core::vector::Vectors::with_capacity(dim, n);
+        let mut buf = vec![0.0f32; dim];
+        for row in vectors.iter() {
+            let c = coarse.assign(row).0;
+            nav_assign.push(c as u32);
+            let cent = nav_centroids.get(c);
+            for i in 0..dim {
+                buf[i] = row[i] - cent[i];
+            }
+            residuals.push(&buf)?;
+        }
+        let pq = ProductQuantizer::train(&residuals, &PqConfig::new(cfg.pq_m))?;
+        let m = pq.code_len();
+        let mut codes = vec![0u8; n * m];
+        for (i, row) in residuals.iter().enumerate() {
+            pq.encode_into(row, &mut codes[i * m..(i + 1) * m])?;
+        }
+        let nlist = nav_centroids.len();
+
+        // Layout.
+        let records_per_page = PAGE_SIZE / record_bytes;
+        let ksub = pq.ksub();
+        let dsub = dim / m;
+        let codebook_pages = (m * ksub * dsub * 4).div_ceil(PAGE_SIZE) as u64;
+        let centroid_pages = (nlist * dim * 4).div_ceil(PAGE_SIZE) as u64;
+        let assign_pages = (n * 4).div_ceil(PAGE_SIZE) as u64;
+        let code_pages = (n * m).div_ceil(PAGE_SIZE) as u64;
+        let data_pages = (n as u64).div_ceil(records_per_page as u64);
+        let file = Arc::new(PagedFile::create(path)?);
+        file.allocate(1 + codebook_pages + centroid_pages + assign_pages + code_pages + data_pages)?;
+
+        let mut header = Page::zeroed();
+        header.write_u32(0, MAGIC);
+        header.write_u32(4, dim as u32);
+        header.write_u32(8, n as u32);
+        header.write_u32(12, r as u32);
+        header.write_u32(16, vamana.start() as u32);
+        header.write_u32(20, m as u32);
+        header.write_u32(24, ksub as u32);
+        header.write_u32(28, nlist as u32);
+        file.write_page(PageId(0), &header)?;
+
+        // Codebooks.
+        let mut cb_bytes = Vec::with_capacity(m * ksub * dsub * 4);
+        for &x in pq.codebooks() {
+            cb_bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        write_run(&file, 1, &cb_bytes)?;
+        // Coarse centroids + assignments + codes.
+        let mut cent_bytes = Vec::with_capacity(nlist * dim * 4);
+        for &x in nav_centroids.as_flat() {
+            cent_bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        write_run(&file, 1 + codebook_pages, &cent_bytes)?;
+        let mut assign_bytes = Vec::with_capacity(n * 4);
+        for &a in &nav_assign {
+            assign_bytes.extend_from_slice(&a.to_le_bytes());
+        }
+        write_run(&file, 1 + codebook_pages + centroid_pages, &assign_bytes)?;
+        write_run(&file, 1 + codebook_pages + centroid_pages + assign_pages, &codes)?;
+
+        // Node records.
+        let data_start = 1 + codebook_pages + centroid_pages + assign_pages + code_pages;
+        let adj = vamana.adjacency();
+        let mut page = Page::zeroed();
+        let mut current = u64::MAX;
+        for u in 0..n {
+            let pid = data_start + (u / records_per_page) as u64;
+            if pid != current {
+                if current != u64::MAX {
+                    file.write_page(PageId(current), &page)?;
+                }
+                page = Page::zeroed();
+                current = pid;
+            }
+            let base = (u % records_per_page) * record_bytes;
+            let nbrs = adj.neighbors(u);
+            page.write_u32(base, nbrs.len().min(r) as u32);
+            for (j, &v) in nbrs.iter().take(r).enumerate() {
+                page.write_u32(base + 4 + j * 4, v);
+            }
+            let v = vectors.get(u);
+            for (j, &x) in v.iter().enumerate() {
+                page.write_f32(base + 4 + r * 4 + j * 4, x);
+            }
+        }
+        if current != u64::MAX {
+            file.write_page(PageId(current), &page)?;
+        }
+        file.sync()?;
+
+        Ok(DiskAnnIndex {
+            dim,
+            n,
+            r,
+            start: vamana.start(),
+            metric: vamana.metric().clone(),
+            pq,
+            nav_centroids,
+            nav_assign,
+            codes,
+            cache: Arc::new(PageCache::new(file, cfg.cache_pages)),
+            records_per_page,
+            data_start,
+        })
+    }
+
+    /// Reopen a previously built index.
+    pub fn open<P: AsRef<Path>>(path: P, metric: Metric, cache_pages: usize) -> Result<Self> {
+        let file = Arc::new(PagedFile::open(path)?);
+        let header = file.read_page(PageId(0))?;
+        if header.read_u32(0) != MAGIC {
+            return Err(Error::Corrupt("bad DiskANN magic".into()));
+        }
+        let dim = header.read_u32(4) as usize;
+        let n = header.read_u32(8) as usize;
+        let r = header.read_u32(12) as usize;
+        let start = header.read_u32(16) as usize;
+        let m = header.read_u32(20) as usize;
+        let ksub = header.read_u32(24) as usize;
+        let nlist = header.read_u32(28) as usize;
+        if dim == 0 || m == 0 || !dim.is_multiple_of(m) || nlist == 0 {
+            return Err(Error::Corrupt("bad DiskANN header".into()));
+        }
+        metric.validate(dim)?;
+        let dsub = dim / m;
+        let codebook_pages = (m * ksub * dsub * 4).div_ceil(PAGE_SIZE) as u64;
+        let centroid_pages = (nlist * dim * 4).div_ceil(PAGE_SIZE) as u64;
+        let assign_pages = (n * 4).div_ceil(PAGE_SIZE) as u64;
+        let code_pages = (n * m).div_ceil(PAGE_SIZE) as u64;
+        let cb_bytes = read_run(&file, 1, m * ksub * dsub * 4)?;
+        let codebooks: Vec<f32> = cb_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let pq = ProductQuantizer::from_parts(dim, m, ksub, codebooks)?;
+        let cent_bytes = read_run(&file, 1 + codebook_pages, nlist * dim * 4)?;
+        let nav_centroids = vdb_core::vector::Vectors::from_flat(
+            dim,
+            cent_bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        )?;
+        let assign_bytes = read_run(&file, 1 + codebook_pages + centroid_pages, n * 4)?;
+        let nav_assign: Vec<u32> = assign_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let codes =
+            read_run(&file, 1 + codebook_pages + centroid_pages + assign_pages, n * m)?;
+        let record_bytes = 4 + r * 4 + dim * 4;
+        Ok(DiskAnnIndex {
+            dim,
+            n,
+            r,
+            start,
+            metric,
+            pq,
+            nav_centroids,
+            nav_assign,
+            codes,
+            cache: Arc::new(PageCache::new(file, cache_pages)),
+            records_per_page: PAGE_SIZE / record_bytes,
+            data_start: 1 + codebook_pages + centroid_pages + assign_pages + code_pages,
+        })
+    }
+
+    /// The page cache (F7 instrumentation).
+    pub fn cache(&self) -> &Arc<PageCache> {
+        &self.cache
+    }
+
+    /// Bytes of memory-resident navigation state per vector.
+    pub fn memory_bytes_per_vector(&self) -> usize {
+        self.pq.code_len()
+    }
+
+    /// Read node `u`'s record: (neighbors, exact distance to `query`).
+    fn read_node(&self, u: usize, query: &[f32]) -> Result<(Vec<u32>, f32)> {
+        let record_bytes = 4 + self.r * 4 + self.dim * 4;
+        let pid = self.data_start + (u / self.records_per_page) as u64;
+        let page = self.cache.read(PageId(pid))?;
+        let base = (u % self.records_per_page) * record_bytes;
+        let degree = page.read_u32(base) as usize;
+        let mut nbrs = Vec::with_capacity(degree);
+        for j in 0..degree.min(self.r) {
+            nbrs.push(page.read_u32(base + 4 + j * 4));
+        }
+        // Exact distance from the stored vector.
+        let voff = base + 4 + self.r * 4;
+        let dist = match self.metric {
+            Metric::SquaredEuclidean | Metric::Euclidean => {
+                let mut acc = 0.0f32;
+                for j in 0..self.dim {
+                    let d = page.read_f32(voff + j * 4) - query[j];
+                    acc += d * d;
+                }
+                if matches!(self.metric, Metric::Euclidean) {
+                    acc.sqrt()
+                } else {
+                    acc
+                }
+            }
+            _ => {
+                let mut v = vec![0.0f32; self.dim];
+                for (j, o) in v.iter_mut().enumerate() {
+                    *o = page.read_f32(voff + j * 4);
+                }
+                self.metric.distance(query, &v)
+            }
+        };
+        Ok((nbrs, dist))
+    }
+
+    fn scan(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&dyn RowFilter>,
+    ) -> Result<Vec<Neighbor>> {
+        let beam = params.beam_width.max(k);
+        let m = self.pq.code_len();
+        // Residual codes need one ADC table per coarse cluster, built from
+        // the query's residual against that cluster's centroid. Tables are
+        // materialized lazily: a query touches only a handful of clusters.
+        let mut tables: Vec<Option<vdb_quant::AdcTable>> =
+            std::iter::repeat_with(|| None).take(self.nav_centroids.len()).collect();
+        let mut residual = vec![0.0f32; self.dim];
+        let mut adc = |u: usize, tables: &mut Vec<Option<vdb_quant::AdcTable>>| -> Result<f32> {
+            let c = self.nav_assign[u] as usize;
+            if tables[c].is_none() {
+                let cent = self.nav_centroids.get(c);
+                for i in 0..self.dim {
+                    residual[i] = query[i] - cent[i];
+                }
+                tables[c] = Some(self.pq.adc_table(&residual)?);
+            }
+            Ok(tables[c].as_ref().expect("just built").distance(&self.codes[u * m..(u + 1) * m]))
+        };
+
+        // Candidate list ordered by ADC distance; expand the closest
+        // unexpanded entry (one page read each) until the top `beam` are
+        // all expanded — the DiskANN search loop.
+        let mut visited = VisitedSet::new(self.n);
+        let mut cands: Vec<(f32, usize, bool)> = Vec::with_capacity(beam * 2);
+        visited.visit(self.start);
+        let d0 = adc(self.start, &mut tables)?;
+        cands.push((d0, self.start, false));
+        let mut exact = TopK::new(k.max(params.rerank.min(beam)));
+        // Expand the closest unexpanded candidate within the top `beam`
+        // until none remains (the DiskANN search loop).
+        while let Some(pos) =
+            cands.iter().take(beam).position(|&(_, _, expanded)| !expanded)
+        {
+            cands[pos].2 = true;
+            let u = cands[pos].1;
+            let (nbrs, dist) = self.read_node(u, query)?;
+            let accept = filter.is_none_or(|f| f.accept(u));
+            if accept {
+                exact.push(Neighbor::new(u, dist));
+            }
+            for &v in &nbrs {
+                let v = v as usize;
+                if !visited.visit(v) {
+                    continue;
+                }
+                let d = adc(v, &mut tables)?;
+                // Insert in sorted position.
+                let at = cands.partition_point(|&(cd, _, _)| cd <= d);
+                cands.insert(at, (d, v, false));
+            }
+            if cands.len() > beam * 4 {
+                cands.truncate(beam * 4);
+            }
+        }
+        let mut out = exact.into_sorted();
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+impl VectorIndex for DiskAnnIndex {
+    fn name(&self) -> &'static str {
+        "diskann"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim, query)?;
+        if k == 0 || self.n == 0 {
+            return Ok(Vec::new());
+        }
+        self.scan(query, k, params, None)
+    }
+
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim, query)?;
+        if k == 0 || self.n == 0 {
+            return Ok(Vec::new());
+        }
+        self.scan(query, k, params, Some(filter))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            memory_bytes: self.codes.len() + self.pq.memory_bytes(),
+            structure_entries: self.n,
+            detail: format!("r={} pq_m={}", self.r, self.pq.m()),
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskAnnIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DiskAnnIndex(n={}, r={})", self.n, self.r)
+    }
+}
+
+fn write_run(file: &PagedFile, start_page: u64, bytes: &[u8]) -> Result<()> {
+    for (i, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+        let mut page = Page::zeroed();
+        page.bytes_mut()[..chunk.len()].copy_from_slice(chunk);
+        file.write_page(PageId(start_page + i as u64), &page)?;
+    }
+    Ok(())
+}
+
+fn read_run(file: &PagedFile, start_page: u64, len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len.div_ceil(PAGE_SIZE) {
+        let page = file.read_page(PageId(start_page + i as u64))?;
+        let take = (len - out.len()).min(PAGE_SIZE);
+        out.extend_from_slice(&page.bytes()[..take]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vamana::{VamanaConfig, VamanaIndex};
+    use vdb_core::dataset;
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+    use vdb_core::vector::Vectors;
+    use vdb_storage::TempDir;
+
+    fn setup(cache_pages: usize) -> (TempDir, DiskAnnIndex, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(70);
+        let data = dataset::clustered(1500, 16, 10, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let vam = VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
+        let dir = TempDir::new("diskann").unwrap();
+        let idx = DiskAnnIndex::build(
+            dir.file("d.idx"),
+            &vam,
+            &DiskAnnConfig { pq_m: 8, nav_nlist: 64, cache_pages },
+        )
+        .unwrap();
+        (dir, idx, queries, gt)
+    }
+
+    #[test]
+    fn high_recall_from_disk() {
+        let (_d, idx, queries, gt) = setup(256);
+        let params = SearchParams::default().with_beam_width(64);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r > 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn io_per_query_close_to_beam_width() {
+        let (_d, idx, queries, _) = setup(0); // cache disabled: count raw reads
+        let params = SearchParams::default().with_beam_width(32);
+        idx.cache().reset_stats();
+        let nq = queries.len() as u64;
+        for q in queries.iter() {
+            idx.search(q, 10, &params).unwrap();
+        }
+        let reads = idx.cache().stats().misses;
+        let per_query = reads as f64 / nq as f64;
+        assert!(
+            per_query < 100.0,
+            "page reads per query should be bounded near the beam width, got {per_query}"
+        );
+        assert!(per_query >= 16.0, "a real traversal reads many nodes, got {per_query}");
+    }
+
+    #[test]
+    fn warm_cache_eliminates_most_io() {
+        let (_d, idx, queries, _) = setup(100_000);
+        let params = SearchParams::default().with_beam_width(32);
+        for q in queries.iter() {
+            idx.search(q, 10, &params).unwrap();
+        }
+        idx.cache().reset_stats();
+        for q in queries.iter() {
+            idx.search(q, 10, &params).unwrap();
+        }
+        assert!(idx.cache().stats().hit_ratio() > 0.95);
+    }
+
+    #[test]
+    fn reopen_matches_built() {
+        let mut rng = Rng::seed_from_u64(71);
+        let data = dataset::clustered(500, 8, 6, 0.4, &mut rng).vectors;
+        let vam = VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
+        let dir = TempDir::new("diskann-reopen").unwrap();
+        let path = dir.file("r.idx");
+        let built = DiskAnnIndex::build(&path, &vam, &DiskAnnConfig::default()).unwrap();
+        let params = SearchParams::default().with_beam_width(32);
+        let q = data.get(7);
+        let before = built.search(q, 5, &params).unwrap();
+        drop(built);
+        let reopened = DiskAnnIndex::open(&path, Metric::Euclidean, 64).unwrap();
+        assert_eq!(reopened.len(), 500);
+        let after = reopened.search(q, 5, &params).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn memory_footprint_is_codes_not_vectors() {
+        let (_d, idx, _, _) = setup(64);
+        // 8 bytes of PQ code per vector vs 64 bytes of raw vector.
+        assert_eq!(idx.memory_bytes_per_vector(), 8);
+        assert!(idx.stats().memory_bytes < idx.len() * 16 * 4 / 2);
+    }
+
+    #[test]
+    fn filtered_search_respects_predicate() {
+        let (_d, idx, queries, _) = setup(256);
+        let filter = |id: usize| id.is_multiple_of(2);
+        let params = SearchParams::default().with_beam_width(64);
+        let hits = idx.search_filtered(queries.get(0), 5, &params, &filter).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|n| n.id % 2 == 0));
+    }
+
+    #[test]
+    fn corrupt_file_detected() {
+        let dir = TempDir::new("diskann-bad").unwrap();
+        let path = dir.file("bad.idx");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(DiskAnnIndex::open(&path, Metric::Euclidean, 4), Err(Error::Corrupt(_))));
+    }
+}

@@ -1,0 +1,368 @@
+//! Attribute-aware graph construction for hybrid queries (§2.3(1)):
+//! a stitched Vamana in the spirit of Filtered-DiskANN / HQANN.
+//!
+//! Blocking a graph index online can disconnect it (the failure mode the
+//! paper highlights). The fix reproduced here: consider attribute values
+//! *during edge selection*. Each label's subset gets its own Vamana
+//! subgraph (guaranteeing per-label connectivity), stitched into one
+//! global graph; a label-constrained search then runs **block-first** over
+//! the stitched graph — it never leaves the label's subgraph, and cannot
+//! get stranded, because that subgraph is connected by construction.
+
+use crate::graph::{beam_search, robust_prune, AdjacencyList};
+use crate::vamana::{VamanaConfig, VamanaIndex};
+use std::collections::HashMap;
+use vdb_core::bitset::VisitedSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{check_query, IndexStats, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::Neighbor;
+use vdb_core::vector::Vectors;
+
+/// Build-time configuration.
+#[derive(Debug, Clone)]
+pub struct StitchedConfig {
+    /// Configuration of the per-label and global Vamana builds.
+    pub vamana: VamanaConfig,
+    /// Degree cap of the stitched graph (the union may exceed per-graph
+    /// caps; it is re-pruned to this bound).
+    pub stitched_degree: usize,
+}
+
+impl Default for StitchedConfig {
+    fn default() -> Self {
+        StitchedConfig { vamana: VamanaConfig::default(), stitched_degree: 40 }
+    }
+}
+
+/// A label-aware stitched Vamana graph.
+pub struct StitchedVamanaIndex {
+    vectors: Vectors,
+    metric: Metric,
+    labels: Vec<u32>,
+    adj: AdjacencyList,
+    /// Per-label entry points (subset medoids, in global ids).
+    entries: HashMap<u32, usize>,
+    /// Global entry (whole-collection medoid).
+    global_entry: usize,
+    cfg: StitchedConfig,
+}
+
+impl StitchedVamanaIndex {
+    /// Build from vectors plus one label per vector.
+    pub fn build(
+        vectors: Vectors,
+        labels: Vec<u32>,
+        metric: Metric,
+        cfg: StitchedConfig,
+    ) -> Result<Self> {
+        if vectors.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        if labels.len() != vectors.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} labels for {} vectors",
+                labels.len(),
+                vectors.len()
+            )));
+        }
+        if cfg.stitched_degree == 0 {
+            return Err(Error::InvalidParameter("stitched degree must be positive".into()));
+        }
+        metric.validate(vectors.dim())?;
+        let n = vectors.len();
+
+        // Group rows by label.
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (row, &l) in labels.iter().enumerate() {
+            groups.entry(l).or_default().push(row);
+        }
+
+        // Global graph for unfiltered queries.
+        let global = VamanaIndex::build(vectors.clone(), metric.clone(), cfg.vamana.clone())?;
+        let global_entry = global.start();
+        let mut adj = AdjacencyList::new(n);
+        for u in 0..n {
+            for &v in global.adjacency().neighbors(u) {
+                adj.add_edge(u, v);
+            }
+        }
+
+        // Per-label subgraphs, stitched in via id remapping.
+        let mut entries = HashMap::new();
+        for (&label, rows) in &groups {
+            if rows.len() == 1 {
+                entries.insert(label, rows[0]);
+                continue;
+            }
+            let subset = vectors.select(rows);
+            let mut sub_cfg = cfg.vamana.clone();
+            sub_cfg.r = sub_cfg.r.min(rows.len().saturating_sub(1)).max(1);
+            let sub = VamanaIndex::build(subset, metric.clone(), sub_cfg)?;
+            entries.insert(label, rows[sub.start()]);
+            for (local_u, &global_u) in rows.iter().enumerate() {
+                for &local_v in sub.adjacency().neighbors(local_u) {
+                    adj.add_edge(global_u, rows[local_v as usize] as u32);
+                }
+            }
+        }
+
+        // Re-prune nodes whose stitched degree overflows. Same-label edges
+        // are exempt from pruning: they carry the connectivity guarantee.
+        for u in 0..n {
+            if adj.neighbors(u).len() <= cfg.stitched_degree {
+                continue;
+            }
+            let (same, other): (Vec<u32>, Vec<u32>) = adj
+                .neighbors(u)
+                .iter()
+                .partition(|&&v| labels[v as usize] == labels[u]);
+            let room = cfg.stitched_degree.saturating_sub(same.len());
+            let cands: Vec<Neighbor> = other
+                .iter()
+                .map(|&v| {
+                    Neighbor::new(v as usize, metric.distance(vectors.get(u), vectors.get(v as usize)))
+                })
+                .collect();
+            let mut kept = same;
+            if room > 0 {
+                kept.extend(robust_prune(&vectors, &metric, u, cands, 1.2, room));
+            }
+            adj.set_neighbors(u, kept);
+        }
+
+        Ok(StitchedVamanaIndex { vectors, metric, labels, adj, entries, global_entry, cfg })
+    }
+
+    /// The label of row `u`.
+    pub fn label(&self, u: usize) -> u32 {
+        self.labels[u]
+    }
+
+    /// Label-constrained search: block-first over the stitched graph —
+    /// traversal stays inside `label`'s (connected) subgraph.
+    pub fn search_with_label(
+        &self,
+        query: &[f32],
+        label: u32,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let Some(&entry) = self.entries.get(&label) else {
+            return Ok(Vec::new()); // no rows carry the label
+        };
+        // Block-first over the stitched graph: foreign-label nodes are
+        // masked from traversal; per-label connectivity makes this safe.
+        let mut visited = VisitedSet::new(self.vectors.len());
+        let labels = &self.labels;
+        Ok(crate::graph::beam_search_blocked(
+            &self.adj,
+            &self.vectors,
+            &self.metric,
+            query,
+            &[entry],
+            k,
+            params.beam_width,
+            &mut visited,
+            &move |id: usize| labels[id] == label,
+            None,
+        ))
+    }
+
+    /// Adjacency diagnostics.
+    pub fn adjacency(&self) -> &AdjacencyList {
+        &self.adj
+    }
+
+    /// Check that every label's subgraph is internally connected when
+    /// foreign nodes are blocked (the construction guarantee).
+    pub fn label_subgraph_connected(&self, label: u32) -> bool {
+        let rows: Vec<usize> = (0..self.len()).filter(|&u| self.labels[u] == label).collect();
+        if rows.is_empty() {
+            return true;
+        }
+        let Some(&entry) = self.entries.get(&label) else { return false };
+        let mut seen: HashMap<usize, ()> = HashMap::new();
+        let mut stack = vec![entry];
+        seen.insert(entry, ());
+        while let Some(u) = stack.pop() {
+            for &v in self.adj.neighbors(u) {
+                let v = v as usize;
+                if self.labels[v] == label && !seen.contains_key(&v) {
+                    seen.insert(v, ());
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == rows.len()
+    }
+}
+
+impl VectorIndex for StitchedVamanaIndex {
+    fn name(&self) -> &'static str {
+        "stitched_vamana"
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut visited = VisitedSet::new(self.vectors.len());
+        Ok(beam_search(
+            &self.adj,
+            &self.vectors,
+            &self.metric,
+            query,
+            &[self.global_entry],
+            k,
+            params.beam_width,
+            &mut visited,
+            None,
+        ))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            memory_bytes: self.adj.memory_bytes() + self.labels.len() * 4,
+            structure_entries: self.adj.edge_count(),
+            detail: format!(
+                "labels={} stitched_degree={} mean_degree={:.1}",
+                self.entries.len(),
+                self.cfg.stitched_degree,
+                self.adj.mean_degree()
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for StitchedVamanaIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StitchedVamanaIndex(n={}, labels={})", self.len(), self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::flat::FlatIndex;
+    use vdb_core::rng::Rng;
+
+    fn setup(n_labels: u32) -> (StitchedVamanaIndex, Vectors, Vec<u32>) {
+        let mut rng = Rng::seed_from_u64(80);
+        let data = dataset::clustered(1500, 12, 8, 0.5, &mut rng).vectors;
+        let labels: Vec<u32> = (0..data.len()).map(|_| rng.below(n_labels as usize) as u32).collect();
+        let idx = StitchedVamanaIndex::build(
+            data.clone(),
+            labels.clone(),
+            Metric::Euclidean,
+            StitchedConfig::default(),
+        )
+        .unwrap();
+        (idx, data, labels)
+    }
+
+    #[test]
+    fn every_label_subgraph_connected() {
+        let (idx, _, labels) = setup(4);
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for l in distinct {
+            assert!(idx.label_subgraph_connected(l), "label {l} subgraph disconnected");
+        }
+    }
+
+    #[test]
+    fn label_search_matches_filtered_oracle() {
+        let (idx, data, labels) = setup(4);
+        let flat = FlatIndex::build(data.clone(), Metric::Euclidean).unwrap();
+        let params = SearchParams::default().with_beam_width(64);
+        let mut rng = Rng::seed_from_u64(81);
+        let queries = dataset::split_queries(&data, 15, 0.05, &mut rng);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let label = (qi % 4) as u32;
+            let hits = idx.search_with_label(q, label, 10, &params).unwrap();
+            assert!(hits.iter().all(|n| labels[n.id] == label));
+            let labels_ref = &labels;
+            let oracle = flat
+                .search_filtered(q, 10, &params, &move |id: usize| labels_ref[id] == label)
+                .unwrap();
+            let oset: std::collections::HashSet<_> = oracle.iter().map(|n| n.id).collect();
+            hit += hits.iter().filter(|n| oset.contains(&n.id)).count();
+            total += oracle.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.9, "label-constrained recall {recall}");
+    }
+
+    #[test]
+    fn unknown_label_returns_empty() {
+        let (idx, data, _) = setup(3);
+        let hits = idx.search_with_label(data.get(0), 999, 5, &SearchParams::default()).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn unfiltered_search_still_works() {
+        let (idx, data, _) = setup(3);
+        let hits = idx.search(data.get(5), 3, &SearchParams::default().with_beam_width(64)).unwrap();
+        assert_eq!(hits[0].id, 5);
+    }
+
+    #[test]
+    fn degree_cap_honored_for_cross_label_edges() {
+        let (idx, _, labels) = setup(4);
+        for u in 0..idx.len() {
+            let foreign = idx
+                .adjacency()
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| labels[v as usize] != labels[u])
+                .count();
+            assert!(
+                foreign <= StitchedConfig::default().stitched_degree,
+                "node {u} has {foreign} foreign edges"
+            );
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut data = Vectors::new(2);
+        data.push(&[0.0, 0.0]).unwrap();
+        assert!(StitchedVamanaIndex::build(
+            data.clone(),
+            vec![0, 1],
+            Metric::Euclidean,
+            StitchedConfig::default()
+        )
+        .is_err());
+        assert!(StitchedVamanaIndex::build(
+            Vectors::new(2),
+            vec![],
+            Metric::Euclidean,
+            StitchedConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! Hierarchical navigable small world graphs (Malkov & Yashunin; §2.2(3)).
+//!
+//! Each node draws a maximum layer from an exponentially decaying
+//! distribution; upper layers form progressively sparser graphs that act
+//! as an express network. A query greedily descends from the top layer to
+//! layer 1, then runs a beam search on the dense bottom layer. Neighbor
+//! sets are chosen with the robust-prune heuristic (α = 1) to avoid the
+//! degree explosion of a flat NSW.
+
+use crate::graph::{beam_search, beam_search_filtered, robust_prune, AdjacencyList};
+use vdb_core::bitset::VisitedSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{
+    check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
+};
+use vdb_core::metric::Metric;
+use vdb_core::rng::Rng;
+use vdb_core::topk::Neighbor;
+use vdb_core::vector::Vectors;
+
+/// Build-time configuration.
+#[derive(Debug, Clone)]
+pub struct HnswConfig {
+    /// Target degree on upper layers (layer 0 allows `2m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Level multiplier; the canonical choice `1/ln(m)` is used when None.
+    pub level_mult: Option<f64>,
+    /// RNG seed for level draws.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 128, level_mult: None, seed: 0x9A75 }
+    }
+}
+
+/// The HNSW index.
+pub struct HnswIndex {
+    vectors: Vectors,
+    metric: Metric,
+    cfg: HnswConfig,
+    mult: f64,
+    /// `layers[l]` holds the adjacency of layer `l` (same node id space).
+    layers: Vec<AdjacencyList>,
+    /// Maximum layer of each node.
+    levels: Vec<usize>,
+    /// Highest-layer node, the global entry point.
+    entry: usize,
+    rng: Rng,
+}
+
+impl HnswIndex {
+    /// Create an empty index.
+    pub fn new(dim: usize, metric: Metric, cfg: HnswConfig) -> Result<Self> {
+        if cfg.m == 0 {
+            return Err(Error::InvalidParameter("m must be positive".into()));
+        }
+        metric.validate(dim)?;
+        let mult = cfg.level_mult.unwrap_or(1.0 / (cfg.m as f64).ln().max(0.1));
+        let rng = Rng::seed_from_u64(cfg.seed);
+        Ok(HnswIndex {
+            vectors: Vectors::new(dim),
+            metric,
+            cfg,
+            mult,
+            layers: vec![AdjacencyList::default()],
+            levels: Vec::new(),
+            entry: 0,
+            rng,
+        })
+    }
+
+    /// Build by inserting every vector.
+    pub fn build(vectors: Vectors, metric: Metric, cfg: HnswConfig) -> Result<Self> {
+        let mut idx = HnswIndex::new(vectors.dim(), metric, cfg)?;
+        for row in vectors.iter() {
+            idx.insert(row)?;
+        }
+        Ok(idx)
+    }
+
+    /// Number of layers currently in use.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer adjacency (diagnostics / ablations).
+    pub fn layer(&self, l: usize) -> &AdjacencyList {
+        &self.layers[l]
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.cfg.m * 2
+        } else {
+            self.cfg.m
+        }
+    }
+
+    /// Greedy descent through the upper layers, returning the entry for
+    /// the target layer.
+    fn descend(&self, query: &[f32], from_layer: usize, to_layer: usize) -> usize {
+        let mut cur = self.entry;
+        let mut cur_d = self.metric.distance(query, self.vectors.get(cur));
+        for l in (to_layer + 1..=from_layer).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in self.layers[l].neighbors(cur) {
+                    let d = self.metric.distance(query, self.vectors.get(nb as usize));
+                    if d < cur_d {
+                        cur_d = d;
+                        cur = nb as usize;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Prune node `u` at `layer` down to the degree cap with the heuristic.
+    fn shrink(&mut self, u: usize, layer: usize) {
+        let cap = self.max_degree(layer);
+        if self.layers[layer].neighbors(u).len() <= cap {
+            return;
+        }
+        let cands: Vec<Neighbor> = self.layers[layer]
+            .neighbors(u)
+            .iter()
+            .map(|&v| {
+                Neighbor::new(v as usize, self.metric.distance(self.vectors.get(u), self.vectors.get(v as usize)))
+            })
+            .collect();
+        let kept = robust_prune(&self.vectors, &self.metric, u, cands, 1.0, cap);
+        self.layers[layer].set_neighbors(u, kept);
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn name(&self) -> &'static str {
+        "hnsw"
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let top = self.levels[self.entry];
+        let entry = self.descend(query, top, 0);
+        let mut visited = VisitedSet::new(self.vectors.len());
+        Ok(beam_search(
+            &self.layers[0],
+            &self.vectors,
+            &self.metric,
+            query,
+            &[entry],
+            k,
+            params.beam_width,
+            &mut visited,
+            None,
+        ))
+    }
+
+    /// Visit-first scan (§2.3(2)): the bottom-layer beam traverses blocked
+    /// nodes but only accepts passing ones; the expansion cap bounds
+    /// backtracking under highly selective predicates.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let top = self.levels[self.entry];
+        let entry = self.descend(query, top, 0);
+        let mut visited = VisitedSet::new(self.vectors.len());
+        // Budget scales inversely with selectivity when known.
+        let cap = match filter.selectivity_hint() {
+            Some(s) if s > 0.0 => {
+                ((params.beam_width as f64 * (1.0 / s).min(64.0)) as usize).max(params.beam_width)
+            }
+            _ => params.beam_width * 16,
+        };
+        Ok(beam_search_filtered(
+            &self.layers[0],
+            &self.vectors,
+            &self.metric,
+            query,
+            &[entry],
+            k,
+            params.beam_width,
+            &mut visited,
+            filter,
+            cap,
+            None,
+        ))
+    }
+
+    /// Block-first scan on the bottom layer: blocked nodes are masked from
+    /// traversal entirely. Fast, but online blocking can disconnect the
+    /// layer — recall degrades at low selectivity (the §2.3 trade-off).
+    fn search_blocked(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let top = self.levels[self.entry];
+        let entry = self.descend(query, top, 0);
+        let mut visited = VisitedSet::new(self.vectors.len());
+        Ok(crate::graph::beam_search_blocked(
+            &self.layers[0],
+            &self.vectors,
+            &self.metric,
+            query,
+            &[entry],
+            k,
+            params.beam_width,
+            &mut visited,
+            filter,
+            None,
+        ))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let edges: usize = self.layers.iter().map(AdjacencyList::edge_count).sum();
+        let bytes: usize = self.layers.iter().map(AdjacencyList::memory_bytes).sum();
+        IndexStats {
+            memory_bytes: bytes + self.levels.len() * 8,
+            structure_entries: edges,
+            detail: format!(
+                "m={} layers={} mean_degree0={:.1}",
+                self.cfg.m,
+                self.layers.len(),
+                self.layers[0].mean_degree()
+            ),
+        }
+    }
+}
+
+impl DynamicIndex for HnswIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let row = self.vectors.push(vector)?;
+        let level = self.rng.hnsw_level(self.mult);
+        while self.layers.len() <= level {
+            let mut l = AdjacencyList::new(row);
+            // Keep node-count parity across layers.
+            while l.len() < row {
+                l.push_node();
+            }
+            self.layers.push(l);
+        }
+        for l in &mut self.layers {
+            l.push_node();
+        }
+        self.levels.push(level);
+        if row == 0 {
+            self.entry = 0;
+            return Ok(0);
+        }
+
+        let top = self.levels[self.entry];
+        let q = self.vectors.get(row).to_vec();
+        // Phase 1: greedy descent to one layer above the node's level.
+        let mut entry = if level < top { self.descend(&q, top, level) } else { self.entry };
+        // Phase 2: beam search + connect on each layer from min(level, top) down.
+        let mut visited = VisitedSet::new(self.vectors.len());
+        for l in (0..=level.min(top)).rev() {
+            let found = beam_search(
+                &self.layers[l],
+                &self.vectors,
+                &self.metric,
+                &q,
+                &[entry],
+                self.cfg.ef_construction,
+                self.cfg.ef_construction,
+                &mut visited,
+                None,
+            );
+            let m = self.cfg.m;
+            let kept = robust_prune(&self.vectors, &self.metric, row, found.clone(), 1.0, m);
+            for &v in &kept {
+                self.layers[l].add_edge(row, v);
+                self.layers[l].add_edge(v as usize, row as u32);
+                self.shrink(v as usize, l);
+            }
+            if let Some(best) = found.first() {
+                entry = best.id;
+            }
+        }
+        if level > top {
+            self.entry = row;
+        }
+        Ok(row)
+    }
+}
+
+impl std::fmt::Debug for HnswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HnswIndex(n={}, m={}, layers={})", self.len(), self.cfg.m, self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::recall::GroundTruth;
+
+    fn setup(n: usize) -> (HnswIndex, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(30);
+        let data = dataset::clustered(n, 16, 10, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 25, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let idx = HnswIndex::build(data, Metric::Euclidean, HnswConfig::default()).unwrap();
+        (idx, queries, gt)
+    }
+
+    #[test]
+    fn high_recall_on_clusters() {
+        let (idx, queries, gt) = setup(3000);
+        let params = SearchParams::default().with_beam_width(64);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r > 0.95, "recall {r}");
+    }
+
+    #[test]
+    fn multiple_layers_form() {
+        let (idx, _, _) = setup(3000);
+        assert!(idx.num_layers() >= 2, "3000 nodes should produce >1 layer");
+        // Upper layers are sparser.
+        assert!(idx.layer(1).edge_count() < idx.layer(0).edge_count());
+    }
+
+    #[test]
+    fn bottom_layer_connected() {
+        let (idx, _, _) = setup(1500);
+        assert_eq!(idx.layer(0).reachable_from(idx.entry), 1500);
+    }
+
+    #[test]
+    fn degree_caps_respected() {
+        let (idx, _, _) = setup(1500);
+        for u in 0..idx.len() {
+            assert!(idx.layer(0).neighbors(u).len() <= 32, "layer0 cap 2m");
+            if idx.num_layers() > 1 {
+                assert!(idx.layer(1).neighbors(u).len() <= 16, "upper cap m");
+            }
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_beam_width() {
+        let (idx, queries, gt) = setup(2000);
+        let r = |ef: usize| {
+            let params = SearchParams::default().with_beam_width(ef);
+            let results: Vec<_> =
+                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            gt.recall_batch(&results)
+        };
+        let lo = r(10);
+        let hi = r(128);
+        assert!(hi >= lo);
+        assert!(hi > 0.95);
+    }
+
+    #[test]
+    fn filtered_search_visit_first() {
+        let (idx, queries, _) = setup(2000);
+        let filter = |id: usize| id.is_multiple_of(10); // 10% selectivity
+        let params = SearchParams::default().with_beam_width(64);
+        for q in queries.iter().take(10) {
+            let hits = idx.search_filtered(q, 5, &params, &filter).unwrap();
+            assert!(hits.iter().all(|n| n.id % 10 == 0));
+            assert!(!hits.is_empty(), "visit-first should find matches");
+        }
+    }
+
+    #[test]
+    fn insert_after_build_is_searchable() {
+        let (mut idx, _, _) = setup(500);
+        let v = vec![99.0f32; 16];
+        let row = idx.insert(&v).unwrap();
+        let hits = idx.search(&v, 1, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].id, row);
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let mut rng = Rng::seed_from_u64(31);
+        let data = dataset::gaussian(400, 8, &mut rng);
+        let a = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        let b = HnswIndex::build(data, Metric::Euclidean, HnswConfig::default()).unwrap();
+        assert_eq!(a.num_layers(), b.num_layers());
+        for u in 0..a.len() {
+            assert_eq!(a.layer(0).neighbors(u), b.layer(0).neighbors(u));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config_and_queries() {
+        assert!(HnswIndex::new(4, Metric::Euclidean, HnswConfig { m: 0, ..Default::default() }).is_err());
+        let (idx, _, _) = setup(100);
+        assert!(idx.search(&[1.0], 5, &SearchParams::default()).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Navigable small-world graph (Malkov et al. 2014; §2.2(3)).
+//!
+//! Nodes are inserted one at a time; each new node is connected
+//! bidirectionally to its `m` nearest neighbors *among the nodes already in
+//! the graph*, found by beam search. Early nodes acquire long-range links
+//! as the graph densifies around them, which is what makes the flat graph
+//! navigable.
+
+use crate::graph::{beam_search, AdjacencyList};
+use vdb_core::bitset::VisitedSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{check_query, DynamicIndex, IndexStats, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::Neighbor;
+use vdb_core::vector::Vectors;
+
+/// Build-time configuration.
+#[derive(Debug, Clone)]
+pub struct NswConfig {
+    /// Bidirectional connections made per insertion.
+    pub m: usize,
+    /// Beam width used for neighbor search during construction.
+    pub ef_construction: usize,
+}
+
+impl Default for NswConfig {
+    fn default() -> Self {
+        NswConfig { m: 12, ef_construction: 64 }
+    }
+}
+
+/// The NSW index. Fully dynamic: construction *is* repeated insertion.
+pub struct NswIndex {
+    vectors: Vectors,
+    metric: Metric,
+    adj: AdjacencyList,
+    cfg: NswConfig,
+}
+
+impl NswIndex {
+    /// Create an empty index ready for insertion.
+    pub fn new(dim: usize, metric: Metric, cfg: NswConfig) -> Result<Self> {
+        if cfg.m == 0 {
+            return Err(Error::InvalidParameter("m must be positive".into()));
+        }
+        metric.validate(dim)?;
+        Ok(NswIndex { vectors: Vectors::new(dim), metric, adj: AdjacencyList::default(), cfg })
+    }
+
+    /// Build by inserting every vector in order.
+    pub fn build(vectors: Vectors, metric: Metric, cfg: NswConfig) -> Result<Self> {
+        let mut idx = NswIndex::new(vectors.dim(), metric, cfg)?;
+        for row in vectors.iter() {
+            idx.insert(row)?;
+        }
+        Ok(idx)
+    }
+
+    /// The underlying adjacency (diagnostics).
+    pub fn adjacency(&self) -> &AdjacencyList {
+        &self.adj
+    }
+}
+
+impl VectorIndex for NswIndex {
+    fn name(&self) -> &'static str {
+        "nsw"
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut visited = VisitedSet::new(self.vectors.len());
+        Ok(beam_search(
+            &self.adj,
+            &self.vectors,
+            &self.metric,
+            query,
+            &[0], // first inserted node doubles as the fixed entry point
+            k,
+            params.beam_width,
+            &mut visited,
+            None,
+        ))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            memory_bytes: self.adj.memory_bytes(),
+            structure_entries: self.adj.edge_count(),
+            detail: format!("m={} mean_degree={:.1}", self.cfg.m, self.adj.mean_degree()),
+        }
+    }
+}
+
+impl DynamicIndex for NswIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let row = self.vectors.push(vector)?;
+        self.adj.push_node();
+        if row == 0 {
+            return Ok(0);
+        }
+        let mut visited = VisitedSet::new(self.vectors.len());
+        let found = beam_search(
+            &self.adj,
+            &self.vectors,
+            &self.metric,
+            self.vectors.get(row),
+            &[0],
+            self.cfg.m,
+            self.cfg.ef_construction,
+            &mut visited,
+            None,
+        );
+        for n in found {
+            if n.id != row {
+                self.adj.add_edge(row, n.id as u32);
+                self.adj.add_edge(n.id, row as u32);
+            }
+        }
+        Ok(row)
+    }
+}
+
+impl std::fmt::Debug for NswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NswIndex(n={}, m={})", self.len(), self.cfg.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+
+    #[test]
+    fn good_recall_on_clusters() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data = dataset::clustered(2000, 16, 10, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 25, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
+        let params = SearchParams::default().with_beam_width(96);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r > 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn graph_stays_connected() {
+        let mut rng = Rng::seed_from_u64(8);
+        let data = dataset::gaussian(500, 8, &mut rng);
+        let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
+        assert_eq!(idx.adjacency().reachable_from(0), 500, "insertion keeps connectivity");
+    }
+
+    #[test]
+    fn incremental_equals_build() {
+        let mut rng = Rng::seed_from_u64(9);
+        let data = dataset::gaussian(200, 6, &mut rng);
+        let built = NswIndex::build(data.clone(), Metric::Euclidean, NswConfig::default()).unwrap();
+        let mut incremental =
+            NswIndex::new(6, Metric::Euclidean, NswConfig::default()).unwrap();
+        for row in data.iter() {
+            incremental.insert(row).unwrap();
+        }
+        // Same construction path => identical graphs.
+        for u in 0..200 {
+            assert_eq!(built.adjacency().neighbors(u), incremental.adjacency().neighbors(u));
+        }
+    }
+
+    #[test]
+    fn beam_width_trades_recall() {
+        let mut rng = Rng::seed_from_u64(10);
+        let data = dataset::clustered(1500, 16, 8, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
+        let recall_with = |ef: usize| {
+            let params = SearchParams::default().with_beam_width(ef);
+            let results: Vec<_> =
+                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            gt.recall_batch(&results)
+        };
+        let lo = recall_with(10);
+        let hi = recall_with(200);
+        assert!(hi >= lo, "wider beam cannot hurt: {hi} vs {lo}");
+        assert!(hi > 0.9, "wide beam recall {hi}");
+    }
+
+    #[test]
+    fn empty_and_singleton_behave() {
+        let idx = NswIndex::new(4, Metric::Euclidean, NswConfig::default()).unwrap();
+        assert!(idx.search(&[0.0; 4], 3, &SearchParams::default()).unwrap().is_empty());
+        let mut idx = idx;
+        idx.insert(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0, 0.0, 0.0], 3, &SearchParams::default()).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dist, 0.0);
+    }
+}

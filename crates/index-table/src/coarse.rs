@@ -1,0 +1,23 @@
+//! Coarse-quantizer training shared by the IVF family and SPANN.
+
+use crate::ivf::check_ivf_params;
+use vdb_core::error::{Error, Result};
+use vdb_core::vector::Vectors;
+use vdb_quant::{KMeans, KMeansConfig};
+
+/// Train a k-means coarse quantizer with `nlist` centroids.
+pub(crate) fn train_coarse(
+    vectors: &Vectors,
+    nlist: usize,
+    train_iters: usize,
+    seed: u64,
+) -> Result<KMeans> {
+    check_ivf_params(nlist)?;
+    if vectors.is_empty() {
+        return Err(Error::EmptyCollection);
+    }
+    KMeans::train(
+        vectors,
+        &KMeansConfig { k: nlist, max_iters: train_iters, tolerance: 1e-4, seed },
+    )
+}

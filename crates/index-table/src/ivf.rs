@@ -1,0 +1,261 @@
+//! IVF-Flat: inverted-file index with exact in-list distances (§2.2(2)).
+//!
+//! The collection is bucketed by a k-means coarse quantizer ("learning to
+//! hash" via clustering); a query probes the `nprobe` nearest buckets and
+//! scans them exactly. This is also the workspace's reference *block-first*
+//! hybrid scanner: filtered rows are skipped during the list scan, and a
+//! cluster-aligned attribute can prune whole lists (offline blocking).
+
+use crate::coarse::train_coarse;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{
+    check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
+};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+use vdb_quant::KMeans;
+
+/// Build-time configuration for IVF indexes.
+#[derive(Debug, Clone)]
+pub struct IvfConfig {
+    /// Number of inverted lists (k-means centroids).
+    pub nlist: usize,
+    /// k-means iterations for the coarse quantizer.
+    pub train_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IvfConfig {
+    /// Default configuration with `nlist` lists.
+    pub fn new(nlist: usize) -> Self {
+        IvfConfig { nlist, train_iters: 15, seed: 0x1F1F }
+    }
+}
+
+/// IVF with full-precision vectors in the lists.
+pub struct IvfFlatIndex {
+    vectors: Vectors,
+    metric: Metric,
+    coarse: KMeans,
+    /// `lists[c]` = row ids assigned to centroid `c`.
+    lists: Vec<Vec<u32>>,
+}
+
+impl IvfFlatIndex {
+    /// Build over an owned collection.
+    pub fn build(vectors: Vectors, metric: Metric, cfg: &IvfConfig) -> Result<Self> {
+        metric.validate(vectors.dim())?;
+        let coarse = train_coarse(&vectors, cfg.nlist, cfg.train_iters, cfg.seed)?;
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); coarse.k()];
+        for (row, v) in vectors.iter().enumerate() {
+            lists[coarse.assign(v).0].push(row as u32);
+        }
+        Ok(IvfFlatIndex { vectors, metric, coarse, lists })
+    }
+
+    /// The coarse quantizer (exposed for index-guided sharding and
+    /// offline-blocking experiments).
+    pub fn coarse(&self) -> &KMeans {
+        &self.coarse
+    }
+
+    /// Rows in list `c`.
+    pub fn list(&self, c: usize) -> &[u32] {
+        &self.lists[c]
+    }
+
+    /// Number of lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn scan_lists(
+        &self,
+        query: &[f32],
+        k: usize,
+        probes: &[usize],
+        filter: Option<&dyn RowFilter>,
+    ) -> Vec<Neighbor> {
+        let mut top = TopK::new(k);
+        for &c in probes {
+            for &row in &self.lists[c] {
+                if let Some(f) = filter {
+                    if !f.accept(row as usize) {
+                        continue;
+                    }
+                }
+                let d = self.metric.distance(query, self.vectors.get(row as usize));
+                top.push(Neighbor::new(row as usize, d));
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+impl VectorIndex for IvfFlatIndex {
+    fn name(&self) -> &'static str {
+        "ivf_flat"
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
+        Ok(self.scan_lists(query, k, &probes, None))
+    }
+
+    /// Block-first scan: the filter is consulted *inside* the list scan, so
+    /// blocked vectors never incur a distance computation.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
+        Ok(self.scan_lists(query, k, &probes, Some(filter)))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let entries: usize = self.lists.iter().map(Vec::len).sum();
+        IndexStats {
+            memory_bytes: entries * 4 + self.coarse.k() * self.dim() * 4,
+            structure_entries: entries,
+            detail: format!("nlist={}", self.lists.len()),
+        }
+    }
+}
+
+impl DynamicIndex for IvfFlatIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let row = self.vectors.push(vector)?;
+        let c = self.coarse.assign(self.vectors.get(row)).0;
+        self.lists[c].push(row as u32);
+        Ok(row)
+    }
+}
+
+impl std::fmt::Debug for IvfFlatIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IvfFlatIndex(n={}, nlist={})", self.len(), self.lists.len())
+    }
+}
+
+/// Shared validation used by the IVF family.
+pub(crate) fn check_ivf_params(nlist: usize) -> Result<()> {
+    if nlist == 0 {
+        return Err(Error::InvalidParameter("nlist must be positive".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+
+    fn setup(nlist: usize) -> (IvfFlatIndex, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(42);
+        let data = dataset::clustered(3000, 16, 20, 0.4, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 30, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let idx = IvfFlatIndex::build(data, Metric::Euclidean, &IvfConfig::new(nlist)).unwrap();
+        (idx, queries, gt)
+    }
+
+    #[test]
+    fn high_nprobe_reaches_high_recall() {
+        let (idx, queries, gt) = setup(32);
+        let params = SearchParams::default().with_nprobe(16);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r > 0.95, "recall {r}");
+    }
+
+    #[test]
+    fn nprobe_equals_nlist_is_exact() {
+        let (idx, queries, gt) = setup(16);
+        let params = SearchParams::default().with_nprobe(16);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        assert!((gt.recall_batch(&results) - 1.0).abs() < 1e-12, "probing all lists = exact");
+    }
+
+    #[test]
+    fn recall_monotone_in_nprobe() {
+        let (idx, queries, gt) = setup(32);
+        let mut last = 0.0;
+        for nprobe in [1, 4, 16, 32] {
+            let params = SearchParams::default().with_nprobe(nprobe);
+            let results: Vec<_> =
+                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            let r = gt.recall_batch(&results);
+            assert!(r >= last - 1e-9, "nprobe={nprobe}: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn block_first_filtered_search_correct() {
+        let (idx, queries, _) = setup(16);
+        let filter = |id: usize| id.is_multiple_of(3);
+        let params = SearchParams::default().with_nprobe(16);
+        for q in queries.iter().take(5) {
+            let hits = idx.search_filtered(q, 5, &params, &filter).unwrap();
+            assert!(hits.iter().all(|n| n.id % 3 == 0));
+            // With all lists probed, block-first equals exact filtered scan.
+            let flat = vdb_core::FlatIndex::build(idx.vectors.clone(), Metric::Euclidean).unwrap();
+            let oracle = flat.search_filtered(q, 5, &params, &filter).unwrap();
+            assert_eq!(
+                hits.iter().map(|n| n.id).collect::<Vec<_>>(),
+                oracle.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn insert_goes_to_nearest_list() {
+        let (mut idx, _, _) = setup(8);
+        let v = vec![3.0f32; 16];
+        let row = idx.insert(&v).unwrap();
+        let c = idx.coarse().assign(&v).0;
+        assert!(idx.list(c).contains(&(row as u32)));
+        let hits = idx.search(&v, 1, &SearchParams::default().with_nprobe(8)).unwrap();
+        assert_eq!(hits[0].id, row);
+    }
+
+    #[test]
+    fn every_row_in_exactly_one_list() {
+        let (idx, _, _) = setup(16);
+        let total: usize = (0..idx.nlist()).map(|c| idx.list(c).len()).sum();
+        assert_eq!(total, idx.len());
+    }
+
+    #[test]
+    fn rejects_zero_nlist() {
+        let data = dataset::gaussian(10, 4, &mut Rng::seed_from_u64(1));
+        assert!(IvfFlatIndex::build(data, Metric::Euclidean, &IvfConfig::new(0)).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! IVF-SQ: inverted lists of scalar-quantized codes (§2.2(3)).
+//!
+//! Lists store SQ8/SQ4 codes instead of raw vectors (4-8× smaller).
+//! Search scans probed lists with asymmetric distances and optionally
+//! re-ranks the best candidates against full-precision vectors (which a
+//! production deployment keeps on slower storage — see DESIGN.md).
+
+use crate::coarse::train_coarse;
+use crate::ivf::IvfConfig;
+use std::sync::Arc;
+use vdb_core::error::Result;
+use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+use vdb_quant::{KMeans, ScalarQuantizer, SqBits};
+
+/// IVF over scalar-quantized codes.
+pub struct IvfSqIndex {
+    dim: usize,
+    n: usize,
+    metric: Metric,
+    coarse: KMeans,
+    sq: ScalarQuantizer,
+    /// Per-list row ids.
+    lists: Vec<Vec<u32>>,
+    /// Per-list concatenated codes, aligned with `lists`.
+    codes: Vec<Vec<u8>>,
+    /// Full-precision vectors for re-ranking (models the disk-resident
+    /// originals; excluded from the index's memory accounting).
+    refine: Option<Arc<Vectors>>,
+}
+
+impl IvfSqIndex {
+    /// Build with the given scalar code width. Pass `refine = true` to keep
+    /// the originals available for re-ranking.
+    pub fn build(
+        vectors: Vectors,
+        metric: Metric,
+        cfg: &IvfConfig,
+        bits: SqBits,
+        refine: bool,
+    ) -> Result<Self> {
+        metric.validate(vectors.dim())?;
+        let coarse = train_coarse(&vectors, cfg.nlist, cfg.train_iters, cfg.seed)?;
+        let sq = ScalarQuantizer::train(&vectors, bits)?;
+        let code_len = sq.code_len();
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); coarse.k()];
+        let mut codes: Vec<Vec<u8>> = vec![Vec::new(); coarse.k()];
+        let mut code = vec![0u8; code_len];
+        for (row, v) in vectors.iter().enumerate() {
+            let c = coarse.assign(v).0;
+            sq.encode_into(v, &mut code)?;
+            lists[c].push(row as u32);
+            codes[c].extend_from_slice(&code);
+        }
+        let (dim, n) = (vectors.dim(), vectors.len());
+        Ok(IvfSqIndex {
+            dim,
+            n,
+            metric,
+            coarse,
+            sq,
+            lists,
+            codes,
+            refine: refine.then(|| Arc::new(vectors)),
+        })
+    }
+
+    /// Bytes of compressed code per vector.
+    pub fn bytes_per_vector(&self) -> usize {
+        self.sq.code_len()
+    }
+
+    fn scan(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: Option<&dyn RowFilter>,
+    ) -> Vec<Neighbor> {
+        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
+        let code_len = self.sq.code_len();
+        // Phase 1: approximate candidates by asymmetric code distance.
+        let pool = if self.refine.is_some() { params.rerank.max(k) } else { k };
+        let mut approx = TopK::new(pool);
+        for &c in &probes {
+            let rows = &self.lists[c];
+            let codes = &self.codes[c];
+            for (i, &row) in rows.iter().enumerate() {
+                if let Some(f) = filter {
+                    if !f.accept(row as usize) {
+                        continue;
+                    }
+                }
+                let d = self.sq.asymmetric_l2_sq(query, &codes[i * code_len..(i + 1) * code_len]);
+                approx.push(Neighbor::new(row as usize, d));
+            }
+        }
+        let approx = approx.into_sorted();
+        // Phase 2: optional exact re-rank.
+        match &self.refine {
+            Some(full) => {
+                let mut top = TopK::new(k);
+                for n in approx {
+                    let d = self.metric.distance(query, full.get(n.id));
+                    top.push(Neighbor::new(n.id, d));
+                }
+                top.into_sorted()
+            }
+            None => approx.into_iter().take(k).collect(),
+        }
+    }
+}
+
+impl VectorIndex for IvfSqIndex {
+    fn name(&self) -> &'static str {
+        "ivf_sq"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim, query)?;
+        if k == 0 || self.n == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.scan(query, k, params, None))
+    }
+
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim, query)?;
+        if k == 0 || self.n == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.scan(query, k, params, Some(filter)))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let code_bytes: usize = self.codes.iter().map(Vec::len).sum();
+        let ids: usize = self.lists.iter().map(Vec::len).sum();
+        IndexStats {
+            memory_bytes: code_bytes + ids * 4 + self.coarse.k() * self.dim * 4,
+            structure_entries: ids,
+            detail: format!("nlist={} code_bytes/vec={}", self.lists.len(), self.sq.code_len()),
+        }
+    }
+}
+
+impl std::fmt::Debug for IvfSqIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IvfSqIndex(n={}, nlist={})", self.n, self.lists.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+
+    fn setup(bits: SqBits, refine: bool) -> (IvfSqIndex, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(9);
+        let data = dataset::clustered(2000, 16, 10, 0.4, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 25, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let idx = IvfSqIndex::build(data, Metric::Euclidean, &IvfConfig::new(16), bits, refine).unwrap();
+        (idx, queries, gt)
+    }
+
+    fn recall_at(idx: &IvfSqIndex, queries: &Vectors, gt: &GroundTruth, nprobe: usize) -> f64 {
+        let params = SearchParams::default().with_nprobe(nprobe);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        gt.recall_batch(&results)
+    }
+
+    #[test]
+    fn sq8_with_rerank_high_recall() {
+        let (idx, queries, gt) = setup(SqBits::B8, true);
+        let r = recall_at(&idx, &queries, &gt, 16);
+        assert!(r > 0.95, "recall {r}");
+    }
+
+    #[test]
+    fn rerank_beats_no_rerank_on_sq4() {
+        let (with, queries, gt) = setup(SqBits::B4, true);
+        let (without, _, _) = setup(SqBits::B4, false);
+        let rw = recall_at(&with, &queries, &gt, 16);
+        let ro = recall_at(&without, &queries, &gt, 16);
+        assert!(rw >= ro, "rerank {rw} vs raw {ro}");
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        let (sq8, _, _) = setup(SqBits::B8, false);
+        let (sq4, _, _) = setup(SqBits::B4, false);
+        assert_eq!(sq8.bytes_per_vector(), 16);
+        assert_eq!(sq4.bytes_per_vector(), 8);
+        assert!(sq4.stats().memory_bytes < sq8.stats().memory_bytes);
+    }
+
+    #[test]
+    fn filtered_search_respects_predicate() {
+        let (idx, queries, _) = setup(SqBits::B8, true);
+        let filter = |id: usize| id < 500;
+        let params = SearchParams::default().with_nprobe(16);
+        for q in queries.iter().take(5) {
+            let hits = idx.search_filtered(q, 5, &params, &filter).unwrap();
+            assert!(hits.iter().all(|n| n.id < 500));
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let (idx, queries, _) = setup(SqBits::B8, true);
+        assert!(idx.search(queries.get(0), 0, &SearchParams::default()).unwrap().is_empty());
+        assert!(idx.search(&[0.0; 3], 5, &SearchParams::default()).is_err());
+    }
+}

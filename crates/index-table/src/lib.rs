@@ -1,0 +1,34 @@
+//! # vdb-index-table
+//!
+//! Table-based vector indexes (§2.2 of *"Vector Database Management
+//! Techniques and Systems"*, SIGMOD 2024): the collection is partitioned
+//! into buckets retrievable by key.
+//!
+//! - [`lsh`] — locality-sensitive hashing (random hyperplane and p-stable
+//!   families, L tables × K concatenated hashes),
+//! - [`ivf`] — IVF-Flat (k-means bucketing, exact in-list scan, native
+//!   block-first filtered search),
+//! - [`ivf_sq`] — IVF over scalar-quantized codes,
+//! - [`ivf_pq`] — IVFADC: IVF over product-quantized residuals with ADC
+//!   tables and optional exact re-ranking,
+//! - [`spann`] — disk-resident SPANN-lite with closure assignment and
+//!   page-level I/O accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Parallel-slice index loops in the page (de)serializers.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod coarse;
+pub mod ivf;
+pub mod ivf_pq;
+pub mod ivf_sq;
+pub mod lsh;
+pub mod spann;
+
+pub use ivf::{IvfConfig, IvfFlatIndex};
+pub use ivf_pq::{IvfPqConfig, IvfPqIndex};
+pub use ivf_sq::IvfSqIndex;
+pub use lsh::{HashFamily, LshConfig, LshIndex};
+pub use spann::{SpannConfig, SpannIndex};

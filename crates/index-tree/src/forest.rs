@@ -1,0 +1,461 @@
+//! The shared build/search engine behind every tree index in this crate.
+//!
+//! A forest of binary space-partition trees is searched ANNOY-style: one
+//! global priority queue over tree nodes ordered by the margin distance to
+//! the query, popping the most promising subtree across *all* trees until
+//! a leaf-point budget is exhausted. Because `|margin|` lower-bounds the L2
+//! distance to the far half-space, the same engine supports **exact**
+//! search (for L2-family metrics) by expanding until the best remaining
+//! bound exceeds the current k-th distance.
+
+use crate::split::{Split, Splitter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vdb_core::bitset::VisitedSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+use vdb_core::rng::Rng;
+
+/// Build-time configuration for a tree forest.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees (1 = a single tree index).
+    pub n_trees: usize,
+    /// Maximum points per leaf.
+    pub leaf_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// Defaults: `n_trees` trees with 16-point leaves.
+    pub fn new(n_trees: usize) -> Self {
+        ForestConfig { n_trees, leaf_size: 16, seed: 0x7EE5 }
+    }
+}
+
+enum Node {
+    Leaf { points: Vec<u32> },
+    Internal { split: Split, left: u32, right: u32 },
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl Tree {
+    fn build(data: &Vectors, splitter: &dyn Splitter, leaf_size: usize, rng: &mut Rng) -> Tree {
+        let mut nodes = Vec::new();
+        let all: Vec<u32> = (0..data.len() as u32).collect();
+        let root = build_node(data, splitter, leaf_size, all, &mut nodes, rng, 0);
+        Tree { nodes, root }
+    }
+}
+
+/// Depth cap: prevents pathological recursion when splits keep failing to
+/// separate duplicated points.
+const MAX_DEPTH: usize = 64;
+
+fn build_node(
+    data: &Vectors,
+    splitter: &dyn Splitter,
+    leaf_size: usize,
+    points: Vec<u32>,
+    nodes: &mut Vec<Node>,
+    rng: &mut Rng,
+    depth: usize,
+) -> u32 {
+    if points.len() <= leaf_size || depth >= MAX_DEPTH {
+        nodes.push(Node::Leaf { points });
+        return (nodes.len() - 1) as u32;
+    }
+    let Some(split) = splitter.split(data, &points, rng) else {
+        nodes.push(Node::Leaf { points });
+        return (nodes.len() - 1) as u32;
+    };
+    let mut left_pts = Vec::new();
+    let mut right_pts = Vec::new();
+    for &p in &points {
+        if split.goes_left(data.get(p as usize)) {
+            left_pts.push(p);
+        } else {
+            right_pts.push(p);
+        }
+    }
+    if left_pts.is_empty() || right_pts.is_empty() {
+        nodes.push(Node::Leaf { points });
+        return (nodes.len() - 1) as u32;
+    }
+    let left = build_node(data, splitter, leaf_size, left_pts, nodes, rng, depth + 1);
+    let right = build_node(data, splitter, leaf_size, right_pts, nodes, rng, depth + 1);
+    nodes.push(Node::Internal { split, left, right });
+    (nodes.len() - 1) as u32
+}
+
+/// Priority-queue key: non-negative lower bound on distance to the subtree.
+#[derive(PartialEq)]
+struct Frontier {
+    bound: f32,
+    tree: u32,
+    node: u32,
+}
+
+impl Eq for Frontier {}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then(self.tree.cmp(&other.tree))
+            .then(self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A forest index over an owned vector collection.
+pub struct ForestIndex {
+    vectors: Vectors,
+    metric: Metric,
+    trees: Vec<Tree>,
+    name: &'static str,
+    cfg: ForestConfig,
+    /// Whether `|margin|` is a valid distance lower bound for `metric`
+    /// (true for the L2 family), enabling exact search.
+    exact_capable: bool,
+}
+
+impl ForestIndex {
+    /// Build a forest using `splitter` for every tree.
+    pub fn build(
+        vectors: Vectors,
+        metric: Metric,
+        splitter: &dyn Splitter,
+        cfg: ForestConfig,
+        name: &'static str,
+    ) -> Result<Self> {
+        if cfg.n_trees == 0 {
+            return Err(Error::InvalidParameter("forest needs at least one tree".into()));
+        }
+        if cfg.leaf_size == 0 {
+            return Err(Error::InvalidParameter("leaf size must be positive".into()));
+        }
+        metric.validate(vectors.dim())?;
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let trees: Vec<Tree> = (0..cfg.n_trees)
+            .map(|_| {
+                let mut tree_rng = rng.fork();
+                Tree::build(&vectors, splitter, cfg.leaf_size, &mut tree_rng)
+            })
+            .collect();
+        let exact_capable = matches!(metric, Metric::Euclidean | Metric::SquaredEuclidean);
+        Ok(ForestIndex { vectors, metric, trees, name, cfg, exact_capable })
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &ForestConfig {
+        &self.cfg
+    }
+
+    /// Whether this forest supports exact (backtracking-complete) search.
+    pub fn exact_capable(&self) -> bool {
+        self.exact_capable
+    }
+
+    /// Core search. `budget` caps leaf points examined; `exact` ignores the
+    /// budget and runs until the bound proves completeness.
+    fn search_inner(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: usize,
+        exact: bool,
+        filter: Option<&dyn RowFilter>,
+    ) -> Vec<Neighbor> {
+        let mut top = TopK::new(k);
+        let mut seen = VisitedSet::new(self.vectors.len());
+        let mut heap: BinaryHeap<Reverse<Frontier>> = BinaryHeap::new();
+        for (t, tree) in self.trees.iter().enumerate() {
+            heap.push(Reverse(Frontier { bound: 0.0, tree: t as u32, node: tree.root }));
+        }
+        let mut examined = 0usize;
+        while let Some(Reverse(front)) = heap.pop() {
+            if exact {
+                // For SquaredEuclidean the comparison must square the bound.
+                let thr = top.threshold();
+                let bound_d = match self.metric {
+                    Metric::SquaredEuclidean => front.bound * front.bound,
+                    _ => front.bound,
+                };
+                if top.is_full() && bound_d >= thr {
+                    break;
+                }
+            } else if examined >= budget {
+                break;
+            }
+            let mut node = front.node;
+            let tree = &self.trees[front.tree as usize];
+            loop {
+                match &tree.nodes[node as usize] {
+                    Node::Leaf { points } => {
+                        for &p in points {
+                            if !seen.visit(p as usize) {
+                                continue;
+                            }
+                            examined += 1;
+                            if let Some(f) = filter {
+                                if !f.accept(p as usize) {
+                                    continue;
+                                }
+                            }
+                            let d = self.metric.distance(query, self.vectors.get(p as usize));
+                            top.push(Neighbor::new(p as usize, d));
+                        }
+                        break;
+                    }
+                    Node::Internal { split, left, right } => {
+                        let m = split.margin(query);
+                        let (near, far) = if m < 0.0 { (*left, *right) } else { (*right, *left) };
+                        let far_bound = front.bound.max(m.abs());
+                        heap.push(Reverse(Frontier {
+                            bound: far_bound,
+                            tree: front.tree,
+                            node: far,
+                        }));
+                        node = near;
+                    }
+                }
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// Exact k-NN via backtracking with margin bounds (L2 family only).
+    pub fn search_exact(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if !self.exact_capable {
+            return Err(Error::Unsupported(format!(
+                "exact tree search requires an L2-family metric, got {}",
+                self.metric.name()
+            )));
+        }
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.search_inner(query, k, usize::MAX, true, None))
+    }
+}
+
+impl VectorIndex for ForestIndex {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.vectors.dim()
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let budget = params.max_leaf_points.max(k);
+        Ok(self.search_inner(query, k, budget, false, None))
+    }
+
+    /// Visit-first filtered search: the predicate is evaluated on leaf
+    /// points during traversal, and the leaf budget only counts *visited*
+    /// points, so low-selectivity predicates naturally explore further.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        check_query(self.dim(), query)?;
+        if k == 0 || self.vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let budget = params.max_leaf_points.max(k);
+        Ok(self.search_inner(query, k, budget, false, Some(filter)))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut nodes = 0usize;
+        let mut bytes = 0usize;
+        for t in &self.trees {
+            nodes += t.nodes.len();
+            for n in &t.nodes {
+                bytes += match n {
+                    Node::Leaf { points } => points.len() * 4 + 24,
+                    Node::Internal { split, .. } => split.memory_bytes() + 8,
+                };
+            }
+        }
+        IndexStats {
+            memory_bytes: bytes,
+            structure_entries: nodes,
+            detail: format!("trees={} leaf_size={}", self.trees.len(), self.cfg.leaf_size),
+        }
+    }
+}
+
+impl std::fmt::Debug for ForestIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ForestIndex({}, n={}, trees={})", self.name, self.len(), self.trees.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::{KdSplitter, RpSplitter};
+    use vdb_core::dataset;
+    use vdb_core::flat::FlatIndex;
+
+    fn data_and_queries() -> (Vectors, Vectors) {
+        let mut rng = Rng::seed_from_u64(50);
+        let data = dataset::clustered(1500, 12, 8, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
+        (data, queries)
+    }
+
+    #[test]
+    fn exact_search_matches_flat() {
+        let (data, queries) = data_and_queries();
+        let forest = ForestIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            &KdSplitter,
+            ForestConfig::new(1),
+            "kd",
+        )
+        .unwrap();
+        let flat = FlatIndex::build(data, Metric::Euclidean).unwrap();
+        let params = SearchParams::default();
+        for q in queries.iter() {
+            let exact = forest.search_exact(q, 5).unwrap();
+            let oracle = flat.search(q, 5, &params).unwrap();
+            assert_eq!(
+                exact.iter().map(|n| n.id).collect::<Vec<_>>(),
+                oracle.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn budget_controls_recall() {
+        let (data, queries) = data_and_queries();
+        let forest = ForestIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            &RpSplitter,
+            ForestConfig::new(8),
+            "rp_forest",
+        )
+        .unwrap();
+        let flat = FlatIndex::build(data, Metric::Euclidean).unwrap();
+        let mut recalls = Vec::new();
+        for budget in [32usize, 256, 1500] {
+            let params = SearchParams::default().with_max_leaf_points(budget);
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for q in queries.iter() {
+                let approx = forest.search(q, 10, &params).unwrap();
+                let truth = flat.search(q, 10, &SearchParams::default()).unwrap();
+                let tset: std::collections::HashSet<_> = truth.iter().map(|n| n.id).collect();
+                hit += approx.iter().filter(|n| tset.contains(&n.id)).count();
+                total += truth.len();
+            }
+            recalls.push(hit as f64 / total as f64);
+        }
+        assert!(recalls[0] <= recalls[1] + 0.05 && recalls[1] <= recalls[2] + 0.05, "{recalls:?}");
+        assert!(recalls[2] > 0.95, "full budget should be near-exact: {recalls:?}");
+    }
+
+    #[test]
+    fn exact_rejected_for_non_l2() {
+        let (data, _) = data_and_queries();
+        let forest = ForestIndex::build(
+            data,
+            Metric::Cosine,
+            &RpSplitter,
+            ForestConfig::new(2),
+            "rp_forest",
+        )
+        .unwrap();
+        assert!(!forest.exact_capable());
+        assert!(forest.search_exact(&[0.0; 12], 3).is_err());
+    }
+
+    #[test]
+    fn filtered_search_respects_predicate() {
+        let (data, queries) = data_and_queries();
+        let forest = ForestIndex::build(
+            data,
+            Metric::Euclidean,
+            &KdSplitter,
+            ForestConfig::new(4),
+            "kd",
+        )
+        .unwrap();
+        let filter = |id: usize| id.is_multiple_of(5);
+        let params = SearchParams::default().with_max_leaf_points(1500);
+        for q in queries.iter().take(5) {
+            let hits = forest.search_filtered(q, 5, &params, &filter).unwrap();
+            assert!(!hits.is_empty());
+            assert!(hits.iter().all(|n| n.id % 5 == 0));
+        }
+    }
+
+    #[test]
+    fn duplicated_points_build_fine() {
+        let mut data = Vectors::new(4);
+        for _ in 0..100 {
+            data.push(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        }
+        let forest =
+            ForestIndex::build(data, Metric::Euclidean, &KdSplitter, ForestConfig::new(2), "kd")
+                .unwrap();
+        let hits = forest.search(&[1.0, 2.0, 3.0, 4.0], 3, &SearchParams::default()).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (data, _) = data_and_queries();
+        assert!(ForestIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            &KdSplitter,
+            ForestConfig { n_trees: 0, ..ForestConfig::new(1) },
+            "kd"
+        )
+        .is_err());
+        assert!(ForestIndex::build(
+            data,
+            Metric::Euclidean,
+            &KdSplitter,
+            ForestConfig { leaf_size: 0, ..ForestConfig::new(1) },
+            "kd"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Named constructors for the five tree indexes of §2.2, all backed by the
+//! shared [`ForestIndex`](crate::forest::ForestIndex) engine.
+
+use crate::forest::{ForestConfig, ForestIndex};
+use crate::split::{AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter};
+use vdb_core::error::Result;
+use vdb_core::metric::Metric;
+use vdb_core::vector::Vectors;
+
+/// Classic deterministic k-d tree (single tree, max-variance median splits).
+/// Supports exact backtracking search for L2-family metrics.
+pub fn kd_tree(vectors: Vectors, metric: Metric, leaf_size: usize, seed: u64) -> Result<ForestIndex> {
+    ForestIndex::build(
+        vectors,
+        metric,
+        &KdSplitter,
+        ForestConfig { n_trees: 1, leaf_size, seed },
+        "kd_tree",
+    )
+}
+
+/// PCA tree: single tree splitting along each node's principal axis.
+pub fn pca_tree(vectors: Vectors, metric: Metric, leaf_size: usize, seed: u64) -> Result<ForestIndex> {
+    ForestIndex::build(
+        vectors,
+        metric,
+        &PcaSplitter::default(),
+        ForestConfig { n_trees: 1, leaf_size, seed },
+        "pca_tree",
+    )
+}
+
+/// Random-projection tree forest (Dasgupta-Freund RPTree with jittered
+/// median splits; a forest raises recall like LSH's multiple tables).
+pub fn rp_forest(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+) -> Result<ForestIndex> {
+    ForestIndex::build(
+        vectors,
+        metric,
+        &RpSplitter,
+        ForestConfig { n_trees, leaf_size, seed },
+        "rp_forest",
+    )
+}
+
+/// ANNOY-style forest: splits are perpendicular bisectors of random point
+/// pairs (random-median thresholds).
+pub fn annoy_forest(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+) -> Result<ForestIndex> {
+    ForestIndex::build(
+        vectors,
+        metric,
+        &AnnoySplitter,
+        ForestConfig { n_trees, leaf_size, seed },
+        "annoy",
+    )
+}
+
+/// FLANN-style randomized k-d forest: each split picks uniformly among the
+/// top-5 variance dimensions so trees decorrelate.
+pub fn flann_forest(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+) -> Result<ForestIndex> {
+    ForestIndex::build(
+        vectors,
+        metric,
+        &RandomizedKdSplitter::default(),
+        ForestConfig { n_trees, leaf_size, seed },
+        "flann",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::index::{SearchParams, VectorIndex};
+    use vdb_core::recall::GroundTruth;
+    use vdb_core::rng::Rng;
+
+    fn setup() -> (Vectors, Vectors, GroundTruth) {
+        let mut rng = Rng::seed_from_u64(60);
+        let data = dataset::clustered(2000, 16, 10, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 25, 0.05, &mut rng);
+        let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        (data, queries, gt)
+    }
+
+    fn recall_of(idx: &ForestIndex, queries: &Vectors, gt: &GroundTruth, budget: usize) -> f64 {
+        let params = SearchParams::default().with_max_leaf_points(budget);
+        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        gt.recall_batch(&results)
+    }
+
+    #[test]
+    fn all_five_reach_good_recall_with_generous_budget() {
+        let (data, queries, gt) = setup();
+        let idxs: Vec<ForestIndex> = vec![
+            kd_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap(),
+            pca_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap(),
+            rp_forest(data.clone(), Metric::Euclidean, 8, 16, 1).unwrap(),
+            annoy_forest(data.clone(), Metric::Euclidean, 8, 16, 1).unwrap(),
+            flann_forest(data.clone(), Metric::Euclidean, 8, 16, 1).unwrap(),
+        ];
+        for idx in &idxs {
+            let r = recall_of(idx, &queries, &gt, 600);
+            assert!(r > 0.7, "{}: recall {r}", idx.name());
+        }
+    }
+
+    #[test]
+    fn forest_beats_single_tree_at_same_total_budget() {
+        let (data, queries, gt) = setup();
+        let one = rp_forest(data.clone(), Metric::Euclidean, 1, 16, 2).unwrap();
+        let eight = rp_forest(data, Metric::Euclidean, 8, 16, 2).unwrap();
+        // Tight budget: a lone RP tree commits to one partition sequence,
+        // while eight decorrelated trees cover each other's mistakes.
+        let r1 = recall_of(&one, &queries, &gt, 48);
+        let r8 = recall_of(&eight, &queries, &gt, 48);
+        assert!(r8 >= r1 - 0.02, "8 trees {r8} vs 1 tree {r1}");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let (data, _, _) = setup();
+        let names: Vec<&str> = vec![
+            kd_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap().name(),
+            pca_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap().name(),
+            rp_forest(data.clone(), Metric::Euclidean, 2, 16, 1).unwrap().name(),
+            annoy_forest(data.clone(), Metric::Euclidean, 2, 16, 1).unwrap().name(),
+            flann_forest(data, Metric::Euclidean, 2, 16, 1).unwrap().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

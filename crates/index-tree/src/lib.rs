@@ -1,0 +1,26 @@
+//! # vdb-index-tree
+//!
+//! Tree-based vector indexes (§2.2 of *"Vector Database Management
+//! Techniques and Systems"*, SIGMOD 2024). All five indexes share one
+//! build/search engine ([`forest::ForestIndex`]) and differ only in how
+//! they choose splitting planes ([`split::Splitter`]):
+//!
+//! - [`indexes::kd_tree`] — deterministic max-variance median splits, with
+//!   exact backtracking search for L2,
+//! - [`indexes::pca_tree`] — splits along per-node principal axes,
+//! - [`indexes::rp_forest`] — random projections with jittered medians
+//!   (RPTree),
+//! - [`indexes::annoy_forest`] — perpendicular bisectors of random point
+//!   pairs (ANNOY),
+//! - [`indexes::flann_forest`] — randomized k-d forest (FLANN).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod forest;
+pub mod indexes;
+pub mod split;
+
+pub use forest::{ForestConfig, ForestIndex};
+pub use indexes::{annoy_forest, flann_forest, kd_tree, pca_tree, rp_forest};
+pub use split::{AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter, Split, Splitter};

@@ -1,0 +1,395 @@
+//! Split rules for tree-based indexes (§2.2 "tree-based indexes").
+//!
+//! Every tree in this crate is a binary space partition; what
+//! distinguishes k-d trees, RP-trees, ANNOY, FLANN, and PCA trees is only
+//! *how the splitting plane is chosen*. That choice is factored into the
+//! [`Splitter`] trait so a single build/search engine (see [`crate::forest`])
+//! serves all five indexes.
+
+use vdb_core::kernel;
+use vdb_core::rng::Rng;
+use vdb_core::vector::Vectors;
+
+/// A binary split of space.
+#[derive(Debug, Clone)]
+pub enum Split {
+    /// Axis-aligned split: `v[axis] < threshold` goes left.
+    Axis {
+        /// Splitting dimension.
+        axis: u32,
+        /// Splitting threshold.
+        threshold: f32,
+    },
+    /// General hyperplane split: `normal · v < offset` goes left.
+    /// `normal` is unit-length, so the margin is a true distance.
+    Plane {
+        /// Unit normal of the hyperplane.
+        normal: Vec<f32>,
+        /// Offset along the normal.
+        offset: f32,
+    },
+}
+
+impl Split {
+    /// Signed distance from `v` to the splitting plane (negative = left).
+    /// Because axis splits and unit-normal plane splits are both
+    /// Euclidean-isometric, `|margin|` lower-bounds the L2 distance from
+    /// `v` to any point on the far side — the bound that makes exact
+    /// backtracking search possible.
+    #[inline]
+    pub fn margin(&self, v: &[f32]) -> f32 {
+        match self {
+            Split::Axis { axis, threshold } => v[*axis as usize] - threshold,
+            Split::Plane { normal, offset } => kernel::dot(normal, v) - offset,
+        }
+    }
+
+    /// Whether `v` belongs to the left child.
+    #[inline]
+    pub fn goes_left(&self, v: &[f32]) -> bool {
+        self.margin(v) < 0.0
+    }
+
+    /// Approximate heap bytes of this split.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Split::Axis { .. } => 8,
+            Split::Plane { normal, .. } => normal.len() * 4 + 4,
+        }
+    }
+}
+
+/// A strategy for choosing splits during tree construction.
+pub trait Splitter: Send + Sync {
+    /// Short stable name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Choose a split for the subset `points` of `data`. Returning `None`
+    /// makes the node a leaf (e.g. all points identical).
+    fn split(&self, data: &Vectors, points: &[u32], rng: &mut Rng) -> Option<Split>;
+}
+
+/// Helper: median of projections with a degenerate-spread check.
+fn median_threshold(mut projections: Vec<f32>) -> Option<f32> {
+    projections.sort_unstable_by(f32::total_cmp);
+    let lo = *projections.first().expect("non-empty");
+    let hi = *projections.last().expect("non-empty");
+    if hi - lo <= f32::EPSILON * hi.abs().max(1.0) {
+        return None; // no spread: cannot split
+    }
+    let mid = projections[projections.len() / 2];
+    // Guard against a median equal to the minimum (all mass on one side).
+    if mid <= lo {
+        Some((lo + hi) / 2.0)
+    } else {
+        Some(mid)
+    }
+}
+
+/// Per-dimension mean and variance over a subset.
+fn subset_variances(data: &Vectors, points: &[u32]) -> (Vec<f64>, Vec<f64>) {
+    let dim = data.dim();
+    let mut mean = vec![0.0f64; dim];
+    for &p in points {
+        for (m, &x) in mean.iter_mut().zip(data.get(p as usize)) {
+            *m += x as f64;
+        }
+    }
+    let n = points.len() as f64;
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0f64; dim];
+    for &p in points {
+        let row = data.get(p as usize);
+        for i in 0..dim {
+            let d = row[i] as f64 - mean[i];
+            var[i] += d * d;
+        }
+    }
+    (mean, var)
+}
+
+/// Classic k-d tree: split the dimension of maximum variance at the median
+/// (deterministic; well-understood but blind to intrinsic dimensionality).
+#[derive(Debug, Default, Clone)]
+pub struct KdSplitter;
+
+impl Splitter for KdSplitter {
+    fn name(&self) -> &'static str {
+        "kd"
+    }
+
+    fn split(&self, data: &Vectors, points: &[u32], _rng: &mut Rng) -> Option<Split> {
+        let (_, var) = subset_variances(data, points);
+        let axis = var
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)?;
+        if var[axis] <= 0.0 {
+            return None;
+        }
+        let projections: Vec<f32> =
+            points.iter().map(|&p| data.get(p as usize)[axis]).collect();
+        let threshold = median_threshold(projections)?;
+        Some(Split::Axis { axis: axis as u32, threshold })
+    }
+}
+
+/// FLANN-style randomized k-d split: pick uniformly among the `top_r`
+/// highest-variance dimensions, so a forest of such trees decorrelates.
+#[derive(Debug, Clone)]
+pub struct RandomizedKdSplitter {
+    /// How many top-variance dimensions to choose among.
+    pub top_r: usize,
+}
+
+impl Default for RandomizedKdSplitter {
+    fn default() -> Self {
+        RandomizedKdSplitter { top_r: 5 }
+    }
+}
+
+impl Splitter for RandomizedKdSplitter {
+    fn name(&self) -> &'static str {
+        "randomized_kd"
+    }
+
+    fn split(&self, data: &Vectors, points: &[u32], rng: &mut Rng) -> Option<Split> {
+        let (_, var) = subset_variances(data, points);
+        let mut order: Vec<usize> = (0..var.len()).collect();
+        order.sort_by(|&a, &b| var[b].total_cmp(&var[a]));
+        let r = self.top_r.min(order.len()).max(1);
+        // Try the sampled axes until one has spread.
+        let mut tried = order[..r].to_vec();
+        rng.shuffle(&mut tried);
+        for axis in tried {
+            if var[axis] <= 0.0 {
+                continue;
+            }
+            let projections: Vec<f32> =
+                points.iter().map(|&p| data.get(p as usize)[axis]).collect();
+            if let Some(threshold) = median_threshold(projections) {
+                return Some(Split::Axis { axis: axis as u32, threshold });
+            }
+        }
+        None
+    }
+}
+
+/// Random projection tree (Dasgupta & Freund): random unit direction,
+/// threshold at a jittered median — adapts to intrinsic dimensionality.
+#[derive(Debug, Default, Clone)]
+pub struct RpSplitter;
+
+impl Splitter for RpSplitter {
+    fn name(&self) -> &'static str {
+        "rp"
+    }
+
+    fn split(&self, data: &Vectors, points: &[u32], rng: &mut Rng) -> Option<Split> {
+        let dim = data.dim();
+        let mut normal: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+        let norm = kernel::norm(&normal);
+        if norm == 0.0 {
+            return None;
+        }
+        for x in &mut normal {
+            *x /= norm;
+        }
+        let mut projections: Vec<f32> =
+            points.iter().map(|&p| kernel::dot(&normal, data.get(p as usize))).collect();
+        projections.sort_unstable_by(f32::total_cmp);
+        let lo = projections[0];
+        let hi = projections[projections.len() - 1];
+        if hi - lo <= f32::EPSILON * hi.abs().max(1.0) {
+            return None;
+        }
+        // Jittered median per the RPTree construction: median plus a small
+        // uniform perturbation bounded by the spread.
+        let median = projections[projections.len() / 2];
+        let jitter = (rng.f32() - 0.5) * (hi - lo) * 0.1;
+        let offset = (median + jitter).clamp(lo + (hi - lo) * 0.05, hi - (hi - lo) * 0.05);
+        Some(Split::Plane { normal, offset })
+    }
+}
+
+/// ANNOY split: the perpendicular bisector of two randomly chosen points
+/// from the node (threshold is effectively a random median direction).
+#[derive(Debug, Default, Clone)]
+pub struct AnnoySplitter;
+
+impl Splitter for AnnoySplitter {
+    fn name(&self) -> &'static str {
+        "annoy"
+    }
+
+    fn split(&self, data: &Vectors, points: &[u32], rng: &mut Rng) -> Option<Split> {
+        let dim = data.dim();
+        // Try a few random pairs to find two distinct points.
+        for _ in 0..8 {
+            let a = data.get(*rng.choose(points) as usize);
+            let b = data.get(*rng.choose(points) as usize);
+            let mut normal: Vec<f32> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+            let norm = kernel::norm(&normal);
+            if norm < 1e-12 {
+                continue;
+            }
+            for x in &mut normal {
+                *x /= norm;
+            }
+            // Plane through the midpoint of a and b.
+            let mid: f32 = a
+                .iter()
+                .zip(b)
+                .enumerate()
+                .map(|(i, (x, y))| normal[i] * (x + y) * 0.5)
+                .sum();
+            let _ = dim;
+            return Some(Split::Plane { normal, offset: mid });
+        }
+        None
+    }
+}
+
+/// PCA tree: split along the top principal component of the node's points
+/// (principal axis via implicit-covariance power iteration).
+#[derive(Debug, Clone)]
+pub struct PcaSplitter {
+    /// Power-iteration steps.
+    pub iters: usize,
+}
+
+impl Default for PcaSplitter {
+    fn default() -> Self {
+        PcaSplitter { iters: 12 }
+    }
+}
+
+impl Splitter for PcaSplitter {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn split(&self, data: &Vectors, points: &[u32], rng: &mut Rng) -> Option<Split> {
+        let dim = data.dim();
+        let (mean, _) = subset_variances(data, points);
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.normal()).collect();
+        for _ in 0..self.iters {
+            // w = sum_i (x_i - mean) ((x_i - mean) . v)
+            let mut w = vec![0.0f64; dim];
+            for &p in points {
+                let row = data.get(p as usize);
+                let mut proj = 0.0f64;
+                for i in 0..dim {
+                    proj += (row[i] as f64 - mean[i]) * v[i];
+                }
+                for i in 0..dim {
+                    w[i] += (row[i] as f64 - mean[i]) * proj;
+                }
+            }
+            let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                return None;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            v = w;
+        }
+        let normal: Vec<f32> = v.iter().map(|&x| x as f32).collect();
+        let projections: Vec<f32> =
+            points.iter().map(|&p| kernel::dot(&normal, data.get(p as usize))).collect();
+        let offset = median_threshold(projections)?;
+        Some(Split::Plane { normal, offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+
+    fn subset(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn kd_splits_max_variance_axis() {
+        let mut data = Vectors::new(2);
+        for i in 0..20 {
+            data.push(&[i as f32, 0.001 * i as f32]).unwrap();
+        }
+        let mut rng = Rng::seed_from_u64(1);
+        let s = KdSplitter.split(&data, &subset(20), &mut rng).unwrap();
+        match s {
+            Split::Axis { axis, .. } => assert_eq!(axis, 0),
+            _ => panic!("kd must be axis-aligned"),
+        }
+    }
+
+    #[test]
+    fn splits_partition_nontrivially() {
+        let mut rng = Rng::seed_from_u64(2);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let pts = subset(200);
+        let splitters: Vec<Box<dyn Splitter>> = vec![
+            Box::new(KdSplitter),
+            Box::new(RandomizedKdSplitter::default()),
+            Box::new(RpSplitter),
+            Box::new(AnnoySplitter),
+            Box::new(PcaSplitter::default()),
+        ];
+        for sp in &splitters {
+            let split = sp.split(&data, &pts, &mut rng).unwrap_or_else(|| panic!("{} failed", sp.name()));
+            let left = pts.iter().filter(|&&p| split.goes_left(data.get(p as usize))).count();
+            assert!(
+                (20..=180).contains(&left),
+                "{} produced a degenerate split: {left}/200 left",
+                sp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn identical_points_yield_no_split() {
+        let mut data = Vectors::new(3);
+        for _ in 0..10 {
+            data.push(&[1.0, 2.0, 3.0]).unwrap();
+        }
+        let mut rng = Rng::seed_from_u64(3);
+        assert!(KdSplitter.split(&data, &subset(10), &mut rng).is_none());
+        assert!(RpSplitter.split(&data, &subset(10), &mut rng).is_none());
+        assert!(AnnoySplitter.split(&data, &subset(10), &mut rng).is_none());
+        assert!(PcaSplitter::default().split(&data, &subset(10), &mut rng).is_none());
+    }
+
+    #[test]
+    fn margin_is_signed_distance_for_unit_normals() {
+        let s = Split::Plane { normal: vec![1.0, 0.0], offset: 2.0 };
+        assert_eq!(s.margin(&[5.0, 7.0]), 3.0);
+        assert_eq!(s.margin(&[0.0, 7.0]), -2.0);
+        assert!(s.goes_left(&[0.0, 0.0]));
+        let a = Split::Axis { axis: 1, threshold: 1.0 };
+        assert_eq!(a.margin(&[9.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn pca_splitter_finds_dominant_direction() {
+        // Points along the diagonal: PCA normal should be ~(1,1)/sqrt(2).
+        let mut rng = Rng::seed_from_u64(4);
+        let mut data = Vectors::new(2);
+        for _ in 0..100 {
+            let t = rng.normal_f32() * 5.0;
+            data.push(&[t + rng.normal_f32() * 0.01, t - rng.normal_f32() * 0.01]).unwrap();
+        }
+        let s = PcaSplitter::default().split(&data, &subset(100), &mut rng).unwrap();
+        match s {
+            Split::Plane { normal, .. } => {
+                assert!((normal[0].abs() - normal[1].abs()).abs() < 0.05, "{normal:?}");
+            }
+            _ => panic!("pca produces plane splits"),
+        }
+    }
+}

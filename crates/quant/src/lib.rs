@@ -1,0 +1,24 @@
+//! # vdb-quant
+//!
+//! Vector compression via quantization (§2.2(3) of *"Vector Database
+//! Management Techniques and Systems"*, SIGMOD 2024):
+//!
+//! - [`kmeans`] — Lloyd's k-means with k-means++ seeding; the learned
+//!   partitioner behind IVF buckets, SPANN clusters, and PQ codebooks,
+//! - [`sq`] — scalar quantization (SQ8 / SQ4),
+//! - [`pq`] — product quantization with ADC lookup tables,
+//! - [`opq`] — optimized PQ (variance-balancing permutation + rotation
+//!   search; see DESIGN.md for the Procrustes substitution).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kmeans;
+pub mod opq;
+pub mod pq;
+pub mod sq;
+
+pub use kmeans::{KMeans, KMeansConfig};
+pub use opq::{OpqConfig, OpqQuantizer};
+pub use pq::{AdcTable, PqConfig, ProductQuantizer};
+pub use sq::{ScalarQuantizer, SqBits};

@@ -1,0 +1,291 @@
+//! Optimized product quantization (Ge et al., §2.2(3)).
+//!
+//! Full OPQ alternates PQ training with an orthogonal Procrustes solve
+//! (requiring SVD). We implement the *non-parametric initialization* that
+//! does most of OPQ's work in practice — **eigenvalue-allocation dimension
+//! permutation** (balance variance across subspaces so no codebook is
+//! starved) — plus a randomized rotation search: train PQ under several
+//! candidate orthonormal rotations (identity, the variance-balancing
+//! permutation, and random rotations) and keep the one with minimum
+//! reconstruction error. The substitution is recorded in DESIGN.md; the
+//! observable behaviour (OPQ ≤ PQ reconstruction error, better recall at
+//! equal code size on correlated data) is preserved.
+
+use crate::pq::{AdcTable, PqConfig, ProductQuantizer};
+use vdb_core::error::{Error, Result};
+use vdb_core::linalg::Matrix;
+use vdb_core::rng::Rng;
+use vdb_core::vector::Vectors;
+
+/// Configuration for OPQ training.
+#[derive(Debug, Clone)]
+pub struct OpqConfig {
+    /// Underlying PQ configuration.
+    pub pq: PqConfig,
+    /// Number of random candidate rotations to try (besides identity and
+    /// the variance-balancing permutation).
+    pub rotations: usize,
+    /// RNG seed for candidate rotations.
+    pub seed: u64,
+}
+
+impl OpqConfig {
+    /// Default config for `m` subspaces.
+    pub fn new(m: usize) -> Self {
+        OpqConfig { pq: PqConfig::new(m), rotations: 3, seed: 0x0B0E }
+    }
+}
+
+/// A trained OPQ quantizer: an orthonormal rotation followed by PQ.
+#[derive(Debug, Clone)]
+pub struct OpqQuantizer {
+    rotation: Matrix,
+    pq: ProductQuantizer,
+    /// Reconstruction error achieved on the training set.
+    pub train_error: f64,
+    /// Which candidate won: "identity", "permutation", or "random_i".
+    pub chosen: String,
+}
+
+impl OpqQuantizer {
+    /// Train by candidate-rotation search.
+    pub fn train(data: &Vectors, cfg: &OpqConfig) -> Result<Self> {
+        if data.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        let dim = data.dim();
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut candidates: Vec<(String, Matrix)> = vec![
+            ("identity".to_string(), Matrix::identity(dim)),
+            ("permutation".to_string(), variance_balancing_permutation(data, cfg.pq.m)?),
+        ];
+        for i in 0..cfg.rotations {
+            candidates.push((format!("random_{i}"), Matrix::random_rotation(dim, &mut rng)));
+        }
+        let mut best: Option<(String, Matrix, ProductQuantizer, f64)> = None;
+        for (name, rot) in candidates {
+            let rotated = rotate_all(data, &rot);
+            let pq = ProductQuantizer::train(&rotated, &cfg.pq)?;
+            let err = pq.reconstruction_error(&rotated);
+            if best.as_ref().is_none_or(|(_, _, _, e)| err < *e) {
+                best = Some((name, rot, pq, err));
+            }
+        }
+        let (chosen, rotation, pq, train_error) = best.expect("at least one candidate");
+        Ok(OpqQuantizer { rotation, pq, train_error, chosen })
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.pq.dim()
+    }
+
+    /// Bytes per encoded vector.
+    pub fn code_len(&self) -> usize {
+        self.pq.code_len()
+    }
+
+    /// Rotate a vector into the quantizer's frame.
+    pub fn rotate(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; v.len()];
+        self.rotation.apply_f32(v, &mut out);
+        out
+    }
+
+    /// Encode a vector (rotation + PQ).
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        if v.len() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), actual: v.len() });
+        }
+        self.pq.encode(&self.rotate(v))
+    }
+
+    /// Decode back into the *original* frame (inverse rotation = transpose
+    /// for orthonormal matrices).
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        let rotated = self.pq.decode(code);
+        let inv = self.rotation.transpose();
+        let mut out = vec![0.0f32; rotated.len()];
+        inv.apply_f32(&rotated, &mut out);
+        out
+    }
+
+    /// ADC table for a query (built in the rotated frame; distances are
+    /// preserved because the rotation is orthonormal).
+    pub fn adc_table(&self, query: &[f32]) -> Result<AdcTable> {
+        if query.len() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), actual: query.len() });
+        }
+        self.pq.adc_table(&self.rotate(query))
+    }
+
+    /// Mean squared reconstruction error on a dataset (original frame).
+    pub fn reconstruction_error(&self, data: &Vectors) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for row in data.iter() {
+            let code = self.encode(row).expect("dims agree");
+            total += vdb_core::kernel::l2_sq(row, &self.decode(&code)) as f64;
+        }
+        total / data.len() as f64
+    }
+}
+
+/// Apply a rotation to every row.
+fn rotate_all(data: &Vectors, rot: &Matrix) -> Vectors {
+    let dim = data.dim();
+    let mut out = Vectors::with_capacity(dim, data.len());
+    let mut buf = vec![0.0f32; dim];
+    for row in data.iter() {
+        rot.apply_f32(row, &mut buf);
+        out.push(&buf).expect("rotation of finite vector is finite");
+    }
+    out
+}
+
+/// Eigenvalue-allocation-style permutation: sort dimensions by variance and
+/// deal them round-robin snake-wise into `m` groups so every subspace gets a
+/// balanced share of the data's energy.
+fn variance_balancing_permutation(data: &Vectors, m: usize) -> Result<Matrix> {
+    let dim = data.dim();
+    if m == 0 || !dim.is_multiple_of(m) {
+        return Err(Error::InvalidParameter(format!("m={m} must divide dim {dim}")));
+    }
+    let mean = data.centroid()?;
+    let mut var = vec![0.0f64; dim];
+    for row in data.iter() {
+        for i in 0..dim {
+            let d = (row[i] - mean[i]) as f64;
+            var[i] += d * d;
+        }
+    }
+    let mut order: Vec<usize> = (0..dim).collect();
+    order.sort_by(|&a, &b| var[b].total_cmp(&var[a]).then(a.cmp(&b)));
+    // Snake deal: groups 0..m, m-1..0, 0..m, ... so large variances spread.
+    let dsub = dim / m;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::with_capacity(dsub); m];
+    let mut gi = 0usize;
+    let mut dir = 1i64;
+    for &d in &order {
+        // Find next group with space, snaking.
+        let mut attempts = 0;
+        while groups[gi].len() >= dsub && attempts <= 2 * m {
+            let next = gi as i64 + dir;
+            if next < 0 || next >= m as i64 {
+                dir = -dir;
+            } else {
+                gi = next as usize;
+            }
+            attempts += 1;
+        }
+        groups[gi].push(d);
+        let next = gi as i64 + dir;
+        if next < 0 || next >= m as i64 {
+            dir = -dir;
+        } else {
+            gi = next as usize;
+        }
+    }
+    // Permutation matrix: new position r takes old dimension perm[r].
+    let perm: Vec<usize> = groups.into_iter().flatten().collect();
+    let mut p = Matrix::zeros(dim, dim);
+    for (new_pos, &old_dim) in perm.iter().enumerate() {
+        p[(new_pos, old_dim)] = 1.0;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::kernel;
+
+    /// Data with wildly unbalanced variance across dimensions — the case
+    /// OPQ's permutation fixes (plain PQ would give one subspace all the
+    /// energy).
+    fn anisotropic(n: usize, dim: usize, seed: u64) -> Vectors {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut v = Vectors::with_capacity(dim, n);
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..n {
+            for (i, x) in row.iter_mut().enumerate() {
+                // First half of dims: large variance; second half: tiny.
+                let scale = if i < dim / 2 { 5.0 } else { 0.05 };
+                *x = rng.normal_f32() * scale;
+            }
+            v.push(&row).unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn opq_no_worse_than_plain_pq() {
+        let data = anisotropic(500, 16, 1);
+        let opq = OpqQuantizer::train(&data, &OpqConfig::new(4)).unwrap();
+        let pq = ProductQuantizer::train(&data, &PqConfig::new(4)).unwrap();
+        let e_opq = opq.reconstruction_error(&data);
+        let e_pq = pq.reconstruction_error(&data);
+        assert!(e_opq <= e_pq * 1.001, "OPQ {e_opq} vs PQ {e_pq}");
+    }
+
+    #[test]
+    fn permutation_balances_anisotropic_data() {
+        let data = anisotropic(400, 8, 2);
+        let p = variance_balancing_permutation(&data, 2).unwrap();
+        // Rotating then splitting in half should mix high- and low-variance
+        // dims into both halves: check each new half has at least one old
+        // high-variance dim (old dims 0..4).
+        let mut halves = [0usize; 2];
+        for new_pos in 0..8 {
+            for old in 0..4 {
+                if p[(new_pos, old)] == 1.0 {
+                    halves[new_pos / 4] += 1;
+                }
+            }
+        }
+        assert!(halves[0] > 0 && halves[1] > 0, "high-variance dims split: {halves:?}");
+    }
+
+    #[test]
+    fn roundtrip_decode_in_original_frame() {
+        let mut rng = Rng::seed_from_u64(3);
+        let data = dataset::clustered(300, 8, 4, 0.2, &mut rng).vectors;
+        let opq = OpqQuantizer::train(&data, &OpqConfig::new(4)).unwrap();
+        // Decoded vectors approximate originals in the original frame.
+        let v = data.get(0);
+        let decoded = opq.decode(&opq.encode(v).unwrap());
+        let err = kernel::l2_sq(v, &decoded);
+        let scale = kernel::l2_sq(v, &[0.0; 8]);
+        assert!(err < scale, "reconstruction better than zero vector");
+    }
+
+    #[test]
+    fn adc_consistent_with_decode() {
+        let mut rng = Rng::seed_from_u64(4);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let opq = OpqQuantizer::train(&data, &OpqConfig::new(2)).unwrap();
+        let q: Vec<f32> = (0..8).map(|_| rng.normal_f32()).collect();
+        let table = opq.adc_table(&q).unwrap();
+        for row in data.iter().take(20) {
+            let code = opq.encode(row).unwrap();
+            // ADC distance is computed in the rotated frame; since the
+            // rotation is orthonormal it must match the original-frame
+            // distance to the decoded vector.
+            let adc = table.distance(&code);
+            let direct = kernel::l2_sq(&q, &opq.decode(&code));
+            assert!((adc - direct).abs() < 1e-2 * direct.max(1.0), "{adc} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(OpqQuantizer::train(&Vectors::new(8), &OpqConfig::new(2)).is_err());
+        let data = anisotropic(50, 8, 5);
+        let opq = OpqQuantizer::train(&data, &OpqConfig::new(2)).unwrap();
+        assert!(opq.encode(&[0.0; 4]).is_err());
+        assert!(opq.adc_table(&[0.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Product quantization (Jégou et al.; the "PQ index" of §2.2(3)).
+//!
+//! The vector space is split into `m` contiguous subspaces; each subspace
+//! gets its own k-means codebook with `2^nbits` centroids. A vector is
+//! encoded as `m` centroid ids. Search uses *asymmetric distance
+//! computation* (ADC): for a query, a `m × 2^nbits` table of partial
+//! squared distances is computed once, after which each candidate's
+//! approximate distance is `m` table lookups — the inner loop that
+//! QuickADC-style SIMD work accelerates (§2.3).
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use vdb_core::error::{Error, Result};
+use vdb_core::kernel;
+use vdb_core::vector::Vectors;
+
+/// Configuration for training a product quantizer.
+#[derive(Debug, Clone)]
+pub struct PqConfig {
+    /// Number of subspaces (`dim` must be divisible by `m`).
+    pub m: usize,
+    /// Bits per sub-code (codebook size is `2^nbits`; 8 → 256 centroids).
+    pub nbits: u8,
+    /// k-means iterations per subspace.
+    pub train_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PqConfig {
+    /// Default config with `m` subspaces and 8-bit codes.
+    pub fn new(m: usize) -> Self {
+        PqConfig { m, nbits: 8, train_iters: 15, seed: 0xC0DE }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    dim: usize,
+    m: usize,
+    dsub: usize,
+    ksub: usize,
+    /// Codebooks: `m` blocks, each `ksub × dsub`, flattened row-major.
+    codebooks: Vec<f32>,
+}
+
+/// A per-query ADC lookup table.
+#[derive(Debug, Clone)]
+pub struct AdcTable {
+    m: usize,
+    ksub: usize,
+    /// `m × ksub` partial squared distances.
+    table: Vec<f32>,
+}
+
+impl AdcTable {
+    /// Approximate squared distance of the encoded vector to the query.
+    #[inline]
+    pub fn distance(&self, code: &[u8]) -> f32 {
+        debug_assert_eq!(code.len(), self.m);
+        let mut acc = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            acc += self.table[sub * self.ksub + c as usize];
+        }
+        acc
+    }
+
+    /// Batched ADC over contiguous codes, writing into `out` (the
+    /// register-friendly scan loop of §2.3 hardware acceleration).
+    pub fn distance_batch(&self, codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(codes.len(), self.m * out.len());
+        for (o, code) in out.iter_mut().zip(codes.chunks_exact(self.m)) {
+            *o = self.distance(code);
+        }
+    }
+}
+
+impl ProductQuantizer {
+    /// Train codebooks on `data`.
+    pub fn train(data: &Vectors, cfg: &PqConfig) -> Result<Self> {
+        if data.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        let dim = data.dim();
+        if cfg.m == 0 || !dim.is_multiple_of(cfg.m) {
+            return Err(Error::InvalidParameter(format!(
+                "m={} must divide dimension {dim}",
+                cfg.m
+            )));
+        }
+        if cfg.nbits == 0 || cfg.nbits > 8 {
+            return Err(Error::InvalidParameter("nbits must be in 1..=8".into()));
+        }
+        let m = cfg.m;
+        let dsub = dim / m;
+        let ksub = 1usize << cfg.nbits;
+        let mut codebooks = vec![0.0f32; m * ksub * dsub];
+        for sub in 0..m {
+            // Slice out this subspace from every vector.
+            let mut subdata = Vectors::with_capacity(dsub, data.len());
+            for row in data.iter() {
+                subdata
+                    .push(&row[sub * dsub..(sub + 1) * dsub])
+                    .expect("subvector of valid vector is valid");
+            }
+            let km = KMeans::train(
+                &subdata,
+                &KMeansConfig {
+                    k: ksub,
+                    max_iters: cfg.train_iters,
+                    tolerance: 1e-4,
+                    seed: cfg.seed.wrapping_add(sub as u64),
+                },
+            )?;
+            let trained = km.centroids();
+            // If fewer than ksub distinct centroids were trainable (tiny
+            // data), duplicate the last one to fill the codebook.
+            for c in 0..ksub {
+                let src = trained.get(c.min(trained.len() - 1));
+                let dst = &mut codebooks
+                    [(sub * ksub + c) * dsub..(sub * ksub + c + 1) * dsub];
+                dst.copy_from_slice(src);
+            }
+        }
+        Ok(ProductQuantizer { dim, m, dsub, ksub, codebooks })
+    }
+
+    /// Reassemble a quantizer from raw parts (deserialization of
+    /// disk-resident indexes). `codebooks` must hold `m * ksub * (dim/m)`
+    /// floats in the layout produced by [`ProductQuantizer::codebooks`].
+    pub fn from_parts(dim: usize, m: usize, ksub: usize, codebooks: Vec<f32>) -> Result<Self> {
+        if m == 0 || !dim.is_multiple_of(m) {
+            return Err(Error::InvalidParameter(format!("m={m} must divide dimension {dim}")));
+        }
+        if ksub == 0 || !ksub.is_power_of_two() || ksub > 256 {
+            return Err(Error::InvalidParameter(format!("ksub={ksub} must be a power of two <= 256")));
+        }
+        let dsub = dim / m;
+        if codebooks.len() != m * ksub * dsub {
+            return Err(Error::InvalidParameter(format!(
+                "codebook buffer has {} floats, expected {}",
+                codebooks.len(),
+                m * ksub * dsub
+            )));
+        }
+        Ok(ProductQuantizer { dim, m, dsub, ksub, codebooks })
+    }
+
+    /// The raw codebook buffer (serialization of disk-resident indexes).
+    pub fn codebooks(&self) -> &[f32] {
+        &self.codebooks
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of subspaces (= bytes per code at nbits=8).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Codebook size per subspace.
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    /// Bytes per encoded vector.
+    pub fn code_len(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn centroid(&self, sub: usize, c: usize) -> &[f32] {
+        let start = (sub * self.ksub + c) * self.dsub;
+        &self.codebooks[start..start + self.dsub]
+    }
+
+    /// Encode a vector into `m` sub-codes.
+    pub fn encode_into(&self, v: &[f32], out: &mut [u8]) -> Result<()> {
+        if v.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+        }
+        debug_assert_eq!(out.len(), self.m);
+        for sub in 0..self.m {
+            let sv = &v[sub * self.dsub..(sub + 1) * self.dsub];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.ksub {
+                let d = kernel::l2_sq(sv, self.centroid(sub, c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out[sub] = best as u8;
+        }
+        Ok(())
+    }
+
+    /// Encode, allocating the code.
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.m];
+        self.encode_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a code into the concatenation of its centroids.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        debug_assert_eq!(code.len(), self.m);
+        let mut out = vec![0.0f32; self.dim];
+        for sub in 0..self.m {
+            out[sub * self.dsub..(sub + 1) * self.dsub]
+                .copy_from_slice(self.centroid(sub, code[sub] as usize));
+        }
+        out
+    }
+
+    /// Build the per-query ADC lookup table (squared L2).
+    pub fn adc_table(&self, query: &[f32]) -> Result<AdcTable> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        let mut table = vec![0.0f32; self.m * self.ksub];
+        for sub in 0..self.m {
+            let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
+            for c in 0..self.ksub {
+                table[sub * self.ksub + c] = kernel::l2_sq(qv, self.centroid(sub, c));
+            }
+        }
+        Ok(AdcTable { m: self.m, ksub: self.ksub, table })
+    }
+
+    /// Mean squared reconstruction error over a dataset (OPQ's objective).
+    pub fn reconstruction_error(&self, data: &Vectors) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        let mut code = vec![0u8; self.m];
+        for row in data.iter() {
+            self.encode_into(row, &mut code).expect("dims agree");
+            total += kernel::l2_sq(row, &self.decode(&code)) as f64;
+        }
+        total / data.len() as f64
+    }
+
+    /// Approximate heap size of the codebooks.
+    pub fn memory_bytes(&self) -> usize {
+        self.codebooks.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::rng::Rng;
+
+    fn train_pq(dim: usize, m: usize, n: usize, seed: u64) -> (ProductQuantizer, Vectors) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let data = dataset::clustered(n, dim, 8, 0.3, &mut rng).vectors;
+        let pq = ProductQuantizer::train(&data, &PqConfig::new(m)).unwrap();
+        (pq, data)
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random_code() {
+        let (pq, data) = train_pq(16, 4, 400, 1);
+        let mut rng = Rng::seed_from_u64(2);
+        let mut real_err = 0.0f64;
+        let mut rand_err = 0.0f64;
+        for row in data.iter().take(50) {
+            let code = pq.encode(row).unwrap();
+            real_err += kernel::l2_sq(row, &pq.decode(&code)) as f64;
+            let rand_code: Vec<u8> = (0..4).map(|_| rng.below(256) as u8).collect();
+            rand_err += kernel::l2_sq(row, &pq.decode(&rand_code)) as f64;
+        }
+        assert!(real_err < rand_err * 0.5, "{real_err} vs {rand_err}");
+    }
+
+    #[test]
+    fn adc_matches_decode_distance() {
+        let (pq, data) = train_pq(16, 4, 300, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let q: Vec<f32> = (0..16).map(|_| rng.f32() * 10.0).collect();
+        let table = pq.adc_table(&q).unwrap();
+        for row in data.iter().take(30) {
+            let code = pq.encode(row).unwrap();
+            let adc = table.distance(&code);
+            let exact_to_decoded = kernel::l2_sq(&q, &pq.decode(&code));
+            assert!((adc - exact_to_decoded).abs() < 1e-2 * exact_to_decoded.max(1.0));
+        }
+    }
+
+    #[test]
+    fn adc_batch_matches_single() {
+        let (pq, data) = train_pq(8, 2, 200, 5);
+        let q: Vec<f32> = vec![1.0; 8];
+        let table = pq.adc_table(&q).unwrap();
+        let codes: Vec<u8> = data
+            .iter()
+            .take(10)
+            .flat_map(|row| pq.encode(row).unwrap())
+            .collect();
+        let mut out = vec![0.0f32; 10];
+        table.distance_batch(&codes, &mut out);
+        for i in 0..10 {
+            assert_eq!(out[i], table.distance(&codes[i * 2..(i + 1) * 2]));
+        }
+    }
+
+    #[test]
+    fn more_subspaces_lower_error() {
+        let (pq2, data) = train_pq(16, 2, 500, 6);
+        let pq8 = ProductQuantizer::train(&data, &PqConfig::new(8)).unwrap();
+        let e2 = pq2.reconstruction_error(&data);
+        let e8 = pq8.reconstruction_error(&data);
+        assert!(e8 < e2, "m=8 ({e8}) should beat m=2 ({e2})");
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data = dataset::gaussian(50, 10, &mut rng);
+        assert!(ProductQuantizer::train(&data, &PqConfig::new(3)).is_err(), "3 does not divide 10");
+        assert!(ProductQuantizer::train(&data, &PqConfig::new(0)).is_err());
+        let mut cfg = PqConfig::new(2);
+        cfg.nbits = 9;
+        assert!(ProductQuantizer::train(&data, &cfg).is_err());
+        assert!(ProductQuantizer::train(&Vectors::new(8), &PqConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn small_nbits_codebooks() {
+        let mut rng = Rng::seed_from_u64(8);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let mut cfg = PqConfig::new(4);
+        cfg.nbits = 4;
+        let pq = ProductQuantizer::train(&data, &cfg).unwrap();
+        assert_eq!(pq.ksub(), 16);
+        let code = pq.encode(data.get(0)).unwrap();
+        assert!(code.iter().all(|&c| (c as usize) < 16));
+    }
+
+    #[test]
+    fn tiny_dataset_fills_codebook() {
+        let mut rng = Rng::seed_from_u64(9);
+        let data = dataset::gaussian(5, 8, &mut rng); // fewer points than ksub
+        let pq = ProductQuantizer::train(&data, &PqConfig::new(2)).unwrap();
+        let code = pq.encode(data.get(0)).unwrap();
+        assert_eq!(code.len(), 2);
+    }
+}

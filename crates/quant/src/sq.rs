@@ -1,0 +1,269 @@
+//! Scalar quantization (the "SQ index" family, §2.2(3)).
+//!
+//! Each dimension is linearly mapped to a small unsigned integer using
+//! per-dimension min/max learned from training data. SQ8 stores one byte
+//! per dimension (4× compression over f32), SQ4 packs two dimensions per
+//! byte (8×).
+
+use vdb_core::error::{Error, Result};
+use vdb_core::vector::Vectors;
+
+/// Bit width of scalar codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqBits {
+    /// 8 bits per dimension.
+    B8,
+    /// 4 bits per dimension (two dims per byte).
+    B4,
+}
+
+impl SqBits {
+    fn levels(self) -> u32 {
+        match self {
+            SqBits::B8 => 256,
+            SqBits::B4 => 16,
+        }
+    }
+}
+
+/// A trained scalar quantizer.
+#[derive(Debug, Clone)]
+pub struct ScalarQuantizer {
+    dim: usize,
+    bits: SqBits,
+    min: Vec<f32>,
+    /// Per-dimension step `(max - min) / (levels - 1)`; zero for constant
+    /// dimensions.
+    step: Vec<f32>,
+}
+
+impl ScalarQuantizer {
+    /// Learn per-dimension ranges from training vectors.
+    pub fn train(data: &Vectors, bits: SqBits) -> Result<Self> {
+        if data.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        let dim = data.dim();
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        for row in data.iter() {
+            for i in 0..dim {
+                min[i] = min[i].min(row[i]);
+                max[i] = max[i].max(row[i]);
+            }
+        }
+        let levels = bits.levels();
+        let step = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| if hi > lo { (hi - lo) / (levels - 1) as f32 } else { 0.0 })
+            .collect();
+        Ok(ScalarQuantizer { dim, bits, min, step })
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes each encoded vector occupies.
+    pub fn code_len(&self) -> usize {
+        match self.bits {
+            SqBits::B8 => self.dim,
+            SqBits::B4 => self.dim.div_ceil(2),
+        }
+    }
+
+    /// Encode one vector into `out` (must be `code_len()` bytes).
+    pub fn encode_into(&self, v: &[f32], out: &mut [u8]) -> Result<()> {
+        if v.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+        }
+        debug_assert_eq!(out.len(), self.code_len());
+        let levels = self.bits.levels();
+        let quantize = |i: usize| -> u32 {
+            if self.step[i] == 0.0 {
+                0
+            } else {
+                let q = ((v[i] - self.min[i]) / self.step[i]).round();
+                (q.max(0.0) as u32).min(levels - 1)
+            }
+        };
+        match self.bits {
+            SqBits::B8 => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = quantize(i) as u8;
+                }
+            }
+            SqBits::B4 => {
+                for o in out.iter_mut() {
+                    *o = 0;
+                }
+                for i in 0..self.dim {
+                    let q = quantize(i) as u8;
+                    out[i / 2] |= if i % 2 == 0 { q } else { q << 4 };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode one vector, allocating the code.
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.code_len()];
+        self.encode_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a code back into an approximate vector.
+    pub fn decode_into(&self, code: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(code.len(), self.code_len());
+        debug_assert_eq!(out.len(), self.dim);
+        for i in 0..self.dim {
+            let q = match self.bits {
+                SqBits::B8 => code[i] as u32,
+                SqBits::B4 => {
+                    let b = code[i / 2];
+                    (if i % 2 == 0 { b & 0x0F } else { b >> 4 }) as u32
+                }
+            };
+            out[i] = self.min[i] + q as f32 * self.step[i];
+        }
+    }
+
+    /// Decode a code, allocating the output.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        self.decode_into(code, &mut out);
+        out
+    }
+
+    /// Asymmetric squared-L2 distance: exact query against a decoded code.
+    pub fn asymmetric_l2_sq(&self, query: &[f32], code: &[u8]) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        let mut acc = 0.0f32;
+        for i in 0..self.dim {
+            let q = match self.bits {
+                SqBits::B8 => code[i] as u32,
+                SqBits::B4 => {
+                    let b = code[i / 2];
+                    (if i % 2 == 0 { b & 0x0F } else { b >> 4 }) as u32
+                }
+            };
+            let decoded = self.min[i] + q as f32 * self.step[i];
+            let d = query[i] - decoded;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Worst-case per-component reconstruction error (half a step).
+    pub fn max_component_error(&self) -> f32 {
+        self.step.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::kernel;
+    use vdb_core::rng::Rng;
+
+    #[test]
+    fn roundtrip_error_bounded_sq8() {
+        let mut rng = Rng::seed_from_u64(1);
+        let data = dataset::gaussian(500, 16, &mut rng);
+        let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        let bound = sq.max_component_error() + 1e-6;
+        for row in data.iter().take(100) {
+            let decoded = sq.decode(&sq.encode(row).unwrap());
+            for (a, b) in row.iter().zip(&decoded) {
+                assert!((a - b).abs() <= bound, "{a} vs {b}, bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn sq4_coarser_than_sq8() {
+        let mut rng = Rng::seed_from_u64(2);
+        let data = dataset::gaussian(300, 8, &mut rng);
+        let sq8 = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        let sq4 = ScalarQuantizer::train(&data, SqBits::B4).unwrap();
+        assert_eq!(sq8.code_len(), 8);
+        assert_eq!(sq4.code_len(), 4);
+        let mut err8 = 0.0f64;
+        let mut err4 = 0.0f64;
+        for row in data.iter() {
+            err8 += kernel::l2_sq(row, &sq8.decode(&sq8.encode(row).unwrap())) as f64;
+            err4 += kernel::l2_sq(row, &sq4.decode(&sq4.encode(row).unwrap())) as f64;
+        }
+        assert!(err4 > err8, "4-bit must lose more information");
+    }
+
+    #[test]
+    fn asymmetric_matches_decode_then_l2() {
+        let mut rng = Rng::seed_from_u64(3);
+        let data = dataset::gaussian(100, 12, &mut rng);
+        for bits in [SqBits::B8, SqBits::B4] {
+            let sq = ScalarQuantizer::train(&data, bits).unwrap();
+            let q: Vec<f32> = (0..12).map(|_| rng.normal_f32()).collect();
+            for row in data.iter().take(20) {
+                let code = sq.encode(row).unwrap();
+                let via_decode = kernel::l2_sq(&q, &sq.decode(&code));
+                let direct = sq.asymmetric_l2_sq(&q, &code);
+                assert!((via_decode - direct).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_handled() {
+        let mut data = Vectors::new(3);
+        for i in 0..10 {
+            data.push(&[5.0, i as f32, -1.0]).unwrap();
+        }
+        let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        let decoded = sq.decode(&sq.encode(&[5.0, 3.0, -1.0]).unwrap());
+        assert_eq!(decoded[0], 5.0);
+        assert_eq!(decoded[2], -1.0);
+    }
+
+    #[test]
+    fn odd_dimension_sq4_packs_correctly() {
+        let mut data = Vectors::new(5);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let row: Vec<f32> = (0..5).map(|_| rng.f32()).collect();
+            data.push(&row).unwrap();
+        }
+        let sq = ScalarQuantizer::train(&data, SqBits::B4).unwrap();
+        assert_eq!(sq.code_len(), 3);
+        let v = data.get(0);
+        let decoded = sq.decode(&sq.encode(v).unwrap());
+        let bound = sq.max_component_error() + 1e-6;
+        for (a, b) in v.iter().zip(&decoded) {
+            assert!((a - b).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(ScalarQuantizer::train(&Vectors::new(4), SqBits::B8).is_err());
+        let mut data = Vectors::new(2);
+        data.push(&[0.0, 1.0]).unwrap();
+        let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        assert!(sq.encode(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut data = Vectors::new(1);
+        data.push(&[0.0]).unwrap();
+        data.push(&[1.0]).unwrap();
+        let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        // Values outside the trained range clamp to the edges.
+        assert_eq!(sq.decode(&sq.encode(&[-5.0]).unwrap())[0], 0.0);
+        assert_eq!(sq.decode(&sq.encode(&[9.0]).unwrap())[0], 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Batched query execution (§2.1 "batched queries", §2.3).
+//!
+//! Two classic batching gains are implemented: (1) *shared predicate
+//! work* — queries carrying the same predicate share one bitmask
+//! materialization and one plan selection, and (2) *parallel similarity
+//! projection* across OS threads (the CPU stand-in for the GPU batching of
+//! [50]).
+
+use crate::exec::{execute, QueryContext};
+use crate::optimizer::Planner;
+use crate::plan::{Strategy, VectorQuery};
+use std::collections::HashMap;
+use vdb_core::bitset::BitSet;
+use vdb_core::error::Result;
+use vdb_core::topk::{Neighbor, TopK};
+
+/// Batch execution options.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { threads: 4 }
+    }
+}
+
+/// Execute a batch, returning per-query results aligned with the input.
+pub fn execute_batch(
+    ctx: &QueryContext<'_>,
+    queries: &[VectorQuery],
+    planner: &Planner,
+    opts: &BatchOptions,
+) -> Result<Vec<Vec<Neighbor>>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Group by predicate text: one plan + one bitmask per distinct
+    // predicate (the batch's shared work).
+    let mut plans: HashMap<String, (Strategy, Option<BitSet>)> = HashMap::new();
+    for q in queries {
+        let key = q.predicate.to_string();
+        if plans.contains_key(&key) {
+            continue;
+        }
+        let plan = planner.plan(ctx, q);
+        let bits = match plan.strategy {
+            Strategy::PreFilter | Strategy::BlockFirst if q.is_hybrid() => {
+                Some(q.predicate.bitmask(ctx.attrs)?)
+            }
+            _ => None,
+        };
+        plans.insert(key, (plan.strategy, bits));
+    }
+
+    let threads = opts.threads.max(1).min(queries.len());
+    let mut results: Vec<Result<Vec<Neighbor>>> = Vec::with_capacity(queries.len());
+    if threads == 1 {
+        for q in queries {
+            let (strategy, bits) = &plans[&q.predicate.to_string()];
+            results.push(run_one(ctx, q, *strategy, bits.as_ref()));
+        }
+    } else {
+        let chunk = queries.len().div_ceil(threads);
+        let mut slots: Vec<Option<Result<Vec<Neighbor>>>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let plans_ref = &plans;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let qs = &queries[t * chunk..(t * chunk + slot_chunk.len())];
+                handles.push(scope.spawn(move || {
+                    for (slot, q) in slot_chunk.iter_mut().zip(qs) {
+                        let (strategy, bits) = &plans_ref[&q.predicate.to_string()];
+                        *slot = Some(run_one(ctx, q, *strategy, bits.as_ref()));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("batch worker panicked");
+            }
+        });
+        results.extend(slots.into_iter().map(|s| s.expect("every slot filled")));
+    }
+    results.into_iter().collect()
+}
+
+/// Run one query, reusing a shared bitmask when the strategy consumes one.
+fn run_one(
+    ctx: &QueryContext<'_>,
+    q: &VectorQuery,
+    strategy: Strategy,
+    bits: Option<&BitSet>,
+) -> Result<Vec<Neighbor>> {
+    match (strategy, bits) {
+        (Strategy::BlockFirst, Some(bits)) => {
+            ctx.index.search_blocked(&q.vector, q.k, &q.params, bits)
+        }
+        (Strategy::PreFilter, Some(bits)) => {
+            let metric = ctx.index.metric();
+            let mut top = TopK::new(q.k.max(1));
+            for row in bits.iter() {
+                top.push(Neighbor::new(row, metric.distance(&q.vector, ctx.vectors.get(row))));
+            }
+            let mut out = top.into_sorted();
+            out.truncate(q.k);
+            Ok(out)
+        }
+        _ => execute(ctx, q, strategy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Predicate;
+    use crate::optimizer::PlannerMode;
+    use vdb_core::attr::AttrType;
+    use vdb_core::dataset;
+    use vdb_core::index::SearchParams;
+    use vdb_core::metric::Metric;
+    use vdb_core::rng::Rng;
+    use vdb_core::vector::Vectors;
+    use vdb_index_graph::{HnswConfig, HnswIndex};
+    use vdb_storage::{AttributeStore, Column};
+
+    struct Fixture {
+        vectors: Vectors,
+        attrs: AttributeStore,
+        index: HnswIndex,
+        queries: Vectors,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = Rng::seed_from_u64(111);
+        let data = dataset::clustered(1200, 12, 8, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 32, 0.05, &mut rng);
+        let mut attrs = AttributeStore::new();
+        attrs
+            .add_column(
+                Column::from_values("x", AttrType::Int, dataset::int_column(1200, 0, 100, &mut rng))
+                    .unwrap(),
+            )
+            .unwrap();
+        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        Fixture { vectors: data, attrs, index, queries }
+    }
+
+    fn batch(f: &Fixture) -> Vec<VectorQuery> {
+        f.queries
+            .iter()
+            .map(|q| {
+                VectorQuery::knn(q.to_vec(), 10)
+                    .filtered(Predicate::lt("x", 50))
+                    .with_params(SearchParams::default().with_beam_width(64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let planner = Planner::new(PlannerMode::CostBased);
+        let qs = batch(&f);
+        let batched =
+            execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 4 }).unwrap();
+        let sequential =
+            execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 1 }).unwrap();
+        assert_eq!(batched.len(), qs.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b, s, "parallelism must not change results");
+        }
+    }
+
+    #[test]
+    fn results_respect_predicates() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let planner = Planner::new(PlannerMode::RuleBased);
+        let qs = batch(&f);
+        let out = execute_batch(&ctx, &qs, &planner, &BatchOptions::default()).unwrap();
+        for (q, hits) in qs.iter().zip(&out) {
+            assert!(hits.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));
+        }
+    }
+
+    #[test]
+    fn mixed_predicates_in_one_batch() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let planner = Planner::new(PlannerMode::CostBased);
+        let mut qs = Vec::new();
+        for (i, q) in f.queries.iter().enumerate().take(12) {
+            let pred = match i % 3 {
+                0 => Predicate::True,
+                1 => Predicate::lt("x", 30),
+                _ => Predicate::gt("x", 70),
+            };
+            qs.push(VectorQuery::knn(q.to_vec(), 5).filtered(pred));
+        }
+        let out = execute_batch(&ctx, &qs, &planner, &BatchOptions::default()).unwrap();
+        assert_eq!(out.len(), 12);
+        for (q, hits) in qs.iter().zip(&out) {
+            assert!(hits.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));
+            assert!(!hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let planner = Planner::new(PlannerMode::CostBased);
+        assert!(execute_batch(&ctx, &[], &planner, &BatchOptions::default()).unwrap().is_empty());
+    }
+}

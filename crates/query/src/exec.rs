@@ -1,0 +1,325 @@
+//! Physical operators for (hybrid) vector queries (§2.3).
+
+use crate::expr::Predicate;
+use crate::plan::{Strategy, VectorQuery};
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{RowFilter, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+use vdb_storage::AttributeStore;
+
+/// Everything an operator needs to run: raw vectors (for exact scans),
+/// attributes (for predicates), and the search index.
+pub struct QueryContext<'a> {
+    /// The raw vector collection (row ids align with the index).
+    pub vectors: &'a Vectors,
+    /// The attribute store (row-aligned with `vectors`).
+    pub attrs: &'a AttributeStore,
+    /// The vector index.
+    pub index: &'a dyn VectorIndex,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Construct, validating row alignment.
+    pub fn new(
+        vectors: &'a Vectors,
+        attrs: &'a AttributeStore,
+        index: &'a dyn VectorIndex,
+    ) -> Result<Self> {
+        if attrs.rows() != 0 && attrs.rows() != vectors.len() {
+            return Err(Error::InvalidParameter(format!(
+                "attribute store has {} rows, vectors {}",
+                attrs.rows(),
+                vectors.len()
+            )));
+        }
+        if index.len() != vectors.len() {
+            return Err(Error::InvalidParameter(format!(
+                "index covers {} rows, vectors {}",
+                index.len(),
+                vectors.len()
+            )));
+        }
+        Ok(QueryContext { vectors, attrs, index })
+    }
+
+    fn metric(&self) -> &Metric {
+        self.index.metric()
+    }
+}
+
+/// A [`RowFilter`] over a predicate with a selectivity hint for
+/// visit-first backtracking control.
+pub struct PredicateFilter<'a> {
+    predicate: &'a Predicate,
+    attrs: &'a AttributeStore,
+    hint: Option<f64>,
+}
+
+impl<'a> PredicateFilter<'a> {
+    /// Wrap a predicate.
+    pub fn new(predicate: &'a Predicate, attrs: &'a AttributeStore, hint: Option<f64>) -> Self {
+        PredicateFilter { predicate, attrs, hint }
+    }
+}
+
+impl RowFilter for PredicateFilter<'_> {
+    fn accept(&self, id: usize) -> bool {
+        self.predicate.eval(self.attrs, id)
+    }
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.hint
+    }
+}
+
+/// Execute `query` under an explicitly chosen strategy.
+pub fn execute(ctx: &QueryContext<'_>, query: &VectorQuery, strategy: Strategy) -> Result<Vec<Neighbor>> {
+    if query.is_hybrid() {
+        query.predicate.validate(ctx.attrs)?;
+    }
+    match strategy {
+        Strategy::BruteForce => brute_force(ctx, query),
+        Strategy::PreFilter => pre_filter(ctx, query),
+        Strategy::PostFilter => post_filter(ctx, query),
+        Strategy::BlockFirst => block_first(ctx, query),
+        Strategy::VisitFirst => visit_first(ctx, query),
+    }
+}
+
+/// Single-stage exact scan: evaluate the predicate inline, score survivors.
+fn brute_force(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+    check_dims(ctx, query)?;
+    let metric = ctx.metric();
+    let compiled = if query.is_hybrid() {
+        Some(crate::compiled::CompiledPredicate::compile(&query.predicate, ctx.attrs)?)
+    } else {
+        None
+    };
+    let mut top = TopK::new(query.k.max(1));
+    for (row, v) in ctx.vectors.iter().enumerate() {
+        if let Some(cp) = &compiled {
+            if !cp.eval(row) {
+                continue;
+            }
+        }
+        top.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+    }
+    Ok(truncated(top, query.k))
+}
+
+/// Pre-filtering: materialize the match set, then score only those rows.
+fn pre_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+    check_dims(ctx, query)?;
+    let metric = ctx.metric();
+    let mut top = TopK::new(query.k.max(1));
+    if query.is_hybrid() {
+        let bits = query.predicate.bitmask(ctx.attrs)?;
+        for row in bits.iter() {
+            top.push(Neighbor::new(row, metric.distance(&query.vector, ctx.vectors.get(row))));
+        }
+    } else {
+        for (row, v) in ctx.vectors.iter().enumerate() {
+            top.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+        }
+    }
+    Ok(truncated(top, query.k))
+}
+
+/// Post-filtering: unconstrained ANN search over-fetching `α·k`, filter,
+/// and double the fetch if the result set came up short (§2.6(3)).
+fn post_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+    let n = ctx.vectors.len();
+    if n == 0 || query.k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut fetch =
+        ((query.k as f32 * query.params.overfetch).ceil() as usize).clamp(query.k, n);
+    loop {
+        let cands = ctx.index.search(&query.vector, fetch, &query.params)?;
+        let got = cands.len();
+        let mut out: Vec<Neighbor> = cands
+            .into_iter()
+            .filter(|c| !query.is_hybrid() || query.predicate.eval(ctx.attrs, c.id))
+            .collect();
+        if out.len() >= query.k || fetch >= n || got < fetch {
+            out.truncate(query.k);
+            return Ok(out);
+        }
+        fetch = (fetch * 2).min(n);
+    }
+}
+
+/// Block-first scan: bitmask pushed into the index.
+fn block_first(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+    if !query.is_hybrid() {
+        return ctx.index.search(&query.vector, query.k, &query.params);
+    }
+    let bits = query.predicate.bitmask(ctx.attrs)?;
+    ctx.index.search_blocked(&query.vector, query.k, &query.params, &bits)
+}
+
+/// Visit-first scan: predicate evaluated during traversal, no bitmask.
+/// The predicate is compiled once — it runs on every *visited* vector, so
+/// per-row column-name resolution would dominate the traversal.
+fn visit_first(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+    if !query.is_hybrid() {
+        return ctx.index.search(&query.vector, query.k, &query.params);
+    }
+    let compiled = crate::compiled::CompiledPredicate::compile(&query.predicate, ctx.attrs)?;
+    ctx.index.search_filtered(&query.vector, query.k, &query.params, &compiled)
+}
+
+fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
+    if query.vector.len() != ctx.vectors.dim() {
+        return Err(Error::DimensionMismatch {
+            expected: ctx.vectors.dim(),
+            actual: query.vector.len(),
+        });
+    }
+    Ok(())
+}
+
+fn truncated(top: TopK, k: usize) -> Vec<Neighbor> {
+    let mut out = top.into_sorted();
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::attr::AttrType;
+    use vdb_core::dataset;
+    use vdb_core::rng::Rng;
+    use vdb_core::index::SearchParams;
+    use vdb_index_graph::{HnswConfig, HnswIndex};
+    use vdb_storage::Column;
+
+    struct Fixture {
+        vectors: Vectors,
+        attrs: AttributeStore,
+        index: HnswIndex,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = Rng::seed_from_u64(90);
+        let data = dataset::clustered(1200, 12, 8, 0.5, &mut rng).vectors;
+        let mut attrs = AttributeStore::new();
+        attrs
+            .add_column(
+                Column::from_values(
+                    "price",
+                    AttrType::Int,
+                    dataset::int_column(1200, 0, 100, &mut rng),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        Fixture { vectors: data, attrs, index }
+    }
+
+    fn hybrid_query(_f: &Fixture, qv: Vec<f32>, cutoff: i64) -> VectorQuery {
+        VectorQuery::knn(qv, 10)
+            .filtered(Predicate::lt("price", cutoff))
+            .with_params(SearchParams::default().with_beam_width(96))
+    }
+
+    #[test]
+    fn all_strategies_return_only_matching_rows() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let q = hybrid_query(&f, f.vectors.get(3).to_vec(), 50);
+        for strategy in Strategy::ALL {
+            let out = execute(&ctx, &q, strategy).unwrap();
+            assert!(!out.is_empty(), "{} returned nothing", strategy.name());
+            for n in &out {
+                assert!(
+                    q.predicate.eval(&f.attrs, n.id),
+                    "{}: row {} violates predicate",
+                    strategy.name(),
+                    n.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_strategies_agree_and_bound_approximate_ones() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let q = hybrid_query(&f, f.vectors.get(11).to_vec(), 40);
+        let brute = execute(&ctx, &q, Strategy::BruteForce).unwrap();
+        let pre = execute(&ctx, &q, Strategy::PreFilter).unwrap();
+        assert_eq!(brute, pre, "both exact strategies must agree");
+        // Approximate strategies achieve decent recall vs the oracle.
+        let oracle: std::collections::HashSet<_> = brute.iter().map(|n| n.id).collect();
+        for strategy in [Strategy::PostFilter, Strategy::VisitFirst, Strategy::BlockFirst] {
+            let out = execute(&ctx, &q, strategy).unwrap();
+            let hits = out.iter().filter(|n| oracle.contains(&n.id)).count();
+            assert!(
+                hits as f64 / oracle.len() as f64 > 0.5,
+                "{}: recall {hits}/{}",
+                strategy.name(),
+                oracle.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unpredicated_queries_work_through_every_strategy() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 5)
+            .with_params(SearchParams::default().with_beam_width(64));
+        for strategy in Strategy::ALL {
+            let out = execute(&ctx, &q, strategy).unwrap();
+            assert_eq!(out[0].id, 0, "{} must find the query point", strategy.name());
+        }
+    }
+
+    #[test]
+    fn post_filter_retries_until_k_found() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        // ~5% selectivity with small initial overfetch forces doubling.
+        let q = VectorQuery::knn(f.vectors.get(7).to_vec(), 10)
+            .filtered(Predicate::lt("price", 5))
+            .with_params(SearchParams::default().with_beam_width(256).with_overfetch(1.0));
+        let out = execute(&ctx, &q, Strategy::PostFilter).unwrap();
+        assert!(out.len() >= 5, "doubling should eventually fill most of k, got {}", out.len());
+    }
+
+    #[test]
+    fn selective_predicate_may_return_fewer_than_k() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 50)
+            .filtered(Predicate::lt("price", 1)); // ~1% of rows
+        let out = execute(&ctx, &q, Strategy::BruteForce).unwrap();
+        assert!(out.len() < 50);
+        assert!(out.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));
+    }
+
+    #[test]
+    fn context_validates_alignment() {
+        let f = fixture();
+        let mut short = AttributeStore::new();
+        short
+            .add_column(
+                Column::from_values("x", AttrType::Int, vec![vdb_core::attr::AttrValue::Int(1)])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(QueryContext::new(&f.vectors, &short, &f.index).is_err());
+    }
+
+    #[test]
+    fn unknown_column_rejected_at_execute() {
+        let f = fixture();
+        let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
+        let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 5).filtered(Predicate::eq("nope", 1));
+        assert!(execute(&ctx, &q, Strategy::BruteForce).is_err());
+    }
+}

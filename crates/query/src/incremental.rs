@@ -1,0 +1,172 @@
+//! Incremental (streaming) k-NN search (§2.6(5)).
+//!
+//! E-commerce-style applications fetch results in pages without a known
+//! final `k`. [`IncrementalSearch`] is an iterator that yields neighbors
+//! best-first, growing the underlying index fetch geometrically so early
+//! results arrive cheaply and deeper pages reuse the index rather than
+//! restarting from scratch semantically (ids already yielded are never
+//! repeated, even if the deeper fetch reorders the frontier).
+
+use std::collections::HashSet;
+use vdb_core::error::Result;
+use vdb_core::index::{SearchParams, VectorIndex};
+use vdb_core::topk::Neighbor;
+
+/// Streaming nearest-neighbor iterator over any [`VectorIndex`].
+pub struct IncrementalSearch<'a> {
+    index: &'a dyn VectorIndex,
+    query: Vec<f32>,
+    params: SearchParams,
+    /// Results fetched so far, sorted.
+    buffer: Vec<Neighbor>,
+    /// Next position to yield from `buffer`.
+    pos: usize,
+    /// Ids already yielded (dedupe across refetches).
+    yielded: HashSet<usize>,
+    /// Fetch size of the next refill.
+    next_k: usize,
+    /// The index returned fewer results than requested: nothing more.
+    exhausted: bool,
+}
+
+impl<'a> IncrementalSearch<'a> {
+    /// Start a streaming search.
+    pub fn new(index: &'a dyn VectorIndex, query: Vec<f32>, params: SearchParams) -> Self {
+        IncrementalSearch {
+            index,
+            query,
+            params,
+            buffer: Vec::new(),
+            pos: 0,
+            yielded: HashSet::new(),
+            next_k: 16,
+            exhausted: false,
+        }
+    }
+
+    /// Fetch the next batch, doubling the horizon.
+    fn refill(&mut self) -> Result<()> {
+        if self.exhausted {
+            return Ok(());
+        }
+        let k = self.next_k.min(self.index.len().max(1));
+        // Beam must keep pace with k for graph indexes.
+        let mut params = self.params.clone();
+        params.beam_width = params.beam_width.max(k);
+        let results = self.index.search(&self.query, k, &params)?;
+        if results.len() < k || k >= self.index.len() {
+            self.exhausted = true;
+        }
+        self.buffer = results;
+        self.pos = 0;
+        self.next_k = k.saturating_mul(2);
+        Ok(())
+    }
+
+    /// Next neighbor, or `Ok(None)` when the collection is exhausted.
+    /// (Not the `Iterator` trait so errors can propagate.)
+    pub fn next_neighbor(&mut self) -> Result<Option<Neighbor>> {
+        loop {
+            while self.pos < self.buffer.len() {
+                let n = self.buffer[self.pos];
+                self.pos += 1;
+                if self.yielded.insert(n.id) {
+                    return Ok(Some(n));
+                }
+            }
+            if self.exhausted {
+                return Ok(None);
+            }
+            self.refill()?;
+            if self.buffer.len() <= self.yielded.len() && self.exhausted {
+                // The refill produced nothing new and the index is drained.
+                let any_new = self.buffer.iter().any(|n| !self.yielded.contains(&n.id));
+                if !any_new {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Pull up to `n` more neighbors (a "page").
+    pub fn next_page(&mut self, n: usize) -> Result<Vec<Neighbor>> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.next_neighbor()? {
+                Some(nb) => out.push(nb),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::flat::FlatIndex;
+    use vdb_core::metric::Metric;
+    use vdb_core::rng::Rng;
+    use vdb_index_graph::{HnswConfig, HnswIndex};
+
+    #[test]
+    fn streams_exact_order_on_flat_index() {
+        let mut rng = Rng::seed_from_u64(130);
+        let data = dataset::gaussian(200, 6, &mut rng);
+        let idx = FlatIndex::build(data.clone(), Metric::Euclidean).unwrap();
+        let q: Vec<f32> = (0..6).map(|_| rng.normal_f32()).collect();
+        let oracle = idx.search(&q, 200, &SearchParams::default()).unwrap();
+        let mut inc = IncrementalSearch::new(&idx, q, SearchParams::default());
+        let mut streamed = Vec::new();
+        while let Some(n) = inc.next_neighbor().unwrap() {
+            streamed.push(n);
+        }
+        assert_eq!(streamed, oracle, "streaming must reproduce the full exact order");
+    }
+
+    #[test]
+    fn pages_are_disjoint_and_ordered() {
+        let mut rng = Rng::seed_from_u64(131);
+        let data = dataset::clustered(1000, 12, 8, 0.5, &mut rng).vectors;
+        let idx = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        let q = data.get(17).to_vec();
+        let mut inc = IncrementalSearch::new(&idx, q, SearchParams::default().with_beam_width(64));
+        let mut seen = std::collections::HashSet::new();
+        let mut pages = Vec::new();
+        for _ in 0..5 {
+            let page = inc.next_page(10).unwrap();
+            for n in &page {
+                assert!(seen.insert(n.id), "id {} repeated across pages", n.id);
+            }
+            pages.push(page);
+        }
+        assert_eq!(pages.iter().map(Vec::len).sum::<usize>(), 50);
+        // First page must start at the query point itself.
+        assert_eq!(pages[0][0].id, 17);
+    }
+
+    #[test]
+    fn exhausts_small_collections() {
+        let mut rng = Rng::seed_from_u64(132);
+        let data = dataset::gaussian(25, 4, &mut rng);
+        let idx = FlatIndex::build(data, Metric::Euclidean).unwrap();
+        let mut inc = IncrementalSearch::new(&idx, vec![0.0; 4], SearchParams::default());
+        let all = inc.next_page(100).unwrap();
+        assert_eq!(all.len(), 25);
+        assert!(inc.next_neighbor().unwrap().is_none());
+        assert!(inc.next_page(5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn early_pages_cheaper_than_full_sort_would_be() {
+        // Behavioural proxy: the first page must not require fetching the
+        // whole collection (next_k stays small).
+        let mut rng = Rng::seed_from_u64(133);
+        let data = dataset::gaussian(5000, 8, &mut rng);
+        let idx = FlatIndex::build(data, Metric::Euclidean).unwrap();
+        let mut inc = IncrementalSearch::new(&idx, vec![0.0; 8], SearchParams::default());
+        inc.next_page(5).unwrap();
+        assert!(inc.next_k <= 64, "first page fetched too much: next_k = {}", inc.next_k);
+    }
+}

@@ -1,0 +1,282 @@
+//! Multi-vector queries (§2.1(3), §2.6(6)).
+//!
+//! Entities may be represented by several feature vectors (faces from
+//! multiple angles, passages of a document), and queries may also carry
+//! several vectors. Per the paper, aggregate scores fold the cross
+//! distances into one entity score. The operator here: ANN-probe the index
+//! with each query vector to gather candidate entities, then compute the
+//! exact aggregate for each candidate and keep the top k.
+
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{SearchParams, VectorIndex};
+use vdb_core::score::Aggregator;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+
+/// Maps vector rows to entities and back.
+#[derive(Debug, Clone)]
+pub struct EntityMap {
+    entity_of: Vec<usize>,
+    rows_of: Vec<Vec<u32>>,
+}
+
+impl EntityMap {
+    /// Build from a row-to-entity assignment.
+    pub fn new(entity_of: Vec<usize>) -> Result<Self> {
+        let n_entities = entity_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); n_entities];
+        for (row, &e) in entity_of.iter().enumerate() {
+            rows_of[e].push(row as u32);
+        }
+        if rows_of.iter().any(Vec::is_empty) {
+            return Err(Error::InvalidParameter(
+                "entity ids must be dense (no empty entities)".into(),
+            ));
+        }
+        Ok(EntityMap { entity_of, rows_of })
+    }
+
+    /// Entity of a vector row.
+    pub fn entity_of(&self, row: usize) -> usize {
+        self.entity_of[row]
+    }
+
+    /// Vector rows of an entity.
+    pub fn rows_of(&self, entity: usize) -> &[u32] {
+        &self.rows_of[entity]
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.rows_of.len()
+    }
+}
+
+/// A multi-vector query: several query vectors, an aggregator, and `k`.
+#[derive(Debug, Clone)]
+pub struct MultiVectorQuery {
+    /// The query vectors.
+    pub vectors: Vec<Vec<f32>>,
+    /// Result size in entities.
+    pub k: usize,
+    /// How per-query-vector entity distances combine.
+    pub aggregator: Aggregator,
+    /// Candidate rows fetched per query vector.
+    pub fetch: usize,
+}
+
+/// An entity-level hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntityHit {
+    /// Entity id.
+    pub entity: usize,
+    /// Aggregated distance (lower = better).
+    pub score: f32,
+}
+
+/// Distance from one query vector to an entity: the minimum distance to
+/// any of the entity's vectors (the standard set-to-point semantics).
+fn entity_distance(
+    metric: &vdb_core::metric::Metric,
+    data: &Vectors,
+    map: &EntityMap,
+    entity: usize,
+    q: &[f32],
+) -> f32 {
+    map.rows_of(entity)
+        .iter()
+        .map(|&row| metric.distance(q, data.get(row as usize)))
+        .fold(f32::INFINITY, f32::min)
+}
+
+/// Execute a multi-vector query against an index over `data` whose rows
+/// group into entities per `map`.
+pub fn multi_vector_search(
+    index: &dyn VectorIndex,
+    data: &Vectors,
+    map: &EntityMap,
+    query: &MultiVectorQuery,
+    params: &SearchParams,
+) -> Result<Vec<EntityHit>> {
+    if query.vectors.is_empty() {
+        return Err(Error::InvalidQuery("multi-vector query needs at least one vector".into()));
+    }
+    if query.k == 0 {
+        return Ok(Vec::new());
+    }
+    let metric = index.metric();
+    // Phase 1: candidate entities via per-vector ANN probes.
+    let mut candidates: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for q in &query.vectors {
+        let fetch = query.fetch.max(query.k);
+        for hit in index.search(q, fetch, params)? {
+            candidates.insert(map.entity_of(hit.id));
+        }
+    }
+    // Phase 2: exact aggregate per candidate entity.
+    let mut top = TopK::new(query.k);
+    let mut dists = Vec::with_capacity(query.vectors.len());
+    for &entity in &candidates {
+        dists.clear();
+        for q in &query.vectors {
+            dists.push(entity_distance(metric, data, map, entity, q));
+        }
+        let score = query.aggregator.combine(&dists)?;
+        top.push(Neighbor::new(entity, score));
+    }
+    Ok(top
+        .into_sorted()
+        .into_iter()
+        .map(|n| EntityHit { entity: n.id, score: n.dist })
+        .collect())
+}
+
+/// Exact multi-vector search by full scan (the test oracle and the brute
+/// plan for tiny collections).
+pub fn multi_vector_exact(
+    metric: &vdb_core::metric::Metric,
+    data: &Vectors,
+    map: &EntityMap,
+    query: &MultiVectorQuery,
+) -> Result<Vec<EntityHit>> {
+    if query.vectors.is_empty() {
+        return Err(Error::InvalidQuery("multi-vector query needs at least one vector".into()));
+    }
+    let mut top = TopK::new(query.k.max(1));
+    let mut dists = Vec::with_capacity(query.vectors.len());
+    for entity in 0..map.num_entities() {
+        dists.clear();
+        for q in &query.vectors {
+            dists.push(entity_distance(metric, data, map, entity, q));
+        }
+        top.push(Neighbor::new(entity, query.aggregator.combine(&dists)?));
+    }
+    let mut out: Vec<EntityHit> = top
+        .into_sorted()
+        .into_iter()
+        .map(|n| EntityHit { entity: n.id, score: n.dist })
+        .collect();
+    out.truncate(query.k);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::metric::Metric;
+    use vdb_core::rng::Rng;
+    use vdb_index_graph::{HnswConfig, HnswIndex};
+
+    /// 100 entities × 4 vectors each, entity vectors clustered tightly.
+    fn fixture() -> (Vectors, EntityMap, HnswIndex) {
+        let mut rng = Rng::seed_from_u64(120);
+        let centers = dataset::gaussian(100, 8, &mut rng);
+        let mut data = Vectors::new(8);
+        let mut entity_of = Vec::new();
+        let mut row = vec![0.0f32; 8];
+        for e in 0..100 {
+            for _ in 0..4 {
+                for (i, x) in row.iter_mut().enumerate() {
+                    *x = centers.get(e)[i] + rng.normal_f32() * 0.05;
+                }
+                data.push(&row).unwrap();
+                entity_of.push(e);
+            }
+        }
+        let map = EntityMap::new(entity_of).unwrap();
+        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        (data, map, index)
+    }
+
+    #[test]
+    fn entity_map_roundtrip() {
+        let map = EntityMap::new(vec![0, 0, 1, 2, 2, 2]).unwrap();
+        assert_eq!(map.num_entities(), 3);
+        assert_eq!(map.rows_of(2), &[3, 4, 5]);
+        assert_eq!(map.entity_of(1), 0);
+        assert!(EntityMap::new(vec![0, 2]).is_err(), "entity 1 missing");
+    }
+
+    #[test]
+    fn ann_matches_exact_oracle() {
+        let (data, map, index) = fixture();
+        let metric = Metric::Euclidean;
+        let mut rng = Rng::seed_from_u64(121);
+        for aggregator in [Aggregator::Mean, Aggregator::Min, Aggregator::Max] {
+            let query = MultiVectorQuery {
+                vectors: (0..3)
+                    .map(|_| (0..8).map(|_| rng.normal_f32()).collect::<Vec<f32>>())
+                    .collect(),
+                k: 5,
+                aggregator,
+                fetch: 64,
+            };
+            let approx = multi_vector_search(
+                &index,
+                &data,
+                &map,
+                &query,
+                &SearchParams::default().with_beam_width(128),
+            )
+            .unwrap();
+            let exact = multi_vector_exact(&metric, &data, &map, &query).unwrap();
+            let approx_set: std::collections::HashSet<_> =
+                approx.iter().map(|h| h.entity).collect();
+            let hits = exact.iter().filter(|h| approx_set.contains(&h.entity)).count();
+            assert!(hits >= 4, "{}: {hits}/5 oracle entities found", query.aggregator.name());
+        }
+    }
+
+    #[test]
+    fn single_vector_query_degenerates_to_knn_on_entities() {
+        let (data, map, index) = fixture();
+        let q = data.get(0).to_vec(); // first vector of entity 0
+        let query = MultiVectorQuery {
+            vectors: vec![q],
+            k: 1,
+            aggregator: Aggregator::Mean,
+            fetch: 32,
+        };
+        let out = multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).unwrap();
+        assert_eq!(out[0].entity, 0);
+    }
+
+    #[test]
+    fn weighted_sum_biases_towards_heavy_query() {
+        let (data, map, _) = fixture();
+        let metric = Metric::Euclidean;
+        // Query 1 near entity 3, query 2 near entity 7; weights pick e3.
+        let q1 = data.get(3 * 4).to_vec();
+        let q2 = data.get(7 * 4).to_vec();
+        let heavy_q1 = MultiVectorQuery {
+            vectors: vec![q1.clone(), q2.clone()],
+            k: 1,
+            aggregator: Aggregator::WeightedSum(vec![10.0, 0.1]),
+            fetch: 32,
+        };
+        let out = multi_vector_exact(&metric, &data, &map, &heavy_q1).unwrap();
+        assert_eq!(out[0].entity, 3);
+        let heavy_q2 = MultiVectorQuery {
+            vectors: vec![q1, q2],
+            k: 1,
+            aggregator: Aggregator::WeightedSum(vec![0.1, 10.0]),
+            fetch: 32,
+        };
+        let out = multi_vector_exact(&metric, &data, &map, &heavy_q2).unwrap();
+        assert_eq!(out[0].entity, 7);
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        let (data, map, index) = fixture();
+        let query = MultiVectorQuery {
+            vectors: vec![],
+            k: 5,
+            aggregator: Aggregator::Mean,
+            fetch: 16,
+        };
+        assert!(multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).is_err());
+        assert!(multi_vector_exact(&Metric::Euclidean, &data, &map, &query).is_err());
+    }
+}

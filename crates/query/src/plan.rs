@@ -1,0 +1,118 @@
+//! Query and plan types (§2.3 "plan enumeration").
+
+use crate::expr::Predicate;
+use vdb_core::index::SearchParams;
+
+/// A (possibly predicated) top-k vector query.
+#[derive(Debug, Clone)]
+pub struct VectorQuery {
+    /// The query vector.
+    pub vector: Vec<f32>,
+    /// Result size.
+    pub k: usize,
+    /// Attribute predicate (`Predicate::True` for unpredicated queries).
+    pub predicate: Predicate,
+    /// Index search parameters.
+    pub params: SearchParams,
+}
+
+impl VectorQuery {
+    /// An unpredicated k-NN query.
+    pub fn knn(vector: Vec<f32>, k: usize) -> Self {
+        VectorQuery { vector, k, predicate: Predicate::True, params: SearchParams::default() }
+    }
+
+    /// Attach a predicate (hybrid query).
+    pub fn filtered(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Override search parameters.
+    pub fn with_params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Whether the query carries a non-trivial predicate.
+    pub fn is_hybrid(&self) -> bool {
+        self.predicate != Predicate::True
+    }
+}
+
+/// The hybrid execution strategies of §2.3: where the predicate is applied
+/// relative to the vector search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Single-stage exact scan evaluating the predicate inline
+    /// (the brute-force fallback rule-based planners keep for tiny or
+    /// ultra-selective cases).
+    BruteForce,
+    /// Pre-filtering: materialize the matching row set first, then score
+    /// only those rows exactly.
+    PreFilter,
+    /// Post-filtering: unconstrained index search over-fetching `α·k`,
+    /// then apply the predicate to the result (may return < k).
+    PostFilter,
+    /// Block-first scan: the index skips blocked rows during its scan
+    /// (bitmask pushed into the index; masked traversal on graphs).
+    BlockFirst,
+    /// Visit-first scan: index traversal passes through blocked rows but
+    /// only accepts matching ones (single-stage filtering).
+    VisitFirst,
+}
+
+impl Strategy {
+    /// All strategies, in enumeration order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::BruteForce,
+        Strategy::PreFilter,
+        Strategy::PostFilter,
+        Strategy::BlockFirst,
+        Strategy::VisitFirst,
+    ];
+
+    /// Short stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute_force",
+            Strategy::PreFilter => "pre_filter",
+            Strategy::PostFilter => "post_filter",
+            Strategy::BlockFirst => "block_first",
+            Strategy::VisitFirst => "visit_first",
+        }
+    }
+}
+
+/// A selected physical plan with the optimizer's estimates attached.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// Chosen strategy.
+    pub strategy: Strategy,
+    /// Estimated predicate selectivity used for the choice.
+    pub est_selectivity: f64,
+    /// Estimated cost in distance-evaluation units.
+    pub est_cost: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_builders() {
+        let q = VectorQuery::knn(vec![1.0, 2.0], 5);
+        assert!(!q.is_hybrid());
+        let q = q.filtered(Predicate::eq("a", 1));
+        assert!(q.is_hybrid());
+        assert_eq!(q.k, 5);
+        let q = q.with_params(SearchParams::default().with_beam_width(7));
+        assert_eq!(q.params.beam_width, 7);
+    }
+
+    #[test]
+    fn strategy_names_distinct() {
+        let names: std::collections::HashSet<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! LRU page cache with I/O accounting.
+//!
+//! The cache sits between disk-resident indexes and their [`PagedFile`]s.
+//! Its budget (in pages) models available memory; its counters let
+//! experiment F7 report page reads per query under different budgets,
+//! reproducing the DiskANN/SPANN design tradeoff without real NVMe timing.
+
+use crate::file::PagedFile;
+use crate::page::{Page, PageId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdb_core::error::Result;
+
+/// Cache hit/miss counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total page requests.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]` (1.0 when there were no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheInner {
+    /// Resident pages with their LRU stamp.
+    pages: HashMap<PageId, (Arc<Page>, u64)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// A read-through LRU cache over one paged file.
+///
+/// Writes go straight to the file and update the cached copy (write-through),
+/// keeping the cache trivially consistent — appropriate for the mostly-read
+/// index workloads it serves.
+pub struct PageCache {
+    file: Arc<PagedFile>,
+    budget_pages: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PageCache {
+    /// Wrap `file` with a cache holding at most `budget_pages` pages.
+    /// A budget of zero disables caching (every read hits the disk).
+    pub fn new(file: Arc<PagedFile>, budget_pages: usize) -> Self {
+        PageCache {
+            file,
+            budget_pages,
+            inner: Mutex::new(CacheInner {
+                pages: HashMap::new(),
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &Arc<PagedFile> {
+        &self.file
+    }
+
+    /// Cache budget in pages.
+    pub fn budget(&self) -> usize {
+        self.budget_pages
+    }
+
+    /// Fetch a page, consulting the cache first.
+    pub fn read(&self, id: PageId) -> Result<Arc<Page>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some((page, stamp)) = inner.pages.get_mut(&id) {
+                *stamp = clock;
+                let page = Arc::clone(page);
+                inner.stats.hits += 1;
+                return Ok(page);
+            }
+            inner.stats.misses += 1;
+        }
+        // Miss path: read outside the lock, then install.
+        let page = Arc::new(self.file.read_page(id)?);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if self.budget_pages > 0 {
+            if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
+                // Evict the least recently used page.
+                if let Some((&victim, _)) =
+                    inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
+                {
+                    inner.pages.remove(&victim);
+                    inner.stats.evictions += 1;
+                }
+            }
+            inner.pages.insert(id, (Arc::clone(&page), clock));
+        }
+        Ok(page)
+    }
+
+    /// Write a page through the cache to disk.
+    pub fn write(&self, id: PageId, page: Page) -> Result<()> {
+        self.file.write_page(id, &page)?;
+        if self.budget_pages > 0 {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
+                if let Some((&victim, _)) =
+                    inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
+                {
+                    inner.pages.remove(&victim);
+                    inner.stats.evictions += 1;
+                }
+            }
+            inner.pages.insert(id, (Arc::new(page), clock));
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset counters (e.g. after warmup, before a measured run).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = CacheStats::default();
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Drop all resident pages (cold-cache experiments).
+    pub fn clear(&self) {
+        self.inner.lock().pages.clear();
+    }
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageCache(budget={} pages, {:?})", self.budget_pages, self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TempDir;
+
+    fn setup(pages: u64, budget: usize) -> (TempDir, PageCache) {
+        let dir = TempDir::new("cache").unwrap();
+        let file = Arc::new(PagedFile::create(dir.file("c.pages")).unwrap());
+        file.allocate(pages).unwrap();
+        for i in 0..pages {
+            let mut p = Page::zeroed();
+            p.write_u32(0, i as u32);
+            file.write_page(PageId(i), &p).unwrap();
+        }
+        (dir, PageCache::new(file, budget))
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (_dir, cache) = setup(4, 4);
+        assert_eq!(cache.read(PageId(1)).unwrap().read_u32(0), 1);
+        assert_eq!(cache.read(PageId(1)).unwrap().read_u32(0), 1);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (_dir, cache) = setup(3, 2);
+        cache.read(PageId(0)).unwrap(); // miss
+        cache.read(PageId(1)).unwrap(); // miss
+        cache.read(PageId(0)).unwrap(); // hit (0 now most recent)
+        cache.read(PageId(2)).unwrap(); // miss, evicts 1
+        cache.read(PageId(0)).unwrap(); // hit
+        cache.read(PageId(1)).unwrap(); // miss again
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.evictions, 2);
+        assert!(cache.resident() <= 2);
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let (_dir, cache) = setup(3, 2);
+        for round in 0..5 {
+            for i in 0..3 {
+                cache.read(PageId(i)).unwrap();
+                assert!(cache.resident() <= 2, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let (_dir, cache) = setup(2, 0);
+        cache.read(PageId(0)).unwrap();
+        cache.read(PageId(0)).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+        assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_disk() {
+        let (_dir, cache) = setup(2, 2);
+        let mut p = Page::zeroed();
+        p.write_u32(0, 99);
+        cache.write(PageId(0), p).unwrap();
+        // Cached copy visible...
+        assert_eq!(cache.read(PageId(0)).unwrap().read_u32(0), 99);
+        // ...and durable on disk.
+        assert_eq!(cache.file().read_page(PageId(0)).unwrap().read_u32(0), 99);
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let (_dir, cache) = setup(2, 2);
+        cache.read(PageId(0)).unwrap();
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.clear();
+        assert_eq!(cache.resident(), 0);
+        cache.read(PageId(0)).unwrap();
+        assert_eq!(cache.stats().misses, 1, "cold after clear");
+    }
+}

@@ -1,0 +1,299 @@
+//! Attribute columns for hybrid queries.
+//!
+//! The storage-manager side of "vectors are associated to structured
+//! attributes" (§2.1(3)). Columns are typed, nullable, and keep light
+//! statistics (min/max, distinct estimate) that the query optimizer uses
+//! for selectivity estimation.
+
+use std::collections::HashMap;
+use vdb_core::attr::{AttrType, AttrValue};
+use vdb_core::bitset::BitSet;
+use vdb_core::error::{Error, Result};
+
+/// Summary statistics maintained per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of non-null values.
+    pub non_null: usize,
+    /// Number of nulls.
+    pub nulls: usize,
+    /// Minimum non-null value (by [`AttrValue::compare`]).
+    pub min: Option<AttrValue>,
+    /// Maximum non-null value.
+    pub max: Option<AttrValue>,
+    /// Exact distinct count (collections here are laptop-scale; a sketch
+    /// would replace this at billion scale).
+    pub distinct: usize,
+}
+
+/// A typed, nullable attribute column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    ty: AttrType,
+    values: Vec<AttrValue>,
+}
+
+impl Column {
+    /// New empty column.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Column { name: name.into(), ty, values: Vec::new() }
+    }
+
+    /// Build from values, type-checking each.
+    pub fn from_values(
+        name: impl Into<String>,
+        ty: AttrType,
+        values: Vec<AttrValue>,
+    ) -> Result<Self> {
+        for v in &values {
+            v.check_type(ty)?;
+        }
+        Ok(Column { name: name.into(), ty, values })
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column type.
+    pub fn ty(&self) -> AttrType {
+        self.ty
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Append a value (type-checked).
+    pub fn push(&mut self, v: AttrValue) -> Result<()> {
+        v.check_type(self.ty)?;
+        self.values.push(v);
+        Ok(())
+    }
+
+    /// Value at `row`.
+    pub fn get(&self, row: usize) -> &AttrValue {
+        &self.values[row]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[AttrValue] {
+        &self.values
+    }
+
+    /// Overwrite the value at `row` (type-checked).
+    pub fn set(&mut self, row: usize, v: AttrValue) -> Result<()> {
+        v.check_type(self.ty)?;
+        if row >= self.values.len() {
+            return Err(Error::NotFound(format!("row {row}")));
+        }
+        self.values[row] = v;
+        Ok(())
+    }
+
+    /// Compute statistics by one pass over the column.
+    pub fn stats(&self) -> ColumnStats {
+        let mut non_null = 0;
+        let mut nulls = 0;
+        let mut min: Option<AttrValue> = None;
+        let mut max: Option<AttrValue> = None;
+        let mut distinct: HashMap<String, ()> = HashMap::new();
+        for v in &self.values {
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            non_null += 1;
+            distinct.entry(v.to_string()).or_insert(());
+            if min.as_ref().is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Less)) {
+                min = Some(v.clone());
+            }
+            if max.as_ref().is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Greater)) {
+                max = Some(v.clone());
+            }
+        }
+        ColumnStats { non_null, nulls, min, max, distinct: distinct.len() }
+    }
+}
+
+/// A set of aligned columns: the attribute side of a vector collection.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeStore {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl AttributeStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        AttributeStore::default()
+    }
+
+    /// Add a column. Must match the current row count.
+    pub fn add_column(&mut self, col: Column) -> Result<()> {
+        if self.columns.iter().any(|c| c.name() == col.name()) {
+            return Err(Error::AlreadyExists(format!("column `{}`", col.name())));
+        }
+        if !self.columns.is_empty() && col.len() != self.rows {
+            return Err(Error::InvalidParameter(format!(
+                "column `{}` has {} rows, store has {}",
+                col.name(),
+                col.len(),
+                self.rows
+            )));
+        }
+        if self.columns.is_empty() {
+            self.rows = col.len();
+        }
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| Error::NotFound(format!("column `{name}`")))
+    }
+
+    /// Append a row given `(name, value)` pairs; missing columns get Null.
+    pub fn push_row(&mut self, row: &[(&str, AttrValue)]) -> Result<()> {
+        for (name, _) in row {
+            // Validate all names before mutating anything.
+            self.column(name)?;
+        }
+        for col in &mut self.columns {
+            let v = row
+                .iter()
+                .find(|(n, _)| *n == col.name())
+                .map(|(_, v)| v.clone())
+                .unwrap_or(AttrValue::Null);
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Evaluate `pred` on every row of column `name`, producing the
+    /// blocking bitmask used by block-first scans (§2.3(1)).
+    pub fn bitmask<F>(&self, name: &str, pred: F) -> Result<BitSet>
+    where
+        F: Fn(&AttrValue) -> bool,
+    {
+        let col = self.column(name)?;
+        let mut bits = BitSet::new(self.rows);
+        for (i, v) in col.values().iter().enumerate() {
+            if pred(v) {
+                bits.insert(i);
+            }
+        }
+        Ok(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> AttributeStore {
+        let mut s = AttributeStore::new();
+        s.add_column(
+            Column::from_values(
+                "price",
+                AttrType::Int,
+                vec![AttrValue::Int(10), AttrValue::Int(25), AttrValue::Null, AttrValue::Int(10)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s.add_column(
+            Column::from_values(
+                "brand",
+                AttrType::Str,
+                vec!["acme".into(), "zen".into(), "acme".into(), AttrValue::Null],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn column_type_enforced() {
+        let mut c = Column::new("x", AttrType::Int);
+        assert!(c.push(AttrValue::Int(1)).is_ok());
+        assert!(c.push(AttrValue::Null).is_ok());
+        assert!(c.push(AttrValue::Str("no".into())).is_err());
+        assert!(Column::from_values("y", AttrType::Bool, vec![AttrValue::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let s = sample_store();
+        let st = s.column("price").unwrap().stats();
+        assert_eq!(st.non_null, 3);
+        assert_eq!(st.nulls, 1);
+        assert_eq!(st.min, Some(AttrValue::Int(10)));
+        assert_eq!(st.max, Some(AttrValue::Int(25)));
+        assert_eq!(st.distinct, 2);
+    }
+
+    #[test]
+    fn store_alignment_enforced() {
+        let mut s = sample_store();
+        let short = Column::from_values("extra", AttrType::Bool, vec![AttrValue::Bool(true)]).unwrap();
+        assert!(s.add_column(short).is_err());
+        let dup = Column::new("price", AttrType::Int);
+        assert!(s.add_column(dup).is_err());
+    }
+
+    #[test]
+    fn push_row_fills_missing_with_null() {
+        let mut s = sample_store();
+        s.push_row(&[("price", AttrValue::Int(7))]).unwrap();
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.column("brand").unwrap().get(4), &AttrValue::Null);
+        assert!(s.push_row(&[("nope", AttrValue::Int(1))]).is_err());
+        assert_eq!(s.rows(), 5, "failed push must not change row count");
+    }
+
+    #[test]
+    fn bitmask_matches_predicate() {
+        let s = sample_store();
+        let bits = s
+            .bitmask("price", |v| v.compare(&AttrValue::Int(15)) == Some(std::cmp::Ordering::Less))
+            .unwrap();
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![0, 3]);
+        // Nulls never match.
+        let all = s.bitmask("price", |v| !v.is_null()).unwrap();
+        assert_eq!(all.count(), 3);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut s = sample_store();
+        let col = s.columns.iter_mut().find(|c| c.name() == "price").unwrap();
+        col.set(0, AttrValue::Int(99)).unwrap();
+        assert_eq!(col.get(0), &AttrValue::Int(99));
+        assert!(col.set(100, AttrValue::Int(1)).is_err());
+    }
+}

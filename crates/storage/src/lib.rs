@@ -1,0 +1,37 @@
+//! # vdb-storage
+//!
+//! The storage manager of the `vectordb-rs` VDBMS (Figure 1 of the paper):
+//!
+//! - [`page`] / [`file`] — fixed-size pages over files, the unit of I/O
+//!   accounting for disk-resident indexes (§2.2),
+//! - [`cache`] — read-through LRU page cache with hit/miss/eviction
+//!   counters (experiment F7's instrument),
+//! - [`vector_store`] — page-aligned disk-resident vector records,
+//! - [`column`] — typed, nullable attribute columns with statistics for
+//!   selectivity estimation (§2.1 hybrid queries),
+//! - [`lsm`] — LSM-style out-of-place update buffer (§2.3(3)),
+//! - [`wal`] — checksummed write-ahead log with torn-tail-tolerant replay.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Index loops over parallel slices/pages are clearer than zipped
+// iterator chains in the kernels and (de)serializers below.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+#![allow(clippy::manual_checked_ops)] // branch selects record layout, not a guard
+
+pub mod cache;
+pub mod column;
+pub mod file;
+pub mod lsm;
+pub mod page;
+pub mod vector_store;
+pub mod wal;
+
+pub use cache::{CacheStats, PageCache};
+pub use column::{AttributeStore, Column, ColumnStats};
+pub use file::{PagedFile, TempDir};
+pub use lsm::{KeyedNeighbor, LsmConfig, LsmStore};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use vector_store::DiskVectorStore;
+pub use wal::{Wal, WalRecord};

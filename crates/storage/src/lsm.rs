@@ -1,0 +1,377 @@
+//! LSM-style out-of-place updates for vector collections (§2.3(3)).
+//!
+//! Data-dependent indexes (graphs, trees, learned buckets) are expensive to
+//! update in place, so VDBMSs buffer writes in a fast temporary structure
+//! and merge them into the main index in bulk. [`LsmStore`] provides that
+//! buffer: a mutable memtable plus immutable sealed segments, searched by
+//! brute force (they are small by construction), with tombstones for
+//! deletes and newest-version-wins semantics for re-inserted keys. The
+//! VDBMS facade pairs it with a static main index and drains it on merge.
+
+use std::collections::HashSet;
+use vdb_core::error::{Error, Result};
+use vdb_core::metric::Metric;
+use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::vector::Vectors;
+
+/// Tuning for the update buffer.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Rows in the memtable before it is sealed into a segment.
+    pub memtable_capacity: usize,
+    /// Segment count that triggers compaction into one segment.
+    pub max_segments: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig { memtable_capacity: 1024, max_segments: 8 }
+    }
+}
+
+/// An immutable sealed run of vectors.
+#[derive(Debug, Clone)]
+struct Segment {
+    keys: Vec<u64>,
+    vectors: Vectors,
+}
+
+/// A search hit from the buffer: external key plus distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyedNeighbor {
+    /// Caller-assigned external key.
+    pub key: u64,
+    /// Distance to the query.
+    pub dist: f32,
+}
+
+/// The out-of-place update buffer.
+#[derive(Debug)]
+pub struct LsmStore {
+    dim: usize,
+    metric: Metric,
+    cfg: LsmConfig,
+    mem_keys: Vec<u64>,
+    mem_vectors: Vectors,
+    /// Sealed segments, oldest first.
+    segments: Vec<Segment>,
+    tombstones: HashSet<u64>,
+    /// Keys currently live somewhere in the buffer.
+    live: HashSet<u64>,
+}
+
+impl LsmStore {
+    /// New empty buffer for `dim`-dimensional vectors under `metric`.
+    pub fn new(dim: usize, metric: Metric, cfg: LsmConfig) -> Self {
+        LsmStore {
+            dim,
+            metric,
+            cfg,
+            mem_keys: Vec::new(),
+            mem_vectors: Vectors::new(dim),
+            segments: Vec::new(),
+            tombstones: HashSet::new(),
+            live: HashSet::new(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live (non-deleted, non-shadowed) keys in the buffer.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the buffer holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total buffered rows including shadowed versions (space accounting).
+    pub fn physical_rows(&self) -> usize {
+        self.mem_vectors.len() + self.segments.iter().map(|s| s.vectors.len()).sum::<usize>()
+    }
+
+    /// Insert or overwrite `key`. Newest version wins on search.
+    pub fn insert(&mut self, key: u64, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: vector.len() });
+        }
+        self.mem_vectors.push(vector)?;
+        self.mem_keys.push(key);
+        self.tombstones.remove(&key);
+        self.live.insert(key);
+        if self.mem_vectors.len() >= self.cfg.memtable_capacity {
+            self.seal();
+        }
+        Ok(())
+    }
+
+    /// Delete `key` from the buffer's view. Also shadows any version of the
+    /// key living in the main index (callers consult [`LsmStore::is_deleted`]).
+    pub fn delete(&mut self, key: u64) {
+        self.tombstones.insert(key);
+        self.live.remove(&key);
+    }
+
+    /// Whether `key` has a tombstone.
+    pub fn is_deleted(&self, key: u64) -> bool {
+        self.tombstones.contains(&key)
+    }
+
+    /// Whether the buffer holds a live version of `key` (which shadows the
+    /// main index's version).
+    pub fn contains(&self, key: u64) -> bool {
+        self.live.contains(&key)
+    }
+
+    /// Fetch the newest live version of `key`.
+    pub fn get(&self, key: u64) -> Option<&[f32]> {
+        if self.is_deleted(key) || !self.live.contains(&key) {
+            return None;
+        }
+        // Memtable is newest: scan back-to-front.
+        for i in (0..self.mem_keys.len()).rev() {
+            if self.mem_keys[i] == key {
+                return Some(self.mem_vectors.get(i));
+            }
+        }
+        for seg in self.segments.iter().rev() {
+            for i in (0..seg.keys.len()).rev() {
+                if seg.keys[i] == key {
+                    return Some(seg.vectors.get(i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Seal the memtable into a segment, compacting if needed.
+    pub fn seal(&mut self) {
+        if self.mem_vectors.is_empty() {
+            return;
+        }
+        let keys = std::mem::take(&mut self.mem_keys);
+        let vectors = std::mem::replace(&mut self.mem_vectors, Vectors::new(self.dim));
+        self.segments.push(Segment { keys, vectors });
+        if self.segments.len() > self.cfg.max_segments {
+            self.compact();
+        }
+    }
+
+    /// Merge all segments into one, dropping tombstoned and shadowed rows.
+    pub fn compact(&mut self) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut keys = Vec::new();
+        let mut vectors = Vectors::new(self.dim);
+        // Newest segment last in self.segments; iterate newest-first and
+        // keep the first (newest) version of each key.
+        for seg in self.segments.iter().rev() {
+            for i in (0..seg.keys.len()).rev() {
+                let k = seg.keys[i];
+                if self.tombstones.contains(&k) || seen.contains(&k) || !self.live.contains(&k) {
+                    continue;
+                }
+                // Skip keys shadowed by the memtable.
+                if self.mem_keys.contains(&k) {
+                    continue;
+                }
+                seen.insert(k);
+                keys.push(k);
+                vectors.push(seg.vectors.get(i)).expect("stored vector is valid");
+            }
+        }
+        self.segments.clear();
+        if !keys.is_empty() {
+            self.segments.push(Segment { keys, vectors });
+        }
+    }
+
+    /// Brute-force search across memtable and segments, newest version
+    /// wins, tombstones excluded. Returns up to `k` hits sorted best-first.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<KeyedNeighbor>> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut hits: Vec<KeyedNeighbor> = Vec::new();
+        // Memtable (newest) back-to-front, then segments newest-first.
+        for i in (0..self.mem_keys.len()).rev() {
+            let key = self.mem_keys[i];
+            if self.tombstones.contains(&key) || !seen.insert(key) {
+                continue;
+            }
+            hits.push(KeyedNeighbor { key, dist: self.metric.distance(query, self.mem_vectors.get(i)) });
+        }
+        for seg in self.segments.iter().rev() {
+            for i in (0..seg.keys.len()).rev() {
+                let key = seg.keys[i];
+                if self.tombstones.contains(&key) || !seen.insert(key) {
+                    continue;
+                }
+                hits.push(KeyedNeighbor { key, dist: self.metric.distance(query, seg.vectors.get(i)) });
+            }
+        }
+        let mut top = TopK::new(k);
+        // Reuse TopK by mapping keys through an id table.
+        let mut keytab = Vec::with_capacity(hits.len());
+        for (i, h) in hits.iter().enumerate() {
+            keytab.push(h.key);
+            top.push(Neighbor::new(i, h.dist));
+        }
+        Ok(top
+            .into_sorted()
+            .into_iter()
+            .map(|n| KeyedNeighbor { key: keytab[n.id], dist: n.dist })
+            .collect())
+    }
+
+    /// Drain every live row out of the buffer (for merging into the main
+    /// index), leaving the buffer empty. Tombstones are *kept*: they may
+    /// still shadow rows in the main index until the caller applies them.
+    pub fn drain_live(&mut self) -> (Vec<u64>, Vectors) {
+        self.seal();
+        self.compact();
+        let mut keys = Vec::new();
+        let mut vectors = Vectors::new(self.dim);
+        for seg in self.segments.drain(..) {
+            for (i, &k) in seg.keys.iter().enumerate() {
+                keys.push(k);
+                vectors.push(seg.vectors.get(i)).expect("stored vector is valid");
+            }
+        }
+        self.live.clear();
+        (keys, vectors)
+    }
+
+    /// Take and clear the tombstone set (after the caller has applied the
+    /// deletes to the main index).
+    pub fn take_tombstones(&mut self) -> HashSet<u64> {
+        std::mem::take(&mut self.tombstones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(cap: usize) -> LsmStore {
+        LsmStore::new(
+            2,
+            Metric::Euclidean,
+            LsmConfig { memtable_capacity: cap, max_segments: 3 },
+        )
+    }
+
+    #[test]
+    fn insert_search_basic() {
+        let mut s = store(100);
+        s.insert(1, &[0.0, 0.0]).unwrap();
+        s.insert(2, &[5.0, 0.0]).unwrap();
+        let hits = s.search(&[1.0, 0.0], 2).unwrap();
+        assert_eq!(hits[0].key, 1);
+        assert_eq!(hits[1].key, 2);
+        assert!((hits[0].dist - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let mut s = store(100);
+        s.insert(1, &[0.0, 0.0]).unwrap();
+        s.delete(1);
+        assert!(s.search(&[0.0, 0.0], 5).unwrap().is_empty());
+        assert!(s.get(1).is_none());
+        assert!(s.is_deleted(1));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_after_delete_revives() {
+        let mut s = store(100);
+        s.insert(1, &[0.0, 0.0]).unwrap();
+        s.delete(1);
+        s.insert(1, &[9.0, 9.0]).unwrap();
+        assert!(!s.is_deleted(1));
+        assert_eq!(s.get(1).unwrap(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let mut s = store(2); // tiny memtable: forces sealing
+        s.insert(7, &[0.0, 0.0]).unwrap();
+        s.insert(8, &[1.0, 1.0]).unwrap(); // seals here
+        s.insert(7, &[100.0, 100.0]).unwrap(); // newer version in memtable
+        assert_eq!(s.get(7).unwrap(), &[100.0, 100.0]);
+        let hits = s.search(&[0.0, 0.0], 10).unwrap();
+        let h7 = hits.iter().find(|h| h.key == 7).unwrap();
+        assert!(h7.dist > 100.0, "search must see the new far-away version");
+        assert_eq!(hits.len(), 2, "old version not double-counted");
+    }
+
+    #[test]
+    fn sealing_and_compaction_preserve_contents() {
+        let mut s = store(4);
+        for i in 0..40u64 {
+            s.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        assert!(s.segment_count() <= 3 + 1, "compaction bounds segments");
+        assert_eq!(s.len(), 40);
+        let hits = s.search(&[0.0, 0.0], 40).unwrap();
+        assert_eq!(hits.len(), 40);
+        assert_eq!(hits[0].key, 0);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_shadows() {
+        let mut s = store(2);
+        for i in 0..10u64 {
+            s.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        for i in 0..5u64 {
+            s.delete(i);
+        }
+        s.seal();
+        s.compact();
+        assert_eq!(s.len(), 5);
+        assert!(s.physical_rows() <= 5, "compaction reclaims space");
+    }
+
+    #[test]
+    fn drain_live_returns_everything_once() {
+        let mut s = store(3);
+        for i in 0..10u64 {
+            s.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        s.insert(3, &[333.0, 0.0]).unwrap(); // newer version
+        s.delete(9);
+        let (keys, vectors) = s.drain_live();
+        assert_eq!(keys.len(), 9, "10 keys - 1 delete");
+        assert_eq!(vectors.len(), 9);
+        let pos = keys.iter().position(|&k| k == 3).unwrap();
+        assert_eq!(vectors.get(pos), &[333.0, 0.0], "newest version drained");
+        assert!(s.is_empty());
+        // Tombstones survive the drain until explicitly taken.
+        assert!(s.is_deleted(9));
+        let t = s.take_tombstones();
+        assert!(t.contains(&9));
+        assert!(!s.is_deleted(9));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut s = store(10);
+        assert!(s.insert(1, &[1.0]).is_err());
+        assert!(s.search(&[1.0], 1).is_err());
+    }
+}

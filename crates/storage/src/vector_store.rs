@@ -1,0 +1,304 @@
+//! Disk-resident vector storage behind the page cache.
+//!
+//! Stores fixed-dimension `f32` vectors in page-aligned slots. Vectors that
+//! fit in a page are never split across pages (one slot = one I/O), which
+//! is the layout DiskANN-style indexes rely on; larger vectors span
+//! consecutive pages.
+
+use crate::cache::PageCache;
+use crate::file::PagedFile;
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::path::Path;
+use std::sync::Arc;
+use vdb_core::error::{Error, Result};
+use vdb_core::vector::Vectors;
+
+/// A read-mostly disk vector store.
+pub struct DiskVectorStore {
+    cache: Arc<PageCache>,
+    dim: usize,
+    len: usize,
+    /// Bytes per record.
+    record_bytes: usize,
+    /// Records per page (0 means each record spans `pages_per_record` pages).
+    records_per_page: usize,
+    /// Pages per record when records are larger than a page.
+    pages_per_record: usize,
+    /// First data page (page 0 is the header).
+    data_start: PageId,
+}
+
+const MAGIC: u32 = 0x5644_4253; // "VDBS"
+
+impl DiskVectorStore {
+    /// Create a store at `path` containing `vectors`, then reopen it behind
+    /// a cache with `budget_pages`.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        vectors: &Vectors,
+        budget_pages: usize,
+    ) -> Result<Self> {
+        let dim = vectors.dim();
+        let record_bytes = dim * 4;
+        let (records_per_page, pages_per_record) = layout(record_bytes);
+        let file = Arc::new(PagedFile::create(path)?);
+
+        // Header page.
+        let header_id = file.allocate(1)?;
+        let mut header = Page::zeroed();
+        header.write_u32(0, MAGIC);
+        header.write_u32(4, dim as u32);
+        header.write_u32(8, vectors.len() as u32);
+        file.write_page(header_id, &header)?;
+
+        // Data pages.
+        let n = vectors.len();
+        let total_pages = if records_per_page > 0 {
+            (n as u64).div_ceil(records_per_page as u64)
+        } else {
+            n as u64 * pages_per_record as u64
+        };
+        let data_start = file.allocate(total_pages.max(1))?;
+        let mut page = Page::zeroed();
+        let mut current_page = u64::MAX;
+        for (i, row) in vectors.iter().enumerate() {
+            if records_per_page > 0 {
+                let page_idx = data_start.0 + (i / records_per_page) as u64;
+                if page_idx != current_page {
+                    if current_page != u64::MAX {
+                        file.write_page(PageId(current_page), &page)?;
+                    }
+                    page = Page::zeroed();
+                    current_page = page_idx;
+                }
+                let slot = i % records_per_page;
+                let base = slot * record_bytes;
+                for (j, &x) in row.iter().enumerate() {
+                    page.write_f32(base + j * 4, x);
+                }
+            } else {
+                // Multi-page record: write each chunk directly.
+                let floats_per_page = PAGE_SIZE / 4;
+                for (p, chunk) in row.chunks(floats_per_page).enumerate() {
+                    let mut big = Page::zeroed();
+                    for (j, &x) in chunk.iter().enumerate() {
+                        big.write_f32(j * 4, x);
+                    }
+                    let pid = PageId(data_start.0 + (i * pages_per_record + p) as u64);
+                    file.write_page(pid, &big)?;
+                }
+            }
+        }
+        if records_per_page > 0 && current_page != u64::MAX {
+            file.write_page(PageId(current_page), &page)?;
+        }
+        file.sync()?;
+
+        Ok(DiskVectorStore {
+            cache: Arc::new(PageCache::new(file, budget_pages)),
+            dim,
+            len: n,
+            record_bytes,
+            records_per_page,
+            pages_per_record,
+            data_start,
+        })
+    }
+
+    /// Open an existing store.
+    pub fn open<P: AsRef<Path>>(path: P, budget_pages: usize) -> Result<Self> {
+        let file = Arc::new(PagedFile::open(path)?);
+        let header = file.read_page(PageId(0))?;
+        if header.read_u32(0) != MAGIC {
+            return Err(Error::Corrupt("bad vector store magic".into()));
+        }
+        let dim = header.read_u32(4) as usize;
+        let len = header.read_u32(8) as usize;
+        if dim == 0 {
+            return Err(Error::Corrupt("zero dimension in header".into()));
+        }
+        let record_bytes = dim * 4;
+        let (records_per_page, pages_per_record) = layout(record_bytes);
+        Ok(DiskVectorStore {
+            cache: Arc::new(PageCache::new(file, budget_pages)),
+            dim,
+            len,
+            record_bytes,
+            records_per_page,
+            pages_per_record,
+            data_start: PageId(1),
+        })
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cache (for stats and budget inspection).
+    pub fn cache(&self) -> &Arc<PageCache> {
+        &self.cache
+    }
+
+    /// Read vector `i` into `out`.
+    pub fn read_into(&self, i: usize, out: &mut [f32]) -> Result<()> {
+        if i >= self.len {
+            return Err(Error::NotFound(format!("vector {i} of {}", self.len)));
+        }
+        debug_assert_eq!(out.len(), self.dim);
+        if self.records_per_page > 0 {
+            let pid = PageId(self.data_start.0 + (i / self.records_per_page) as u64);
+            let page = self.cache.read(pid)?;
+            let base = (i % self.records_per_page) * self.record_bytes;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = page.read_f32(base + j * 4);
+            }
+        } else {
+            let floats_per_page = PAGE_SIZE / 4;
+            for (p, chunk) in out.chunks_mut(floats_per_page).enumerate() {
+                let pid = PageId(self.data_start.0 + (i * self.pages_per_record + p) as u64);
+                let page = self.cache.read(pid)?;
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    *o = page.read_f32(j * 4);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read vector `i`, allocating.
+    pub fn read(&self, i: usize) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; self.dim];
+        self.read_into(i, &mut out)?;
+        Ok(out)
+    }
+
+    /// Load every vector into memory (index build).
+    pub fn load_all(&self) -> Result<Vectors> {
+        let mut v = Vectors::with_capacity(self.dim, self.len);
+        let mut buf = vec![0.0f32; self.dim];
+        for i in 0..self.len {
+            self.read_into(i, &mut buf)?;
+            v.push(&buf)?;
+        }
+        Ok(v)
+    }
+}
+
+impl std::fmt::Debug for DiskVectorStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DiskVectorStore(n={}, dim={})", self.len, self.dim)
+    }
+}
+
+fn layout(record_bytes: usize) -> (usize, usize) {
+    if record_bytes <= PAGE_SIZE {
+        (PAGE_SIZE / record_bytes, 1)
+    } else {
+        (0, record_bytes.div_ceil(PAGE_SIZE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TempDir;
+    use vdb_core::dataset;
+    use vdb_core::rng::Rng;
+
+    #[test]
+    fn roundtrip_small_vectors() {
+        let dir = TempDir::new("vstore").unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        let data = dataset::gaussian(100, 16, &mut rng);
+        let store = DiskVectorStore::create(dir.file("v.store"), &data, 8).unwrap();
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.dim(), 16);
+        for i in [0usize, 1, 50, 99] {
+            assert_eq!(store.read(i).unwrap(), data.get(i));
+        }
+    }
+
+    #[test]
+    fn roundtrip_vectors_spanning_pages() {
+        // dim 2000 => 8000 bytes per record => 2 pages per record.
+        let dir = TempDir::new("vstore-big").unwrap();
+        let mut rng = Rng::seed_from_u64(2);
+        let data = dataset::gaussian(5, 2000, &mut rng);
+        let store = DiskVectorStore::create(dir.file("big.store"), &data, 4).unwrap();
+        for i in 0..5 {
+            assert_eq!(store.read(i).unwrap(), data.get(i));
+        }
+    }
+
+    #[test]
+    fn reopen_matches() {
+        let dir = TempDir::new("vstore-reopen").unwrap();
+        let path = dir.file("r.store");
+        let mut rng = Rng::seed_from_u64(3);
+        let data = dataset::gaussian(20, 8, &mut rng);
+        {
+            DiskVectorStore::create(&path, &data, 2).unwrap();
+        }
+        let store = DiskVectorStore::open(&path, 2).unwrap();
+        assert_eq!(store.load_all().unwrap(), data);
+    }
+
+    #[test]
+    fn cache_budget_changes_io_counts() {
+        let dir = TempDir::new("vstore-io").unwrap();
+        let mut rng = Rng::seed_from_u64(4);
+        // 16 floats = 64 bytes => 64 records per page; use 6400 vectors
+        // over 100 pages.
+        let data = dataset::gaussian(6400, 16, &mut rng);
+        let path = dir.file("io.store");
+        DiskVectorStore::create(&path, &data, 0).unwrap();
+
+        let tiny = DiskVectorStore::open(&path, 2).unwrap();
+        let big = DiskVectorStore::open(&path, 200).unwrap();
+        let mut order: Vec<usize> = (0..6400).collect();
+        rng.shuffle(&mut order);
+        for &i in order.iter().take(2000) {
+            tiny.read(i).unwrap();
+            big.read(i).unwrap();
+        }
+        // Second pass: big cache should be mostly hits, tiny mostly misses.
+        tiny.cache().reset_stats();
+        big.cache().reset_stats();
+        for &i in order.iter().take(2000) {
+            tiny.read(i).unwrap();
+            big.read(i).unwrap();
+        }
+        let t = tiny.cache().stats();
+        let b = big.cache().stats();
+        assert!(b.hit_ratio() > 0.9, "big cache hit ratio {}", b.hit_ratio());
+        assert!(t.hit_ratio() < 0.5, "tiny cache hit ratio {}", t.hit_ratio());
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let dir = TempDir::new("vstore-oob").unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let data = dataset::gaussian(3, 4, &mut rng);
+        let store = DiskVectorStore::create(dir.file("oob.store"), &data, 2).unwrap();
+        assert!(store.read(3).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let dir = TempDir::new("vstore-bad").unwrap();
+        let path = dir.file("bad.store");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(DiskVectorStore::open(&path, 2), Err(Error::Corrupt(_))));
+    }
+}

@@ -1,0 +1,604 @@
+//! Collections: schema-validated vectors + attributes + a main index +
+//! an out-of-place update buffer (§2.3(3)).
+//!
+//! Writes land in a WAL (durability) and an LSM-style buffer (searchable
+//! immediately); the data-dependent main index is rebuilt in bulk when the
+//! buffer crosses a threshold — the "apply updates in bulk at a more
+//! appropriate time" pattern of AnalyticDB-V/Vald, with Milvus-style
+//! LSM buffering. Reads merge both parts with newest-version-wins and
+//! tombstone semantics, so callers always observe their own writes.
+
+use crate::indexspec::IndexSpec;
+use crate::schema::CollectionSchema;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use vdb_core::attr::AttrValue;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{SearchParams, VectorIndex};
+use vdb_core::topk::Neighbor;
+use vdb_core::vector::Vectors;
+use vdb_query::{execute, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery};
+use vdb_storage::{AttributeStore, Column, LsmConfig, LsmStore, Wal, WalRecord};
+
+/// A search result at the facade level: external key plus distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Caller-assigned key.
+    pub key: u64,
+    /// Distance under the collection metric (lower = more similar).
+    pub dist: f32,
+}
+
+/// Collection tuning.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Main-index specification.
+    pub index: IndexSpec,
+    /// Buffer size (live keys) that triggers a merge/rebuild.
+    pub merge_threshold: usize,
+    /// Planner mode for hybrid queries.
+    pub planner: PlannerMode,
+    /// Directory for the write-ahead log (None = no durability).
+    pub wal_dir: Option<PathBuf>,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        CollectionConfig {
+            index: IndexSpec::Hnsw(Default::default()),
+            merge_threshold: 512,
+            planner: PlannerMode::CostBased,
+            wal_dir: None,
+        }
+    }
+}
+
+/// Observable collection counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Live entities.
+    pub live: usize,
+    /// Rows covered by the main index.
+    pub indexed: usize,
+    /// Rows waiting in the update buffer.
+    pub buffered: usize,
+    /// Merges (index rebuilds) performed.
+    pub merges: usize,
+    /// Main index name ("none" before the first merge).
+    pub index_name: &'static str,
+}
+
+/// A vector collection with hybrid search and out-of-place updates.
+pub struct Collection {
+    schema: CollectionSchema,
+    cfg: CollectionConfig,
+    // Main (indexed) part.
+    vectors: Vectors,
+    attrs: AttributeStore,
+    row_keys: Vec<u64>,
+    key_to_row: HashMap<u64, usize>,
+    index: Option<Box<dyn VectorIndex>>,
+    // Out-of-place update buffer.
+    buffer: LsmStore,
+    buffer_attrs: HashMap<u64, Vec<(String, AttrValue)>>,
+    wal: Option<Wal>,
+    planner: Planner,
+    merges: usize,
+}
+
+impl Collection {
+    /// Create an empty collection.
+    pub fn create(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
+        schema.validate()?;
+        let mut attrs = AttributeStore::new();
+        for (name, ty) in &schema.columns {
+            attrs.add_column(Column::new(name.clone(), *ty))?;
+        }
+        let wal = match &cfg.wal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(Wal::open(dir.join(format!("{}.wal", schema.name)))?)
+            }
+            None => None,
+        };
+        let buffer = LsmStore::new(
+            schema.dim,
+            schema.metric.clone(),
+            LsmConfig { memtable_capacity: cfg.merge_threshold.max(16), max_segments: 8 },
+        );
+        let planner = Planner::new(cfg.planner);
+        Ok(Collection {
+            vectors: Vectors::new(schema.dim),
+            attrs,
+            row_keys: Vec::new(),
+            key_to_row: HashMap::new(),
+            index: None,
+            buffer,
+            buffer_attrs: HashMap::new(),
+            wal,
+            planner,
+            merges: 0,
+            schema,
+            cfg,
+        })
+    }
+
+    /// Recover a collection from its WAL (replays every surviving record).
+    pub fn recover(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
+        let Some(dir) = cfg.wal_dir.clone() else {
+            return Err(Error::InvalidParameter("recovery requires a wal_dir".into()));
+        };
+        let path = dir.join(format!("{}.wal", schema.name));
+        let records = Wal::replay(&path)?;
+        let mut c = Collection::create(schema, cfg)?;
+        // Replay without re-logging.
+        let wal = c.wal.take();
+        for rec in records {
+            match rec {
+                WalRecord::Insert { key, vector } => {
+                    c.insert(key, &vector, &[])?;
+                }
+                WalRecord::Delete { key } => c.delete(key)?,
+            }
+        }
+        c.wal = wal;
+        Ok(c)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &CollectionSchema {
+        &self.schema
+    }
+
+    /// Live entity count.
+    pub fn len(&self) -> usize {
+        let main_live = self
+            .row_keys
+            .iter()
+            .filter(|&&k| !self.buffer.is_deleted(k) && !self.buffer.contains(k))
+            .count();
+        main_live + self.buffer.len()
+    }
+
+    /// Whether the collection holds no live entities.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CollectionStats {
+        CollectionStats {
+            live: self.len(),
+            indexed: self.vectors.len(),
+            buffered: self.buffer.len(),
+            merges: self.merges,
+            index_name: self.index.as_ref().map(|i| i.name()).unwrap_or("none"),
+        }
+    }
+
+    /// Insert (or overwrite) `key`. Attributes not listed default to NULL.
+    pub fn insert(&mut self, key: u64, vector: &[f32], attrs: &[(&str, AttrValue)]) -> Result<()> {
+        if vector.len() != self.schema.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.schema.dim,
+                actual: vector.len(),
+            });
+        }
+        // Validate attribute names/types against the schema up front.
+        for (name, value) in attrs {
+            let ty = self
+                .schema
+                .columns
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| *t)
+                .ok_or_else(|| Error::InvalidParameter(format!("unknown column `{name}`")))?;
+            value.check_type(ty)?;
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord::Insert { key, vector: vector.to_vec() })?;
+            wal.sync()?;
+        }
+        self.buffer.insert(key, vector)?;
+        self.buffer_attrs
+            .insert(key, attrs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect());
+        if self.buffer.len() >= self.cfg.merge_threshold {
+            self.merge()?;
+        }
+        Ok(())
+    }
+
+    /// Delete `key` (tombstone; space reclaimed at the next merge).
+    pub fn delete(&mut self, key: u64) -> Result<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord::Delete { key })?;
+            wal.sync()?;
+        }
+        self.buffer.delete(key);
+        self.buffer_attrs.remove(&key);
+        Ok(())
+    }
+
+    /// Fetch the newest live version of `key`'s vector.
+    pub fn get(&self, key: u64) -> Option<Vec<f32>> {
+        if self.buffer.is_deleted(key) {
+            return None;
+        }
+        if let Some(v) = self.buffer.get(key) {
+            return Some(v.to_vec());
+        }
+        self.key_to_row.get(&key).map(|&row| self.vectors.get(row).to_vec())
+    }
+
+    /// Force a merge: drain the buffer into the main part and rebuild the
+    /// index (§2.3(3) "applying them in bulk at a more appropriate time").
+    pub fn merge(&mut self) -> Result<()> {
+        let (keys, drained) = self.buffer.drain_live();
+        let tombstones = self.buffer.take_tombstones();
+        if keys.is_empty() && tombstones.is_empty() {
+            return Ok(());
+        }
+        // Rebuild the main part from live rows: surviving main rows first,
+        // then drained buffer rows (which shadow any same-key main row).
+        let drained_keys: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let mut new_vectors = Vectors::with_capacity(self.schema.dim, self.vectors.len() + keys.len());
+        let mut new_attrs = AttributeStore::new();
+        for (name, ty) in &self.schema.columns {
+            new_attrs.add_column(Column::new(name.clone(), *ty))?;
+        }
+        let mut new_keys = Vec::new();
+        let mut new_map = HashMap::new();
+        for (row, &key) in self.row_keys.iter().enumerate() {
+            if tombstones.contains(&key) || drained_keys.contains(&key) {
+                continue;
+            }
+            let new_row = new_vectors.push(self.vectors.get(row))?;
+            let row_values: Vec<(&str, AttrValue)> = self
+                .schema
+                .columns
+                .iter()
+                .map(|(name, _)| {
+                    (name.as_str(), self.attrs.column(name).expect("schema column").get(row).clone())
+                })
+                .collect();
+            new_attrs.push_row(&row_values)?;
+            new_keys.push(key);
+            new_map.insert(key, new_row);
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            let new_row = new_vectors.push(drained.get(i))?;
+            let pending = self.buffer_attrs.remove(&key).unwrap_or_default();
+            let row_values: Vec<(&str, AttrValue)> =
+                pending.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            new_attrs.push_row(&row_values)?;
+            new_keys.push(key);
+            new_map.insert(key, new_row);
+        }
+        self.vectors = new_vectors;
+        self.attrs = new_attrs;
+        self.row_keys = new_keys;
+        self.key_to_row = new_map;
+        self.index = if self.vectors.is_empty() {
+            None
+        } else {
+            Some(self.cfg.index.build(self.vectors.clone(), self.schema.metric.clone())?)
+        };
+        self.merges += 1;
+        Ok(())
+    }
+
+    /// k-NN search returning external keys, merging the indexed part and
+    /// the update buffer (read-your-writes).
+    pub fn search(&self, vector: &[f32], k: usize, params: &SearchParams) -> Result<Vec<SearchHit>> {
+        self.search_hybrid(vector, k, &Predicate::True, params, None)
+    }
+
+    /// Hybrid search with a predicate; `strategy` overrides the planner.
+    pub fn search_hybrid(
+        &self,
+        vector: &[f32],
+        k: usize,
+        predicate: &Predicate,
+        params: &SearchParams,
+        strategy: Option<Strategy>,
+    ) -> Result<Vec<SearchHit>> {
+        if vector.len() != self.schema.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.schema.dim,
+                actual: vector.len(),
+            });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut hits: Vec<SearchHit> = Vec::new();
+
+        // Main part: over-fetch to survive tombstoned/shadowed rows.
+        if let Some(index) = &self.index {
+            let dead = self
+                .row_keys
+                .iter()
+                .filter(|&&key| self.buffer.is_deleted(key) || self.buffer.contains(key))
+                .count();
+            let fetch = (k + dead).min(self.vectors.len());
+            if fetch > 0 {
+                let ctx = QueryContext::new(&self.vectors, &self.attrs, index.as_ref())?;
+                let q = VectorQuery::knn(vector.to_vec(), fetch)
+                    .filtered(predicate.clone())
+                    .with_params(params.clone());
+                let main: Vec<Neighbor> = match strategy {
+                    Some(st) => execute(&ctx, &q, st)?,
+                    None => self.planner.run(&ctx, &q)?.1,
+                };
+                for n in main {
+                    let key = self.row_keys[n.id];
+                    if self.buffer.is_deleted(key) || self.buffer.contains(key) {
+                        continue;
+                    }
+                    hits.push(SearchHit { key, dist: n.dist });
+                }
+            }
+        }
+
+        // Buffer part: brute force with predicate over pending attributes.
+        // Score every live buffered row (the buffer is bounded by the merge
+        // threshold) so a selective predicate cannot starve the result.
+        for hit in self.buffer.search(vector, self.buffer.len().max(k))? {
+            let passes = predicate.eval_values(&|col: &str| {
+                self.buffer_attrs
+                    .get(&hit.key)
+                    .and_then(|vals| vals.iter().find(|(n, _)| n == col))
+                    .map(|(_, v)| v.clone())
+            });
+            if passes {
+                hits.push(SearchHit { key: hit.key, dist: hit.dist });
+            }
+        }
+
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.key.cmp(&b.key)));
+        hits.dedup_by_key(|h| h.key);
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    /// Range query (§2.1): every live entity within `radius` of the query
+    /// under the collection metric that passes `predicate`, sorted
+    /// best-first. (Predicates on range results filter exactly — the range
+    /// search already enumerates every in-radius row.)
+    pub fn range_search(
+        &self,
+        vector: &[f32],
+        radius: f32,
+        predicate: &Predicate,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
+        if vector.len() != self.schema.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.schema.dim,
+                actual: vector.len(),
+            });
+        }
+        let mut hits = Vec::new();
+        if let Some(index) = &self.index {
+            for n in index.range_search(vector, radius, params)? {
+                let key = self.row_keys[n.id];
+                if self.buffer.is_deleted(key) || self.buffer.contains(key) {
+                    continue;
+                }
+                if !predicate.eval(&self.attrs, n.id) {
+                    continue;
+                }
+                hits.push(SearchHit { key, dist: n.dist });
+            }
+        }
+        for hit in self.buffer.search(vector, self.buffer.len().max(1))? {
+            if hit.dist > radius {
+                continue;
+            }
+            let passes = predicate.eval_values(&|col: &str| {
+                self.buffer_attrs
+                    .get(&hit.key)
+                    .and_then(|vals| vals.iter().find(|(n, _)| n == col))
+                    .map(|(_, v)| v.clone())
+            });
+            if passes {
+                hits.push(SearchHit { key: hit.key, dist: hit.dist });
+            }
+        }
+        hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.key.cmp(&b.key)));
+        hits.dedup_by_key(|h| h.key);
+        Ok(hits)
+    }
+
+    /// Access the planner (profile configuration).
+    pub fn planner_mut(&mut self) -> &mut Planner {
+        &mut self.planner
+    }
+
+    /// Exact selectivity of a predicate over the indexed part (diagnostics).
+    pub fn selectivity(&self, predicate: &Predicate) -> Result<f64> {
+        predicate.exact_selectivity(&self.attrs)
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Collection({}, dim={}, live={}, index={})",
+            self.schema.name,
+            self.schema.dim,
+            self.len(),
+            self.stats().index_name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::attr::AttrType;
+    use vdb_core::metric::Metric;
+    use vdb_core::rng::Rng;
+    use vdb_storage::TempDir;
+
+    fn schema() -> CollectionSchema {
+        CollectionSchema::new("test", 4, Metric::Euclidean)
+            .column("tag", AttrType::Str)
+            .column("score", AttrType::Int)
+    }
+
+    fn small_cfg() -> CollectionConfig {
+        CollectionConfig {
+            index: IndexSpec::Flat,
+            merge_threshold: 8,
+            planner: PlannerMode::CostBased,
+            wal_dir: None,
+        }
+    }
+
+    fn vec_at(x: f32) -> Vec<f32> {
+        vec![x, 0.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn insert_search_before_any_merge() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..5u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        assert_eq!(c.stats().merges, 0, "below threshold: no merge yet");
+        let hits = c.search(&vec_at(2.1), 2, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].key, 2);
+        assert_eq!(hits[1].key, 3);
+    }
+
+    #[test]
+    fn merge_triggers_and_results_stay_correct() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..20u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        assert!(c.stats().merges >= 2);
+        assert_eq!(c.len(), 20);
+        let hits = c.search(&vec_at(10.2), 3, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].key, 10);
+    }
+
+    #[test]
+    fn read_your_writes_and_overwrites() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..10u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        // Overwrite key 3 far away; newest version must win immediately.
+        c.insert(3, &vec_at(100.0), &[]).unwrap();
+        let hits = c.search(&vec_at(3.0), 1, &SearchParams::default()).unwrap();
+        assert_ne!(hits[0].key, 3, "old version must be shadowed");
+        let hits = c.search(&vec_at(100.0), 1, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].key, 3);
+        assert_eq!(c.get(3).unwrap(), vec_at(100.0));
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn delete_then_merge_reclaims() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..10u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        c.delete(4).unwrap();
+        assert_eq!(c.len(), 9);
+        assert!(c.get(4).is_none());
+        let hits = c.search(&vec_at(4.0), 1, &SearchParams::default()).unwrap();
+        assert_ne!(hits[0].key, 4);
+        c.merge().unwrap();
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.stats().buffered, 0);
+        let hits = c.search(&vec_at(4.0), 9, &SearchParams::default()).unwrap();
+        assert!(hits.iter().all(|h| h.key != 4));
+    }
+
+    #[test]
+    fn hybrid_search_with_attributes() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..30u64 {
+            let tag = if i % 2 == 0 { "even" } else { "odd" };
+            c.insert(i, &vec_at(i as f32), &[("tag", tag.into()), ("score", (i as i64).into())])
+                .unwrap();
+        }
+        let pred = Predicate::eq("tag", "even");
+        let hits = c
+            .search_hybrid(&vec_at(7.0), 3, &pred, &SearchParams::default(), None)
+            .unwrap();
+        assert!(hits.iter().all(|h| h.key % 2 == 0), "{hits:?}");
+        assert_eq!(hits[0].key, 6);
+        // Works for buffered rows too (31st row stays in buffer).
+        c.insert(100, &vec_at(7.1), &[("tag", "even".into())]).unwrap();
+        let hits = c
+            .search_hybrid(&vec_at(7.1), 1, &pred, &SearchParams::default(), None)
+            .unwrap();
+        assert_eq!(hits[0].key, 100);
+    }
+
+    #[test]
+    fn explicit_strategy_override() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        for i in 0..20u64 {
+            c.insert(i, &vec_at(i as f32), &[("score", (i as i64).into())]).unwrap();
+        }
+        let pred = Predicate::lt("score", 10);
+        for st in Strategy::ALL {
+            let hits = c
+                .search_hybrid(&vec_at(5.0), 3, &pred, &SearchParams::default(), Some(st))
+                .unwrap();
+            assert_eq!(hits[0].key, 5, "{}", st.name());
+        }
+    }
+
+    #[test]
+    fn schema_validation_on_insert() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        assert!(c.insert(0, &[1.0], &[]).is_err(), "wrong dim");
+        assert!(c.insert(0, &vec_at(0.0), &[("ghost", 1i64.into())]).is_err(), "unknown column");
+        assert!(c.insert(0, &vec_at(0.0), &[("score", "text".into())]).is_err(), "wrong type");
+        assert!(c.is_empty(), "failed inserts must not leak state");
+    }
+
+    #[test]
+    fn wal_recovery_reproduces_state() {
+        let dir = TempDir::new("coll-wal").unwrap();
+        let cfg = CollectionConfig { wal_dir: Some(dir.path().to_path_buf()), ..small_cfg() };
+        {
+            let mut c = Collection::create(schema(), cfg.clone()).unwrap();
+            for i in 0..12u64 {
+                c.insert(i, &vec_at(i as f32), &[]).unwrap();
+            }
+            c.delete(5).unwrap();
+            c.insert(3, &vec_at(300.0), &[]).unwrap();
+        }
+        let recovered = Collection::recover(schema(), cfg).unwrap();
+        assert_eq!(recovered.len(), 11);
+        assert!(recovered.get(5).is_none());
+        assert_eq!(recovered.get(3).unwrap(), vec_at(300.0));
+        let hits = recovered.search(&vec_at(7.0), 1, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].key, 7);
+    }
+
+    #[test]
+    fn hnsw_backed_collection() {
+        let mut rng = Rng::seed_from_u64(160);
+        let mut c = Collection::create(
+            CollectionSchema::new("vecs", 8, Metric::Euclidean),
+            CollectionConfig { merge_threshold: 64, ..Default::default() },
+        )
+        .unwrap();
+        let data = vdb_core::dataset::gaussian(300, 8, &mut rng);
+        for (i, row) in data.iter().enumerate() {
+            c.insert(i as u64, row, &[]).unwrap();
+        }
+        assert_eq!(c.stats().index_name, "hnsw");
+        let hits = c.search(data.get(17), 1, &SearchParams::default().with_beam_width(64)).unwrap();
+        assert_eq!(hits[0].key, 17);
+    }
+}

@@ -1,0 +1,312 @@
+//! The database facade: named collections, DDL/DML, VQL execution, and
+//! indirect (embedding-backed) manipulation.
+
+use crate::collection::{Collection, CollectionConfig, SearchHit};
+use crate::embed::TextEmbedder;
+use crate::indexspec::IndexSpec;
+use crate::profile::SystemProfile;
+use crate::schema::CollectionSchema;
+use crate::vql::{self, VqlStatement};
+use std::collections::HashMap;
+use vdb_core::attr::AttrValue;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::SearchParams;
+
+/// Result of executing a VQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqlOutput {
+    /// Search hits.
+    Hits(Vec<SearchHit>),
+    /// Row count.
+    Count(usize),
+    /// DML acknowledged.
+    Done,
+}
+
+/// The VDBMS: a registry of collections plus the system-owned embedding
+/// model for indirect manipulation (§2.1).
+pub struct Vdbms {
+    profile: SystemProfile,
+    collections: HashMap<String, Collection>,
+    embedder: TextEmbedder,
+}
+
+impl Vdbms {
+    /// A database under the given architectural profile.
+    pub fn new(profile: SystemProfile) -> Self {
+        Vdbms { profile, collections: HashMap::new(), embedder: TextEmbedder::new(64) }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> SystemProfile {
+        self.profile
+    }
+
+    /// Replace the embedding model (dimension must match collections that
+    /// use it).
+    pub fn set_embedder(&mut self, embedder: TextEmbedder) {
+        self.embedder = embedder;
+    }
+
+    /// The embedding model.
+    pub fn embedder(&self) -> &TextEmbedder {
+        &self.embedder
+    }
+
+    /// Create a collection with the profile's default configuration.
+    pub fn create_collection(&mut self, schema: CollectionSchema, index: IndexSpec) -> Result<()> {
+        let cfg = self.profile.collection_config(index);
+        self.create_collection_with(schema, cfg)
+    }
+
+    /// Create a collection with an explicit configuration.
+    pub fn create_collection_with(
+        &mut self,
+        schema: CollectionSchema,
+        cfg: CollectionConfig,
+    ) -> Result<()> {
+        let name = schema.name.clone();
+        if self.collections.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("collection `{name}`")));
+        }
+        let c = Collection::create(schema, cfg)?;
+        self.collections.insert(name, c);
+        Ok(())
+    }
+
+    /// Drop a collection.
+    pub fn drop_collection(&mut self, name: &str) -> Result<()> {
+        self.collections
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Collection names.
+    pub fn collection_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.collections.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Borrow a collection.
+    pub fn collection(&self, name: &str) -> Result<&Collection> {
+        self.collections
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Mutably borrow a collection.
+    pub fn collection_mut(&mut self, name: &str) -> Result<&mut Collection> {
+        self.collections
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Indirect manipulation: embed `text` with the system model and
+    /// insert it as entity `key`.
+    pub fn insert_text(
+        &mut self,
+        collection: &str,
+        key: u64,
+        text: &str,
+        attrs: &[(&str, AttrValue)],
+    ) -> Result<()> {
+        let vector = self.embedder.embed(text);
+        self.collection_mut(collection)?.insert(key, &vector, attrs)
+    }
+
+    /// Indirect manipulation: embed `text` and search with it.
+    pub fn search_text(
+        &self,
+        collection: &str,
+        text: &str,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
+        let vector = self.embedder.embed(text);
+        self.collection(collection)?.search(&vector, k, params)
+    }
+
+    /// Parse and execute one VQL statement.
+    pub fn execute(&mut self, statement: &str) -> Result<VqlOutput> {
+        match vql::parse(statement)? {
+            VqlStatement::Search { collection, vector, k, predicate, strategy, params } => {
+                let c = self.collection(&collection)?;
+                let hits = c.search_hybrid(&vector, k, &predicate, &params, strategy)?;
+                Ok(VqlOutput::Hits(hits))
+            }
+            VqlStatement::RangeSearch { collection, vector, radius, predicate, params } => {
+                let c = self.collection(&collection)?;
+                let hits = c.range_search(&vector, radius, &predicate, &params)?;
+                Ok(VqlOutput::Hits(hits))
+            }
+            VqlStatement::Insert { collection, key, vector, attrs } => {
+                let attr_refs: Vec<(&str, AttrValue)> =
+                    attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                self.collection_mut(&collection)?.insert(key, &vector, &attr_refs)?;
+                Ok(VqlOutput::Done)
+            }
+            VqlStatement::Delete { collection, key } => {
+                self.collection_mut(&collection)?.delete(key)?;
+                Ok(VqlOutput::Done)
+            }
+            VqlStatement::Count { collection } => {
+                Ok(VqlOutput::Count(self.collection(&collection)?.len()))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Vdbms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vdbms({}, collections={:?})", self.profile.name(), self.collection_names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::attr::AttrType;
+    use vdb_core::metric::Metric;
+
+    fn db() -> Vdbms {
+        let mut db = Vdbms::new(SystemProfile::MostlyMixed);
+        db.create_collection(
+            CollectionSchema::new("docs", 3, Metric::Euclidean)
+                .column("brand", AttrType::Str)
+                .column("price", AttrType::Int),
+            IndexSpec::Flat,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_lifecycle() {
+        let mut db = db();
+        assert_eq!(db.collection_names(), vec!["docs"]);
+        assert!(db
+            .create_collection(CollectionSchema::new("docs", 3, Metric::Euclidean), IndexSpec::Flat)
+            .is_err());
+        db.drop_collection("docs").unwrap();
+        assert!(db.collection("docs").is_err());
+        assert!(db.drop_collection("docs").is_err());
+    }
+
+    #[test]
+    fn vql_end_to_end() {
+        let mut db = db();
+        for i in 0..20 {
+            let stmt = format!(
+                "INSERT INTO docs KEY {i} VALUES [{}.0, 0, 0] SET brand = '{}', price = {}",
+                i,
+                if i % 2 == 0 { "acme" } else { "zen" },
+                i * 10
+            );
+            assert_eq!(db.execute(&stmt).unwrap(), VqlOutput::Done);
+        }
+        assert_eq!(db.execute("COUNT docs").unwrap(), VqlOutput::Count(20));
+
+        let out = db
+            .execute("SEARCH docs K 3 NEAR [7.1, 0, 0] WHERE brand = 'acme' AND price < 150")
+            .unwrap();
+        match out {
+            VqlOutput::Hits(hits) => {
+                assert_eq!(hits[0].key, 8, "nearest even-keyed row under price 150");
+                assert!(hits.iter().all(|h| h.key % 2 == 0));
+            }
+            _ => panic!("expected hits"),
+        }
+
+        db.execute("DELETE FROM docs KEY 8").unwrap();
+        let out = db.execute("SEARCH docs K 1 NEAR [8.0, 0, 0]").unwrap();
+        match out {
+            VqlOutput::Hits(hits) => assert_ne!(hits[0].key, 8),
+            _ => panic!(),
+        }
+        assert_eq!(db.execute("COUNT docs").unwrap(), VqlOutput::Count(19));
+    }
+
+    #[test]
+    fn vql_strategy_override_runs() {
+        let mut db = db();
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO docs KEY {i} VALUES [{i}, 0, 0]")).unwrap();
+        }
+        for st in ["brute_force", "pre_filter", "post_filter", "block_first", "visit_first"] {
+            let out = db
+                .execute(&format!("SEARCH docs K 2 NEAR [4.2, 0, 0] WHERE price IS NULL USING {st}"))
+                .unwrap();
+            match out {
+                VqlOutput::Hits(hits) => assert_eq!(hits[0].key, 4, "{st}"),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_text_manipulation() {
+        let mut db = Vdbms::new(SystemProfile::MostlyVector);
+        db.set_embedder(TextEmbedder::new(64));
+        db.create_collection(
+            CollectionSchema::new("notes", 64, Metric::Cosine),
+            IndexSpec::Flat,
+        )
+        .unwrap();
+        db.insert_text("notes", 1, "rust systems programming language", &[]).unwrap();
+        db.insert_text("notes", 2, "chocolate cake baking recipe", &[]).unwrap();
+        db.insert_text("notes", 3, "rust memory safety borrow checker", &[]).unwrap();
+        let hits = db
+            .search_text("notes", "programming in rust", 2, &SearchParams::default())
+            .unwrap();
+        let keys: Vec<u64> = hits.iter().map(|h| h.key).collect();
+        assert!(keys.contains(&1) && keys.contains(&3), "{keys:?}");
+    }
+
+    #[test]
+    fn vql_range_search_end_to_end() {
+        let mut db = db();
+        for i in 0..10 {
+            db.execute(&format!(
+                "INSERT INTO docs KEY {i} VALUES [{i}, 0, 0] SET price = {}",
+                i * 10
+            ))
+            .unwrap();
+        }
+        // Entities within distance 2.5 of x=4: keys 2..=6.
+        let out = db.execute("SEARCH docs WITHIN 2.5 NEAR [4, 0, 0]").unwrap();
+        match out {
+            VqlOutput::Hits(hits) => {
+                let mut keys: Vec<u64> = hits.iter().map(|h| h.key).collect();
+                keys.sort_unstable();
+                assert_eq!(keys, vec![2, 3, 4, 5, 6]);
+            }
+            _ => panic!("expected hits"),
+        }
+        // With a predicate the in-radius set is filtered exactly.
+        let out = db
+            .execute("SEARCH docs WITHIN 2.5 NEAR [4, 0, 0] WHERE price < 45")
+            .unwrap();
+        match out {
+            VqlOutput::Hits(hits) => {
+                let mut keys: Vec<u64> = hits.iter().map(|h| h.key).collect();
+                keys.sort_unstable();
+                assert_eq!(keys, vec![2, 3, 4]);
+            }
+            _ => panic!("expected hits"),
+        }
+        // Deletes are respected.
+        db.execute("DELETE FROM docs KEY 4").unwrap();
+        let out = db.execute("SEARCH docs WITHIN 0.5 NEAR [4, 0, 0]").unwrap();
+        assert_eq!(out, VqlOutput::Hits(vec![]));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = db();
+        assert!(db.execute("SEARCH ghosts K 1 NEAR [1, 2, 3]").is_err());
+        assert!(db.execute("SEARCH docs K 1 NEAR [1]").is_err(), "dimension mismatch");
+        assert!(db.execute("nonsense").is_err());
+    }
+}

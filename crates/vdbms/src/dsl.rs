@@ -1,0 +1,176 @@
+//! Fluent query builder (§2.1 "query interfaces").
+//!
+//! The survey's "simple API" interface style, complementing VQL's textual
+//! one: chainable builders over a [`Collection`].
+//!
+//! ```
+//! # use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec};
+//! # use vdb_core::{Metric, AttrType, AttrValue};
+//! # use vdb_query::Predicate;
+//! # let mut c = Collection::create(
+//! #     CollectionSchema::new("t", 2, Metric::Euclidean).column("price", AttrType::Int),
+//! #     CollectionConfig { index: IndexSpec::Flat, ..Default::default() },
+//! # ).unwrap();
+//! # c.insert(1, &[0.0, 0.0], &[("price", AttrValue::Int(5))]).unwrap();
+//! let hits = c.find(&[0.1, 0.0])
+//!     .k(5)
+//!     .filter(Predicate::lt("price", 100))
+//!     .beam_width(64)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(hits[0].key, 1);
+//! ```
+
+use crate::collection::{Collection, SearchHit};
+use vdb_core::error::Result;
+use vdb_core::index::SearchParams;
+use vdb_query::{Predicate, Strategy};
+
+/// A chainable search request against one collection.
+pub struct SearchRequest<'a> {
+    collection: &'a Collection,
+    vector: Vec<f32>,
+    k: usize,
+    radius: Option<f32>,
+    predicate: Predicate,
+    strategy: Option<Strategy>,
+    params: SearchParams,
+}
+
+impl Collection {
+    /// Start building a search against this collection.
+    pub fn find(&self, vector: &[f32]) -> SearchRequest<'_> {
+        SearchRequest {
+            collection: self,
+            vector: vector.to_vec(),
+            k: 10,
+            radius: None,
+            predicate: Predicate::True,
+            strategy: None,
+            params: SearchParams::default(),
+        }
+    }
+}
+
+impl SearchRequest<'_> {
+    /// Result size (default 10). Ignored by [`SearchRequest::within`] range
+    /// queries.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Turn the request into a range query: return every entity within
+    /// `radius` instead of the nearest `k`.
+    pub fn within(mut self, radius: f32) -> Self {
+        self.radius = Some(radius);
+        self
+    }
+
+    /// Attach an attribute predicate (hybrid query).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Force a hybrid strategy instead of the planner's choice.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Graph beam width.
+    pub fn beam_width(mut self, v: usize) -> Self {
+        self.params.beam_width = v;
+        self
+    }
+
+    /// Buckets probed by table indexes.
+    pub fn nprobe(mut self, v: usize) -> Self {
+        self.params.nprobe = v;
+        self
+    }
+
+    /// Full search-parameter override.
+    pub fn params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Execute the request.
+    pub fn run(self) -> Result<Vec<SearchHit>> {
+        match self.radius {
+            Some(r) => {
+                self.collection.range_search(&self.vector, r, &self.predicate, &self.params)
+            }
+            None => self.collection.search_hybrid(
+                &self.vector,
+                self.k,
+                &self.predicate,
+                &self.params,
+                self.strategy,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionConfig;
+    use crate::indexspec::IndexSpec;
+    use crate::schema::CollectionSchema;
+    use vdb_core::attr::AttrType;
+    use vdb_core::metric::Metric;
+
+    fn collection() -> Collection {
+        let mut c = Collection::create(
+            CollectionSchema::new("dsl", 2, Metric::Euclidean).column("grp", AttrType::Int),
+            CollectionConfig { index: IndexSpec::Flat, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..20i64 {
+            c.insert(i as u64, &[i as f32, 0.0], &[("grp", (i % 2).into())]).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn knn_with_filter_and_strategy() {
+        let c = collection();
+        let hits = c
+            .find(&[5.2, 0.0])
+            .k(3)
+            .filter(Predicate::eq("grp", 0i64))
+            .strategy(Strategy::BruteForce)
+            .run()
+            .unwrap();
+        assert_eq!(hits.iter().map(|h| h.key).collect::<Vec<_>>(), vec![6, 4, 8]);
+    }
+
+    #[test]
+    fn range_mode() {
+        let c = collection();
+        let hits = c.find(&[5.0, 0.0]).within(1.5).run().unwrap();
+        let mut keys: Vec<u64> = hits.iter().map(|h| h.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![4, 5, 6]);
+        // Range + filter composes.
+        let hits = c.find(&[5.0, 0.0]).within(1.5).filter(Predicate::eq("grp", 1i64)).run().unwrap();
+        assert_eq!(hits.iter().map(|h| h.key).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn parameter_setters_apply() {
+        let c = collection();
+        let hits = c
+            .find(&[0.0, 0.0])
+            .k(2)
+            .beam_width(5)
+            .nprobe(3)
+            .params(SearchParams::default().with_rerank(7))
+            .run()
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+}

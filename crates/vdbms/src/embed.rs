@@ -1,0 +1,146 @@
+//! In-system embedding model (§2.1 "indirect data manipulation").
+//!
+//! Under indirect manipulation the collection appears as *entities* (here:
+//! text strings) and the VDBMS owns the embedding model. The model is a
+//! deterministic feature-hashing n-gram embedder — the classical
+//! hashing-trick text representation: character n-grams hash to signed
+//! buckets of a `dim`-dimensional vector, then L2-normalize. Texts sharing
+//! vocabulary land nearby in cosine space, which is all the downstream
+//! code paths (embed → insert → search) require. The substitution for a
+//! learned encoder is documented in DESIGN.md.
+
+/// A deterministic text embedder.
+#[derive(Debug, Clone)]
+pub struct TextEmbedder {
+    dim: usize,
+    /// n-gram sizes used (e.g. 2..=4).
+    ngrams: (usize, usize),
+    seed: u64,
+}
+
+impl TextEmbedder {
+    /// An embedder producing `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        TextEmbedder { dim, ngrams: (2, 4), seed: 0xE3BED }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a text into a unit-norm vector. Empty or whitespace-only
+    /// text embeds to the zero vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let normalized: String = text
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+            .collect();
+        for word in normalized.split_whitespace() {
+            // Pad word boundaries so prefixes/suffixes are distinctive.
+            let padded: Vec<char> = std::iter::once('^')
+                .chain(word.chars())
+                .chain(std::iter::once('$'))
+                .collect();
+            for n in self.ngrams.0..=self.ngrams.1 {
+                if padded.len() < n {
+                    continue;
+                }
+                for gram in padded.windows(n) {
+                    let h = self.hash_gram(gram);
+                    let bucket = (h % self.dim as u64) as usize;
+                    let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+                    v[bucket] += sign;
+                }
+            }
+            // Whole-word feature, weighted above sub-word n-grams so that
+            // shared vocabulary dominates shared morphology ("baking" vs
+            // "programming" share only the "-ing" grams).
+            let h = self.hash_gram(&padded);
+            let bucket = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign * 4.0;
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    fn hash_gram(&self, gram: &[char]) -> u64 {
+        // FNV-1a over the code points, salted by the seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for &c in gram {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::kernel;
+
+    fn cos(a: &[f32], b: &[f32]) -> f32 {
+        1.0 - kernel::cosine_distance(a, b)
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = TextEmbedder::new(64);
+        assert_eq!(e.embed("hello world"), e.embed("hello world"));
+    }
+
+    #[test]
+    fn unit_norm_and_shape() {
+        let e = TextEmbedder::new(48);
+        let v = e.embed("vector database systems");
+        assert_eq!(v.len(), 48);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let e = TextEmbedder::new(128);
+        let a = e.embed("the quick brown fox jumps over the lazy dog");
+        let b = e.embed("a quick brown fox leaps over a lazy dog");
+        let c = e.embed("quarterly financial report earnings statement");
+        assert!(
+            cos(&a, &b) > cos(&a, &c) + 0.2,
+            "related {} vs unrelated {}",
+            cos(&a, &b),
+            cos(&a, &c)
+        );
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        let e = TextEmbedder::new(64);
+        assert_eq!(e.embed("Hello, World!"), e.embed("hello world"));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = TextEmbedder::new(16);
+        assert_eq!(e.embed(""), vec![0.0; 16]);
+        assert_eq!(e.embed("   ...  "), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn shared_vocabulary_scales_similarity() {
+        let e = TextEmbedder::new(128);
+        let base = e.embed("apple banana cherry");
+        let one_shared = e.embed("apple xylophone zebra");
+        let none_shared = e.embed("quantum flux paradox");
+        assert!(cos(&base, &one_shared) > cos(&base, &none_shared));
+    }
+}

@@ -1,0 +1,200 @@
+//! The index registry: every index type in the workspace behind one
+//! declarative specification.
+//!
+//! This is the facade's "CREATE INDEX ... USING <type>" surface and the
+//! benchmark harness's way of enumerating the whole index zoo.
+
+use vdb_core::error::{Error, Result};
+use vdb_core::metric::Metric;
+use vdb_core::vector::Vectors;
+use vdb_core::VectorIndex;
+use vdb_index_graph::{
+    HnswConfig, HnswIndex, KnngConfig, KnngIndex, NsgConfig, NsgIndex, NswConfig, NswIndex,
+    VamanaConfig, VamanaIndex,
+};
+use vdb_index_table::{
+    HashFamily, IvfConfig, IvfFlatIndex, IvfPqConfig, IvfPqIndex, IvfSqIndex, LshConfig, LshIndex,
+};
+use vdb_index_tree::{annoy_forest, flann_forest, kd_tree, pca_tree, rp_forest};
+use vdb_quant::SqBits;
+
+/// A declarative index specification.
+#[derive(Debug, Clone)]
+pub enum IndexSpec {
+    /// Exact brute-force scan.
+    Flat,
+    /// Locality-sensitive hashing.
+    Lsh(LshConfig),
+    /// IVF with exact in-list distances.
+    IvfFlat(IvfConfig),
+    /// IVF over scalar-quantized codes.
+    IvfSq {
+        /// IVF configuration.
+        ivf: IvfConfig,
+        /// Code width.
+        bits: SqBits,
+    },
+    /// IVFADC (IVF + PQ residual codes).
+    IvfPq(IvfPqConfig),
+    /// k-d tree.
+    KdTree,
+    /// PCA tree.
+    PcaTree,
+    /// Random-projection forest.
+    RpForest {
+        /// Number of trees.
+        trees: usize,
+    },
+    /// ANNOY forest.
+    Annoy {
+        /// Number of trees.
+        trees: usize,
+    },
+    /// FLANN randomized k-d forest.
+    Flann {
+        /// Number of trees.
+        trees: usize,
+    },
+    /// NN-Descent k-NN graph.
+    Knng(KnngConfig),
+    /// Navigable small world graph.
+    Nsw(NswConfig),
+    /// Hierarchical NSW.
+    Hnsw(HnswConfig),
+    /// Navigating spreading-out graph.
+    Nsg(NsgConfig),
+    /// Vamana (DiskANN's in-memory graph).
+    Vamana(VamanaConfig),
+}
+
+impl IndexSpec {
+    /// Short stable name (matches `VectorIndex::name` of the built index).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexSpec::Flat => "flat",
+            IndexSpec::Lsh(_) => "lsh",
+            IndexSpec::IvfFlat(_) => "ivf_flat",
+            IndexSpec::IvfSq { .. } => "ivf_sq",
+            IndexSpec::IvfPq(_) => "ivf_pq",
+            IndexSpec::KdTree => "kd_tree",
+            IndexSpec::PcaTree => "pca_tree",
+            IndexSpec::RpForest { .. } => "rp_forest",
+            IndexSpec::Annoy { .. } => "annoy",
+            IndexSpec::Flann { .. } => "flann",
+            IndexSpec::Knng(_) => "knng",
+            IndexSpec::Nsw(_) => "nsw",
+            IndexSpec::Hnsw(_) => "hnsw",
+            IndexSpec::Nsg(_) => "nsg",
+            IndexSpec::Vamana(_) => "vamana",
+        }
+    }
+
+    /// Parse a spec by name with default parameters.
+    pub fn parse(name: &str) -> Result<IndexSpec> {
+        match name {
+            "flat" => Ok(IndexSpec::Flat),
+            "lsh" => Ok(IndexSpec::Lsh(LshConfig::default())),
+            "ivf_flat" | "ivf" => Ok(IndexSpec::IvfFlat(IvfConfig::new(32))),
+            "ivf_sq" => Ok(IndexSpec::IvfSq { ivf: IvfConfig::new(32), bits: SqBits::B8 }),
+            "ivf_pq" | "ivfadc" => Ok(IndexSpec::IvfPq(IvfPqConfig::new(32, 8))),
+            "kd_tree" | "kd" => Ok(IndexSpec::KdTree),
+            "pca_tree" | "pca" => Ok(IndexSpec::PcaTree),
+            "rp_forest" | "rp" => Ok(IndexSpec::RpForest { trees: 8 }),
+            "annoy" => Ok(IndexSpec::Annoy { trees: 8 }),
+            "flann" => Ok(IndexSpec::Flann { trees: 8 }),
+            "knng" | "kgraph" => Ok(IndexSpec::Knng(KnngConfig::new(16))),
+            "nsw" => Ok(IndexSpec::Nsw(NswConfig::default())),
+            "hnsw" => Ok(IndexSpec::Hnsw(HnswConfig::default())),
+            "nsg" => Ok(IndexSpec::Nsg(NsgConfig::default())),
+            "vamana" | "diskann_mem" => Ok(IndexSpec::Vamana(VamanaConfig::default())),
+            other => Err(Error::Parse(format!("unknown index type `{other}`"))),
+        }
+    }
+
+    /// Every spec with default parameters (the harness's index zoo).
+    pub fn all_defaults() -> Vec<IndexSpec> {
+        [
+            "flat", "lsh", "ivf_flat", "ivf_sq", "ivf_pq", "kd_tree", "pca_tree", "rp_forest",
+            "annoy", "flann", "knng", "nsw", "hnsw", "nsg", "vamana",
+        ]
+        .iter()
+        .map(|n| IndexSpec::parse(n).expect("registry names parse"))
+        .collect()
+    }
+
+    /// Whether the built index supports in-place insertion (otherwise the
+    /// collection routes writes through the out-of-place buffer only).
+    pub fn supports_insert(&self) -> bool {
+        matches!(
+            self,
+            IndexSpec::Flat | IndexSpec::Lsh(_) | IndexSpec::IvfFlat(_) | IndexSpec::Nsw(_) | IndexSpec::Hnsw(_)
+        )
+    }
+
+    /// Build an index over an owned collection.
+    pub fn build(&self, vectors: Vectors, metric: Metric) -> Result<Box<dyn VectorIndex>> {
+        let seed = 0xB1B0;
+        Ok(match self {
+            IndexSpec::Flat => Box::new(vdb_core::FlatIndex::build(vectors, metric)?),
+            IndexSpec::Lsh(cfg) => Box::new(LshIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::IvfFlat(cfg) => Box::new(IvfFlatIndex::build(vectors, metric, cfg)?),
+            IndexSpec::IvfSq { ivf, bits } => {
+                Box::new(IvfSqIndex::build(vectors, metric, ivf, *bits, true)?)
+            }
+            IndexSpec::IvfPq(cfg) => Box::new(IvfPqIndex::build(vectors, metric, cfg)?),
+            IndexSpec::KdTree => Box::new(kd_tree(vectors, metric, 16, seed)?),
+            IndexSpec::PcaTree => Box::new(pca_tree(vectors, metric, 16, seed)?),
+            IndexSpec::RpForest { trees } => Box::new(rp_forest(vectors, metric, *trees, 16, seed)?),
+            IndexSpec::Annoy { trees } => Box::new(annoy_forest(vectors, metric, *trees, 16, seed)?),
+            IndexSpec::Flann { trees } => Box::new(flann_forest(vectors, metric, *trees, 16, seed)?),
+            IndexSpec::Knng(cfg) => Box::new(KnngIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::Nsw(cfg) => Box::new(NswIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::Nsg(cfg) => Box::new(NsgIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::Vamana(cfg) => Box::new(VamanaIndex::build(vectors, metric, cfg.clone())?),
+        })
+    }
+}
+
+/// Default LSH spec helper (used by examples).
+pub fn default_lsh() -> IndexSpec {
+    IndexSpec::Lsh(LshConfig { l: 16, k: 10, family: HashFamily::PStable { w: 4.0 }, seed: 0x15A4 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::index::SearchParams;
+    use vdb_core::rng::Rng;
+
+    #[test]
+    fn every_spec_builds_and_searches() {
+        let mut rng = Rng::seed_from_u64(150);
+        let data = dataset::clustered(300, 16, 4, 0.4, &mut rng).vectors;
+        let params = SearchParams::default().with_nprobe(32).with_beam_width(64);
+        for spec in IndexSpec::all_defaults() {
+            let idx = spec.build(data.clone(), Metric::Euclidean).unwrap();
+            assert_eq!(idx.name(), spec.name(), "name mismatch for {:?}", spec.name());
+            assert_eq!(idx.len(), 300);
+            let hits = idx.search(data.get(0), 5, &params).unwrap();
+            assert!(!hits.is_empty(), "{} returned nothing", spec.name());
+            assert_eq!(hits[0].id, 0, "{} should find the query point first", spec.name());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(IndexSpec::parse("btree").is_err());
+        assert_eq!(IndexSpec::parse("hnsw").unwrap().name(), "hnsw");
+        assert_eq!(IndexSpec::parse("ivfadc").unwrap().name(), "ivf_pq");
+    }
+
+    #[test]
+    fn insert_support_flags() {
+        assert!(IndexSpec::parse("hnsw").unwrap().supports_insert());
+        assert!(IndexSpec::parse("flat").unwrap().supports_insert());
+        assert!(!IndexSpec::parse("nsg").unwrap().supports_insert());
+        assert!(!IndexSpec::parse("annoy").unwrap().supports_insert());
+    }
+}

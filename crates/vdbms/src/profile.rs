@@ -1,0 +1,61 @@
+//! System profiles (§2.4 "existing systems").
+//!
+//! The survey splits native VDBMSs into *mostly-vector* systems (simple
+//! API, no optimizer, one predefined plan — Vearch/Pinecone/Chroma-style)
+//! and *mostly-mixed* systems (query optimizer, richer hybrid plans —
+//! Milvus/Qdrant/Manu-style). The facade reproduces both architectures as
+//! configuration profiles so experiments can compare them head to head.
+
+use crate::collection::CollectionConfig;
+use crate::indexspec::IndexSpec;
+use vdb_query::{PlannerMode, Strategy};
+
+/// An architectural profile for a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemProfile {
+    /// Streamlined vector-only engine: a single predefined plan
+    /// (post-filtering) and no optimizer.
+    MostlyVector,
+    /// Full hybrid engine: cost-based optimizer over all plan shapes.
+    MostlyMixed,
+}
+
+impl SystemProfile {
+    /// Default collection configuration under this profile.
+    pub fn collection_config(&self, index: IndexSpec) -> CollectionConfig {
+        match self {
+            SystemProfile::MostlyVector => CollectionConfig {
+                index,
+                planner: PlannerMode::Fixed(Strategy::PostFilter),
+                ..Default::default()
+            },
+            SystemProfile::MostlyMixed => CollectionConfig {
+                index,
+                planner: PlannerMode::CostBased,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemProfile::MostlyVector => "mostly_vector",
+            SystemProfile::MostlyMixed => "mostly_mixed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_map_to_planner_modes() {
+        let v = SystemProfile::MostlyVector.collection_config(IndexSpec::Flat);
+        assert_eq!(v.planner, PlannerMode::Fixed(Strategy::PostFilter));
+        let m = SystemProfile::MostlyMixed.collection_config(IndexSpec::Flat);
+        assert_eq!(m.planner, PlannerMode::CostBased);
+        assert_ne!(SystemProfile::MostlyVector.name(), SystemProfile::MostlyMixed.name());
+    }
+}

@@ -1,0 +1,73 @@
+//! Collection schemas.
+
+use vdb_core::attr::AttrType;
+use vdb_core::error::{Error, Result};
+use vdb_core::metric::Metric;
+
+/// Schema of a collection: vector shape, similarity score, and attribute
+/// columns.
+#[derive(Debug, Clone)]
+pub struct CollectionSchema {
+    /// Collection name.
+    pub name: String,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Similarity score.
+    pub metric: Metric,
+    /// Attribute columns as `(name, type)`.
+    pub columns: Vec<(String, AttrType)>,
+}
+
+impl CollectionSchema {
+    /// Start building a schema.
+    pub fn new(name: impl Into<String>, dim: usize, metric: Metric) -> Self {
+        CollectionSchema { name: name.into(), dim, metric, columns: Vec::new() }
+    }
+
+    /// Add an attribute column.
+    pub fn column(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.columns.push((name.into(), ty));
+        self
+    }
+
+    /// Validate the schema.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(Error::InvalidParameter("collection name must be non-empty".into()));
+        }
+        if self.dim == 0 {
+            return Err(Error::InvalidParameter("dimension must be positive".into()));
+        }
+        self.metric.validate(self.dim)?;
+        let mut names: Vec<&str> = self.columns.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::InvalidParameter("duplicate column name".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_validation() {
+        let s = CollectionSchema::new("docs", 64, Metric::Cosine)
+            .column("lang", AttrType::Str)
+            .column("year", AttrType::Int);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.columns.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(CollectionSchema::new("", 4, Metric::Euclidean).validate().is_err());
+        assert!(CollectionSchema::new("x", 0, Metric::Euclidean).validate().is_err());
+        let dup = CollectionSchema::new("x", 4, Metric::Euclidean)
+            .column("a", AttrType::Int)
+            .column("a", AttrType::Str);
+        assert!(dup.validate().is_err());
+    }
+}

@@ -1,0 +1,583 @@
+//! VQL — a minimal textual vector query language (§2.1 "query
+//! interfaces").
+//!
+//! The survey contrasts simple-API systems with SQL-extension systems;
+//! VQL is the facade's SQL-flavoured surface. Statements:
+//!
+//! ```text
+//! SEARCH docs K 10 NEAR [0.1, 0.2, 0.3]
+//!        WHERE price < 50 AND (brand = 'acme' OR brand = 'zen')
+//!        USING visit_first BEAM 64 NPROBE 8
+//! SEARCH docs WITHIN 2.5 NEAR [0.1, 0.2, 0.3] WHERE price < 50
+//! INSERT INTO docs KEY 42 VALUES [0.1, 0.2, 0.3] SET brand = 'acme', price = 10
+//! DELETE FROM docs KEY 42
+//! COUNT docs
+//! ```
+
+use vdb_core::attr::AttrValue;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::SearchParams;
+use vdb_query::{CmpOp, Predicate, Strategy};
+
+/// A parsed VQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqlStatement {
+    /// k-NN / hybrid search.
+    Search {
+        /// Target collection.
+        collection: String,
+        /// Query vector literal.
+        vector: Vec<f32>,
+        /// Result size.
+        k: usize,
+        /// Predicate (True when no WHERE clause).
+        predicate: Predicate,
+        /// Optional strategy override from USING.
+        strategy: Option<Strategy>,
+        /// Search parameters from BEAM / NPROBE.
+        params: SearchParams,
+    },
+    /// Range search: all entities within a distance threshold.
+    RangeSearch {
+        /// Target collection.
+        collection: String,
+        /// Query vector literal.
+        vector: Vec<f32>,
+        /// Distance threshold (collection-metric units).
+        radius: f32,
+        /// Predicate (True when no WHERE clause).
+        predicate: Predicate,
+        /// Search parameters from BEAM / NPROBE.
+        params: SearchParams,
+    },
+    /// Insert one entity.
+    Insert {
+        /// Target collection.
+        collection: String,
+        /// Entity key.
+        key: u64,
+        /// Vector literal.
+        vector: Vec<f32>,
+        /// Attribute assignments.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Delete one entity.
+    Delete {
+        /// Target collection.
+        collection: String,
+        /// Entity key.
+        key: u64,
+    },
+    /// Count live entities.
+    Count {
+        /// Target collection.
+        collection: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() || (c == '-' && i + 1 < chars.len() && (chars[i + 1].is_ascii_digit() || chars[i + 1] == '.')) {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E'
+                    || ((chars[i] == '-' || chars[i] == '+') && matches!(chars[i - 1], 'e' | 'E')))
+            {
+                if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                out.push(Tok::Float(text.parse().map_err(|_| Error::Parse(format!("bad number `{text}`")))?));
+            } else {
+                out.push(Tok::Int(text.parse().map_err(|_| Error::Parse(format!("bad number `{text}`")))?));
+            }
+        } else if c == '\'' {
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(Error::Parse("unterminated string literal".into()));
+            }
+            out.push(Tok::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else {
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            let sym = match two.as_str() {
+                "!=" | "<=" | ">=" => Some(match two.as_str() {
+                    "!=" => "!=",
+                    "<=" => "<=",
+                    _ => ">=",
+                }),
+                _ => None,
+            };
+            if let Some(s) = sym {
+                out.push(Tok::Sym(s));
+                i += 2;
+            } else {
+                let s = match c {
+                    '[' => "[",
+                    ']' => "]",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    _ => return Err(Error::Parse(format!("unexpected character `{c}`"))),
+                };
+                out.push(Tok::Sym(s));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| Error::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::Parse(format!("expected `{kw}`, got {other:?}"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64> {
+        match self.next()? {
+            Tok::Int(v) if v >= 0 => Ok(v as u64),
+            other => Err(Error::Parse(format!("expected non-negative integer, got {other:?}"))),
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Sym(t) if t == s => Ok(()),
+            other => Err(Error::Parse(format!("expected `{s}`, got {other:?}"))),
+        }
+    }
+
+    fn vector_literal(&mut self) -> Result<Vec<f32>> {
+        self.sym("[")?;
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                Tok::Float(f) => out.push(f as f32),
+                Tok::Int(i) => out.push(i as f32),
+                Tok::Sym("]") if out.is_empty() => break,
+                other => return Err(Error::Parse(format!("expected number in vector, got {other:?}"))),
+            }
+            match self.next()? {
+                Tok::Sym(",") => continue,
+                Tok::Sym("]") => break,
+                other => return Err(Error::Parse(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+        if out.is_empty() {
+            return Err(Error::Parse("empty vector literal".into()));
+        }
+        Ok(out)
+    }
+
+    fn value(&mut self) -> Result<AttrValue> {
+        match self.next()? {
+            Tok::Int(v) => Ok(AttrValue::Int(v)),
+            Tok::Float(v) => Ok(AttrValue::Float(v)),
+            Tok::Str(s) => Ok(AttrValue::Str(s)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(AttrValue::Bool(true)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(AttrValue::Bool(false)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(AttrValue::Null),
+            other => Err(Error::Parse(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    /// predicate := or_expr
+    fn predicate(&mut self) -> Result<Predicate> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate> {
+        let mut terms = vec![self.and_expr()?];
+        while self.try_keyword("or") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::Or(terms) })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate> {
+        let mut terms = vec![self.unary_expr()?];
+        while self.try_keyword("and") {
+            terms.push(self.unary_expr()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::And(terms) })
+    }
+
+    fn unary_expr(&mut self) -> Result<Predicate> {
+        if self.try_keyword("not") {
+            return Ok(Predicate::Not(Box::new(self.unary_expr()?)));
+        }
+        if let Some(Tok::Sym("(")) = self.peek() {
+            self.pos += 1;
+            let inner = self.predicate()?;
+            self.sym(")")?;
+            return Ok(inner);
+        }
+        self.atom()
+    }
+
+    /// atom := ident (cmp value | IS NULL | IN (v,...) | BETWEEN v AND v)
+    fn atom(&mut self) -> Result<Predicate> {
+        let column = self.ident()?;
+        match self.next()? {
+            Tok::Sym(op @ ("=" | "!=" | "<" | "<=" | ">" | ">=")) => {
+                let op = match op {
+                    "=" => CmpOp::Eq,
+                    "!=" => CmpOp::Ne,
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Le,
+                    ">" => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                Ok(Predicate::Cmp { column, op, value: self.value()? })
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("is") => {
+                self.keyword("null")?;
+                Ok(Predicate::IsNull { column })
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("in") => {
+                self.sym("(")?;
+                let mut values = vec![self.value()?];
+                loop {
+                    match self.next()? {
+                        Tok::Sym(",") => values.push(self.value()?),
+                        Tok::Sym(")") => break,
+                        other => {
+                            return Err(Error::Parse(format!("expected `,` or `)`, got {other:?}")))
+                        }
+                    }
+                }
+                Ok(Predicate::In { column, values })
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("between") => {
+                let lo = self.value()?;
+                self.keyword("and")?;
+                let hi = self.value()?;
+                Ok(Predicate::Between { column, lo, hi })
+            }
+            other => Err(Error::Parse(format!("expected operator after `{column}`, got {other:?}"))),
+        }
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy> {
+    Strategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| Error::Parse(format!("unknown strategy `{name}`")))
+}
+
+/// Parse one VQL statement.
+pub fn parse(input: &str) -> Result<VqlStatement> {
+    let mut p = Parser { toks: lex(input)?, pos: 0 };
+    let head = p.ident()?;
+    let stmt = if head.eq_ignore_ascii_case("search") {
+        let collection = p.ident()?;
+        if p.try_keyword("within") {
+            let radius = match p.next()? {
+                Tok::Float(f) => f as f32,
+                Tok::Int(i) => i as f32,
+                other => return Err(Error::Parse(format!("expected radius, got {other:?}"))),
+            };
+            if radius.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+                && radius != 0.0
+            {
+                return Err(Error::Parse("radius must be non-negative".into()));
+            }
+            p.keyword("near")?;
+            let vector = p.vector_literal()?;
+            let mut predicate = Predicate::True;
+            let mut params = SearchParams::default();
+            loop {
+                if p.try_keyword("where") {
+                    predicate = p.predicate()?;
+                } else if p.try_keyword("beam") {
+                    params.beam_width = p.uint()? as usize;
+                } else if p.try_keyword("nprobe") {
+                    params.nprobe = p.uint()? as usize;
+                } else {
+                    break;
+                }
+            }
+            if p.pos != p.toks.len() {
+                return Err(Error::Parse(format!(
+                    "trailing tokens after statement: {:?}",
+                    &p.toks[p.pos..]
+                )));
+            }
+            return Ok(VqlStatement::RangeSearch { collection, vector, radius, predicate, params });
+        }
+        p.keyword("k")?;
+        let k = p.uint()? as usize;
+        p.keyword("near")?;
+        let vector = p.vector_literal()?;
+        let mut predicate = Predicate::True;
+        let mut strategy = None;
+        let mut params = SearchParams::default();
+        loop {
+            if p.try_keyword("where") {
+                predicate = p.predicate()?;
+            } else if p.try_keyword("using") {
+                strategy = Some(parse_strategy(&p.ident()?)?);
+            } else if p.try_keyword("beam") {
+                params.beam_width = p.uint()? as usize;
+            } else if p.try_keyword("nprobe") {
+                params.nprobe = p.uint()? as usize;
+            } else {
+                break;
+            }
+        }
+        VqlStatement::Search { collection, vector, k, predicate, strategy, params }
+    } else if head.eq_ignore_ascii_case("insert") {
+        p.keyword("into")?;
+        let collection = p.ident()?;
+        p.keyword("key")?;
+        let key = p.uint()?;
+        p.keyword("values")?;
+        let vector = p.vector_literal()?;
+        let mut attrs = Vec::new();
+        if p.try_keyword("set") {
+            loop {
+                let col = p.ident()?;
+                p.sym("=")?;
+                attrs.push((col, p.value()?));
+                if let Some(Tok::Sym(",")) = p.peek() {
+                    p.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        VqlStatement::Insert { collection, key, vector, attrs }
+    } else if head.eq_ignore_ascii_case("delete") {
+        p.keyword("from")?;
+        let collection = p.ident()?;
+        p.keyword("key")?;
+        let key = p.uint()?;
+        VqlStatement::Delete { collection, key }
+    } else if head.eq_ignore_ascii_case("count") {
+        VqlStatement::Count { collection: p.ident()? }
+    } else {
+        return Err(Error::Parse(format!("unknown statement `{head}`")));
+    };
+    if p.pos != p.toks.len() {
+        return Err(Error::Parse(format!("trailing tokens after statement: {:?}", &p.toks[p.pos..])));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_search() {
+        let s = parse("SEARCH docs K 10 NEAR [0.1, 0.2, -3]").unwrap();
+        match s {
+            VqlStatement::Search { collection, vector, k, predicate, strategy, .. } => {
+                assert_eq!(collection, "docs");
+                assert_eq!(k, 10);
+                assert_eq!(vector, vec![0.1, 0.2, -3.0]);
+                assert_eq!(predicate, Predicate::True);
+                assert!(strategy.is_none());
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn parse_hybrid_search_with_options() {
+        let s = parse(
+            "search products k 5 near [1.0] where price < 50 and (brand = 'acme' or brand = 'zen') using visit_first beam 64 nprobe 4",
+        )
+        .unwrap();
+        match s {
+            VqlStatement::Search { predicate, strategy, params, .. } => {
+                assert_eq!(strategy, Some(Strategy::VisitFirst));
+                assert_eq!(params.beam_width, 64);
+                assert_eq!(params.nprobe, 4);
+                assert_eq!(
+                    predicate.to_string(),
+                    "(price < 50 AND (brand = 'acme' OR brand = 'zen'))"
+                );
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn parse_predicate_variants() {
+        let s = parse(
+            "SEARCH c K 1 NEAR [1] WHERE a IN (1, 2, 3) AND b BETWEEN 0.5 AND 1.5 AND c IS NULL AND NOT d = true",
+        )
+        .unwrap();
+        if let VqlStatement::Search { predicate, .. } = s {
+            let txt = predicate.to_string();
+            assert!(txt.contains("a IN (1, 2, 3)"), "{txt}");
+            assert!(txt.contains("b BETWEEN 0.5 AND 1.5"), "{txt}");
+            assert!(txt.contains("c IS NULL"), "{txt}");
+            assert!(txt.contains("NOT d = true"), "{txt}");
+        } else {
+            panic!("wrong statement");
+        }
+    }
+
+    #[test]
+    fn parse_insert_and_delete_and_count() {
+        let s = parse("INSERT INTO docs KEY 42 VALUES [1, 2] SET brand = 'acme', price = 10").unwrap();
+        assert_eq!(
+            s,
+            VqlStatement::Insert {
+                collection: "docs".into(),
+                key: 42,
+                vector: vec![1.0, 2.0],
+                attrs: vec![
+                    ("brand".into(), AttrValue::Str("acme".into())),
+                    ("price".into(), AttrValue::Int(10)),
+                ],
+            }
+        );
+        assert_eq!(
+            parse("DELETE FROM docs KEY 7").unwrap(),
+            VqlStatement::Delete { collection: "docs".into(), key: 7 }
+        );
+        assert_eq!(parse("COUNT docs").unwrap(), VqlStatement::Count { collection: "docs".into() });
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in [
+            "",
+            "FROB docs",
+            "SEARCH docs K near [1]",
+            "SEARCH docs K 5 NEAR []",
+            "SEARCH docs K 5 NEAR [1] WHERE",
+            "SEARCH docs K 5 NEAR [1] USING warp_drive",
+            "INSERT INTO docs KEY -1 VALUES [1]",
+            "SEARCH docs K 5 NEAR [1] trailing garbage",
+            "SEARCH docs K 5 NEAR [1] WHERE a = 'unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn operator_precedence_or_lower_than_and() {
+        let s = parse("SEARCH c K 1 NEAR [1] WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        if let VqlStatement::Search { predicate, .. } = s {
+            // a=1 OR (b=2 AND c=3)
+            assert_eq!(predicate.to_string(), "(a = 1 OR (b = 2 AND c = 3))");
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parse_range_search() {
+        let s = parse("SEARCH docs WITHIN 2.5 NEAR [1, 2] WHERE price < 50 BEAM 32").unwrap();
+        match s {
+            VqlStatement::RangeSearch { collection, vector, radius, predicate, params } => {
+                assert_eq!(collection, "docs");
+                assert_eq!(vector, vec![1.0, 2.0]);
+                assert_eq!(radius, 2.5);
+                assert_eq!(predicate.to_string(), "price < 50");
+                assert_eq!(params.beam_width, 32);
+            }
+            _ => panic!("wrong statement"),
+        }
+        // Integer radius accepted.
+        assert!(matches!(
+            parse("SEARCH docs WITHIN 3 NEAR [1]").unwrap(),
+            VqlStatement::RangeSearch { radius, .. } if radius == 3.0
+        ));
+        // Negative radius rejected; USING not valid for range search.
+        assert!(parse("SEARCH docs WITHIN -1 NEAR [1]").is_err());
+        assert!(parse("SEARCH docs WITHIN 1 NEAR [1] USING post_filter").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_and_negatives() {
+        let s = parse("SEARCH c K 1 NEAR [1e-2, -2.5, 3]").unwrap();
+        if let VqlStatement::Search { vector, .. } = s {
+            assert!((vector[0] - 0.01).abs() < 1e-9);
+            assert_eq!(vector[1], -2.5);
+        } else {
+            panic!();
+        }
+    }
+}

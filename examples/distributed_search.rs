@@ -1,0 +1,69 @@
+//! Distributed scatter-gather search (§2.3): shards, replicas, routed
+//! search under index-guided partitioning, and failover.
+//!
+//! Run with: `cargo run --release --example distributed_search`
+
+use std::time::Instant;
+use vdb_core::recall::GroundTruth;
+use vdb_core::{dataset, Metric, Rng, SearchParams, VectorIndex, Vectors};
+use vdb_distributed::{DistributedConfig, DistributedIndex, PartitionPolicy};
+use vdb_index_graph::{HnswConfig, HnswIndex};
+
+fn hnsw_builder(
+    v: Vectors,
+    m: Metric,
+) -> vdb_core::Result<Box<dyn VectorIndex>> {
+    Ok(Box::new(HnswIndex::build(v, m, HnswConfig::default())?))
+}
+
+fn main() -> vdb_core::Result<()> {
+    let mut rng = Rng::seed_from_u64(7);
+    let n = 20_000;
+    println!("generating {n} clustered vectors (32-d)...");
+    let data = dataset::clustered(n, 32, 24, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 100, 0.05, &mut rng);
+    let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10)?;
+    let params = SearchParams::default().with_beam_width(64);
+
+    println!("\nscaling shards (uniform partitioning, full fan-out):");
+    println!("{:>7} {:>12} {:>9}", "shards", "latency_us", "recall@10");
+    for shards in [1usize, 2, 4, 8] {
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(shards),
+            &hnsw_builder,
+        )?;
+        let start = Instant::now();
+        let results: Vec<_> =
+            queries.iter().map(|q| d.search(q, 10, &params)).collect::<vdb_core::Result<_>>()?;
+        let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+        println!("{:>7} {:>12.0} {:>9.3}", shards, us, gt.recall_batch(&results));
+    }
+
+    println!("\nindex-guided partitioning with routed search (8 shards):");
+    println!("{:>7} {:>12} {:>9}", "probed", "latency_us", "recall@10");
+    for probe in [1usize, 2, 4, 8] {
+        let mut cfg = DistributedConfig::index_guided(8, probe);
+        cfg.policy = PartitionPolicy::IndexGuided;
+        let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &hnsw_builder)?;
+        let start = Instant::now();
+        let results: Vec<_> =
+            queries.iter().map(|q| d.search(q, 10, &params)).collect::<vdb_core::Result<_>>()?;
+        let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+        println!("{:>7} {:>12.0} {:>9.3}", probe, us, gt.recall_batch(&results));
+    }
+    println!("(cluster-aligned placement lets 2 of 8 shards answer most queries)");
+
+    println!("\nreplica failover:");
+    let mut cfg = DistributedConfig::uniform(2);
+    cfg.replicas = 2;
+    let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &hnsw_builder)?;
+    let q = queries.get(0);
+    println!("  both replicas up: {} hits", d.search(q, 10, &params)?.len());
+    d.set_replica_up(0, 0, false);
+    println!("  replica (0,0) down: {} hits (served by replica 1)", d.search(q, 10, &params)?.len());
+    d.set_replica_up(0, 1, false);
+    println!("  whole shard down: {:?}", d.search(q, 10, &params).err().map(|e| e.to_string()));
+    Ok(())
+}

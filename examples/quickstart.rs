@@ -1,0 +1,87 @@
+//! Quickstart: create a collection, insert vectors with attributes, run
+//! plain and hybrid searches through both the programmatic API and VQL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms, VqlOutput};
+use vdb_core::{AttrType, Metric, SearchParams};
+use vdb_query::Predicate;
+
+fn main() -> vdb_core::Result<()> {
+    // A database in the "mostly-mixed" profile: cost-based hybrid planner.
+    let mut db = Vdbms::new(SystemProfile::MostlyMixed);
+
+    // DDL: a 4-dimensional collection with two attribute columns,
+    // indexed by HNSW.
+    db.create_collection(
+        CollectionSchema::new("products", 4, Metric::Euclidean)
+            .column("brand", AttrType::Str)
+            .column("price", AttrType::Int),
+        IndexSpec::parse("hnsw")?,
+    )?;
+
+    // DML: insert a small catalog. Each product's vector stands in for an
+    // image/text embedding.
+    let catalog: &[(u64, [f32; 4], &str, i64)] = &[
+        (1, [0.9, 0.1, 0.0, 0.2], "acme", 25),
+        (2, [0.8, 0.2, 0.1, 0.1], "acme", 120),
+        (3, [0.1, 0.9, 0.8, 0.0], "zenith", 40),
+        (4, [0.2, 0.8, 0.9, 0.1], "zenith", 35),
+        (5, [0.85, 0.15, 0.05, 0.15], "nova", 22),
+        (6, [0.0, 0.2, 0.9, 0.9], "nova", 300),
+    ];
+    for (key, vector, brand, price) in catalog {
+        db.collection_mut("products")?.insert(
+            *key,
+            vector,
+            &[("brand", (*brand).into()), ("price", (*price).into())],
+        )?;
+    }
+    println!("inserted {} products", db.collection("products")?.len());
+
+    // Plain k-NN: what's most similar to this query embedding?
+    let query = [0.88, 0.12, 0.02, 0.18];
+    let hits = db.collection("products")?.search(&query, 3, &SearchParams::default())?;
+    println!("\ntop-3 nearest:");
+    for h in &hits {
+        println!("  product {}  (distance {:.4})", h.key, h.dist);
+    }
+
+    // Hybrid query via the programmatic API: nearest products under $100.
+    let cheap = Predicate::lt("price", 100);
+    let hits = db.collection("products")?.search_hybrid(
+        &query,
+        3,
+        &cheap,
+        &SearchParams::default(),
+        None, // let the cost-based planner pick the strategy
+    )?;
+    println!("\ntop-3 nearest under $100:");
+    for h in &hits {
+        println!("  product {}  (distance {:.4})", h.key, h.dist);
+    }
+
+    // The same query through VQL, forcing the visit-first hybrid operator.
+    let out = db.execute(
+        "SEARCH products K 3 NEAR [0.88, 0.12, 0.02, 0.18] \
+         WHERE price < 100 AND brand != 'nova' USING visit_first",
+    )?;
+    if let VqlOutput::Hits(hits) = out {
+        println!("\nVQL (price < 100 AND brand != 'nova'):");
+        for h in &hits {
+            println!("  product {}  (distance {:.4})", h.key, h.dist);
+        }
+    }
+
+    // Out-of-place updates: overwrite and delete are visible immediately,
+    // merged into the index in bulk later.
+    db.execute("DELETE FROM products KEY 1")?;
+    db.execute("INSERT INTO products KEY 7 VALUES [0.9, 0.1, 0.0, 0.2] SET brand = 'acme', price = 19")?;
+    if let VqlOutput::Hits(hits) = db.execute("SEARCH products K 1 NEAR [0.9, 0.1, 0.0, 0.2]")? {
+        println!("\nafter update, nearest is product {}", hits[0].key);
+    }
+    if let VqlOutput::Count(n) = db.execute("COUNT products")? {
+        println!("live products: {n}");
+    }
+    Ok(())
+}

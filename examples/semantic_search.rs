@@ -1,0 +1,75 @@
+//! Semantic text search under *indirect manipulation* (§2.1): the VDBMS
+//! owns the embedding model; the application only ever sees text.
+//!
+//! Run with: `cargo run --example semantic_search`
+
+use vdb::{CollectionSchema, IndexSpec, SystemProfile, TextEmbedder, Vdbms};
+use vdb_core::{AttrType, Metric, SearchParams};
+use vdb_query::Predicate;
+
+const DIM: usize = 128;
+
+fn main() -> vdb_core::Result<()> {
+    let mut db = Vdbms::new(SystemProfile::MostlyVector);
+    db.set_embedder(TextEmbedder::new(DIM));
+
+    // Cosine is the natural score for normalized text embeddings.
+    db.create_collection(
+        CollectionSchema::new("articles", DIM, Metric::Cosine)
+            .column("section", AttrType::Str)
+            .column("year", AttrType::Int),
+        IndexSpec::parse("hnsw")?,
+    )?;
+
+    let corpus: &[(&str, &str, i64)] = &[
+        ("rust borrow checker prevents data races at compile time", "tech", 2021),
+        ("the rust compiler enforces memory safety without garbage collection", "tech", 2022),
+        ("new pasta restaurant opens downtown with homemade noodles", "food", 2023),
+        ("sourdough bread baking requires patience and a good starter", "food", 2020),
+        ("vector databases accelerate retrieval for language models", "tech", 2023),
+        ("approximate nearest neighbor search trades recall for speed", "tech", 2022),
+        ("chocolate souffle recipe from a michelin starred chef", "food", 2021),
+        ("distributed systems need consensus protocols like raft", "tech", 2020),
+        ("seasonal vegetables shine in this simple soup recipe", "food", 2022),
+        ("gpu acceleration speeds up similarity search kernels", "tech", 2023),
+    ];
+    for (i, (text, section, year)) in corpus.iter().enumerate() {
+        db.insert_text(
+            "articles",
+            i as u64,
+            text,
+            &[("section", (*section).into()), ("year", (*year).into())],
+        )?;
+    }
+    println!("indexed {} articles\n", corpus.len());
+
+    let queries = [
+        "memory safety in the rust language",
+        "recipes for baking bread",
+        "fast nearest neighbor retrieval",
+    ];
+    for q in queries {
+        println!("query: {q:?}");
+        let hits = db.search_text("articles", q, 3, &SearchParams::default())?;
+        for h in &hits {
+            println!("  [{:.3}] {}", 1.0 - h.dist, corpus[h.key as usize].0);
+        }
+        println!();
+    }
+
+    // Hybrid: same semantic query, restricted to the tech section since 2022.
+    let vector = db.embedder().embed("searching embeddings at scale");
+    let pred = Predicate::eq("section", "tech").and(Predicate::gt("year", 2021));
+    let hits = db.collection("articles")?.search_hybrid(
+        &vector,
+        3,
+        &pred,
+        &SearchParams::default(),
+        None,
+    )?;
+    println!("hybrid query (section = 'tech' AND year > 2021):");
+    for h in &hits {
+        println!("  [{:.3}] {}", 1.0 - h.dist, corpus[h.key as usize].0);
+    }
+    Ok(())
+}

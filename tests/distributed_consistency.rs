@@ -1,0 +1,84 @@
+//! Distributed-vs-single-node consistency: scatter-gather over exact
+//! shards must equal a single exact index, regardless of shard count or
+//! partitioning policy.
+
+use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex, Vectors};
+use vdb_distributed::{DistributedConfig, DistributedIndex, PartitionPolicy};
+
+fn flat_builder(v: Vectors, m: Metric) -> vdb_core::Result<Box<dyn VectorIndex>> {
+    Ok(Box::new(FlatIndex::build(v, m)?))
+}
+
+#[test]
+fn full_fanout_equals_single_node_for_all_configs() {
+    let mut rng = Rng::seed_from_u64(4000);
+    let data = dataset::clustered(1500, 12, 8, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 10, 0.05, &mut rng);
+    let single = FlatIndex::build(data.clone(), Metric::Euclidean).unwrap();
+    let params = SearchParams::default();
+
+    for policy in [PartitionPolicy::Uniform, PartitionPolicy::IndexGuided] {
+        for shards in [1usize, 3, 8] {
+            let cfg = DistributedConfig {
+                n_shards: shards,
+                replicas: 1,
+                policy,
+                probe_shards: None,
+                seed: 42,
+            };
+            let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &flat_builder).unwrap();
+            for q in queries.iter() {
+                let got = d.search(q, 10, &params).unwrap();
+                let expect = single.search(q, 10, &params).unwrap();
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    expect.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "policy {policy:?} shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replication_does_not_change_results() {
+    let mut rng = Rng::seed_from_u64(4001);
+    let data = dataset::gaussian(800, 8, &mut rng);
+    let queries = dataset::split_queries(&data, 8, 0.05, &mut rng);
+    let mut cfg = DistributedConfig::uniform(4);
+    cfg.replicas = 3;
+    let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &flat_builder).unwrap();
+    let params = SearchParams::default();
+    // Repeated searches rotate replicas; results must be identical.
+    for q in queries.iter() {
+        let first = d.search(q, 5, &params).unwrap();
+        for _ in 0..5 {
+            assert_eq!(d.search(q, 5, &params).unwrap(), first);
+        }
+    }
+}
+
+#[test]
+fn routed_probing_recall_grows_with_probes() {
+    let mut rng = Rng::seed_from_u64(4002);
+    let c = dataset::clustered(2000, 12, 16, 0.4, &mut rng);
+    let queries = dataset::split_queries(&c.vectors, 20, 0.05, &mut rng);
+    let gt = vdb_core::recall::GroundTruth::compute(&c.vectors, &queries, Metric::Euclidean, 10)
+        .unwrap();
+    let params = SearchParams::default();
+    let mut last = 0.0;
+    for probe in [1usize, 2, 4, 8] {
+        let d = DistributedIndex::build(
+            &c.vectors,
+            Metric::Euclidean,
+            DistributedConfig::index_guided(8, probe),
+            &flat_builder,
+        )
+        .unwrap();
+        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        let r = gt.recall_batch(&results);
+        assert!(r >= last - 0.02, "probe={probe}: recall {r} dropped from {last}");
+        last = r;
+    }
+    assert!((last - 1.0).abs() < 1e-9, "probing all shards is exact");
+}

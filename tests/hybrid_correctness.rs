@@ -1,0 +1,137 @@
+//! Cross-crate hybrid-query correctness: every strategy on every
+//! hybrid-capable index family, validated against the brute-force oracle
+//! across predicate selectivities.
+
+use vdb_core::{dataset, AttrType, Metric, Rng, SearchParams, VectorIndex, Vectors};
+use vdb_index_graph::{HnswConfig, HnswIndex, VamanaConfig, VamanaIndex};
+use vdb_index_table::{IvfConfig, IvfFlatIndex};
+use vdb_query::{execute, Predicate, QueryContext, Strategy, VectorQuery};
+use vdb_storage::{AttributeStore, Column};
+
+struct Fixture {
+    data: Vectors,
+    attrs: AttributeStore,
+    queries: Vectors,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = Rng::seed_from_u64(2000);
+    let data = dataset::clustered(3000, 16, 12, 0.5, &mut rng).vectors;
+    let queries = dataset::split_queries(&data, 15, 0.05, &mut rng);
+    let mut attrs = AttributeStore::new();
+    attrs
+        .add_column(
+            Column::from_values("v", AttrType::Int, dataset::int_column(3000, 0, 1000, &mut rng))
+                .unwrap(),
+        )
+        .unwrap();
+    Fixture { data, attrs, queries }
+}
+
+fn indexes(data: &Vectors) -> Vec<Box<dyn VectorIndex>> {
+    vec![
+        Box::new(
+            IvfFlatIndex::build(data.clone(), Metric::Euclidean, &IvfConfig::new(24)).unwrap(),
+        ),
+        Box::new(HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap()),
+        Box::new(
+            VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn strategies_never_violate_predicates_and_recall_holds_mid_selectivity() {
+    let f = fixture();
+    let params = SearchParams::default().with_beam_width(128).with_nprobe(24);
+    // Mid selectivity (~30%): every strategy should work well here.
+    let pred = Predicate::lt("v", 300);
+    for index in indexes(&f.data) {
+        let ctx = QueryContext::new(&f.data, &f.attrs, index.as_ref()).unwrap();
+        for qv in f.queries.iter() {
+            let q = VectorQuery::knn(qv.to_vec(), 10)
+                .filtered(pred.clone())
+                .with_params(params.clone());
+            let oracle = execute(&ctx, &q, Strategy::BruteForce).unwrap();
+            let oset: std::collections::HashSet<usize> = oracle.iter().map(|n| n.id).collect();
+            for strategy in Strategy::ALL {
+                let out = execute(&ctx, &q, strategy).unwrap();
+                assert!(
+                    out.iter().all(|n| pred.eval(&f.attrs, n.id)),
+                    "{}/{}: predicate violated",
+                    index.name(),
+                    strategy.name()
+                );
+                let hits = out.iter().filter(|n| oset.contains(&n.id)).count();
+                assert!(
+                    hits as f64 / oset.len() as f64 >= 0.6,
+                    "{}/{}: recall {hits}/{}",
+                    index.name(),
+                    strategy.name(),
+                    oset.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_selectivities_are_safe() {
+    let f = fixture();
+    let params = SearchParams::default().with_beam_width(128).with_nprobe(24);
+    for index in indexes(&f.data) {
+        let ctx = QueryContext::new(&f.data, &f.attrs, index.as_ref()).unwrap();
+        // ~0.5% selectivity: results may be scarce but never wrong, and
+        // exact strategies must find whatever exists.
+        let narrow = Predicate::lt("v", 5);
+        let q = VectorQuery::knn(f.queries.get(0).to_vec(), 10)
+            .filtered(narrow.clone())
+            .with_params(params.clone());
+        let oracle = execute(&ctx, &q, Strategy::BruteForce).unwrap();
+        for strategy in Strategy::ALL {
+            let out = execute(&ctx, &q, strategy).unwrap();
+            assert!(out.iter().all(|n| narrow.eval(&f.attrs, n.id)));
+            assert!(out.len() <= oracle.len());
+        }
+        // Predicate matching nothing.
+        let none = Predicate::lt("v", -1);
+        let q = VectorQuery::knn(f.queries.get(0).to_vec(), 5).filtered(none);
+        for strategy in Strategy::ALL {
+            assert!(execute(&ctx, &q, strategy).unwrap().is_empty(), "{}", strategy.name());
+        }
+        // Predicate matching everything equals the unpredicated search for
+        // the exact strategies.
+        let all = Predicate::lt("v", 10_000);
+        let q_all = VectorQuery::knn(f.queries.get(1).to_vec(), 10)
+            .filtered(all)
+            .with_params(params.clone());
+        let q_plain = VectorQuery::knn(f.queries.get(1).to_vec(), 10).with_params(params.clone());
+        let a = execute(&ctx, &q_all, Strategy::BruteForce).unwrap();
+        let b = execute(&ctx, &q_plain, Strategy::BruteForce).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn planner_choices_execute_correctly_across_the_sweep() {
+    let f = fixture();
+    let params = SearchParams::default().with_beam_width(96).with_nprobe(16);
+    let index = HnswIndex::build(f.data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+    let ctx = QueryContext::new(&f.data, &f.attrs, &index).unwrap();
+    for mode in [
+        vdb_query::PlannerMode::RuleBased,
+        vdb_query::PlannerMode::CostBased,
+        vdb_query::PlannerMode::Fixed(Strategy::PostFilter),
+    ] {
+        let planner = vdb_query::Planner::new(mode);
+        for cut in [5i64, 50, 300, 900] {
+            let pred = Predicate::lt("v", cut);
+            let q = VectorQuery::knn(f.queries.get(2).to_vec(), 10)
+                .filtered(pred.clone())
+                .with_params(params.clone());
+            let (plan, out) = planner.run(&ctx, &q).unwrap();
+            assert!(plan.est_cost.is_finite() && plan.est_cost > 0.0);
+            assert!(out.iter().all(|n| pred.eval(&f.attrs, n.id)));
+        }
+    }
+}

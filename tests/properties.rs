@@ -1,0 +1,165 @@
+//! Property-based tests over core invariants (proptest).
+
+use proptest::prelude::*;
+use vdb_core::bitset::BitSet;
+use vdb_core::kernel;
+use vdb_core::metric::Metric;
+use vdb_core::topk::{top_k_by_sort, Neighbor, TopK};
+use vdb_core::vector::Vectors;
+use vdb_quant::{ProductQuantizer, PqConfig, ScalarQuantizer, SqBits};
+use vdb_storage::{LsmConfig, LsmStore};
+
+/// Strategy: a small finite f32 vector of the given length.
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn true_metrics_satisfy_axioms(a in vec_of(8), b in vec_of(8), c in vec_of(8)) {
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
+            let dab = metric.distance(&a, &b);
+            let dba = metric.distance(&b, &a);
+            let daa = metric.distance(&a, &a);
+            let dac = metric.distance(&a, &c);
+            let dcb = metric.distance(&c, &b);
+            // Symmetry, identity, non-negativity, triangle inequality
+            // (with float slack).
+            prop_assert!((dab - dba).abs() <= 1e-3 * dab.abs().max(1.0));
+            prop_assert!(daa.abs() < 1e-3);
+            prop_assert!(dab >= 0.0);
+            prop_assert!(dab <= dac + dcb + 1e-2 * (dac + dcb).max(1.0),
+                "{}: d(a,b)={dab} > d(a,c)+d(c,b)={}", metric.name(), dac + dcb);
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_scalar(a in vec_of(37), b in vec_of(37)) {
+        let scale = kernel::l2_sq_scalar(&a, &b).max(1.0);
+        prop_assert!((kernel::l2_sq(&a, &b) - kernel::l2_sq_scalar(&a, &b)).abs() <= 1e-3 * scale);
+        let dscale = kernel::dot_scalar(&a, &b).abs().max(1.0);
+        prop_assert!((kernel::dot(&a, &b) - kernel::dot_scalar(&a, &b)).abs() <= 1e-3 * dscale);
+        let lscale = kernel::l1_scalar(&a, &b).max(1.0);
+        prop_assert!((kernel::l1(&a, &b) - kernel::l1_scalar(&a, &b)).abs() <= 1e-3 * lscale);
+    }
+
+    #[test]
+    fn topk_equals_sort_oracle(dists in prop::collection::vec(0.0f32..1000.0, 1..200), k in 1usize..50) {
+        let cands: Vec<Neighbor> =
+            dists.iter().enumerate().map(|(i, &d)| Neighbor::new(i, d)).collect();
+        let mut top = TopK::new(k);
+        for &c in &cands {
+            top.push(c);
+        }
+        prop_assert_eq!(top.into_sorted(), top_k_by_sort(cands, k));
+    }
+
+    #[test]
+    fn sq8_roundtrip_error_bounded(rows in prop::collection::vec(vec_of(6), 2..40)) {
+        let mut data = Vectors::new(6);
+        for r in &rows {
+            data.push(r).unwrap();
+        }
+        let sq = ScalarQuantizer::train(&data, SqBits::B8).unwrap();
+        let bound = sq.max_component_error() + 1e-4;
+        for r in &rows {
+            let dec = sq.decode(&sq.encode(r).unwrap());
+            for (x, y) in r.iter().zip(&dec) {
+                prop_assert!((x - y).abs() <= bound, "{x} vs {y} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn pq_adc_consistent_with_decode(rows in prop::collection::vec(vec_of(8), 20..60), q in vec_of(8)) {
+        let mut data = Vectors::new(8);
+        for r in &rows {
+            data.push(r).unwrap();
+        }
+        let pq = ProductQuantizer::train(&data, &PqConfig { m: 2, nbits: 4, train_iters: 4, seed: 1 }).unwrap();
+        let table = pq.adc_table(&q).unwrap();
+        for r in rows.iter().take(10) {
+            let code = pq.encode(r).unwrap();
+            let adc = table.distance(&code);
+            let direct = kernel::l2_sq(&q, &pq.decode(&code));
+            prop_assert!((adc - direct).abs() <= 1e-2 * direct.max(1.0));
+        }
+    }
+
+    #[test]
+    fn bitset_behaves_like_hashset(ops in prop::collection::vec((0usize..200, prop::bool::ANY), 1..150)) {
+        let mut bits = BitSet::new(200);
+        let mut model = std::collections::HashSet::new();
+        for (id, insert) in ops {
+            if insert {
+                bits.insert(id);
+                model.insert(id);
+            } else {
+                bits.remove(id);
+                model.remove(&id);
+            }
+        }
+        prop_assert_eq!(bits.count(), model.len());
+        let mut from_bits: Vec<usize> = bits.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_bits.sort_unstable();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_bits, from_model);
+    }
+
+    #[test]
+    fn lsm_read_your_writes(ops in prop::collection::vec((0u64..20, prop::bool::ANY, -10.0f32..10.0), 1..80)) {
+        let mut lsm = LsmStore::new(2, Metric::Euclidean, LsmConfig { memtable_capacity: 7, max_segments: 2 });
+        let mut model: std::collections::HashMap<u64, [f32; 2]> = std::collections::HashMap::new();
+        for (key, is_insert, x) in ops {
+            if is_insert {
+                lsm.insert(key, &[x, -x]).unwrap();
+                model.insert(key, [x, -x]);
+            } else {
+                lsm.delete(key);
+                model.remove(&key);
+            }
+        }
+        prop_assert_eq!(lsm.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(lsm.get(*k), Some(&v[..]), "key {}", k);
+        }
+        // Search returns exactly the live keys.
+        let hits = lsm.search(&[0.0, 0.0], 100).unwrap();
+        let hit_keys: std::collections::HashSet<u64> = hits.iter().map(|h| h.key).collect();
+        prop_assert_eq!(hit_keys, model.keys().copied().collect());
+    }
+
+    #[test]
+    fn vql_numbers_roundtrip(xs in prop::collection::vec(-1000.0f32..1000.0, 1..12), k in 1usize..50) {
+        let literal: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+        let stmt = format!("SEARCH c K {k} NEAR [{}]", literal.join(", "));
+        match vdb::parse_vql(&stmt).unwrap() {
+            vdb::VqlStatement::Search { vector, k: pk, .. } => {
+                prop_assert_eq!(pk, k);
+                prop_assert_eq!(vector.len(), xs.len());
+                for (a, b) in vector.iter().zip(&xs) {
+                    prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+                }
+            }
+            _ => prop_assert!(false, "wrong statement kind"),
+        }
+    }
+
+    #[test]
+    fn flat_search_sorted_unique_and_bounded(rows in prop::collection::vec(vec_of(3), 1..60), q in vec_of(3), k in 1usize..20) {
+        let mut data = Vectors::new(3);
+        for r in &rows {
+            data.push(r).unwrap();
+        }
+        let n = data.len();
+        let idx = vdb_core::FlatIndex::build(data, Metric::Euclidean).unwrap();
+        let hits = vdb_core::VectorIndex::search(&idx, &q, k, &vdb_core::SearchParams::default()).unwrap();
+        prop_assert_eq!(hits.len(), k.min(n));
+        prop_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let ids: std::collections::HashSet<usize> = hits.iter().map(|h| h.id).collect();
+        prop_assert_eq!(ids.len(), hits.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration: the §2.1 score pipeline end-to-end — select a score from
+//! labelled pairs, learn per-dimension weights, and retrieve with the
+//! learned metric through a real index.
+
+use std::sync::Arc;
+use vdb_core::score::learned::{LabeledPair, LearnConfig, LearnedWeights};
+use vdb_core::score::selection::select_score;
+use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex, Vectors};
+
+/// Data where only the first `signal` dimensions carry identity; the rest
+/// is heavy noise. Plain L2 is misled; a learned diagonal metric is not.
+struct SignalWorld {
+    data: Vectors,
+    /// Identity (class) of each row.
+    class_of: Vec<usize>,
+    signal: usize,
+}
+
+fn world(n_classes: usize, per_class: usize, dim: usize, signal: usize, rng: &mut Rng) -> SignalWorld {
+    let anchors = dataset::gaussian(n_classes, signal, rng);
+    let mut data = Vectors::new(dim);
+    let mut class_of = Vec::new();
+    let mut row = vec![0.0f32; dim];
+    for c in 0..n_classes {
+        for _ in 0..per_class {
+            for (i, x) in row.iter_mut().enumerate() {
+                *x = if i < signal {
+                    anchors.get(c)[i] + rng.normal_f32() * 0.05
+                } else {
+                    rng.normal_f32() * 3.0 // loud noise dims
+                };
+            }
+            data.push(&row).unwrap();
+            class_of.push(c);
+        }
+    }
+    SignalWorld { data, class_of, signal }
+}
+
+fn pairs_from(world: &SignalWorld, n: usize, rng: &mut Rng) -> Vec<LabeledPair> {
+    (0..n)
+        .map(|i| {
+            let a = rng.below(world.data.len());
+            let similar = i % 2 == 0;
+            let b = loop {
+                let b = rng.below(world.data.len());
+                if b != a && (world.class_of[a] == world.class_of[b]) == similar {
+                    break b;
+                }
+            };
+            LabeledPair {
+                a: world.data.get(a).to_vec(),
+                b: world.data.get(b).to_vec(),
+                similar,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn learned_metric_beats_plain_l2_at_retrieval() {
+    let mut rng = Rng::seed_from_u64(7000);
+    let w = world(20, 40, 16, 4, &mut rng);
+    let train = pairs_from(&w, 600, &mut rng);
+
+    // Learn diagonal weights; they should upweight the signal dims.
+    let lw = LearnedWeights::fit(&train, 16, &LearnConfig::default()).unwrap();
+    let weights = lw.weights().to_vec();
+    let signal_avg: f32 = weights[..w.signal].iter().sum::<f32>() / w.signal as f32;
+    let noise_avg: f32 =
+        weights[w.signal..].iter().sum::<f32>() / (16 - w.signal) as f32;
+    assert!(signal_avg > noise_avg, "weights {weights:?}");
+
+    // Retrieval: fraction of top-10 neighbors sharing the query's class.
+    let class_precision = |metric: Metric| {
+        let idx = FlatIndex::build(w.data.clone(), metric).unwrap();
+        let params = SearchParams::default();
+        let mut good = 0usize;
+        let mut total = 0usize;
+        for q in (0..w.data.len()).step_by(37) {
+            let hits = idx.search(w.data.get(q), 11, &params).unwrap();
+            for h in hits.iter().filter(|h| h.id != q).take(10) {
+                good += (w.class_of[h.id] == w.class_of[q]) as usize;
+                total += 1;
+            }
+        }
+        good as f64 / total as f64
+    };
+    let plain = class_precision(Metric::Euclidean);
+    let learned = class_precision(Metric::WeightedL2(Arc::new(weights)));
+    assert!(
+        learned > plain + 0.15,
+        "learned metric should dominate: plain {plain:.3}, learned {learned:.3}"
+    );
+}
+
+#[test]
+fn score_selection_prefers_the_learned_metric() {
+    let mut rng = Rng::seed_from_u64(7001);
+    let w = world(15, 30, 12, 3, &mut rng);
+    let train = pairs_from(&w, 400, &mut rng);
+    let test = pairs_from(&w, 200, &mut rng);
+    let lw = LearnedWeights::fit(&train, 12, &LearnConfig::default()).unwrap();
+    let candidates = vec![
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Cosine,
+        lw.into_metric(),
+    ];
+    let ranked = select_score(&candidates, &test).unwrap();
+    assert_eq!(
+        ranked[0].metric.name(),
+        "weighted_l2",
+        "rankings: {:?}",
+        ranked.iter().map(|e| (e.metric.name(), e.auc)).collect::<Vec<_>>()
+    );
+    assert!(ranked[0].auc > ranked.last().unwrap().auc);
+}
