@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate for vectordb-rs.
+#
+# The workspace has zero external dependencies, so everything here must
+# succeed with no network. CARGO_NET_OFFLINE makes any accidental
+# dependency regression fail loudly instead of silently fetching.
+set -eu
+cd "$(dirname "$0")"
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root package tests =="
+cargo test -q --release
+
+echo "== workspace: full test suite =="
+cargo test -q --release --workspace
+
+echo "ci.sh: all green"

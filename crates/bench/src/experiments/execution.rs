@@ -5,7 +5,9 @@ use crate::workload::{standard, GT_K};
 use crate::{fmt, print_table, Scale};
 use std::hint::black_box;
 use std::time::Instant;
+use vdb_core::context::SearchContext;
 use vdb_core::index::SearchParams;
+use vdb_core::index::VectorIndex;
 use vdb_core::kernel;
 use vdb_core::metric::Metric;
 use vdb_core::rng::Rng;
@@ -63,6 +65,45 @@ pub fn f4_batched_queries(scale: Scale) -> Result<()> {
     println!(
         "  Expected shape: throughput grows with batch size (shared predicate\n  \
          work) and with threads (parallel similarity projection)."
+    );
+
+    // F4b: the same index-level searches with and without scratch reuse.
+    // "cold" pays VisitedSet zeroing + pool/frontier allocation per query;
+    // "warm" runs every query through one reused SearchContext, the way
+    // batch workers and shard scatter loops do.
+    let reps = 2048usize.div_ceil(w.queries.len());
+    let cold_qps = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            for q in w.queries.iter() {
+                let mut ctx = SearchContext::new();
+                black_box(index.search_with(&mut ctx, q, GT_K, &params)?);
+            }
+        }
+        (reps * w.queries.len()) as f64 / start.elapsed().as_secs_f64()
+    };
+    let warm_qps = {
+        let mut ctx = SearchContext::for_index(w.data.len());
+        black_box(index.search_with(&mut ctx, w.queries.get(0), GT_K, &params)?); // warm-up
+        let refs: Vec<&[f32]> = w.queries.iter().collect();
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(index.search_batch(&mut ctx, &refs, GT_K, &params)?);
+        }
+        (reps * refs.len()) as f64 / start.elapsed().as_secs_f64()
+    };
+    print_table(
+        "F4b: context reuse (hnsw, unfiltered search_batch vs fresh context per query)",
+        &["mode", "qps", "us_per_query"],
+        &[
+            vec!["cold (new context/query)".into(), fmt(cold_qps, 0), fmt(1e6 / cold_qps, 1)],
+            vec!["warm (reused context)".into(), fmt(warm_qps, 0), fmt(1e6 / warm_qps, 1)],
+            vec!["speedup".into(), fmt(warm_qps / cold_qps, 2), String::new()],
+        ],
+    );
+    println!(
+        "  Expected shape: warm >= cold — after warm-up the reused context\n  \
+         performs no per-query visited-set or pool allocations."
     );
     Ok(())
 }
@@ -223,6 +264,48 @@ pub fn t5_kernels() -> Result<()> {
     println!(
         "  Expected shape: blocked kernels beat scalar by a multiple; ADC scans\n  \
          trade accuracy for a large bandwidth (and time) reduction."
+    );
+
+    // T5c: end-to-end quantized search with and without context reuse.
+    // IVF-PQ rebuilds an ADC table per query; the warm path reuses the
+    // table storage, probe buffers, and pools from one SearchContext.
+    let ivf_pq = vdb_index_table::IvfPqIndex::build(
+        data.clone(),
+        Metric::Euclidean,
+        &vdb_index_table::IvfPqConfig::new(64, 8),
+    )?;
+    let queries: Vec<Vec<f32>> =
+        (0..64).map(|_| (0..dim).map(|_| rng.normal_f32()).collect()).collect();
+    let params = SearchParams::default().with_nprobe(8);
+    let reps = 8;
+    let cold_start = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            let mut ctx = SearchContext::new();
+            black_box(ivf_pq.search_with(&mut ctx, q, 10, &params)?);
+        }
+    }
+    let cold_qps = (reps * queries.len()) as f64 / cold_start.elapsed().as_secs_f64();
+    let mut ctx = SearchContext::for_index(n);
+    black_box(ivf_pq.search_with(&mut ctx, &queries[0], 10, &params)?);
+    let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+    let warm_start = Instant::now();
+    for _ in 0..reps {
+        black_box(ivf_pq.search_batch(&mut ctx, &refs, 10, &params)?);
+    }
+    let warm_qps = (reps * refs.len()) as f64 / warm_start.elapsed().as_secs_f64();
+    print_table(
+        "T5c: quantized search (ivf_pq, 50k vectors) — context reuse",
+        &["mode", "qps", "us_per_query"],
+        &[
+            vec!["cold (new context/query)".into(), fmt(cold_qps, 0), fmt(1e6 / cold_qps, 1)],
+            vec!["warm (reused context)".into(), fmt(warm_qps, 0), fmt(1e6 / warm_qps, 1)],
+            vec!["speedup".into(), fmt(warm_qps / cold_qps, 2), String::new()],
+        ],
+    );
+    println!(
+        "  Expected shape: warm >= cold — the reused context keeps the ADC\n  \
+         table, probe ordering, and rerank pool allocations across queries."
     );
     Ok(())
 }

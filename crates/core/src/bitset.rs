@@ -139,6 +139,13 @@ pub struct VisitedSet {
     epoch: u32,
 }
 
+impl Default for VisitedSet {
+    /// An empty set; [`VisitedSet::grow`] sizes it lazily.
+    fn default() -> Self {
+        VisitedSet::new(0)
+    }
+}
+
 impl VisitedSet {
     /// Create a visited set over ids `[0, capacity)`.
     pub fn new(capacity: usize) -> Self {

@@ -1,0 +1,225 @@
+//! Reusable per-query search scratch (the §2.3 execution arena).
+//!
+//! Every index search needs the same transient state: an epoch-stamped
+//! visited set, a candidate frontier, bounded result pools, and small
+//! scratch buffers (PQ residuals, probe orderings, candidate id lists).
+//! Allocating these from cold on every query costs O(n) zeroing plus
+//! allocator round-trips — exactly the per-query overhead the paper's
+//! batched-execution argument (§2.3) says real systems amortize away.
+//!
+//! A [`SearchContext`] owns all of that state and is reused across
+//! queries: the visited set resets by epoch bump (O(1)), pools and
+//! buffers by `clear` (capacity retained), so a *warm* context performs
+//! zero allocations for state that survives between queries. Batched
+//! paths keep one context per worker thread ([`ContextPool`]); the
+//! legacy single-shot `search()` wrappers fall back to a thread-local
+//! context ([`with_local`]) so even context-unaware callers get reuse.
+
+use crate::bitset::VisitedSet;
+use crate::sync::Mutex;
+use crate::topk::{Neighbor, TopK};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::{Deref, DerefMut};
+
+/// Reusable scratch arena for index searches.
+///
+/// Fields are public and deliberately generic: each index family borrows
+/// the pieces it needs (a graph search uses `visited`/`frontier`/`pool`/
+/// `bound_pool`; IVF-PQ uses `order`/`scratch`/`pool`/`rerank`; trees use
+/// `frontier`/`visited`/`pool`). Index-specific typed scratch that core
+/// cannot name (e.g. ADC tables) lives in the [`SearchContext::ext`]
+/// slot, keyed by type.
+///
+/// A context is *not* tied to one index: sizes grow on demand and the
+/// visited set is epoch-reset, so one context can serve interleaved
+/// searches over different indexes, as the plan executor does.
+#[derive(Debug, Default)]
+pub struct SearchContext {
+    /// Epoch-stamped visited set (graph traversal, replica dedup).
+    pub visited: VisitedSet,
+    /// Min-heap candidate frontier (graph beam search, forest best-first).
+    pub frontier: BinaryHeap<Reverse<Neighbor>>,
+    /// Primary bounded result pool.
+    pub pool: TopK,
+    /// Secondary pool: the beam-search termination bound over all
+    /// visited nodes (kept separate so filtering cannot reshape the
+    /// traversal frontier).
+    pub bound_pool: TopK,
+    /// Rerank/refine pool for quantized indexes.
+    pub rerank: TopK,
+    /// `f32` scratch (PQ residuals, decoded vectors).
+    pub scratch: Vec<f32>,
+    /// `(score, id)` scratch (probe orderings, scored candidate lists).
+    pub order: Vec<(f32, u32)>,
+    /// Plain id scratch (LSH candidate collection).
+    pub ids: Vec<u32>,
+    /// Index-specific typed scratch, keyed by type (see [`Self::ext`]).
+    ext: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl SearchContext {
+    /// An empty context; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context pre-sized for an index over `n` rows (avoids the one
+    /// growth allocation on the first query).
+    pub fn for_index(n: usize) -> Self {
+        let mut ctx = Self::new();
+        ctx.visited.grow(n);
+        ctx
+    }
+
+    /// Prepare for a search over `n` rows: grow and epoch-reset the
+    /// visited set, clear the frontier. Pools are reset by the search
+    /// routine itself, which knows its widths.
+    #[inline]
+    pub fn begin(&mut self, n: usize) {
+        self.visited.grow(n);
+        self.visited.reset();
+        self.frontier.clear();
+    }
+
+    /// Typed extension scratch: returns (creating on first use) the
+    /// unique `T` slot of this context. Index crates use this for
+    /// scratch whose type core cannot know, e.g. reusable ADC tables.
+    pub fn ext<T: Default + Send + 'static>(&mut self) -> &mut T {
+        self.ext
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(T::default()))
+            .downcast_mut::<T>()
+            .expect("ext slot is keyed by its own TypeId")
+    }
+}
+
+/// A shared pool of [`SearchContext`]s for concurrent callers.
+///
+/// `acquire` pops a warm context (or creates one if the pool is dry) and
+/// returns it on drop, so N concurrent searchers stabilize at N contexts
+/// total regardless of how many queries they serve. Used by the
+/// distributed scatter workers and the collection facade, whose callers
+/// hold `&self`.
+#[derive(Debug, Default)]
+pub struct ContextPool {
+    free: Mutex<Vec<SearchContext>>,
+}
+
+impl ContextPool {
+    /// An empty pool.
+    pub const fn new() -> Self {
+        ContextPool { free: Mutex::new(Vec::new()) }
+    }
+
+    /// Check out a context; it returns to the pool when the guard drops.
+    pub fn acquire(&self) -> PooledContext<'_> {
+        let ctx = self.free.lock().pop().unwrap_or_default();
+        PooledContext { pool: self, ctx: Some(ctx) }
+    }
+
+    /// Number of idle contexts currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// RAII guard over a pooled [`SearchContext`]; derefs to the context and
+/// returns it to its [`ContextPool`] on drop.
+#[derive(Debug)]
+pub struct PooledContext<'a> {
+    pool: &'a ContextPool,
+    ctx: Option<SearchContext>,
+}
+
+impl Deref for PooledContext<'_> {
+    type Target = SearchContext;
+    fn deref(&self) -> &SearchContext {
+        self.ctx.as_ref().expect("context present until drop")
+    }
+}
+
+impl DerefMut for PooledContext<'_> {
+    fn deref_mut(&mut self) -> &mut SearchContext {
+        self.ctx.as_mut().expect("context present until drop")
+    }
+}
+
+impl Drop for PooledContext<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            self.pool.free.lock().push(ctx);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_CONTEXT: RefCell<SearchContext> = RefCell::new(SearchContext::new());
+}
+
+/// Run `f` with this thread's shared [`SearchContext`].
+///
+/// The context-free `search()`-style trait wrappers route through here,
+/// so legacy callers still reuse scratch across queries on the same
+/// thread. Re-entrant use (an index searching inside another index's
+/// search, e.g. SPANN probing its centroid index) falls back to a fresh
+/// context instead of aliasing the borrowed one.
+pub fn with_local<R>(f: impl FnOnce(&mut SearchContext) -> R) -> R {
+    LOCAL_CONTEXT.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ctx) => f(&mut ctx),
+        Err(_) => f(&mut SearchContext::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_grows_and_resets() {
+        let mut ctx = SearchContext::new();
+        ctx.begin(100);
+        assert!(ctx.visited.visit(42));
+        assert!(!ctx.visited.visit(42));
+        ctx.begin(100);
+        assert!(ctx.visited.visit(42), "epoch reset forgets prior visits");
+        ctx.begin(200);
+        assert!(ctx.visited.visit(199), "grown to the larger index");
+    }
+
+    #[test]
+    fn ext_slots_are_typed_and_persistent() {
+        #[derive(Default)]
+        struct Scratch(Vec<u8>);
+        let mut ctx = SearchContext::new();
+        ctx.ext::<Scratch>().0.push(7);
+        assert_eq!(ctx.ext::<Scratch>().0, vec![7], "same slot on re-access");
+    }
+
+    #[test]
+    fn pool_recycles_contexts() {
+        let pool = ContextPool::new();
+        {
+            let mut a = pool.acquire();
+            a.scratch.resize(128, 0.0);
+        }
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        assert_eq!(b.scratch.len(), 128, "warm context came back");
+        assert_eq!(pool.idle(), 0);
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn with_local_reuses_and_tolerates_reentry() {
+        with_local(|ctx| ctx.scratch.push(1.0));
+        with_local(|outer| {
+            assert_eq!(outer.scratch.len(), 1, "thread-local persisted");
+            // Nested call must not alias the outer borrow.
+            with_local(|inner| assert!(inner.scratch.is_empty()));
+        });
+    }
+}

@@ -5,10 +5,11 @@
 //! fallback plan for tiny collections or ultra-selective predicates
 //! (where the paper notes single-stage brute-force scan wins).
 
+use crate::context::SearchContext;
 use crate::error::Result;
 use crate::index::{check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};
 use crate::metric::Metric;
-use crate::topk::{Neighbor, TopK};
+use crate::topk::Neighbor;
 use crate::vector::Vectors;
 
 /// Exact nearest-neighbor index by linear scan (similarity projection over
@@ -63,23 +64,30 @@ impl VectorIndex for FlatIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, _params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        _params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if self.vectors.is_empty() || k == 0 {
             return Ok(Vec::new());
         }
-        let mut top = TopK::new(k);
+        ctx.pool.reset(k);
         for (id, row) in self.vectors.iter().enumerate() {
             let d = self.metric.distance(query, row);
-            top.push(Neighbor::new(id, d));
+            ctx.pool.push(Neighbor::new(id, d));
         }
-        Ok(top.into_sorted())
+        Ok(ctx.pool.drain_sorted())
     }
 
     /// Single-stage filtered scan: evaluate the predicate while scanning,
     /// computing distances only for surviving rows (exact pre-filtering).
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         _params: &SearchParams,
@@ -89,14 +97,14 @@ impl VectorIndex for FlatIndex {
         if self.vectors.is_empty() || k == 0 {
             return Ok(Vec::new());
         }
-        let mut top = TopK::new(k);
+        ctx.pool.reset(k);
         for (id, row) in self.vectors.iter().enumerate() {
             if !filter.accept(id) {
                 continue;
             }
-            top.push(Neighbor::new(id, self.metric.distance(query, row)));
+            ctx.pool.push(Neighbor::new(id, self.metric.distance(query, row)));
         }
-        Ok(top.into_sorted())
+        Ok(ctx.pool.drain_sorted())
     }
 
     fn range_search(

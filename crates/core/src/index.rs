@@ -1,6 +1,7 @@
 //! The uniform index interface every vector index in the workspace
 //! implements, plus search-time parameters.
 
+use crate::context::{self, SearchContext};
 use crate::error::{Error, Result};
 use crate::metric::Metric;
 use crate::topk::Neighbor;
@@ -131,17 +132,52 @@ pub trait VectorIndex: Send + Sync {
     /// The similarity score the index was built for.
     fn metric(&self) -> &Metric;
 
-    /// Approximate k-nearest-neighbor search; returns up to `k` neighbors
-    /// sorted best-first.
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>>;
-
-    /// Predicated search: only rows accepted by `filter` may appear in the
-    /// result. The default implements the *post-filtering* strategy from
-    /// §2.3 — over-fetch `overfetch * k`, filter, and double the fetch until
-    /// `k` survivors are found or the whole collection has been considered.
-    /// Indexes with native block-first or visit-first support override this.
-    fn search_filtered(
+    /// Approximate k-nearest-neighbor search using caller-provided scratch;
+    /// returns up to `k` neighbors sorted best-first.
+    ///
+    /// This is the primitive every index implements. `ctx` supplies the
+    /// visited set, candidate pools, and scratch buffers; after the first
+    /// query on a warm context, no per-query scratch allocation occurs.
+    /// Results are identical whether the context is fresh or reused.
+    fn search_with(
         &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>>;
+
+    /// Approximate k-nearest-neighbor search; returns up to `k` neighbors
+    /// sorted best-first. Thin wrapper over [`VectorIndex::search_with`]
+    /// borrowing the thread-local scratch context.
+    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        context::with_local(|ctx| self.search_with(ctx, query, k, params))
+    }
+
+    /// Batched k-nearest-neighbor search: run every query through one
+    /// scratch context, returning one result list per query (in order).
+    /// The default is a serial loop over [`VectorIndex::search_with`];
+    /// after the first query the context is warm, so the whole batch
+    /// amortizes scratch setup (§2.3 "batched queries").
+    fn search_batch(
+        &self,
+        ctx: &mut SearchContext,
+        queries: &[&[f32]],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        queries.iter().map(|q| self.search_with(ctx, q, k, params)).collect()
+    }
+
+    /// Predicated search using caller-provided scratch: only rows accepted
+    /// by `filter` may appear in the result. The default implements the
+    /// *post-filtering* strategy from §2.3 — over-fetch `overfetch * k`,
+    /// filter, and double the fetch until `k` survivors are found or the
+    /// whole collection has been considered. Indexes with native
+    /// block-first or visit-first support override this.
+    fn search_filtered_with(
+        &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -153,7 +189,7 @@ pub trait VectorIndex: Send + Sync {
         }
         let mut fetch = ((k as f32 * params.overfetch).ceil() as usize).clamp(k, n);
         loop {
-            let cands = self.search(query, fetch, params)?;
+            let cands = self.search_with(ctx, query, fetch, params)?;
             let got = cands.len();
             let mut out: Vec<Neighbor> =
                 cands.into_iter().filter(|c| filter.accept(c.id)).collect();
@@ -165,13 +201,41 @@ pub trait VectorIndex: Send + Sync {
         }
     }
 
-    /// Block-first predicated search (§2.3(1)): the filter *blocks* parts
-    /// of the index from exploration entirely. For bucket indexes this is
-    /// identical to [`VectorIndex::search_filtered`] (blocked rows are
-    /// skipped during list scans); graph indexes override it with a masked
+    /// Predicated search; thin wrapper over
+    /// [`VectorIndex::search_filtered_with`] borrowing the thread-local
+    /// scratch context.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        context::with_local(|ctx| self.search_filtered_with(ctx, query, k, params, filter))
+    }
+
+    /// Block-first predicated search (§2.3(1)) using caller-provided
+    /// scratch: the filter *blocks* parts of the index from exploration
+    /// entirely. For bucket indexes this is identical to
+    /// [`VectorIndex::search_filtered_with`] (blocked rows are skipped
+    /// during list scans); graph indexes override it with a masked
     /// traversal that never enters blocked nodes — which is cheaper than
     /// visit-first but can strand the search when blocking disconnects the
     /// graph, the failure mode §2.3 discusses.
+    fn search_blocked_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+        filter: &dyn RowFilter,
+    ) -> Result<Vec<Neighbor>> {
+        self.search_filtered_with(ctx, query, k, params, filter)
+    }
+
+    /// Block-first predicated search; thin wrapper over
+    /// [`VectorIndex::search_blocked_with`] borrowing the thread-local
+    /// scratch context.
     fn search_blocked(
         &self,
         query: &[f32],
@@ -179,7 +243,7 @@ pub trait VectorIndex: Send + Sync {
         params: &SearchParams,
         filter: &dyn RowFilter,
     ) -> Result<Vec<Neighbor>> {
-        self.search_filtered(query, k, params, filter)
+        context::with_local(|ctx| self.search_blocked_with(ctx, query, k, params, filter))
     }
 
     /// Range search: every vector within `radius` of the query (under the

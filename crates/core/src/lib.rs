@@ -19,6 +19,9 @@
 //! - [`rng`] — vendored deterministic RNG so index builds are bit-stable,
 //! - [`linalg`] — small dense linear algebra (PCA, rotations, inverses),
 //! - [`bitset`] — blocking bitmasks and O(1)-reset visited sets,
+//! - [`context`] — reusable per-query search scratch (visited set,
+//!   pools, buffers) shared by every index and the batched executor,
+//! - [`sync`] — poison-free std mutex shim (no external crates),
 //! - [`attr`] — structured attribute values for hybrid queries.
 
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@
 pub mod analysis;
 pub mod attr;
 pub mod bitset;
+pub mod context;
 pub mod dataset;
 pub mod error;
 pub mod flat;
@@ -41,10 +45,12 @@ pub mod metric;
 pub mod recall;
 pub mod rng;
 pub mod score;
+pub mod sync;
 pub mod topk;
 pub mod vector;
 
 pub use attr::{AttrType, AttrValue};
+pub use context::{ContextPool, SearchContext};
 pub use error::{Error, Result};
 pub use flat::FlatIndex;
 pub use index::{DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};

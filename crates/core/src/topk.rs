@@ -46,11 +46,33 @@ pub struct TopK {
     heap: BinaryHeap<Neighbor>,
 }
 
+impl Default for TopK {
+    /// A width-1 selector; reusable holders call [`TopK::reset`] with the
+    /// real width before use.
+    fn default() -> Self {
+        TopK::new(1)
+    }
+}
+
 impl TopK {
     /// Create a selector for the `k` best neighbors.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
         TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Empty the selector and set a new width, retaining the heap's
+    /// allocation. This is how a pooled [`crate::context::SearchContext`]
+    /// reuses one selector across queries of different widths.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Current selection width.
+    pub fn k(&self) -> usize {
+        self.k
     }
 
     /// Offer a candidate. Returns true if it entered the top-k.
@@ -97,6 +119,15 @@ impl TopK {
     /// Consume into neighbors sorted best-first.
     pub fn into_sorted(self) -> Vec<Neighbor> {
         let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Empty the selector into a best-first sorted vector, keeping the
+    /// heap's allocation for the next query (the reusable counterpart of
+    /// [`TopK::into_sorted`]).
+    pub fn drain_sorted(&mut self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.drain().collect();
         v.sort_unstable();
         v
     }

@@ -9,9 +9,10 @@
 //! gather through a global top-k merge.
 
 use crate::partition::{partition, PartitionPolicy, Partitioning};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
+use vdb_core::sync::Mutex;
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
 use vdb_core::topk::{merge_sorted_topk, Neighbor};
@@ -72,6 +73,10 @@ struct Shard {
     replicas: Vec<Replica>,
     /// Round-robin cursor for replica selection.
     next_replica: AtomicU64,
+    /// Persistent search scratch for this shard's scatter workers:
+    /// contexts survive across queries, so a steady scatter-gather load
+    /// performs no per-query visited-set/pool allocations on any shard.
+    contexts: ContextPool,
 }
 
 /// A sharded, replicated collection with scatter-gather search.
@@ -112,7 +117,12 @@ impl DistributedIndex {
                     up: AtomicBool::new(true),
                 });
             }
-            shards.push(Shard { global_ids: rows, replicas, next_replica: AtomicU64::new(0) });
+            shards.push(Shard {
+                global_ids: rows,
+                replicas,
+                next_replica: AtomicU64::new(0),
+                contexts: ContextPool::new(),
+            });
         }
         Ok(DistributedIndex { shards, partitioning, cfg, probes_issued: AtomicU64::new(0) })
     }
@@ -179,7 +189,8 @@ impl DistributedIndex {
                 scope.spawn(move || {
                     let out = match self.pick_replica(shard) {
                         Some(replica) => {
-                            replica.index.search(query, k, params).map(|hits| {
+                            let mut ctx = self.shards[shard].contexts.acquire();
+                            replica.index.search_with(&mut ctx, query, k, params).map(|hits| {
                                 hits.into_iter()
                                     .map(|n| {
                                         Neighbor::new(self.shards[shard].global_ids[n.id], n.dist)

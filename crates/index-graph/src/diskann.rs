@@ -12,15 +12,26 @@ use crate::vamana::VamanaIndex;
 use vdb_quant::{KMeans, KMeansConfig};
 use std::path::Path;
 use std::sync::Arc;
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_quant::{PqConfig, ProductQuantizer};
 use vdb_storage::{Page, PageCache, PagedFile, PageId, PAGE_SIZE};
 
 const MAGIC: u32 = 0x4449_534B; // "DISK"
+
+/// Per-query scratch kept in the [`SearchContext`] extension slot: lazily
+/// built per-cluster ADC tables, the residual buffer they are built from,
+/// and the ADC-ordered candidate list. Reusing these across queries keeps
+/// the hot path free of per-query heap allocation.
+#[derive(Debug, Default)]
+struct DiskAnnScratch {
+    tables: Vec<Option<vdb_quant::AdcTable>>,
+    residual: Vec<f32>,
+    cands: Vec<(f32, usize, bool)>,
+}
 
 /// Build-time configuration.
 #[derive(Debug, Clone)]
@@ -319,6 +330,7 @@ impl DiskAnnIndex {
 
     fn scan(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -329,9 +341,16 @@ impl DiskAnnIndex {
         // Residual codes need one ADC table per coarse cluster, built from
         // the query's residual against that cluster's centroid. Tables are
         // materialized lazily: a query touches only a handful of clusters.
-        let mut tables: Vec<Option<vdb_quant::AdcTable>> =
-            std::iter::repeat_with(|| None).take(self.nav_centroids.len()).collect();
-        let mut residual = vec![0.0f32; self.dim];
+        // The table slots, residual buffer, and candidate list live in the
+        // context's extension slot so a reused context allocates nothing.
+        ctx.begin(self.n);
+        let DiskAnnScratch { mut tables, mut residual, mut cands } =
+            std::mem::take(ctx.ext::<DiskAnnScratch>());
+        tables.clear();
+        tables.resize_with(self.nav_centroids.len(), || None);
+        residual.clear();
+        residual.resize(self.dim, 0.0);
+        cands.clear();
         let mut adc = |u: usize, tables: &mut Vec<Option<vdb_quant::AdcTable>>| -> Result<f32> {
             let c = self.nav_assign[u] as usize;
             if tables[c].is_none() {
@@ -347,12 +366,10 @@ impl DiskAnnIndex {
         // Candidate list ordered by ADC distance; expand the closest
         // unexpanded entry (one page read each) until the top `beam` are
         // all expanded — the DiskANN search loop.
-        let mut visited = VisitedSet::new(self.n);
-        let mut cands: Vec<(f32, usize, bool)> = Vec::with_capacity(beam * 2);
-        visited.visit(self.start);
+        ctx.visited.visit(self.start);
         let d0 = adc(self.start, &mut tables)?;
         cands.push((d0, self.start, false));
-        let mut exact = TopK::new(k.max(params.rerank.min(beam)));
+        ctx.rerank.reset(k.max(params.rerank.min(beam)));
         // Expand the closest unexpanded candidate within the top `beam`
         // until none remains (the DiskANN search loop).
         while let Some(pos) =
@@ -363,11 +380,11 @@ impl DiskAnnIndex {
             let (nbrs, dist) = self.read_node(u, query)?;
             let accept = filter.is_none_or(|f| f.accept(u));
             if accept {
-                exact.push(Neighbor::new(u, dist));
+                ctx.rerank.push(Neighbor::new(u, dist));
             }
             for &v in &nbrs {
                 let v = v as usize;
-                if !visited.visit(v) {
+                if !ctx.visited.visit(v) {
                     continue;
                 }
                 let d = adc(v, &mut tables)?;
@@ -379,8 +396,10 @@ impl DiskAnnIndex {
                 cands.truncate(beam * 4);
             }
         }
-        let mut out = exact.into_sorted();
+        drop(adc);
+        let mut out = ctx.rerank.drain_sorted();
         out.truncate(k);
+        *ctx.ext::<DiskAnnScratch>() = DiskAnnScratch { tables, residual, cands };
         Ok(out)
     }
 }
@@ -402,16 +421,23 @@ impl VectorIndex for DiskAnnIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim, query)?;
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, None)
+        self.scan(ctx, query, k, params, None)
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -421,7 +447,7 @@ impl VectorIndex for DiskAnnIndex {
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, Some(filter))
+        self.scan(ctx, query, k, params, Some(filter))
     }
 
     fn stats(&self) -> IndexStats {

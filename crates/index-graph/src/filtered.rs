@@ -12,7 +12,7 @@
 use crate::graph::{beam_search, robust_prune, AdjacencyList};
 use crate::vamana::{VamanaConfig, VamanaIndex};
 use std::collections::HashMap;
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
@@ -148,6 +148,18 @@ impl StitchedVamanaIndex {
         k: usize,
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>> {
+        context::with_local(|ctx| self.search_with_label_ctx(ctx, query, label, k, params))
+    }
+
+    /// [`Self::search_with_label`] against a caller-managed scratch context.
+    pub fn search_with_label_ctx(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        label: u32,
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 {
             return Ok(Vec::new());
@@ -157,7 +169,6 @@ impl StitchedVamanaIndex {
         };
         // Block-first over the stitched graph: foreign-label nodes are
         // masked from traversal; per-label connectivity makes this safe.
-        let mut visited = VisitedSet::new(self.vectors.len());
         let labels = &self.labels;
         Ok(crate::graph::beam_search_blocked(
             &self.adj,
@@ -167,7 +178,7 @@ impl StitchedVamanaIndex {
             &[entry],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             &move |id: usize| labels[id] == label,
             None,
         ))
@@ -219,12 +230,17 @@ impl VectorIndex for StitchedVamanaIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.adj,
             &self.vectors,
@@ -233,7 +249,7 @@ impl VectorIndex for StitchedVamanaIndex {
             &[self.global_entry],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }

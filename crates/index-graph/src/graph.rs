@@ -7,10 +7,10 @@
 //! paper's **visit-first scan** (§2.3(2)): traversal may pass through
 //! predicate-failing nodes, but only passing nodes enter the result set.
 
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::index::RowFilter;
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 
 /// Directed adjacency lists over `u32` node ids.
@@ -114,6 +114,9 @@ pub struct SearchTrace {
 /// Maintains a candidate frontier and a result pool of width
 /// `ef = max(ef, k)`; terminates when the closest frontier node is farther
 /// than the worst pooled result. Returns up to `k` neighbors best-first.
+///
+/// All transient state (visited set, frontier, pools) lives in `ctx` and
+/// is epoch-reset here, so a warm context makes the search allocation-free.
 #[allow(clippy::too_many_arguments)]
 pub fn beam_search(
     adj: &AdjacencyList,
@@ -123,11 +126,11 @@ pub fn beam_search(
     entries: &[usize],
     k: usize,
     ef: usize,
-    visited: &mut VisitedSet,
+    ctx: &mut SearchContext,
     trace: Option<&mut SearchTrace>,
 ) -> Vec<Neighbor> {
-    visited.reset();
-    beam_search_impl(adj, vectors, metric, query, entries, k, ef, visited, None, trace)
+    ctx.begin(vectors.len());
+    beam_search_impl(adj, vectors, metric, query, entries, k, ef, ctx, None, trace)
 }
 
 /// Block-first beam search (§2.3(1)): blocked nodes are masked out of the
@@ -143,17 +146,17 @@ pub fn beam_search_blocked(
     entries: &[usize],
     k: usize,
     ef: usize,
-    visited: &mut VisitedSet,
+    ctx: &mut SearchContext,
     filter: &dyn RowFilter,
     trace: Option<&mut SearchTrace>,
 ) -> Vec<Neighbor> {
-    visited.reset();
+    ctx.begin(vectors.len());
     // Entry points stay traversable even when blocked (a blocked entry
     // would otherwise strand the whole search); the filter below keeps
     // them out of the result pool.
     for row in 0..vectors.len() {
         if !filter.accept(row) && !entries.contains(&row) {
-            visited.visit(row);
+            ctx.visited.visit(row);
         }
     }
     beam_search_impl(
@@ -164,7 +167,7 @@ pub fn beam_search_blocked(
         entries,
         k,
         ef,
-        visited,
+        ctx,
         Some((filter, usize::MAX)),
         trace,
     )
@@ -184,12 +187,12 @@ pub fn beam_search_filtered(
     entries: &[usize],
     k: usize,
     ef: usize,
-    visited: &mut VisitedSet,
+    ctx: &mut SearchContext,
     filter: &dyn RowFilter,
     expansion_cap: usize,
     trace: Option<&mut SearchTrace>,
 ) -> Vec<Neighbor> {
-    visited.reset();
+    ctx.begin(vectors.len());
     beam_search_impl(
         adj,
         vectors,
@@ -198,7 +201,7 @@ pub fn beam_search_filtered(
         entries,
         k,
         ef,
-        visited,
+        ctx,
         Some((filter, expansion_cap)),
         trace,
     )
@@ -213,22 +216,21 @@ fn beam_search_impl(
     entries: &[usize],
     k: usize,
     ef: usize,
-    visited: &mut VisitedSet,
+    ctx: &mut SearchContext,
     filter: Option<(&dyn RowFilter, usize)>,
     trace: Option<&mut SearchTrace>,
 ) -> Vec<Neighbor> {
     use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
 
     let ef = ef.max(k);
     // `frontier`: min-heap of candidates to expand. Callers reset (or
-    // pre-populate, for blocked search) the visited set.
+    // pre-populate, for blocked search) the visited set via `ctx.begin`.
     // `pool`: top-ef accepted results. `bound_pool`: top-ef over *all*
     // visited nodes, used for termination so filtering does not change the
-    // traversal frontier shape.
-    let mut frontier: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
-    let mut pool = TopK::new(ef);
-    let mut bound_pool = TopK::new(ef);
+    // traversal frontier shape. All three reuse the context's allocations.
+    let SearchContext { visited, frontier, pool, bound_pool, .. } = ctx;
+    pool.reset(ef);
+    bound_pool.reset(ef);
     let mut expanded = 0usize;
     let mut evals = 0usize;
 
@@ -297,7 +299,7 @@ fn beam_search_impl(
         t.expanded += expanded;
         t.distance_evals += evals;
     }
-    let mut out = pool.into_sorted();
+    let mut out = pool.drain_sorted();
     out.truncate(k);
     out
 }
@@ -375,7 +377,7 @@ mod tests {
     #[test]
     fn beam_search_walks_to_nearest() {
         let (adj, v) = line_graph();
-        let mut visited = VisitedSet::new(10);
+        let mut ctx = SearchContext::new();
         let out = beam_search(
             &adj,
             &v,
@@ -384,7 +386,7 @@ mod tests {
             &[0],
             3,
             8,
-            &mut visited,
+            &mut ctx,
             None,
         );
         assert_eq!(out[0].id, 7);
@@ -404,8 +406,8 @@ mod tests {
         adj.add_edge(0, 1);
         adj.add_edge(0, 2);
         adj.add_edge(1, 3);
-        let mut visited = VisitedSet::new(4);
-        let wide = beam_search(&adj, &v, &Metric::Euclidean, &[10.0], &[0], 1, 8, &mut visited, None);
+        let mut ctx = SearchContext::new();
+        let wide = beam_search(&adj, &v, &Metric::Euclidean, &[10.0], &[0], 1, 8, &mut ctx, None);
         assert_eq!(wide[0].id, 3, "wide beam reaches the target");
     }
 
@@ -414,7 +416,7 @@ mod tests {
         let (adj, v) = line_graph();
         // Only even ids pass; the path to them runs through odd ids.
         let filter = |id: usize| id.is_multiple_of(2);
-        let mut visited = VisitedSet::new(10);
+        let mut ctx = SearchContext::new();
         let out = beam_search_filtered(
             &adj,
             &v,
@@ -423,7 +425,7 @@ mod tests {
             &[0],
             2,
             8,
-            &mut visited,
+            &mut ctx,
             &filter,
             usize::MAX,
             None,
@@ -436,7 +438,7 @@ mod tests {
     fn expansion_cap_bounds_work() {
         let (adj, v) = line_graph();
         let filter = |_: usize| false; // nothing passes: worst case
-        let mut visited = VisitedSet::new(10);
+        let mut ctx = SearchContext::new();
         let mut trace = SearchTrace::default();
         let out = beam_search_filtered(
             &adj,
@@ -446,7 +448,7 @@ mod tests {
             &[0],
             2,
             8,
-            &mut visited,
+            &mut ctx,
             &filter,
             3,
             Some(&mut trace),

@@ -8,7 +8,7 @@
 //! degree explosion of a flat NSW.
 
 use crate::graph::{beam_search, beam_search_filtered, robust_prune, AdjacencyList};
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
     check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
@@ -159,14 +159,19 @@ impl VectorIndex for HnswIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
         let top = self.levels[self.entry];
         let entry = self.descend(query, top, 0);
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.layers[0],
             &self.vectors,
@@ -175,7 +180,7 @@ impl VectorIndex for HnswIndex {
             &[entry],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }
@@ -183,8 +188,9 @@ impl VectorIndex for HnswIndex {
     /// Visit-first scan (§2.3(2)): the bottom-layer beam traverses blocked
     /// nodes but only accepts passing ones; the expansion cap bounds
     /// backtracking under highly selective predicates.
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -196,7 +202,6 @@ impl VectorIndex for HnswIndex {
         }
         let top = self.levels[self.entry];
         let entry = self.descend(query, top, 0);
-        let mut visited = VisitedSet::new(self.vectors.len());
         // Budget scales inversely with selectivity when known.
         let cap = match filter.selectivity_hint() {
             Some(s) if s > 0.0 => {
@@ -212,7 +217,7 @@ impl VectorIndex for HnswIndex {
             &[entry],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             filter,
             cap,
             None,
@@ -222,8 +227,9 @@ impl VectorIndex for HnswIndex {
     /// Block-first scan on the bottom layer: blocked nodes are masked from
     /// traversal entirely. Fast, but online blocking can disconnect the
     /// layer — recall degrades at low selectivity (the §2.3 trade-off).
-    fn search_blocked(
+    fn search_blocked_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -235,7 +241,6 @@ impl VectorIndex for HnswIndex {
         }
         let top = self.levels[self.entry];
         let entry = self.descend(query, top, 0);
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(crate::graph::beam_search_blocked(
             &self.layers[0],
             &self.vectors,
@@ -244,7 +249,7 @@ impl VectorIndex for HnswIndex {
             &[entry],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             filter,
             None,
         ))
@@ -291,31 +296,34 @@ impl DynamicIndex for HnswIndex {
         let q = self.vectors.get(row).to_vec();
         // Phase 1: greedy descent to one layer above the node's level.
         let mut entry = if level < top { self.descend(&q, top, level) } else { self.entry };
-        // Phase 2: beam search + connect on each layer from min(level, top) down.
-        let mut visited = VisitedSet::new(self.vectors.len());
-        for l in (0..=level.min(top)).rev() {
-            let found = beam_search(
-                &self.layers[l],
-                &self.vectors,
-                &self.metric,
-                &q,
-                &[entry],
-                self.cfg.ef_construction,
-                self.cfg.ef_construction,
-                &mut visited,
-                None,
-            );
-            let m = self.cfg.m;
-            let kept = robust_prune(&self.vectors, &self.metric, row, found.clone(), 1.0, m);
-            for &v in &kept {
-                self.layers[l].add_edge(row, v);
-                self.layers[l].add_edge(v as usize, row as u32);
-                self.shrink(v as usize, l);
+        // Phase 2: beam search + connect on each layer from min(level, top)
+        // down, reusing the thread-local scratch context across layers (and
+        // across the whole build loop).
+        context::with_local(|ctx| {
+            for l in (0..=level.min(top)).rev() {
+                let found = beam_search(
+                    &self.layers[l],
+                    &self.vectors,
+                    &self.metric,
+                    &q,
+                    &[entry],
+                    self.cfg.ef_construction,
+                    self.cfg.ef_construction,
+                    ctx,
+                    None,
+                );
+                let m = self.cfg.m;
+                let kept = robust_prune(&self.vectors, &self.metric, row, found.clone(), 1.0, m);
+                for &v in &kept {
+                    self.layers[l].add_edge(row, v);
+                    self.layers[l].add_edge(v as usize, row as u32);
+                    self.shrink(v as usize, l);
+                }
+                if let Some(best) = found.first() {
+                    entry = best.id;
+                }
             }
-            if let Some(best) = found.first() {
-                entry = best.id;
-            }
-        }
+        });
         if level > top {
             self.entry = row;
         }

@@ -7,7 +7,7 @@
 //! offers each pair to each other's k-NN lists, until updates die out.
 
 use crate::graph::{beam_search, AdjacencyList};
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
@@ -258,12 +258,17 @@ impl VectorIndex for KnngIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.adj,
             &self.vectors,
@@ -272,7 +277,7 @@ impl VectorIndex for KnngIndex {
             &self.entries,
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }

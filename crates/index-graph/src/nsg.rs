@@ -9,7 +9,7 @@
 
 use crate::graph::{beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList};
 use crate::knng::{KnngConfig, KnngIndex};
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
@@ -69,10 +69,12 @@ impl NsgIndex {
 
         // Edge selection per node.
         let mut adj = AdjacencyList::new(n);
-        let mut visited = VisitedSet::new(n);
+        // One build-scoped scratch context serves every construction search.
+        let mut ctx = SearchContext::for_index(n);
         for u in 0..n {
             let q = vectors.get(u);
-            let mut pool = beam_search(kg, &vectors, &metric, q, &[start], cfg.l, cfg.l, &mut visited, None);
+            let mut pool =
+                beam_search(kg, &vectors, &metric, q, &[start], cfg.l, cfg.l, &mut ctx, None);
             for &v in kg.neighbors(u) {
                 pool.push(Neighbor::new(v as usize, metric.distance(q, vectors.get(v as usize))));
             }
@@ -106,7 +108,7 @@ impl NsgIndex {
                 &[start],
                 1,
                 cfg.l,
-                &mut visited,
+                &mut ctx,
                 None,
             );
             let parent = found.first().map(|nb| nb.id).unwrap_or(start);
@@ -145,12 +147,17 @@ impl VectorIndex for NsgIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.adj,
             &self.vectors,
@@ -159,13 +166,14 @@ impl VectorIndex for NsgIndex {
             &[self.start],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -175,7 +183,6 @@ impl VectorIndex for NsgIndex {
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search_filtered(
             &self.adj,
             &self.vectors,
@@ -184,7 +191,7 @@ impl VectorIndex for NsgIndex {
             &[self.start],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             filter,
             params.beam_width * 16,
             None,

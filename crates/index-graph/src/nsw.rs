@@ -7,7 +7,7 @@
 //! navigable.
 
 use crate::graph::{beam_search, AdjacencyList};
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, DynamicIndex, IndexStats, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
@@ -79,12 +79,17 @@ impl VectorIndex for NswIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.adj,
             &self.vectors,
@@ -93,7 +98,7 @@ impl VectorIndex for NswIndex {
             &[0], // first inserted node doubles as the fixed entry point
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }
@@ -114,18 +119,19 @@ impl DynamicIndex for NswIndex {
         if row == 0 {
             return Ok(0);
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
-        let found = beam_search(
-            &self.adj,
-            &self.vectors,
-            &self.metric,
-            self.vectors.get(row),
-            &[0],
-            self.cfg.m,
-            self.cfg.ef_construction,
-            &mut visited,
-            None,
-        );
+        let found = context::with_local(|ctx| {
+            beam_search(
+                &self.adj,
+                &self.vectors,
+                &self.metric,
+                self.vectors.get(row),
+                &[0],
+                self.cfg.m,
+                self.cfg.ef_construction,
+                ctx,
+                None,
+            )
+        });
         for n in found {
             if n.id != row {
                 self.adj.add_edge(row, n.id as u32);

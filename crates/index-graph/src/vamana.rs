@@ -8,7 +8,7 @@
 //! low hop counts.
 
 use crate::graph::{beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList};
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
     check_query, IndexStats, RowFilter, SearchParams, VectorIndex,
@@ -79,7 +79,8 @@ impl VamanaIndex {
             }
         }
 
-        let mut visited = VisitedSet::new(n);
+        // One build-scoped scratch context serves every construction search.
+        let mut ctx = SearchContext::for_index(n);
         let mut order: Vec<usize> = (0..n).collect();
         for pass_alpha in [1.0, cfg.alpha] {
             rng.shuffle(&mut order);
@@ -93,7 +94,7 @@ impl VamanaIndex {
                     &[start],
                     cfg.l,
                     cfg.l,
-                    &mut visited,
+                    &mut ctx,
                     None,
                 );
                 // Include current out-neighbors as candidates.
@@ -154,7 +155,7 @@ impl VamanaIndex {
                 &[start],
                 1,
                 cfg.l,
-                &mut visited,
+                &mut ctx,
                 None,
             );
             let parent = found.first().map(|nb| nb.id).unwrap_or(start);
@@ -208,12 +209,17 @@ impl VectorIndex for VamanaIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(beam_search(
             &self.adj,
             &self.vectors,
@@ -222,13 +228,14 @@ impl VectorIndex for VamanaIndex {
             &[self.start],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             None,
         ))
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -238,7 +245,6 @@ impl VectorIndex for VamanaIndex {
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         let cap = params.beam_width * 16;
         Ok(beam_search_filtered(
             &self.adj,
@@ -248,7 +254,7 @@ impl VectorIndex for VamanaIndex {
             &[self.start],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             filter,
             cap,
             None,
@@ -256,8 +262,9 @@ impl VectorIndex for VamanaIndex {
     }
 
     /// Block-first scan: masked traversal that never enters blocked nodes.
-    fn search_blocked(
+    fn search_blocked_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -267,7 +274,6 @@ impl VectorIndex for VamanaIndex {
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let mut visited = VisitedSet::new(self.vectors.len());
         Ok(crate::graph::beam_search_blocked(
             &self.adj,
             &self.vectors,
@@ -276,7 +282,7 @@ impl VectorIndex for VamanaIndex {
             &[self.start],
             k,
             params.beam_width,
-            &mut visited,
+            ctx,
             filter,
             None,
         ))

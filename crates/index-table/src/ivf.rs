@@ -7,12 +7,13 @@
 //! cluster-aligned attribute can prune whole lists (offline blocking).
 
 use crate::coarse::train_coarse;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
     check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
 };
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::KMeans;
 
@@ -71,26 +72,31 @@ impl IvfFlatIndex {
         self.lists.len()
     }
 
+    /// Probe the `nprobe` nearest lists into the context's probe buffer,
+    /// then scan them through the context's result pool — no per-query
+    /// allocation once the context is warm.
     fn scan_lists(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
-        probes: &[usize],
+        params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Vec<Neighbor> {
-        let mut top = TopK::new(k);
-        for &c in probes {
-            for &row in &self.lists[c] {
+        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
+        ctx.pool.reset(k);
+        for &c in &ctx.ids {
+            for &row in &self.lists[c as usize] {
                 if let Some(f) = filter {
                     if !f.accept(row as usize) {
                         continue;
                     }
                 }
                 let d = self.metric.distance(query, self.vectors.get(row as usize));
-                top.push(Neighbor::new(row as usize, d));
+                ctx.pool.push(Neighbor::new(row as usize, d));
             }
         }
-        top.into_sorted()
+        ctx.pool.drain_sorted()
     }
 }
 
@@ -111,19 +117,25 @@ impl VectorIndex for IvfFlatIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
-        Ok(self.scan_lists(query, k, &probes, None))
+        Ok(self.scan_lists(ctx, query, k, params, None))
     }
 
     /// Block-first scan: the filter is consulted *inside* the list scan, so
     /// blocked vectors never incur a distance computation.
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -133,8 +145,7 @@ impl VectorIndex for IvfFlatIndex {
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
-        Ok(self.scan_lists(query, k, &probes, Some(filter)))
+        Ok(self.scan_lists(ctx, query, k, params, Some(filter)))
     }
 
     fn stats(&self) -> IndexStats {

@@ -10,12 +10,20 @@
 use crate::coarse::train_coarse;
 use crate::ivf::IvfConfig;
 use std::sync::Arc;
+use vdb_core::context::SearchContext;
 use vdb_core::error::Result;
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
-use vdb_quant::{KMeans, PqConfig, ProductQuantizer};
+use vdb_quant::{AdcTable, KMeans, PqConfig, ProductQuantizer};
+
+/// Reusable ADC table kept in the [`SearchContext`] extension slot so a
+/// warm context rebuilds per-list tables without reallocating.
+#[derive(Debug, Default)]
+struct PqScratch {
+    table: AdcTable,
+}
 
 /// Build-time configuration for IVFADC.
 #[derive(Debug, Clone)]
@@ -97,22 +105,26 @@ impl IvfPqIndex {
 
     fn scan(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Result<Vec<Neighbor>> {
-        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
+        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
         let m = self.pq.code_len();
         let pool = if self.refine.is_some() { params.rerank.max(k) } else { k };
-        let mut approx = TopK::new(pool);
-        let mut residual = vec![0.0f32; self.dim];
-        for &c in &probes {
+        ctx.pool.reset(pool);
+        ctx.scratch.clear();
+        ctx.scratch.resize(self.dim, 0.0);
+        let mut table = std::mem::take(&mut ctx.ext::<PqScratch>().table);
+        for &c in &ctx.ids {
+            let c = c as usize;
             let centroid = self.coarse.centroids().get(c);
             for i in 0..self.dim {
-                residual[i] = query[i] - centroid[i];
+                ctx.scratch[i] = query[i] - centroid[i];
             }
-            let table = self.pq.adc_table(&residual)?;
+            self.pq.adc_table_into(&ctx.scratch, &mut table)?;
             let rows = &self.lists[c];
             let codes = &self.codes[c];
             for (i, &row) in rows.iter().enumerate() {
@@ -122,17 +134,18 @@ impl IvfPqIndex {
                     }
                 }
                 let d = table.distance(&codes[i * m..(i + 1) * m]);
-                approx.push(Neighbor::new(row as usize, d));
+                ctx.pool.push(Neighbor::new(row as usize, d));
             }
         }
-        let approx = approx.into_sorted();
+        ctx.ext::<PqScratch>().table = table;
+        let approx = ctx.pool.drain_sorted();
         Ok(match &self.refine {
             Some(full) => {
-                let mut top = TopK::new(k);
+                ctx.rerank.reset(k);
                 for n in approx {
-                    top.push(Neighbor::new(n.id, self.metric.distance(query, full.get(n.id))));
+                    ctx.rerank.push(Neighbor::new(n.id, self.metric.distance(query, full.get(n.id))));
                 }
-                top.into_sorted()
+                ctx.rerank.drain_sorted()
             }
             None => approx.into_iter().take(k).collect(),
         })
@@ -156,16 +169,23 @@ impl VectorIndex for IvfPqIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim, query)?;
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, None)
+        self.scan(ctx, query, k, params, None)
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -175,7 +195,7 @@ impl VectorIndex for IvfPqIndex {
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, Some(filter))
+        self.scan(ctx, query, k, params, Some(filter))
     }
 
     fn stats(&self) -> IndexStats {

@@ -8,10 +8,11 @@
 use crate::coarse::train_coarse;
 use crate::ivf::IvfConfig;
 use std::sync::Arc;
+use vdb_core::context::SearchContext;
 use vdb_core::error::Result;
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{KMeans, ScalarQuantizer, SqBits};
 
@@ -74,19 +75,20 @@ impl IvfSqIndex {
 
     fn scan(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Vec<Neighbor> {
-        let probes = self.coarse.assign_multi(query, params.nprobe.max(1));
+        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
         let code_len = self.sq.code_len();
         // Phase 1: approximate candidates by asymmetric code distance.
         let pool = if self.refine.is_some() { params.rerank.max(k) } else { k };
-        let mut approx = TopK::new(pool);
-        for &c in &probes {
-            let rows = &self.lists[c];
-            let codes = &self.codes[c];
+        ctx.pool.reset(pool);
+        for &c in &ctx.ids {
+            let rows = &self.lists[c as usize];
+            let codes = &self.codes[c as usize];
             for (i, &row) in rows.iter().enumerate() {
                 if let Some(f) = filter {
                     if !f.accept(row as usize) {
@@ -94,19 +96,19 @@ impl IvfSqIndex {
                     }
                 }
                 let d = self.sq.asymmetric_l2_sq(query, &codes[i * code_len..(i + 1) * code_len]);
-                approx.push(Neighbor::new(row as usize, d));
+                ctx.pool.push(Neighbor::new(row as usize, d));
             }
         }
-        let approx = approx.into_sorted();
+        let approx = ctx.pool.drain_sorted();
         // Phase 2: optional exact re-rank.
         match &self.refine {
             Some(full) => {
-                let mut top = TopK::new(k);
+                ctx.rerank.reset(k);
                 for n in approx {
                     let d = self.metric.distance(query, full.get(n.id));
-                    top.push(Neighbor::new(n.id, d));
+                    ctx.rerank.push(Neighbor::new(n.id, d));
                 }
-                top.into_sorted()
+                ctx.rerank.drain_sorted()
             }
             None => approx.into_iter().take(k).collect(),
         }
@@ -130,16 +132,23 @@ impl VectorIndex for IvfSqIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim, query)?;
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        Ok(self.scan(query, k, params, None))
+        Ok(self.scan(ctx, query, k, params, None))
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -149,7 +158,7 @@ impl VectorIndex for IvfSqIndex {
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        Ok(self.scan(query, k, params, Some(filter)))
+        Ok(self.scan(ctx, query, k, params, Some(filter)))
     }
 
     fn stats(&self) -> IndexStats {

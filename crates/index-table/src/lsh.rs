@@ -13,13 +13,13 @@
 //! with exact distances.
 
 use std::collections::HashMap;
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, DynamicIndex, IndexStats, SearchParams, VectorIndex};
 use vdb_core::kernel;
 use vdb_core::metric::Metric;
 use vdb_core::rng::Rng;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 
 /// The hash family used by every table of an [`LshIndex`].
@@ -166,11 +166,13 @@ impl LshIndex {
     }
 
     /// Collect candidate rows colliding with the query in up to `probes`
-    /// tables (all tables if `probes >= l`).
-    fn candidates(&self, query: &[f32], probes: usize) -> Vec<u32> {
+    /// tables (all tables if `probes >= l`) into the context's id buffer,
+    /// deduplicated through its visited set.
+    fn candidates_into(&self, ctx: &mut SearchContext, query: &[f32], probes: usize) {
         let probes = probes.clamp(1, self.cfg.l);
-        let mut seen = VisitedSet::new(self.vectors.len());
-        let mut out = Vec::new();
+        ctx.begin(self.vectors.len());
+        ctx.ids.clear();
+        let SearchContext { visited: seen, ids: out, .. } = ctx;
         for t in 0..probes {
             let key = self.hashes[t].key(query, self.cfg.family);
             if let Some(bucket) = self.tables[t].get(&key) {
@@ -181,13 +183,15 @@ impl LshIndex {
                 }
             }
         }
-        out
     }
 
     /// Number of distinct candidates the query would generate (bucket-size
     /// diagnostics for experiment F2).
     pub fn candidate_count(&self, query: &[f32]) -> usize {
-        self.candidates(query, self.cfg.l).len()
+        context::with_local(|ctx| {
+            self.candidates_into(ctx, query, self.cfg.l);
+            ctx.ids.len()
+        })
     }
 
     /// The build configuration.
@@ -213,18 +217,24 @@ impl VectorIndex for LshIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        let cands = self.candidates(query, params.nprobe.max(self.cfg.l));
-        let mut top = TopK::new(k);
-        for &row in &cands {
+        self.candidates_into(ctx, query, params.nprobe.max(self.cfg.l));
+        ctx.pool.reset(k);
+        for &row in &ctx.ids {
             let d = self.metric.distance(query, self.vectors.get(row as usize));
-            top.push(Neighbor::new(row as usize, d));
+            ctx.pool.push(Neighbor::new(row as usize, d));
         }
-        Ok(top.into_sorted())
+        Ok(ctx.pool.drain_sorted())
     }
 
     fn stats(&self) -> IndexStats {

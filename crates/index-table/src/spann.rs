@@ -10,12 +10,12 @@
 
 use std::path::Path;
 use std::sync::Arc;
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::kernel;
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{KMeans, KMeansConfig};
 use vdb_storage::{Page, PageCache, PagedFile, PAGE_SIZE};
@@ -238,25 +238,28 @@ impl SpannIndex {
 
     fn scan(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Result<Vec<Neighbor>> {
-        // Rank centroids in memory.
-        let mut order: Vec<(f32, usize)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(c, cent)| (kernel::l2_sq(query, cent), c))
-            .collect();
-        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let probes = params.nprobe.max(1).min(order.len());
+        // Rank centroids in memory (into the context's reusable buffer).
+        ctx.begin(self.n);
+        ctx.order.clear();
+        ctx.order.extend(
+            self.centroids
+                .iter()
+                .enumerate()
+                .map(|(c, cent)| (kernel::l2_sq(query, cent), c as u32)),
+        );
+        ctx.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let probes = params.nprobe.max(1).min(ctx.order.len());
         let record_bytes = 4 + self.dim * 4;
-        let mut top = TopK::new(k);
-        let mut seen = VisitedSet::new(self.n);
+        ctx.pool.reset(k);
+        let SearchContext { visited: seen, pool: top, order, scratch, .. } = ctx;
         for &(_, c) in order.iter().take(probes) {
-            let (start, count) = self.postings[c];
+            let (start, count) = self.postings[c as usize];
             let pages = (count as usize).div_ceil(self.records_per_page);
             let mut remaining = count as usize;
             for p in 0..pages {
@@ -286,11 +289,12 @@ impl SpannIndex {
                             }
                         }
                         _ => {
-                            let mut v = vec![0.0f32; self.dim];
-                            for (j, o) in v.iter_mut().enumerate() {
+                            scratch.clear();
+                            scratch.resize(self.dim, 0.0);
+                            for (j, o) in scratch.iter_mut().enumerate() {
                                 *o = page.read_f32(base + 4 + j * 4);
                             }
-                            d = self.metric.distance(query, &v);
+                            d = self.metric.distance(query, scratch);
                         }
                     }
                     top.push(Neighbor::new(row, d));
@@ -298,7 +302,7 @@ impl SpannIndex {
                 remaining -= in_page;
             }
         }
-        Ok(top.into_sorted())
+        Ok(top.drain_sorted())
     }
 }
 
@@ -319,16 +323,23 @@ impl VectorIndex for SpannIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim, query)?;
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, None)
+        self.scan(ctx, query, k, params, None)
     }
 
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -338,7 +349,7 @@ impl VectorIndex for SpannIndex {
         if k == 0 || self.n == 0 {
             return Ok(Vec::new());
         }
-        self.scan(query, k, params, Some(filter))
+        self.scan(ctx, query, k, params, Some(filter))
     }
 
     fn stats(&self) -> IndexStats {

@@ -10,12 +10,11 @@
 
 use crate::split::{Split, Splitter};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use vdb_core::bitset::VisitedSet;
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_core::rng::Rng;
 
@@ -96,27 +95,19 @@ fn build_node(
     (nodes.len() - 1) as u32
 }
 
-/// Priority-queue key: non-negative lower bound on distance to the subtree.
-#[derive(PartialEq)]
-struct Frontier {
-    bound: f32,
-    tree: u32,
-    node: u32,
+// The cross-tree frontier reuses the context's `BinaryHeap<Reverse<Neighbor>>`
+// by packing `(tree, node)` into `Neighbor::id` and carrying the margin
+// bound in `Neighbor::dist`; `Neighbor`'s (dist, id) ordering matches the
+// old (bound, tree, node) ordering because the packing is lexicographic.
+
+#[inline]
+fn pack(tree: u32, node: u32) -> usize {
+    (((tree as u64) << 32) | node as u64) as usize
 }
 
-impl Eq for Frontier {}
-impl Ord for Frontier {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.bound
-            .total_cmp(&other.bound)
-            .then(self.tree.cmp(&other.tree))
-            .then(self.node.cmp(&other.node))
-    }
-}
-impl PartialOrd for Frontier {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+#[inline]
+fn unpack(id: usize) -> (u32, u32) {
+    ((id as u64 >> 32) as u32, id as u32)
 }
 
 /// A forest index over an owned vector collection.
@@ -172,17 +163,18 @@ impl ForestIndex {
     /// budget and runs until the bound proves completeness.
     fn search_inner(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         budget: usize,
         exact: bool,
         filter: Option<&dyn RowFilter>,
     ) -> Vec<Neighbor> {
-        let mut top = TopK::new(k);
-        let mut seen = VisitedSet::new(self.vectors.len());
-        let mut heap: BinaryHeap<Reverse<Frontier>> = BinaryHeap::new();
+        ctx.begin(self.vectors.len());
+        ctx.pool.reset(k);
+        let SearchContext { visited: seen, pool: top, frontier: heap, .. } = ctx;
         for (t, tree) in self.trees.iter().enumerate() {
-            heap.push(Reverse(Frontier { bound: 0.0, tree: t as u32, node: tree.root }));
+            heap.push(Reverse(Neighbor::new(pack(t as u32, tree.root), 0.0)));
         }
         let mut examined = 0usize;
         while let Some(Reverse(front)) = heap.pop() {
@@ -190,8 +182,8 @@ impl ForestIndex {
                 // For SquaredEuclidean the comparison must square the bound.
                 let thr = top.threshold();
                 let bound_d = match self.metric {
-                    Metric::SquaredEuclidean => front.bound * front.bound,
-                    _ => front.bound,
+                    Metric::SquaredEuclidean => front.dist * front.dist,
+                    _ => front.dist,
                 };
                 if top.is_full() && bound_d >= thr {
                     break;
@@ -199,8 +191,8 @@ impl ForestIndex {
             } else if examined >= budget {
                 break;
             }
-            let mut node = front.node;
-            let tree = &self.trees[front.tree as usize];
+            let (tree_id, mut node) = unpack(front.id);
+            let tree = &self.trees[tree_id as usize];
             loop {
                 match &tree.nodes[node as usize] {
                     Node::Leaf { points } => {
@@ -222,22 +214,29 @@ impl ForestIndex {
                     Node::Internal { split, left, right } => {
                         let m = split.margin(query);
                         let (near, far) = if m < 0.0 { (*left, *right) } else { (*right, *left) };
-                        let far_bound = front.bound.max(m.abs());
-                        heap.push(Reverse(Frontier {
-                            bound: far_bound,
-                            tree: front.tree,
-                            node: far,
-                        }));
+                        let far_bound = front.dist.max(m.abs());
+                        heap.push(Reverse(Neighbor::new(pack(tree_id, far), far_bound)));
                         node = near;
                     }
                 }
             }
         }
-        top.into_sorted()
+        heap.clear();
+        top.drain_sorted()
     }
 
     /// Exact k-NN via backtracking with margin bounds (L2 family only).
     pub fn search_exact(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        context::with_local(|ctx| self.search_exact_with(ctx, query, k))
+    }
+
+    /// [`Self::search_exact`] against a caller-managed scratch context.
+    pub fn search_exact_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if !self.exact_capable {
             return Err(Error::Unsupported(format!(
@@ -248,7 +247,7 @@ impl ForestIndex {
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
-        Ok(self.search_inner(query, k, usize::MAX, true, None))
+        Ok(self.search_inner(ctx, query, k, usize::MAX, true, None))
     }
 }
 
@@ -269,20 +268,27 @@ impl VectorIndex for ForestIndex {
         &self.metric
     }
 
-    fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    fn search_with(
+        &self,
+        ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
         if k == 0 || self.vectors.is_empty() {
             return Ok(Vec::new());
         }
         let budget = params.max_leaf_points.max(k);
-        Ok(self.search_inner(query, k, budget, false, None))
+        Ok(self.search_inner(ctx, query, k, budget, false, None))
     }
 
     /// Visit-first filtered search: the predicate is evaluated on leaf
     /// points during traversal, and the leaf budget only counts *visited*
     /// points, so low-selectivity predicates naturally explore further.
-    fn search_filtered(
+    fn search_filtered_with(
         &self,
+        ctx: &mut SearchContext,
         query: &[f32],
         k: usize,
         params: &SearchParams,
@@ -293,7 +299,7 @@ impl VectorIndex for ForestIndex {
             return Ok(Vec::new());
         }
         let budget = params.max_leaf_points.max(k);
-        Ok(self.search_inner(query, k, budget, false, Some(filter)))
+        Ok(self.search_inner(ctx, query, k, budget, false, Some(filter)))
     }
 
     fn stats(&self) -> IndexStats {

@@ -126,6 +126,28 @@ impl KMeans {
         dists.into_iter().map(|(_, c)| c).collect()
     }
 
+    /// Allocation-free [`Self::assign_multi`]: ranks centroids into `order`
+    /// and writes the `p` best centroid ids into `out`, best first. Both
+    /// buffers are cleared and reused, so a warm caller allocates nothing.
+    pub fn assign_multi_into(
+        &self,
+        v: &[f32],
+        p: usize,
+        order: &mut Vec<(f32, u32)>,
+        out: &mut Vec<u32>,
+    ) {
+        order.clear();
+        order.extend(
+            self.centroids
+                .iter()
+                .enumerate()
+                .map(|(c, row)| (kernel::l2_sq(v, row), c as u32)),
+        );
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.clear();
+        out.extend(order.iter().take(p).map(|&(_, c)| c));
+    }
+
     /// Assign every row of `data`, returning per-row centroid ids.
     pub fn assign_all(&self, data: &Vectors) -> Vec<usize> {
         data.iter().map(|row| self.assign(row).0).collect()

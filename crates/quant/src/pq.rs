@@ -45,7 +45,7 @@ pub struct ProductQuantizer {
 }
 
 /// A per-query ADC lookup table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AdcTable {
     m: usize,
     ksub: usize,
@@ -230,6 +230,26 @@ impl ProductQuantizer {
             }
         }
         Ok(AdcTable { m: self.m, ksub: self.ksub, table })
+    }
+
+    /// Rebuild `out` in place as the ADC table for `query`, reusing its
+    /// allocation. A warm caller (e.g. an IVFADC list scan driven by a
+    /// reusable search context) builds tables with zero heap traffic.
+    pub fn adc_table_into(&self, query: &[f32], out: &mut AdcTable) -> Result<()> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+        }
+        out.m = self.m;
+        out.ksub = self.ksub;
+        out.table.clear();
+        out.table.resize(self.m * self.ksub, 0.0);
+        for sub in 0..self.m {
+            let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
+            for c in 0..self.ksub {
+                out.table[sub * self.ksub + c] = kernel::l2_sq(qv, self.centroid(sub, c));
+            }
+        }
+        Ok(())
     }
 
     /// Mean squared reconstruction error over a dataset (OPQ's objective).

@@ -1,29 +1,36 @@
 //! Batched query execution (§2.1 "batched queries", §2.3).
 //!
-//! Two classic batching gains are implemented: (1) *shared predicate
+//! Three classic batching gains are implemented: (1) *shared predicate
 //! work* — queries carrying the same predicate share one bitmask
-//! materialization and one plan selection, and (2) *parallel similarity
+//! materialization and one plan selection, (2) *parallel similarity
 //! projection* across OS threads (the CPU stand-in for the GPU batching of
-//! [50]).
+//! [50]), and (3) *scratch reuse* — each worker thread owns one
+//! [`SearchContext`] for its whole chunk, so only the first query on a
+//! thread pays for visited-set and pool allocation.
 
-use crate::exec::{execute, QueryContext};
+use crate::exec::{execute_with, QueryContext};
 use crate::optimizer::Planner;
 use crate::plan::{Strategy, VectorQuery};
 use std::collections::HashMap;
 use vdb_core::bitset::BitSet;
+use vdb_core::context::SearchContext;
 use vdb_core::error::Result;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 
 /// Batch execution options.
 #[derive(Debug, Clone)]
 pub struct BatchOptions {
-    /// Worker threads (1 = sequential).
+    /// Worker threads (1 = sequential). The default is the machine's
+    /// available parallelism; the effective count is always clamped to
+    /// the batch size, so small batches never spawn idle workers.
     pub threads: usize,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { threads: 4 }
+        BatchOptions {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
     }
 }
 
@@ -58,9 +65,10 @@ pub fn execute_batch(
     let threads = opts.threads.max(1).min(queries.len());
     let mut results: Vec<Result<Vec<Neighbor>>> = Vec::with_capacity(queries.len());
     if threads == 1 {
+        let mut sctx = SearchContext::for_index(ctx.vectors.len());
         for q in queries {
             let (strategy, bits) = &plans[&q.predicate.to_string()];
-            results.push(run_one(ctx, q, *strategy, bits.as_ref()));
+            results.push(run_one(ctx, &mut sctx, q, *strategy, bits.as_ref()));
         }
     } else {
         let chunk = queries.len().div_ceil(threads);
@@ -72,9 +80,12 @@ pub fn execute_batch(
             for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
                 let qs = &queries[t * chunk..(t * chunk + slot_chunk.len())];
                 handles.push(scope.spawn(move || {
+                    // One scratch context per worker, reused across its
+                    // whole chunk.
+                    let mut sctx = SearchContext::for_index(ctx.vectors.len());
                     for (slot, q) in slot_chunk.iter_mut().zip(qs) {
                         let (strategy, bits) = &plans_ref[&q.predicate.to_string()];
-                        *slot = Some(run_one(ctx, q, *strategy, bits.as_ref()));
+                        *slot = Some(run_one(ctx, &mut sctx, q, *strategy, bits.as_ref()));
                     }
                 }));
             }
@@ -87,28 +98,31 @@ pub fn execute_batch(
     results.into_iter().collect()
 }
 
-/// Run one query, reusing a shared bitmask when the strategy consumes one.
+/// Run one query, reusing a shared bitmask when the strategy consumes one
+/// and the caller's scratch context for every search.
 fn run_one(
     ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
     q: &VectorQuery,
     strategy: Strategy,
     bits: Option<&BitSet>,
 ) -> Result<Vec<Neighbor>> {
     match (strategy, bits) {
         (Strategy::BlockFirst, Some(bits)) => {
-            ctx.index.search_blocked(&q.vector, q.k, &q.params, bits)
+            ctx.index.search_blocked_with(sctx, &q.vector, q.k, &q.params, bits)
         }
         (Strategy::PreFilter, Some(bits)) => {
             let metric = ctx.index.metric();
-            let mut top = TopK::new(q.k.max(1));
+            sctx.pool.reset(q.k.max(1));
             for row in bits.iter() {
-                top.push(Neighbor::new(row, metric.distance(&q.vector, ctx.vectors.get(row))));
+                sctx.pool
+                    .push(Neighbor::new(row, metric.distance(&q.vector, ctx.vectors.get(row))));
             }
-            let mut out = top.into_sorted();
+            let mut out = sctx.pool.drain_sorted();
             out.truncate(q.k);
             Ok(out)
         }
-        _ => execute(ctx, q, strategy),
+        _ => execute_with(ctx, sctx, q, strategy),
     }
 }
 

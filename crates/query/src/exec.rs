@@ -2,10 +2,11 @@
 
 use crate::expr::Predicate;
 use crate::plan::{Strategy, VectorQuery};
+use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{RowFilter, VectorIndex};
 use vdb_core::metric::Metric;
-use vdb_core::topk::{Neighbor, TopK};
+use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_storage::AttributeStore;
 
@@ -73,22 +74,40 @@ impl RowFilter for PredicateFilter<'_> {
     }
 }
 
-/// Execute `query` under an explicitly chosen strategy.
+/// Execute `query` under an explicitly chosen strategy, using a
+/// thread-local scratch context.
 pub fn execute(ctx: &QueryContext<'_>, query: &VectorQuery, strategy: Strategy) -> Result<Vec<Neighbor>> {
+    context::with_local(|sctx| execute_with(ctx, sctx, query, strategy))
+}
+
+/// Execute `query` under an explicitly chosen strategy against a
+/// caller-managed [`SearchContext`]. Every physical operator — exact scans
+/// included — draws its visited set, candidate pools, and buffers from
+/// `sctx`, so a reused context runs the whole plan allocation-free.
+pub fn execute_with(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+    strategy: Strategy,
+) -> Result<Vec<Neighbor>> {
     if query.is_hybrid() {
         query.predicate.validate(ctx.attrs)?;
     }
     match strategy {
-        Strategy::BruteForce => brute_force(ctx, query),
-        Strategy::PreFilter => pre_filter(ctx, query),
-        Strategy::PostFilter => post_filter(ctx, query),
-        Strategy::BlockFirst => block_first(ctx, query),
-        Strategy::VisitFirst => visit_first(ctx, query),
+        Strategy::BruteForce => brute_force(ctx, sctx, query),
+        Strategy::PreFilter => pre_filter(ctx, sctx, query),
+        Strategy::PostFilter => post_filter(ctx, sctx, query),
+        Strategy::BlockFirst => block_first(ctx, sctx, query),
+        Strategy::VisitFirst => visit_first(ctx, sctx, query),
     }
 }
 
 /// Single-stage exact scan: evaluate the predicate inline, score survivors.
-fn brute_force(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+fn brute_force(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+) -> Result<Vec<Neighbor>> {
     check_dims(ctx, query)?;
     let metric = ctx.metric();
     let compiled = if query.is_hybrid() {
@@ -96,39 +115,51 @@ fn brute_force(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighb
     } else {
         None
     };
-    let mut top = TopK::new(query.k.max(1));
+    sctx.pool.reset(query.k.max(1));
     for (row, v) in ctx.vectors.iter().enumerate() {
         if let Some(cp) = &compiled {
             if !cp.eval(row) {
                 continue;
             }
         }
-        top.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+        sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, v)));
     }
-    Ok(truncated(top, query.k))
+    let mut out = sctx.pool.drain_sorted();
+    out.truncate(query.k);
+    Ok(out)
 }
 
 /// Pre-filtering: materialize the match set, then score only those rows.
-fn pre_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+fn pre_filter(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+) -> Result<Vec<Neighbor>> {
     check_dims(ctx, query)?;
     let metric = ctx.metric();
-    let mut top = TopK::new(query.k.max(1));
+    sctx.pool.reset(query.k.max(1));
     if query.is_hybrid() {
         let bits = query.predicate.bitmask(ctx.attrs)?;
         for row in bits.iter() {
-            top.push(Neighbor::new(row, metric.distance(&query.vector, ctx.vectors.get(row))));
+            sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, ctx.vectors.get(row))));
         }
     } else {
         for (row, v) in ctx.vectors.iter().enumerate() {
-            top.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+            sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, v)));
         }
     }
-    Ok(truncated(top, query.k))
+    let mut out = sctx.pool.drain_sorted();
+    out.truncate(query.k);
+    Ok(out)
 }
 
 /// Post-filtering: unconstrained ANN search over-fetching `α·k`, filter,
 /// and double the fetch if the result set came up short (§2.6(3)).
-fn post_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+fn post_filter(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+) -> Result<Vec<Neighbor>> {
     let n = ctx.vectors.len();
     if n == 0 || query.k == 0 {
         return Ok(Vec::new());
@@ -136,7 +167,7 @@ fn post_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighb
     let mut fetch =
         ((query.k as f32 * query.params.overfetch).ceil() as usize).clamp(query.k, n);
     loop {
-        let cands = ctx.index.search(&query.vector, fetch, &query.params)?;
+        let cands = ctx.index.search_with(sctx, &query.vector, fetch, &query.params)?;
         let got = cands.len();
         let mut out: Vec<Neighbor> = cands
             .into_iter()
@@ -151,23 +182,31 @@ fn post_filter(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighb
 }
 
 /// Block-first scan: bitmask pushed into the index.
-fn block_first(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+fn block_first(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+) -> Result<Vec<Neighbor>> {
     if !query.is_hybrid() {
-        return ctx.index.search(&query.vector, query.k, &query.params);
+        return ctx.index.search_with(sctx, &query.vector, query.k, &query.params);
     }
     let bits = query.predicate.bitmask(ctx.attrs)?;
-    ctx.index.search_blocked(&query.vector, query.k, &query.params, &bits)
+    ctx.index.search_blocked_with(sctx, &query.vector, query.k, &query.params, &bits)
 }
 
 /// Visit-first scan: predicate evaluated during traversal, no bitmask.
 /// The predicate is compiled once — it runs on every *visited* vector, so
 /// per-row column-name resolution would dominate the traversal.
-fn visit_first(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<Vec<Neighbor>> {
+fn visit_first(
+    ctx: &QueryContext<'_>,
+    sctx: &mut SearchContext,
+    query: &VectorQuery,
+) -> Result<Vec<Neighbor>> {
     if !query.is_hybrid() {
-        return ctx.index.search(&query.vector, query.k, &query.params);
+        return ctx.index.search_with(sctx, &query.vector, query.k, &query.params);
     }
     let compiled = crate::compiled::CompiledPredicate::compile(&query.predicate, ctx.attrs)?;
-    ctx.index.search_filtered(&query.vector, query.k, &query.params, &compiled)
+    ctx.index.search_filtered_with(sctx, &query.vector, query.k, &query.params, &compiled)
 }
 
 fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
@@ -180,11 +219,6 @@ fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
     Ok(())
 }
 
-fn truncated(top: TopK, k: usize) -> Vec<Neighbor> {
-    let mut out = top.into_sorted();
-    out.truncate(k);
-    out
-}
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,7 @@ pub mod selectivity;
 
 pub use batch::{execute_batch, BatchOptions};
 pub use compiled::CompiledPredicate;
-pub use exec::{execute, PredicateFilter, QueryContext};
+pub use exec::{execute, execute_with, PredicateFilter, QueryContext};
 pub use expr::{CmpOp, Predicate};
 pub use incremental::IncrementalSearch;
 pub use multivector::{multi_vector_exact, multi_vector_search, EntityHit, EntityMap, MultiVectorQuery};

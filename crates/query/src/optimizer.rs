@@ -191,6 +191,18 @@ impl Planner {
         let out = crate::exec::execute(ctx, q, plan.strategy)?;
         Ok((plan, out))
     }
+
+    /// Plan and execute against a caller-managed scratch context.
+    pub fn run_with(
+        &self,
+        ctx: &QueryContext<'_>,
+        sctx: &mut vdb_core::context::SearchContext,
+        q: &VectorQuery,
+    ) -> vdb_core::error::Result<(PhysicalPlan, Vec<vdb_core::topk::Neighbor>)> {
+        let plan = self.plan(ctx, q);
+        let out = crate::exec::execute_with(ctx, sctx, q, plan.strategy)?;
+        Ok((plan, out))
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use crate::file::PagedFile;
 use crate::page::{Page, PageId};
-use parking_lot::Mutex;
+use vdb_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vdb_core::error::Result;

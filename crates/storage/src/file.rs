@@ -1,7 +1,7 @@
 //! Page-granular file I/O.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
-use parking_lot::Mutex;
+use vdb_core::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};

@@ -13,11 +13,12 @@ use crate::schema::CollectionSchema;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use vdb_core::attr::AttrValue;
+use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
-use vdb_query::{execute, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery};
+use vdb_query::{execute_with, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery};
 use vdb_storage::{AttributeStore, Column, LsmConfig, LsmStore, Wal, WalRecord};
 
 /// A search result at the facade level: external key plus distance.
@@ -84,6 +85,8 @@ pub struct Collection {
     wal: Option<Wal>,
     planner: Planner,
     merges: usize,
+    // Warm search scratch shared by concurrent `&self` searchers.
+    contexts: ContextPool,
 }
 
 impl Collection {
@@ -118,6 +121,7 @@ impl Collection {
             wal,
             planner,
             merges: 0,
+            contexts: ContextPool::new(),
             schema,
             cfg,
         })
@@ -326,9 +330,10 @@ impl Collection {
                 let q = VectorQuery::knn(vector.to_vec(), fetch)
                     .filtered(predicate.clone())
                     .with_params(params.clone());
+                let mut sctx = self.contexts.acquire();
                 let main: Vec<Neighbor> = match strategy {
-                    Some(st) => execute(&ctx, &q, st)?,
-                    None => self.planner.run(&ctx, &q)?.1,
+                    Some(st) => execute_with(&ctx, &mut sctx, &q, st)?,
+                    None => self.planner.run_with(&ctx, &mut sctx, &q)?.1,
                 };
                 for n in main {
                     let key = self.row_keys[n.id];

@@ -1,25 +1,37 @@
-//! Property-based tests over core invariants (proptest).
+//! Property-based tests over core invariants.
+//!
+//! These were originally written against an external property-testing
+//! crate; to keep the workspace dependency-free they now run as seeded
+//! deterministic sweeps over the vendored [`vdb_core::rng::Rng`]. Each
+//! test draws many random cases from a fixed seed, so failures reproduce
+//! exactly and the suite builds with no network access.
 
-use proptest::prelude::*;
 use vdb_core::bitset::BitSet;
 use vdb_core::kernel;
 use vdb_core::metric::Metric;
+use vdb_core::rng::Rng;
 use vdb_core::topk::{top_k_by_sort, Neighbor, TopK};
 use vdb_core::vector::Vectors;
-use vdb_quant::{ProductQuantizer, PqConfig, ScalarQuantizer, SqBits};
+use vdb_quant::{PqConfig, ProductQuantizer, ScalarQuantizer, SqBits};
 use vdb_storage::{LsmConfig, LsmStore};
 
-/// Strategy: a small finite f32 vector of the given length.
-fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, len..=len)
+const CASES: usize = 64;
+
+/// A finite f32 vector with components in `[-100, 100)`.
+fn vec_of(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.f32() * 200.0 - 100.0).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn true_metrics_satisfy_axioms(a in vec_of(8), b in vec_of(8), c in vec_of(8)) {
-        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
+#[test]
+fn true_metrics_satisfy_axioms() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let a = vec_of(&mut rng, 8);
+        let b = vec_of(&mut rng, 8);
+        let c = vec_of(&mut rng, 8);
+        for metric in
+            [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)]
+        {
             let dab = metric.distance(&a, &b);
             let dba = metric.distance(&b, &a);
             let daa = metric.distance(&a, &a);
@@ -27,37 +39,56 @@ proptest! {
             let dcb = metric.distance(&c, &b);
             // Symmetry, identity, non-negativity, triangle inequality
             // (with float slack).
-            prop_assert!((dab - dba).abs() <= 1e-3 * dab.abs().max(1.0));
-            prop_assert!(daa.abs() < 1e-3);
-            prop_assert!(dab >= 0.0);
-            prop_assert!(dab <= dac + dcb + 1e-2 * (dac + dcb).max(1.0),
-                "{}: d(a,b)={dab} > d(a,c)+d(c,b)={}", metric.name(), dac + dcb);
+            assert!((dab - dba).abs() <= 1e-3 * dab.abs().max(1.0));
+            assert!(daa.abs() < 1e-3);
+            assert!(dab >= 0.0);
+            assert!(
+                dab <= dac + dcb + 1e-2 * (dac + dcb).max(1.0),
+                "{}: d(a,b)={dab} > d(a,c)+d(c,b)={}",
+                metric.name(),
+                dac + dcb
+            );
         }
     }
+}
 
-    #[test]
-    fn blocked_kernels_match_scalar(a in vec_of(37), b in vec_of(37)) {
+#[test]
+fn blocked_kernels_match_scalar() {
+    let mut rng = Rng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let a = vec_of(&mut rng, 37);
+        let b = vec_of(&mut rng, 37);
         let scale = kernel::l2_sq_scalar(&a, &b).max(1.0);
-        prop_assert!((kernel::l2_sq(&a, &b) - kernel::l2_sq_scalar(&a, &b)).abs() <= 1e-3 * scale);
+        assert!((kernel::l2_sq(&a, &b) - kernel::l2_sq_scalar(&a, &b)).abs() <= 1e-3 * scale);
         let dscale = kernel::dot_scalar(&a, &b).abs().max(1.0);
-        prop_assert!((kernel::dot(&a, &b) - kernel::dot_scalar(&a, &b)).abs() <= 1e-3 * dscale);
+        assert!((kernel::dot(&a, &b) - kernel::dot_scalar(&a, &b)).abs() <= 1e-3 * dscale);
         let lscale = kernel::l1_scalar(&a, &b).max(1.0);
-        prop_assert!((kernel::l1(&a, &b) - kernel::l1_scalar(&a, &b)).abs() <= 1e-3 * lscale);
+        assert!((kernel::l1(&a, &b) - kernel::l1_scalar(&a, &b)).abs() <= 1e-3 * lscale);
     }
+}
 
-    #[test]
-    fn topk_equals_sort_oracle(dists in prop::collection::vec(0.0f32..1000.0, 1..200), k in 1usize..50) {
+#[test]
+fn topk_equals_sort_oracle() {
+    let mut rng = Rng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(199);
+        let k = 1 + rng.below(49);
         let cands: Vec<Neighbor> =
-            dists.iter().enumerate().map(|(i, &d)| Neighbor::new(i, d)).collect();
+            (0..n).map(|i| Neighbor::new(i, rng.f32() * 1000.0)).collect();
         let mut top = TopK::new(k);
         for &c in &cands {
             top.push(c);
         }
-        prop_assert_eq!(top.into_sorted(), top_k_by_sort(cands, k));
+        assert_eq!(top.into_sorted(), top_k_by_sort(cands, k));
     }
+}
 
-    #[test]
-    fn sq8_roundtrip_error_bounded(rows in prop::collection::vec(vec_of(6), 2..40)) {
+#[test]
+fn sq8_roundtrip_error_bounded() {
+    let mut rng = Rng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let rows: Vec<Vec<f32>> =
+            (0..2 + rng.below(38)).map(|_| vec_of(&mut rng, 6)).collect();
         let mut data = Vectors::new(6);
         for r in &rows {
             data.push(r).unwrap();
@@ -67,33 +98,51 @@ proptest! {
         for r in &rows {
             let dec = sq.decode(&sq.encode(r).unwrap());
             for (x, y) in r.iter().zip(&dec) {
-                prop_assert!((x - y).abs() <= bound, "{x} vs {y} (bound {bound})");
+                assert!((x - y).abs() <= bound, "{x} vs {y} (bound {bound})");
             }
         }
     }
+}
 
-    #[test]
-    fn pq_adc_consistent_with_decode(rows in prop::collection::vec(vec_of(8), 20..60), q in vec_of(8)) {
+#[test]
+fn pq_adc_consistent_with_decode() {
+    let mut rng = Rng::seed_from_u64(0xA5);
+    for _ in 0..16 {
+        let rows: Vec<Vec<f32>> =
+            (0..20 + rng.below(40)).map(|_| vec_of(&mut rng, 8)).collect();
+        let q = vec_of(&mut rng, 8);
         let mut data = Vectors::new(8);
         for r in &rows {
             data.push(r).unwrap();
         }
-        let pq = ProductQuantizer::train(&data, &PqConfig { m: 2, nbits: 4, train_iters: 4, seed: 1 }).unwrap();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig { m: 2, nbits: 4, train_iters: 4, seed: 1 },
+        )
+        .unwrap();
         let table = pq.adc_table(&q).unwrap();
+        // The reusable-table path must agree with the allocating one.
+        let mut reused = vdb_quant::AdcTable::default();
+        pq.adc_table_into(&q, &mut reused).unwrap();
         for r in rows.iter().take(10) {
             let code = pq.encode(r).unwrap();
             let adc = table.distance(&code);
             let direct = kernel::l2_sq(&q, &pq.decode(&code));
-            prop_assert!((adc - direct).abs() <= 1e-2 * direct.max(1.0));
+            assert!((adc - direct).abs() <= 1e-2 * direct.max(1.0));
+            assert_eq!(adc, reused.distance(&code));
         }
     }
+}
 
-    #[test]
-    fn bitset_behaves_like_hashset(ops in prop::collection::vec((0usize..200, prop::bool::ANY), 1..150)) {
+#[test]
+fn bitset_behaves_like_hashset() {
+    let mut rng = Rng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
         let mut bits = BitSet::new(200);
         let mut model = std::collections::HashSet::new();
-        for (id, insert) in ops {
-            if insert {
+        for _ in 0..1 + rng.below(149) {
+            let id = rng.below(200);
+            if rng.below(2) == 0 {
                 bits.insert(id);
                 model.insert(id);
             } else {
@@ -101,20 +150,30 @@ proptest! {
                 model.remove(&id);
             }
         }
-        prop_assert_eq!(bits.count(), model.len());
+        assert_eq!(bits.count(), model.len());
         let mut from_bits: Vec<usize> = bits.iter().collect();
         let mut from_model: Vec<usize> = model.into_iter().collect();
         from_bits.sort_unstable();
         from_model.sort_unstable();
-        prop_assert_eq!(from_bits, from_model);
+        assert_eq!(from_bits, from_model);
     }
+}
 
-    #[test]
-    fn lsm_read_your_writes(ops in prop::collection::vec((0u64..20, prop::bool::ANY, -10.0f32..10.0), 1..80)) {
-        let mut lsm = LsmStore::new(2, Metric::Euclidean, LsmConfig { memtable_capacity: 7, max_segments: 2 });
-        let mut model: std::collections::HashMap<u64, [f32; 2]> = std::collections::HashMap::new();
-        for (key, is_insert, x) in ops {
-            if is_insert {
+#[test]
+fn lsm_read_your_writes() {
+    let mut rng = Rng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let mut lsm = LsmStore::new(
+            2,
+            Metric::Euclidean,
+            LsmConfig { memtable_capacity: 7, max_segments: 2 },
+        );
+        let mut model: std::collections::HashMap<u64, [f32; 2]> =
+            std::collections::HashMap::new();
+        for _ in 0..1 + rng.below(79) {
+            let key = rng.below(20) as u64;
+            let x = rng.f32() * 20.0 - 10.0;
+            if rng.below(2) == 0 {
                 lsm.insert(key, &[x, -x]).unwrap();
                 model.insert(key, [x, -x]);
             } else {
@@ -122,44 +181,59 @@ proptest! {
                 model.remove(&key);
             }
         }
-        prop_assert_eq!(lsm.len(), model.len());
+        assert_eq!(lsm.len(), model.len());
         for (k, v) in &model {
-            prop_assert_eq!(lsm.get(*k), Some(&v[..]), "key {}", k);
+            assert_eq!(lsm.get(*k), Some(&v[..]), "key {k}");
         }
         // Search returns exactly the live keys.
         let hits = lsm.search(&[0.0, 0.0], 100).unwrap();
         let hit_keys: std::collections::HashSet<u64> = hits.iter().map(|h| h.key).collect();
-        prop_assert_eq!(hit_keys, model.keys().copied().collect());
+        assert_eq!(hit_keys, model.keys().copied().collect());
     }
+}
 
-    #[test]
-    fn vql_numbers_roundtrip(xs in prop::collection::vec(-1000.0f32..1000.0, 1..12), k in 1usize..50) {
+#[test]
+fn vql_numbers_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xA8);
+    for _ in 0..CASES {
+        let xs: Vec<f32> =
+            (0..1 + rng.below(11)).map(|_| rng.f32() * 2000.0 - 1000.0).collect();
+        let k = 1 + rng.below(49);
         let literal: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
         let stmt = format!("SEARCH c K {k} NEAR [{}]", literal.join(", "));
         match vdb::parse_vql(&stmt).unwrap() {
             vdb::VqlStatement::Search { vector, k: pk, .. } => {
-                prop_assert_eq!(pk, k);
-                prop_assert_eq!(vector.len(), xs.len());
+                assert_eq!(pk, k);
+                assert_eq!(vector.len(), xs.len());
                 for (a, b) in vector.iter().zip(&xs) {
-                    prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+                    assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
                 }
             }
-            _ => prop_assert!(false, "wrong statement kind"),
+            _ => panic!("wrong statement kind"),
         }
     }
+}
 
-    #[test]
-    fn flat_search_sorted_unique_and_bounded(rows in prop::collection::vec(vec_of(3), 1..60), q in vec_of(3), k in 1usize..20) {
+#[test]
+fn flat_search_sorted_unique_and_bounded() {
+    let mut rng = Rng::seed_from_u64(0xA9);
+    for _ in 0..CASES {
+        let rows: Vec<Vec<f32>> =
+            (0..1 + rng.below(59)).map(|_| vec_of(&mut rng, 3)).collect();
+        let q = vec_of(&mut rng, 3);
+        let k = 1 + rng.below(19);
         let mut data = Vectors::new(3);
         for r in &rows {
             data.push(r).unwrap();
         }
         let n = data.len();
         let idx = vdb_core::FlatIndex::build(data, Metric::Euclidean).unwrap();
-        let hits = vdb_core::VectorIndex::search(&idx, &q, k, &vdb_core::SearchParams::default()).unwrap();
-        prop_assert_eq!(hits.len(), k.min(n));
-        prop_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let hits =
+            vdb_core::VectorIndex::search(&idx, &q, k, &vdb_core::SearchParams::default())
+                .unwrap();
+        assert_eq!(hits.len(), k.min(n));
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
         let ids: std::collections::HashSet<usize> = hits.iter().map(|h| h.id).collect();
-        prop_assert_eq!(ids.len(), hits.len());
+        assert_eq!(ids.len(), hits.len());
     }
 }
