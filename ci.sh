@@ -8,6 +8,12 @@ set -eu
 cd "$(dirname "$0")"
 export CARGO_NET_OFFLINE=true
 
+echo "== lint: rustfmt =="
+cargo fmt --all --check
+
+echo "== lint: clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tier-1: release build =="
 cargo build --release
 
@@ -16,5 +22,11 @@ cargo test -q --release
 
 echo "== workspace: full test suite =="
 cargo test -q --release --workspace
+
+echo "== kernel equivalence with SIMD force-disabled =="
+# kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks
+# still run; this pass proves the *dispatched* entry points behave when
+# pinned to the portable fallback.
+VDB_FORCE_SCALAR=1 cargo test -q --release -p vdb-core --test kernel_equivalence
 
 echo "ci.sh: all green"

@@ -30,7 +30,11 @@ fn main() {
     }
     println!(
         "# vectordb-rs experiment harness ({} scale: n={}, dim={}, {} queries)",
-        if scale == Scale::Quick { "quick" } else { "full" },
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        },
         scale.n(),
         scale.dim(),
         scale.queries()
@@ -41,6 +45,10 @@ fn main() {
             eprintln!("experiment {id} failed: {e}");
             std::process::exit(1);
         }
-        println!("  [{} completed in {:.1}s]", id, start.elapsed().as_secs_f64());
+        println!(
+            "  [{} completed in {:.1}s]",
+            id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }

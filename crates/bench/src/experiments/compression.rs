@@ -31,7 +31,11 @@ pub fn t2_quantization(scale: Scale) -> Result<()> {
     // Scalar quantizers.
     for (label, bits) in [("sq8", SqBits::B8), ("sq4", SqBits::B4)] {
         let sq = ScalarQuantizer::train(&w.data, bits)?;
-        let codes: Vec<Vec<u8>> = w.data.iter().map(|v| sq.encode(v).expect("encode")).collect();
+        let codes: Vec<Vec<u8>> = w
+            .data
+            .iter()
+            .map(|v| sq.encode(v).expect("encode"))
+            .collect();
         let (us, _, results) = time_queries(&w.queries, |q| {
             scan_codes(n, GT_K, |i| sq.asymmetric_l2_sq(q, &codes[i]))
         });
@@ -50,7 +54,11 @@ pub fn t2_quantization(scale: Scale) -> Result<()> {
             continue;
         }
         let pq = ProductQuantizer::train(&w.data, &PqConfig::new(m))?;
-        let codes: Vec<Vec<u8>> = w.data.iter().map(|v| pq.encode(v).expect("encode")).collect();
+        let codes: Vec<Vec<u8>> = w
+            .data
+            .iter()
+            .map(|v| pq.encode(v).expect("encode"))
+            .collect();
         let (us, _, results) = time_queries(&w.queries, |q| {
             let table = pq.adc_table(q).expect("table");
             scan_codes(n, GT_K, |i| table.distance(&codes[i]))
@@ -66,7 +74,11 @@ pub fn t2_quantization(scale: Scale) -> Result<()> {
 
     // OPQ.
     let opq = OpqQuantizer::train(&w.data, &OpqConfig::new(8))?;
-    let codes: Vec<Vec<u8>> = w.data.iter().map(|v| opq.encode(v).expect("encode")).collect();
+    let codes: Vec<Vec<u8>> = w
+        .data
+        .iter()
+        .map(|v| opq.encode(v).expect("encode"))
+        .collect();
     let (us, _, results) = time_queries(&w.queries, |q| {
         let table = opq.adc_table(q).expect("table");
         scan_codes(n, GT_K, |i| table.distance(&codes[i]))
@@ -80,15 +92,17 @@ pub fn t2_quantization(scale: Scale) -> Result<()> {
     ]);
 
     // IVFADC with and without exact re-ranking.
-    for (label, refine, rerank) in
-        [("ivfadc_m8_raw", false, 0usize), ("ivfadc_m8_rerank128", true, 128)]
-    {
+    for (label, refine, rerank) in [
+        ("ivfadc_m8_raw", false, 0usize),
+        ("ivfadc_m8_rerank128", true, 128),
+    ] {
         let mut cfg = IvfPqConfig::new(32, 8);
         cfg.refine = refine;
         let idx = IvfPqIndex::build(w.data.clone(), Metric::Euclidean, &cfg)?;
         let params = SearchParams::default().with_nprobe(16).with_rerank(rerank);
-        let (us, _, results) =
-            time_queries(&w.queries, |q| idx.search(q, GT_K, &params).expect("search"));
+        let (us, _, results) = time_queries(&w.queries, |q| {
+            idx.search(q, GT_K, &params).expect("search")
+        });
         rows.push(vec![
             label.into(),
             idx.bytes_per_vector().to_string(),
@@ -113,9 +127,14 @@ pub fn t2_quantization(scale: Scale) -> Result<()> {
     let mut ab = Vec::new();
     for rerank in [0usize, 16, 64, 256, 1024] {
         let params = SearchParams::default().with_nprobe(16).with_rerank(rerank);
-        let (us, _, results) =
-            time_queries(&w.queries, |q| idx.search(q, GT_K, &params).expect("search"));
-        ab.push(vec![rerank.to_string(), fmt(w.gt.recall_batch(&results), 3), fmt(us, 1)]);
+        let (us, _, results) = time_queries(&w.queries, |q| {
+            idx.search(q, GT_K, &params).expect("search")
+        });
+        ab.push(vec![
+            rerank.to_string(),
+            fmt(w.gt.recall_batch(&results), 3),
+            fmt(us, 1),
+        ]);
     }
     print_table(
         "T2b (ablation): IVFADC re-ranking depth",
@@ -132,11 +151,17 @@ pub fn f2_lsh_sweep(scale: Scale) -> Result<()> {
     let mut rows = Vec::new();
     for l in [2usize, 4, 8, 16] {
         for k in [4usize, 8, 12, 16] {
-            let cfg = LshConfig { l, k, family: HashFamily::PStable { w: 8.0 }, seed: 0xF2 };
+            let cfg = LshConfig {
+                l,
+                k,
+                family: HashFamily::PStable { w: 8.0 },
+                seed: 0xF2,
+            };
             let index = LshIndex::build(w.data.clone(), Metric::Euclidean, cfg)?;
             let params = SearchParams::default();
-            let (us, qps, results) =
-                time_queries(&w.queries, |q| index.search(q, GT_K, &params).expect("search"));
+            let (us, qps, results) = time_queries(&w.queries, |q| {
+                index.search(q, GT_K, &params).expect("search")
+            });
             let mean_cands: f64 = w
                 .queries
                 .iter()

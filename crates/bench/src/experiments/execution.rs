@@ -15,11 +15,11 @@ use vdb_core::score::Aggregator;
 use vdb_core::vector::Vectors;
 use vdb_core::Result;
 use vdb_index_graph::{HnswConfig, HnswIndex};
+use vdb_quant::{PqConfig, ProductQuantizer};
 use vdb_query::{
     execute_batch, multi_vector_exact, multi_vector_search, BatchOptions, EntityMap,
     MultiVectorQuery, Planner, PlannerMode, Predicate, QueryContext, VectorQuery,
 };
-use vdb_quant::{PqConfig, ProductQuantizer};
 
 /// F4: throughput vs batch size, sequential vs threaded.
 pub fn f4_batched_queries(scale: Scale) -> Result<()> {
@@ -96,8 +96,16 @@ pub fn f4_batched_queries(scale: Scale) -> Result<()> {
         "F4b: context reuse (hnsw, unfiltered search_batch vs fresh context per query)",
         &["mode", "qps", "us_per_query"],
         &[
-            vec!["cold (new context/query)".into(), fmt(cold_qps, 0), fmt(1e6 / cold_qps, 1)],
-            vec!["warm (reused context)".into(), fmt(warm_qps, 0), fmt(1e6 / warm_qps, 1)],
+            vec![
+                "cold (new context/query)".into(),
+                fmt(cold_qps, 0),
+                fmt(1e6 / cold_qps, 1),
+            ],
+            vec![
+                "warm (reused context)".into(),
+                fmt(warm_qps, 0),
+                fmt(1e6 / warm_qps, 1),
+            ],
             vec!["speedup".into(), fmt(warm_qps / cold_qps, 2), String::new()],
         ],
     );
@@ -132,8 +140,12 @@ pub fn t4_multivector(scale: Scale) -> Result<()> {
     let params = SearchParams::default().with_beam_width(64);
     let metric = Metric::Euclidean;
 
-    let aggregators =
-        [Aggregator::Mean, Aggregator::Min, Aggregator::Max, Aggregator::WeightedSum(vec![0.7, 0.3])];
+    let aggregators = [
+        Aggregator::Mean,
+        Aggregator::Min,
+        Aggregator::Max,
+        Aggregator::WeightedSum(vec![0.7, 0.3]),
+    ];
     let mut rows = Vec::new();
     for aggregator in aggregators {
         let n_queries = 40usize;
@@ -156,8 +168,7 @@ pub fn t4_multivector(scale: Scale) -> Result<()> {
             };
             let approx = multi_vector_search(&index, &data, &map, &query, &params)?;
             let exact = multi_vector_exact(&metric, &data, &map, &query)?;
-            let aset: std::collections::HashSet<usize> =
-                approx.iter().map(|h| h.entity).collect();
+            let aset: std::collections::HashSet<usize> = approx.iter().map(|h| h.entity).collect();
             agree += exact.iter().filter(|h| aset.contains(&h.entity)).count();
         }
         let us = start.elapsed().as_micros() as f64 / n_queries as f64;
@@ -187,7 +198,10 @@ fn throughput<F: FnMut() -> f32>(bytes_per_iter: usize, iters: usize, mut f: F) 
     }
     black_box(acc);
     let s = start.elapsed().as_secs_f64();
-    ((bytes_per_iter * iters) as f64 / s / 1e9, s * 1e9 / iters as f64)
+    (
+        (bytes_per_iter * iters) as f64 / s / 1e9,
+        s * 1e9 / iters as f64,
+    )
 }
 
 /// T5: scalar vs blocked kernels and the batched ADC scan.
@@ -199,8 +213,9 @@ pub fn t5_kernels() -> Result<()> {
         let b: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
         let bytes = dim * 8; // two vectors read
         let iters = 2_000_000 / dim;
-        let (gbps_scalar, ns_scalar) =
-            throughput(bytes, iters, || kernel::l2_sq_scalar(black_box(&a), black_box(&b)));
+        let (gbps_scalar, ns_scalar) = throughput(bytes, iters, || {
+            kernel::l2_sq_scalar(black_box(&a), black_box(&b))
+        });
         let (gbps_blocked, ns_blocked) =
             throughput(bytes, iters, || kernel::l2_sq(black_box(&a), black_box(&b)));
         rows.push(vec![
@@ -211,8 +226,9 @@ pub fn t5_kernels() -> Result<()> {
             fmt(ns_scalar, 0),
             fmt(ns_blocked, 0),
         ]);
-        let (dscalar, _) =
-            throughput(bytes, iters, || kernel::dot_scalar(black_box(&a), black_box(&b)));
+        let (dscalar, _) = throughput(bytes, iters, || {
+            kernel::dot_scalar(black_box(&a), black_box(&b))
+        });
         let (dblocked, _) = throughput(bytes, iters, || kernel::dot(black_box(&a), black_box(&b)));
         rows.push(vec![
             format!("dot   d={dim}"),
@@ -225,7 +241,14 @@ pub fn t5_kernels() -> Result<()> {
     }
     print_table(
         "T5a: distance kernels — scalar vs blocked (auto-vectorized)",
-        &["kernel", "scalar_GB/s", "blocked_GB/s", "speedup", "scalar_ns", "blocked_ns"],
+        &[
+            "kernel",
+            "scalar_GB/s",
+            "blocked_GB/s",
+            "speedup",
+            "scalar_ns",
+            "blocked_ns",
+        ],
         &rows,
     );
 
@@ -235,7 +258,10 @@ pub fn t5_kernels() -> Result<()> {
     let n = 50_000;
     let data = vdb_core::dataset::gaussian(n, dim, &mut rng);
     let pq = ProductQuantizer::train(&data, &PqConfig::new(8))?;
-    let codes: Vec<u8> = data.iter().flat_map(|v| pq.encode(v).expect("encode")).collect();
+    let codes: Vec<u8> = data
+        .iter()
+        .flat_map(|v| pq.encode(v).expect("encode"))
+        .collect();
     let q: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
     let table = pq.adc_table(&q)?;
     let mut out = vec![0.0f32; n];
@@ -257,8 +283,18 @@ pub fn t5_kernels() -> Result<()> {
         "T5b: similarity projection over 50k vectors (d=64)",
         &["method", "bytes/vec", "ns_per_vec", "speedup"],
         &[
-            vec!["full f32".into(), (dim * 4).to_string(), fmt(full_ns, 1), "1.00".into()],
-            vec!["PQ ADC (m=8)".into(), "8".into(), fmt(adc_ns, 1), fmt(full_ns / adc_ns, 2)],
+            vec![
+                "full f32".into(),
+                (dim * 4).to_string(),
+                fmt(full_ns, 1),
+                "1.00".into(),
+            ],
+            vec![
+                "PQ ADC (m=8)".into(),
+                "8".into(),
+                fmt(adc_ns, 1),
+                fmt(full_ns / adc_ns, 2),
+            ],
         ],
     );
     println!(
@@ -274,8 +310,9 @@ pub fn t5_kernels() -> Result<()> {
         Metric::Euclidean,
         &vdb_index_table::IvfPqConfig::new(64, 8),
     )?;
-    let queries: Vec<Vec<f32>> =
-        (0..64).map(|_| (0..dim).map(|_| rng.normal_f32()).collect()).collect();
+    let queries: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..dim).map(|_| rng.normal_f32()).collect())
+        .collect();
     let params = SearchParams::default().with_nprobe(8);
     let reps = 8;
     let cold_start = Instant::now();
@@ -298,8 +335,16 @@ pub fn t5_kernels() -> Result<()> {
         "T5c: quantized search (ivf_pq, 50k vectors) — context reuse",
         &["mode", "qps", "us_per_query"],
         &[
-            vec!["cold (new context/query)".into(), fmt(cold_qps, 0), fmt(1e6 / cold_qps, 1)],
-            vec!["warm (reused context)".into(), fmt(warm_qps, 0), fmt(1e6 / warm_qps, 1)],
+            vec![
+                "cold (new context/query)".into(),
+                fmt(cold_qps, 0),
+                fmt(1e6 / cold_qps, 1),
+            ],
+            vec![
+                "warm (reused context)".into(),
+                fmt(warm_qps, 0),
+                fmt(1e6 / warm_qps, 1),
+            ],
             vec!["speedup".into(), fmt(warm_qps / cold_qps, 2), String::new()],
         ],
     );

@@ -8,13 +8,17 @@ use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
 use vdb_core::Result;
 use vdb_index_graph::{HnswConfig, HnswIndex};
-use vdb_query::{
-    execute, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery,
-};
+use vdb_query::{execute, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery};
 
 /// Price cutoffs giving the selectivity sweep (prices are uniform 0..1000).
-const CUTS: [(i64, &str); 6] =
-    [(1, "0.1%"), (10, "1%"), (50, "5%"), (200, "20%"), (500, "50%"), (900, "90%")];
+const CUTS: [(i64, &str); 6] = [
+    (1, "0.1%"),
+    (10, "1%"),
+    (50, "5%"),
+    (200, "20%"),
+    (500, "50%"),
+    (900, "90%"),
+];
 
 fn measure_strategy(
     ctx: &QueryContext<'_>,
@@ -38,7 +42,11 @@ fn measure_strategy(
     }
     let total = start.elapsed().as_secs_f64();
     let nq = queries.len() as f64;
-    let recall = if truth == 0 { 1.0 } else { hit as f64 / truth as f64 };
+    let recall = if truth == 0 {
+        1.0
+    } else {
+        hit as f64 / truth as f64
+    };
     (total * 1e6 / nq, nq / total, recall)
 }
 
@@ -88,8 +96,18 @@ pub fn f3_strategies_vs_selectivity(scale: Scale) -> Result<()> {
         }
     }
     print_table(
-        &format!("F3: hybrid strategies vs predicate selectivity (HNSW, n={})", scale.n()),
-        &["selectivity", "exact_sel", "strategy", "latency_us", "qps", "recall@10"],
+        &format!(
+            "F3: hybrid strategies vs predicate selectivity (HNSW, n={})",
+            scale.n()
+        ),
+        &[
+            "selectivity",
+            "exact_sel",
+            "strategy",
+            "latency_us",
+            "qps",
+            "recall@10",
+        ],
         &rows,
     );
     println!(
@@ -143,7 +161,10 @@ fn f3b_online_vs_offline_blocking(scale: Scale) -> Result<()> {
         let label = qi % n_labels;
         let mut top = TopK::new(GT_K);
         for &row in &partitions[label] {
-            top.push(Neighbor::new(row as usize, metric.distance(qv, w.data.get(row as usize))));
+            top.push(Neighbor::new(
+                row as usize,
+                metric.distance(qv, w.data.get(row as usize)),
+            ));
         }
         hits_offline.push(top.into_sorted());
     }
@@ -231,7 +252,11 @@ pub fn t3_plan_selection(scale: Scale) -> Result<()> {
             let (us, recall) = measured[&plan.strategy];
             rows.push(vec![
                 label.to_string(),
-                format!("{mode:?}").split('(').next().unwrap_or("?").to_string(),
+                format!("{mode:?}")
+                    .split('(')
+                    .next()
+                    .unwrap_or("?")
+                    .to_string(),
                 plan.strategy.name().to_string(),
                 fmt(us, 0),
                 oracle_strategy.name().to_string(),
@@ -243,7 +268,16 @@ pub fn t3_plan_selection(scale: Scale) -> Result<()> {
     }
     print_table(
         "T3: plan selection quality (chosen vs oracle-best at recall >= 0.9)",
-        &["selectivity", "planner", "chosen", "chosen_us", "oracle", "oracle_us", "ratio", "recall"],
+        &[
+            "selectivity",
+            "planner",
+            "chosen",
+            "chosen_us",
+            "oracle",
+            "oracle_us",
+            "ratio",
+            "recall",
+        ],
         &rows,
     );
     println!("  Expected shape: cost-based stays within a small factor of the oracle\n  across the sweep; rule-based degrades near its fixed thresholds.");

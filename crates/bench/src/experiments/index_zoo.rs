@@ -53,8 +53,9 @@ pub fn f1_recall_qps_curves(scale: Scale) -> Result<()> {
         };
         for v in values {
             let params = apply(&knob, v);
-            let (us, qps, results) =
-                time_queries(&w.queries, |q| index.search(q, GT_K, &params).expect("search"));
+            let (us, qps, results) = time_queries(&w.queries, |q| {
+                index.search(q, GT_K, &params).expect("search")
+            });
             let recall = w.gt.recall_batch(&results);
             rows.push(vec![
                 name.to_string(),
@@ -99,8 +100,9 @@ pub fn t1_build_and_memory(scale: Scale) -> Result<()> {
             .with_nprobe(8)
             .with_max_leaf_points(1024)
             .with_rerank(128);
-        let (us, qps, results) =
-            time_queries(&w.queries, |q| index.search(q, GT_K, &params).expect("search"));
+        let (us, qps, results) = time_queries(&w.queries, |q| {
+            index.search(q, GT_K, &params).expect("search")
+        });
         let recall = w.gt.recall_batch(&results);
         rows.push(vec![
             name.to_string(),
@@ -120,7 +122,16 @@ pub fn t1_build_and_memory(scale: Scale) -> Result<()> {
             scale.dim(),
             raw_mb
         ),
-        &["index", "build_s", "mem_MB", "entries", "recall@10", "qps", "latency_us", "detail"],
+        &[
+            "index",
+            "build_s",
+            "mem_MB",
+            "entries",
+            "recall@10",
+            "qps",
+            "latency_us",
+            "detail",
+        ],
         &rows,
     );
     println!(

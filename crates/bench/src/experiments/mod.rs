@@ -10,8 +10,9 @@ pub mod score;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 13] =
-    ["f1", "t1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5"];
+pub const ALL: [&str; 14] = [
+    "f1", "t1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5", "k1",
+];
 
 /// Dispatch one experiment by id.
 pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
@@ -29,6 +30,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "f7" => scale_out::f7_disk_resident(scale),
         "f8" => score::f8_curse_of_dimensionality(scale),
         "t5" => execution::t5_kernels(),
+        "k1" => score::k1_simd_dispatch(),
         other => Err(vdb_core::Error::InvalidParameter(format!(
             "unknown experiment `{other}`; known: {ALL:?}"
         ))),

@@ -10,7 +10,9 @@ use vdb_core::metric::Metric;
 use vdb_core::vector::Vectors;
 use vdb_core::Result;
 use vdb_distributed::{DistributedConfig, DistributedIndex};
-use vdb_index_graph::{DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, VamanaConfig, VamanaIndex};
+use vdb_index_graph::{
+    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, VamanaConfig, VamanaIndex,
+};
 use vdb_index_table::{SpannConfig, SpannIndex};
 use vdb_query::PlannerMode;
 use vdb_storage::TempDir;
@@ -63,8 +65,18 @@ pub fn f5_distributed(scale: Scale) -> Result<()> {
         }
     }
     print_table(
-        &format!("F5: distributed scatter-gather (HNSW shards, n={})", scale.n()),
-        &["shards", "policy/probed", "recall@10", "qps", "latency_us", "probes/query"],
+        &format!(
+            "F5: distributed scatter-gather (HNSW shards, n={})",
+            scale.n()
+        ),
+        &[
+            "shards",
+            "policy/probed",
+            "recall@10",
+            "qps",
+            "latency_us",
+            "probes/query",
+        ],
         &rows,
     );
     println!(
@@ -100,14 +112,13 @@ pub fn f6_out_of_place_updates(scale: Scale) -> Result<()> {
             c.insert(i as u64, w.data.get(i), &[])?;
         }
         lsm_ingest += start.elapsed().as_secs_f64();
-        let (us, _, _) =
-            time_queries(&w.queries, |q| {
-                c.search(q, GT_K, &params)
-                    .expect("search")
-                    .into_iter()
-                    .map(|h| vdb_core::Neighbor::new(h.key as usize, h.dist))
-                    .collect()
-            });
+        let (us, _, _) = time_queries(&w.queries, |q| {
+            c.search(q, GT_K, &params)
+                .expect("search")
+                .into_iter()
+                .map(|h| vdb_core::Neighbor::new(h.key as usize, h.dist))
+                .collect()
+        });
         rows.push(vec![
             ((wave + 1) * batch).to_string(),
             "lsm_buffer".into(),
@@ -135,8 +146,9 @@ pub fn f6_out_of_place_updates(scale: Scale) -> Result<()> {
         let slice = w.data.select(&(0..upto).collect::<Vec<_>>());
         let idx = HnswIndex::build(slice, Metric::Euclidean, HnswConfig::default())?;
         naive_ingest += start.elapsed().as_secs_f64();
-        let (us, _, _) =
-            time_queries(&w.queries, |q| idx.search(q, GT_K, &params).expect("search"));
+        let (us, _, _) = time_queries(&w.queries, |q| {
+            idx.search(q, GT_K, &params).expect("search")
+        });
         rows.push(vec![
             upto.to_string(),
             "rebuild_each".into(),
@@ -147,7 +159,13 @@ pub fn f6_out_of_place_updates(scale: Scale) -> Result<()> {
     }
     print_table(
         &format!("F6: out-of-place updates vs rebuild-per-batch ({n} inserts in 10 waves)"),
-        &["inserted", "strategy", "cum_ingest_s", "search_us", "rebuilds"],
+        &[
+            "inserted",
+            "strategy",
+            "cum_ingest_s",
+            "search_us",
+            "rebuilds",
+        ],
         &rows,
     );
     println!(
@@ -169,10 +187,23 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
     // DiskANN.
     let vam = VamanaIndex::build(w.data.clone(), Metric::Euclidean, VamanaConfig::default())?;
     let diskann_path = dir.file("f7-diskann.idx");
-    DiskAnnIndex::build(&diskann_path, &vam, &DiskAnnConfig { pq_m: 16, nav_nlist: 64, cache_pages: 0 })?;
+    DiskAnnIndex::build(
+        &diskann_path,
+        &vam,
+        &DiskAnnConfig {
+            pq_m: 16,
+            nav_nlist: 64,
+            cache_pages: 0,
+        },
+    )?;
     // SPANN.
     let spann_path = dir.file("f7-spann.idx");
-    SpannIndex::build(&spann_path, &w.data, Metric::Euclidean, &SpannConfig::new(64))?;
+    SpannIndex::build(
+        &spann_path,
+        &w.data,
+        Metric::Euclidean,
+        &SpannConfig::new(64),
+    )?;
 
     let data_pages = (w.data.len() * (w.data.dim() * 4 + 100)).div_ceil(4096); // rough
     for pct in [1usize, 5, 25, 100] {
@@ -184,8 +215,9 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
             idx.search(q, GT_K, &params)?;
         }
         idx.cache().reset_stats();
-        let (us, _, results) =
-            time_queries(&w.queries, |q| idx.search(q, GT_K, &params).expect("search"));
+        let (us, _, results) = time_queries(&w.queries, |q| {
+            idx.search(q, GT_K, &params).expect("search")
+        });
         let io = idx.cache().stats();
         rows.push(vec![
             "diskann".into(),
@@ -201,8 +233,9 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
             idx.search(q, GT_K, &params)?;
         }
         idx.cache().reset_stats();
-        let (us, _, results) =
-            time_queries(&w.queries, |q| idx.search(q, GT_K, &params).expect("search"));
+        let (us, _, results) = time_queries(&w.queries, |q| {
+            idx.search(q, GT_K, &params).expect("search")
+        });
         let io = idx.cache().stats();
         rows.push(vec![
             "spann".into(),
@@ -214,8 +247,18 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
         ]);
     }
     print_table(
-        &format!("F7: disk-resident indexes under cache budgets (n={})", scale.n()),
-        &["index", "cache", "page_reads/query", "hit_ratio", "recall@10", "latency_us"],
+        &format!(
+            "F7: disk-resident indexes under cache budgets (n={})",
+            scale.n()
+        ),
+        &[
+            "index",
+            "cache",
+            "page_reads/query",
+            "hit_ratio",
+            "recall@10",
+            "latency_us",
+        ],
         &rows,
     );
     println!(
@@ -251,7 +294,13 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
     }
     print_table(
         "F7b (ablation): SPANN closure assignment epsilon",
-        &["epsilon", "replication", "nprobe", "recall@10", "page_reads/query"],
+        &[
+            "epsilon",
+            "replication",
+            "nprobe",
+            "recall@10",
+            "page_reads/query",
+        ],
         &ab,
     );
     println!(

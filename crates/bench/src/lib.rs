@@ -45,8 +45,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let joined: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
         println!("  {}", joined.join("  "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());

@@ -39,8 +39,12 @@ pub fn standard(scale: Scale, seed: u64) -> Workload {
     let mut attrs = AttributeStore::new();
     attrs
         .add_column(
-            Column::from_values("price", AttrType::Int, dataset::int_column(n, 0, 1000, &mut rng))
-                .expect("price column"),
+            Column::from_values(
+                "price",
+                AttrType::Int,
+                dataset::int_column(n, 0, 1000, &mut rng),
+            )
+            .expect("price column"),
         )
         .expect("add price");
     attrs

@@ -24,11 +24,7 @@ pub struct ContrastReport {
 
 /// Measure relative distance contrast of `metric` on `data` using
 /// `n_queries` fresh random queries from the same distribution generator.
-pub fn distance_contrast(
-    data: &Vectors,
-    queries: &Vectors,
-    metric: &Metric,
-) -> ContrastReport {
+pub fn distance_contrast(data: &Vectors, queries: &Vectors, metric: &Metric) -> ContrastReport {
     assert!(!data.is_empty() && !queries.is_empty());
     let mut sum_contrast = 0.0;
     let mut sum_min = 0.0;
@@ -56,7 +52,13 @@ pub fn distance_contrast(
 }
 
 /// Convenience driver for F8: contrast of uniform data at dimension `dim`.
-pub fn contrast_at_dim(dim: usize, n: usize, n_queries: usize, metric: &Metric, seed: u64) -> ContrastReport {
+pub fn contrast_at_dim(
+    dim: usize,
+    n: usize,
+    n_queries: usize,
+    metric: &Metric,
+    seed: u64,
+) -> ContrastReport {
     let mut rng = Rng::seed_from_u64(seed);
     let data = crate::dataset::uniform_cube(n, dim, &mut rng);
     let queries = crate::dataset::uniform_cube(n_queries, dim, &mut rng);

@@ -148,8 +148,14 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(AttrValue::Int(3).compare(&AttrValue::Float(3.0)), Some(Ordering::Equal));
-        assert_eq!(AttrValue::Float(2.5).compare(&AttrValue::Int(3)), Some(Ordering::Less));
+        assert_eq!(
+            AttrValue::Int(3).compare(&AttrValue::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            AttrValue::Float(2.5).compare(&AttrValue::Int(3)),
+            Some(Ordering::Less)
+        );
         assert!(AttrValue::Int(1).loosely_equals(&AttrValue::Float(1.0)));
     }
 

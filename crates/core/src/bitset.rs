@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// Create a bitset able to hold ids in `[0, capacity)`, all unset.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Create a bitset with every bit in `[0, capacity)` set.
@@ -149,7 +152,10 @@ impl Default for VisitedSet {
 impl VisitedSet {
     /// Create a visited set over ids `[0, capacity)`.
     pub fn new(capacity: usize) -> Self {
-        VisitedSet { stamps: vec![0; capacity], epoch: 1 }
+        VisitedSet {
+            stamps: vec![0; capacity],
+            epoch: 1,
+        }
     }
 
     /// Reset in O(1) (amortized; full clear every 2^32 - 1 resets).
@@ -238,7 +244,10 @@ mod tests {
         }
         let mut inter = a.clone();
         inter.intersect_with(&b);
-        assert_eq!(inter.iter().collect::<Vec<_>>(), (0..100).step_by(6).collect::<Vec<_>>());
+        assert_eq!(
+            inter.iter().collect::<Vec<_>>(),
+            (0..100).step_by(6).collect::<Vec<_>>()
+        );
         let mut uni = a.clone();
         uni.union_with(&b);
         assert_eq!(uni.count(), 50 + 34 - 17);

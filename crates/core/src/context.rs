@@ -54,8 +54,13 @@ pub struct SearchContext {
     pub scratch: Vec<f32>,
     /// `(score, id)` scratch (probe orderings, scored candidate lists).
     pub order: Vec<(f32, u32)>,
-    /// Plain id scratch (LSH candidate collection).
+    /// Plain id scratch (LSH candidate collection, batched neighbor
+    /// gathering in graph expansion).
     pub ids: Vec<u32>,
+    /// Distance scratch parallel to a candidate list; the output buffer of
+    /// the batched scoring kernels (flat scans, IVF list scans, graph
+    /// neighbor expansion).
+    pub dists: Vec<f32>,
     /// Index-specific typed scratch, keyed by type (see [`Self::ext`]).
     ext: HashMap<TypeId, Box<dyn Any + Send>>,
 }
@@ -111,13 +116,18 @@ pub struct ContextPool {
 impl ContextPool {
     /// An empty pool.
     pub const fn new() -> Self {
-        ContextPool { free: Mutex::new(Vec::new()) }
+        ContextPool {
+            free: Mutex::new(Vec::new()),
+        }
     }
 
     /// Check out a context; it returns to the pool when the guard drops.
     pub fn acquire(&self) -> PooledContext<'_> {
         let ctx = self.free.lock().pop().unwrap_or_default();
-        PooledContext { pool: self, ctx: Some(ctx) }
+        PooledContext {
+            pool: self,
+            ctx: Some(ctx),
+        }
     }
 
     /// Number of idle contexts currently pooled.

@@ -51,13 +51,7 @@ pub struct Clustered {
 /// in `[0, spread)^dim`, with per-cluster standard deviation `std`.
 /// Clustered data is the regime where IVF-style partitioning shines and
 /// where real embedding collections live.
-pub fn clustered(
-    n: usize,
-    dim: usize,
-    n_clusters: usize,
-    std: f32,
-    rng: &mut Rng,
-) -> Clustered {
+pub fn clustered(n: usize, dim: usize, n_clusters: usize, std: f32, rng: &mut Rng) -> Clustered {
     assert!(n_clusters > 0, "need at least one cluster");
     let spread = 10.0f32;
     let mut centers = Vectors::with_capacity(dim, n_clusters);
@@ -79,7 +73,11 @@ pub fn clustered(
         vectors.push(&row).expect("point is valid");
         assignments.push(c);
     }
-    Clustered { vectors, assignments, centers }
+    Clustered {
+        vectors,
+        assignments,
+        centers,
+    }
 }
 
 /// Vectors with low intrinsic dimensionality: points on a random
@@ -147,7 +145,9 @@ pub fn int_column(n: usize, lo: i64, hi: i64, rng: &mut Rng) -> Vec<AttrValue> {
 
 /// Uniform float column over `[lo, hi)`.
 pub fn float_column(n: usize, lo: f64, hi: f64, rng: &mut Rng) -> Vec<AttrValue> {
-    (0..n).map(|_| AttrValue::Float(lo + (hi - lo) * rng.f64())).collect()
+    (0..n)
+        .map(|_| AttrValue::Float(lo + (hi - lo) * rng.f64()))
+        .collect()
 }
 
 /// Categorical column with Zipf-distributed label frequencies (skew `s`).
@@ -181,7 +181,10 @@ pub fn bool_column(n: usize, p: f64, rng: &mut Rng) -> Vec<AttrValue> {
 /// cluster id). Used to study index-guided partitioning and offline
 /// blocking, where attributes align with vector locality.
 pub fn cluster_correlated_column(assignments: &[usize]) -> Vec<AttrValue> {
-    assignments.iter().map(|&c| AttrValue::Int(c as i64)).collect()
+    assignments
+        .iter()
+        .map(|&c| AttrValue::Int(c as i64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,7 +219,10 @@ mod tests {
         // typical inter-center distance.
         for i in 0..c.vectors.len() {
             let own = crate::kernel::l2_sq(c.vectors.get(i), c.centers.get(c.assignments[i]));
-            assert!(own < 8.0 * 8.0 * 0.1 * 0.1 * 50.0, "point {i} too far: {own}");
+            assert!(
+                own < 8.0 * 8.0 * 0.1 * 0.1 * 50.0,
+                "point {i} too far: {own}"
+            );
         }
     }
 
@@ -247,8 +253,15 @@ mod tests {
     fn zipf_is_skewed() {
         let mut rng = Rng::seed_from_u64(5);
         let col = zipf_category_column(10_000, 10, 1.2, &mut rng);
-        let count = |label: &str| col.iter().filter(|v| **v == AttrValue::Str(label.into())).count();
-        assert!(count("cat_0") > 3 * count("cat_5"), "head should dominate tail");
+        let count = |label: &str| {
+            col.iter()
+                .filter(|v| **v == AttrValue::Str(label.into()))
+                .count()
+        };
+        assert!(
+            count("cat_0") > 3 * count("cat_5"),
+            "head should dominate tail"
+        );
         assert_eq!(col.len(), 10_000);
     }
 
@@ -268,13 +281,22 @@ mod tests {
             }
         }
         let bools = bool_column(10_000, 0.25, &mut rng);
-        let trues = bools.iter().filter(|v| **v == AttrValue::Bool(true)).count();
-        assert!((1_800..3_200).contains(&trues), "p=0.25 gives ~2500, got {trues}");
+        let trues = bools
+            .iter()
+            .filter(|v| **v == AttrValue::Bool(true))
+            .count();
+        assert!(
+            (1_800..3_200).contains(&trues),
+            "p=0.25 gives ~2500, got {trues}"
+        );
     }
 
     #[test]
     fn cluster_correlated_column_mirrors_assignments() {
         let col = cluster_correlated_column(&[0, 2, 1]);
-        assert_eq!(col, vec![AttrValue::Int(0), AttrValue::Int(2), AttrValue::Int(1)]);
+        assert_eq!(
+            col,
+            vec![AttrValue::Int(0), AttrValue::Int(2), AttrValue::Int(1)]
+        );
     }
 }

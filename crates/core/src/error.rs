@@ -47,7 +47,10 @@ impl fmt::Display for Error {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
             Error::NonFiniteVector { position } => {
-                write!(f, "vector has a non-finite component at position {position}")
+                write!(
+                    f,
+                    "vector has a non-finite component at position {position}"
+                )
             }
             Error::EmptyCollection => write!(f, "operation requires a non-empty collection"),
             Error::NotFound(what) => write!(f, "not found: {what}"),
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Error::DimensionMismatch { expected: 4, actual: 3 };
+        let e = Error::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 3");
         let e = Error::NotFound("collection `docs`".into());
         assert!(e.to_string().contains("docs"));

@@ -76,9 +76,26 @@ impl VectorIndex for FlatIndex {
             return Ok(Vec::new());
         }
         ctx.pool.reset(k);
-        for (id, row) in self.vectors.iter().enumerate() {
-            let d = self.metric.distance(query, row);
-            ctx.pool.push(Neighbor::new(id, d));
+        // Score in fixed-size blocks through the batched SIMD kernels,
+        // reusing the context's distance buffer as the output block.
+        const BLOCK: usize = 256;
+        let dim = self.vectors.dim();
+        let flat = self.vectors.as_flat();
+        let n = self.vectors.len();
+        let mut base = 0;
+        while base < n {
+            let rows = (n - base).min(BLOCK);
+            ctx.dists.resize(rows, 0.0);
+            self.metric.distance_batch(
+                query,
+                &flat[base * dim..(base + rows) * dim],
+                dim,
+                &mut ctx.dists,
+            );
+            for (off, &d) in ctx.dists.iter().enumerate() {
+                ctx.pool.push(Neighbor::new(base + off, d));
+            }
+            base += rows;
         }
         Ok(ctx.pool.drain_sorted())
     }
@@ -102,7 +119,8 @@ impl VectorIndex for FlatIndex {
             if !filter.accept(id) {
                 continue;
             }
-            ctx.pool.push(Neighbor::new(id, self.metric.distance(query, row)));
+            ctx.pool
+                .push(Neighbor::new(id, self.metric.distance(query, row)));
         }
         Ok(ctx.pool.drain_sorted())
     }
@@ -149,7 +167,9 @@ mod tests {
     #[test]
     fn exact_nearest() {
         let idx = grid_index();
-        let hits = idx.search(&[3.2, 0.0], 3, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[3.2, 0.0], 3, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4, 2]);
         assert!((hits[0].dist - 0.2).abs() < 1e-6);
     }
@@ -157,16 +177,24 @@ mod tests {
     #[test]
     fn k_larger_than_n_returns_all() {
         let idx = grid_index();
-        let hits = idx.search(&[0.0, 0.0], 100, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[0.0, 0.0], 100, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.len(), 10);
     }
 
     #[test]
     fn k_zero_and_empty() {
         let idx = grid_index();
-        assert!(idx.search(&[0.0, 0.0], 0, &SearchParams::default()).unwrap().is_empty());
+        assert!(idx
+            .search(&[0.0, 0.0], 0, &SearchParams::default())
+            .unwrap()
+            .is_empty());
         let empty = FlatIndex::build(Vectors::new(2), Metric::Euclidean).unwrap();
-        assert!(empty.search(&[0.0, 0.0], 5, &SearchParams::default()).unwrap().is_empty());
+        assert!(empty
+            .search(&[0.0, 0.0], 5, &SearchParams::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -191,7 +219,9 @@ mod tests {
     fn insert_then_search_finds_new_vector() {
         let mut idx = grid_index();
         let id = idx.insert(&[100.0, 0.0]).unwrap();
-        let hits = idx.search(&[99.0, 0.0], 1, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[99.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].id, id);
     }
 
@@ -199,7 +229,9 @@ mod tests {
     fn rejects_bad_queries() {
         let idx = grid_index();
         assert!(idx.search(&[1.0], 1, &SearchParams::default()).is_err());
-        assert!(idx.search(&[1.0, f32::NAN], 1, &SearchParams::default()).is_err());
+        assert!(idx
+            .search(&[1.0, f32::NAN], 1, &SearchParams::default())
+            .is_err());
     }
 
     #[test]
@@ -208,7 +240,9 @@ mod tests {
         v.push(&[1.0, 0.0]).unwrap();
         v.push(&[10.0, 0.0]).unwrap();
         let idx = FlatIndex::build(v, Metric::InnerProduct).unwrap();
-        let hits = idx.search(&[1.0, 0.0], 1, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[1.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].id, 1, "IP favors the longer parallel vector");
     }
 

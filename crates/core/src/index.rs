@@ -166,7 +166,10 @@ pub trait VectorIndex: Send + Sync {
         k: usize,
         params: &SearchParams,
     ) -> Result<Vec<Vec<Neighbor>>> {
-        queries.iter().map(|q| self.search_with(ctx, q, k, params)).collect()
+        queries
+            .iter()
+            .map(|q| self.search_with(ctx, q, k, params))
+            .collect()
     }
 
     /// Predicated search using caller-provided scratch: only rows accepted
@@ -287,7 +290,10 @@ pub trait DynamicIndex: VectorIndex {
 /// Validate a query vector against an index before searching.
 pub fn check_query(dim: usize, query: &[f32]) -> Result<()> {
     if query.len() != dim {
-        return Err(Error::DimensionMismatch { expected: dim, actual: query.len() });
+        return Err(Error::DimensionMismatch {
+            expected: dim,
+            actual: query.len(),
+        });
     }
     if let Some(pos) = query.iter().position(|x| !x.is_finite()) {
         return Err(Error::NonFiniteVector { position: pos });

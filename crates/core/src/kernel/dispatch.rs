@@ -1,0 +1,125 @@
+//! Runtime kernel selection: one CPU-feature probe per process, cached in a
+//! `OnceLock`, after which every dispatched kernel call is a single indirect
+//! call through a warm function pointer.
+
+use std::sync::OnceLock;
+
+/// Pairwise kernel: `(a, b) -> score`.
+pub type PairFn = fn(&[f32], &[f32]) -> f32;
+/// Four-row kernel: `(query, r0, r1, r2, r3) -> four scores`.
+pub type X4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f32; 4];
+/// Batch kernel over contiguous rows: `(query, rows, dim, out)`.
+pub type BatchFn = fn(&[f32], &[f32], usize, &mut [f32]);
+/// ADC scan kernel: `(table, ksub, codes, m, out)`.
+pub type AdcScanFn = fn(&[f32], usize, &[u8], usize, &mut [f32]);
+/// SQ8 asymmetric kernel: `(query, code, min, step) -> squared L2`.
+pub type Sq8Fn = fn(&[f32], &[u8], &[f32], &[f32]) -> f32;
+/// Batched SQ8 asymmetric kernel: `(query, codes, min, step, out)`.
+pub type Sq8BatchFn = fn(&[f32], &[u8], &[f32], &[f32], &mut [f32]);
+
+/// A complete set of distance/scan kernels for one backend (one ISA level).
+///
+/// All entries are *safe* function pointers: SIMD backends wrap their
+/// `#[target_feature]` internals in safe shims that are only ever reachable
+/// after the matching `is_*_feature_detected!` probe succeeded. Operand
+/// length contracts are enforced by the wrappers in [`super`] before the
+/// pointers are invoked, so implementations assume agreeing slices.
+pub struct Kernels {
+    /// Human-readable backend name (reported by [`dispatch_name`]).
+    pub name: &'static str,
+    /// Squared Euclidean distance.
+    pub l2_sq: PairFn,
+    /// Dot product.
+    pub dot: PairFn,
+    /// Cosine distance (`1 - cos`), zero vectors map to 1.
+    pub cosine: PairFn,
+    /// Squared L2 from one query to four (possibly non-contiguous) rows.
+    pub l2_sq_x4: X4Fn,
+    /// Dot products of one query against four rows.
+    pub dot_x4: X4Fn,
+    /// Squared L2 from a query to every row of a contiguous row-major block.
+    pub l2_sq_batch: BatchFn,
+    /// Dot products against a contiguous row-major block.
+    pub dot_batch: BatchFn,
+    /// ADC scan of contiguous PQ codes against an `m × ksub` table.
+    pub adc_scan: AdcScanFn,
+    /// SQ8 asymmetric squared-L2 against a full-precision query.
+    pub sq8_l2: Sq8Fn,
+    /// Batched SQ8 asymmetric squared-L2 over contiguous codes.
+    pub sq8_l2_batch: Sq8BatchFn,
+}
+
+/// The portable blocked kernel set — always available, on every target.
+pub static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    l2_sq: super::scalar::l2_sq,
+    dot: super::scalar::dot,
+    cosine: super::scalar::cosine,
+    l2_sq_x4: super::scalar::l2_sq_x4,
+    dot_x4: super::scalar::dot_x4,
+    l2_sq_batch: super::scalar::l2_sq_batch,
+    dot_batch: super::scalar::dot_batch,
+    adc_scan: super::scalar::adc_scan,
+    sq8_l2: super::scalar::sq8_l2,
+    sq8_l2_batch: super::scalar::sq8_l2_batch,
+};
+
+/// True when `VDB_FORCE_SCALAR` is set to a non-empty value other than `0`.
+/// Read once, at first dispatch; changing the variable later has no effect.
+fn force_scalar() -> bool {
+    match std::env::var("VDB_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Probe CPU features and return the best SIMD kernel set for this host, or
+/// `None` when only the portable fallback applies. Independent of the
+/// `VDB_FORCE_SCALAR` escape hatch, so tests can always reach the SIMD path
+/// for equivalence checks.
+pub fn simd_kernels() -> Option<&'static Kernels> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Some(&super::x86::KERNELS);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Some(&super::neon::KERNELS);
+        }
+    }
+    None
+}
+
+/// The process-wide active kernel set. First call probes CPU features (and
+/// the `VDB_FORCE_SCALAR` escape hatch) and caches the selection; every
+/// later call returns the cached pointer.
+#[inline]
+pub fn kernels() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        if force_scalar() {
+            return &SCALAR;
+        }
+        simd_kernels().unwrap_or(&SCALAR)
+    })
+}
+
+/// Name of the active backend (`"scalar"`, `"avx2+fma"`, `"neon"`).
+pub fn dispatch_name() -> &'static str {
+    kernels().name
+}
+
+/// Every kernel set available on this host: the portable scalar set plus the
+/// detected SIMD set, if any. The equivalence suite iterates this so the
+/// scalar fallback is exercised unconditionally, even on SIMD-capable CI
+/// runners.
+pub fn kernel_sets() -> Vec<&'static Kernels> {
+    let mut sets = vec![&SCALAR];
+    if let Some(simd) = simd_kernels() {
+        sets.push(simd);
+    }
+    sets
+}

@@ -1,0 +1,273 @@
+//! NEON kernels for `aarch64`.
+//!
+//! NEON is mandatory in AArch64, but we still gate behind
+//! `is_aarch64_feature_detected!("neon")` for uniformity with the x86 path.
+//! The float kernels are hand-written with `vfmaq_f32`; the ADC-scan and SQ8
+//! entries reuse the portable blocked implementations (NEON has no vector
+//! gather, so the table-lookup loops gain little from intrinsics).
+//!
+//! Like `x86`, this is an `allow(unsafe_code)` island in a
+//! `deny(unsafe_code)` crate: the only unsafety is calling
+//! `#[target_feature]` functions after the feature probe guaranteed they are
+//! valid on this CPU.
+#![allow(unsafe_code)]
+
+use super::dispatch::Kernels;
+use super::{finish_cosine, scalar};
+use core::arch::aarch64::*;
+
+/// The NEON kernel set. Only installed after runtime feature detection.
+pub static KERNELS: Kernels = Kernels {
+    name: "neon",
+    l2_sq,
+    dot,
+    cosine,
+    l2_sq_x4,
+    dot_x4,
+    l2_sq_batch,
+    dot_batch,
+    adc_scan: scalar::adc_scan,
+    sq8_l2: scalar::sq8_l2,
+    sq8_l2_batch: scalar::sq8_l2_batch,
+};
+
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { l2_sq_neon(a, b) }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { dot_neon(a, b) }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { cosine_neon(a, b) }
+}
+
+fn l2_sq_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    unsafe { l2_sq_x4_neon(q, r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr()) }
+}
+
+fn dot_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    unsafe { dot_x4_neon(q, r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr()) }
+}
+
+fn l2_sq_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let n = out.len();
+    let base = rows.as_ptr();
+    let mut r = 0;
+    while r + 4 <= n {
+        let d = unsafe {
+            l2_sq_x4_neon(
+                q,
+                base.add(r * dim),
+                base.add((r + 1) * dim),
+                base.add((r + 2) * dim),
+                base.add((r + 3) * dim),
+            )
+        };
+        out[r..r + 4].copy_from_slice(&d);
+        r += 4;
+    }
+    while r < n {
+        out[r] = l2_sq(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+fn dot_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let n = out.len();
+    let base = rows.as_ptr();
+    let mut r = 0;
+    while r + 4 <= n {
+        let d = unsafe {
+            dot_x4_neon(
+                q,
+                base.add(r * dim),
+                base.add((r + 1) * dim),
+                base.add((r + 2) * dim),
+                base.add((r + 3) * dim),
+            )
+        };
+        out[r..r + 4].copy_from_slice(&d);
+        r += 4;
+    }
+    while r < n {
+        out[r] = dot(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_neon(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let d0 = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        i += 8;
+    }
+    if i + 4 <= n {
+        let d = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        acc0 = vfmaq_f32(acc0, d, d);
+        i += 4;
+    }
+    let mut acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+        i += 8;
+    }
+    if i + 4 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+        i += 4;
+    }
+    let mut acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        acc += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    acc
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn cosine_neon(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut dd = vdupq_n_f32(0.0);
+    let mut na = vdupq_n_f32(0.0);
+    let mut nb = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let av = vld1q_f32(ap.add(i));
+        let bv = vld1q_f32(bp.add(i));
+        dd = vfmaq_f32(dd, av, bv);
+        na = vfmaq_f32(na, av, av);
+        nb = vfmaq_f32(nb, bv, bv);
+        i += 4;
+    }
+    let (mut sd, mut sa, mut sb) = (vaddvq_f32(dd), vaddvq_f32(na), vaddvq_f32(nb));
+    while i < n {
+        let (x, y) = (*ap.add(i), *bp.add(i));
+        sd += x * y;
+        sa += x * x;
+        sb += y * y;
+        i += 1;
+    }
+    finish_cosine(sd, sa, sb)
+}
+
+/// Four-row squared L2 with one query load shared across rows.
+///
+/// # Safety
+/// Each row pointer must reference at least `q.len()` readable floats.
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_x4_neon(
+    q: &[f32],
+    r0: *const f32,
+    r1: *const f32,
+    r2: *const f32,
+    r3: *const f32,
+) -> [f32; 4] {
+    let n = q.len();
+    let qp = q.as_ptr();
+    let mut a0 = vdupq_n_f32(0.0);
+    let mut a1 = vdupq_n_f32(0.0);
+    let mut a2 = vdupq_n_f32(0.0);
+    let mut a3 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let qv = vld1q_f32(qp.add(i));
+        let d0 = vsubq_f32(qv, vld1q_f32(r0.add(i)));
+        let d1 = vsubq_f32(qv, vld1q_f32(r1.add(i)));
+        let d2 = vsubq_f32(qv, vld1q_f32(r2.add(i)));
+        let d3 = vsubq_f32(qv, vld1q_f32(r3.add(i)));
+        a0 = vfmaq_f32(a0, d0, d0);
+        a1 = vfmaq_f32(a1, d1, d1);
+        a2 = vfmaq_f32(a2, d2, d2);
+        a3 = vfmaq_f32(a3, d3, d3);
+        i += 4;
+    }
+    let mut out = [
+        vaddvq_f32(a0),
+        vaddvq_f32(a1),
+        vaddvq_f32(a2),
+        vaddvq_f32(a3),
+    ];
+    while i < n {
+        let qi = *qp.add(i);
+        let e0 = qi - *r0.add(i);
+        let e1 = qi - *r1.add(i);
+        let e2 = qi - *r2.add(i);
+        let e3 = qi - *r3.add(i);
+        out[0] += e0 * e0;
+        out[1] += e1 * e1;
+        out[2] += e2 * e2;
+        out[3] += e3 * e3;
+        i += 1;
+    }
+    out
+}
+
+/// Four-row dot product; see [`l2_sq_x4_neon`].
+///
+/// # Safety
+/// Each row pointer must reference at least `q.len()` readable floats.
+#[target_feature(enable = "neon")]
+unsafe fn dot_x4_neon(
+    q: &[f32],
+    r0: *const f32,
+    r1: *const f32,
+    r2: *const f32,
+    r3: *const f32,
+) -> [f32; 4] {
+    let n = q.len();
+    let qp = q.as_ptr();
+    let mut a0 = vdupq_n_f32(0.0);
+    let mut a1 = vdupq_n_f32(0.0);
+    let mut a2 = vdupq_n_f32(0.0);
+    let mut a3 = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let qv = vld1q_f32(qp.add(i));
+        a0 = vfmaq_f32(a0, qv, vld1q_f32(r0.add(i)));
+        a1 = vfmaq_f32(a1, qv, vld1q_f32(r1.add(i)));
+        a2 = vfmaq_f32(a2, qv, vld1q_f32(r2.add(i)));
+        a3 = vfmaq_f32(a3, qv, vld1q_f32(r3.add(i)));
+        i += 4;
+    }
+    let mut out = [
+        vaddvq_f32(a0),
+        vaddvq_f32(a1),
+        vaddvq_f32(a2),
+        vaddvq_f32(a3),
+    ];
+    while i < n {
+        let qi = *qp.add(i);
+        out[0] += qi * *r0.add(i);
+        out[1] += qi * *r1.add(i);
+        out[2] += qi * *r2.add(i);
+        out[3] += qi * *r3.add(i);
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,217 @@
+//! Portable blocked kernels: the dispatch fallback on hosts without a
+//! supported SIMD extension, and the force-scalar escape hatch's target.
+//!
+//! These use the standard trick that lets LLVM emit SIMD from stable Rust:
+//! process `chunks_exact(LANES)` with `LANES` independent accumulators,
+//! breaking the loop-carried dependency chain. Contracts (operand lengths)
+//! are enforced by the wrappers in the parent module; implementations here
+//! assume trimmed, agreeing slices.
+
+use super::finish_cosine;
+
+/// Number of parallel accumulator lanes in the blocked kernels.
+const LANES: usize = 8;
+
+/// Blocked squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    let (a_main, a_tail) = a.split_at(chunks * LANES);
+    let (b_main, b_tail) = b.split_at(chunks * LANES);
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for i in 0..a_tail.len() {
+        let d = a_tail[i] - b_tail[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Blocked dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    let (a_main, a_tail) = a.split_at(chunks * LANES);
+    let (b_main, b_tail) = b.split_at(chunks * LANES);
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for i in 0..a_tail.len() {
+        acc += a_tail[i] * b_tail[i];
+    }
+    acc
+}
+
+/// Blocked L1 distance.
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    let (a_main, a_tail) = a.split_at(chunks * LANES);
+    let (b_main, b_tail) = b.split_at(chunks * LANES);
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            lanes[l] += (ca[l] - cb[l]).abs();
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for i in 0..a_tail.len() {
+        acc += (a_tail[i] - b_tail[i]).abs();
+    }
+    acc
+}
+
+/// Blocked fused cosine distance: one pass accumulating `a·b`, `‖a‖²`,
+/// `‖b‖²` in independent lanes.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let mut dd = [0.0f32; LANES];
+    let mut na = [0.0f32; LANES];
+    let mut nb = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    let (a_main, a_tail) = a.split_at(chunks * LANES);
+    let (b_main, b_tail) = b.split_at(chunks * LANES);
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            dd[l] += ca[l] * cb[l];
+            na[l] += ca[l] * ca[l];
+            nb[l] += cb[l] * cb[l];
+        }
+    }
+    let (mut sd, mut sa, mut sb) = (
+        dd.iter().sum::<f32>(),
+        na.iter().sum::<f32>(),
+        nb.iter().sum::<f32>(),
+    );
+    for i in 0..a_tail.len() {
+        sd += a_tail[i] * b_tail[i];
+        sa += a_tail[i] * a_tail[i];
+        sb += b_tail[i] * b_tail[i];
+    }
+    finish_cosine(sd, sa, sb)
+}
+
+/// Four-row squared L2: the portable version simply runs the pairwise
+/// kernel per row (the SIMD backends interleave the four accumulator
+/// chains instead).
+#[inline]
+pub fn l2_sq_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    [l2_sq(q, r0), l2_sq(q, r1), l2_sq(q, r2), l2_sq(q, r3)]
+}
+
+/// Four-row dot product; see [`l2_sq_x4`].
+#[inline]
+pub fn dot_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    [dot(q, r0), dot(q, r1), dot(q, r2), dot(q, r3)]
+}
+
+/// Batched squared L2 over contiguous rows.
+pub fn l2_sq_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    if dim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+        *o = l2_sq(q, row);
+    }
+}
+
+/// Batched dot products over contiguous rows.
+pub fn dot_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    if dim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+        *o = dot(q, row);
+    }
+}
+
+/// Blocked ADC scan: four codes per iteration with independent
+/// accumulators, so the table lookups of different codes pipeline instead
+/// of serializing on one accumulator chain. Out-of-range sub-codes
+/// (corrupted data with `ksub < 256`) are clamped to `ksub - 1`, matching
+/// the SIMD backends. Callers guarantee `ksub >= 1` when `out` is
+/// non-empty (the dispatch wrapper zeroes degenerate scans).
+pub fn adc_scan(table: &[f32], ksub: usize, codes: &[u8], m: usize, out: &mut [f32]) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let top = ksub - 1;
+    let mut i = 0;
+    while i + 4 <= n {
+        let c0 = &codes[i * m..(i + 1) * m];
+        let c1 = &codes[(i + 1) * m..(i + 2) * m];
+        let c2 = &codes[(i + 2) * m..(i + 3) * m];
+        let c3 = &codes[(i + 3) * m..(i + 4) * m];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for sub in 0..m {
+            let row = &table[sub * ksub..(sub + 1) * ksub];
+            a0 += row[(c0[sub] as usize).min(top)];
+            a1 += row[(c1[sub] as usize).min(top)];
+            a2 += row[(c2[sub] as usize).min(top)];
+            a3 += row[(c3[sub] as usize).min(top)];
+        }
+        out[i] = a0;
+        out[i + 1] = a1;
+        out[i + 2] = a2;
+        out[i + 3] = a3;
+        i += 4;
+    }
+    while i < n {
+        let code = &codes[i * m..(i + 1) * m];
+        let mut acc = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            acc += table[sub * ksub + (c as usize).min(top)];
+        }
+        out[i] = acc;
+        i += 1;
+    }
+}
+
+/// Blocked SQ8 asymmetric squared-L2.
+#[inline]
+pub fn sq8_l2(query: &[f32], code: &[u8], min: &[f32], step: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = query.len() / LANES;
+    let main = chunks * LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            let i = base + l;
+            let decoded = min[i] + code[i] as f32 * step[i];
+            let d = query[i] - decoded;
+            lanes[l] += d * d;
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for i in main..query.len() {
+        let decoded = min[i] + code[i] as f32 * step[i];
+        let d = query[i] - decoded;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Batched SQ8 asymmetric squared-L2 over contiguous codes.
+pub fn sq8_l2_batch(query: &[f32], codes: &[u8], min: &[f32], step: &[f32], out: &mut [f32]) {
+    let dim = query.len();
+    if dim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, code) in out.iter_mut().zip(codes.chunks_exact(dim)) {
+        *o = sq8_l2(query, code, min, step);
+    }
+}

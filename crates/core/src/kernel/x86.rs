@@ -1,0 +1,404 @@
+//! AVX2+FMA kernels for `x86_64` (`std::arch` intrinsics).
+//!
+//! Every `#[target_feature]` function here is reachable only through
+//! [`KERNELS`], which the dispatcher selects strictly after
+//! `is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")`
+//! succeeds, so the safe wrappers below never execute on a CPU that lacks
+//! the instructions. All loads are unaligned (`loadu`); slice-length
+//! contracts are enforced by the wrappers in the parent module.
+//!
+//! This is the only module in `vdb-core` allowed to use `unsafe` (the
+//! crate is `deny(unsafe_code)`): intrinsics cannot be called from safe
+//! code, and each function's safety argument is the feature-gated dispatch
+//! described above plus in-bounds pointer arithmetic over the checked
+//! slices.
+#![allow(unsafe_code)]
+
+use super::dispatch::Kernels;
+use super::finish_cosine;
+use core::arch::x86_64::*;
+
+/// The AVX2+FMA kernel set. Only installed after runtime feature detection.
+pub static KERNELS: Kernels = Kernels {
+    name: "avx2+fma",
+    l2_sq,
+    dot,
+    cosine,
+    l2_sq_x4,
+    dot_x4,
+    l2_sq_batch,
+    dot_batch,
+    adc_scan,
+    sq8_l2,
+    sq8_l2_batch,
+};
+
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { l2_sq_avx2(a, b) }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { dot_avx2(a, b) }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { cosine_avx2(a, b) }
+}
+
+fn l2_sq_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    unsafe { l2_sq_x4_avx2(q, r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr()) }
+}
+
+fn dot_x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; 4] {
+    unsafe { dot_x4_avx2(q, r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), r3.as_ptr()) }
+}
+
+fn l2_sq_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    unsafe { l2_sq_batch_avx2(q, rows, dim, out) }
+}
+
+fn dot_batch(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    unsafe { dot_batch_avx2(q, rows, dim, out) }
+}
+
+fn adc_scan(table: &[f32], ksub: usize, codes: &[u8], m: usize, out: &mut [f32]) {
+    unsafe { adc_scan_avx2(table, ksub, codes, m, out) }
+}
+
+fn sq8_l2(query: &[f32], code: &[u8], min: &[f32], step: &[f32]) -> f32 {
+    unsafe { sq8_l2_avx2(query, code, min, step) }
+}
+
+fn sq8_l2_batch(query: &[f32], codes: &[u8], min: &[f32], step: &[f32], out: &mut [f32]) {
+    unsafe { sq8_l2_batch_avx2(query, codes, min, step, out) }
+}
+
+/// Horizontal sum of the eight lanes of `v`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn l2_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        let d1 = _mm256_sub_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+        );
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        i += 16;
+    }
+    if i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+        i += 8;
+    }
+    let mut acc = hsum(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let mut acc = hsum(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        acc += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    acc
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn cosine_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut dd = _mm256_setzero_ps();
+    let mut na = _mm256_setzero_ps();
+    let mut nb = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(ap.add(i));
+        let bv = _mm256_loadu_ps(bp.add(i));
+        dd = _mm256_fmadd_ps(av, bv, dd);
+        na = _mm256_fmadd_ps(av, av, na);
+        nb = _mm256_fmadd_ps(bv, bv, nb);
+        i += 8;
+    }
+    let (mut sd, mut sa, mut sb) = (hsum(dd), hsum(na), hsum(nb));
+    while i < n {
+        let (x, y) = (*ap.add(i), *bp.add(i));
+        sd += x * y;
+        sa += x * x;
+        sb += y * y;
+        i += 1;
+    }
+    finish_cosine(sd, sa, sb)
+}
+
+/// Four-row squared L2 with one broadcast query load per eight dimensions.
+///
+/// # Safety
+/// Each row pointer must reference at least `q.len()` readable floats.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn l2_sq_x4_avx2(
+    q: &[f32],
+    r0: *const f32,
+    r1: *const f32,
+    r2: *const f32,
+    r3: *const f32,
+) -> [f32; 4] {
+    let n = q.len();
+    let qp = q.as_ptr();
+    let mut a0 = _mm256_setzero_ps();
+    let mut a1 = _mm256_setzero_ps();
+    let mut a2 = _mm256_setzero_ps();
+    let mut a3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let qv = _mm256_loadu_ps(qp.add(i));
+        let d0 = _mm256_sub_ps(qv, _mm256_loadu_ps(r0.add(i)));
+        let d1 = _mm256_sub_ps(qv, _mm256_loadu_ps(r1.add(i)));
+        let d2 = _mm256_sub_ps(qv, _mm256_loadu_ps(r2.add(i)));
+        let d3 = _mm256_sub_ps(qv, _mm256_loadu_ps(r3.add(i)));
+        a0 = _mm256_fmadd_ps(d0, d0, a0);
+        a1 = _mm256_fmadd_ps(d1, d1, a1);
+        a2 = _mm256_fmadd_ps(d2, d2, a2);
+        a3 = _mm256_fmadd_ps(d3, d3, a3);
+        i += 8;
+    }
+    let mut out = [hsum(a0), hsum(a1), hsum(a2), hsum(a3)];
+    while i < n {
+        let qi = *qp.add(i);
+        let e0 = qi - *r0.add(i);
+        let e1 = qi - *r1.add(i);
+        let e2 = qi - *r2.add(i);
+        let e3 = qi - *r3.add(i);
+        out[0] += e0 * e0;
+        out[1] += e1 * e1;
+        out[2] += e2 * e2;
+        out[3] += e3 * e3;
+        i += 1;
+    }
+    out
+}
+
+/// Four-row dot product; see [`l2_sq_x4_avx2`].
+///
+/// # Safety
+/// Each row pointer must reference at least `q.len()` readable floats.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_x4_avx2(
+    q: &[f32],
+    r0: *const f32,
+    r1: *const f32,
+    r2: *const f32,
+    r3: *const f32,
+) -> [f32; 4] {
+    let n = q.len();
+    let qp = q.as_ptr();
+    let mut a0 = _mm256_setzero_ps();
+    let mut a1 = _mm256_setzero_ps();
+    let mut a2 = _mm256_setzero_ps();
+    let mut a3 = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let qv = _mm256_loadu_ps(qp.add(i));
+        a0 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r0.add(i)), a0);
+        a1 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r1.add(i)), a1);
+        a2 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r2.add(i)), a2);
+        a3 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r3.add(i)), a3);
+        i += 8;
+    }
+    let mut out = [hsum(a0), hsum(a1), hsum(a2), hsum(a3)];
+    while i < n {
+        let qi = *qp.add(i);
+        out[0] += qi * *r0.add(i);
+        out[1] += qi * *r1.add(i);
+        out[2] += qi * *r2.add(i);
+        out[3] += qi * *r3.add(i);
+        i += 1;
+    }
+    out
+}
+
+/// Prefetch the cache line at `rows[offset]` if it exists (`wrapping_add`
+/// keeps the address computation defined even when the hint runs past the
+/// end; the prefetch itself never faults).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn prefetch(rows: &[f32], offset: usize) {
+    _mm_prefetch::<_MM_HINT_T0>(rows.as_ptr().wrapping_add(offset) as *const i8);
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn l2_sq_batch_avx2(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let n = out.len();
+    let base = rows.as_ptr();
+    let mut r = 0;
+    while r + 4 <= n {
+        prefetch(rows, (r + 4) * dim);
+        prefetch(rows, (r + 5) * dim);
+        let d = l2_sq_x4_avx2(
+            q,
+            base.add(r * dim),
+            base.add((r + 1) * dim),
+            base.add((r + 2) * dim),
+            base.add((r + 3) * dim),
+        );
+        out[r..r + 4].copy_from_slice(&d);
+        r += 4;
+    }
+    while r < n {
+        out[r] = l2_sq_avx2(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_batch_avx2(q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let n = out.len();
+    let base = rows.as_ptr();
+    let mut r = 0;
+    while r + 4 <= n {
+        prefetch(rows, (r + 4) * dim);
+        prefetch(rows, (r + 5) * dim);
+        let d = dot_x4_avx2(
+            q,
+            base.add(r * dim),
+            base.add((r + 1) * dim),
+            base.add((r + 2) * dim),
+            base.add((r + 3) * dim),
+        );
+        out[r..r + 4].copy_from_slice(&d);
+        r += 4;
+    }
+    while r < n {
+        out[r] = dot_avx2(q, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// ADC scan: for each code, evaluate eight subspaces per iteration with a
+/// vector gather (`codes -> cvtepu8 -> +sub*ksub -> i32gather_ps`), the
+/// QuickADC-style replacement for eight serial table lookups. Sub-codes are
+/// clamped to `ksub-1` so corrupted codes cannot index outside the table.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn adc_scan_avx2(table: &[f32], ksub: usize, codes: &[u8], m: usize, out: &mut [f32]) {
+    let n = out.len();
+    let tp = table.as_ptr();
+    let cp = codes.as_ptr();
+    let chunks = m / 8;
+    // Lane offsets into the flattened m × ksub table for eight consecutive
+    // subspaces: [0, ksub, 2*ksub, ..., 7*ksub].
+    let lane_base = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(ksub as i32),
+    );
+    let clamp = _mm256_set1_epi32(ksub as i32 - 1);
+    let mut i = 0;
+    while i < n {
+        let code = cp.add(i * m);
+        _mm_prefetch::<_MM_HINT_T0>(cp.wrapping_add((i + 4) * m) as *const i8);
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            // Eight sub-codes, zero-extended to i32 and clamped to the
+            // codebook range.
+            let bytes = _mm_loadl_epi64(code.add(c * 8) as *const __m128i);
+            let sub_codes = _mm256_min_epi32(_mm256_cvtepu8_epi32(bytes), clamp);
+            let idx = _mm256_add_epi32(
+                sub_codes,
+                _mm256_add_epi32(lane_base, _mm256_set1_epi32((c * 8 * ksub) as i32)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(tp, idx));
+        }
+        let mut d = hsum(acc);
+        for sub in chunks * 8..m {
+            let c = (*code.add(sub) as usize).min(ksub - 1);
+            d += *tp.add(sub * ksub + c);
+        }
+        out[i] = d;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sq8_l2_avx2(query: &[f32], code: &[u8], min: &[f32], step: &[f32]) -> f32 {
+    let n = query.len();
+    let (qp, cp, mp, sp) = (query.as_ptr(), code.as_ptr(), min.as_ptr(), step.as_ptr());
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let c = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(
+            cp.add(i) as *const __m128i
+        )));
+        let decoded = _mm256_fmadd_ps(c, _mm256_loadu_ps(sp.add(i)), _mm256_loadu_ps(mp.add(i)));
+        let d = _mm256_sub_ps(_mm256_loadu_ps(qp.add(i)), decoded);
+        acc = _mm256_fmadd_ps(d, d, acc);
+        i += 8;
+    }
+    let mut total = hsum(acc);
+    while i < n {
+        let decoded = *mp.add(i) + *cp.add(i) as f32 * *sp.add(i);
+        let d = *qp.add(i) - decoded;
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sq8_l2_batch_avx2(
+    query: &[f32],
+    codes: &[u8],
+    min: &[f32],
+    step: &[f32],
+    out: &mut [f32],
+) {
+    let dim = query.len();
+    let cp = codes.as_ptr();
+    for (r, o) in out.iter_mut().enumerate() {
+        _mm_prefetch::<_MM_HINT_T0>(cp.wrapping_add((r + 2) * dim) as *const i8);
+        *o = sq8_l2_avx2(
+            query,
+            std::slice::from_raw_parts(cp.add(r * dim), dim),
+            min,
+            step,
+        );
+    }
+}

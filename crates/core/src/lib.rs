@@ -7,7 +7,8 @@
 //! - [`vector::Vectors`] — validated dense `f32` vector storage,
 //! - [`metric::Metric`] — the similarity-score taxonomy of §2.1 (basic
 //!   scores, learned scores) under a single lower-is-better convention,
-//! - [`kernel`] — scalar and blocked (auto-vectorizing) distance kernels,
+//! - [`kernel`] — distance/scan kernels with runtime SIMD dispatch
+//!   (AVX2+FMA, NEON, portable blocked fallback),
 //! - [`topk`] — bounded top-k selection and scatter-gather merging,
 //! - [`index::VectorIndex`] — the interface every index in the workspace
 //!   implements, including filtered (hybrid) and range search,
@@ -25,7 +26,9 @@
 //! - [`attr`] — structured attribute values for hybrid queries.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the two SIMD backend modules in `kernel` can
+// opt back in with a module-level `allow`; everything else stays safe code.
+#![deny(unsafe_code)]
 // Index loops over parallel slices/pages are clearer than zipped
 // iterator chains in the kernels and (de)serializers below.
 #![allow(clippy::needless_range_loop)]

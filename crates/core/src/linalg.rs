@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -165,7 +169,9 @@ impl Matrix {
     /// A random orthonormal matrix (QR of a Gaussian matrix via
     /// Gram-Schmidt). Used to initialize OPQ rotations.
     pub fn random_rotation(n: usize, rng: &mut Rng) -> Matrix {
-        let mut rows: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rng.normal()).collect()).collect();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.normal()).collect())
+            .collect();
         gram_schmidt(&mut rows);
         let mut m = Matrix::zeros(n, n);
         for (r, row) in rows.iter().enumerate() {
@@ -332,7 +338,11 @@ mod tests {
         for i in 0..8 {
             for j in 0..8 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((prod[(i, j)] - expect).abs() < 1e-8, "({i},{j}) = {}", prod[(i, j)]);
+                assert!(
+                    (prod[(i, j)] - expect).abs() < 1e-8,
+                    "({i},{j}) = {}",
+                    prod[(i, j)]
+                );
             }
         }
     }

@@ -9,6 +9,7 @@
 use crate::error::{Error, Result};
 use crate::kernel;
 use crate::linalg::Matrix;
+use crate::vector::Vectors;
 use std::sync::Arc;
 
 /// A similarity score from the paper's "basic scores" taxonomy, plus the
@@ -66,6 +67,93 @@ impl Metric {
         }
     }
 
+    /// Distances from `query` to every `dim`-wide row of the contiguous
+    /// `rows` buffer, written into `out` (one entry per row).
+    ///
+    /// The L2-family and inner-product variants route through the
+    /// dispatched multi-row SIMD kernels ([`kernel::l2_sq_batch`] /
+    /// [`kernel::dot_batch`]); the remaining variants fall back to per-row
+    /// [`Metric::distance`]. Results are identical to calling `distance`
+    /// row by row.
+    pub fn distance_batch(&self, query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+        match self {
+            Metric::SquaredEuclidean => kernel::l2_sq_batch(query, rows, dim, out),
+            Metric::Euclidean => {
+                kernel::l2_sq_batch(query, rows, dim, out);
+                for d in out.iter_mut() {
+                    *d = d.sqrt();
+                }
+            }
+            Metric::InnerProduct => {
+                kernel::dot_batch(query, rows, dim, out);
+                for d in out.iter_mut() {
+                    *d = -*d;
+                }
+            }
+            Metric::Cosine => {
+                for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+                    *o = kernel::cosine_distance(query, row);
+                }
+            }
+            _ => {
+                for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+                    *o = self.distance(query, row);
+                }
+            }
+        }
+    }
+
+    /// Distances from `query` to the rows of `vectors` named by `ids`,
+    /// written into `out` (parallel to `ids`).
+    ///
+    /// The gathered rows are not contiguous, so the L2/IP variants use the
+    /// four-row kernels ([`kernel::l2_sq_x4`] / [`kernel::dot_x4`]) that
+    /// share one query load across four independent accumulator chains —
+    /// the scoring shape of IVF list scans and graph neighbor expansion.
+    pub fn distance_gather(&self, query: &[f32], vectors: &Vectors, ids: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(ids.len(), out.len());
+        let n = ids.len().min(out.len());
+        match self {
+            Metric::SquaredEuclidean | Metric::Euclidean | Metric::InnerProduct => {
+                let mut i = 0;
+                while i + 4 <= n {
+                    let r0 = vectors.get(ids[i] as usize);
+                    let r1 = vectors.get(ids[i + 1] as usize);
+                    let r2 = vectors.get(ids[i + 2] as usize);
+                    let r3 = vectors.get(ids[i + 3] as usize);
+                    let d = match self {
+                        Metric::InnerProduct => {
+                            let mut d = kernel::dot_x4(query, r0, r1, r2, r3);
+                            for v in d.iter_mut() {
+                                *v = -*v;
+                            }
+                            d
+                        }
+                        Metric::Euclidean => {
+                            let mut d = kernel::l2_sq_x4(query, r0, r1, r2, r3);
+                            for v in d.iter_mut() {
+                                *v = v.sqrt();
+                            }
+                            d
+                        }
+                        _ => kernel::l2_sq_x4(query, r0, r1, r2, r3),
+                    };
+                    out[i..i + 4].copy_from_slice(&d);
+                    i += 4;
+                }
+                while i < n {
+                    out[i] = self.distance(query, vectors.get(ids[i] as usize));
+                    i += 1;
+                }
+            }
+            _ => {
+                for i in 0..n {
+                    out[i] = self.distance(query, vectors.get(ids[i] as usize));
+                }
+            }
+        }
+    }
+
     /// The natural similarity orientation of this score: higher is more
     /// similar. For distance-flavoured scores this is the negated distance.
     #[inline]
@@ -89,7 +177,10 @@ impl Metric {
             | Metric::Hamming
             | Metric::Mahalanobis(_) => true,
             Metric::Minkowski(p) => *p >= 1.0,
-            Metric::SquaredEuclidean | Metric::InnerProduct | Metric::Cosine | Metric::WeightedL2(_) => false,
+            Metric::SquaredEuclidean
+            | Metric::InnerProduct
+            | Metric::Cosine
+            | Metric::WeightedL2(_) => false,
         }
     }
 
@@ -97,7 +188,9 @@ impl Metric {
     pub fn validate(&self, dim: usize) -> Result<()> {
         match self {
             Metric::Minkowski(p) if p.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) => {
-                Err(Error::InvalidParameter(format!("Minkowski order must be > 0, got {p}")))
+                Err(Error::InvalidParameter(format!(
+                    "Minkowski order must be > 0, got {p}"
+                )))
             }
             Metric::Mahalanobis(m) if m.rows() != dim || m.cols() != dim => {
                 Err(Error::InvalidParameter(format!(
@@ -213,7 +306,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let mut v = Vectors::new(2);
         for _ in 0..1000 {
-            v.push(&[rng.normal_f32() * 10.0, rng.normal_f32() * 0.5]).unwrap();
+            v.push(&[rng.normal_f32() * 10.0, rng.normal_f32() * 0.5])
+                .unwrap();
         }
         let cov = linalg::covariance(&v).unwrap();
         let inv = Arc::new(cov.inverse().unwrap());
@@ -242,6 +336,50 @@ mod tests {
         assert!(m.validate(3).is_ok());
         let w = Metric::WeightedL2(Arc::new(vec![1.0; 2]));
         assert!(w.validate(3).is_err());
+    }
+
+    #[test]
+    fn batch_and_gather_match_pairwise_distance() {
+        let mut rng = Rng::seed_from_u64(42);
+        let dim = 19;
+        let n = 13;
+        let mut v = Vectors::new(dim);
+        for _ in 0..n {
+            let row: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+            v.push(&row).unwrap();
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+        let ids: Vec<u32> = (0..n as u32).rev().collect();
+        let metrics = [
+            Metric::SquaredEuclidean,
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::InnerProduct,
+            Metric::Cosine,
+        ];
+        for m in metrics {
+            let mut batch = vec![0.0; n];
+            m.distance_batch(&q, v.as_flat(), dim, &mut batch);
+            for i in 0..n {
+                let want = m.distance(&q, v.get(i));
+                assert!(
+                    (batch[i] - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "{} batch row {i}: {} vs {want}",
+                    m.name(),
+                    batch[i]
+                );
+            }
+            let mut gathered = vec![0.0; n];
+            m.distance_gather(&q, &v, &ids, &mut gathered);
+            for i in 0..n {
+                let want = m.distance(&q, v.get(ids[i] as usize));
+                assert!(
+                    (gathered[i] - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "{} gather slot {i}",
+                    m.name()
+                );
+            }
+        }
     }
 
     #[test]

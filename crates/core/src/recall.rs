@@ -41,7 +41,11 @@ impl GroundTruth {
         if results.is_empty() {
             return 1.0;
         }
-        let sum: f64 = results.iter().enumerate().map(|(q, r)| self.recall_one(q, r)).sum();
+        let sum: f64 = results
+            .iter()
+            .enumerate()
+            .map(|(q, r)| self.recall_one(q, r))
+            .sum();
         sum / results.len() as f64
     }
 }
@@ -53,8 +57,11 @@ pub fn recall(truth: &[Neighbor], result: &[Neighbor]) -> f64 {
         return 1.0;
     }
     let truth_ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.id).collect();
-    let hit: std::collections::HashSet<usize> =
-        result.iter().map(|n| n.id).filter(|id| truth_ids.contains(id)).collect();
+    let hit: std::collections::HashSet<usize> = result
+        .iter()
+        .map(|n| n.id)
+        .filter(|id| truth_ids.contains(id))
+        .collect();
     hit.len() as f64 / truth_ids.len() as f64
 }
 
@@ -89,7 +96,11 @@ mod tests {
 
     #[test]
     fn recall_and_precision_basics() {
-        let truth = vec![Neighbor::new(0, 0.1), Neighbor::new(1, 0.2), Neighbor::new(2, 0.3)];
+        let truth = vec![
+            Neighbor::new(0, 0.1),
+            Neighbor::new(1, 0.2),
+            Neighbor::new(2, 0.3),
+        ];
         let result = vec![Neighbor::new(0, 0.1), Neighbor::new(9, 0.5)];
         assert!((recall(&truth, &result) - 1.0 / 3.0).abs() < 1e-12);
         assert!((precision(&truth, &result) - 0.5).abs() < 1e-12);

@@ -36,7 +36,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, spare_normal: None }
+        Rng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derive an independent child stream; useful for giving each worker or

@@ -22,12 +22,12 @@ impl Aggregator {
     /// Fold per-vector distances into an entity distance.
     pub fn combine(&self, distances: &[f32]) -> Result<f32> {
         if distances.is_empty() {
-            return Err(Error::InvalidParameter("cannot aggregate zero scores".into()));
+            return Err(Error::InvalidParameter(
+                "cannot aggregate zero scores".into(),
+            ));
         }
         match self {
-            Aggregator::Mean => {
-                Ok(distances.iter().sum::<f32>() / distances.len() as f32)
-            }
+            Aggregator::Mean => Ok(distances.iter().sum::<f32>() / distances.len() as f32),
             Aggregator::Min => Ok(distances.iter().copied().fold(f32::INFINITY, f32::min)),
             Aggregator::Max => Ok(distances.iter().copied().fold(f32::NEG_INFINITY, f32::max)),
             Aggregator::WeightedSum(w) => {
@@ -65,7 +65,9 @@ mod tests {
         assert_eq!(Aggregator::Min.combine(&d).unwrap(), 1.0);
         assert_eq!(Aggregator::Max.combine(&d).unwrap(), 3.0);
         assert_eq!(
-            Aggregator::WeightedSum(vec![1.0, 0.0, 0.5]).combine(&d).unwrap(),
+            Aggregator::WeightedSum(vec![1.0, 0.0, 0.5])
+                .combine(&d)
+                .unwrap(),
             2.0
         );
     }
@@ -73,7 +75,9 @@ mod tests {
     #[test]
     fn empty_and_mismatched_inputs_rejected() {
         assert!(Aggregator::Mean.combine(&[]).is_err());
-        assert!(Aggregator::WeightedSum(vec![1.0]).combine(&[1.0, 2.0]).is_err());
+        assert!(Aggregator::WeightedSum(vec![1.0])
+            .combine(&[1.0, 2.0])
+            .is_err());
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct LearnConfig {
 
 impl Default for LearnConfig {
     fn default() -> Self {
-        LearnConfig { epochs: 50, learning_rate: 0.05, threshold: 1.0 }
+        LearnConfig {
+            epochs: 50,
+            learning_rate: 0.05,
+            threshold: 1.0,
+        }
     }
 }
 
@@ -50,13 +54,19 @@ impl LearnedWeights {
     /// Fit weights from labelled pairs.
     pub fn fit(pairs: &[LabeledPair], dim: usize, cfg: &LearnConfig) -> Result<Self> {
         if pairs.is_empty() {
-            return Err(Error::InvalidParameter("need at least one training pair".into()));
+            return Err(Error::InvalidParameter(
+                "need at least one training pair".into(),
+            ));
         }
         for p in pairs {
             if p.a.len() != dim || p.b.len() != dim {
                 return Err(Error::DimensionMismatch {
                     expected: dim,
-                    actual: if p.a.len() != dim { p.a.len() } else { p.b.len() },
+                    actual: if p.a.len() != dim {
+                        p.a.len()
+                    } else {
+                        p.b.len()
+                    },
                 });
             }
         }
@@ -71,7 +81,11 @@ impl LearnedWeights {
                 let dist: f32 = w.iter().zip(&sq_diff).map(|(w, s)| w * s).sum();
                 // Hinge: similar pairs want dist < threshold, dissimilar
                 // pairs want dist > threshold.
-                let violated = if p.similar { dist > cfg.threshold } else { dist < cfg.threshold };
+                let violated = if p.similar {
+                    dist > cfg.threshold
+                } else {
+                    dist < cfg.threshold
+                };
                 if !violated {
                     continue;
                 }
@@ -139,7 +153,11 @@ mod tests {
                         *o += rng.normal_f32() * 2.0; // noise everywhere
                     }
                 }
-                LabeledPair { a: base, b: other, similar }
+                LabeledPair {
+                    a: base,
+                    b: other,
+                    similar,
+                }
             })
             .collect()
     }
@@ -166,7 +184,9 @@ mod tests {
         let cfg = LearnConfig::default();
         let lw = LearnedWeights::fit(&train, 8, &cfg).unwrap();
         let learned_acc = lw.accuracy(&test, cfg.threshold);
-        let unit = LearnedWeights { weights: vec![1.0; 8] };
+        let unit = LearnedWeights {
+            weights: vec![1.0; 8],
+        };
         let plain_acc = unit.accuracy(&test, cfg.threshold);
         assert!(
             learned_acc >= plain_acc,
@@ -178,7 +198,11 @@ mod tests {
     #[test]
     fn validates_inputs() {
         assert!(LearnedWeights::fit(&[], 4, &LearnConfig::default()).is_err());
-        let bad = vec![LabeledPair { a: vec![0.0; 3], b: vec![0.0; 4], similar: true }];
+        let bad = vec![LabeledPair {
+            a: vec![0.0; 3],
+            b: vec![0.0; 4],
+            similar: true,
+        }];
         assert!(LearnedWeights::fit(&bad, 4, &LearnConfig::default()).is_err());
     }
 
@@ -186,7 +210,15 @@ mod tests {
     fn weights_stay_positive() {
         let mut rng = Rng::seed_from_u64(10);
         let pairs = signal_noise_pairs(200, 4, 1, &mut rng);
-        let lw = LearnedWeights::fit(&pairs, 4, &LearnConfig { epochs: 200, ..Default::default() }).unwrap();
+        let lw = LearnedWeights::fit(
+            &pairs,
+            4,
+            &LearnConfig {
+                epochs: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(lw.weights().iter().all(|&w| w > 0.0));
     }
 }

@@ -22,10 +22,7 @@ pub struct ScoreEvaluation {
 }
 
 /// Rank `candidates` on labelled pairs, best first.
-pub fn select_score(
-    candidates: &[Metric],
-    pairs: &[LabeledPair],
-) -> Result<Vec<ScoreEvaluation>> {
+pub fn select_score(candidates: &[Metric], pairs: &[LabeledPair]) -> Result<Vec<ScoreEvaluation>> {
     if candidates.is_empty() {
         return Err(Error::InvalidParameter("no candidate metrics".into()));
     }
@@ -36,7 +33,10 @@ pub fn select_score(
     }
     let mut out: Vec<ScoreEvaluation> = candidates
         .iter()
-        .map(|metric| ScoreEvaluation { metric: metric.clone(), auc: auc(metric, pairs) })
+        .map(|metric| ScoreEvaluation {
+            metric: metric.clone(),
+            auc: auc(metric, pairs),
+        })
         .collect();
     out.sort_by(|a, b| b.auc.total_cmp(&a.auc));
     Ok(out)
@@ -45,8 +45,10 @@ pub fn select_score(
 /// ROC-AUC via the rank-sum (Mann-Whitney) formulation: the probability
 /// that a random similar pair scores closer than a random dissimilar one.
 fn auc(metric: &Metric, pairs: &[LabeledPair]) -> f64 {
-    let mut scored: Vec<(f32, bool)> =
-        pairs.iter().map(|p| (metric.distance(&p.a, &p.b), p.similar)).collect();
+    let mut scored: Vec<(f32, bool)> = pairs
+        .iter()
+        .map(|p| (metric.distance(&p.a, &p.b), p.similar))
+        .collect();
     scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n_pos = scored.iter().filter(|(_, s)| *s).count() as f64;
     let n_neg = scored.len() as f64 - n_pos;
@@ -89,7 +91,9 @@ mod tests {
                 let similar = i % 2 == 0;
                 let b: Vec<f32> = if similar {
                     let scale = 0.5 + rng.f32() * 4.0;
-                    a.iter().map(|x| x * scale + rng.normal_f32() * 0.01).collect()
+                    a.iter()
+                        .map(|x| x * scale + rng.normal_f32() * 0.01)
+                        .collect()
                 } else {
                     (0..dim).map(|_| rng.normal_f32()).collect()
                 };
@@ -112,7 +116,12 @@ mod tests {
     }
 
     fn candidates() -> Vec<Metric> {
-        vec![Metric::Euclidean, Metric::Cosine, Metric::Manhattan, Metric::InnerProduct]
+        vec![
+            Metric::Euclidean,
+            Metric::Cosine,
+            Metric::Manhattan,
+            Metric::InnerProduct,
+        ]
     }
 
     #[test]
@@ -120,7 +129,15 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let pairs = direction_pairs(400, 16, &mut rng);
         let ranked = select_score(&candidates(), &pairs).unwrap();
-        assert_eq!(ranked[0].metric.name(), "cosine", "{:?}", ranked.iter().map(|e| (e.metric.name(), e.auc)).collect::<Vec<_>>());
+        assert_eq!(
+            ranked[0].metric.name(),
+            "cosine",
+            "{:?}",
+            ranked
+                .iter()
+                .map(|e| (e.metric.name(), e.auc))
+                .collect::<Vec<_>>()
+        );
         assert!(ranked[0].auc > 0.95);
     }
 
@@ -157,8 +174,14 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let pairs = offset_pairs(10, 4, &mut rng);
         assert!(select_score(&[], &pairs).is_err());
-        let all_similar: Vec<LabeledPair> =
-            pairs.iter().cloned().map(|mut p| { p.similar = true; p }).collect();
+        let all_similar: Vec<LabeledPair> = pairs
+            .iter()
+            .cloned()
+            .map(|mut p| {
+                p.similar = true;
+                p
+            })
+            .collect();
         assert!(select_score(&candidates(), &all_similar).is_err());
     }
 
@@ -166,7 +189,11 @@ mod tests {
     fn tied_distances_get_midranks() {
         // All distances identical => AUC exactly 0.5.
         let pairs: Vec<LabeledPair> = (0..10)
-            .map(|i| LabeledPair { a: vec![0.0, 0.0], b: vec![1.0, 0.0], similar: i % 2 == 0 })
+            .map(|i| LabeledPair {
+                a: vec![0.0, 0.0],
+                b: vec![1.0, 0.0],
+                similar: i % 2 == 0,
+            })
             .collect();
         let ranked = select_score(&[Metric::Euclidean], &pairs).unwrap();
         assert!((ranked[0].auc - 0.5).abs() < 1e-12);

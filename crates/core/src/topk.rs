@@ -26,7 +26,9 @@ impl Ord for Neighbor {
     /// Total order by distance (via `total_cmp`, so NaN cannot poison the
     /// heap), then by id for determinism.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -58,7 +60,10 @@ impl TopK {
     /// Create a selector for the `k` best neighbors.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Empty the selector and set a new width, retaining the heap's
@@ -216,8 +221,7 @@ mod tests {
         for _ in 0..20 {
             let n = rng.range(1, 200);
             let k = rng.range(1, 50);
-            let cands: Vec<Neighbor> =
-                (0..n).map(|id| Neighbor::new(id, rng.f32())).collect();
+            let cands: Vec<Neighbor> = (0..n).map(|id| Neighbor::new(id, rng.f32())).collect();
             let mut t = TopK::new(k);
             for &c in &cands {
                 t.push(c);

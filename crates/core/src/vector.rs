@@ -18,13 +18,19 @@ impl Vectors {
     /// Create an empty collection of `dim`-dimensional vectors.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Vectors { dim, data: Vec::new() }
+        Vectors {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Create with capacity for `n` vectors.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Vectors { dim, data: Vec::with_capacity(dim * n) }
+        Vectors {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Build from a flat row-major buffer. `data.len()` must be a multiple
@@ -34,10 +40,15 @@ impl Vectors {
             return Err(Error::InvalidParameter("dimension must be positive".into()));
         }
         if !data.len().is_multiple_of(dim) {
-            return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
+            return Err(Error::DimensionMismatch {
+                expected: dim,
+                actual: data.len() % dim,
+            });
         }
         if let Some(pos) = data.iter().position(|x| !x.is_finite()) {
-            return Err(Error::NonFiniteVector { position: pos % dim });
+            return Err(Error::NonFiniteVector {
+                position: pos % dim,
+            });
         }
         Ok(Vectors { dim, data })
     }
@@ -64,7 +75,10 @@ impl Vectors {
     /// new vector's position.
     pub fn push(&mut self, v: &[f32]) -> Result<usize> {
         if v.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: v.len(),
+            });
         }
         if let Some(pos) = v.iter().position(|x| !x.is_finite()) {
             return Err(Error::NonFiniteVector { position: pos });
@@ -158,14 +172,20 @@ mod tests {
         let mut v = Vectors::new(3);
         assert!(matches!(
             v.push(&[1.0, 2.0]),
-            Err(Error::DimensionMismatch { expected: 3, actual: 2 })
+            Err(Error::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 
     #[test]
     fn rejects_non_finite() {
         let mut v = Vectors::new(2);
-        assert!(matches!(v.push(&[1.0, f32::NAN]), Err(Error::NonFiniteVector { position: 1 })));
+        assert!(matches!(
+            v.push(&[1.0, f32::NAN]),
+            Err(Error::NonFiniteVector { position: 1 })
+        ));
         assert!(matches!(
             v.push(&[f32::INFINITY, 0.0]),
             Err(Error::NonFiniteVector { position: 0 })
@@ -203,7 +223,10 @@ mod tests {
     fn centroid_of_points() {
         let v = Vectors::from_flat(2, vec![0.0, 0.0, 2.0, 4.0]).unwrap();
         assert_eq!(v.centroid().unwrap(), vec![1.0, 2.0]);
-        assert!(matches!(Vectors::new(2).centroid(), Err(Error::EmptyCollection)));
+        assert!(matches!(
+            Vectors::new(2).centroid(),
+            Err(Error::EmptyCollection)
+        ));
     }
 
     #[test]

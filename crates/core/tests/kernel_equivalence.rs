@@ -1,0 +1,285 @@
+//! Exhaustive equivalence suite: every kernel backend available on this
+//! host (portable scalar always; AVX2+FMA or NEON when detected) against
+//! the naive scalar references, across dimensions 1..=67, special values
+//! (NaN, ±∞), and empty slices.
+//!
+//! `kernel::kernel_sets()` ignores the `VDB_FORCE_SCALAR` escape hatch, so
+//! the scalar fallback is exercised unconditionally even on SIMD-capable CI
+//! runners, and the SIMD set is exercised whenever the CPU supports it.
+
+use vdb_core::kernel::{self, Kernels};
+use vdb_core::rng::Rng;
+
+/// Relative tolerance: SIMD backends reassociate sums and contract with
+/// FMA, so results differ from the naive reference by rounding only.
+const RTOL: f32 = 1e-4;
+
+fn close(got: f32, want: f32, what: &str) {
+    assert!(
+        (got - want).abs() <= RTOL * want.abs().max(1.0),
+        "{what}: got {got}, want {want}"
+    );
+}
+
+fn random_vec(dim: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..dim).map(|_| rng.normal_f32()).collect()
+}
+
+/// Every (backend, dim) pair in 1..=67 — covers all SIMD main-loop and
+/// tail-length combinations (8/16-wide x86 blocks, 4/8-wide NEON blocks,
+/// and every remainder).
+fn for_each_set_and_dim(mut f: impl FnMut(&'static Kernels, usize)) {
+    for set in kernel::kernel_sets() {
+        for dim in 1..=67 {
+            f(set, dim);
+        }
+    }
+}
+
+#[test]
+fn pairwise_kernels_match_reference() {
+    let mut rng = Rng::seed_from_u64(0xE0);
+    for_each_set_and_dim(|set, dim| {
+        let a = random_vec(dim, &mut rng);
+        let b = random_vec(dim, &mut rng);
+        close(
+            (set.l2_sq)(&a, &b),
+            kernel::l2_sq_scalar(&a, &b),
+            &format!("{} l2_sq dim {dim}", set.name),
+        );
+        close(
+            (set.dot)(&a, &b),
+            kernel::dot_scalar(&a, &b),
+            &format!("{} dot dim {dim}", set.name),
+        );
+        close(
+            (set.cosine)(&a, &b),
+            kernel::cosine_scalar(&a, &b),
+            &format!("{} cosine dim {dim}", set.name),
+        );
+    });
+}
+
+#[test]
+fn x4_kernels_match_reference() {
+    let mut rng = Rng::seed_from_u64(0xE1);
+    for_each_set_and_dim(|set, dim| {
+        let q = random_vec(dim, &mut rng);
+        let rows: Vec<Vec<f32>> = (0..4).map(|_| random_vec(dim, &mut rng)).collect();
+        let l2 = (set.l2_sq_x4)(&q, &rows[0], &rows[1], &rows[2], &rows[3]);
+        let dp = (set.dot_x4)(&q, &rows[0], &rows[1], &rows[2], &rows[3]);
+        for i in 0..4 {
+            close(
+                l2[i],
+                kernel::l2_sq_scalar(&q, &rows[i]),
+                &format!("{} l2_sq_x4[{i}] dim {dim}", set.name),
+            );
+            close(
+                dp[i],
+                kernel::dot_scalar(&q, &rows[i]),
+                &format!("{} dot_x4[{i}] dim {dim}", set.name),
+            );
+        }
+    });
+}
+
+#[test]
+fn batch_kernels_match_reference() {
+    let mut rng = Rng::seed_from_u64(0xE2);
+    for set in kernel::kernel_sets() {
+        for dim in 1..=67 {
+            // Row counts around the 4-row blocking boundary.
+            for n in [1usize, 3, 4, 5, 9] {
+                let q = random_vec(dim, &mut rng);
+                let rows = random_vec(dim * n, &mut rng);
+                let mut out = vec![0.0f32; n];
+                (set.l2_sq_batch)(&q, &rows, dim, &mut out);
+                for i in 0..n {
+                    close(
+                        out[i],
+                        kernel::l2_sq_scalar(&q, &rows[i * dim..(i + 1) * dim]),
+                        &format!("{} l2_sq_batch dim {dim} n {n} row {i}", set.name),
+                    );
+                }
+                (set.dot_batch)(&q, &rows, dim, &mut out);
+                for i in 0..n {
+                    close(
+                        out[i],
+                        kernel::dot_scalar(&q, &rows[i * dim..(i + 1) * dim]),
+                        &format!("{} dot_batch dim {dim} n {n} row {i}", set.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adc_scan_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xE3);
+    for set in kernel::kernel_sets() {
+        // m spans below/at/above the 8-subspace AVX2 gather width; ksub
+        // spans tiny to full byte range.
+        for &m in &[1usize, 2, 7, 8, 9, 16, 23] {
+            for &ksub in &[1usize, 2, 16, 256] {
+                let table: Vec<f32> = (0..m * ksub).map(|_| rng.f32() * 4.0).collect();
+                for &n in &[1usize, 3, 4, 5, 11] {
+                    let codes: Vec<u8> = (0..m * n).map(|_| rng.below(ksub) as u8).collect();
+                    let mut out = vec![0.0f32; n];
+                    (set.adc_scan)(&table, ksub, &codes, m, &mut out);
+                    let mut want = vec![0.0f32; n];
+                    kernel::adc_scan_scalar(&table, ksub, &codes, m, &mut want);
+                    for i in 0..n {
+                        close(
+                            out[i],
+                            want[i],
+                            &format!("{} adc_scan m {m} ksub {ksub} row {i}", set.name),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adc_scan_clamps_out_of_range_codes() {
+    // Codes beyond ksub-1 (possible only with corrupted data) must not
+    // read outside the table; the documented behavior is clamping.
+    for set in kernel::kernel_sets() {
+        let (m, ksub) = (9usize, 16usize);
+        let table: Vec<f32> = (0..m * ksub).map(|i| i as f32).collect();
+        let codes = vec![0xFFu8; m * 3];
+        let clamped: Vec<u8> = vec![(ksub - 1) as u8; m * 3];
+        let mut out = vec![0.0f32; 3];
+        let mut want = vec![0.0f32; 3];
+        (set.adc_scan)(&table, ksub, &codes, m, &mut out);
+        kernel::adc_scan_scalar(&table, ksub, &clamped, m, &mut want);
+        for i in 0..3 {
+            close(out[i], want[i], &format!("{} adc clamp row {i}", set.name));
+        }
+    }
+}
+
+#[test]
+fn sq8_kernels_match_reference() {
+    let mut rng = Rng::seed_from_u64(0xE4);
+    for_each_set_and_dim(|set, dim| {
+        let q = random_vec(dim, &mut rng);
+        let min: Vec<f32> = (0..dim).map(|_| rng.normal_f32()).collect();
+        let step: Vec<f32> = (0..dim).map(|_| rng.f32() * 0.1).collect();
+        let n = 5usize;
+        let codes: Vec<u8> = (0..dim * n).map(|_| rng.below(256) as u8).collect();
+        for i in 0..n {
+            let code = &codes[i * dim..(i + 1) * dim];
+            close(
+                (set.sq8_l2)(&q, code, &min, &step),
+                kernel::sq8_l2_sq_scalar(&q, code, &min, &step),
+                &format!("{} sq8_l2 dim {dim} row {i}", set.name),
+            );
+        }
+        let mut out = vec![0.0f32; n];
+        (set.sq8_l2_batch)(&q, &codes, &min, &step, &mut out);
+        for i in 0..n {
+            close(
+                out[i],
+                kernel::sq8_l2_sq_scalar(&q, &codes[i * dim..(i + 1) * dim], &min, &step),
+                &format!("{} sq8_l2_batch dim {dim} row {i}", set.name),
+            );
+        }
+    });
+}
+
+#[test]
+fn special_values_propagate_identically() {
+    // NaN/∞ handling must agree bit-for-bit in kind (NaN vs ∞ vs finite)
+    // between every backend and the reference.
+    let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -1.5];
+    for set in kernel::kernel_sets() {
+        for dim in [1usize, 4, 8, 9, 17, 33] {
+            for (si, &s) in specials.iter().enumerate() {
+                for pos in [0, dim / 2, dim - 1] {
+                    let mut a = vec![1.0f32; dim];
+                    let b = vec![2.0f32; dim];
+                    a[pos] = s;
+                    for (name, got, want) in [
+                        ("l2_sq", (set.l2_sq)(&a, &b), kernel::l2_sq_scalar(&a, &b)),
+                        ("dot", (set.dot)(&a, &b), kernel::dot_scalar(&a, &b)),
+                        (
+                            "cosine",
+                            (set.cosine)(&a, &b),
+                            kernel::cosine_scalar(&a, &b),
+                        ),
+                    ] {
+                        let what = format!("{} {name} special #{si} dim {dim} pos {pos}", set.name);
+                        if want.is_nan() {
+                            assert!(got.is_nan(), "{what}: got {got}, want NaN");
+                        } else if want.is_infinite() {
+                            assert_eq!(got, want, "{what}");
+                        } else {
+                            close(got, want, &what);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_slices_are_well_defined() {
+    let e: [f32; 0] = [];
+    for set in kernel::kernel_sets() {
+        assert_eq!((set.l2_sq)(&e, &e), 0.0, "{} empty l2", set.name);
+        assert_eq!((set.dot)(&e, &e), 0.0, "{} empty dot", set.name);
+        assert_eq!(
+            (set.cosine)(&e, &e),
+            1.0,
+            "{} empty cosine (zero denom)",
+            set.name
+        );
+        let d = (set.l2_sq_x4)(&e, &e, &e, &e, &e);
+        assert_eq!(d, [0.0; 4], "{} empty x4", set.name);
+        let mut out: [f32; 0] = [];
+        (set.l2_sq_batch)(&e, &e, 0, &mut out);
+        (set.adc_scan)(&e, 0, &[], 0, &mut out);
+        (set.sq8_l2_batch)(&e, &[], &e, &e, &mut out);
+        assert_eq!((set.sq8_l2)(&e, &[], &e, &e), 0.0, "{} empty sq8", set.name);
+    }
+    // The public dispatched entry points also accept empty operands.
+    assert_eq!(kernel::l2_sq(&e, &e), 0.0);
+    assert_eq!(kernel::adc_scan_scalar(&e, 0, &[], 0, &mut []), ());
+    let mut out = [7.0f32; 2];
+    kernel::adc_scan(&[], 0, &[0, 0], 1, &mut out);
+    assert_eq!(out, [0.0; 2], "m>0 but empty table zeroes the output");
+}
+
+#[test]
+fn force_scalar_env_selects_scalar_backend() {
+    // The dispatch decision is cached per process, so drive a subprocess
+    // with the escape hatch set and check the reported backend.
+    let exe = std::env::current_exe().unwrap();
+    let output = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "helper_print_dispatch",
+            "--nocapture",
+            "--include-ignored",
+        ])
+        .env("VDB_FORCE_SCALAR", "1")
+        .output()
+        .expect("re-exec test binary");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("dispatch=scalar"),
+        "forced-scalar subprocess reported: {stdout}"
+    );
+}
+
+/// Not a test of this process: re-executed by
+/// `force_scalar_env_selects_scalar_backend` with `VDB_FORCE_SCALAR=1`.
+#[test]
+#[ignore = "helper for the force-scalar subprocess test"]
+fn helper_print_dispatch() {
+    println!("dispatch={}", kernel::dispatch_name());
+}

@@ -12,9 +12,9 @@ use crate::partition::{partition, PartitionPolicy, Partitioning};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
-use vdb_core::sync::Mutex;
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::sync::Mutex;
 use vdb_core::topk::{merge_sorted_topk, Neighbor};
 use vdb_core::vector::Vectors;
 
@@ -124,7 +124,12 @@ impl DistributedIndex {
                 contexts: ContextPool::new(),
             });
         }
-        Ok(DistributedIndex { shards, partitioning, cfg, probes_issued: AtomicU64::new(0) })
+        Ok(DistributedIndex {
+            shards,
+            partitioning,
+            cfg,
+            probes_issued: AtomicU64::new(0),
+        })
     }
 
     /// Number of shards.
@@ -154,7 +159,9 @@ impl DistributedIndex {
 
     /// Simulate a replica failure.
     pub fn set_replica_up(&self, shard: usize, replica: usize, up: bool) {
-        self.shards[shard].replicas[replica].up.store(up, Ordering::Relaxed);
+        self.shards[shard].replicas[replica]
+            .up
+            .store(up, Ordering::Relaxed);
     }
 
     /// Pick a live replica round-robin. `None` if the shard is fully down.
@@ -162,7 +169,9 @@ impl DistributedIndex {
         let s = &self.shards[shard];
         let n = s.replicas.len();
         let start = s.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
-        (0..n).map(|i| &s.replicas[(start + i) % n]).find(|r| r.up.load(Ordering::Relaxed))
+        (0..n)
+            .map(|i| &s.replicas[(start + i) % n])
+            .find(|r| r.up.load(Ordering::Relaxed))
     }
 
     /// Scatter-gather search. Returns global-id neighbors. Errors if every
@@ -177,7 +186,8 @@ impl DistributedIndex {
             _ => order.len(),
         };
         let targets = &order[..probe];
-        self.probes_issued.fetch_add(targets.len() as u64, Ordering::Relaxed);
+        self.probes_issued
+            .fetch_add(targets.len() as u64, Ordering::Relaxed);
 
         // Scatter on scoped threads; gather into per-shard result slots.
         let mut slots: Vec<Option<Result<Vec<Neighbor>>>> = Vec::new();
@@ -190,13 +200,19 @@ impl DistributedIndex {
                     let out = match self.pick_replica(shard) {
                         Some(replica) => {
                             let mut ctx = self.shards[shard].contexts.acquire();
-                            replica.index.search_with(&mut ctx, query, k, params).map(|hits| {
-                                hits.into_iter()
-                                    .map(|n| {
-                                        Neighbor::new(self.shards[shard].global_ids[n.id], n.dist)
-                                    })
-                                    .collect()
-                            })
+                            replica
+                                .index
+                                .search_with(&mut ctx, query, k, params)
+                                .map(|hits| {
+                                    hits.into_iter()
+                                        .map(|n| {
+                                            Neighbor::new(
+                                                self.shards[shard].global_ids[n.id],
+                                                n.dist,
+                                            )
+                                        })
+                                        .collect()
+                                })
                         }
                         None => Err(Error::Unsupported(format!(
                             "shard {shard} has no live replica"
@@ -266,7 +282,10 @@ mod tests {
         )
         .unwrap();
         let params = SearchParams::default();
-        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| d.search(q, 10, &params).unwrap())
+            .collect();
         assert!((gt.recall_batch(&results) - 1.0).abs() < 1e-12);
     }
 
@@ -282,7 +301,9 @@ mod tests {
         .unwrap();
         // Searching for an exact database vector returns its global row.
         for row in [0usize, 777, 1999] {
-            let hits = d.search(data.get(row), 1, &SearchParams::default()).unwrap();
+            let hits = d
+                .search(data.get(row), 1, &SearchParams::default())
+                .unwrap();
             assert_eq!(hits[0].id, row);
             assert_eq!(hits[0].dist, 0.0);
         }
@@ -306,15 +327,23 @@ mod tests {
         )
         .unwrap();
         let params = SearchParams::default();
-        let full_r: Vec<_> = queries.iter().map(|q| full.search(q, 10, &params).unwrap()).collect();
-        let routed_r: Vec<_> =
-            queries.iter().map(|q| routed.search(q, 10, &params).unwrap()).collect();
+        let full_r: Vec<_> = queries
+            .iter()
+            .map(|q| full.search(q, 10, &params).unwrap())
+            .collect();
+        let routed_r: Vec<_> = queries
+            .iter()
+            .map(|q| routed.search(q, 10, &params).unwrap())
+            .collect();
         assert_eq!(full.probes_issued(), 20 * 8);
         assert_eq!(routed.probes_issued(), 20 * 2);
         let rf = gt.recall_batch(&full_r);
         let rr = gt.recall_batch(&routed_r);
         assert!((rf - 1.0).abs() < 1e-12);
-        assert!(rr > 0.8, "2-of-8 routed recall {rr} (clustered data co-locates neighbors)");
+        assert!(
+            rr > 0.8,
+            "2-of-8 routed recall {rr} (clustered data co-locates neighbors)"
+        );
     }
 
     #[test]
@@ -328,7 +357,10 @@ mod tests {
         )
         .unwrap();
         let params = SearchParams::default().with_beam_width(64);
-        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| d.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.9, "recall {r}");
     }
@@ -341,14 +373,20 @@ mod tests {
         let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &*flat_builder()).unwrap();
         d.set_replica_up(0, 0, false);
         // Still answers via replica 1.
-        let hits = d.search(queries.get(0), 5, &SearchParams::default()).unwrap();
+        let hits = d
+            .search(queries.get(0), 5, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.len(), 5);
         // Whole shard down => error.
         d.set_replica_up(0, 1, false);
-        assert!(d.search(queries.get(0), 5, &SearchParams::default()).is_err());
+        assert!(d
+            .search(queries.get(0), 5, &SearchParams::default())
+            .is_err());
         // Recovery.
         d.set_replica_up(0, 0, true);
-        assert!(d.search(queries.get(0), 5, &SearchParams::default()).is_ok());
+        assert!(d
+            .search(queries.get(0), 5, &SearchParams::default())
+            .is_ok());
     }
 
     #[test]
@@ -361,7 +399,9 @@ mod tests {
             &*flat_builder(),
         )
         .unwrap();
-        let hits = d.search(queries.get(3), 20, &SearchParams::default()).unwrap();
+        let hits = d
+            .search(queries.get(3), 20, &SearchParams::default())
+            .unwrap();
         assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
         let ids: std::collections::HashSet<_> = hits.iter().map(|n| n.id).collect();
         assert_eq!(ids.len(), hits.len());

@@ -95,12 +95,21 @@ pub fn partition(
             for (i, &row) in order.iter().enumerate() {
                 assignment[row] = i % n_shards;
             }
-            Ok(Partitioning { assignment, n_shards, centroids: None })
+            Ok(Partitioning {
+                assignment,
+                n_shards,
+                centroids: None,
+            })
         }
         PartitionPolicy::IndexGuided => {
             let km = KMeans::train(
                 vectors,
-                &KMeansConfig { k: n_shards, max_iters: 15, tolerance: 1e-4, seed },
+                &KMeansConfig {
+                    k: n_shards,
+                    max_iters: 15,
+                    tolerance: 1e-4,
+                    seed,
+                },
             )?;
             let assignment = km.assign_all(vectors);
             Ok(Partitioning {
@@ -125,7 +134,10 @@ mod tests {
         let sizes = p.sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 1000);
         for &s in &sizes {
-            assert_eq!(s, 250, "uniform split must be perfectly balanced: {sizes:?}");
+            assert_eq!(
+                s, 250,
+                "uniform split must be perfectly balanced: {sizes:?}"
+            );
         }
         assert!(p.centroids.is_none());
     }
@@ -169,10 +181,15 @@ mod tests {
             let first = p.route(q)[0];
             // The first-routed shard should hold the majority of this
             // cluster's points.
-            let members: Vec<usize> =
-                (0..800).filter(|&i| c.assignments[i] == cluster).collect();
-            let in_first = members.iter().filter(|&&i| p.assignment[i] == first).count();
-            assert!(in_first * 2 > members.len(), "cluster {cluster} routed to shard {first}");
+            let members: Vec<usize> = (0..800).filter(|&i| c.assignments[i] == cluster).collect();
+            let in_first = members
+                .iter()
+                .filter(|&&i| p.assignment[i] == first)
+                .count();
+            assert!(
+                in_first * 2 > members.len(),
+                "cluster {cluster} routed to shard {first}"
+            );
         }
     }
 

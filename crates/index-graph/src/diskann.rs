@@ -9,7 +9,6 @@
 //! experiment F7 reports under different cache budgets.
 
 use crate::vamana::VamanaIndex;
-use vdb_quant::{KMeans, KMeansConfig};
 use std::path::Path;
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
@@ -17,8 +16,9 @@ use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
 use vdb_core::topk::Neighbor;
+use vdb_quant::{KMeans, KMeansConfig};
 use vdb_quant::{PqConfig, ProductQuantizer};
-use vdb_storage::{Page, PageCache, PagedFile, PageId, PAGE_SIZE};
+use vdb_storage::{Page, PageCache, PageId, PagedFile, PAGE_SIZE};
 
 const MAGIC: u32 = 0x4449_534B; // "DISK"
 
@@ -49,7 +49,11 @@ pub struct DiskAnnConfig {
 
 impl Default for DiskAnnConfig {
     fn default() -> Self {
-        DiskAnnConfig { pq_m: 8, nav_nlist: 64, cache_pages: 128 }
+        DiskAnnConfig {
+            pq_m: 8,
+            nav_nlist: 64,
+            cache_pages: 128,
+        }
     }
 }
 
@@ -109,7 +113,12 @@ impl DiskAnnIndex {
         // the residuals (the IVFADC trick applied to graph navigation).
         let coarse = KMeans::train(
             vectors,
-            &KMeansConfig { k: cfg.nav_nlist, max_iters: 12, tolerance: 1e-4, seed: 0xD15C },
+            &KMeansConfig {
+                k: cfg.nav_nlist,
+                max_iters: 12,
+                tolerance: 1e-4,
+                seed: 0xD15C,
+            },
         )?;
         let nav_centroids = coarse.centroids().clone();
         let mut nav_assign = Vec::with_capacity(n);
@@ -142,7 +151,9 @@ impl DiskAnnIndex {
         let code_pages = (n * m).div_ceil(PAGE_SIZE) as u64;
         let data_pages = (n as u64).div_ceil(records_per_page as u64);
         let file = Arc::new(PagedFile::create(path)?);
-        file.allocate(1 + codebook_pages + centroid_pages + assign_pages + code_pages + data_pages)?;
+        file.allocate(
+            1 + codebook_pages + centroid_pages + assign_pages + code_pages + data_pages,
+        )?;
 
         let mut header = Page::zeroed();
         header.write_u32(0, MAGIC);
@@ -172,7 +183,11 @@ impl DiskAnnIndex {
             assign_bytes.extend_from_slice(&a.to_le_bytes());
         }
         write_run(&file, 1 + codebook_pages + centroid_pages, &assign_bytes)?;
-        write_run(&file, 1 + codebook_pages + centroid_pages + assign_pages, &codes)?;
+        write_run(
+            &file,
+            1 + codebook_pages + centroid_pages + assign_pages,
+            &codes,
+        )?;
 
         // Node records.
         let data_start = 1 + codebook_pages + centroid_pages + assign_pages + code_pages;
@@ -262,8 +277,11 @@ impl DiskAnnIndex {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
-        let codes =
-            read_run(&file, 1 + codebook_pages + centroid_pages + assign_pages, n * m)?;
+        let codes = read_run(
+            &file,
+            1 + codebook_pages + centroid_pages + assign_pages,
+            n * m,
+        )?;
         let record_bytes = 4 + r * 4 + dim * 4;
         Ok(DiskAnnIndex {
             dim,
@@ -344,8 +362,11 @@ impl DiskAnnIndex {
         // The table slots, residual buffer, and candidate list live in the
         // context's extension slot so a reused context allocates nothing.
         ctx.begin(self.n);
-        let DiskAnnScratch { mut tables, mut residual, mut cands } =
-            std::mem::take(ctx.ext::<DiskAnnScratch>());
+        let DiskAnnScratch {
+            mut tables,
+            mut residual,
+            mut cands,
+        } = std::mem::take(ctx.ext::<DiskAnnScratch>());
         tables.clear();
         tables.resize_with(self.nav_centroids.len(), || None);
         residual.clear();
@@ -360,7 +381,10 @@ impl DiskAnnIndex {
                 }
                 tables[c] = Some(self.pq.adc_table(&residual)?);
             }
-            Ok(tables[c].as_ref().expect("just built").distance(&self.codes[u * m..(u + 1) * m]))
+            Ok(tables[c]
+                .as_ref()
+                .expect("just built")
+                .distance(&self.codes[u * m..(u + 1) * m]))
         };
 
         // Candidate list ordered by ADC distance; expand the closest
@@ -372,8 +396,10 @@ impl DiskAnnIndex {
         ctx.rerank.reset(k.max(params.rerank.min(beam)));
         // Expand the closest unexpanded candidate within the top `beam`
         // until none remains (the DiskANN search loop).
-        while let Some(pos) =
-            cands.iter().take(beam).position(|&(_, _, expanded)| !expanded)
+        while let Some(pos) = cands
+            .iter()
+            .take(beam)
+            .position(|&(_, _, expanded)| !expanded)
         {
             cands[pos].2 = true;
             let u = cands[pos].1;
@@ -396,10 +422,16 @@ impl DiskAnnIndex {
                 cands.truncate(beam * 4);
             }
         }
-        drop(adc);
+        // Release the closure's borrow of `residual` before returning it
+        // to the scratch slot.
+        let _ = adc;
         let mut out = ctx.rerank.drain_sorted();
         out.truncate(k);
-        *ctx.ext::<DiskAnnScratch>() = DiskAnnScratch { tables, residual, cands };
+        *ctx.ext::<DiskAnnScratch>() = DiskAnnScratch {
+            tables,
+            residual,
+            cands,
+        };
         Ok(out)
     }
 }
@@ -499,12 +531,17 @@ mod tests {
         let data = dataset::clustered(1500, 16, 10, 0.5, &mut rng).vectors;
         let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
         let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
-        let vam = VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
+        let vam =
+            VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
         let dir = TempDir::new("diskann").unwrap();
         let idx = DiskAnnIndex::build(
             dir.file("d.idx"),
             &vam,
-            &DiskAnnConfig { pq_m: 8, nav_nlist: 64, cache_pages },
+            &DiskAnnConfig {
+                pq_m: 8,
+                nav_nlist: 64,
+                cache_pages,
+            },
         )
         .unwrap();
         (dir, idx, queries, gt)
@@ -514,7 +551,10 @@ mod tests {
     fn high_recall_from_disk() {
         let (_d, idx, queries, gt) = setup(256);
         let params = SearchParams::default().with_beam_width(64);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.9, "recall {r}");
     }
@@ -534,7 +574,10 @@ mod tests {
             per_query < 100.0,
             "page reads per query should be bounded near the beam width, got {per_query}"
         );
-        assert!(per_query >= 16.0, "a real traversal reads many nodes, got {per_query}");
+        assert!(
+            per_query >= 16.0,
+            "a real traversal reads many nodes, got {per_query}"
+        );
     }
 
     #[test]
@@ -555,7 +598,8 @@ mod tests {
     fn reopen_matches_built() {
         let mut rng = Rng::seed_from_u64(71);
         let data = dataset::clustered(500, 8, 6, 0.4, &mut rng).vectors;
-        let vam = VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
+        let vam =
+            VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
         let dir = TempDir::new("diskann-reopen").unwrap();
         let path = dir.file("r.idx");
         let built = DiskAnnIndex::build(&path, &vam, &DiskAnnConfig::default()).unwrap();
@@ -582,7 +626,9 @@ mod tests {
         let (_d, idx, queries, _) = setup(256);
         let filter = |id: usize| id.is_multiple_of(2);
         let params = SearchParams::default().with_beam_width(64);
-        let hits = idx.search_filtered(queries.get(0), 5, &params, &filter).unwrap();
+        let hits = idx
+            .search_filtered(queries.get(0), 5, &params, &filter)
+            .unwrap();
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|n| n.id % 2 == 0));
     }
@@ -592,6 +638,9 @@ mod tests {
         let dir = TempDir::new("diskann-bad").unwrap();
         let path = dir.file("bad.idx");
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(DiskAnnIndex::open(&path, Metric::Euclidean, 4), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            DiskAnnIndex::open(&path, Metric::Euclidean, 4),
+            Err(Error::Corrupt(_))
+        ));
     }
 }

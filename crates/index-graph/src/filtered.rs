@@ -31,7 +31,10 @@ pub struct StitchedConfig {
 
 impl Default for StitchedConfig {
     fn default() -> Self {
-        StitchedConfig { vamana: VamanaConfig::default(), stitched_degree: 40 }
+        StitchedConfig {
+            vamana: VamanaConfig::default(),
+            stitched_degree: 40,
+        }
     }
 }
 
@@ -67,7 +70,9 @@ impl StitchedVamanaIndex {
             )));
         }
         if cfg.stitched_degree == 0 {
-            return Err(Error::InvalidParameter("stitched degree must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "stitched degree must be positive".into(),
+            ));
         }
         metric.validate(vectors.dim())?;
         let n = vectors.len();
@@ -121,7 +126,10 @@ impl StitchedVamanaIndex {
             let cands: Vec<Neighbor> = other
                 .iter()
                 .map(|&v| {
-                    Neighbor::new(v as usize, metric.distance(vectors.get(u), vectors.get(v as usize)))
+                    Neighbor::new(
+                        v as usize,
+                        metric.distance(vectors.get(u), vectors.get(v as usize)),
+                    )
                 })
                 .collect();
             let mut kept = same;
@@ -131,7 +139,15 @@ impl StitchedVamanaIndex {
             adj.set_neighbors(u, kept);
         }
 
-        Ok(StitchedVamanaIndex { vectors, metric, labels, adj, entries, global_entry, cfg })
+        Ok(StitchedVamanaIndex {
+            vectors,
+            metric,
+            labels,
+            adj,
+            entries,
+            global_entry,
+            cfg,
+        })
     }
 
     /// The label of row `u`.
@@ -192,11 +208,15 @@ impl StitchedVamanaIndex {
     /// Check that every label's subgraph is internally connected when
     /// foreign nodes are blocked (the construction guarantee).
     pub fn label_subgraph_connected(&self, label: u32) -> bool {
-        let rows: Vec<usize> = (0..self.len()).filter(|&u| self.labels[u] == label).collect();
+        let rows: Vec<usize> = (0..self.len())
+            .filter(|&u| self.labels[u] == label)
+            .collect();
         if rows.is_empty() {
             return true;
         }
-        let Some(&entry) = self.entries.get(&label) else { return false };
+        let Some(&entry) = self.entries.get(&label) else {
+            return false;
+        };
         let mut seen: HashMap<usize, ()> = HashMap::new();
         let mut stack = vec![entry];
         seen.insert(entry, ());
@@ -270,7 +290,12 @@ impl VectorIndex for StitchedVamanaIndex {
 
 impl std::fmt::Debug for StitchedVamanaIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "StitchedVamanaIndex(n={}, labels={})", self.len(), self.entries.len())
+        write!(
+            f,
+            "StitchedVamanaIndex(n={}, labels={})",
+            self.len(),
+            self.entries.len()
+        )
     }
 }
 
@@ -284,7 +309,9 @@ mod tests {
     fn setup(n_labels: u32) -> (StitchedVamanaIndex, Vectors, Vec<u32>) {
         let mut rng = Rng::seed_from_u64(80);
         let data = dataset::clustered(1500, 12, 8, 0.5, &mut rng).vectors;
-        let labels: Vec<u32> = (0..data.len()).map(|_| rng.below(n_labels as usize) as u32).collect();
+        let labels: Vec<u32> = (0..data.len())
+            .map(|_| rng.below(n_labels as usize) as u32)
+            .collect();
         let idx = StitchedVamanaIndex::build(
             data.clone(),
             labels.clone(),
@@ -302,7 +329,10 @@ mod tests {
         distinct.sort_unstable();
         distinct.dedup();
         for l in distinct {
-            assert!(idx.label_subgraph_connected(l), "label {l} subgraph disconnected");
+            assert!(
+                idx.label_subgraph_connected(l),
+                "label {l} subgraph disconnected"
+            );
         }
     }
 
@@ -334,14 +364,18 @@ mod tests {
     #[test]
     fn unknown_label_returns_empty() {
         let (idx, data, _) = setup(3);
-        let hits = idx.search_with_label(data.get(0), 999, 5, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search_with_label(data.get(0), 999, 5, &SearchParams::default())
+            .unwrap();
         assert!(hits.is_empty());
     }
 
     #[test]
     fn unfiltered_search_still_works() {
         let (idx, data, _) = setup(3);
-        let hits = idx.search(data.get(5), 3, &SearchParams::default().with_beam_width(64)).unwrap();
+        let hits = idx
+            .search(data.get(5), 3, &SearchParams::default().with_beam_width(64))
+            .unwrap();
         assert_eq!(hits[0].id, 5);
     }
 

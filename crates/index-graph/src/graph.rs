@@ -22,7 +22,9 @@ pub struct AdjacencyList {
 impl AdjacencyList {
     /// `n` nodes with no edges.
     pub fn new(n: usize) -> Self {
-        AdjacencyList { lists: vec![Vec::new(); n] }
+        AdjacencyList {
+            lists: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -130,7 +132,9 @@ pub fn beam_search(
     trace: Option<&mut SearchTrace>,
 ) -> Vec<Neighbor> {
     ctx.begin(vectors.len());
-    beam_search_impl(adj, vectors, metric, query, entries, k, ef, ctx, None, trace)
+    beam_search_impl(
+        adj, vectors, metric, query, entries, k, ef, ctx, None, trace,
+    )
 }
 
 /// Block-first beam search (§2.3(1)): blocked nodes are masked out of the
@@ -228,7 +232,15 @@ fn beam_search_impl(
     // `pool`: top-ef accepted results. `bound_pool`: top-ef over *all*
     // visited nodes, used for termination so filtering does not change the
     // traversal frontier shape. All three reuse the context's allocations.
-    let SearchContext { visited, frontier, pool, bound_pool, .. } = ctx;
+    let SearchContext {
+        visited,
+        frontier,
+        pool,
+        bound_pool,
+        ids,
+        dists,
+        ..
+    } = ctx;
     pool.reset(ef);
     bound_pool.reset(ef);
     let mut expanded = 0usize;
@@ -271,13 +283,23 @@ fn beam_search_impl(
             break;
         }
         expanded += 1;
+        // Batched expansion: gather the unvisited neighbors, score them all
+        // in one multi-row kernel call, then run the admission loop over
+        // the precomputed distances. The old code also computed a distance
+        // for every unvisited neighbor (admission only gated heap pushes),
+        // and admission order is unchanged, so results are identical.
+        ids.clear();
         for &nb in adj.neighbors(cand.id) {
             let nb = nb as usize;
-            if !visited.visit(nb) {
-                continue;
+            if visited.visit(nb) {
+                ids.push(nb as u32);
             }
-            let d = metric.distance(query, vectors.get(nb));
-            evals += 1;
+        }
+        dists.resize(ids.len(), 0.0);
+        metric.distance_gather(query, vectors, ids, dists);
+        evals += ids.len();
+        for (&nb, &d) in ids.iter().zip(dists.iter()) {
+            let nb = nb as usize;
             let admit = if filter.is_some() {
                 d <= pool.threshold().max(bound_pool.threshold()) || !pool.is_full()
             } else {
@@ -407,7 +429,17 @@ mod tests {
         adj.add_edge(0, 2);
         adj.add_edge(1, 3);
         let mut ctx = SearchContext::new();
-        let wide = beam_search(&adj, &v, &Metric::Euclidean, &[10.0], &[0], 1, 8, &mut ctx, None);
+        let wide = beam_search(
+            &adj,
+            &v,
+            &Metric::Euclidean,
+            &[10.0],
+            &[0],
+            1,
+            8,
+            &mut ctx,
+            None,
+        );
         assert_eq!(wide[0].id, 3, "wide beam reaches the target");
     }
 

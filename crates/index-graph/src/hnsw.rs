@@ -33,7 +33,12 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        HnswConfig { m: 16, ef_construction: 128, level_mult: None, seed: 0x9A75 }
+        HnswConfig {
+            m: 16,
+            ef_construction: 128,
+            level_mult: None,
+            seed: 0x9A75,
+        }
     }
 }
 
@@ -134,7 +139,11 @@ impl HnswIndex {
             .neighbors(u)
             .iter()
             .map(|&v| {
-                Neighbor::new(v as usize, self.metric.distance(self.vectors.get(u), self.vectors.get(v as usize)))
+                Neighbor::new(
+                    v as usize,
+                    self.metric
+                        .distance(self.vectors.get(u), self.vectors.get(v as usize)),
+                )
             })
             .collect();
         let kept = robust_prune(&self.vectors, &self.metric, u, cands, 1.0, cap);
@@ -295,7 +304,11 @@ impl DynamicIndex for HnswIndex {
         let top = self.levels[self.entry];
         let q = self.vectors.get(row).to_vec();
         // Phase 1: greedy descent to one layer above the node's level.
-        let mut entry = if level < top { self.descend(&q, top, level) } else { self.entry };
+        let mut entry = if level < top {
+            self.descend(&q, top, level)
+        } else {
+            self.entry
+        };
         // Phase 2: beam search + connect on each layer from min(level, top)
         // down, reusing the thread-local scratch context across layers (and
         // across the whole build loop).
@@ -333,7 +346,13 @@ impl DynamicIndex for HnswIndex {
 
 impl std::fmt::Debug for HnswIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HnswIndex(n={}, m={}, layers={})", self.len(), self.cfg.m, self.layers.len())
+        write!(
+            f,
+            "HnswIndex(n={}, m={}, layers={})",
+            self.len(),
+            self.cfg.m,
+            self.layers.len()
+        )
     }
 }
 
@@ -356,7 +375,10 @@ mod tests {
     fn high_recall_on_clusters() {
         let (idx, queries, gt) = setup(3000);
         let params = SearchParams::default().with_beam_width(64);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.95, "recall {r}");
     }
@@ -391,8 +413,10 @@ mod tests {
         let (idx, queries, gt) = setup(2000);
         let r = |ef: usize| {
             let params = SearchParams::default().with_beam_width(ef);
-            let results: Vec<_> =
-                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            let results: Vec<_> = queries
+                .iter()
+                .map(|q| idx.search(q, 10, &params).unwrap())
+                .collect();
             gt.recall_batch(&results)
         };
         let lo = r(10);
@@ -436,7 +460,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_config_and_queries() {
-        assert!(HnswIndex::new(4, Metric::Euclidean, HnswConfig { m: 0, ..Default::default() }).is_err());
+        assert!(HnswIndex::new(
+            4,
+            Metric::Euclidean,
+            HnswConfig {
+                m: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let (idx, _, _) = setup(100);
         assert!(idx.search(&[1.0], 5, &SearchParams::default()).is_err());
     }

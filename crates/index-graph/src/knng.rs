@@ -37,7 +37,14 @@ pub struct KnngConfig {
 impl KnngConfig {
     /// Defaults for `k` neighbors per node.
     pub fn new(k: usize) -> Self {
-        KnngConfig { k, max_rounds: 10, sample: 8, delta: 0.002, seed: 0x4E4E, exact: false }
+        KnngConfig {
+            k,
+            max_rounds: 10,
+            sample: 8,
+            delta: 0.002,
+            seed: 0x4E4E,
+            exact: false,
+        }
     }
 }
 
@@ -78,7 +85,14 @@ impl KnngIndex {
         // standard KGraph mitigation). ~sqrt(n) capped at 64.
         let n_entries = ((n as f64).sqrt() as usize).clamp(1, 64).min(n);
         let entries = rng.sample_indices(n, n_entries);
-        Ok(KnngIndex { vectors, metric, adj, cfg, rounds_run, entries })
+        Ok(KnngIndex {
+            vectors,
+            metric,
+            adj,
+            cfg,
+            rounds_run,
+            entries,
+        })
     }
 
     /// The adjacency lists (for NSG/EFANNA-style consumers that refine a
@@ -99,12 +113,21 @@ impl KnngIndex {
             let mut top = TopK::new(k);
             for v in 0..n {
                 if v != u {
-                    top.push(Neighbor::new(v, self.metric.distance(self.vectors.get(u), self.vectors.get(v))));
+                    top.push(Neighbor::new(
+                        v,
+                        self.metric
+                            .distance(self.vectors.get(u), self.vectors.get(v)),
+                    ));
                 }
             }
             let truth: std::collections::HashSet<usize> =
                 top.into_sorted().into_iter().map(|x| x.id).collect();
-            hit += self.adj.neighbors(u).iter().filter(|&&v| truth.contains(&(v as usize))).count();
+            hit += self
+                .adj
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| truth.contains(&(v as usize)))
+                .count();
             total += truth.len();
         }
         hit as f64 / total.max(1) as f64
@@ -121,9 +144,15 @@ fn exact_knng(vectors: &Vectors, metric: &Metric, k: usize) -> AdjacencyList {
             if v == u {
                 continue;
             }
-            top.push(Neighbor::new(v, metric.distance(vectors.get(u), vectors.get(v))));
+            top.push(Neighbor::new(
+                v,
+                metric.distance(vectors.get(u), vectors.get(v)),
+            ));
         }
-        adj.set_neighbors(u, top.into_sorted().into_iter().map(|x| x.id as u32).collect());
+        adj.set_neighbors(
+            u,
+            top.into_sorted().into_iter().map(|x| x.id as u32).collect(),
+        );
     }
     adj
 }
@@ -309,7 +338,9 @@ mod tests {
         let idx = KnngIndex::build(data.clone(), Metric::Euclidean, KnngConfig::new(5)).unwrap();
         assert_eq!(idx.rounds_run, 0, "small collections build exactly");
         // For a member of the collection, its k-NN in the graph are exact.
-        let hits = idx.search(data.get(7), 1, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(data.get(7), 1, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].id, 7);
         assert_eq!(hits[0].dist, 0.0);
     }
@@ -333,7 +364,10 @@ mod tests {
         let unrefined = KnngIndex::build(
             data,
             Metric::Euclidean,
-            KnngConfig { max_rounds: 0, ..KnngConfig::new(8) },
+            KnngConfig {
+                max_rounds: 0,
+                ..KnngConfig::new(8)
+            },
         );
         // max_rounds=0 leaves the random graph (rounds loop never runs).
         let r_refined = refined.edge_recall(30, &mut rng);
@@ -349,10 +383,14 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let data = dataset::clustered(1000, 12, 8, 0.5, &mut rng).vectors;
         let queries = dataset::split_queries(&data, 20, 0.05, &mut rng);
-        let gt = vdb_core::recall::GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
+        let gt =
+            vdb_core::recall::GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
         let idx = KnngIndex::build(data, Metric::Euclidean, KnngConfig::new(10)).unwrap();
         let params = SearchParams::default().with_beam_width(128);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.7, "recall {r}");
     }

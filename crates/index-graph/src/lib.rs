@@ -35,7 +35,9 @@ pub mod vamana;
 
 pub use diskann::{DiskAnnConfig, DiskAnnIndex};
 pub use filtered::{StitchedConfig, StitchedVamanaIndex};
-pub use graph::{beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList, SearchTrace};
+pub use graph::{
+    beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList, SearchTrace,
+};
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use knng::{KnngConfig, KnngIndex};
 pub use nsg::{NsgConfig, NsgIndex};

@@ -31,7 +31,12 @@ pub struct NsgConfig {
 
 impl Default for NsgConfig {
     fn default() -> Self {
-        NsgConfig { r: 24, l: 64, knng_k: 16, seed: 0x4E53 }
+        NsgConfig {
+            r: 24,
+            l: 64,
+            knng_k: 16,
+            seed: 0x4E53,
+        }
     }
 }
 
@@ -50,7 +55,9 @@ impl NsgIndex {
     /// Build the graph.
     pub fn build(vectors: Vectors, metric: Metric, cfg: NsgConfig) -> Result<Self> {
         if cfg.r == 0 || cfg.l == 0 || cfg.knng_k == 0 {
-            return Err(Error::InvalidParameter("nsg needs r, l, knng_k >= 1".into()));
+            return Err(Error::InvalidParameter(
+                "nsg needs r, l, knng_k >= 1".into(),
+            ));
         }
         if vectors.is_empty() {
             return Err(Error::EmptyCollection);
@@ -63,7 +70,10 @@ impl NsgIndex {
         let knng = KnngIndex::build(
             vectors.clone(),
             metric.clone(),
-            KnngConfig { seed: cfg.seed, ..KnngConfig::new(cfg.knng_k) },
+            KnngConfig {
+                seed: cfg.seed,
+                ..KnngConfig::new(cfg.knng_k)
+            },
         )?;
         let kg = knng.adjacency();
 
@@ -73,10 +83,22 @@ impl NsgIndex {
         let mut ctx = SearchContext::for_index(n);
         for u in 0..n {
             let q = vectors.get(u);
-            let mut pool =
-                beam_search(kg, &vectors, &metric, q, &[start], cfg.l, cfg.l, &mut ctx, None);
+            let mut pool = beam_search(
+                kg,
+                &vectors,
+                &metric,
+                q,
+                &[start],
+                cfg.l,
+                cfg.l,
+                &mut ctx,
+                None,
+            );
             for &v in kg.neighbors(u) {
-                pool.push(Neighbor::new(v as usize, metric.distance(q, vectors.get(v as usize))));
+                pool.push(Neighbor::new(
+                    v as usize,
+                    metric.distance(q, vectors.get(v as usize)),
+                ));
             }
             let kept = robust_prune(&vectors, &metric, u, pool, 1.0, cfg.r);
             adj.set_neighbors(u, kept);
@@ -97,7 +119,9 @@ impl NsgIndex {
                     }
                 }
             }
-            let Some(orphan) = seen.iter().position(|&s| !s) else { break };
+            let Some(orphan) = seen.iter().position(|&s| !s) else {
+                break;
+            };
             // Search the current graph for the orphan's nearest reachable
             // node and hang the orphan off it.
             let found = beam_search(
@@ -116,7 +140,14 @@ impl NsgIndex {
             reattached += 1;
         }
 
-        Ok(NsgIndex { vectors, metric, adj, start, cfg, reattached })
+        Ok(NsgIndex {
+            vectors,
+            metric,
+            adj,
+            start,
+            cfg,
+            reattached,
+        })
     }
 
     /// The navigating node.
@@ -238,7 +269,10 @@ mod tests {
     fn high_recall() {
         let (idx, queries, gt) = setup();
         let params = SearchParams::default().with_beam_width(64);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.9, "recall {r}");
     }
@@ -261,7 +295,9 @@ mod tests {
         let (idx, queries, _) = setup();
         let filter = |id: usize| id >= 1000;
         let params = SearchParams::default().with_beam_width(64);
-        let hits = idx.search_filtered(queries.get(0), 5, &params, &filter).unwrap();
+        let hits = idx
+            .search_filtered(queries.get(0), 5, &params, &filter)
+            .unwrap();
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|n| n.id >= 1000));
     }
@@ -273,7 +309,9 @@ mod tests {
             data.push(&[i as f32, 0.0]).unwrap();
         }
         let idx = NsgIndex::build(data, Metric::Euclidean, NsgConfig::default()).unwrap();
-        let hits = idx.search(&[2.1, 0.0], 2, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[2.1, 0.0], 2, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].id, 2);
     }
 
@@ -281,6 +319,14 @@ mod tests {
     fn invalid_config_rejected() {
         let mut data = Vectors::new(2);
         data.push(&[0.0, 0.0]).unwrap();
-        assert!(NsgIndex::build(data, Metric::Euclidean, NsgConfig { r: 0, ..Default::default() }).is_err());
+        assert!(NsgIndex::build(
+            data,
+            Metric::Euclidean,
+            NsgConfig {
+                r: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 }

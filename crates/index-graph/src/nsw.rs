@@ -25,7 +25,10 @@ pub struct NswConfig {
 
 impl Default for NswConfig {
     fn default() -> Self {
-        NswConfig { m: 12, ef_construction: 64 }
+        NswConfig {
+            m: 12,
+            ef_construction: 64,
+        }
     }
 }
 
@@ -44,7 +47,12 @@ impl NswIndex {
             return Err(Error::InvalidParameter("m must be positive".into()));
         }
         metric.validate(dim)?;
-        Ok(NswIndex { vectors: Vectors::new(dim), metric, adj: AdjacencyList::default(), cfg })
+        Ok(NswIndex {
+            vectors: Vectors::new(dim),
+            metric,
+            adj: AdjacencyList::default(),
+            cfg,
+        })
     }
 
     /// Build by inserting every vector in order.
@@ -163,7 +171,10 @@ mod tests {
         let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
         let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
         let params = SearchParams::default().with_beam_width(96);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.9, "recall {r}");
     }
@@ -173,7 +184,11 @@ mod tests {
         let mut rng = Rng::seed_from_u64(8);
         let data = dataset::gaussian(500, 8, &mut rng);
         let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
-        assert_eq!(idx.adjacency().reachable_from(0), 500, "insertion keeps connectivity");
+        assert_eq!(
+            idx.adjacency().reachable_from(0),
+            500,
+            "insertion keeps connectivity"
+        );
     }
 
     #[test]
@@ -181,14 +196,16 @@ mod tests {
         let mut rng = Rng::seed_from_u64(9);
         let data = dataset::gaussian(200, 6, &mut rng);
         let built = NswIndex::build(data.clone(), Metric::Euclidean, NswConfig::default()).unwrap();
-        let mut incremental =
-            NswIndex::new(6, Metric::Euclidean, NswConfig::default()).unwrap();
+        let mut incremental = NswIndex::new(6, Metric::Euclidean, NswConfig::default()).unwrap();
         for row in data.iter() {
             incremental.insert(row).unwrap();
         }
         // Same construction path => identical graphs.
         for u in 0..200 {
-            assert_eq!(built.adjacency().neighbors(u), incremental.adjacency().neighbors(u));
+            assert_eq!(
+                built.adjacency().neighbors(u),
+                incremental.adjacency().neighbors(u)
+            );
         }
     }
 
@@ -201,8 +218,10 @@ mod tests {
         let idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
         let recall_with = |ef: usize| {
             let params = SearchParams::default().with_beam_width(ef);
-            let results: Vec<_> =
-                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            let results: Vec<_> = queries
+                .iter()
+                .map(|q| idx.search(q, 10, &params).unwrap())
+                .collect();
             gt.recall_batch(&results)
         };
         let lo = recall_with(10);
@@ -214,10 +233,15 @@ mod tests {
     #[test]
     fn empty_and_singleton_behave() {
         let idx = NswIndex::new(4, Metric::Euclidean, NswConfig::default()).unwrap();
-        assert!(idx.search(&[0.0; 4], 3, &SearchParams::default()).unwrap().is_empty());
+        assert!(idx
+            .search(&[0.0; 4], 3, &SearchParams::default())
+            .unwrap()
+            .is_empty());
         let mut idx = idx;
         idx.insert(&[1.0, 0.0, 0.0, 0.0]).unwrap();
-        let hits = idx.search(&[1.0, 0.0, 0.0, 0.0], 3, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[1.0, 0.0, 0.0, 0.0], 3, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].dist, 0.0);
     }

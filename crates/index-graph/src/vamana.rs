@@ -10,9 +10,7 @@
 use crate::graph::{beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList};
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
-use vdb_core::index::{
-    check_query, IndexStats, RowFilter, SearchParams, VectorIndex,
-};
+use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
 use vdb_core::rng::Rng;
 use vdb_core::topk::Neighbor;
@@ -33,7 +31,12 @@ pub struct VamanaConfig {
 
 impl Default for VamanaConfig {
     fn default() -> Self {
-        VamanaConfig { r: 24, l: 64, alpha: 1.2, seed: 0xDA7A }
+        VamanaConfig {
+            r: 24,
+            l: 64,
+            alpha: 1.2,
+            seed: 0xDA7A,
+        }
     }
 }
 
@@ -51,7 +54,9 @@ impl VamanaIndex {
     /// Build the graph.
     pub fn build(vectors: Vectors, metric: Metric, cfg: VamanaConfig) -> Result<Self> {
         if cfg.r == 0 || cfg.l == 0 {
-            return Err(Error::InvalidParameter("vamana needs r >= 1 and l >= 1".into()));
+            return Err(Error::InvalidParameter(
+                "vamana needs r >= 1 and l >= 1".into(),
+            ));
         }
         if cfg.alpha < 1.0 {
             return Err(Error::InvalidParameter("alpha must be >= 1".into()));
@@ -146,7 +151,9 @@ impl VamanaIndex {
                     }
                 }
             }
-            let Some(orphan) = seen.iter().position(|&s| !s) else { break };
+            let Some(orphan) = seen.iter().position(|&s| !s) else {
+                break;
+            };
             let found = beam_search(
                 &adj,
                 &vectors,
@@ -163,7 +170,14 @@ impl VamanaIndex {
             repaired += 1;
         }
 
-        Ok(VamanaIndex { vectors, metric, adj, start, cfg, repaired })
+        Ok(VamanaIndex {
+            vectors,
+            metric,
+            adj,
+            start,
+            cfg,
+            repaired,
+        })
     }
 
     /// Edges added by the final connectivity-repair pass (diagnostics).
@@ -305,7 +319,13 @@ impl VectorIndex for VamanaIndex {
 
 impl std::fmt::Debug for VamanaIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "VamanaIndex(n={}, r={}, alpha={})", self.len(), self.cfg.r, self.cfg.alpha)
+        write!(
+            f,
+            "VamanaIndex(n={}, r={}, alpha={})",
+            self.len(),
+            self.cfg.r,
+            self.cfg.alpha
+        )
     }
 }
 
@@ -323,7 +343,10 @@ mod tests {
         let idx = VamanaIndex::build(
             data,
             Metric::Euclidean,
-            VamanaConfig { alpha, ..Default::default() },
+            VamanaConfig {
+                alpha,
+                ..Default::default()
+            },
         )
         .unwrap();
         (idx, queries, gt)
@@ -331,7 +354,10 @@ mod tests {
 
     fn recall_of(idx: &VamanaIndex, queries: &Vectors, gt: &GroundTruth, ef: usize) -> f64 {
         let params = SearchParams::default().with_beam_width(ef);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -354,7 +380,11 @@ mod tests {
     fn graph_reaches_everything_from_medoid() {
         let (idx, _, _) = setup(1.2);
         let reach = idx.adjacency().reachable_from(idx.start());
-        assert!(reach as f64 > 0.99 * idx.len() as f64, "reach {reach}/{}", idx.len());
+        assert!(
+            reach as f64 > 0.99 * idx.len() as f64,
+            "reach {reach}/{}",
+            idx.len()
+        );
     }
 
     #[test]
@@ -386,7 +416,9 @@ mod tests {
         let mut data = Vectors::new(3);
         data.push(&[1.0, 2.0, 3.0]).unwrap();
         let idx = VamanaIndex::build(data, Metric::Euclidean, VamanaConfig::default()).unwrap();
-        let hits = idx.search(&[1.0, 2.0, 3.0], 5, &SearchParams::default()).unwrap();
+        let hits = idx
+            .search(&[1.0, 2.0, 3.0], 5, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.len(), 1);
     }
 
@@ -395,12 +427,24 @@ mod tests {
         let mut data = Vectors::new(2);
         data.push(&[0.0, 0.0]).unwrap();
         for cfg in [
-            VamanaConfig { r: 0, ..Default::default() },
-            VamanaConfig { l: 0, ..Default::default() },
-            VamanaConfig { alpha: 0.5, ..Default::default() },
+            VamanaConfig {
+                r: 0,
+                ..Default::default()
+            },
+            VamanaConfig {
+                l: 0,
+                ..Default::default()
+            },
+            VamanaConfig {
+                alpha: 0.5,
+                ..Default::default()
+            },
         ] {
             assert!(VamanaIndex::build(data.clone(), Metric::Euclidean, cfg).is_err());
         }
-        assert!(VamanaIndex::build(Vectors::new(2), Metric::Euclidean, VamanaConfig::default()).is_err());
+        assert!(
+            VamanaIndex::build(Vectors::new(2), Metric::Euclidean, VamanaConfig::default())
+                .is_err()
+        );
     }
 }

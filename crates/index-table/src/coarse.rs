@@ -18,6 +18,11 @@ pub(crate) fn train_coarse(
     }
     KMeans::train(
         vectors,
-        &KMeansConfig { k: nlist, max_iters: train_iters, tolerance: 1e-4, seed },
+        &KMeansConfig {
+            k: nlist,
+            max_iters: train_iters,
+            tolerance: 1e-4,
+            seed,
+        },
     )
 }

@@ -31,7 +31,11 @@ pub struct IvfConfig {
 impl IvfConfig {
     /// Default configuration with `nlist` lists.
     pub fn new(nlist: usize) -> Self {
-        IvfConfig { nlist, train_iters: 15, seed: 0x1F1F }
+        IvfConfig {
+            nlist,
+            train_iters: 15,
+            seed: 0x1F1F,
+        }
     }
 }
 
@@ -53,7 +57,12 @@ impl IvfFlatIndex {
         for (row, v) in vectors.iter().enumerate() {
             lists[coarse.assign(v).0].push(row as u32);
         }
-        Ok(IvfFlatIndex { vectors, metric, coarse, lists })
+        Ok(IvfFlatIndex {
+            vectors,
+            metric,
+            coarse,
+            lists,
+        })
     }
 
     /// The coarse quantizer (exposed for index-guided sharding and
@@ -83,20 +92,39 @@ impl IvfFlatIndex {
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Vec<Neighbor> {
-        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
-        ctx.pool.reset(k);
-        for &c in &ctx.ids {
-            for &row in &self.lists[c as usize] {
-                if let Some(f) = filter {
-                    if !f.accept(row as usize) {
-                        continue;
+        self.coarse
+            .assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
+        let SearchContext {
+            ids, dists, pool, ..
+        } = ctx;
+        pool.reset(k);
+        for &c in ids.iter() {
+            let list = &self.lists[c as usize];
+            match filter {
+                // Unfiltered probe: score the whole posting list through the
+                // gathered multi-row kernel, then push.
+                None => {
+                    dists.resize(list.len(), 0.0);
+                    self.metric
+                        .distance_gather(query, &self.vectors, list, dists);
+                    for (&row, &d) in list.iter().zip(dists.iter()) {
+                        pool.push(Neighbor::new(row as usize, d));
                     }
                 }
-                let d = self.metric.distance(query, self.vectors.get(row as usize));
-                ctx.pool.push(Neighbor::new(row as usize, d));
+                // Filtered probe: evaluate the predicate first so blocked
+                // rows never incur a distance computation.
+                Some(f) => {
+                    for &row in list {
+                        if !f.accept(row as usize) {
+                            continue;
+                        }
+                        let d = self.metric.distance(query, self.vectors.get(row as usize));
+                        pool.push(Neighbor::new(row as usize, d));
+                    }
+                }
             }
         }
-        ctx.pool.drain_sorted()
+        pool.drain_sorted()
     }
 }
 
@@ -169,7 +197,12 @@ impl DynamicIndex for IvfFlatIndex {
 
 impl std::fmt::Debug for IvfFlatIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IvfFlatIndex(n={}, nlist={})", self.len(), self.lists.len())
+        write!(
+            f,
+            "IvfFlatIndex(n={}, nlist={})",
+            self.len(),
+            self.lists.len()
+        )
     }
 }
 
@@ -201,7 +234,10 @@ mod tests {
     fn high_nprobe_reaches_high_recall() {
         let (idx, queries, gt) = setup(32);
         let params = SearchParams::default().with_nprobe(16);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.95, "recall {r}");
     }
@@ -210,8 +246,14 @@ mod tests {
     fn nprobe_equals_nlist_is_exact() {
         let (idx, queries, gt) = setup(16);
         let params = SearchParams::default().with_nprobe(16);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
-        assert!((gt.recall_batch(&results) - 1.0).abs() < 1e-12, "probing all lists = exact");
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
+        assert!(
+            (gt.recall_batch(&results) - 1.0).abs() < 1e-12,
+            "probing all lists = exact"
+        );
     }
 
     #[test]
@@ -220,8 +262,10 @@ mod tests {
         let mut last = 0.0;
         for nprobe in [1, 4, 16, 32] {
             let params = SearchParams::default().with_nprobe(nprobe);
-            let results: Vec<_> =
-                queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+            let results: Vec<_> = queries
+                .iter()
+                .map(|q| idx.search(q, 10, &params).unwrap())
+                .collect();
             let r = gt.recall_batch(&results);
             assert!(r >= last - 1e-9, "nprobe={nprobe}: {r} < {last}");
             last = r;
@@ -253,7 +297,9 @@ mod tests {
         let row = idx.insert(&v).unwrap();
         let c = idx.coarse().assign(&v).0;
         assert!(idx.list(c).contains(&(row as u32)));
-        let hits = idx.search(&v, 1, &SearchParams::default().with_nprobe(8)).unwrap();
+        let hits = idx
+            .search(&v, 1, &SearchParams::default().with_nprobe(8))
+            .unwrap();
         assert_eq!(hits[0].id, row);
     }
 

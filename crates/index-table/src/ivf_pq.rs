@@ -39,7 +39,11 @@ pub struct IvfPqConfig {
 impl IvfPqConfig {
     /// Default: `nlist` lists, `m` PQ subspaces, re-ranking on.
     pub fn new(nlist: usize, m: usize) -> Self {
-        IvfPqConfig { ivf: IvfConfig::new(nlist), pq: PqConfig::new(m), refine: true }
+        IvfPqConfig {
+            ivf: IvfConfig::new(nlist),
+            pq: PqConfig::new(m),
+            refine: true,
+        }
     }
 }
 
@@ -111,9 +115,14 @@ impl IvfPqIndex {
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Result<Vec<Neighbor>> {
-        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
+        self.coarse
+            .assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
         let m = self.pq.code_len();
-        let pool = if self.refine.is_some() { params.rerank.max(k) } else { k };
+        let pool = if self.refine.is_some() {
+            params.rerank.max(k)
+        } else {
+            k
+        };
         ctx.pool.reset(pool);
         ctx.scratch.clear();
         ctx.scratch.resize(self.dim, 0.0);
@@ -127,14 +136,26 @@ impl IvfPqIndex {
             self.pq.adc_table_into(&ctx.scratch, &mut table)?;
             let rows = &self.lists[c];
             let codes = &self.codes[c];
-            for (i, &row) in rows.iter().enumerate() {
-                if let Some(f) = filter {
-                    if !f.accept(row as usize) {
-                        continue;
+            match filter {
+                // Unfiltered probe: one dispatched ADC scan over the list's
+                // contiguous code block (the AVX2 backend gathers eight
+                // table entries per instruction).
+                None => {
+                    ctx.dists.resize(rows.len(), 0.0);
+                    table.scan(codes, &mut ctx.dists);
+                    for (&row, &d) in rows.iter().zip(ctx.dists.iter()) {
+                        ctx.pool.push(Neighbor::new(row as usize, d));
                     }
                 }
-                let d = table.distance(&codes[i * m..(i + 1) * m]);
-                ctx.pool.push(Neighbor::new(row as usize, d));
+                Some(f) => {
+                    for (i, &row) in rows.iter().enumerate() {
+                        if !f.accept(row as usize) {
+                            continue;
+                        }
+                        let d = table.distance(&codes[i * m..(i + 1) * m]);
+                        ctx.pool.push(Neighbor::new(row as usize, d));
+                    }
+                }
             }
         }
         ctx.ext::<PqScratch>().table = table;
@@ -143,7 +164,10 @@ impl IvfPqIndex {
             Some(full) => {
                 ctx.rerank.reset(k);
                 for n in approx {
-                    ctx.rerank.push(Neighbor::new(n.id, self.metric.distance(query, full.get(n.id))));
+                    ctx.rerank.push(Neighbor::new(
+                        n.id,
+                        self.metric.distance(query, full.get(n.id)),
+                    ));
                 }
                 ctx.rerank.drain_sorted()
             }
@@ -202,7 +226,10 @@ impl VectorIndex for IvfPqIndex {
         let code_bytes: usize = self.codes.iter().map(Vec::len).sum();
         let ids: usize = self.lists.iter().map(Vec::len).sum();
         IndexStats {
-            memory_bytes: code_bytes + ids * 4 + self.coarse.k() * self.dim * 4 + self.pq.memory_bytes(),
+            memory_bytes: code_bytes
+                + ids * 4
+                + self.coarse.k() * self.dim * 4
+                + self.pq.memory_bytes(),
             structure_entries: ids,
             detail: format!("nlist={} m={}", self.lists.len(), self.pq.m()),
         }
@@ -211,7 +238,13 @@ impl VectorIndex for IvfPqIndex {
 
 impl std::fmt::Debug for IvfPqIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IvfPqIndex(n={}, nlist={}, m={})", self.n, self.lists.len(), self.pq.m())
+        write!(
+            f,
+            "IvfPqIndex(n={}, nlist={}, m={})",
+            self.n,
+            self.lists.len(),
+            self.pq.m()
+        )
     }
 }
 
@@ -235,7 +268,10 @@ mod tests {
 
     fn recall_at(idx: &IvfPqIndex, queries: &Vectors, gt: &GroundTruth, nprobe: usize) -> f64 {
         let params = SearchParams::default().with_nprobe(nprobe).with_rerank(100);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -277,7 +313,9 @@ mod tests {
         let (idx, queries, _) = setup(8, true);
         let filter = |id: usize| id % 2 == 1;
         let params = SearchParams::default().with_nprobe(16);
-        let hits = idx.search_filtered(queries.get(0), 5, &params, &filter).unwrap();
+        let hits = idx
+            .search_filtered(queries.get(0), 5, &params, &filter)
+            .unwrap();
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|n| n.id % 2 == 1));
     }

@@ -81,22 +81,40 @@ impl IvfSqIndex {
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Vec<Neighbor> {
-        self.coarse.assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
+        self.coarse
+            .assign_multi_into(query, params.nprobe.max(1), &mut ctx.order, &mut ctx.ids);
         let code_len = self.sq.code_len();
         // Phase 1: approximate candidates by asymmetric code distance.
-        let pool = if self.refine.is_some() { params.rerank.max(k) } else { k };
+        let pool = if self.refine.is_some() {
+            params.rerank.max(k)
+        } else {
+            k
+        };
         ctx.pool.reset(pool);
         for &c in &ctx.ids {
             let rows = &self.lists[c as usize];
             let codes = &self.codes[c as usize];
-            for (i, &row) in rows.iter().enumerate() {
-                if let Some(f) = filter {
-                    if !f.accept(row as usize) {
-                        continue;
+            match filter {
+                // Unfiltered probe: batch the whole list's contiguous codes
+                // through the dispatched SQ kernel.
+                None => {
+                    ctx.dists.resize(rows.len(), 0.0);
+                    self.sq.asymmetric_l2_sq_batch(query, codes, &mut ctx.dists);
+                    for (&row, &d) in rows.iter().zip(ctx.dists.iter()) {
+                        ctx.pool.push(Neighbor::new(row as usize, d));
                     }
                 }
-                let d = self.sq.asymmetric_l2_sq(query, &codes[i * code_len..(i + 1) * code_len]);
-                ctx.pool.push(Neighbor::new(row as usize, d));
+                Some(f) => {
+                    for (i, &row) in rows.iter().enumerate() {
+                        if !f.accept(row as usize) {
+                            continue;
+                        }
+                        let d = self
+                            .sq
+                            .asymmetric_l2_sq(query, &codes[i * code_len..(i + 1) * code_len]);
+                        ctx.pool.push(Neighbor::new(row as usize, d));
+                    }
+                }
             }
         }
         let approx = ctx.pool.drain_sorted();
@@ -167,7 +185,11 @@ impl VectorIndex for IvfSqIndex {
         IndexStats {
             memory_bytes: code_bytes + ids * 4 + self.coarse.k() * self.dim * 4,
             structure_entries: ids,
-            detail: format!("nlist={} code_bytes/vec={}", self.lists.len(), self.sq.code_len()),
+            detail: format!(
+                "nlist={} code_bytes/vec={}",
+                self.lists.len(),
+                self.sq.code_len()
+            ),
         }
     }
 }
@@ -190,13 +212,17 @@ mod tests {
         let data = dataset::clustered(2000, 16, 10, 0.4, &mut rng).vectors;
         let queries = dataset::split_queries(&data, 25, 0.05, &mut rng);
         let gt = GroundTruth::compute(&data, &queries, Metric::Euclidean, 10).unwrap();
-        let idx = IvfSqIndex::build(data, Metric::Euclidean, &IvfConfig::new(16), bits, refine).unwrap();
+        let idx =
+            IvfSqIndex::build(data, Metric::Euclidean, &IvfConfig::new(16), bits, refine).unwrap();
         (idx, queries, gt)
     }
 
     fn recall_at(idx: &IvfSqIndex, queries: &Vectors, gt: &GroundTruth, nprobe: usize) -> f64 {
         let params = SearchParams::default().with_nprobe(nprobe);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -239,7 +265,10 @@ mod tests {
     #[test]
     fn edge_cases() {
         let (idx, queries, _) = setup(SqBits::B8, true);
-        assert!(idx.search(queries.get(0), 0, &SearchParams::default()).unwrap().is_empty());
+        assert!(idx
+            .search(queries.get(0), 0, &SearchParams::default())
+            .unwrap()
+            .is_empty());
         assert!(idx.search(&[0.0; 3], 5, &SearchParams::default()).is_err());
     }
 }

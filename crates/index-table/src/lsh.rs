@@ -55,7 +55,12 @@ impl Default for LshConfig {
         // sizes useful at laptop scale, and 16 tables recover recall (F2
         // sweeps both knobs). `w = 0` auto-calibrates the bucket width to
         // the data's neighbor-distance scale at build time.
-        LshConfig { l: 16, k: 8, family: HashFamily::PStable { w: 0.0 }, seed: 0x15A4 }
+        LshConfig {
+            l: 16,
+            k: 8,
+            family: HashFamily::PStable { w: 0.0 },
+            seed: 0x15A4,
+        }
     }
 }
 
@@ -107,7 +112,12 @@ impl TableHash {
             HashFamily::RandomHyperplane => vec![0.0; k],
             HashFamily::PStable { w } => (0..k).map(|_| rng.f32() * w).collect(),
         };
-        TableHash { projections, offsets, k, dim }
+        TableHash {
+            projections,
+            offsets,
+            k,
+            dim,
+        }
     }
 
     /// Hash a vector to a 64-bit table key.
@@ -141,28 +151,44 @@ impl LshIndex {
     /// data's neighbor-distance scale.
     pub fn build(vectors: Vectors, metric: Metric, mut cfg: LshConfig) -> Result<Self> {
         if cfg.l == 0 || cfg.k == 0 {
-            return Err(Error::InvalidParameter("LSH needs l >= 1 and k >= 1".into()));
+            return Err(Error::InvalidParameter(
+                "LSH needs l >= 1 and k >= 1".into(),
+            ));
         }
         metric.validate(vectors.dim())?;
         let dim = vectors.dim();
         let mut rng = Rng::seed_from_u64(cfg.seed);
         if let HashFamily::PStable { w } = cfg.family {
             if w < 0.0 {
-                return Err(Error::InvalidParameter("p-stable bucket width must be >= 0".into()));
+                return Err(Error::InvalidParameter(
+                    "p-stable bucket width must be >= 0".into(),
+                ));
             }
             if w == 0.0 {
-                cfg.family = HashFamily::PStable { w: calibrate_width(&vectors, &mut rng) };
+                cfg.family = HashFamily::PStable {
+                    w: calibrate_width(&vectors, &mut rng),
+                };
             }
         }
-        let hashes: Vec<TableHash> =
-            (0..cfg.l).map(|_| TableHash::new(dim, cfg.k, cfg.family, &mut rng)).collect();
+        let hashes: Vec<TableHash> = (0..cfg.l)
+            .map(|_| TableHash::new(dim, cfg.k, cfg.family, &mut rng))
+            .collect();
         let mut tables: Vec<HashMap<u64, Vec<u32>>> = (0..cfg.l).map(|_| HashMap::new()).collect();
         for (row, v) in vectors.iter().enumerate() {
             for (t, h) in hashes.iter().enumerate() {
-                tables[t].entry(h.key(v, cfg.family)).or_default().push(row as u32);
+                tables[t]
+                    .entry(h.key(v, cfg.family))
+                    .or_default()
+                    .push(row as u32);
             }
         }
-        Ok(LshIndex { vectors, metric, cfg, hashes, tables })
+        Ok(LshIndex {
+            vectors,
+            metric,
+            cfg,
+            hashes,
+            tables,
+        })
     }
 
     /// Collect candidate rows colliding with the query in up to `probes`
@@ -172,7 +198,11 @@ impl LshIndex {
         let probes = probes.clamp(1, self.cfg.l);
         ctx.begin(self.vectors.len());
         ctx.ids.clear();
-        let SearchContext { visited: seen, ids: out, .. } = ctx;
+        let SearchContext {
+            visited: seen,
+            ids: out,
+            ..
+        } = ctx;
         for t in 0..probes {
             let key = self.hashes[t].key(query, self.cfg.family);
             if let Some(bucket) = self.tables[t].get(&key) {
@@ -238,7 +268,11 @@ impl VectorIndex for LshIndex {
     }
 
     fn stats(&self) -> IndexStats {
-        let entries: usize = self.tables.iter().map(|t| t.values().map(Vec::len).sum::<usize>()).sum();
+        let entries: usize = self
+            .tables
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum();
         let buckets: usize = self.tables.iter().map(HashMap::len).sum();
         IndexStats {
             memory_bytes: entries * 4
@@ -255,7 +289,10 @@ impl DynamicIndex for LshIndex {
         let row = self.vectors.push(vector)?;
         let v = self.vectors.get(row);
         for (t, h) in self.hashes.iter().enumerate() {
-            self.tables[t].entry(h.key(v, self.cfg.family)).or_default().push(row as u32);
+            self.tables[t]
+                .entry(h.key(v, self.cfg.family))
+                .or_default()
+                .push(row as u32);
         }
         Ok(row)
     }
@@ -263,7 +300,13 @@ impl DynamicIndex for LshIndex {
 
 impl std::fmt::Debug for LshIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LshIndex(n={}, l={}, k={})", self.len(), self.cfg.l, self.cfg.k)
+        write!(
+            f,
+            "LshIndex(n={}, l={}, k={})",
+            self.len(),
+            self.cfg.l,
+            self.cfg.k
+        )
     }
 }
 
@@ -284,7 +327,10 @@ mod tests {
 
     fn mean_recall(idx: &LshIndex, queries: &Vectors, gt: &GroundTruth) -> f64 {
         let params = SearchParams::default();
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -302,7 +348,12 @@ mod tests {
 
     #[test]
     fn more_tables_raise_recall() {
-        let mk = |l| LshConfig { l, k: 10, family: HashFamily::PStable { w: 4.0 }, seed: 7 };
+        let mk = |l| LshConfig {
+            l,
+            k: 10,
+            family: HashFamily::PStable { w: 4.0 },
+            seed: 7,
+        };
         let (idx2, q2, gt2) = build_on_clusters(mk(2));
         let (idx16, q16, gt16) = build_on_clusters(mk(16));
         let r2 = mean_recall(&idx2, &q2, &gt2);
@@ -312,7 +363,12 @@ mod tests {
 
     #[test]
     fn larger_k_shrinks_buckets() {
-        let mk = |k| LshConfig { l: 4, k, family: HashFamily::PStable { w: 4.0 }, seed: 7 };
+        let mk = |k| LshConfig {
+            l: 4,
+            k,
+            family: HashFamily::PStable { w: 4.0 },
+            seed: 7,
+        };
         let (idx_small_k, queries, _) = build_on_clusters(mk(4));
         let (idx_big_k, _, _) = build_on_clusters(mk(16));
         let q = queries.get(0);
@@ -332,11 +388,19 @@ mod tests {
         let idx = LshIndex::build(
             data,
             Metric::Cosine,
-            LshConfig { l: 16, k: 8, family: HashFamily::RandomHyperplane, seed: 3 },
+            LshConfig {
+                l: 16,
+                k: 8,
+                family: HashFamily::RandomHyperplane,
+                seed: 3,
+            },
         )
         .unwrap();
         let params = SearchParams::default();
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
         assert!(r > 0.35, "angular recall {r}");
     }
@@ -354,19 +418,41 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let data = dataset::gaussian(10, 4, &mut Rng::seed_from_u64(1));
-        assert!(LshIndex::build(data.clone(), Metric::Euclidean, LshConfig { l: 0, ..Default::default() }).is_err());
-        assert!(LshIndex::build(data.clone(), Metric::Euclidean, LshConfig { k: 0, ..Default::default() }).is_err());
         assert!(LshIndex::build(
             data.clone(),
             Metric::Euclidean,
-            LshConfig { family: HashFamily::PStable { w: -1.0 }, ..Default::default() }
+            LshConfig {
+                l: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            LshConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::build(
+            data.clone(),
+            Metric::Euclidean,
+            LshConfig {
+                family: HashFamily::PStable { w: -1.0 },
+                ..Default::default()
+            }
         )
         .is_err());
         // w = 0 auto-calibrates rather than failing.
         let auto = LshIndex::build(
             data,
             Metric::Euclidean,
-            LshConfig { family: HashFamily::PStable { w: 0.0 }, ..Default::default() },
+            LshConfig {
+                family: HashFamily::PStable { w: 0.0 },
+                ..Default::default()
+            },
         )
         .unwrap();
         match auto.config().family {
@@ -395,7 +481,11 @@ mod tests {
 
     #[test]
     fn stats_entries_equal_l_times_n() {
-        let (idx, _, _) = build_on_clusters(LshConfig { l: 4, k: 8, ..Default::default() });
+        let (idx, _, _) = build_on_clusters(LshConfig {
+            l: 4,
+            k: 8,
+            ..Default::default()
+        });
         assert_eq!(idx.stats().structure_entries, 4 * idx.len());
     }
 }

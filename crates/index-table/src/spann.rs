@@ -41,7 +41,13 @@ pub struct SpannConfig {
 impl SpannConfig {
     /// Defaults for `nlist` posting lists.
     pub fn new(nlist: usize) -> Self {
-        SpannConfig { nlist, closure_epsilon: 0.1, train_iters: 15, seed: 0x5AA5, cache_pages: 64 }
+        SpannConfig {
+            nlist,
+            closure_epsilon: 0.1,
+            train_iters: 15,
+            seed: 0x5AA5,
+            cache_pages: 64,
+        }
     }
 }
 
@@ -75,7 +81,9 @@ impl SpannIndex {
             return Err(Error::InvalidParameter("nlist must be positive".into()));
         }
         if cfg.closure_epsilon < 0.0 {
-            return Err(Error::InvalidParameter("closure epsilon must be >= 0".into()));
+            return Err(Error::InvalidParameter(
+                "closure epsilon must be >= 0".into(),
+            ));
         }
         let dim = vectors.dim();
         let record_bytes = 4 + dim * 4;
@@ -87,7 +95,12 @@ impl SpannIndex {
         }
         let km = KMeans::train(
             vectors,
-            &KMeansConfig { k: cfg.nlist, max_iters: cfg.train_iters, tolerance: 1e-4, seed: cfg.seed },
+            &KMeansConfig {
+                k: cfg.nlist,
+                max_iters: cfg.train_iters,
+                tolerance: 1e-4,
+                seed: cfg.seed,
+            },
         )?;
         let nlist = km.k();
 
@@ -253,11 +266,18 @@ impl SpannIndex {
                 .enumerate()
                 .map(|(c, cent)| (kernel::l2_sq(query, cent), c as u32)),
         );
-        ctx.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ctx.order
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let probes = params.nprobe.max(1).min(ctx.order.len());
         let record_bytes = 4 + self.dim * 4;
         ctx.pool.reset(k);
-        let SearchContext { visited: seen, pool: top, order, scratch, .. } = ctx;
+        let SearchContext {
+            visited: seen,
+            pool: top,
+            order,
+            scratch,
+            ..
+        } = ctx;
         for &(_, c) in order.iter().take(probes) {
             let (start, count) = self.postings[c as usize];
             let pages = (count as usize).div_ceil(self.records_per_page);
@@ -433,7 +453,10 @@ mod tests {
 
     fn recall_at(idx: &SpannIndex, queries: &Vectors, gt: &GroundTruth, nprobe: usize) -> f64 {
         let params = SearchParams::default().with_nprobe(nprobe);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -462,7 +485,11 @@ mod tests {
         let closed = build(0.5, "closed.idx");
         let rp = recall_at(&plain, &queries, &gt, 2);
         let rc = recall_at(&closed, &queries, &gt, 2);
-        assert!(closed.replication_factor() > 1.05, "replication {} too low", closed.replication_factor());
+        assert!(
+            closed.replication_factor() > 1.05,
+            "replication {} too low",
+            closed.replication_factor()
+        );
         assert!(rc >= rp, "closure {rc} vs plain {rp}");
     }
 
@@ -518,7 +545,9 @@ mod tests {
         let (_d, idx, queries, _) = setup(0.1, 64);
         let filter = |id: usize| id < 100;
         let params = SearchParams::default().with_nprobe(16);
-        let hits = idx.search_filtered(queries.get(0), 5, &params, &filter).unwrap();
+        let hits = idx
+            .search_filtered(queries.get(0), 5, &params, &filter)
+            .unwrap();
         assert!(hits.iter().all(|n| n.id < 100));
     }
 
@@ -526,7 +555,13 @@ mod tests {
     fn rejects_invalid_builds() {
         let dir = TempDir::new("spann-bad").unwrap();
         let data = dataset::gaussian(10, 4, &mut Rng::seed_from_u64(1));
-        assert!(SpannIndex::build(dir.file("a"), &Vectors::new(4), Metric::Euclidean, &SpannConfig::new(4)).is_err());
+        assert!(SpannIndex::build(
+            dir.file("a"),
+            &Vectors::new(4),
+            Metric::Euclidean,
+            &SpannConfig::new(4)
+        )
+        .is_err());
         let mut cfg = SpannConfig::new(0);
         assert!(SpannIndex::build(dir.file("b"), &data, Metric::Euclidean, &cfg).is_err());
         cfg = SpannConfig::new(4);

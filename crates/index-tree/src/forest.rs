@@ -14,9 +14,9 @@ use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::rng::Rng;
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
-use vdb_core::rng::Rng;
 
 /// Build-time configuration for a tree forest.
 #[derive(Debug, Clone)]
@@ -32,7 +32,11 @@ pub struct ForestConfig {
 impl ForestConfig {
     /// Defaults: `n_trees` trees with 16-point leaves.
     pub fn new(n_trees: usize) -> Self {
-        ForestConfig { n_trees, leaf_size: 16, seed: 0x7EE5 }
+        ForestConfig {
+            n_trees,
+            leaf_size: 16,
+            seed: 0x7EE5,
+        }
     }
 }
 
@@ -132,7 +136,9 @@ impl ForestIndex {
         name: &'static str,
     ) -> Result<Self> {
         if cfg.n_trees == 0 {
-            return Err(Error::InvalidParameter("forest needs at least one tree".into()));
+            return Err(Error::InvalidParameter(
+                "forest needs at least one tree".into(),
+            ));
         }
         if cfg.leaf_size == 0 {
             return Err(Error::InvalidParameter("leaf size must be positive".into()));
@@ -146,7 +152,14 @@ impl ForestIndex {
             })
             .collect();
         let exact_capable = matches!(metric, Metric::Euclidean | Metric::SquaredEuclidean);
-        Ok(ForestIndex { vectors, metric, trees, name, cfg, exact_capable })
+        Ok(ForestIndex {
+            vectors,
+            metric,
+            trees,
+            name,
+            cfg,
+            exact_capable,
+        })
     }
 
     /// The build configuration.
@@ -172,7 +185,12 @@ impl ForestIndex {
     ) -> Vec<Neighbor> {
         ctx.begin(self.vectors.len());
         ctx.pool.reset(k);
-        let SearchContext { visited: seen, pool: top, frontier: heap, .. } = ctx;
+        let SearchContext {
+            visited: seen,
+            pool: top,
+            frontier: heap,
+            ..
+        } = ctx;
         for (t, tree) in self.trees.iter().enumerate() {
             heap.push(Reverse(Neighbor::new(pack(t as u32, tree.root), 0.0)));
         }
@@ -213,7 +231,11 @@ impl ForestIndex {
                     }
                     Node::Internal { split, left, right } => {
                         let m = split.margin(query);
-                        let (near, far) = if m < 0.0 { (*left, *right) } else { (*right, *left) };
+                        let (near, far) = if m < 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
                         let far_bound = front.dist.max(m.abs());
                         heap.push(Reverse(Neighbor::new(pack(tree_id, far), far_bound)));
                         node = near;
@@ -317,14 +339,24 @@ impl VectorIndex for ForestIndex {
         IndexStats {
             memory_bytes: bytes,
             structure_entries: nodes,
-            detail: format!("trees={} leaf_size={}", self.trees.len(), self.cfg.leaf_size),
+            detail: format!(
+                "trees={} leaf_size={}",
+                self.trees.len(),
+                self.cfg.leaf_size
+            ),
         }
     }
 }
 
 impl std::fmt::Debug for ForestIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ForestIndex({}, n={}, trees={})", self.name, self.len(), self.trees.len())
+        write!(
+            f,
+            "ForestIndex({}, n={}, trees={})",
+            self.name,
+            self.len(),
+            self.trees.len()
+        )
     }
 }
 
@@ -391,8 +423,14 @@ mod tests {
             }
             recalls.push(hit as f64 / total as f64);
         }
-        assert!(recalls[0] <= recalls[1] + 0.05 && recalls[1] <= recalls[2] + 0.05, "{recalls:?}");
-        assert!(recalls[2] > 0.95, "full budget should be near-exact: {recalls:?}");
+        assert!(
+            recalls[0] <= recalls[1] + 0.05 && recalls[1] <= recalls[2] + 0.05,
+            "{recalls:?}"
+        );
+        assert!(
+            recalls[2] > 0.95,
+            "full budget should be near-exact: {recalls:?}"
+        );
     }
 
     #[test]
@@ -436,10 +474,17 @@ mod tests {
         for _ in 0..100 {
             data.push(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         }
-        let forest =
-            ForestIndex::build(data, Metric::Euclidean, &KdSplitter, ForestConfig::new(2), "kd")
-                .unwrap();
-        let hits = forest.search(&[1.0, 2.0, 3.0, 4.0], 3, &SearchParams::default()).unwrap();
+        let forest = ForestIndex::build(
+            data,
+            Metric::Euclidean,
+            &KdSplitter,
+            ForestConfig::new(2),
+            "kd",
+        )
+        .unwrap();
+        let hits = forest
+            .search(&[1.0, 2.0, 3.0, 4.0], 3, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].dist, 0.0);
     }
@@ -451,7 +496,10 @@ mod tests {
             data.clone(),
             Metric::Euclidean,
             &KdSplitter,
-            ForestConfig { n_trees: 0, ..ForestConfig::new(1) },
+            ForestConfig {
+                n_trees: 0,
+                ..ForestConfig::new(1)
+            },
             "kd"
         )
         .is_err());
@@ -459,7 +507,10 @@ mod tests {
             data,
             Metric::Euclidean,
             &KdSplitter,
-            ForestConfig { leaf_size: 0, ..ForestConfig::new(1) },
+            ForestConfig {
+                leaf_size: 0,
+                ..ForestConfig::new(1)
+            },
             "kd"
         )
         .is_err());

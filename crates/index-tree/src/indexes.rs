@@ -9,23 +9,41 @@ use vdb_core::vector::Vectors;
 
 /// Classic deterministic k-d tree (single tree, max-variance median splits).
 /// Supports exact backtracking search for L2-family metrics.
-pub fn kd_tree(vectors: Vectors, metric: Metric, leaf_size: usize, seed: u64) -> Result<ForestIndex> {
+pub fn kd_tree(
+    vectors: Vectors,
+    metric: Metric,
+    leaf_size: usize,
+    seed: u64,
+) -> Result<ForestIndex> {
     ForestIndex::build(
         vectors,
         metric,
         &KdSplitter,
-        ForestConfig { n_trees: 1, leaf_size, seed },
+        ForestConfig {
+            n_trees: 1,
+            leaf_size,
+            seed,
+        },
         "kd_tree",
     )
 }
 
 /// PCA tree: single tree splitting along each node's principal axis.
-pub fn pca_tree(vectors: Vectors, metric: Metric, leaf_size: usize, seed: u64) -> Result<ForestIndex> {
+pub fn pca_tree(
+    vectors: Vectors,
+    metric: Metric,
+    leaf_size: usize,
+    seed: u64,
+) -> Result<ForestIndex> {
     ForestIndex::build(
         vectors,
         metric,
         &PcaSplitter::default(),
-        ForestConfig { n_trees: 1, leaf_size, seed },
+        ForestConfig {
+            n_trees: 1,
+            leaf_size,
+            seed,
+        },
         "pca_tree",
     )
 }
@@ -43,7 +61,11 @@ pub fn rp_forest(
         vectors,
         metric,
         &RpSplitter,
-        ForestConfig { n_trees, leaf_size, seed },
+        ForestConfig {
+            n_trees,
+            leaf_size,
+            seed,
+        },
         "rp_forest",
     )
 }
@@ -61,7 +83,11 @@ pub fn annoy_forest(
         vectors,
         metric,
         &AnnoySplitter,
-        ForestConfig { n_trees, leaf_size, seed },
+        ForestConfig {
+            n_trees,
+            leaf_size,
+            seed,
+        },
         "annoy",
     )
 }
@@ -79,7 +105,11 @@ pub fn flann_forest(
         vectors,
         metric,
         &RandomizedKdSplitter::default(),
-        ForestConfig { n_trees, leaf_size, seed },
+        ForestConfig {
+            n_trees,
+            leaf_size,
+            seed,
+        },
         "flann",
     )
 }
@@ -102,7 +132,10 @@ mod tests {
 
     fn recall_of(idx: &ForestIndex, queries: &Vectors, gt: &GroundTruth, budget: usize) -> f64 {
         let params = SearchParams::default().with_max_leaf_points(budget);
-        let results: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         gt.recall_batch(&results)
     }
 
@@ -138,11 +171,21 @@ mod tests {
     fn names_are_distinct() {
         let (data, _, _) = setup();
         let names: Vec<&str> = vec![
-            kd_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap().name(),
-            pca_tree(data.clone(), Metric::Euclidean, 16, 1).unwrap().name(),
-            rp_forest(data.clone(), Metric::Euclidean, 2, 16, 1).unwrap().name(),
-            annoy_forest(data.clone(), Metric::Euclidean, 2, 16, 1).unwrap().name(),
-            flann_forest(data, Metric::Euclidean, 2, 16, 1).unwrap().name(),
+            kd_tree(data.clone(), Metric::Euclidean, 16, 1)
+                .unwrap()
+                .name(),
+            pca_tree(data.clone(), Metric::Euclidean, 16, 1)
+                .unwrap()
+                .name(),
+            rp_forest(data.clone(), Metric::Euclidean, 2, 16, 1)
+                .unwrap()
+                .name(),
+            annoy_forest(data.clone(), Metric::Euclidean, 2, 16, 1)
+                .unwrap()
+                .name(),
+            flann_forest(data, Metric::Euclidean, 2, 16, 1)
+                .unwrap()
+                .name(),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

@@ -23,4 +23,6 @@ pub mod split;
 
 pub use forest::{ForestConfig, ForestIndex};
 pub use indexes::{annoy_forest, flann_forest, kd_tree, pca_tree, rp_forest};
-pub use split::{AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter, Split, Splitter};
+pub use split::{
+    AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter, Split, Splitter,
+};

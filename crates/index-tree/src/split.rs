@@ -130,10 +130,12 @@ impl Splitter for KdSplitter {
         if var[axis] <= 0.0 {
             return None;
         }
-        let projections: Vec<f32> =
-            points.iter().map(|&p| data.get(p as usize)[axis]).collect();
+        let projections: Vec<f32> = points.iter().map(|&p| data.get(p as usize)[axis]).collect();
         let threshold = median_threshold(projections)?;
-        Some(Split::Axis { axis: axis as u32, threshold })
+        Some(Split::Axis {
+            axis: axis as u32,
+            threshold,
+        })
     }
 }
 
@@ -171,7 +173,10 @@ impl Splitter for RandomizedKdSplitter {
             let projections: Vec<f32> =
                 points.iter().map(|&p| data.get(p as usize)[axis]).collect();
             if let Some(threshold) = median_threshold(projections) {
-                return Some(Split::Axis { axis: axis as u32, threshold });
+                return Some(Split::Axis {
+                    axis: axis as u32,
+                    threshold,
+                });
             }
         }
         None
@@ -198,8 +203,10 @@ impl Splitter for RpSplitter {
         for x in &mut normal {
             *x /= norm;
         }
-        let mut projections: Vec<f32> =
-            points.iter().map(|&p| kernel::dot(&normal, data.get(p as usize))).collect();
+        let mut projections: Vec<f32> = points
+            .iter()
+            .map(|&p| kernel::dot(&normal, data.get(p as usize)))
+            .collect();
         projections.sort_unstable_by(f32::total_cmp);
         let lo = projections[0];
         let hi = projections[projections.len() - 1];
@@ -247,7 +254,10 @@ impl Splitter for AnnoySplitter {
                 .map(|(i, (x, y))| normal[i] * (x + y) * 0.5)
                 .sum();
             let _ = dim;
-            return Some(Split::Plane { normal, offset: mid });
+            return Some(Split::Plane {
+                normal,
+                offset: mid,
+            });
         }
         None
     }
@@ -299,8 +309,10 @@ impl Splitter for PcaSplitter {
             v = w;
         }
         let normal: Vec<f32> = v.iter().map(|&x| x as f32).collect();
-        let projections: Vec<f32> =
-            points.iter().map(|&p| kernel::dot(&normal, data.get(p as usize))).collect();
+        let projections: Vec<f32> = points
+            .iter()
+            .map(|&p| kernel::dot(&normal, data.get(p as usize)))
+            .collect();
         let offset = median_threshold(projections)?;
         Some(Split::Plane { normal, offset })
     }
@@ -342,8 +354,13 @@ mod tests {
             Box::new(PcaSplitter::default()),
         ];
         for sp in &splitters {
-            let split = sp.split(&data, &pts, &mut rng).unwrap_or_else(|| panic!("{} failed", sp.name()));
-            let left = pts.iter().filter(|&&p| split.goes_left(data.get(p as usize))).count();
+            let split = sp
+                .split(&data, &pts, &mut rng)
+                .unwrap_or_else(|| panic!("{} failed", sp.name()));
+            let left = pts
+                .iter()
+                .filter(|&&p| split.goes_left(data.get(p as usize)))
+                .count();
             assert!(
                 (20..=180).contains(&left),
                 "{} produced a degenerate split: {left}/200 left",
@@ -362,16 +379,24 @@ mod tests {
         assert!(KdSplitter.split(&data, &subset(10), &mut rng).is_none());
         assert!(RpSplitter.split(&data, &subset(10), &mut rng).is_none());
         assert!(AnnoySplitter.split(&data, &subset(10), &mut rng).is_none());
-        assert!(PcaSplitter::default().split(&data, &subset(10), &mut rng).is_none());
+        assert!(PcaSplitter::default()
+            .split(&data, &subset(10), &mut rng)
+            .is_none());
     }
 
     #[test]
     fn margin_is_signed_distance_for_unit_normals() {
-        let s = Split::Plane { normal: vec![1.0, 0.0], offset: 2.0 };
+        let s = Split::Plane {
+            normal: vec![1.0, 0.0],
+            offset: 2.0,
+        };
         assert_eq!(s.margin(&[5.0, 7.0]), 3.0);
         assert_eq!(s.margin(&[0.0, 7.0]), -2.0);
         assert!(s.goes_left(&[0.0, 0.0]));
-        let a = Split::Axis { axis: 1, threshold: 1.0 };
+        let a = Split::Axis {
+            axis: 1,
+            threshold: 1.0,
+        };
         assert_eq!(a.margin(&[9.0, 4.0]), 3.0);
     }
 
@@ -382,12 +407,18 @@ mod tests {
         let mut data = Vectors::new(2);
         for _ in 0..100 {
             let t = rng.normal_f32() * 5.0;
-            data.push(&[t + rng.normal_f32() * 0.01, t - rng.normal_f32() * 0.01]).unwrap();
+            data.push(&[t + rng.normal_f32() * 0.01, t - rng.normal_f32() * 0.01])
+                .unwrap();
         }
-        let s = PcaSplitter::default().split(&data, &subset(100), &mut rng).unwrap();
+        let s = PcaSplitter::default()
+            .split(&data, &subset(100), &mut rng)
+            .unwrap();
         match s {
             Split::Plane { normal, .. } => {
-                assert!((normal[0].abs() - normal[1].abs()).abs() < 0.05, "{normal:?}");
+                assert!(
+                    (normal[0].abs() - normal[1].abs()).abs() < 0.05,
+                    "{normal:?}"
+                );
             }
             _ => panic!("pca produces plane splits"),
         }

@@ -25,7 +25,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// Config with sensible defaults for `k` centroids.
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iters: 25, tolerance: 1e-4, seed: 0x5EED }
+        KMeansConfig {
+            k,
+            max_iters: 25,
+            tolerance: 1e-4,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -83,7 +88,11 @@ impl KMeans {
                     continue;
                 }
                 let inv = 1.0 / counts[c] as f64;
-                for (dst, &s) in centroids.get_mut(c).iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                for (dst, &s) in centroids
+                    .get_mut(c)
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
                     *dst = (s * inv) as f32;
                 }
             }
@@ -95,7 +104,11 @@ impl KMeans {
             }
             prev_inertia = inertia;
         }
-        Ok(KMeans { centroids, inertia, iterations })
+        Ok(KMeans {
+            centroids,
+            inertia,
+            iterations,
+        })
     }
 
     /// The trained centroids.
@@ -115,20 +128,17 @@ impl KMeans {
 
     /// Indices of the `p` nearest centroids, best first (IVF multi-probe).
     pub fn assign_multi(&self, v: &[f32], p: usize) -> Vec<usize> {
-        let mut dists: Vec<(f32, usize)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(c, row)| (kernel::l2_sq(v, row), c))
-            .collect();
-        dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        dists.truncate(p);
-        dists.into_iter().map(|(_, c)| c).collect()
+        let mut order = Vec::new();
+        let mut out = Vec::new();
+        self.assign_multi_into(v, p, &mut order, &mut out);
+        out.into_iter().map(|c| c as usize).collect()
     }
 
     /// Allocation-free [`Self::assign_multi`]: ranks centroids into `order`
     /// and writes the `p` best centroid ids into `out`, best first. Both
     /// buffers are cleared and reused, so a warm caller allocates nothing.
+    /// Scoring runs four centroids at a time through the dispatched
+    /// multi-row kernel.
     pub fn assign_multi_into(
         &self,
         v: &[f32],
@@ -137,12 +147,25 @@ impl KMeans {
         out: &mut Vec<u32>,
     ) {
         order.clear();
-        order.extend(
-            self.centroids
-                .iter()
-                .enumerate()
-                .map(|(c, row)| (kernel::l2_sq(v, row), c as u32)),
-        );
+        let n = self.centroids.len();
+        let mut c = 0;
+        while c + 4 <= n {
+            let d = kernel::l2_sq_x4(
+                v,
+                self.centroids.get(c),
+                self.centroids.get(c + 1),
+                self.centroids.get(c + 2),
+                self.centroids.get(c + 3),
+            );
+            for (j, &dj) in d.iter().enumerate() {
+                order.push((dj, (c + j) as u32));
+            }
+            c += 4;
+        }
+        while c < n {
+            order.push((kernel::l2_sq(v, self.centroids.get(c)), c as u32));
+            c += 1;
+        }
         order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out.clear();
         out.extend(order.iter().take(p).map(|&(_, c)| c));
@@ -154,15 +177,36 @@ impl KMeans {
     }
 }
 
+/// Argmin over centroids, four at a time through the dispatched multi-row
+/// kernel. First-wins on ties (strict `<`), matching the scalar loop.
 fn nearest_centroid(centroids: &Vectors, v: &[f32]) -> (usize, f32) {
     let mut best = 0;
     let mut best_d = f32::INFINITY;
-    for (c, row) in centroids.iter().enumerate() {
-        let d = kernel::l2_sq(v, row);
+    let n = centroids.len();
+    let mut c = 0;
+    while c + 4 <= n {
+        let d = kernel::l2_sq_x4(
+            v,
+            centroids.get(c),
+            centroids.get(c + 1),
+            centroids.get(c + 2),
+            centroids.get(c + 3),
+        );
+        for (j, &dj) in d.iter().enumerate() {
+            if dj < best_d {
+                best_d = dj;
+                best = c + j;
+            }
+        }
+        c += 4;
+    }
+    while c < n {
+        let d = kernel::l2_sq(v, centroids.get(c));
         if d < best_d {
             best_d = d;
             best = c;
         }
+        c += 1;
     }
     (best, best_d)
 }
@@ -173,7 +217,11 @@ fn plus_plus_init(data: &Vectors, k: usize, rng: &mut Rng) -> Vectors {
     let mut centroids = Vectors::with_capacity(data.dim(), k);
     let first = rng.below(data.len());
     centroids.push(data.get(first)).expect("valid row");
-    let mut d2: Vec<f32> = data.iter().map(|row| kernel::l2_sq(row, data.get(first))).collect();
+    // Both the seeding pass and each update are one batched scan of the
+    // whole dataset against a single centroid query.
+    let mut d2 = vec![0.0f32; data.len()];
+    kernel::l2_sq_batch(data.get(first), data.as_flat(), data.dim(), &mut d2);
+    let mut tmp = vec![0.0f32; data.len()];
     for _ in 1..k {
         let total: f64 = d2.iter().map(|&d| d as f64).sum();
         let pick = if total <= 0.0 {
@@ -191,11 +239,10 @@ fn plus_plus_init(data: &Vectors, k: usize, rng: &mut Rng) -> Vectors {
             idx
         };
         centroids.push(data.get(pick)).expect("valid row");
-        let newc = centroids.get(centroids.len() - 1).to_vec();
-        for (i, row) in data.iter().enumerate() {
-            let d = kernel::l2_sq(row, &newc);
-            if d < d2[i] {
-                d2[i] = d;
+        kernel::l2_sq_batch(data.get(pick), data.as_flat(), data.dim(), &mut tmp);
+        for (d, &t) in d2.iter_mut().zip(&tmp) {
+            if t < *d {
+                *d = t;
             }
         }
     }
@@ -223,8 +270,24 @@ mod tests {
     fn inertia_decreases_monotonically_enough() {
         let mut rng = Rng::seed_from_u64(2);
         let data = dataset::gaussian(400, 6, &mut rng);
-        let km1 = KMeans::train(&data, &KMeansConfig { k: 2, max_iters: 1, ..KMeansConfig::new(2) }).unwrap();
-        let km20 = KMeans::train(&data, &KMeansConfig { k: 2, max_iters: 20, ..KMeansConfig::new(2) }).unwrap();
+        let km1 = KMeans::train(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                max_iters: 1,
+                ..KMeansConfig::new(2)
+            },
+        )
+        .unwrap();
+        let km20 = KMeans::train(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                max_iters: 20,
+                ..KMeansConfig::new(2)
+            },
+        )
+        .unwrap();
         assert!(km20.inertia <= km1.inertia * 1.0001);
     }
 

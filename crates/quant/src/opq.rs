@@ -32,7 +32,11 @@ pub struct OpqConfig {
 impl OpqConfig {
     /// Default config for `m` subspaces.
     pub fn new(m: usize) -> Self {
-        OpqConfig { pq: PqConfig::new(m), rotations: 3, seed: 0x0B0E }
+        OpqConfig {
+            pq: PqConfig::new(m),
+            rotations: 3,
+            seed: 0x0B0E,
+        }
     }
 }
 
@@ -57,10 +61,16 @@ impl OpqQuantizer {
         let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut candidates: Vec<(String, Matrix)> = vec![
             ("identity".to_string(), Matrix::identity(dim)),
-            ("permutation".to_string(), variance_balancing_permutation(data, cfg.pq.m)?),
+            (
+                "permutation".to_string(),
+                variance_balancing_permutation(data, cfg.pq.m)?,
+            ),
         ];
         for i in 0..cfg.rotations {
-            candidates.push((format!("random_{i}"), Matrix::random_rotation(dim, &mut rng)));
+            candidates.push((
+                format!("random_{i}"),
+                Matrix::random_rotation(dim, &mut rng),
+            ));
         }
         let mut best: Option<(String, Matrix, ProductQuantizer, f64)> = None;
         for (name, rot) in candidates {
@@ -72,7 +82,12 @@ impl OpqQuantizer {
             }
         }
         let (chosen, rotation, pq, train_error) = best.expect("at least one candidate");
-        Ok(OpqQuantizer { rotation, pq, train_error, chosen })
+        Ok(OpqQuantizer {
+            rotation,
+            pq,
+            train_error,
+            chosen,
+        })
     }
 
     /// Vector dimensionality.
@@ -95,7 +110,10 @@ impl OpqQuantizer {
     /// Encode a vector (rotation + PQ).
     pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
         if v.len() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: v.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: v.len(),
+            });
         }
         self.pq.encode(&self.rotate(v))
     }
@@ -114,7 +132,10 @@ impl OpqQuantizer {
     /// preserved because the rotation is orthonormal).
     pub fn adc_table(&self, query: &[f32]) -> Result<AdcTable> {
         if query.len() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
         }
         self.pq.adc_table(&self.rotate(query))
     }
@@ -151,7 +172,9 @@ fn rotate_all(data: &Vectors, rot: &Matrix) -> Vectors {
 fn variance_balancing_permutation(data: &Vectors, m: usize) -> Result<Matrix> {
     let dim = data.dim();
     if m == 0 || !dim.is_multiple_of(m) {
-        return Err(Error::InvalidParameter(format!("m={m} must divide dim {dim}")));
+        return Err(Error::InvalidParameter(format!(
+            "m={m} must divide dim {dim}"
+        )));
     }
     let mean = data.centroid()?;
     let mut var = vec![0.0f64; dim];
@@ -246,7 +269,10 @@ mod tests {
                 }
             }
         }
-        assert!(halves[0] > 0 && halves[1] > 0, "high-variance dims split: {halves:?}");
+        assert!(
+            halves[0] > 0 && halves[1] > 0,
+            "high-variance dims split: {halves:?}"
+        );
     }
 
     #[test]
@@ -276,7 +302,10 @@ mod tests {
             // distance to the decoded vector.
             let adc = table.distance(&code);
             let direct = kernel::l2_sq(&q, &opq.decode(&code));
-            assert!((adc - direct).abs() < 1e-2 * direct.max(1.0), "{adc} vs {direct}");
+            assert!(
+                (adc - direct).abs() < 1e-2 * direct.max(1.0),
+                "{adc} vs {direct}"
+            );
         }
     }
 

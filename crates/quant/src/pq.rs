@@ -29,7 +29,12 @@ pub struct PqConfig {
 impl PqConfig {
     /// Default config with `m` subspaces and 8-bit codes.
     pub fn new(m: usize) -> Self {
-        PqConfig { m, nbits: 8, train_iters: 15, seed: 0xC0DE }
+        PqConfig {
+            m,
+            nbits: 8,
+            train_iters: 15,
+            seed: 0xC0DE,
+        }
     }
 }
 
@@ -65,13 +70,18 @@ impl AdcTable {
         acc
     }
 
-    /// Batched ADC over contiguous codes, writing into `out` (the
-    /// register-friendly scan loop of §2.3 hardware acceleration).
+    /// Scan contiguous codes through the dispatched ADC kernel, writing one
+    /// approximate squared distance per code into `out` (the
+    /// register-friendly scan loop of §2.3 hardware acceleration; the AVX2
+    /// backend evaluates eight subspaces per vector gather).
+    pub fn scan(&self, codes: &[u8], out: &mut [f32]) {
+        kernel::adc_scan(&self.table, self.ksub, codes, self.m, out);
+    }
+
+    /// Batched ADC over contiguous codes; alias of [`AdcTable::scan`].
     pub fn distance_batch(&self, codes: &[u8], out: &mut [f32]) {
         debug_assert_eq!(codes.len(), self.m * out.len());
-        for (o, code) in out.iter_mut().zip(codes.chunks_exact(self.m)) {
-            *o = self.distance(code);
-        }
+        self.scan(codes, out);
     }
 }
 
@@ -117,12 +127,17 @@ impl ProductQuantizer {
             // data), duplicate the last one to fill the codebook.
             for c in 0..ksub {
                 let src = trained.get(c.min(trained.len() - 1));
-                let dst = &mut codebooks
-                    [(sub * ksub + c) * dsub..(sub * ksub + c + 1) * dsub];
+                let dst = &mut codebooks[(sub * ksub + c) * dsub..(sub * ksub + c + 1) * dsub];
                 dst.copy_from_slice(src);
             }
         }
-        Ok(ProductQuantizer { dim, m, dsub, ksub, codebooks })
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            dsub,
+            ksub,
+            codebooks,
+        })
     }
 
     /// Reassemble a quantizer from raw parts (deserialization of
@@ -130,10 +145,14 @@ impl ProductQuantizer {
     /// floats in the layout produced by [`ProductQuantizer::codebooks`].
     pub fn from_parts(dim: usize, m: usize, ksub: usize, codebooks: Vec<f32>) -> Result<Self> {
         if m == 0 || !dim.is_multiple_of(m) {
-            return Err(Error::InvalidParameter(format!("m={m} must divide dimension {dim}")));
+            return Err(Error::InvalidParameter(format!(
+                "m={m} must divide dimension {dim}"
+            )));
         }
         if ksub == 0 || !ksub.is_power_of_two() || ksub > 256 {
-            return Err(Error::InvalidParameter(format!("ksub={ksub} must be a power of two <= 256")));
+            return Err(Error::InvalidParameter(format!(
+                "ksub={ksub} must be a power of two <= 256"
+            )));
         }
         let dsub = dim / m;
         if codebooks.len() != m * ksub * dsub {
@@ -143,7 +162,13 @@ impl ProductQuantizer {
                 m * ksub * dsub
             )));
         }
-        Ok(ProductQuantizer { dim, m, dsub, ksub, codebooks })
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            dsub,
+            ksub,
+            codebooks,
+        })
     }
 
     /// The raw codebook buffer (serialization of disk-resident indexes).
@@ -180,15 +205,24 @@ impl ProductQuantizer {
     /// Encode a vector into `m` sub-codes.
     pub fn encode_into(&self, v: &[f32], out: &mut [u8]) -> Result<()> {
         if v.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: v.len(),
+            });
         }
         debug_assert_eq!(out.len(), self.m);
+        // The ksub centroids of one subspace are contiguous `ksub × dsub`
+        // rows, so the per-subspace argmin is one batched kernel call into
+        // a stack buffer (ksub <= 256). First-wins on ties (strict `<`).
+        let mut dists = [0.0f32; 256];
         for sub in 0..self.m {
             let sv = &v[sub * self.dsub..(sub + 1) * self.dsub];
+            let start = sub * self.ksub * self.dsub;
+            let rows = &self.codebooks[start..start + self.ksub * self.dsub];
+            kernel::l2_sq_batch(sv, rows, self.dsub, &mut dists[..self.ksub]);
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
-            for c in 0..self.ksub {
-                let d = kernel::l2_sq(sv, self.centroid(sub, c));
+            for (c, &d) in dists[..self.ksub].iter().enumerate() {
                 if d < best_d {
                     best_d = d;
                     best = c;
@@ -220,16 +254,18 @@ impl ProductQuantizer {
     /// Build the per-query ADC lookup table (squared L2).
     pub fn adc_table(&self, query: &[f32]) -> Result<AdcTable> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         let mut table = vec![0.0f32; self.m * self.ksub];
-        for sub in 0..self.m {
-            let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
-            for c in 0..self.ksub {
-                table[sub * self.ksub + c] = kernel::l2_sq(qv, self.centroid(sub, c));
-            }
-        }
-        Ok(AdcTable { m: self.m, ksub: self.ksub, table })
+        self.fill_adc_table(query, &mut table);
+        Ok(AdcTable {
+            m: self.m,
+            ksub: self.ksub,
+            table,
+        })
     }
 
     /// Rebuild `out` in place as the ADC table for `query`, reusing its
@@ -237,19 +273,34 @@ impl ProductQuantizer {
     /// reusable search context) builds tables with zero heap traffic.
     pub fn adc_table_into(&self, query: &[f32], out: &mut AdcTable) -> Result<()> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         out.m = self.m;
         out.ksub = self.ksub;
         out.table.clear();
         out.table.resize(self.m * self.ksub, 0.0);
+        self.fill_adc_table(query, &mut out.table);
+        Ok(())
+    }
+
+    /// Fill an `m × ksub` table with partial squared distances: each table
+    /// row is one batched kernel call over the subspace's contiguous
+    /// codebook block.
+    fn fill_adc_table(&self, query: &[f32], table: &mut [f32]) {
         for sub in 0..self.m {
             let qv = &query[sub * self.dsub..(sub + 1) * self.dsub];
-            for c in 0..self.ksub {
-                out.table[sub * self.ksub + c] = kernel::l2_sq(qv, self.centroid(sub, c));
-            }
+            let start = sub * self.ksub * self.dsub;
+            let rows = &self.codebooks[start..start + self.ksub * self.dsub];
+            kernel::l2_sq_batch(
+                qv,
+                rows,
+                self.dsub,
+                &mut table[sub * self.ksub..(sub + 1) * self.ksub],
+            );
         }
-        Ok(())
     }
 
     /// Mean squared reconstruction error over a dataset (OPQ's objective).
@@ -344,7 +395,10 @@ mod tests {
     fn rejects_invalid_configs() {
         let mut rng = Rng::seed_from_u64(7);
         let data = dataset::gaussian(50, 10, &mut rng);
-        assert!(ProductQuantizer::train(&data, &PqConfig::new(3)).is_err(), "3 does not divide 10");
+        assert!(
+            ProductQuantizer::train(&data, &PqConfig::new(3)).is_err(),
+            "3 does not divide 10"
+        );
         assert!(ProductQuantizer::train(&data, &PqConfig::new(0)).is_err());
         let mut cfg = PqConfig::new(2);
         cfg.nbits = 9;

@@ -6,6 +6,7 @@
 //! byte (8×).
 
 use vdb_core::error::{Error, Result};
+use vdb_core::kernel;
 use vdb_core::vector::Vectors;
 
 /// Bit width of scalar codes.
@@ -56,9 +57,20 @@ impl ScalarQuantizer {
         let step = min
             .iter()
             .zip(&max)
-            .map(|(&lo, &hi)| if hi > lo { (hi - lo) / (levels - 1) as f32 } else { 0.0 })
+            .map(|(&lo, &hi)| {
+                if hi > lo {
+                    (hi - lo) / (levels - 1) as f32
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        Ok(ScalarQuantizer { dim, bits, min, step })
+        Ok(ScalarQuantizer {
+            dim,
+            bits,
+            min,
+            step,
+        })
     }
 
     /// Vector dimensionality.
@@ -77,7 +89,10 @@ impl ScalarQuantizer {
     /// Encode one vector into `out` (must be `code_len()` bytes).
     pub fn encode_into(&self, v: &[f32], out: &mut [u8]) -> Result<()> {
         if v.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: v.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: v.len(),
+            });
         }
         debug_assert_eq!(out.len(), self.code_len());
         let levels = self.bits.levels();
@@ -139,22 +154,40 @@ impl ScalarQuantizer {
     }
 
     /// Asymmetric squared-L2 distance: exact query against a decoded code.
+    /// SQ8 codes (one byte per dimension) route through the dispatched
+    /// decode-and-accumulate kernel; SQ4 unpacks nibbles inline.
     pub fn asymmetric_l2_sq(&self, query: &[f32], code: &[u8]) -> f32 {
         debug_assert_eq!(query.len(), self.dim);
-        let mut acc = 0.0f32;
-        for i in 0..self.dim {
-            let q = match self.bits {
-                SqBits::B8 => code[i] as u32,
-                SqBits::B4 => {
+        match self.bits {
+            SqBits::B8 => kernel::sq8_l2_sq(query, code, &self.min, &self.step),
+            SqBits::B4 => {
+                let mut acc = 0.0f32;
+                for i in 0..self.dim {
                     let b = code[i / 2];
-                    (if i % 2 == 0 { b & 0x0F } else { b >> 4 }) as u32
+                    let q = (if i % 2 == 0 { b & 0x0F } else { b >> 4 }) as u32;
+                    let decoded = self.min[i] + q as f32 * self.step[i];
+                    let d = query[i] - decoded;
+                    acc += d * d;
                 }
-            };
-            let decoded = self.min[i] + q as f32 * self.step[i];
-            let d = query[i] - decoded;
-            acc += d * d;
+                acc
+            }
         }
-        acc
+    }
+
+    /// Batched [`Self::asymmetric_l2_sq`] over contiguous codes
+    /// (`out.len()` codes of `code_len()` bytes each) — the inner loop of
+    /// IVF-SQ list scans. SQ8 uses the dispatched batch kernel.
+    pub fn asymmetric_l2_sq_batch(&self, query: &[f32], codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(query.len(), self.dim);
+        debug_assert_eq!(codes.len(), self.code_len() * out.len());
+        match self.bits {
+            SqBits::B8 => kernel::sq8_l2_sq_batch(query, codes, &self.min, &self.step, out),
+            SqBits::B4 => {
+                for (o, code) in out.iter_mut().zip(codes.chunks_exact(self.code_len())) {
+                    *o = self.asymmetric_l2_sq(query, code);
+                }
+            }
+        }
     }
 
     /// Worst-case per-component reconstruction error (half a step).
@@ -213,6 +246,28 @@ mod tests {
                 let via_decode = kernel::l2_sq(&q, &sq.decode(&code));
                 let direct = sq.asymmetric_l2_sq(&q, &code);
                 assert!((via_decode - direct).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let mut rng = Rng::seed_from_u64(11);
+        let data = dataset::gaussian(60, 9, &mut rng);
+        for bits in [SqBits::B8, SqBits::B4] {
+            let sq = ScalarQuantizer::train(&data, bits).unwrap();
+            let q: Vec<f32> = (0..9).map(|_| rng.normal_f32()).collect();
+            let codes: Vec<u8> = data
+                .iter()
+                .take(15)
+                .flat_map(|row| sq.encode(row).unwrap())
+                .collect();
+            let mut out = vec![0.0f32; 15];
+            sq.asymmetric_l2_sq_batch(&q, &codes, &mut out);
+            for i in 0..15 {
+                let single =
+                    sq.asymmetric_l2_sq(&q, &codes[i * sq.code_len()..(i + 1) * sq.code_len()]);
+                assert!((out[i] - single).abs() <= 1e-4 * single.max(1.0));
             }
         }
     }

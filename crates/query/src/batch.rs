@@ -29,7 +29,9 @@ pub struct BatchOptions {
 impl Default for BatchOptions {
     fn default() -> Self {
         BatchOptions {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -108,15 +110,17 @@ fn run_one(
     bits: Option<&BitSet>,
 ) -> Result<Vec<Neighbor>> {
     match (strategy, bits) {
-        (Strategy::BlockFirst, Some(bits)) => {
-            ctx.index.search_blocked_with(sctx, &q.vector, q.k, &q.params, bits)
-        }
+        (Strategy::BlockFirst, Some(bits)) => ctx
+            .index
+            .search_blocked_with(sctx, &q.vector, q.k, &q.params, bits),
         (Strategy::PreFilter, Some(bits)) => {
             let metric = ctx.index.metric();
             sctx.pool.reset(q.k.max(1));
             for row in bits.iter() {
-                sctx.pool
-                    .push(Neighbor::new(row, metric.distance(&q.vector, ctx.vectors.get(row))));
+                sctx.pool.push(Neighbor::new(
+                    row,
+                    metric.distance(&q.vector, ctx.vectors.get(row)),
+                ));
             }
             let mut out = sctx.pool.drain_sorted();
             out.truncate(q.k);
@@ -154,12 +158,22 @@ mod tests {
         let mut attrs = AttributeStore::new();
         attrs
             .add_column(
-                Column::from_values("x", AttrType::Int, dataset::int_column(1200, 0, 100, &mut rng))
-                    .unwrap(),
+                Column::from_values(
+                    "x",
+                    AttrType::Int,
+                    dataset::int_column(1200, 0, 100, &mut rng),
+                )
+                .unwrap(),
             )
             .unwrap();
-        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
-        Fixture { vectors: data, attrs, index, queries }
+        let index =
+            HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        Fixture {
+            vectors: data,
+            attrs,
+            index,
+            queries,
+        }
     }
 
     fn batch(f: &Fixture) -> Vec<VectorQuery> {
@@ -179,10 +193,8 @@ mod tests {
         let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
         let planner = Planner::new(PlannerMode::CostBased);
         let qs = batch(&f);
-        let batched =
-            execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 4 }).unwrap();
-        let sequential =
-            execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 1 }).unwrap();
+        let batched = execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 4 }).unwrap();
+        let sequential = execute_batch(&ctx, &qs, &planner, &BatchOptions { threads: 1 }).unwrap();
         assert_eq!(batched.len(), qs.len());
         for (b, s) in batched.iter().zip(&sequential) {
             assert_eq!(b, s, "parallelism must not change results");
@@ -228,6 +240,8 @@ mod tests {
         let f = fixture();
         let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
         let planner = Planner::new(PlannerMode::CostBased);
-        assert!(execute_batch(&ctx, &[], &planner, &BatchOptions::default()).unwrap().is_empty());
+        assert!(execute_batch(&ctx, &[], &planner, &BatchOptions::default())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -14,10 +14,23 @@ use vdb_storage::{AttributeStore, Column};
 
 enum Node<'a> {
     True,
-    Cmp { col: &'a Column, op: CmpOp, value: AttrValue },
-    In { col: &'a Column, values: Vec<AttrValue> },
-    Between { col: &'a Column, lo: AttrValue, hi: AttrValue },
-    IsNull { col: &'a Column },
+    Cmp {
+        col: &'a Column,
+        op: CmpOp,
+        value: AttrValue,
+    },
+    In {
+        col: &'a Column,
+        values: Vec<AttrValue>,
+    },
+    Between {
+        col: &'a Column,
+        lo: AttrValue,
+        hi: AttrValue,
+    },
+    IsNull {
+        col: &'a Column,
+    },
     And(Vec<Node<'a>>),
     Or(Vec<Node<'a>>),
     Not(Box<Node<'a>>),
@@ -69,7 +82,10 @@ impl<'a> CompiledPredicate<'a> {
     pub fn compile(pred: &Predicate, store: &'a AttributeStore) -> Result<Self> {
         pred.validate(store)?;
         let root = lower(pred, store)?;
-        Ok(CompiledPredicate { root, hint: crate::selectivity::estimate(pred, store) })
+        Ok(CompiledPredicate {
+            root,
+            hint: crate::selectivity::estimate(pred, store),
+        })
     }
 
     /// Evaluate on one row.
@@ -91,21 +107,24 @@ impl RowFilter for CompiledPredicate<'_> {
 fn lower<'a>(pred: &Predicate, store: &'a AttributeStore) -> Result<Node<'a>> {
     Ok(match pred {
         Predicate::True => Node::True,
-        Predicate::Cmp { column, op, value } => {
-            Node::Cmp { col: store.column(column)?, op: *op, value: value.clone() }
-        }
-        Predicate::In { column, values } => {
-            Node::In { col: store.column(column)?, values: values.clone() }
-        }
+        Predicate::Cmp { column, op, value } => Node::Cmp {
+            col: store.column(column)?,
+            op: *op,
+            value: value.clone(),
+        },
+        Predicate::In { column, values } => Node::In {
+            col: store.column(column)?,
+            values: values.clone(),
+        },
         Predicate::Between { column, lo, hi } => Node::Between {
             col: store.column(column)?,
             lo: lo.clone(),
             hi: hi.clone(),
         },
-        Predicate::IsNull { column } => Node::IsNull { col: store.column(column)? },
-        Predicate::And(ps) => {
-            Node::And(ps.iter().map(|p| lower(p, store)).collect::<Result<_>>()?)
-        }
+        Predicate::IsNull { column } => Node::IsNull {
+            col: store.column(column)?,
+        },
+        Predicate::And(ps) => Node::And(ps.iter().map(|p| lower(p, store)).collect::<Result<_>>()?),
         Predicate::Or(ps) => Node::Or(ps.iter().map(|p| lower(p, store)).collect::<Result<_>>()?),
         Predicate::Not(p) => Node::Not(Box::new(lower(p, store)?)),
     })

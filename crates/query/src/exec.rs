@@ -42,7 +42,11 @@ impl<'a> QueryContext<'a> {
                 vectors.len()
             )));
         }
-        Ok(QueryContext { vectors, attrs, index })
+        Ok(QueryContext {
+            vectors,
+            attrs,
+            index,
+        })
     }
 
     fn metric(&self) -> &Metric {
@@ -61,7 +65,11 @@ pub struct PredicateFilter<'a> {
 impl<'a> PredicateFilter<'a> {
     /// Wrap a predicate.
     pub fn new(predicate: &'a Predicate, attrs: &'a AttributeStore, hint: Option<f64>) -> Self {
-        PredicateFilter { predicate, attrs, hint }
+        PredicateFilter {
+            predicate,
+            attrs,
+            hint,
+        }
     }
 }
 
@@ -76,7 +84,11 @@ impl RowFilter for PredicateFilter<'_> {
 
 /// Execute `query` under an explicitly chosen strategy, using a
 /// thread-local scratch context.
-pub fn execute(ctx: &QueryContext<'_>, query: &VectorQuery, strategy: Strategy) -> Result<Vec<Neighbor>> {
+pub fn execute(
+    ctx: &QueryContext<'_>,
+    query: &VectorQuery,
+    strategy: Strategy,
+) -> Result<Vec<Neighbor>> {
     context::with_local(|sctx| execute_with(ctx, sctx, query, strategy))
 }
 
@@ -111,7 +123,10 @@ fn brute_force(
     check_dims(ctx, query)?;
     let metric = ctx.metric();
     let compiled = if query.is_hybrid() {
-        Some(crate::compiled::CompiledPredicate::compile(&query.predicate, ctx.attrs)?)
+        Some(crate::compiled::CompiledPredicate::compile(
+            &query.predicate,
+            ctx.attrs,
+        )?)
     } else {
         None
     };
@@ -122,7 +137,8 @@ fn brute_force(
                 continue;
             }
         }
-        sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+        sctx.pool
+            .push(Neighbor::new(row, metric.distance(&query.vector, v)));
     }
     let mut out = sctx.pool.drain_sorted();
     out.truncate(query.k);
@@ -141,11 +157,15 @@ fn pre_filter(
     if query.is_hybrid() {
         let bits = query.predicate.bitmask(ctx.attrs)?;
         for row in bits.iter() {
-            sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, ctx.vectors.get(row))));
+            sctx.pool.push(Neighbor::new(
+                row,
+                metric.distance(&query.vector, ctx.vectors.get(row)),
+            ));
         }
     } else {
         for (row, v) in ctx.vectors.iter().enumerate() {
-            sctx.pool.push(Neighbor::new(row, metric.distance(&query.vector, v)));
+            sctx.pool
+                .push(Neighbor::new(row, metric.distance(&query.vector, v)));
         }
     }
     let mut out = sctx.pool.drain_sorted();
@@ -164,10 +184,11 @@ fn post_filter(
     if n == 0 || query.k == 0 {
         return Ok(Vec::new());
     }
-    let mut fetch =
-        ((query.k as f32 * query.params.overfetch).ceil() as usize).clamp(query.k, n);
+    let mut fetch = ((query.k as f32 * query.params.overfetch).ceil() as usize).clamp(query.k, n);
     loop {
-        let cands = ctx.index.search_with(sctx, &query.vector, fetch, &query.params)?;
+        let cands = ctx
+            .index
+            .search_with(sctx, &query.vector, fetch, &query.params)?;
         let got = cands.len();
         let mut out: Vec<Neighbor> = cands
             .into_iter()
@@ -188,10 +209,13 @@ fn block_first(
     query: &VectorQuery,
 ) -> Result<Vec<Neighbor>> {
     if !query.is_hybrid() {
-        return ctx.index.search_with(sctx, &query.vector, query.k, &query.params);
+        return ctx
+            .index
+            .search_with(sctx, &query.vector, query.k, &query.params);
     }
     let bits = query.predicate.bitmask(ctx.attrs)?;
-    ctx.index.search_blocked_with(sctx, &query.vector, query.k, &query.params, &bits)
+    ctx.index
+        .search_blocked_with(sctx, &query.vector, query.k, &query.params, &bits)
 }
 
 /// Visit-first scan: predicate evaluated during traversal, no bitmask.
@@ -203,10 +227,13 @@ fn visit_first(
     query: &VectorQuery,
 ) -> Result<Vec<Neighbor>> {
     if !query.is_hybrid() {
-        return ctx.index.search_with(sctx, &query.vector, query.k, &query.params);
+        return ctx
+            .index
+            .search_with(sctx, &query.vector, query.k, &query.params);
     }
     let compiled = crate::compiled::CompiledPredicate::compile(&query.predicate, ctx.attrs)?;
-    ctx.index.search_filtered_with(sctx, &query.vector, query.k, &query.params, &compiled)
+    ctx.index
+        .search_filtered_with(sctx, &query.vector, query.k, &query.params, &compiled)
 }
 
 fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
@@ -219,14 +246,13 @@ fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
     Ok(())
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use vdb_core::attr::AttrType;
     use vdb_core::dataset;
-    use vdb_core::rng::Rng;
     use vdb_core::index::SearchParams;
+    use vdb_core::rng::Rng;
     use vdb_index_graph::{HnswConfig, HnswIndex};
     use vdb_storage::Column;
 
@@ -250,8 +276,13 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
-        Fixture { vectors: data, attrs, index }
+        let index =
+            HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        Fixture {
+            vectors: data,
+            attrs,
+            index,
+        }
     }
 
     fn hybrid_query(_f: &Fixture, qv: Vec<f32>, cutoff: i64) -> VectorQuery {
@@ -289,7 +320,11 @@ mod tests {
         assert_eq!(brute, pre, "both exact strategies must agree");
         // Approximate strategies achieve decent recall vs the oracle.
         let oracle: std::collections::HashSet<_> = brute.iter().map(|n| n.id).collect();
-        for strategy in [Strategy::PostFilter, Strategy::VisitFirst, Strategy::BlockFirst] {
+        for strategy in [
+            Strategy::PostFilter,
+            Strategy::VisitFirst,
+            Strategy::BlockFirst,
+        ] {
             let out = execute(&ctx, &q, strategy).unwrap();
             let hits = out.iter().filter(|n| oracle.contains(&n.id)).count();
             assert!(
@@ -309,7 +344,12 @@ mod tests {
             .with_params(SearchParams::default().with_beam_width(64));
         for strategy in Strategy::ALL {
             let out = execute(&ctx, &q, strategy).unwrap();
-            assert_eq!(out[0].id, 0, "{} must find the query point", strategy.name());
+            assert_eq!(
+                out[0].id,
+                0,
+                "{} must find the query point",
+                strategy.name()
+            );
         }
     }
 
@@ -320,17 +360,24 @@ mod tests {
         // ~5% selectivity with small initial overfetch forces doubling.
         let q = VectorQuery::knn(f.vectors.get(7).to_vec(), 10)
             .filtered(Predicate::lt("price", 5))
-            .with_params(SearchParams::default().with_beam_width(256).with_overfetch(1.0));
+            .with_params(
+                SearchParams::default()
+                    .with_beam_width(256)
+                    .with_overfetch(1.0),
+            );
         let out = execute(&ctx, &q, Strategy::PostFilter).unwrap();
-        assert!(out.len() >= 5, "doubling should eventually fill most of k, got {}", out.len());
+        assert!(
+            out.len() >= 5,
+            "doubling should eventually fill most of k, got {}",
+            out.len()
+        );
     }
 
     #[test]
     fn selective_predicate_may_return_fewer_than_k() {
         let f = fixture();
         let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
-        let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 50)
-            .filtered(Predicate::lt("price", 1)); // ~1% of rows
+        let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 50).filtered(Predicate::lt("price", 1)); // ~1% of rows
         let out = execute(&ctx, &q, Strategy::BruteForce).unwrap();
         assert!(out.len() < 50);
         assert!(out.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));

@@ -103,17 +103,29 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience: `column = value`.
     pub fn eq(column: impl Into<String>, value: impl Into<AttrValue>) -> Self {
-        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// Convenience: `column < value`.
     pub fn lt(column: impl Into<String>, value: impl Into<AttrValue>) -> Self {
-        Predicate::Cmp { column: column.into(), op: CmpOp::Lt, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Lt,
+            value: value.into(),
+        }
     }
 
     /// Convenience: `column > value`.
     pub fn gt(column: impl Into<String>, value: impl Into<AttrValue>) -> Self {
-        Predicate::Cmp { column: column.into(), op: CmpOp::Gt, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Gt,
+            value: value.into(),
+        }
     }
 
     /// Convenience: conjunction of two predicates.
@@ -167,7 +179,9 @@ impl Predicate {
     /// non-matches at evaluation, like SQL's NULL semantics).
     pub fn validate(&self, store: &AttributeStore) -> Result<()> {
         for c in self.columns() {
-            store.column(c).map_err(|_| Error::InvalidQuery(format!("unknown column `{c}`")))?;
+            store
+                .column(c)
+                .map_err(|_| Error::InvalidQuery(format!("unknown column `{c}`")))?;
         }
         match self {
             Predicate::And(ps) | Predicate::Or(ps) if ps.is_empty() => {
@@ -196,9 +210,10 @@ impl Predicate {
                     CmpOp::Ge.test(v.compare(lo)) && CmpOp::Le.test(v.compare(hi))
                 })
                 .unwrap_or(false),
-            Predicate::IsNull { column } => {
-                store.column(column).map(|c| c.get(row).is_null()).unwrap_or(false)
-            }
+            Predicate::IsNull { column } => store
+                .column(column)
+                .map(|c| c.get(row).is_null())
+                .unwrap_or(false),
             Predicate::And(ps) => ps.iter().all(|p| p.eval(store, row)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(store, row)),
             Predicate::Not(p) => !p.eval(store, row),
@@ -338,7 +353,11 @@ mod tests {
         assert!(!Predicate::eq("price", 5).eval(&s, 1));
         assert!(Predicate::lt("price", 20).eval(&s, 1));
         assert!(Predicate::gt("price", 20).eval(&s, 2));
-        let ge = Predicate::Cmp { column: "price".into(), op: CmpOp::Ge, value: AttrValue::Int(15) };
+        let ge = Predicate::Cmp {
+            column: "price".into(),
+            op: CmpOp::Ge,
+            value: AttrValue::Int(15),
+        };
         assert!(ge.eval(&s, 1) && ge.eval(&s, 2) && !ge.eval(&s, 0));
     }
 
@@ -346,11 +365,21 @@ mod tests {
     fn null_never_matches_comparisons() {
         let s = store();
         for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
-            let p = Predicate::Cmp { column: "price".into(), op, value: AttrValue::Int(5) };
+            let p = Predicate::Cmp {
+                column: "price".into(),
+                op,
+                value: AttrValue::Int(5),
+            };
             assert!(!p.eval(&s, 3), "{op} against NULL must be false");
         }
-        assert!(Predicate::IsNull { column: "price".into() }.eval(&s, 3));
-        assert!(!Predicate::IsNull { column: "price".into() }.eval(&s, 0));
+        assert!(Predicate::IsNull {
+            column: "price".into()
+        }
+        .eval(&s, 3));
+        assert!(!Predicate::IsNull {
+            column: "price".into()
+        }
+        .eval(&s, 0));
     }
 
     #[test]
@@ -411,19 +440,23 @@ mod tests {
         let s = store();
         let p = Predicate::eq("brand", "acme").and(Predicate::lt("price", 10));
         for row in 0..4 {
-            let via_values = p.eval_values(&|c: &str| {
-                s.column(c).ok().map(|col| col.get(row).clone())
-            });
+            let via_values =
+                p.eval_values(&|c: &str| s.column(c).ok().map(|col| col.get(row).clone()));
             assert_eq!(via_values, p.eval(&s, row), "row {row}");
         }
         // Missing attributes read as NULL (never match).
         assert!(!Predicate::eq("ghost", 1).eval_values(&|_| None));
-        assert!(Predicate::IsNull { column: "ghost".into() }.eval_values(&|_| None));
+        assert!(Predicate::IsNull {
+            column: "ghost".into()
+        }
+        .eval_values(&|_| None));
     }
 
     #[test]
     fn columns_deduped() {
-        let p = Predicate::eq("a", 1).and(Predicate::lt("a", 9)).and(Predicate::eq("b", 2));
+        let p = Predicate::eq("a", 1)
+            .and(Predicate::lt("a", 9))
+            .and(Predicate::eq("b", 2));
         assert_eq!(p.columns(), vec!["a", "b"]);
     }
 }

@@ -122,7 +122,10 @@ mod tests {
         while let Some(n) = inc.next_neighbor().unwrap() {
             streamed.push(n);
         }
-        assert_eq!(streamed, oracle, "streaming must reproduce the full exact order");
+        assert_eq!(
+            streamed, oracle,
+            "streaming must reproduce the full exact order"
+        );
     }
 
     #[test]
@@ -167,6 +170,10 @@ mod tests {
         let idx = FlatIndex::build(data, Metric::Euclidean).unwrap();
         let mut inc = IncrementalSearch::new(&idx, vec![0.0; 8], SearchParams::default());
         inc.next_page(5).unwrap();
-        assert!(inc.next_k <= 64, "first page fetched too much: next_k = {}", inc.next_k);
+        assert!(
+            inc.next_k <= 64,
+            "first page fetched too much: next_k = {}",
+            inc.next_k
+        );
     }
 }

@@ -36,6 +36,8 @@ pub use compiled::CompiledPredicate;
 pub use exec::{execute, execute_with, PredicateFilter, QueryContext};
 pub use expr::{CmpOp, Predicate};
 pub use incremental::IncrementalSearch;
-pub use multivector::{multi_vector_exact, multi_vector_search, EntityHit, EntityMap, MultiVectorQuery};
+pub use multivector::{
+    multi_vector_exact, multi_vector_search, EntityHit, EntityMap, MultiVectorQuery,
+};
 pub use optimizer::{CostModel, Planner, PlannerMode};
 pub use plan::{PhysicalPlan, Strategy, VectorQuery};

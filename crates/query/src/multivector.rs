@@ -99,7 +99,9 @@ pub fn multi_vector_search(
     params: &SearchParams,
 ) -> Result<Vec<EntityHit>> {
     if query.vectors.is_empty() {
-        return Err(Error::InvalidQuery("multi-vector query needs at least one vector".into()));
+        return Err(Error::InvalidQuery(
+            "multi-vector query needs at least one vector".into(),
+        ));
     }
     if query.k == 0 {
         return Ok(Vec::new());
@@ -127,7 +129,10 @@ pub fn multi_vector_search(
     Ok(top
         .into_sorted()
         .into_iter()
-        .map(|n| EntityHit { entity: n.id, score: n.dist })
+        .map(|n| EntityHit {
+            entity: n.id,
+            score: n.dist,
+        })
         .collect())
 }
 
@@ -140,7 +145,9 @@ pub fn multi_vector_exact(
     query: &MultiVectorQuery,
 ) -> Result<Vec<EntityHit>> {
     if query.vectors.is_empty() {
-        return Err(Error::InvalidQuery("multi-vector query needs at least one vector".into()));
+        return Err(Error::InvalidQuery(
+            "multi-vector query needs at least one vector".into(),
+        ));
     }
     let mut top = TopK::new(query.k.max(1));
     let mut dists = Vec::with_capacity(query.vectors.len());
@@ -154,7 +161,10 @@ pub fn multi_vector_exact(
     let mut out: Vec<EntityHit> = top
         .into_sorted()
         .into_iter()
-        .map(|n| EntityHit { entity: n.id, score: n.dist })
+        .map(|n| EntityHit {
+            entity: n.id,
+            score: n.dist,
+        })
         .collect();
     out.truncate(query.k);
     Ok(out)
@@ -185,7 +195,8 @@ mod tests {
             }
         }
         let map = EntityMap::new(entity_of).unwrap();
-        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        let index =
+            HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
         (data, map, index)
     }
 
@@ -223,8 +234,15 @@ mod tests {
             let exact = multi_vector_exact(&metric, &data, &map, &query).unwrap();
             let approx_set: std::collections::HashSet<_> =
                 approx.iter().map(|h| h.entity).collect();
-            let hits = exact.iter().filter(|h| approx_set.contains(&h.entity)).count();
-            assert!(hits >= 4, "{}: {hits}/5 oracle entities found", query.aggregator.name());
+            let hits = exact
+                .iter()
+                .filter(|h| approx_set.contains(&h.entity))
+                .count();
+            assert!(
+                hits >= 4,
+                "{}: {hits}/5 oracle entities found",
+                query.aggregator.name()
+            );
         }
     }
 
@@ -238,7 +256,8 @@ mod tests {
             aggregator: Aggregator::Mean,
             fetch: 32,
         };
-        let out = multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).unwrap();
+        let out =
+            multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).unwrap();
         assert_eq!(out[0].entity, 0);
     }
 
@@ -276,7 +295,9 @@ mod tests {
             aggregator: Aggregator::Mean,
             fetch: 16,
         };
-        assert!(multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).is_err());
+        assert!(
+            multi_vector_search(&index, &data, &map, &query, &SearchParams::default()).is_err()
+        );
         assert!(multi_vector_exact(&Metric::Euclidean, &data, &map, &query).is_err());
     }
 }

@@ -40,7 +40,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { predicate_eval: 0.1, graph_degree: 16.0, probe_overhead: 32.0 }
+        CostModel {
+            predicate_eval: 0.1,
+            graph_degree: 16.0,
+            probe_overhead: 32.0,
+        }
     }
 }
 
@@ -67,7 +71,11 @@ impl CostModel {
                 let per_table = (n / 1024.0).max(k as f64);
                 8.0 * per_table
             }
-            name if name.contains("tree") || name == "annoy" || name == "flann" || name == "rp_forest" => {
+            name if name.contains("tree")
+                || name == "annoy"
+                || name == "flann"
+                || name == "rp_forest" =>
+            {
                 q.params.max_leaf_points as f64 + self.probe_overhead
             }
             // Graph indexes: beam * degree neighbor evaluations.
@@ -93,13 +101,10 @@ impl CostModel {
             // Over-fetch k/s results through the index, then filter them.
             Strategy::PostFilter => {
                 let fetch = ((q.k as f64 / s) * 1.3).min(n).max(q.k as f64);
-                self.index_search_cost(ctx, q, fetch as usize)
-                    + fetch * self.predicate_eval
+                self.index_search_cost(ctx, q, fetch as usize) + fetch * self.predicate_eval
             }
             // Bitmask on every row + an (unchanged-shape) index scan.
-            Strategy::BlockFirst => {
-                n * self.predicate_eval + self.index_search_cost(ctx, q, q.k)
-            }
+            Strategy::BlockFirst => n * self.predicate_eval + self.index_search_cost(ctx, q, q.k),
             // No bitmask; traversal inflates as selectivity drops.
             Strategy::VisitFirst => {
                 let inflation = (1.0 / s).min(16.0);
@@ -146,7 +151,11 @@ impl Planner {
 
     /// Select a plan for `q` over `ctx`.
     pub fn plan(&self, ctx: &QueryContext<'_>, q: &VectorQuery) -> PhysicalPlan {
-        let s = if q.is_hybrid() { selectivity::estimate(&q.predicate, ctx.attrs) } else { 1.0 };
+        let s = if q.is_hybrid() {
+            selectivity::estimate(&q.predicate, ctx.attrs)
+        } else {
+            1.0
+        };
         match self.mode {
             PlannerMode::Fixed(strategy) => PhysicalPlan {
                 strategy,
@@ -176,7 +185,11 @@ impl Planner {
                     .map(|st| (st, self.cost_model.strategy_cost(ctx, q, st, s)))
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("enumeration is non-empty");
-                PhysicalPlan { strategy, est_selectivity: s, est_cost }
+                PhysicalPlan {
+                    strategy,
+                    est_selectivity: s,
+                    est_cost,
+                }
             }
         }
     }
@@ -232,12 +245,21 @@ mod tests {
         let mut attrs = AttributeStore::new();
         attrs
             .add_column(
-                Column::from_values("x", AttrType::Int, dataset::int_column(4000, 0, 1000, &mut rng))
-                    .unwrap(),
+                Column::from_values(
+                    "x",
+                    AttrType::Int,
+                    dataset::int_column(4000, 0, 1000, &mut rng),
+                )
+                .unwrap(),
             )
             .unwrap();
-        let index = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
-        Fixture { vectors: data, attrs, index }
+        let index =
+            HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
+        Fixture {
+            vectors: data,
+            attrs,
+            index,
+        }
     }
 
     #[test]
@@ -248,9 +270,21 @@ mod tests {
         let q = |cut: i64| {
             VectorQuery::knn(f.vectors.get(0).to_vec(), 10).filtered(Predicate::lt("x", cut))
         };
-        assert_eq!(planner.plan(&ctx, &q(5)).strategy, Strategy::PreFilter, "ultra selective");
-        assert_eq!(planner.plan(&ctx, &q(900)).strategy, Strategy::PostFilter, "non selective");
-        assert_eq!(planner.plan(&ctx, &q(100)).strategy, Strategy::VisitFirst, "mid range");
+        assert_eq!(
+            planner.plan(&ctx, &q(5)).strategy,
+            Strategy::PreFilter,
+            "ultra selective"
+        );
+        assert_eq!(
+            planner.plan(&ctx, &q(900)).strategy,
+            Strategy::PostFilter,
+            "non selective"
+        );
+        assert_eq!(
+            planner.plan(&ctx, &q(100)).strategy,
+            Strategy::VisitFirst,
+            "mid range"
+        );
     }
 
     #[test]
@@ -259,7 +293,8 @@ mod tests {
         let ctx = QueryContext::new(&f.vectors, &f.attrs, &f.index).unwrap();
         let planner = Planner::new(PlannerMode::Fixed(Strategy::PostFilter));
         for cut in [5i64, 100, 900] {
-            let q = VectorQuery::knn(f.vectors.get(0).to_vec(), 10).filtered(Predicate::lt("x", cut));
+            let q =
+                VectorQuery::knn(f.vectors.get(0).to_vec(), 10).filtered(Predicate::lt("x", cut));
             assert_eq!(planner.plan(&ctx, &q).strategy, Strategy::PostFilter);
         }
     }

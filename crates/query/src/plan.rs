@@ -19,7 +19,12 @@ pub struct VectorQuery {
 impl VectorQuery {
     /// An unpredicated k-NN query.
     pub fn knn(vector: Vec<f32>, k: usize) -> Self {
-        VectorQuery { vector, k, predicate: Predicate::True, params: SearchParams::default() }
+        VectorQuery {
+            vector,
+            k,
+            predicate: Predicate::True,
+            params: SearchParams::default(),
+        }
     }
 
     /// Attach a predicate (hybrid query).

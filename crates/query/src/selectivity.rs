@@ -70,13 +70,17 @@ fn eq_selectivity(stats: &ColumnStats, rows: usize) -> f64 {
 }
 
 fn estimate_cmp(stats: &ColumnStats, op: CmpOp, value: &AttrValue, rows: usize) -> f64 {
-    let non_null_frac = if rows == 0 { 0.0 } else { stats.non_null as f64 / rows as f64 };
+    let non_null_frac = if rows == 0 {
+        0.0
+    } else {
+        stats.non_null as f64 / rows as f64
+    };
     match op {
         CmpOp::Eq => eq_selectivity(stats, rows),
         CmpOp::Ne => (non_null_frac - eq_selectivity(stats, rows)).max(0.0),
-        CmpOp::Lt | CmpOp::Le => {
-            below_fraction(stats, value).map(|f| f * non_null_frac).unwrap_or(DEFAULT_SEL)
-        }
+        CmpOp::Lt | CmpOp::Le => below_fraction(stats, value)
+            .map(|f| f * non_null_frac)
+            .unwrap_or(DEFAULT_SEL),
         CmpOp::Gt | CmpOp::Ge => below_fraction(stats, value)
             .map(|f| (1.0 - f) * non_null_frac)
             .unwrap_or(DEFAULT_SEL),
@@ -165,7 +169,8 @@ mod tests {
         let s = uniform_store(5000);
         let p = Predicate::lt("x", 50).and(Predicate::eq("cat", "cat_0"));
         let est = estimate(&p, &s);
-        let expected = estimate(&Predicate::lt("x", 50), &s) * estimate(&Predicate::eq("cat", "cat_0"), &s);
+        let expected =
+            estimate(&Predicate::lt("x", 50), &s) * estimate(&Predicate::eq("cat", "cat_0"), &s);
         assert!((est - expected).abs() < 1e-12);
     }
 
@@ -193,7 +198,9 @@ mod tests {
             Predicate::eq("missing_column", 1),
             Predicate::In {
                 column: "cat".into(),
-                values: (0..50).map(|i| AttrValue::Str(format!("cat_{i}"))).collect(),
+                values: (0..50)
+                    .map(|i| AttrValue::Str(format!("cat_{i}")))
+                    .collect(),
             },
         ];
         for p in preds {

@@ -7,10 +7,10 @@
 
 use crate::file::PagedFile;
 use crate::page::{Page, PageId};
-use vdb_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vdb_core::error::Result;
+use vdb_core::sync::Mutex;
 
 /// Cache hit/miss counters (monotonic).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -105,8 +105,7 @@ impl PageCache {
         if self.budget_pages > 0 {
             if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
                 // Evict the least recently used page.
-                if let Some((&victim, _)) =
-                    inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
+                if let Some((&victim, _)) = inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
                 {
                     inner.pages.remove(&victim);
                     inner.stats.evictions += 1;
@@ -125,8 +124,7 @@ impl PageCache {
             inner.clock += 1;
             let clock = inner.clock;
             if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
-                if let Some((&victim, _)) =
-                    inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
+                if let Some((&victim, _)) = inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
                 {
                     inner.pages.remove(&victim);
                     inner.stats.evictions += 1;
@@ -160,7 +158,12 @@ impl PageCache {
 
 impl std::fmt::Debug for PageCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PageCache(budget={} pages, {:?})", self.budget_pages, self.stats())
+        write!(
+            f,
+            "PageCache(budget={} pages, {:?})",
+            self.budget_pages,
+            self.stats()
+        )
     }
 }
 

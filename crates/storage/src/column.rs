@@ -37,7 +37,11 @@ pub struct Column {
 impl Column {
     /// New empty column.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Column { name: name.into(), ty, values: Vec::new() }
+        Column {
+            name: name.into(),
+            ty,
+            values: Vec::new(),
+        }
     }
 
     /// Build from values, type-checking each.
@@ -49,7 +53,11 @@ impl Column {
         for v in &values {
             v.check_type(ty)?;
         }
-        Ok(Column { name: name.into(), ty, values })
+        Ok(Column {
+            name: name.into(),
+            ty,
+            values,
+        })
     }
 
     /// Column name.
@@ -113,14 +121,26 @@ impl Column {
             }
             non_null += 1;
             distinct.entry(v.to_string()).or_insert(());
-            if min.as_ref().is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Less)) {
+            if min
+                .as_ref()
+                .is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Less))
+            {
                 min = Some(v.clone());
             }
-            if max.as_ref().is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Greater)) {
+            if max
+                .as_ref()
+                .is_none_or(|m| v.compare(m) == Some(std::cmp::Ordering::Greater))
+            {
                 max = Some(v.clone());
             }
         }
-        ColumnStats { non_null, nulls, min, max, distinct: distinct.len() }
+        ColumnStats {
+            non_null,
+            nulls,
+            min,
+            max,
+            distinct: distinct.len(),
+        }
     }
 }
 
@@ -220,7 +240,12 @@ mod tests {
             Column::from_values(
                 "price",
                 AttrType::Int,
-                vec![AttrValue::Int(10), AttrValue::Int(25), AttrValue::Null, AttrValue::Int(10)],
+                vec![
+                    AttrValue::Int(10),
+                    AttrValue::Int(25),
+                    AttrValue::Null,
+                    AttrValue::Int(10),
+                ],
             )
             .unwrap(),
         )
@@ -260,7 +285,8 @@ mod tests {
     #[test]
     fn store_alignment_enforced() {
         let mut s = sample_store();
-        let short = Column::from_values("extra", AttrType::Bool, vec![AttrValue::Bool(true)]).unwrap();
+        let short =
+            Column::from_values("extra", AttrType::Bool, vec![AttrValue::Bool(true)]).unwrap();
         assert!(s.add_column(short).is_err());
         let dup = Column::new("price", AttrType::Int);
         assert!(s.add_column(dup).is_err());
@@ -280,7 +306,9 @@ mod tests {
     fn bitmask_matches_predicate() {
         let s = sample_store();
         let bits = s
-            .bitmask("price", |v| v.compare(&AttrValue::Int(15)) == Some(std::cmp::Ordering::Less))
+            .bitmask("price", |v| {
+                v.compare(&AttrValue::Int(15)) == Some(std::cmp::Ordering::Less)
+            })
             .unwrap();
         assert_eq!(bits.iter().collect::<Vec<_>>(), vec![0, 3]);
         // Nulls never match.

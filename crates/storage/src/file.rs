@@ -1,11 +1,11 @@
 //! Page-granular file I/O.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
-use vdb_core::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use vdb_core::error::Result;
+use vdb_core::sync::Mutex;
 
 /// A file accessed in whole pages, with allocation tracking.
 ///
@@ -35,7 +35,10 @@ impl PagedFile {
 
     /// Open an existing paged file.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
         Ok(PagedFile {
             inner: Mutex::new(file),
@@ -107,10 +110,7 @@ impl TempDir {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "vdb-{prefix}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("vdb-{prefix}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path)?;
         Ok(TempDir { path })
     }

@@ -25,7 +25,10 @@ pub struct LsmConfig {
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        LsmConfig { memtable_capacity: 1024, max_segments: 8 }
+        LsmConfig {
+            memtable_capacity: 1024,
+            max_segments: 8,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ impl LsmStore {
     /// Insert or overwrite `key`. Newest version wins on search.
     pub fn insert(&mut self, key: u64, vector: &[f32]) -> Result<()> {
         if vector.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: vector.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
         }
         self.mem_vectors.push(vector)?;
         self.mem_keys.push(key);
@@ -186,7 +192,9 @@ impl LsmStore {
                 }
                 seen.insert(k);
                 keys.push(k);
-                vectors.push(seg.vectors.get(i)).expect("stored vector is valid");
+                vectors
+                    .push(seg.vectors.get(i))
+                    .expect("stored vector is valid");
             }
         }
         self.segments.clear();
@@ -199,7 +207,10 @@ impl LsmStore {
     /// wins, tombstones excluded. Returns up to `k` hits sorted best-first.
     pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<KeyedNeighbor>> {
         if query.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, actual: query.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
         }
         if k == 0 {
             return Ok(Vec::new());
@@ -212,7 +223,10 @@ impl LsmStore {
             if self.tombstones.contains(&key) || !seen.insert(key) {
                 continue;
             }
-            hits.push(KeyedNeighbor { key, dist: self.metric.distance(query, self.mem_vectors.get(i)) });
+            hits.push(KeyedNeighbor {
+                key,
+                dist: self.metric.distance(query, self.mem_vectors.get(i)),
+            });
         }
         for seg in self.segments.iter().rev() {
             for i in (0..seg.keys.len()).rev() {
@@ -220,7 +234,10 @@ impl LsmStore {
                 if self.tombstones.contains(&key) || !seen.insert(key) {
                     continue;
                 }
-                hits.push(KeyedNeighbor { key, dist: self.metric.distance(query, seg.vectors.get(i)) });
+                hits.push(KeyedNeighbor {
+                    key,
+                    dist: self.metric.distance(query, seg.vectors.get(i)),
+                });
             }
         }
         let mut top = TopK::new(k);
@@ -233,7 +250,10 @@ impl LsmStore {
         Ok(top
             .into_sorted()
             .into_iter()
-            .map(|n| KeyedNeighbor { key: keytab[n.id], dist: n.dist })
+            .map(|n| KeyedNeighbor {
+                key: keytab[n.id],
+                dist: n.dist,
+            })
             .collect())
     }
 
@@ -248,7 +268,9 @@ impl LsmStore {
         for seg in self.segments.drain(..) {
             for (i, &k) in seg.keys.iter().enumerate() {
                 keys.push(k);
-                vectors.push(seg.vectors.get(i)).expect("stored vector is valid");
+                vectors
+                    .push(seg.vectors.get(i))
+                    .expect("stored vector is valid");
             }
         }
         self.live.clear();
@@ -270,7 +292,10 @@ mod tests {
         LsmStore::new(
             2,
             Metric::Euclidean,
-            LsmConfig { memtable_capacity: cap, max_segments: 3 },
+            LsmConfig {
+                memtable_capacity: cap,
+                max_segments: 3,
+            },
         )
     }
 

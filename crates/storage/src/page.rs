@@ -29,13 +29,17 @@ pub struct Page {
 impl Page {
     /// A zeroed page.
     pub fn zeroed() -> Self {
-        Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice() }
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        }
     }
 
     /// Wrap an existing buffer (must be exactly `PAGE_SIZE` bytes).
     pub fn from_bytes(data: Vec<u8>) -> Self {
         assert_eq!(data.len(), PAGE_SIZE, "page buffers are fixed-size");
-        Page { data: data.into_boxed_slice() }
+        Page {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Read access to the page bytes.

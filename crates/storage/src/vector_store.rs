@@ -33,11 +33,7 @@ const MAGIC: u32 = 0x5644_4253; // "VDBS"
 impl DiskVectorStore {
     /// Create a store at `path` containing `vectors`, then reopen it behind
     /// a cache with `budget_pages`.
-    pub fn create<P: AsRef<Path>>(
-        path: P,
-        vectors: &Vectors,
-        budget_pages: usize,
-    ) -> Result<Self> {
+    pub fn create<P: AsRef<Path>>(path: P, vectors: &Vectors, budget_pages: usize) -> Result<Self> {
         let dim = vectors.dim();
         let record_bytes = dim * 4;
         let (records_per_page, pages_per_record) = layout(record_bytes);
@@ -282,7 +278,11 @@ mod tests {
         let t = tiny.cache().stats();
         let b = big.cache().stats();
         assert!(b.hit_ratio() > 0.9, "big cache hit ratio {}", b.hit_ratio());
-        assert!(t.hit_ratio() < 0.5, "tiny cache hit ratio {}", t.hit_ratio());
+        assert!(
+            t.hit_ratio() < 0.5,
+            "tiny cache hit ratio {}",
+            t.hit_ratio()
+        );
     }
 
     #[test]
@@ -299,6 +299,9 @@ mod tests {
         let dir = TempDir::new("vstore-bad").unwrap();
         let path = dir.file("bad.store");
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(DiskVectorStore::open(&path, 2), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            DiskVectorStore::open(&path, 2),
+            Err(Error::Corrupt(_))
+        ));
     }
 }

@@ -53,8 +53,14 @@ pub struct Wal {
 impl Wal {
     /// Open (creating if absent) the log at `path` for appending.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path.as_ref())?;
-        Ok(Wal { file, path: path.as_ref().to_path_buf() })
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        Ok(Wal {
+            file,
+            path: path.as_ref().to_path_buf(),
+        })
     }
 
     /// Append one record (buffered; call [`Wal::sync`] for durability).
@@ -137,7 +143,11 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome> 
     while filled < buf.len() {
         let n = r.read(&mut buf[filled..])?;
         if n == 0 {
-            return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial });
+            return Ok(if filled == 0 {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Partial
+            });
         }
         filled += n;
     }
@@ -206,9 +216,15 @@ mod tests {
         let dir = TempDir::new("wal").unwrap();
         let path = dir.file("log.wal");
         let recs = vec![
-            WalRecord::Insert { key: 1, vector: vec![1.0, 2.0] },
+            WalRecord::Insert {
+                key: 1,
+                vector: vec![1.0, 2.0],
+            },
             WalRecord::Delete { key: 9 },
-            WalRecord::Insert { key: 2, vector: vec![-0.5; 7] },
+            WalRecord::Insert {
+                key: 2,
+                vector: vec![-0.5; 7],
+            },
         ];
         {
             let mut wal = Wal::open(&path).unwrap();
@@ -232,8 +248,16 @@ mod tests {
         let path = dir.file("torn.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append(&WalRecord::Insert { key: 1, vector: vec![1.0] }).unwrap();
-            wal.append(&WalRecord::Insert { key: 2, vector: vec![2.0] }).unwrap();
+            wal.append(&WalRecord::Insert {
+                key: 1,
+                vector: vec![1.0],
+            })
+            .unwrap();
+            wal.append(&WalRecord::Insert {
+                key: 2,
+                vector: vec![2.0],
+            })
+            .unwrap();
             wal.sync().unwrap();
         }
         // Simulate a crash mid-write: chop off the last 3 bytes.
@@ -241,7 +265,13 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         let recs = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1, "only the complete record survives");
-        assert_eq!(recs[0], WalRecord::Insert { key: 1, vector: vec![1.0] });
+        assert_eq!(
+            recs[0],
+            WalRecord::Insert {
+                key: 1,
+                vector: vec![1.0]
+            }
+        );
     }
 
     #[test]
@@ -250,7 +280,11 @@ mod tests {
         let path = dir.file("flip.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append(&WalRecord::Insert { key: 1, vector: vec![1.0, 2.0, 3.0] }).unwrap();
+            wal.append(&WalRecord::Insert {
+                key: 1,
+                vector: vec![1.0, 2.0, 3.0],
+            })
+            .unwrap();
             wal.sync().unwrap();
         }
         let mut bytes = std::fs::read(&path).unwrap();

@@ -18,7 +18,9 @@ use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
-use vdb_query::{execute_with, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery};
+use vdb_query::{
+    execute_with, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery,
+};
 use vdb_storage::{AttributeStore, Column, LsmConfig, LsmStore, Wal, WalRecord};
 
 /// A search result at the facade level: external key plus distance.
@@ -107,7 +109,10 @@ impl Collection {
         let buffer = LsmStore::new(
             schema.dim,
             schema.metric.clone(),
-            LsmConfig { memtable_capacity: cfg.merge_threshold.max(16), max_segments: 8 },
+            LsmConfig {
+                memtable_capacity: cfg.merge_threshold.max(16),
+                max_segments: 8,
+            },
         );
         let planner = Planner::new(cfg.planner);
         Ok(Collection {
@@ -130,7 +135,9 @@ impl Collection {
     /// Recover a collection from its WAL (replays every surviving record).
     pub fn recover(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
         let Some(dir) = cfg.wal_dir.clone() else {
-            return Err(Error::InvalidParameter("recovery requires a wal_dir".into()));
+            return Err(Error::InvalidParameter(
+                "recovery requires a wal_dir".into(),
+            ));
         };
         let path = dir.join(format!("{}.wal", schema.name));
         let records = Wal::replay(&path)?;
@@ -200,12 +207,20 @@ impl Collection {
             value.check_type(ty)?;
         }
         if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord::Insert { key, vector: vector.to_vec() })?;
+            wal.append(&WalRecord::Insert {
+                key,
+                vector: vector.to_vec(),
+            })?;
             wal.sync()?;
         }
         self.buffer.insert(key, vector)?;
-        self.buffer_attrs
-            .insert(key, attrs.iter().map(|(n, v)| (n.to_string(), v.clone())).collect());
+        self.buffer_attrs.insert(
+            key,
+            attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        );
         if self.buffer.len() >= self.cfg.merge_threshold {
             self.merge()?;
         }
@@ -231,7 +246,9 @@ impl Collection {
         if let Some(v) = self.buffer.get(key) {
             return Some(v.to_vec());
         }
-        self.key_to_row.get(&key).map(|&row| self.vectors.get(row).to_vec())
+        self.key_to_row
+            .get(&key)
+            .map(|&row| self.vectors.get(row).to_vec())
     }
 
     /// Force a merge: drain the buffer into the main part and rebuild the
@@ -245,7 +262,8 @@ impl Collection {
         // Rebuild the main part from live rows: surviving main rows first,
         // then drained buffer rows (which shadow any same-key main row).
         let drained_keys: std::collections::HashSet<u64> = keys.iter().copied().collect();
-        let mut new_vectors = Vectors::with_capacity(self.schema.dim, self.vectors.len() + keys.len());
+        let mut new_vectors =
+            Vectors::with_capacity(self.schema.dim, self.vectors.len() + keys.len());
         let mut new_attrs = AttributeStore::new();
         for (name, ty) in &self.schema.columns {
             new_attrs.add_column(Column::new(name.clone(), *ty))?;
@@ -262,7 +280,14 @@ impl Collection {
                 .columns
                 .iter()
                 .map(|(name, _)| {
-                    (name.as_str(), self.attrs.column(name).expect("schema column").get(row).clone())
+                    (
+                        name.as_str(),
+                        self.attrs
+                            .column(name)
+                            .expect("schema column")
+                            .get(row)
+                            .clone(),
+                    )
                 })
                 .collect();
             new_attrs.push_row(&row_values)?;
@@ -272,8 +297,10 @@ impl Collection {
         for (i, &key) in keys.iter().enumerate() {
             let new_row = new_vectors.push(drained.get(i))?;
             let pending = self.buffer_attrs.remove(&key).unwrap_or_default();
-            let row_values: Vec<(&str, AttrValue)> =
-                pending.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let row_values: Vec<(&str, AttrValue)> = pending
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
             new_attrs.push_row(&row_values)?;
             new_keys.push(key);
             new_map.insert(key, new_row);
@@ -285,7 +312,11 @@ impl Collection {
         self.index = if self.vectors.is_empty() {
             None
         } else {
-            Some(self.cfg.index.build(self.vectors.clone(), self.schema.metric.clone())?)
+            Some(
+                self.cfg
+                    .index
+                    .build(self.vectors.clone(), self.schema.metric.clone())?,
+            )
         };
         self.merges += 1;
         Ok(())
@@ -293,7 +324,12 @@ impl Collection {
 
     /// k-NN search returning external keys, merging the indexed part and
     /// the update buffer (read-your-writes).
-    pub fn search(&self, vector: &[f32], k: usize, params: &SearchParams) -> Result<Vec<SearchHit>> {
+    pub fn search(
+        &self,
+        vector: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
         self.search_hybrid(vector, k, &Predicate::True, params, None)
     }
 
@@ -356,7 +392,10 @@ impl Collection {
                     .map(|(_, v)| v.clone())
             });
             if passes {
-                hits.push(SearchHit { key: hit.key, dist: hit.dist });
+                hits.push(SearchHit {
+                    key: hit.key,
+                    dist: hit.dist,
+                });
             }
         }
 
@@ -407,7 +446,10 @@ impl Collection {
                     .map(|(_, v)| v.clone())
             });
             if passes {
-                hits.push(SearchHit { key: hit.key, dist: hit.dist });
+                hits.push(SearchHit {
+                    key: hit.key,
+                    dist: hit.dist,
+                });
             }
         }
         hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.key.cmp(&b.key)));
@@ -486,7 +528,9 @@ mod tests {
         }
         assert!(c.stats().merges >= 2);
         assert_eq!(c.len(), 20);
-        let hits = c.search(&vec_at(10.2), 3, &SearchParams::default()).unwrap();
+        let hits = c
+            .search(&vec_at(10.2), 3, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].key, 10);
     }
 
@@ -500,7 +544,9 @@ mod tests {
         c.insert(3, &vec_at(100.0), &[]).unwrap();
         let hits = c.search(&vec_at(3.0), 1, &SearchParams::default()).unwrap();
         assert_ne!(hits[0].key, 3, "old version must be shadowed");
-        let hits = c.search(&vec_at(100.0), 1, &SearchParams::default()).unwrap();
+        let hits = c
+            .search(&vec_at(100.0), 1, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].key, 3);
         assert_eq!(c.get(3).unwrap(), vec_at(100.0));
         assert_eq!(c.len(), 10);
@@ -529,8 +575,12 @@ mod tests {
         let mut c = Collection::create(schema(), small_cfg()).unwrap();
         for i in 0..30u64 {
             let tag = if i % 2 == 0 { "even" } else { "odd" };
-            c.insert(i, &vec_at(i as f32), &[("tag", tag.into()), ("score", (i as i64).into())])
-                .unwrap();
+            c.insert(
+                i,
+                &vec_at(i as f32),
+                &[("tag", tag.into()), ("score", (i as i64).into())],
+            )
+            .unwrap();
         }
         let pred = Predicate::eq("tag", "even");
         let hits = c
@@ -539,7 +589,8 @@ mod tests {
         assert!(hits.iter().all(|h| h.key % 2 == 0), "{hits:?}");
         assert_eq!(hits[0].key, 6);
         // Works for buffered rows too (31st row stays in buffer).
-        c.insert(100, &vec_at(7.1), &[("tag", "even".into())]).unwrap();
+        c.insert(100, &vec_at(7.1), &[("tag", "even".into())])
+            .unwrap();
         let hits = c
             .search_hybrid(&vec_at(7.1), 1, &pred, &SearchParams::default(), None)
             .unwrap();
@@ -550,7 +601,8 @@ mod tests {
     fn explicit_strategy_override() {
         let mut c = Collection::create(schema(), small_cfg()).unwrap();
         for i in 0..20u64 {
-            c.insert(i, &vec_at(i as f32), &[("score", (i as i64).into())]).unwrap();
+            c.insert(i, &vec_at(i as f32), &[("score", (i as i64).into())])
+                .unwrap();
         }
         let pred = Predicate::lt("score", 10);
         for st in Strategy::ALL {
@@ -565,15 +617,26 @@ mod tests {
     fn schema_validation_on_insert() {
         let mut c = Collection::create(schema(), small_cfg()).unwrap();
         assert!(c.insert(0, &[1.0], &[]).is_err(), "wrong dim");
-        assert!(c.insert(0, &vec_at(0.0), &[("ghost", 1i64.into())]).is_err(), "unknown column");
-        assert!(c.insert(0, &vec_at(0.0), &[("score", "text".into())]).is_err(), "wrong type");
+        assert!(
+            c.insert(0, &vec_at(0.0), &[("ghost", 1i64.into())])
+                .is_err(),
+            "unknown column"
+        );
+        assert!(
+            c.insert(0, &vec_at(0.0), &[("score", "text".into())])
+                .is_err(),
+            "wrong type"
+        );
         assert!(c.is_empty(), "failed inserts must not leak state");
     }
 
     #[test]
     fn wal_recovery_reproduces_state() {
         let dir = TempDir::new("coll-wal").unwrap();
-        let cfg = CollectionConfig { wal_dir: Some(dir.path().to_path_buf()), ..small_cfg() };
+        let cfg = CollectionConfig {
+            wal_dir: Some(dir.path().to_path_buf()),
+            ..small_cfg()
+        };
         {
             let mut c = Collection::create(schema(), cfg.clone()).unwrap();
             for i in 0..12u64 {
@@ -586,7 +649,9 @@ mod tests {
         assert_eq!(recovered.len(), 11);
         assert!(recovered.get(5).is_none());
         assert_eq!(recovered.get(3).unwrap(), vec_at(300.0));
-        let hits = recovered.search(&vec_at(7.0), 1, &SearchParams::default()).unwrap();
+        let hits = recovered
+            .search(&vec_at(7.0), 1, &SearchParams::default())
+            .unwrap();
         assert_eq!(hits[0].key, 7);
     }
 
@@ -595,7 +660,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(160);
         let mut c = Collection::create(
             CollectionSchema::new("vecs", 8, Metric::Euclidean),
-            CollectionConfig { merge_threshold: 64, ..Default::default() },
+            CollectionConfig {
+                merge_threshold: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         let data = vdb_core::dataset::gaussian(300, 8, &mut rng);
@@ -603,7 +671,13 @@ mod tests {
             c.insert(i as u64, row, &[]).unwrap();
         }
         assert_eq!(c.stats().index_name, "hnsw");
-        let hits = c.search(data.get(17), 1, &SearchParams::default().with_beam_width(64)).unwrap();
+        let hits = c
+            .search(
+                data.get(17),
+                1,
+                &SearchParams::default().with_beam_width(64),
+            )
+            .unwrap();
         assert_eq!(hits[0].key, 17);
     }
 }

@@ -34,7 +34,11 @@ pub struct Vdbms {
 impl Vdbms {
     /// A database under the given architectural profile.
     pub fn new(profile: SystemProfile) -> Self {
-        Vdbms { profile, collections: HashMap::new(), embedder: TextEmbedder::new(64) }
+        Vdbms {
+            profile,
+            collections: HashMap::new(),
+            embedder: TextEmbedder::new(64),
+        }
     }
 
     /// The active profile.
@@ -131,20 +135,39 @@ impl Vdbms {
     /// Parse and execute one VQL statement.
     pub fn execute(&mut self, statement: &str) -> Result<VqlOutput> {
         match vql::parse(statement)? {
-            VqlStatement::Search { collection, vector, k, predicate, strategy, params } => {
+            VqlStatement::Search {
+                collection,
+                vector,
+                k,
+                predicate,
+                strategy,
+                params,
+            } => {
                 let c = self.collection(&collection)?;
                 let hits = c.search_hybrid(&vector, k, &predicate, &params, strategy)?;
                 Ok(VqlOutput::Hits(hits))
             }
-            VqlStatement::RangeSearch { collection, vector, radius, predicate, params } => {
+            VqlStatement::RangeSearch {
+                collection,
+                vector,
+                radius,
+                predicate,
+                params,
+            } => {
                 let c = self.collection(&collection)?;
                 let hits = c.range_search(&vector, radius, &predicate, &params)?;
                 Ok(VqlOutput::Hits(hits))
             }
-            VqlStatement::Insert { collection, key, vector, attrs } => {
+            VqlStatement::Insert {
+                collection,
+                key,
+                vector,
+                attrs,
+            } => {
                 let attr_refs: Vec<(&str, AttrValue)> =
                     attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-                self.collection_mut(&collection)?.insert(key, &vector, &attr_refs)?;
+                self.collection_mut(&collection)?
+                    .insert(key, &vector, &attr_refs)?;
                 Ok(VqlOutput::Done)
             }
             VqlStatement::Delete { collection, key } => {
@@ -160,7 +183,12 @@ impl Vdbms {
 
 impl std::fmt::Debug for Vdbms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Vdbms({}, collections={:?})", self.profile.name(), self.collection_names())
+        write!(
+            f,
+            "Vdbms({}, collections={:?})",
+            self.profile.name(),
+            self.collection_names()
+        )
     }
 }
 
@@ -187,7 +215,10 @@ mod tests {
         let mut db = db();
         assert_eq!(db.collection_names(), vec!["docs"]);
         assert!(db
-            .create_collection(CollectionSchema::new("docs", 3, Metric::Euclidean), IndexSpec::Flat)
+            .create_collection(
+                CollectionSchema::new("docs", 3, Metric::Euclidean),
+                IndexSpec::Flat
+            )
             .is_err());
         db.drop_collection("docs").unwrap();
         assert!(db.collection("docs").is_err());
@@ -232,11 +263,20 @@ mod tests {
     fn vql_strategy_override_runs() {
         let mut db = db();
         for i in 0..10 {
-            db.execute(&format!("INSERT INTO docs KEY {i} VALUES [{i}, 0, 0]")).unwrap();
+            db.execute(&format!("INSERT INTO docs KEY {i} VALUES [{i}, 0, 0]"))
+                .unwrap();
         }
-        for st in ["brute_force", "pre_filter", "post_filter", "block_first", "visit_first"] {
+        for st in [
+            "brute_force",
+            "pre_filter",
+            "post_filter",
+            "block_first",
+            "visit_first",
+        ] {
             let out = db
-                .execute(&format!("SEARCH docs K 2 NEAR [4.2, 0, 0] WHERE price IS NULL USING {st}"))
+                .execute(&format!(
+                    "SEARCH docs K 2 NEAR [4.2, 0, 0] WHERE price IS NULL USING {st}"
+                ))
                 .unwrap();
             match out {
                 VqlOutput::Hits(hits) => assert_eq!(hits[0].key, 4, "{st}"),
@@ -254,9 +294,12 @@ mod tests {
             IndexSpec::Flat,
         )
         .unwrap();
-        db.insert_text("notes", 1, "rust systems programming language", &[]).unwrap();
-        db.insert_text("notes", 2, "chocolate cake baking recipe", &[]).unwrap();
-        db.insert_text("notes", 3, "rust memory safety borrow checker", &[]).unwrap();
+        db.insert_text("notes", 1, "rust systems programming language", &[])
+            .unwrap();
+        db.insert_text("notes", 2, "chocolate cake baking recipe", &[])
+            .unwrap();
+        db.insert_text("notes", 3, "rust memory safety borrow checker", &[])
+            .unwrap();
         let hits = db
             .search_text("notes", "programming in rust", 2, &SearchParams::default())
             .unwrap();
@@ -306,7 +349,10 @@ mod tests {
     fn errors_surface() {
         let mut db = db();
         assert!(db.execute("SEARCH ghosts K 1 NEAR [1, 2, 3]").is_err());
-        assert!(db.execute("SEARCH docs K 1 NEAR [1]").is_err(), "dimension mismatch");
+        assert!(
+            db.execute("SEARCH docs K 1 NEAR [1]").is_err(),
+            "dimension mismatch"
+        );
         assert!(db.execute("nonsense").is_err());
     }
 }

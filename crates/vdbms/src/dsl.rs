@@ -100,9 +100,9 @@ impl SearchRequest<'_> {
     /// Execute the request.
     pub fn run(self) -> Result<Vec<SearchHit>> {
         match self.radius {
-            Some(r) => {
-                self.collection.range_search(&self.vector, r, &self.predicate, &self.params)
-            }
+            Some(r) => self
+                .collection
+                .range_search(&self.vector, r, &self.predicate, &self.params),
             None => self.collection.search_hybrid(
                 &self.vector,
                 self.k,
@@ -126,11 +126,15 @@ mod tests {
     fn collection() -> Collection {
         let mut c = Collection::create(
             CollectionSchema::new("dsl", 2, Metric::Euclidean).column("grp", AttrType::Int),
-            CollectionConfig { index: IndexSpec::Flat, ..Default::default() },
+            CollectionConfig {
+                index: IndexSpec::Flat,
+                ..Default::default()
+            },
         )
         .unwrap();
         for i in 0..20i64 {
-            c.insert(i as u64, &[i as f32, 0.0], &[("grp", (i % 2).into())]).unwrap();
+            c.insert(i as u64, &[i as f32, 0.0], &[("grp", (i % 2).into())])
+                .unwrap();
         }
         c
     }
@@ -145,7 +149,10 @@ mod tests {
             .strategy(Strategy::BruteForce)
             .run()
             .unwrap();
-        assert_eq!(hits.iter().map(|h| h.key).collect::<Vec<_>>(), vec![6, 4, 8]);
+        assert_eq!(
+            hits.iter().map(|h| h.key).collect::<Vec<_>>(),
+            vec![6, 4, 8]
+        );
     }
 
     #[test]
@@ -156,7 +163,12 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(keys, vec![4, 5, 6]);
         // Range + filter composes.
-        let hits = c.find(&[5.0, 0.0]).within(1.5).filter(Predicate::eq("grp", 1i64)).run().unwrap();
+        let hits = c
+            .find(&[5.0, 0.0])
+            .within(1.5)
+            .filter(Predicate::eq("grp", 1i64))
+            .run()
+            .unwrap();
         assert_eq!(hits.iter().map(|h| h.key).collect::<Vec<_>>(), vec![5]);
     }
 

@@ -22,7 +22,11 @@ impl TextEmbedder {
     /// An embedder producing `dim`-dimensional vectors.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        TextEmbedder { dim, ngrams: (2, 4), seed: 0xE3BED }
+        TextEmbedder {
+            dim,
+            ngrams: (2, 4),
+            seed: 0xE3BED,
+        }
     }
 
     /// Output dimensionality.

@@ -95,7 +95,10 @@ impl IndexSpec {
             "flat" => Ok(IndexSpec::Flat),
             "lsh" => Ok(IndexSpec::Lsh(LshConfig::default())),
             "ivf_flat" | "ivf" => Ok(IndexSpec::IvfFlat(IvfConfig::new(32))),
-            "ivf_sq" => Ok(IndexSpec::IvfSq { ivf: IvfConfig::new(32), bits: SqBits::B8 }),
+            "ivf_sq" => Ok(IndexSpec::IvfSq {
+                ivf: IvfConfig::new(32),
+                bits: SqBits::B8,
+            }),
             "ivf_pq" | "ivfadc" => Ok(IndexSpec::IvfPq(IvfPqConfig::new(32, 8))),
             "kd_tree" | "kd" => Ok(IndexSpec::KdTree),
             "pca_tree" | "pca" => Ok(IndexSpec::PcaTree),
@@ -114,8 +117,21 @@ impl IndexSpec {
     /// Every spec with default parameters (the harness's index zoo).
     pub fn all_defaults() -> Vec<IndexSpec> {
         [
-            "flat", "lsh", "ivf_flat", "ivf_sq", "ivf_pq", "kd_tree", "pca_tree", "rp_forest",
-            "annoy", "flann", "knng", "nsw", "hnsw", "nsg", "vamana",
+            "flat",
+            "lsh",
+            "ivf_flat",
+            "ivf_sq",
+            "ivf_pq",
+            "kd_tree",
+            "pca_tree",
+            "rp_forest",
+            "annoy",
+            "flann",
+            "knng",
+            "nsw",
+            "hnsw",
+            "nsg",
+            "vamana",
         ]
         .iter()
         .map(|n| IndexSpec::parse(n).expect("registry names parse"))
@@ -127,7 +143,11 @@ impl IndexSpec {
     pub fn supports_insert(&self) -> bool {
         matches!(
             self,
-            IndexSpec::Flat | IndexSpec::Lsh(_) | IndexSpec::IvfFlat(_) | IndexSpec::Nsw(_) | IndexSpec::Hnsw(_)
+            IndexSpec::Flat
+                | IndexSpec::Lsh(_)
+                | IndexSpec::IvfFlat(_)
+                | IndexSpec::Nsw(_)
+                | IndexSpec::Hnsw(_)
         )
     }
 
@@ -144,9 +164,15 @@ impl IndexSpec {
             IndexSpec::IvfPq(cfg) => Box::new(IvfPqIndex::build(vectors, metric, cfg)?),
             IndexSpec::KdTree => Box::new(kd_tree(vectors, metric, 16, seed)?),
             IndexSpec::PcaTree => Box::new(pca_tree(vectors, metric, 16, seed)?),
-            IndexSpec::RpForest { trees } => Box::new(rp_forest(vectors, metric, *trees, 16, seed)?),
-            IndexSpec::Annoy { trees } => Box::new(annoy_forest(vectors, metric, *trees, 16, seed)?),
-            IndexSpec::Flann { trees } => Box::new(flann_forest(vectors, metric, *trees, 16, seed)?),
+            IndexSpec::RpForest { trees } => {
+                Box::new(rp_forest(vectors, metric, *trees, 16, seed)?)
+            }
+            IndexSpec::Annoy { trees } => {
+                Box::new(annoy_forest(vectors, metric, *trees, 16, seed)?)
+            }
+            IndexSpec::Flann { trees } => {
+                Box::new(flann_forest(vectors, metric, *trees, 16, seed)?)
+            }
             IndexSpec::Knng(cfg) => Box::new(KnngIndex::build(vectors, metric, cfg.clone())?),
             IndexSpec::Nsw(cfg) => Box::new(NswIndex::build(vectors, metric, cfg.clone())?),
             IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, metric, cfg.clone())?),
@@ -158,7 +184,12 @@ impl IndexSpec {
 
 /// Default LSH spec helper (used by examples).
 pub fn default_lsh() -> IndexSpec {
-    IndexSpec::Lsh(LshConfig { l: 16, k: 10, family: HashFamily::PStable { w: 4.0 }, seed: 0x15A4 })
+    IndexSpec::Lsh(LshConfig {
+        l: 16,
+        k: 10,
+        family: HashFamily::PStable { w: 4.0 },
+        seed: 0x15A4,
+    })
 }
 
 #[cfg(test)]
@@ -175,11 +206,21 @@ mod tests {
         let params = SearchParams::default().with_nprobe(32).with_beam_width(64);
         for spec in IndexSpec::all_defaults() {
             let idx = spec.build(data.clone(), Metric::Euclidean).unwrap();
-            assert_eq!(idx.name(), spec.name(), "name mismatch for {:?}", spec.name());
+            assert_eq!(
+                idx.name(),
+                spec.name(),
+                "name mismatch for {:?}",
+                spec.name()
+            );
             assert_eq!(idx.len(), 300);
             let hits = idx.search(data.get(0), 5, &params).unwrap();
             assert!(!hits.is_empty(), "{} returned nothing", spec.name());
-            assert_eq!(hits[0].id, 0, "{} should find the query point first", spec.name());
+            assert_eq!(
+                hits[0].id,
+                0,
+                "{} should find the query point first",
+                spec.name()
+            );
         }
     }
 

@@ -56,6 +56,9 @@ mod tests {
         assert_eq!(v.planner, PlannerMode::Fixed(Strategy::PostFilter));
         let m = SystemProfile::MostlyMixed.collection_config(IndexSpec::Flat);
         assert_eq!(m.planner, PlannerMode::CostBased);
-        assert_ne!(SystemProfile::MostlyVector.name(), SystemProfile::MostlyMixed.name());
+        assert_ne!(
+            SystemProfile::MostlyVector.name(),
+            SystemProfile::MostlyMixed.name()
+        );
     }
 }

@@ -21,7 +21,12 @@ pub struct CollectionSchema {
 impl CollectionSchema {
     /// Start building a schema.
     pub fn new(name: impl Into<String>, dim: usize, metric: Metric) -> Self {
-        CollectionSchema { name: name.into(), dim, metric, columns: Vec::new() }
+        CollectionSchema {
+            name: name.into(),
+            dim,
+            metric,
+            columns: Vec::new(),
+        }
     }
 
     /// Add an attribute column.
@@ -33,7 +38,9 @@ impl CollectionSchema {
     /// Validate the schema.
     pub fn validate(&self) -> Result<()> {
         if self.name.is_empty() {
-            return Err(Error::InvalidParameter("collection name must be non-empty".into()));
+            return Err(Error::InvalidParameter(
+                "collection name must be non-empty".into(),
+            ));
         }
         if self.dim == 0 {
             return Err(Error::InvalidParameter("dimension must be positive".into()));
@@ -63,8 +70,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_schemas() {
-        assert!(CollectionSchema::new("", 4, Metric::Euclidean).validate().is_err());
-        assert!(CollectionSchema::new("x", 0, Metric::Euclidean).validate().is_err());
+        assert!(CollectionSchema::new("", 4, Metric::Euclidean)
+            .validate()
+            .is_err());
+        assert!(CollectionSchema::new("x", 0, Metric::Euclidean)
+            .validate()
+            .is_err());
         let dup = CollectionSchema::new("x", 4, Metric::Euclidean)
             .column("a", AttrType::Int)
             .column("a", AttrType::Str);

@@ -102,12 +102,19 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 i += 1;
             }
             out.push(Tok::Ident(chars[start..i].iter().collect()));
-        } else if c.is_ascii_digit() || (c == '-' && i + 1 < chars.len() && (chars[i + 1].is_ascii_digit() || chars[i + 1] == '.')) {
+        } else if c.is_ascii_digit()
+            || (c == '-'
+                && i + 1 < chars.len()
+                && (chars[i + 1].is_ascii_digit() || chars[i + 1] == '.'))
+        {
             let start = i;
             i += 1;
             let mut is_float = false;
             while i < chars.len()
-                && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E'
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
                     || ((chars[i] == '-' || chars[i] == '+') && matches!(chars[i - 1], 'e' | 'E')))
             {
                 if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
@@ -117,9 +124,15 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             let text: String = chars[start..i].iter().collect();
             if is_float {
-                out.push(Tok::Float(text.parse().map_err(|_| Error::Parse(format!("bad number `{text}`")))?));
+                out.push(Tok::Float(
+                    text.parse()
+                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                ));
             } else {
-                out.push(Tok::Int(text.parse().map_err(|_| Error::Parse(format!("bad number `{text}`")))?));
+                out.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                ));
             }
         } else if c == '\'' {
             let start = i + 1;
@@ -180,7 +193,11 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Tok> {
-        let t = self.toks.get(self.pos).cloned().ok_or_else(|| Error::Parse("unexpected end of statement".into()))?;
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of statement".into()))?;
         self.pos += 1;
         Ok(t)
     }
@@ -212,7 +229,9 @@ impl Parser {
     fn uint(&mut self) -> Result<u64> {
         match self.next()? {
             Tok::Int(v) if v >= 0 => Ok(v as u64),
-            other => Err(Error::Parse(format!("expected non-negative integer, got {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected non-negative integer, got {other:?}"
+            ))),
         }
     }
 
@@ -231,7 +250,11 @@ impl Parser {
                 Tok::Float(f) => out.push(f as f32),
                 Tok::Int(i) => out.push(i as f32),
                 Tok::Sym("]") if out.is_empty() => break,
-                other => return Err(Error::Parse(format!("expected number in vector, got {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected number in vector, got {other:?}"
+                    )))
+                }
             }
             match self.next()? {
                 Tok::Sym(",") => continue,
@@ -267,7 +290,11 @@ impl Parser {
         while self.try_keyword("or") {
             terms.push(self.and_expr()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::Or(terms)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Predicate> {
@@ -275,7 +302,11 @@ impl Parser {
         while self.try_keyword("and") {
             terms.push(self.unary_expr()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Predicate::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::And(terms)
+        })
     }
 
     fn unary_expr(&mut self) -> Result<Predicate> {
@@ -304,7 +335,11 @@ impl Parser {
                     ">" => CmpOp::Gt,
                     _ => CmpOp::Ge,
                 };
-                Ok(Predicate::Cmp { column, op, value: self.value()? })
+                Ok(Predicate::Cmp {
+                    column,
+                    op,
+                    value: self.value()?,
+                })
             }
             Tok::Ident(s) if s.eq_ignore_ascii_case("is") => {
                 self.keyword("null")?;
@@ -330,7 +365,9 @@ impl Parser {
                 let hi = self.value()?;
                 Ok(Predicate::Between { column, lo, hi })
             }
-            other => Err(Error::Parse(format!("expected operator after `{column}`, got {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected operator after `{column}`, got {other:?}"
+            ))),
         }
     }
 }
@@ -344,7 +381,10 @@ fn parse_strategy(name: &str) -> Result<Strategy> {
 
 /// Parse one VQL statement.
 pub fn parse(input: &str) -> Result<VqlStatement> {
-    let mut p = Parser { toks: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
     let head = p.ident()?;
     let stmt = if head.eq_ignore_ascii_case("search") {
         let collection = p.ident()?;
@@ -354,9 +394,7 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                 Tok::Int(i) => i as f32,
                 other => return Err(Error::Parse(format!("expected radius, got {other:?}"))),
             };
-            if radius.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
-                && radius != 0.0
-            {
+            if radius.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) && radius != 0.0 {
                 return Err(Error::Parse("radius must be non-negative".into()));
             }
             p.keyword("near")?;
@@ -380,7 +418,13 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                     &p.toks[p.pos..]
                 )));
             }
-            return Ok(VqlStatement::RangeSearch { collection, vector, radius, predicate, params });
+            return Ok(VqlStatement::RangeSearch {
+                collection,
+                vector,
+                radius,
+                predicate,
+                params,
+            });
         }
         p.keyword("k")?;
         let k = p.uint()? as usize;
@@ -402,7 +446,14 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                 break;
             }
         }
-        VqlStatement::Search { collection, vector, k, predicate, strategy, params }
+        VqlStatement::Search {
+            collection,
+            vector,
+            k,
+            predicate,
+            strategy,
+            params,
+        }
     } else if head.eq_ignore_ascii_case("insert") {
         p.keyword("into")?;
         let collection = p.ident()?;
@@ -423,7 +474,12 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                 }
             }
         }
-        VqlStatement::Insert { collection, key, vector, attrs }
+        VqlStatement::Insert {
+            collection,
+            key,
+            vector,
+            attrs,
+        }
     } else if head.eq_ignore_ascii_case("delete") {
         p.keyword("from")?;
         let collection = p.ident()?;
@@ -431,12 +487,17 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
         let key = p.uint()?;
         VqlStatement::Delete { collection, key }
     } else if head.eq_ignore_ascii_case("count") {
-        VqlStatement::Count { collection: p.ident()? }
+        VqlStatement::Count {
+            collection: p.ident()?,
+        }
     } else {
         return Err(Error::Parse(format!("unknown statement `{head}`")));
     };
     if p.pos != p.toks.len() {
-        return Err(Error::Parse(format!("trailing tokens after statement: {:?}", &p.toks[p.pos..])));
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.toks[p.pos..]
+        )));
     }
     Ok(stmt)
 }
@@ -449,7 +510,14 @@ mod tests {
     fn parse_basic_search() {
         let s = parse("SEARCH docs K 10 NEAR [0.1, 0.2, -3]").unwrap();
         match s {
-            VqlStatement::Search { collection, vector, k, predicate, strategy, .. } => {
+            VqlStatement::Search {
+                collection,
+                vector,
+                k,
+                predicate,
+                strategy,
+                ..
+            } => {
                 assert_eq!(collection, "docs");
                 assert_eq!(k, 10);
                 assert_eq!(vector, vec![0.1, 0.2, -3.0]);
@@ -467,7 +535,12 @@ mod tests {
         )
         .unwrap();
         match s {
-            VqlStatement::Search { predicate, strategy, params, .. } => {
+            VqlStatement::Search {
+                predicate,
+                strategy,
+                params,
+                ..
+            } => {
                 assert_eq!(strategy, Some(Strategy::VisitFirst));
                 assert_eq!(params.beam_width, 64);
                 assert_eq!(params.nprobe, 4);
@@ -499,7 +572,8 @@ mod tests {
 
     #[test]
     fn parse_insert_and_delete_and_count() {
-        let s = parse("INSERT INTO docs KEY 42 VALUES [1, 2] SET brand = 'acme', price = 10").unwrap();
+        let s =
+            parse("INSERT INTO docs KEY 42 VALUES [1, 2] SET brand = 'acme', price = 10").unwrap();
         assert_eq!(
             s,
             VqlStatement::Insert {
@@ -514,9 +588,17 @@ mod tests {
         );
         assert_eq!(
             parse("DELETE FROM docs KEY 7").unwrap(),
-            VqlStatement::Delete { collection: "docs".into(), key: 7 }
+            VqlStatement::Delete {
+                collection: "docs".into(),
+                key: 7
+            }
         );
-        assert_eq!(parse("COUNT docs").unwrap(), VqlStatement::Count { collection: "docs".into() });
+        assert_eq!(
+            parse("COUNT docs").unwrap(),
+            VqlStatement::Count {
+                collection: "docs".into()
+            }
+        );
     }
 
     #[test]
@@ -551,7 +633,13 @@ mod tests {
     fn parse_range_search() {
         let s = parse("SEARCH docs WITHIN 2.5 NEAR [1, 2] WHERE price < 50 BEAM 32").unwrap();
         match s {
-            VqlStatement::RangeSearch { collection, vector, radius, predicate, params } => {
+            VqlStatement::RangeSearch {
+                collection,
+                vector,
+                radius,
+                predicate,
+                params,
+            } => {
                 assert_eq!(collection, "docs");
                 assert_eq!(vector, vec![1.0, 2.0]);
                 assert_eq!(radius, 2.5);

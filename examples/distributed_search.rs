@@ -9,10 +9,7 @@ use vdb_core::{dataset, Metric, Rng, SearchParams, VectorIndex, Vectors};
 use vdb_distributed::{DistributedConfig, DistributedIndex, PartitionPolicy};
 use vdb_index_graph::{HnswConfig, HnswIndex};
 
-fn hnsw_builder(
-    v: Vectors,
-    m: Metric,
-) -> vdb_core::Result<Box<dyn VectorIndex>> {
+fn hnsw_builder(v: Vectors, m: Metric) -> vdb_core::Result<Box<dyn VectorIndex>> {
     Ok(Box::new(HnswIndex::build(v, m, HnswConfig::default())?))
 }
 
@@ -35,10 +32,17 @@ fn main() -> vdb_core::Result<()> {
             &hnsw_builder,
         )?;
         let start = Instant::now();
-        let results: Vec<_> =
-            queries.iter().map(|q| d.search(q, 10, &params)).collect::<vdb_core::Result<_>>()?;
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| d.search(q, 10, &params))
+            .collect::<vdb_core::Result<_>>()?;
         let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
-        println!("{:>7} {:>12.0} {:>9.3}", shards, us, gt.recall_batch(&results));
+        println!(
+            "{:>7} {:>12.0} {:>9.3}",
+            shards,
+            us,
+            gt.recall_batch(&results)
+        );
     }
 
     println!("\nindex-guided partitioning with routed search (8 shards):");
@@ -48,10 +52,17 @@ fn main() -> vdb_core::Result<()> {
         cfg.policy = PartitionPolicy::IndexGuided;
         let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &hnsw_builder)?;
         let start = Instant::now();
-        let results: Vec<_> =
-            queries.iter().map(|q| d.search(q, 10, &params)).collect::<vdb_core::Result<_>>()?;
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| d.search(q, 10, &params))
+            .collect::<vdb_core::Result<_>>()?;
         let us = start.elapsed().as_micros() as f64 / queries.len() as f64;
-        println!("{:>7} {:>12.0} {:>9.3}", probe, us, gt.recall_batch(&results));
+        println!(
+            "{:>7} {:>12.0} {:>9.3}",
+            probe,
+            us,
+            gt.recall_batch(&results)
+        );
     }
     println!("(cluster-aligned placement lets 2 of 8 shards answer most queries)");
 
@@ -60,10 +71,19 @@ fn main() -> vdb_core::Result<()> {
     cfg.replicas = 2;
     let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &hnsw_builder)?;
     let q = queries.get(0);
-    println!("  both replicas up: {} hits", d.search(q, 10, &params)?.len());
+    println!(
+        "  both replicas up: {} hits",
+        d.search(q, 10, &params)?.len()
+    );
     d.set_replica_up(0, 0, false);
-    println!("  replica (0,0) down: {} hits (served by replica 1)", d.search(q, 10, &params)?.len());
+    println!(
+        "  replica (0,0) down: {} hits (served by replica 1)",
+        d.search(q, 10, &params)?.len()
+    );
     d.set_replica_up(0, 1, false);
-    println!("  whole shard down: {:?}", d.search(q, 10, &params).err().map(|e| e.to_string()));
+    println!(
+        "  whole shard down: {:?}",
+        d.search(q, 10, &params).err().map(|e| e.to_string())
+    );
     Ok(())
 }

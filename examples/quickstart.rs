@@ -41,7 +41,9 @@ fn main() -> vdb_core::Result<()> {
 
     // Plain k-NN: what's most similar to this query embedding?
     let query = [0.88, 0.12, 0.02, 0.18];
-    let hits = db.collection("products")?.search(&query, 3, &SearchParams::default())?;
+    let hits = db
+        .collection("products")?
+        .search(&query, 3, &SearchParams::default())?;
     println!("\ntop-3 nearest:");
     for h in &hits {
         println!("  product {}  (distance {:.4})", h.key, h.dist);
@@ -76,7 +78,9 @@ fn main() -> vdb_core::Result<()> {
     // Out-of-place updates: overwrite and delete are visible immediately,
     // merged into the index in bulk later.
     db.execute("DELETE FROM products KEY 1")?;
-    db.execute("INSERT INTO products KEY 7 VALUES [0.9, 0.1, 0.0, 0.2] SET brand = 'acme', price = 19")?;
+    db.execute(
+        "INSERT INTO products KEY 7 VALUES [0.9, 0.1, 0.0, 0.2] SET brand = 'acme', price = 19",
+    )?;
     if let VqlOutput::Hits(hits) = db.execute("SEARCH products K 1 NEAR [0.9, 0.1, 0.0, 0.2]")? {
         println!("\nafter update, nearest is product {}", hits[0].key);
     }

@@ -22,16 +22,56 @@ fn main() -> vdb_core::Result<()> {
     )?;
 
     let corpus: &[(&str, &str, i64)] = &[
-        ("rust borrow checker prevents data races at compile time", "tech", 2021),
-        ("the rust compiler enforces memory safety without garbage collection", "tech", 2022),
-        ("new pasta restaurant opens downtown with homemade noodles", "food", 2023),
-        ("sourdough bread baking requires patience and a good starter", "food", 2020),
-        ("vector databases accelerate retrieval for language models", "tech", 2023),
-        ("approximate nearest neighbor search trades recall for speed", "tech", 2022),
-        ("chocolate souffle recipe from a michelin starred chef", "food", 2021),
-        ("distributed systems need consensus protocols like raft", "tech", 2020),
-        ("seasonal vegetables shine in this simple soup recipe", "food", 2022),
-        ("gpu acceleration speeds up similarity search kernels", "tech", 2023),
+        (
+            "rust borrow checker prevents data races at compile time",
+            "tech",
+            2021,
+        ),
+        (
+            "the rust compiler enforces memory safety without garbage collection",
+            "tech",
+            2022,
+        ),
+        (
+            "new pasta restaurant opens downtown with homemade noodles",
+            "food",
+            2023,
+        ),
+        (
+            "sourdough bread baking requires patience and a good starter",
+            "food",
+            2020,
+        ),
+        (
+            "vector databases accelerate retrieval for language models",
+            "tech",
+            2023,
+        ),
+        (
+            "approximate nearest neighbor search trades recall for speed",
+            "tech",
+            2022,
+        ),
+        (
+            "chocolate souffle recipe from a michelin starred chef",
+            "food",
+            2021,
+        ),
+        (
+            "distributed systems need consensus protocols like raft",
+            "tech",
+            2020,
+        ),
+        (
+            "seasonal vegetables shine in this simple soup recipe",
+            "food",
+            2022,
+        ),
+        (
+            "gpu acceleration speeds up similarity search kernels",
+            "tech",
+            2023,
+        ),
     ];
     for (i, (text, section, year)) in corpus.iter().enumerate() {
         db.insert_text(

@@ -29,7 +29,10 @@ fn main() -> vdb_core::Result<()> {
     // Interleave inserts with searches; search latency stays flat because
     // writes land in the LSM buffer, not the graph.
     println!("streaming 10k inserts with interleaved searches:");
-    println!("{:>8} {:>10} {:>12} {:>8}", "inserted", "buffered", "search_us", "merges");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "inserted", "buffered", "search_us", "merges"
+    );
     let params = SearchParams::default().with_beam_width(64);
     let mut probe = vec![0.0f32; dim];
     for wave in 0..5 {
@@ -47,7 +50,13 @@ fn main() -> vdb_core::Result<()> {
         }
         let us = start.elapsed().as_micros() as f64 / 50.0;
         let s = c.stats();
-        println!("{:>8} {:>10} {:>12.0} {:>8}", (wave + 1) * 2_000, s.buffered, us, s.merges);
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>8}",
+            (wave + 1) * 2_000,
+            s.buffered,
+            us,
+            s.merges
+        );
     }
 
     // Deletes and overwrites are visible immediately.
@@ -55,7 +64,10 @@ fn main() -> vdb_core::Result<()> {
     c.insert(424242, &vec![5.0; dim], &[])?;
     c.delete(424242)?;
     assert_eq!(c.len(), live_before);
-    println!("\ndelete visible immediately (live count unchanged: {})", c.len());
+    println!(
+        "\ndelete visible immediately (live count unchanged: {})",
+        c.len()
+    );
 
     // Crash recovery: reopen from the WAL alone.
     let t = Instant::now();
@@ -78,7 +90,10 @@ fn main() -> vdb_core::Result<()> {
         let page = pages.next_page(10)?;
         let first = page.first().map(|n| n.dist).unwrap_or(f32::NAN);
         let last = page.last().map(|n| n.dist).unwrap_or(f32::NAN);
-        println!("  page {page_no}: {} hits, distances {first:.3} .. {last:.3}", page.len());
+        println!(
+            "  page {page_no}: {} hits, distances {first:.3} .. {last:.3}",
+            page.len()
+        );
     }
     Ok(())
 }

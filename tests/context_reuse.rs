@@ -5,14 +5,16 @@
 //! shard scatter loops, and the collection facade reuse scratch freely.
 
 use vdb_core::context::SearchContext;
-use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex};
 use vdb_core::vector::Vectors;
+use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex};
 use vdb_index_graph::{
-    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, KnngConfig, KnngIndex, NsgConfig,
-    NsgIndex, NswConfig, NswIndex, StitchedConfig, StitchedVamanaIndex, VamanaConfig,
-    VamanaIndex,
+    DiskAnnConfig, DiskAnnIndex, HnswConfig, HnswIndex, KnngConfig, KnngIndex, NsgConfig, NsgIndex,
+    NswConfig, NswIndex, StitchedConfig, StitchedVamanaIndex, VamanaConfig, VamanaIndex,
 };
-use vdb_index_table::{IvfConfig, IvfFlatIndex, IvfPqConfig, IvfPqIndex, IvfSqIndex, LshConfig, LshIndex, SpannConfig, SpannIndex};
+use vdb_index_table::{
+    IvfConfig, IvfFlatIndex, IvfPqConfig, IvfPqIndex, IvfSqIndex, LshConfig, LshIndex, SpannConfig,
+    SpannIndex,
+};
 use vdb_index_tree::annoy_forest;
 use vdb_quant::SqBits;
 use vdb_storage::TempDir;
@@ -49,23 +51,34 @@ fn assert_context_equivalence(index: &dyn VectorIndex, queries: &Vectors, params
     let mut per_query = Vec::new();
     for q in queries.iter() {
         let legacy = index.search(q, K, params).unwrap();
-        let fresh = index.search_with(&mut SearchContext::new(), q, K, params).unwrap();
+        let fresh = index
+            .search_with(&mut SearchContext::new(), q, K, params)
+            .unwrap();
         let warm = index.search_with(&mut reused, q, K, params).unwrap();
         assert_eq!(legacy, fresh, "{}: legacy vs fresh context", index.name());
-        assert_eq!(legacy, warm, "{}: fresh vs dirty reused context", index.name());
+        assert_eq!(
+            legacy,
+            warm,
+            "{}: fresh vs dirty reused context",
+            index.name()
+        );
         per_query.push(legacy);
     }
     let mut batch_ctx = SearchContext::new();
     dirty(&mut batch_ctx, index, params);
     let refs: Vec<&[f32]> = queries.iter().collect();
-    let batched = index.search_batch(&mut batch_ctx, &refs, K, params).unwrap();
+    let batched = index
+        .search_batch(&mut batch_ctx, &refs, K, params)
+        .unwrap();
     assert_eq!(per_query, batched, "{}: batch vs per-query", index.name());
 
     // Filtered paths reuse the same scratch; they must be just as stable.
-    let filter = |id: usize| id % 3 != 0;
+    let filter = |id: usize| !id.is_multiple_of(3);
     for q in queries.iter().take(4) {
         let legacy = index.search_filtered(q, K, params, &filter).unwrap();
-        let warm = index.search_filtered_with(&mut reused, q, K, params, &filter).unwrap();
+        let warm = index
+            .search_filtered_with(&mut reused, q, K, params, &filter)
+            .unwrap();
         assert_eq!(legacy, warm, "{}: filtered legacy vs reused", index.name());
         assert!(legacy.iter().all(|n| n.id % 3 != 0));
     }
@@ -104,15 +117,19 @@ fn graph_indexes_context_equivalence() {
 fn table_indexes_context_equivalence() {
     let (data, queries) = workload();
     let params = SearchParams::default().with_nprobe(4);
-    let ivf =
-        IvfFlatIndex::build(data.clone(), Metric::Euclidean, &IvfConfig::new(16)).unwrap();
+    let ivf = IvfFlatIndex::build(data.clone(), Metric::Euclidean, &IvfConfig::new(16)).unwrap();
     assert_context_equivalence(&ivf, &queries, &params);
     let ivf_pq =
         IvfPqIndex::build(data.clone(), Metric::Euclidean, &IvfPqConfig::new(16, 4)).unwrap();
     assert_context_equivalence(&ivf_pq, &queries, &params);
-    let ivf_sq =
-        IvfSqIndex::build(data.clone(), Metric::Euclidean, &IvfConfig::new(16), SqBits::B8, true)
-            .unwrap();
+    let ivf_sq = IvfSqIndex::build(
+        data.clone(),
+        Metric::Euclidean,
+        &IvfConfig::new(16),
+        SqBits::B8,
+        true,
+    )
+    .unwrap();
     assert_context_equivalence(&ivf_sq, &queries, &params);
     let lsh = LshIndex::build(data, Metric::Euclidean, LshConfig::default()).unwrap();
     assert_context_equivalence(&lsh, &queries, &params);
@@ -123,12 +140,19 @@ fn disk_indexes_context_equivalence() {
     let (data, queries) = workload();
     let dir = TempDir::new("ctx-reuse").unwrap();
     let vam = VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
-    let diskann =
-        DiskAnnIndex::build(dir.file("d.idx"), &vam, &DiskAnnConfig::default()).unwrap();
-    assert_context_equivalence(&diskann, &queries, &SearchParams::default().with_beam_width(48));
-    let spann =
-        SpannIndex::build(dir.file("s.idx"), &data, Metric::Euclidean, &SpannConfig::new(12))
-            .unwrap();
+    let diskann = DiskAnnIndex::build(dir.file("d.idx"), &vam, &DiskAnnConfig::default()).unwrap();
+    assert_context_equivalence(
+        &diskann,
+        &queries,
+        &SearchParams::default().with_beam_width(48),
+    );
+    let spann = SpannIndex::build(
+        dir.file("s.idx"),
+        &data,
+        Metric::Euclidean,
+        &SpannConfig::new(12),
+    )
+    .unwrap();
     assert_context_equivalence(&spann, &queries, &SearchParams::default().with_nprobe(4));
 }
 
@@ -147,13 +171,14 @@ fn one_context_serves_mixed_index_types() {
     let params = SearchParams::default().with_beam_width(48).with_nprobe(4);
     let flat = FlatIndex::build(data.clone(), Metric::Euclidean).unwrap();
     let hnsw = HnswIndex::build(data.clone(), Metric::Euclidean, HnswConfig::default()).unwrap();
-    let ivf_pq =
-        IvfPqIndex::build(data, Metric::Euclidean, &IvfPqConfig::new(16, 4)).unwrap();
+    let ivf_pq = IvfPqIndex::build(data, Metric::Euclidean, &IvfPqConfig::new(16, 4)).unwrap();
     let indexes: [&dyn VectorIndex; 3] = [&flat, &hnsw, &ivf_pq];
     let mut shared = SearchContext::new();
     for q in queries.iter().take(8) {
         for idx in indexes {
-            let expected = idx.search_with(&mut SearchContext::new(), q, K, &params).unwrap();
+            let expected = idx
+                .search_with(&mut SearchContext::new(), q, K, &params)
+                .unwrap();
             let got = idx.search_with(&mut shared, q, K, &params).unwrap();
             assert_eq!(expected, got, "{} after cross-index reuse", idx.name());
         }

@@ -75,9 +75,15 @@ fn routed_probing_recall_grows_with_probes() {
             &flat_builder,
         )
         .unwrap();
-        let results: Vec<_> = queries.iter().map(|q| d.search(q, 10, &params).unwrap()).collect();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| d.search(q, 10, &params).unwrap())
+            .collect();
         let r = gt.recall_batch(&results);
-        assert!(r >= last - 0.02, "probe={probe}: recall {r} dropped from {last}");
+        assert!(
+            r >= last - 0.02,
+            "probe={probe}: recall {r} dropped from {last}"
+        );
         last = r;
     }
     assert!((last - 1.0).abs() < 1e-9, "probing all shards is exact");

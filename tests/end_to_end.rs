@@ -68,8 +68,7 @@ fn every_registry_index_reaches_reasonable_recall_through_the_facade() {
 fn collection_lifecycle_with_attributes_and_updates() {
     let (data, queries, _) = dataset_and_queries();
     let mut c = Collection::create(
-        CollectionSchema::new("life", 16, Metric::Euclidean)
-            .column("bucket", AttrType::Int),
+        CollectionSchema::new("life", 16, Metric::Euclidean).column("bucket", AttrType::Int),
         CollectionConfig {
             index: IndexSpec::parse("hnsw").unwrap(),
             merge_threshold: 500,
@@ -79,13 +78,16 @@ fn collection_lifecycle_with_attributes_and_updates() {
     )
     .unwrap();
     for (i, row) in data.iter().enumerate() {
-        c.insert(i as u64, row, &[("bucket", ((i % 10) as i64).into())]).unwrap();
+        c.insert(i as u64, row, &[("bucket", ((i % 10) as i64).into())])
+            .unwrap();
     }
     assert_eq!(c.len(), 2000);
 
     // Hybrid query.
     let pred = vdb_query::Predicate::eq("bucket", 3i64);
-    let hits = c.search_hybrid(queries.get(0), 5, &pred, &params(), None).unwrap();
+    let hits = c
+        .search_hybrid(queries.get(0), 5, &pred, &params(), None)
+        .unwrap();
     assert!(!hits.is_empty());
     assert!(hits.iter().all(|h| h.key % 10 == 3));
 
@@ -94,7 +96,9 @@ fn collection_lifecycle_with_attributes_and_updates() {
         c.delete(key).unwrap();
     }
     assert_eq!(c.len(), 1800);
-    let hits = c.search_hybrid(queries.get(0), 5, &pred, &params(), None).unwrap();
+    let hits = c
+        .search_hybrid(queries.get(0), 5, &pred, &params(), None)
+        .unwrap();
     assert!(hits.is_empty(), "deleted bucket still visible: {hits:?}");
 
     // Merge compacts and the collection still answers.
@@ -125,6 +129,11 @@ fn metrics_other_than_l2_flow_through() {
             c.insert(i as u64, row, &[]).unwrap();
         }
         let hits = c.search(data.get(42), 1, &SearchParams::default()).unwrap();
-        assert_eq!(hits[0].key, 42, "{} must retrieve the query point", metric.name());
+        assert_eq!(
+            hits[0].key,
+            42,
+            "{} must retrieve the query point",
+            metric.name()
+        );
     }
 }

@@ -21,11 +21,19 @@ fn fixture() -> Fixture {
     let mut attrs = AttributeStore::new();
     attrs
         .add_column(
-            Column::from_values("v", AttrType::Int, dataset::int_column(3000, 0, 1000, &mut rng))
-                .unwrap(),
+            Column::from_values(
+                "v",
+                AttrType::Int,
+                dataset::int_column(3000, 0, 1000, &mut rng),
+            )
+            .unwrap(),
         )
         .unwrap();
-    Fixture { data, attrs, queries }
+    Fixture {
+        data,
+        attrs,
+        queries,
+    }
 }
 
 fn indexes(data: &Vectors) -> Vec<Box<dyn VectorIndex>> {
@@ -97,7 +105,11 @@ fn extreme_selectivities_are_safe() {
         let none = Predicate::lt("v", -1);
         let q = VectorQuery::knn(f.queries.get(0).to_vec(), 5).filtered(none);
         for strategy in Strategy::ALL {
-            assert!(execute(&ctx, &q, strategy).unwrap().is_empty(), "{}", strategy.name());
+            assert!(
+                execute(&ctx, &q, strategy).unwrap().is_empty(),
+                "{}",
+                strategy.name()
+            );
         }
         // Predicate matching everything equals the unpredicated search for
         // the exact strategies.

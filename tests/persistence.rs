@@ -19,17 +19,26 @@ fn diskann_reopen_equals_built_and_counts_io() {
     let params = SearchParams::default().with_beam_width(48);
 
     let built = DiskAnnIndex::build(&path, &vam, &DiskAnnConfig::default()).unwrap();
-    let before: Vec<_> = queries.iter().map(|q| built.search(q, 10, &params).unwrap()).collect();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| built.search(q, 10, &params).unwrap())
+        .collect();
     drop(built);
 
     let reopened = DiskAnnIndex::open(&path, Metric::Euclidean, 0).unwrap();
     reopened.cache().reset_stats();
-    let after: Vec<_> = queries.iter().map(|q| reopened.search(q, 10, &params).unwrap()).collect();
+    let after: Vec<_> = queries
+        .iter()
+        .map(|q| reopened.search(q, 10, &params).unwrap())
+        .collect();
     assert_eq!(before, after, "reopen must not change results");
     let io = reopened.cache().stats();
     assert!(io.misses > 0, "uncached search must read pages");
     let per_query = io.misses as f64 / queries.len() as f64;
-    assert!(per_query <= 150.0, "I/O per query bounded by the beam: {per_query}");
+    assert!(
+        per_query <= 150.0,
+        "I/O per query bounded by the beam: {per_query}"
+    );
 }
 
 #[test]
@@ -41,11 +50,17 @@ fn spann_reopen_under_different_cache_budgets() {
     let path = dir.file("s.idx");
     let built = SpannIndex::build(&path, &data, Metric::Euclidean, &SpannConfig::new(12)).unwrap();
     let params = SearchParams::default().with_nprobe(4);
-    let expected: Vec<_> = queries.iter().map(|q| built.search(q, 10, &params).unwrap()).collect();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| built.search(q, 10, &params).unwrap())
+        .collect();
     drop(built);
     for budget in [0usize, 8, 1024] {
         let idx = SpannIndex::open(&path, Metric::Euclidean, budget).unwrap();
-        let got: Vec<_> = queries.iter().map(|q| idx.search(q, 10, &params).unwrap()).collect();
+        let got: Vec<_> = queries
+            .iter()
+            .map(|q| idx.search(q, 10, &params).unwrap())
+            .collect();
         assert_eq!(expected, got, "cache budget {budget} changed results");
     }
 }

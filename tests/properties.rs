@@ -29,9 +29,12 @@ fn true_metrics_satisfy_axioms() {
         let a = vec_of(&mut rng, 8);
         let b = vec_of(&mut rng, 8);
         let c = vec_of(&mut rng, 8);
-        for metric in
-            [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)]
-        {
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(3.0),
+        ] {
             let dab = metric.distance(&a, &b);
             let dba = metric.distance(&b, &a);
             let daa = metric.distance(&a, &a);
@@ -73,8 +76,9 @@ fn topk_equals_sort_oracle() {
     for _ in 0..CASES {
         let n = 1 + rng.below(199);
         let k = 1 + rng.below(49);
-        let cands: Vec<Neighbor> =
-            (0..n).map(|i| Neighbor::new(i, rng.f32() * 1000.0)).collect();
+        let cands: Vec<Neighbor> = (0..n)
+            .map(|i| Neighbor::new(i, rng.f32() * 1000.0))
+            .collect();
         let mut top = TopK::new(k);
         for &c in &cands {
             top.push(c);
@@ -87,8 +91,9 @@ fn topk_equals_sort_oracle() {
 fn sq8_roundtrip_error_bounded() {
     let mut rng = Rng::seed_from_u64(0xA4);
     for _ in 0..CASES {
-        let rows: Vec<Vec<f32>> =
-            (0..2 + rng.below(38)).map(|_| vec_of(&mut rng, 6)).collect();
+        let rows: Vec<Vec<f32>> = (0..2 + rng.below(38))
+            .map(|_| vec_of(&mut rng, 6))
+            .collect();
         let mut data = Vectors::new(6);
         for r in &rows {
             data.push(r).unwrap();
@@ -108,8 +113,9 @@ fn sq8_roundtrip_error_bounded() {
 fn pq_adc_consistent_with_decode() {
     let mut rng = Rng::seed_from_u64(0xA5);
     for _ in 0..16 {
-        let rows: Vec<Vec<f32>> =
-            (0..20 + rng.below(40)).map(|_| vec_of(&mut rng, 8)).collect();
+        let rows: Vec<Vec<f32>> = (0..20 + rng.below(40))
+            .map(|_| vec_of(&mut rng, 8))
+            .collect();
         let q = vec_of(&mut rng, 8);
         let mut data = Vectors::new(8);
         for r in &rows {
@@ -117,7 +123,12 @@ fn pq_adc_consistent_with_decode() {
         }
         let pq = ProductQuantizer::train(
             &data,
-            &PqConfig { m: 2, nbits: 4, train_iters: 4, seed: 1 },
+            &PqConfig {
+                m: 2,
+                nbits: 4,
+                train_iters: 4,
+                seed: 1,
+            },
         )
         .unwrap();
         let table = pq.adc_table(&q).unwrap();
@@ -166,10 +177,12 @@ fn lsm_read_your_writes() {
         let mut lsm = LsmStore::new(
             2,
             Metric::Euclidean,
-            LsmConfig { memtable_capacity: 7, max_segments: 2 },
+            LsmConfig {
+                memtable_capacity: 7,
+                max_segments: 2,
+            },
         );
-        let mut model: std::collections::HashMap<u64, [f32; 2]> =
-            std::collections::HashMap::new();
+        let mut model: std::collections::HashMap<u64, [f32; 2]> = std::collections::HashMap::new();
         for _ in 0..1 + rng.below(79) {
             let key = rng.below(20) as u64;
             let x = rng.f32() * 20.0 - 10.0;
@@ -196,8 +209,9 @@ fn lsm_read_your_writes() {
 fn vql_numbers_roundtrip() {
     let mut rng = Rng::seed_from_u64(0xA8);
     for _ in 0..CASES {
-        let xs: Vec<f32> =
-            (0..1 + rng.below(11)).map(|_| rng.f32() * 2000.0 - 1000.0).collect();
+        let xs: Vec<f32> = (0..1 + rng.below(11))
+            .map(|_| rng.f32() * 2000.0 - 1000.0)
+            .collect();
         let k = 1 + rng.below(49);
         let literal: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
         let stmt = format!("SEARCH c K {k} NEAR [{}]", literal.join(", "));
@@ -218,8 +232,9 @@ fn vql_numbers_roundtrip() {
 fn flat_search_sorted_unique_and_bounded() {
     let mut rng = Rng::seed_from_u64(0xA9);
     for _ in 0..CASES {
-        let rows: Vec<Vec<f32>> =
-            (0..1 + rng.below(59)).map(|_| vec_of(&mut rng, 3)).collect();
+        let rows: Vec<Vec<f32>> = (0..1 + rng.below(59))
+            .map(|_| vec_of(&mut rng, 3))
+            .collect();
         let q = vec_of(&mut rng, 3);
         let k = 1 + rng.below(19);
         let mut data = Vectors::new(3);
@@ -229,8 +244,7 @@ fn flat_search_sorted_unique_and_bounded() {
         let n = data.len();
         let idx = vdb_core::FlatIndex::build(data, Metric::Euclidean).unwrap();
         let hits =
-            vdb_core::VectorIndex::search(&idx, &q, k, &vdb_core::SearchParams::default())
-                .unwrap();
+            vdb_core::VectorIndex::search(&idx, &q, k, &vdb_core::SearchParams::default()).unwrap();
         assert_eq!(hits.len(), k.min(n));
         assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
         let ids: std::collections::HashSet<usize> = hits.iter().map(|h| h.id).collect();

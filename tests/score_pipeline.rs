@@ -16,7 +16,13 @@ struct SignalWorld {
     signal: usize,
 }
 
-fn world(n_classes: usize, per_class: usize, dim: usize, signal: usize, rng: &mut Rng) -> SignalWorld {
+fn world(
+    n_classes: usize,
+    per_class: usize,
+    dim: usize,
+    signal: usize,
+    rng: &mut Rng,
+) -> SignalWorld {
     let anchors = dataset::gaussian(n_classes, signal, rng);
     let mut data = Vectors::new(dim);
     let mut class_of = Vec::new();
@@ -34,7 +40,11 @@ fn world(n_classes: usize, per_class: usize, dim: usize, signal: usize, rng: &mu
             class_of.push(c);
         }
     }
-    SignalWorld { data, class_of, signal }
+    SignalWorld {
+        data,
+        class_of,
+        signal,
+    }
 }
 
 fn pairs_from(world: &SignalWorld, n: usize, rng: &mut Rng) -> Vec<LabeledPair> {
@@ -67,8 +77,7 @@ fn learned_metric_beats_plain_l2_at_retrieval() {
     let lw = LearnedWeights::fit(&train, 16, &LearnConfig::default()).unwrap();
     let weights = lw.weights().to_vec();
     let signal_avg: f32 = weights[..w.signal].iter().sum::<f32>() / w.signal as f32;
-    let noise_avg: f32 =
-        weights[w.signal..].iter().sum::<f32>() / (16 - w.signal) as f32;
+    let noise_avg: f32 = weights[w.signal..].iter().sum::<f32>() / (16 - w.signal) as f32;
     assert!(signal_avg > noise_avg, "weights {weights:?}");
 
     // Retrieval: fraction of top-10 neighbors sharing the query's class.
@@ -112,7 +121,10 @@ fn score_selection_prefers_the_learned_metric() {
         ranked[0].metric.name(),
         "weighted_l2",
         "rankings: {:?}",
-        ranked.iter().map(|e| (e.metric.name(), e.auc)).collect::<Vec<_>>()
+        ranked
+            .iter()
+            .map(|e| (e.metric.name(), e.auc))
+            .collect::<Vec<_>>()
     );
     assert!(ranked[0].auc > ranked.last().unwrap().auc);
 }
