@@ -23,6 +23,12 @@ cargo test -q --release
 echo "== workspace: full test suite =="
 cargo test -q --release --workspace
 
+echo "== integration suite with 4 build threads =="
+# BuildOptions::default() honors VDB_BUILD_THREADS; this pass proves the
+# root integration tests (incl. tests/parallel_build.rs) hold when
+# default-threaded builds actually run multi-threaded.
+VDB_BUILD_THREADS=4 cargo test -q --release
+
 echo "== kernel equivalence with SIMD force-disabled =="
 # kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks
 # still run; this pass proves the *dispatched* entry points behave when

@@ -1,5 +1,6 @@
 //! One module per experiment family; see the index in DESIGN.md §3.
 
+pub mod build;
 pub mod compression;
 pub mod execution;
 pub mod hybrid;
@@ -10,8 +11,8 @@ pub mod score;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 14] = [
-    "f1", "t1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5", "k1",
+pub const ALL: [&str; 15] = [
+    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5", "k1",
 ];
 
 /// Dispatch one experiment by id.
@@ -19,6 +20,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
     match id {
         "f1" => index_zoo::f1_recall_qps_curves(scale),
         "t1" => index_zoo::t1_build_and_memory(scale),
+        "b1" => build::b1_parallel_build(scale),
         "t2" => compression::t2_quantization(scale),
         "f2" => compression::f2_lsh_sweep(scale),
         "f3" => hybrid::f3_strategies_vs_selectivity(scale),

@@ -103,6 +103,7 @@ pub fn f6_out_of_place_updates(scale: Scale) -> Result<()> {
             merge_threshold: batch * 2,
             planner: PlannerMode::CostBased,
             wal_dir: None,
+            ..Default::default()
         },
     )?;
     let mut lsm_ingest = 0.0f64;

@@ -20,8 +20,8 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_fourteen() {
-    assert_eq!(experiments::ALL.len(), 14);
+fn registry_lists_all_fifteen() {
+    assert_eq!(experiments::ALL.len(), 15);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 14, "no duplicate experiment ids");
+    assert_eq!(set.len(), 15, "no duplicate experiment ids");
 }

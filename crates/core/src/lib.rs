@@ -22,6 +22,8 @@
 //! - [`bitset`] — blocking bitmasks and O(1)-reset visited sets,
 //! - [`context`] — reusable per-query search scratch (visited set,
 //!   pools, buffers) shared by every index and the batched executor,
+//! - [`parallel`] — scoped-thread fork/join helpers and [`parallel::BuildOptions`]
+//!   for multi-threaded index construction (no rayon),
 //! - [`sync`] — poison-free std mutex shim (no external crates),
 //! - [`attr`] — structured attribute values for hybrid queries.
 
@@ -45,6 +47,7 @@ pub mod index;
 pub mod kernel;
 pub mod linalg;
 pub mod metric;
+pub mod parallel;
 pub mod recall;
 pub mod rng;
 pub mod score;
@@ -58,6 +61,7 @@ pub use error::{Error, Result};
 pub use flat::FlatIndex;
 pub use index::{DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};
 pub use metric::Metric;
+pub use parallel::BuildOptions;
 pub use rng::Rng;
 pub use topk::Neighbor;
 pub use vector::Vectors;

@@ -14,6 +14,7 @@ use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::sync::Mutex;
 use vdb_core::topk::{merge_sorted_topk, Neighbor};
 use vdb_core::vector::Vectors;
@@ -90,12 +91,27 @@ pub struct DistributedIndex {
 
 impl DistributedIndex {
     /// Build: partition the collection, then build `replicas` indexes per
-    /// shard with `builder`.
+    /// shard with `builder` (serial, deterministic).
     pub fn build(
         vectors: &Vectors,
         metric: Metric,
         cfg: DistributedConfig,
         builder: &IndexBuilder,
+    ) -> Result<Self> {
+        Self::build_with(vectors, metric, cfg, builder, &BuildOptions::serial())
+    }
+
+    /// [`Self::build`] with explicit [`BuildOptions`]: the
+    /// `n_shards x replicas` per-shard index builds fan out across
+    /// threads, each job running `builder` over its shard's slice.
+    /// Builds are issued in shard-major order, so with a deterministic
+    /// `builder` the result is independent of the thread count.
+    pub fn build_with(
+        vectors: &Vectors,
+        metric: Metric,
+        cfg: DistributedConfig,
+        builder: &IndexBuilder,
+        opts: &BuildOptions,
     ) -> Result<Self> {
         if cfg.replicas == 0 {
             return Err(Error::InvalidParameter("need at least one replica".into()));
@@ -106,19 +122,28 @@ impl DistributedIndex {
             }
         }
         let partitioning = partition(vectors, cfg.n_shards, cfg.policy, cfg.seed)?;
+        let slices: Vec<Vectors> = (0..partitioning.n_shards)
+            .map(|s| vectors.select(&partitioning.shard_rows(s)))
+            .collect();
+        let n_jobs = partitioning.n_shards * cfg.replicas;
+        let threads = clamp_threads(opts.effective_threads(), n_jobs);
+        let built = parallel_map_chunks(n_jobs, threads, |_, range| {
+            range
+                .map(|job| builder(slices[job / cfg.replicas].clone(), metric.clone()))
+                .collect::<Vec<Result<Box<dyn VectorIndex>>>>()
+        });
+        let mut built = built.into_iter().flatten();
         let mut shards = Vec::with_capacity(partitioning.n_shards);
         for s in 0..partitioning.n_shards {
-            let rows = partitioning.shard_rows(s);
-            let slice = vectors.select(&rows);
             let mut replicas = Vec::with_capacity(cfg.replicas);
             for _ in 0..cfg.replicas {
                 replicas.push(Replica {
-                    index: builder(slice.clone(), metric.clone())?,
+                    index: built.next().expect("one build result per job")?,
                     up: AtomicBool::new(true),
                 });
             }
             shards.push(Shard {
-                global_ids: rows,
+                global_ids: partitioning.shard_rows(s),
                 replicas,
                 next_replica: AtomicU64::new(0),
                 contexts: ContextPool::new(),

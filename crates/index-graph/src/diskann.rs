@@ -15,6 +15,7 @@ use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
 use vdb_quant::{KMeans, KMeansConfig};
 use vdb_quant::{PqConfig, ProductQuantizer};
@@ -77,11 +78,26 @@ pub struct DiskAnnIndex {
 }
 
 impl DiskAnnIndex {
-    /// Serialize a built Vamana graph to `path` and open it.
+    /// Serialize a built Vamana graph to `path` and open it (serial).
     pub fn build<P: AsRef<Path>>(
         path: P,
         vamana: &VamanaIndex,
         cfg: &DiskAnnConfig,
+    ) -> Result<Self> {
+        DiskAnnIndex::build_with(path, vamana, cfg, &BuildOptions::serial())
+    }
+
+    /// [`DiskAnnIndex::build`] with explicit [`BuildOptions`]: navigation
+    /// k-means, coarse assignment, residual-PQ training, and residual
+    /// encoding fan out over threads. Assignment and encoding are pure
+    /// per row and PQ subspaces train independently, so for a fixed
+    /// quantizer the on-disk image is bit-identical for any thread count.
+    /// Page serialization stays serial.
+    pub fn build_with<P: AsRef<Path>>(
+        path: P,
+        vamana: &VamanaIndex,
+        cfg: &DiskAnnConfig,
+        opts: &BuildOptions,
     ) -> Result<Self> {
         let vectors = vamana.vectors();
         let dim = vectors.dim();
@@ -111,7 +127,7 @@ impl DiskAnnIndex {
         }
         // Train the residual navigation codes: coarse k-means, then PQ on
         // the residuals (the IVFADC trick applied to graph navigation).
-        let coarse = KMeans::train(
+        let coarse = KMeans::train_with(
             vectors,
             &KMeansConfig {
                 k: cfg.nav_nlist,
@@ -119,26 +135,29 @@ impl DiskAnnIndex {
                 tolerance: 1e-4,
                 seed: 0xD15C,
             },
+            opts,
         )?;
         let nav_centroids = coarse.centroids().clone();
-        let mut nav_assign = Vec::with_capacity(n);
+        // Coarse assignment is a pure per-row argmin; fan it out.
+        let threads = clamp_threads(opts.effective_threads(), n / 64);
+        let nav_assign: Vec<u32> = parallel_map_chunks(n, threads, |_, range| {
+            range
+                .map(|row| coarse.assign(vectors.get(row)).0 as u32)
+                .collect::<Vec<_>>()
+        })
+        .concat();
         let mut residuals = vdb_core::vector::Vectors::with_capacity(dim, n);
         let mut buf = vec![0.0f32; dim];
-        for row in vectors.iter() {
-            let c = coarse.assign(row).0;
-            nav_assign.push(c as u32);
-            let cent = nav_centroids.get(c);
+        for (row, &c) in vectors.iter().zip(&nav_assign) {
+            let cent = nav_centroids.get(c as usize);
             for i in 0..dim {
                 buf[i] = row[i] - cent[i];
             }
             residuals.push(&buf)?;
         }
-        let pq = ProductQuantizer::train(&residuals, &PqConfig::new(cfg.pq_m))?;
+        let pq = ProductQuantizer::train_with(&residuals, &PqConfig::new(cfg.pq_m), opts)?;
         let m = pq.code_len();
-        let mut codes = vec![0u8; n * m];
-        for (i, row) in residuals.iter().enumerate() {
-            pq.encode_into(row, &mut codes[i * m..(i + 1) * m])?;
-        }
+        let codes = pq.encode_all(&residuals, opts)?;
         let nlist = nav_centroids.len();
 
         // Layout.

@@ -9,10 +9,12 @@
 
 use crate::graph::{beam_search, beam_search_filtered, medoid, robust_prune, AdjacencyList};
 use crate::knng::{KnngConfig, KnngIndex};
+use crate::vamana::repair_connectivity;
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 
@@ -106,39 +108,89 @@ impl NsgIndex {
 
         // Connectivity pass: attach any node unreachable from the medoid to
         // its nearest reachable node (the "spanning" step of NSG).
-        let mut reattached = 0usize;
-        loop {
-            let mut seen = vec![false; n];
-            let mut stack = vec![start];
-            seen[start] = true;
-            while let Some(u) = stack.pop() {
-                for &v in adj.neighbors(u) {
-                    if !seen[v as usize] {
-                        seen[v as usize] = true;
-                        stack.push(v as usize);
-                    }
-                }
-            }
-            let Some(orphan) = seen.iter().position(|&s| !s) else {
-                break;
-            };
-            // Search the current graph for the orphan's nearest reachable
-            // node and hang the orphan off it.
-            let found = beam_search(
-                &adj,
-                &vectors,
-                &metric,
-                vectors.get(orphan),
-                &[start],
-                1,
-                cfg.l,
-                &mut ctx,
-                None,
-            );
-            let parent = found.first().map(|nb| nb.id).unwrap_or(start);
-            adj.add_edge(parent, orphan as u32);
-            reattached += 1;
+        let reattached = repair_connectivity(&mut adj, &vectors, &metric, start, cfg.l, &mut ctx);
+
+        Ok(NsgIndex {
+            vectors,
+            metric,
+            adj,
+            start,
+            cfg,
+            reattached,
+        })
+    }
+
+    /// Build with explicit [`BuildOptions`]. The serial path is exactly
+    /// [`NsgIndex::build`]. In parallel, the bootstrap KNNG build is
+    /// forwarded the options, and the MRNG edge-selection pass — which
+    /// reads only the immutable KNNG and writes only its own node's list
+    /// — fans out over chunks; given the same bootstrap graph its output
+    /// is bit-identical for any thread count. The spanning pass stays
+    /// serial in both.
+    pub fn build_with(
+        vectors: Vectors,
+        metric: Metric,
+        cfg: NsgConfig,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
+        if opts.is_serial() {
+            return NsgIndex::build(vectors, metric, cfg);
         }
+        if cfg.r == 0 || cfg.l == 0 || cfg.knng_k == 0 {
+            return Err(Error::InvalidParameter(
+                "nsg needs r, l, knng_k >= 1".into(),
+            ));
+        }
+        if vectors.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        metric.validate(vectors.dim())?;
+        let threads = opts.effective_threads();
+        let n = vectors.len();
+        let start = medoid(&vectors, &metric);
+
+        let knng = KnngIndex::build_with(
+            vectors.clone(),
+            metric.clone(),
+            KnngConfig {
+                seed: cfg.seed,
+                ..KnngConfig::new(cfg.knng_k)
+            },
+            opts,
+        )?;
+        let kg = knng.adjacency();
+
+        // Per-node edge selection over the immutable bootstrap graph.
+        let chunks = parallel_map_chunks(n, threads, |_, range| {
+            let mut ctx = SearchContext::for_index(n);
+            let mut lists: Vec<Vec<u32>> = Vec::with_capacity(range.len());
+            for u in range {
+                let q = vectors.get(u);
+                let mut pool = beam_search(
+                    kg,
+                    &vectors,
+                    &metric,
+                    q,
+                    &[start],
+                    cfg.l,
+                    cfg.l,
+                    &mut ctx,
+                    None,
+                );
+                for &v in kg.neighbors(u) {
+                    pool.push(Neighbor::new(
+                        v as usize,
+                        metric.distance(q, vectors.get(v as usize)),
+                    ));
+                }
+                lists.push(robust_prune(&vectors, &metric, u, pool, 1.0, cfg.r));
+            }
+            lists
+        });
+        let mut adj = AdjacencyList::from_lists(chunks.into_iter().flatten().collect());
+
+        let mut ctx = SearchContext::for_index(n);
+        let reattached = repair_connectivity(&mut adj, &vectors, &metric, start, cfg.l, &mut ctx);
 
         Ok(NsgIndex {
             vectors,

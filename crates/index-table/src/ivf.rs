@@ -6,13 +6,14 @@
 //! hybrid scanner: filtered rows are skipped during the list scan, and a
 //! cluster-aligned attribute can prune whole lists (offline blocking).
 
-use crate::coarse::train_coarse;
+use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
     check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
 };
 use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::KMeans;
@@ -49,14 +50,25 @@ pub struct IvfFlatIndex {
 }
 
 impl IvfFlatIndex {
-    /// Build over an owned collection.
+    /// Build over an owned collection (serial, bit-deterministic).
     pub fn build(vectors: Vectors, metric: Metric, cfg: &IvfConfig) -> Result<Self> {
+        IvfFlatIndex::build_with(vectors, metric, cfg, &BuildOptions::serial())
+    }
+
+    /// Build with explicit [`BuildOptions`]: coarse training fans Lloyd
+    /// iterations out over row chunks, and assignment is a pure per-row
+    /// map scattered in ascending row order — so for a fixed quantizer
+    /// the list layout is bit-identical for any thread count.
+    pub fn build_with(
+        vectors: Vectors,
+        metric: Metric,
+        cfg: &IvfConfig,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
         metric.validate(vectors.dim())?;
-        let coarse = train_coarse(&vectors, cfg.nlist, cfg.train_iters, cfg.seed)?;
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); coarse.k()];
-        for (row, v) in vectors.iter().enumerate() {
-            lists[coarse.assign(v).0].push(row as u32);
-        }
+        let coarse = train_coarse_with(&vectors, cfg.nlist, cfg.train_iters, cfg.seed, opts)?;
+        let assigns = assign_rows(&coarse, &vectors, opts);
+        let lists = scatter_lists(&assigns, coarse.k());
         Ok(IvfFlatIndex {
             vectors,
             metric,

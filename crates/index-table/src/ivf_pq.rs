@@ -7,13 +7,14 @@
 //! centroid; scanning the list is then `m` byte-indexed table lookups per
 //! code — the loop SIMD-accelerated by QuickADC-style techniques (§2.3).
 
-use crate::coarse::train_coarse;
+use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
 use crate::ivf::IvfConfig;
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
 use vdb_core::error::Result;
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{AdcTable, KMeans, PqConfig, ProductQuantizer};
@@ -61,34 +62,58 @@ pub struct IvfPqIndex {
 }
 
 impl IvfPqIndex {
-    /// Build the index.
+    /// Build the index (serial, bit-deterministic).
     pub fn build(vectors: Vectors, metric: Metric, cfg: &IvfPqConfig) -> Result<Self> {
+        IvfPqIndex::build_with(vectors, metric, cfg, &BuildOptions::serial())
+    }
+
+    /// [`IvfPqIndex::build`] with explicit [`BuildOptions`]: coarse
+    /// training, row assignment, residual-PQ training (per subspace), and
+    /// residual encoding all fan out over threads. Assignment and encoding
+    /// are pure per row and PQ subspaces train independently, so for a
+    /// fixed coarse quantizer the whole index is bit-identical for any
+    /// thread count.
+    pub fn build_with(
+        vectors: Vectors,
+        metric: Metric,
+        cfg: &IvfPqConfig,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
         metric.validate(vectors.dim())?;
-        let coarse = train_coarse(&vectors, cfg.ivf.nlist, cfg.ivf.train_iters, cfg.ivf.seed)?;
-        // Train PQ on residuals.
+        let coarse = train_coarse_with(
+            &vectors,
+            cfg.ivf.nlist,
+            cfg.ivf.train_iters,
+            cfg.ivf.seed,
+            opts,
+        )?;
         let dim = vectors.dim();
+        let assigns = assign_rows(&coarse, &vectors, opts);
+        // Residuals `v - centroid` (cheap, one pass; stays serial).
         let mut residuals = Vectors::with_capacity(dim, vectors.len());
-        let mut assigns = Vec::with_capacity(vectors.len());
         let mut buf = vec![0.0f32; dim];
-        for v in vectors.iter() {
-            let c = coarse.assign(v).0;
-            assigns.push(c);
+        for (v, &c) in vectors.iter().zip(&assigns) {
             let centroid = coarse.centroids().get(c);
             for i in 0..dim {
                 buf[i] = v[i] - centroid[i];
             }
             residuals.push(&buf)?;
         }
-        let pq = ProductQuantizer::train(&residuals, &cfg.pq)?;
+        let pq = ProductQuantizer::train_with(&residuals, &cfg.pq, opts)?;
         let m = pq.code_len();
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); coarse.k()];
-        let mut codes: Vec<Vec<u8>> = vec![Vec::new(); coarse.k()];
-        let mut code = vec![0u8; m];
-        for (row, &c) in assigns.iter().enumerate() {
-            pq.encode_into(residuals.get(row), &mut code)?;
-            lists[c].push(row as u32);
-            codes[c].extend_from_slice(&code);
-        }
+        let flat = pq.encode_all(&residuals, opts)?;
+        let lists = scatter_lists(&assigns, coarse.k());
+        let codes: Vec<Vec<u8>> = lists
+            .iter()
+            .map(|rows| {
+                let mut block = Vec::with_capacity(rows.len() * m);
+                for &row in rows {
+                    let row = row as usize;
+                    block.extend_from_slice(&flat[row * m..(row + 1) * m]);
+                }
+                block
+            })
+            .collect();
         let n = vectors.len();
         Ok(IvfPqIndex {
             dim,

@@ -5,13 +5,14 @@
 //! re-ranks the best candidates against full-precision vectors (which a
 //! production deployment keeps on slower storage — see DESIGN.md).
 
-use crate::coarse::train_coarse;
+use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
 use crate::ivf::IvfConfig;
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
 use vdb_core::error::Result;
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{KMeans, ScalarQuantizer, SqBits};
@@ -42,19 +43,54 @@ impl IvfSqIndex {
         bits: SqBits,
         refine: bool,
     ) -> Result<Self> {
+        IvfSqIndex::build_with(vectors, metric, cfg, bits, refine, &BuildOptions::serial())
+    }
+
+    /// [`IvfSqIndex::build`] with explicit [`BuildOptions`]: coarse
+    /// training, row assignment, and SQ encoding all fan out over row
+    /// chunks. Encoding is pure per row and the scatter walks rows in
+    /// ascending order, so for a fixed quantizer the lists and code
+    /// blocks are bit-identical for any thread count.
+    pub fn build_with(
+        vectors: Vectors,
+        metric: Metric,
+        cfg: &IvfConfig,
+        bits: SqBits,
+        refine: bool,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
         metric.validate(vectors.dim())?;
-        let coarse = train_coarse(&vectors, cfg.nlist, cfg.train_iters, cfg.seed)?;
+        let coarse = train_coarse_with(&vectors, cfg.nlist, cfg.train_iters, cfg.seed, opts)?;
         let sq = ScalarQuantizer::train(&vectors, bits)?;
         let code_len = sq.code_len();
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); coarse.k()];
-        let mut codes: Vec<Vec<u8>> = vec![Vec::new(); coarse.k()];
-        let mut code = vec![0u8; code_len];
-        for (row, v) in vectors.iter().enumerate() {
-            let c = coarse.assign(v).0;
-            sq.encode_into(v, &mut code)?;
-            lists[c].push(row as u32);
-            codes[c].extend_from_slice(&code);
-        }
+        let assigns = assign_rows(&coarse, &vectors, opts);
+        let lists = scatter_lists(&assigns, coarse.k());
+        // Flat per-row code buffer, then gather into per-list blocks in
+        // list order (== ascending row order within each list).
+        let threads = clamp_threads(opts.effective_threads(), vectors.len() / 64);
+        let flat = parallel_map_chunks(vectors.len(), threads, |_, range| {
+            let mut block = vec![0u8; range.len() * code_len];
+            for (slot, row) in range.enumerate() {
+                sq.encode_into(
+                    vectors.get(row),
+                    &mut block[slot * code_len..(slot + 1) * code_len],
+                )
+                .expect("row dim matches quantizer dim");
+            }
+            block
+        })
+        .concat();
+        let codes: Vec<Vec<u8>> = lists
+            .iter()
+            .map(|rows| {
+                let mut block = Vec::with_capacity(rows.len() * code_len);
+                for &row in rows {
+                    let row = row as usize;
+                    block.extend_from_slice(&flat[row * code_len..(row + 1) * code_len]);
+                }
+                block
+            })
+            .collect();
         let (dim, n) = (vectors.dim(), vectors.len());
         Ok(IvfSqIndex {
             dim,

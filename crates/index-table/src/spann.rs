@@ -15,6 +15,7 @@ use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::kernel;
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{KMeans, KMeansConfig};
@@ -66,12 +67,27 @@ pub struct SpannIndex {
 }
 
 impl SpannIndex {
-    /// Build the index into the file at `path`.
+    /// Build the index into the file at `path` (serial, deterministic).
     pub fn build<P: AsRef<Path>>(
         path: P,
         vectors: &Vectors,
         metric: Metric,
         cfg: &SpannConfig,
+    ) -> Result<Self> {
+        SpannIndex::build_with(path, vectors, metric, cfg, &BuildOptions::serial())
+    }
+
+    /// [`SpannIndex::build`] with explicit [`BuildOptions`]: k-means
+    /// training and closure assignment fan out over row chunks (closure
+    /// membership is a pure per-row test; per-chunk partial lists merge in
+    /// chunk order, so the on-disk layout is bit-identical for a fixed
+    /// quantizer). Page serialization stays serial.
+    pub fn build_with<P: AsRef<Path>>(
+        path: P,
+        vectors: &Vectors,
+        metric: Metric,
+        cfg: &SpannConfig,
+        opts: &BuildOptions,
     ) -> Result<Self> {
         if vectors.is_empty() {
             return Err(Error::EmptyCollection);
@@ -93,7 +109,7 @@ impl SpannIndex {
                 (PAGE_SIZE - 4) / 4
             )));
         }
-        let km = KMeans::train(
+        let km = KMeans::train_with(
             vectors,
             &KMeansConfig {
                 k: cfg.nlist,
@@ -101,23 +117,39 @@ impl SpannIndex {
                 tolerance: 1e-4,
                 seed: cfg.seed,
             },
+            opts,
         )?;
         let nlist = km.k();
 
-        // Closure assignment.
+        // Closure assignment: pure per-row membership test, fanned out
+        // over chunks; partial lists merge in chunk order so every list
+        // keeps ascending row order.
+        let threads = clamp_threads(opts.effective_threads(), vectors.len() / 64);
+        let parts = parallel_map_chunks(vectors.len(), threads, |_, range| {
+            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+            let mut replicated = 0usize;
+            for row in range {
+                let v = vectors.get(row);
+                let (_, dmin) = km.assign(v);
+                // Compare in squared space: (1+eps)^2 scaling with a small
+                // relative slack so the nearest centroid always qualifies.
+                let scale = (1.0 + cfg.closure_epsilon) * (1.0 + cfg.closure_epsilon);
+                let bound_sq = dmin * scale * (1.0 + 1e-6) + 1e-12;
+                for (c, cent) in km.centroids().iter().enumerate() {
+                    if kernel::l2_sq(v, cent) <= bound_sq {
+                        lists[c].push(row as u32);
+                        replicated += 1;
+                    }
+                }
+            }
+            (lists, replicated)
+        });
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
         let mut replicated = 0usize;
-        for (row, v) in vectors.iter().enumerate() {
-            let (_, dmin) = km.assign(v);
-            // Compare in squared space: (1+eps)^2 scaling with a small
-            // relative slack so the nearest centroid always qualifies.
-            let scale = (1.0 + cfg.closure_epsilon) * (1.0 + cfg.closure_epsilon);
-            let bound_sq = dmin * scale * (1.0 + 1e-6) + 1e-12;
-            for (c, cent) in km.centroids().iter().enumerate() {
-                if kernel::l2_sq(v, cent) <= bound_sq {
-                    lists[c].push(row as u32);
-                    replicated += 1;
-                }
+        for (part, part_replicated) in parts {
+            replicated += part_replicated;
+            for (list, p) in lists.iter_mut().zip(part) {
+                list.extend(p);
             }
         }
 

@@ -14,7 +14,9 @@ use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::rng::Rng;
+use vdb_core::sync::Mutex;
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 
@@ -135,6 +137,28 @@ impl ForestIndex {
         cfg: ForestConfig,
         name: &'static str,
     ) -> Result<Self> {
+        ForestIndex::build_with(
+            vectors,
+            metric,
+            splitter,
+            cfg,
+            name,
+            &BuildOptions::serial(),
+        )
+    }
+
+    /// [`ForestIndex::build`] with explicit [`BuildOptions`]: trees build
+    /// one-per-thread. Per-tree RNGs are forked from the seed serially in
+    /// tree order *before* fanning out, so the forest is **bit-identical**
+    /// to the serial build for any thread count.
+    pub fn build_with(
+        vectors: Vectors,
+        metric: Metric,
+        splitter: &dyn Splitter,
+        cfg: ForestConfig,
+        name: &'static str,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
         if cfg.n_trees == 0 {
             return Err(Error::InvalidParameter(
                 "forest needs at least one tree".into(),
@@ -144,13 +168,23 @@ impl ForestIndex {
             return Err(Error::InvalidParameter("leaf size must be positive".into()));
         }
         metric.validate(vectors.dim())?;
+        // Fork one RNG per tree serially, in tree order, so every tree
+        // draws the exact sequence it would have drawn in a serial build
+        // regardless of which thread builds it.
         let mut rng = Rng::seed_from_u64(cfg.seed);
-        let trees: Vec<Tree> = (0..cfg.n_trees)
-            .map(|_| {
-                let mut tree_rng = rng.fork();
-                Tree::build(&vectors, splitter, cfg.leaf_size, &mut tree_rng)
-            })
-            .collect();
+        let tree_rngs: Vec<Mutex<Rng>> = (0..cfg.n_trees).map(|_| Mutex::new(rng.fork())).collect();
+        let threads = clamp_threads(opts.effective_threads(), cfg.n_trees);
+        let trees: Vec<Tree> = parallel_map_chunks(cfg.n_trees, threads, |_, range| {
+            range
+                .map(|i| {
+                    let mut tree_rng = tree_rngs[i].lock();
+                    Tree::build(&vectors, splitter, cfg.leaf_size, &mut tree_rng)
+                })
+                .collect::<Vec<Tree>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let exact_capable = matches!(metric, Metric::Euclidean | Metric::SquaredEuclidean);
         Ok(ForestIndex {
             vectors,

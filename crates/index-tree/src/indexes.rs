@@ -5,6 +5,7 @@ use crate::forest::{ForestConfig, ForestIndex};
 use crate::split::{AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter};
 use vdb_core::error::Result;
 use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
 use vdb_core::vector::Vectors;
 
 /// Classic deterministic k-d tree (single tree, max-variance median splits).
@@ -57,7 +58,27 @@ pub fn rp_forest(
     leaf_size: usize,
     seed: u64,
 ) -> Result<ForestIndex> {
-    ForestIndex::build(
+    rp_forest_with(
+        vectors,
+        metric,
+        n_trees,
+        leaf_size,
+        seed,
+        &BuildOptions::serial(),
+    )
+}
+
+/// [`rp_forest`] with explicit [`BuildOptions`] (one tree per thread;
+/// bit-identical to the serial build for any thread count).
+pub fn rp_forest_with(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+    opts: &BuildOptions,
+) -> Result<ForestIndex> {
+    ForestIndex::build_with(
         vectors,
         metric,
         &RpSplitter,
@@ -67,6 +88,7 @@ pub fn rp_forest(
             seed,
         },
         "rp_forest",
+        opts,
     )
 }
 
@@ -79,7 +101,27 @@ pub fn annoy_forest(
     leaf_size: usize,
     seed: u64,
 ) -> Result<ForestIndex> {
-    ForestIndex::build(
+    annoy_forest_with(
+        vectors,
+        metric,
+        n_trees,
+        leaf_size,
+        seed,
+        &BuildOptions::serial(),
+    )
+}
+
+/// [`annoy_forest`] with explicit [`BuildOptions`] (one tree per thread;
+/// bit-identical to the serial build for any thread count).
+pub fn annoy_forest_with(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+    opts: &BuildOptions,
+) -> Result<ForestIndex> {
+    ForestIndex::build_with(
         vectors,
         metric,
         &AnnoySplitter,
@@ -89,6 +131,7 @@ pub fn annoy_forest(
             seed,
         },
         "annoy",
+        opts,
     )
 }
 
@@ -101,7 +144,27 @@ pub fn flann_forest(
     leaf_size: usize,
     seed: u64,
 ) -> Result<ForestIndex> {
-    ForestIndex::build(
+    flann_forest_with(
+        vectors,
+        metric,
+        n_trees,
+        leaf_size,
+        seed,
+        &BuildOptions::serial(),
+    )
+}
+
+/// [`flann_forest`] with explicit [`BuildOptions`] (one tree per thread;
+/// bit-identical to the serial build for any thread count).
+pub fn flann_forest_with(
+    vectors: Vectors,
+    metric: Metric,
+    n_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+    opts: &BuildOptions,
+) -> Result<ForestIndex> {
+    ForestIndex::build_with(
         vectors,
         metric,
         &RandomizedKdSplitter::default(),
@@ -111,6 +174,7 @@ pub fn flann_forest(
             seed,
         },
         "flann",
+        opts,
     )
 }
 

@@ -22,7 +22,10 @@ pub mod indexes;
 pub mod split;
 
 pub use forest::{ForestConfig, ForestIndex};
-pub use indexes::{annoy_forest, flann_forest, kd_tree, pca_tree, rp_forest};
+pub use indexes::{
+    annoy_forest, annoy_forest_with, flann_forest, flann_forest_with, kd_tree, pca_tree, rp_forest,
+    rp_forest_with,
+};
 pub use split::{
     AnnoySplitter, KdSplitter, PcaSplitter, RandomizedKdSplitter, RpSplitter, Split, Splitter,
 };

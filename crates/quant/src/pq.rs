@@ -11,6 +11,7 @@
 use crate::kmeans::{KMeans, KMeansConfig};
 use vdb_core::error::{Error, Result};
 use vdb_core::kernel;
+use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::vector::Vectors;
 
 /// Configuration for training a product quantizer.
@@ -106,30 +107,14 @@ impl ProductQuantizer {
         let ksub = 1usize << cfg.nbits;
         let mut codebooks = vec![0.0f32; m * ksub * dsub];
         for sub in 0..m {
-            // Slice out this subspace from every vector.
-            let mut subdata = Vectors::with_capacity(dsub, data.len());
-            for row in data.iter() {
-                subdata
-                    .push(&row[sub * dsub..(sub + 1) * dsub])
-                    .expect("subvector of valid vector is valid");
-            }
-            let km = KMeans::train(
-                &subdata,
-                &KMeansConfig {
-                    k: ksub,
-                    max_iters: cfg.train_iters,
-                    tolerance: 1e-4,
-                    seed: cfg.seed.wrapping_add(sub as u64),
-                },
+            train_subspace(
+                data,
+                cfg,
+                sub,
+                dsub,
+                ksub,
+                &mut codebooks[sub * ksub * dsub..(sub + 1) * ksub * dsub],
             )?;
-            let trained = km.centroids();
-            // If fewer than ksub distinct centroids were trainable (tiny
-            // data), duplicate the last one to fill the codebook.
-            for c in 0..ksub {
-                let src = trained.get(c.min(trained.len() - 1));
-                let dst = &mut codebooks[(sub * ksub + c) * dsub..(sub * ksub + c + 1) * dsub];
-                dst.copy_from_slice(src);
-            }
         }
         Ok(ProductQuantizer {
             dim,
@@ -138,6 +123,81 @@ impl ProductQuantizer {
             ksub,
             codebooks,
         })
+    }
+
+    /// Train with explicit [`BuildOptions`]. Subspace codebooks are
+    /// independent k-means problems seeded `seed + sub`, so they fan out
+    /// over threads and the result is **bit-identical** to
+    /// [`ProductQuantizer::train`] for any thread count.
+    pub fn train_with(data: &Vectors, cfg: &PqConfig, opts: &BuildOptions) -> Result<Self> {
+        if opts.is_serial() {
+            return ProductQuantizer::train(data, cfg);
+        }
+        if data.is_empty() {
+            return Err(Error::EmptyCollection);
+        }
+        let dim = data.dim();
+        if cfg.m == 0 || !dim.is_multiple_of(cfg.m) {
+            return Err(Error::InvalidParameter(format!(
+                "m={} must divide dimension {dim}",
+                cfg.m
+            )));
+        }
+        if cfg.nbits == 0 || cfg.nbits > 8 {
+            return Err(Error::InvalidParameter("nbits must be in 1..=8".into()));
+        }
+        let m = cfg.m;
+        let dsub = dim / m;
+        let ksub = 1usize << cfg.nbits;
+        let threads = clamp_threads(opts.effective_threads(), m);
+        let blocks = parallel_map_chunks(m, threads, |_, range| -> Result<Vec<f32>> {
+            let mut block = vec![0.0f32; range.len() * ksub * dsub];
+            for (slot, sub) in range.enumerate() {
+                train_subspace(
+                    data,
+                    cfg,
+                    sub,
+                    dsub,
+                    ksub,
+                    &mut block[slot * ksub * dsub..(slot + 1) * ksub * dsub],
+                )?;
+            }
+            Ok(block)
+        });
+        let mut codebooks = Vec::with_capacity(m * ksub * dsub);
+        for block in blocks {
+            codebooks.extend_from_slice(&block?);
+        }
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            dsub,
+            ksub,
+            codebooks,
+        })
+    }
+
+    /// Encode every row of `data` into a flat `n * m` code buffer, fanning
+    /// rows out over threads. Encoding is a pure per-row function, so the
+    /// buffer is bit-identical for any thread count.
+    pub fn encode_all(&self, data: &Vectors, opts: &BuildOptions) -> Result<Vec<u8>> {
+        if data.dim() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: data.dim(),
+            });
+        }
+        let m = self.m;
+        let threads = clamp_threads(opts.effective_threads(), data.len() / 64);
+        let chunks = parallel_map_chunks(data.len(), threads, |_, range| {
+            let mut codes = vec![0u8; range.len() * m];
+            for (slot, row) in range.enumerate() {
+                self.encode_into(data.get(row), &mut codes[slot * m..(slot + 1) * m])
+                    .expect("row dim checked against quantizer dim");
+            }
+            codes
+        });
+        Ok(chunks.concat())
     }
 
     /// Reassemble a quantizer from raw parts (deserialization of
@@ -323,6 +383,41 @@ impl ProductQuantizer {
     }
 }
 
+/// Train one subspace codebook into its `ksub * dsub` block: slice the
+/// subspace out of every vector, run k-means seeded `seed + sub`, and fill
+/// the block (duplicating the last centroid when fewer than `ksub` were
+/// trainable on tiny data).
+fn train_subspace(
+    data: &Vectors,
+    cfg: &PqConfig,
+    sub: usize,
+    dsub: usize,
+    ksub: usize,
+    block: &mut [f32],
+) -> Result<()> {
+    let mut subdata = Vectors::with_capacity(dsub, data.len());
+    for row in data.iter() {
+        subdata
+            .push(&row[sub * dsub..(sub + 1) * dsub])
+            .expect("subvector of valid vector is valid");
+    }
+    let km = KMeans::train(
+        &subdata,
+        &KMeansConfig {
+            k: ksub,
+            max_iters: cfg.train_iters,
+            tolerance: 1e-4,
+            seed: cfg.seed.wrapping_add(sub as u64),
+        },
+    )?;
+    let trained = km.centroids();
+    for c in 0..ksub {
+        let src = trained.get(c.min(trained.len() - 1));
+        block[c * dsub..(c + 1) * dsub].copy_from_slice(src);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +511,25 @@ mod tests {
         assert_eq!(pq.ksub(), 16);
         let code = pq.encode(data.get(0)).unwrap();
         assert!(code.iter().all(|&c| (c as usize) < 16));
+    }
+
+    #[test]
+    fn parallel_train_and_encode_bit_identical() {
+        let mut rng = Rng::seed_from_u64(11);
+        let data = dataset::clustered(400, 16, 8, 0.3, &mut rng).vectors;
+        let cfg = PqConfig::new(4);
+        let serial = ProductQuantizer::train(&data, &cfg).unwrap();
+        let par =
+            ProductQuantizer::train_with(&data, &cfg, &BuildOptions::with_threads(4)).unwrap();
+        assert_eq!(serial.codebooks(), par.codebooks());
+        let serial_codes: Vec<u8> = data
+            .iter()
+            .flat_map(|row| serial.encode(row).unwrap())
+            .collect();
+        let par_codes = par
+            .encode_all(&data, &BuildOptions::with_threads(4))
+            .unwrap();
+        assert_eq!(serial_codes, par_codes);
     }
 
     #[test]

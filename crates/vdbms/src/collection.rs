@@ -16,6 +16,7 @@ use vdb_core::attr::AttrValue;
 use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
+use vdb_core::parallel::BuildOptions;
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_query::{
@@ -43,6 +44,10 @@ pub struct CollectionConfig {
     pub planner: PlannerMode,
     /// Directory for the write-ahead log (None = no durability).
     pub wal_dir: Option<PathBuf>,
+    /// Build options for merge-time index rebuilds. Defaults to serial so
+    /// merges stay bit-reproducible; set `threads > 1` to opt into
+    /// multi-threaded rebuilds.
+    pub build: BuildOptions,
 }
 
 impl Default for CollectionConfig {
@@ -52,6 +57,7 @@ impl Default for CollectionConfig {
             merge_threshold: 512,
             planner: PlannerMode::CostBased,
             wal_dir: None,
+            build: BuildOptions::serial(),
         }
     }
 }
@@ -312,11 +318,11 @@ impl Collection {
         self.index = if self.vectors.is_empty() {
             None
         } else {
-            Some(
-                self.cfg
-                    .index
-                    .build(self.vectors.clone(), self.schema.metric.clone())?,
-            )
+            Some(self.cfg.index.build_with(
+                self.vectors.clone(),
+                self.schema.metric.clone(),
+                &self.cfg.build,
+            )?)
         };
         self.merges += 1;
         Ok(())
@@ -501,6 +507,7 @@ mod tests {
             merge_threshold: 8,
             planner: PlannerMode::CostBased,
             wal_dir: None,
+            build: BuildOptions::serial(),
         }
     }
 

@@ -6,6 +6,7 @@
 
 use vdb_core::error::{Error, Result};
 use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
 use vdb_core::vector::Vectors;
 use vdb_core::VectorIndex;
 use vdb_index_graph::{
@@ -15,7 +16,7 @@ use vdb_index_graph::{
 use vdb_index_table::{
     HashFamily, IvfConfig, IvfFlatIndex, IvfPqConfig, IvfPqIndex, IvfSqIndex, LshConfig, LshIndex,
 };
-use vdb_index_tree::{annoy_forest, flann_forest, kd_tree, pca_tree, rp_forest};
+use vdb_index_tree::{annoy_forest_with, flann_forest_with, kd_tree, pca_tree, rp_forest_with};
 use vdb_quant::SqBits;
 
 /// A declarative index specification.
@@ -151,33 +152,59 @@ impl IndexSpec {
         )
     }
 
-    /// Build an index over an owned collection.
+    /// Build an index over an owned collection (serial, deterministic).
     pub fn build(&self, vectors: Vectors, metric: Metric) -> Result<Box<dyn VectorIndex>> {
+        self.build_with(vectors, metric, &BuildOptions::serial())
+    }
+
+    /// Build an index over an owned collection with explicit
+    /// [`BuildOptions`], forwarded to every family that has a parallel
+    /// builder. Flat, LSH, and the single-tree kd/PCA indexes build
+    /// serially regardless — their builds are either trivial or
+    /// inherently sequential.
+    pub fn build_with(
+        &self,
+        vectors: Vectors,
+        metric: Metric,
+        opts: &BuildOptions,
+    ) -> Result<Box<dyn VectorIndex>> {
         let seed = 0xB1B0;
         Ok(match self {
             IndexSpec::Flat => Box::new(vdb_core::FlatIndex::build(vectors, metric)?),
             IndexSpec::Lsh(cfg) => Box::new(LshIndex::build(vectors, metric, cfg.clone())?),
-            IndexSpec::IvfFlat(cfg) => Box::new(IvfFlatIndex::build(vectors, metric, cfg)?),
-            IndexSpec::IvfSq { ivf, bits } => {
-                Box::new(IvfSqIndex::build(vectors, metric, ivf, *bits, true)?)
+            IndexSpec::IvfFlat(cfg) => {
+                Box::new(IvfFlatIndex::build_with(vectors, metric, cfg, opts)?)
             }
-            IndexSpec::IvfPq(cfg) => Box::new(IvfPqIndex::build(vectors, metric, cfg)?),
+            IndexSpec::IvfSq { ivf, bits } => Box::new(IvfSqIndex::build_with(
+                vectors, metric, ivf, *bits, true, opts,
+            )?),
+            IndexSpec::IvfPq(cfg) => Box::new(IvfPqIndex::build_with(vectors, metric, cfg, opts)?),
             IndexSpec::KdTree => Box::new(kd_tree(vectors, metric, 16, seed)?),
             IndexSpec::PcaTree => Box::new(pca_tree(vectors, metric, 16, seed)?),
             IndexSpec::RpForest { trees } => {
-                Box::new(rp_forest(vectors, metric, *trees, 16, seed)?)
+                Box::new(rp_forest_with(vectors, metric, *trees, 16, seed, opts)?)
             }
             IndexSpec::Annoy { trees } => {
-                Box::new(annoy_forest(vectors, metric, *trees, 16, seed)?)
+                Box::new(annoy_forest_with(vectors, metric, *trees, 16, seed, opts)?)
             }
             IndexSpec::Flann { trees } => {
-                Box::new(flann_forest(vectors, metric, *trees, 16, seed)?)
+                Box::new(flann_forest_with(vectors, metric, *trees, 16, seed, opts)?)
             }
-            IndexSpec::Knng(cfg) => Box::new(KnngIndex::build(vectors, metric, cfg.clone())?),
-            IndexSpec::Nsw(cfg) => Box::new(NswIndex::build(vectors, metric, cfg.clone())?),
-            IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::build(vectors, metric, cfg.clone())?),
-            IndexSpec::Nsg(cfg) => Box::new(NsgIndex::build(vectors, metric, cfg.clone())?),
-            IndexSpec::Vamana(cfg) => Box::new(VamanaIndex::build(vectors, metric, cfg.clone())?),
+            IndexSpec::Knng(cfg) => {
+                Box::new(KnngIndex::build_with(vectors, metric, cfg.clone(), opts)?)
+            }
+            IndexSpec::Nsw(cfg) => {
+                Box::new(NswIndex::build_with(vectors, metric, cfg.clone(), opts)?)
+            }
+            IndexSpec::Hnsw(cfg) => {
+                Box::new(HnswIndex::build_with(vectors, metric, cfg.clone(), opts)?)
+            }
+            IndexSpec::Nsg(cfg) => {
+                Box::new(NsgIndex::build_with(vectors, metric, cfg.clone(), opts)?)
+            }
+            IndexSpec::Vamana(cfg) => {
+                Box::new(VamanaIndex::build_with(vectors, metric, cfg.clone(), opts)?)
+            }
         })
     }
 }

@@ -22,6 +22,7 @@ fn main() -> vdb_core::Result<()> {
         merge_threshold: 2_000,
         planner: PlannerMode::CostBased,
         wal_dir: Some(wal_dir.path().to_path_buf()),
+        ..Default::default()
     };
     let schema = CollectionSchema::new("stream", dim, Metric::Euclidean);
     let mut c = Collection::create(schema.clone(), cfg.clone())?;

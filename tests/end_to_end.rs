@@ -35,6 +35,7 @@ fn every_registry_index_reaches_reasonable_recall_through_the_facade() {
                 merge_threshold: 100_000, // merge manually below
                 planner: PlannerMode::CostBased,
                 wal_dir: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -74,6 +75,7 @@ fn collection_lifecycle_with_attributes_and_updates() {
             merge_threshold: 500,
             planner: PlannerMode::CostBased,
             wal_dir: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -122,6 +124,7 @@ fn metrics_other_than_l2_flow_through() {
                 merge_threshold: 200,
                 planner: PlannerMode::RuleBased,
                 wal_dir: None,
+                ..Default::default()
             },
         )
         .unwrap();

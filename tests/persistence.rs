@@ -74,6 +74,7 @@ fn wal_recovery_equals_live_collection() {
         merge_threshold: 64,
         planner: PlannerMode::CostBased,
         wal_dir: Some(dir.path().to_path_buf()),
+        ..Default::default()
     };
     let mut rng = Rng::seed_from_u64(3002);
     let data = dataset::gaussian(300, 8, &mut rng);
@@ -113,6 +114,7 @@ fn torn_wal_tail_loses_only_the_torn_record() {
         merge_threshold: 1024,
         planner: PlannerMode::CostBased,
         wal_dir: Some(dir.path().to_path_buf()),
+        ..Default::default()
     };
     {
         let mut c = Collection::create(schema.clone(), cfg.clone()).unwrap();
