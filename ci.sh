@@ -29,6 +29,15 @@ echo "== integration suite with 4 build threads =="
 # default-threaded builds actually run multi-threaded.
 VDB_BUILD_THREADS=4 cargo test -q --release
 
+echo "== crash-fault injection: durability sweep =="
+# The failpoint harness crashes every durable step of
+# insert/delete/merge/checkpoint and requires recovery to land on
+# exactly the pre- or post-op state (DESIGN.md §9). Debug profile on
+# purpose: Collection::len's debug_assert cross-checks the incremental
+# shadowed-row counter against a full rescan on every call.
+cargo test -q --test crash_recovery
+cargo test -q -p vdb-storage --test wal_torn_tail
+
 echo "== kernel equivalence with SIMD force-disabled =="
 # kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks
 # still run; this pass proves the *dispatched* entry points behave when

@@ -5,14 +5,15 @@ pub mod compression;
 pub mod execution;
 pub mod hybrid;
 pub mod index_zoo;
+pub mod recovery;
 pub mod scale_out;
 pub mod score;
 
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 15] = [
-    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "f7", "f8", "t5", "k1",
+pub const ALL: [&str; 16] = [
+    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "f8", "t5", "k1",
 ];
 
 /// Dispatch one experiment by id.
@@ -29,6 +30,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "t4" => execution::t4_multivector(scale),
         "f5" => scale_out::f5_distributed(scale),
         "f6" => scale_out::f6_out_of_place_updates(scale),
+        "r1" => recovery::r1_recovery(scale),
         "f7" => scale_out::f7_disk_resident(scale),
         "f8" => score::f8_curse_of_dimensionality(scale),
         "t5" => execution::t5_kernels(),

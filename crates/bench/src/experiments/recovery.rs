@@ -1,0 +1,108 @@
+//! R1: durability cost — recovery time and WAL size as a function of
+//! update count, with checkpointing (merge truncates the WAL behind a
+//! snapshot) against a full-history-replay baseline (DESIGN.md §9).
+
+use crate::{fmt, print_table, Scale};
+use std::time::Instant;
+use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec};
+use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
+use vdb_core::rng::Rng;
+use vdb_core::Result;
+use vdb_query::PlannerMode;
+use vdb_storage::TempDir;
+
+const DIM: usize = 16;
+/// Checkpoint every this many buffered updates (the merge threshold).
+const CHECKPOINT_EVERY: usize = 512;
+
+fn schema() -> CollectionSchema {
+    CollectionSchema::new("r1", DIM, Metric::Euclidean)
+        .column("bucket", vdb_core::attr::AttrType::Int)
+}
+
+fn config(dir: &TempDir, merge_threshold: usize) -> CollectionConfig {
+    CollectionConfig {
+        index: IndexSpec::Flat,
+        merge_threshold,
+        planner: PlannerMode::CostBased,
+        wal_dir: Some(dir.path().to_path_buf()),
+        build: BuildOptions::serial(),
+    }
+}
+
+/// Apply `updates` operations: 90% inserts (keys recycle over a window
+/// so some inserts overwrite), 10% deletes.
+fn apply_updates(c: &mut Collection, updates: usize, rng: &mut Rng) -> Result<()> {
+    for i in 0..updates {
+        let key = (rng.next_u64() % (updates as u64)).max(1);
+        if i % 10 == 9 {
+            c.delete(key)?;
+        } else {
+            let v: Vec<f32> = (0..DIM).map(|_| rng.f32()).collect();
+            c.insert(key, &v, &[("bucket", ((key % 8) as i64).into())])?;
+        }
+    }
+    Ok(())
+}
+
+fn file_len(path: Option<std::path::PathBuf>) -> u64 {
+    path.and_then(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// R1: for each update count, run the same keyed insert/delete stream
+/// through a checkpointed collection and a never-checkpointing baseline
+/// (merge threshold above the stream length), then time a cold
+/// [`Collection::recover`] against what each left on disk.
+pub fn r1_recovery(scale: Scale) -> Result<()> {
+    let update_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1_000, 2_000, 4_000],
+        Scale::Full => vec![2_000, 8_000, 16_000, 32_000],
+    };
+    let mut rows = Vec::new();
+    for &updates in &update_counts {
+        for (mode, threshold) in [
+            ("checkpoint", CHECKPOINT_EVERY),
+            ("full-replay", usize::MAX),
+        ] {
+            let dir = TempDir::new("bench-r1")?;
+            let cfg = config(&dir, threshold);
+            let mut c = Collection::create(schema(), cfg.clone())?;
+            let mut rng = Rng::seed_from_u64(0x21 + updates as u64);
+            apply_updates(&mut c, updates, &mut rng)?;
+            let live = c.len();
+            let wal_bytes = file_len(c.wal_path());
+            let snap_bytes = file_len(c.snapshot_path());
+            drop(c);
+
+            let start = Instant::now();
+            let r = Collection::recover(schema(), cfg)?;
+            let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(r.len(), live, "recovery must reproduce live count");
+
+            rows.push(vec![
+                updates.to_string(),
+                mode.to_string(),
+                live.to_string(),
+                (wal_bytes / 1024).to_string(),
+                (snap_bytes / 1024).to_string(),
+                fmt(recover_ms, 1),
+            ]);
+        }
+    }
+    print_table(
+        "R1: recovery time & WAL size vs update count",
+        &[
+            "updates",
+            "mode",
+            "live",
+            "wal KiB",
+            "snap KiB",
+            "recover ms",
+        ],
+        &rows,
+    );
+    Ok(())
+}

@@ -20,8 +20,13 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_fifteen() {
-    assert_eq!(experiments::ALL.len(), 15);
+fn registry_lists_all_sixteen() {
+    assert_eq!(experiments::ALL.len(), 16);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 15, "no duplicate experiment ids");
+    assert_eq!(set.len(), 16, "no duplicate experiment ids");
+}
+
+#[test]
+fn r1_runs() {
+    experiments::run("r1", Scale::Quick).unwrap();
 }

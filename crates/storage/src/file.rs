@@ -98,6 +98,21 @@ impl std::fmt::Debug for PagedFile {
     }
 }
 
+/// Fsync a directory so metadata operations inside it (file creation,
+/// rename) survive a crash. No-op on platforms where directories cannot
+/// be opened as files.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
 /// A unique temporary directory for tests and experiments; removed on drop.
 #[derive(Debug)]
 pub struct TempDir {

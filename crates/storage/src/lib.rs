@@ -10,7 +10,11 @@
 //! - [`column`] — typed, nullable attribute columns with statistics for
 //!   selectivity estimation (§2.1 hybrid queries),
 //! - [`lsm`] — LSM-style out-of-place update buffer (§2.3(3)),
-//! - [`wal`] — checksummed write-ahead log with torn-tail-tolerant replay.
+//! - [`wal`] — checksummed write-ahead log with torn-tail-tolerant replay,
+//! - [`snapshot`] — atomic write-then-rename checkpoints of merged
+//!   collection state (vectors, keys, attributes, index fingerprint),
+//! - [`failpoint`] — deterministic crash-fault injection over every
+//!   durable step, driving the crash-recovery test harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,10 +25,13 @@
 #![allow(clippy::manual_checked_ops)] // branch selects record layout, not a guard
 
 pub mod cache;
+mod codec;
 pub mod column;
+pub mod failpoint;
 pub mod file;
 pub mod lsm;
 pub mod page;
+pub mod snapshot;
 pub mod vector_store;
 pub mod wal;
 
@@ -33,5 +40,6 @@ pub use column::{AttributeStore, Column, ColumnStats};
 pub use file::{PagedFile, TempDir};
 pub use lsm::{KeyedNeighbor, LsmConfig, LsmStore};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use snapshot::{Snapshot, SnapshotColumn};
 pub use vector_store::DiskVectorStore;
-pub use wal::{Wal, WalRecord};
+pub use wal::{crc32, Wal, WalRecord};

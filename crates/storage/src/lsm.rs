@@ -178,6 +178,9 @@ impl LsmStore {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut keys = Vec::new();
         let mut vectors = Vectors::new(self.dim);
+        // Hoisted once: probing the memtable per row would make
+        // compaction O(rows × memtable).
+        let mem_keys: HashSet<u64> = self.mem_keys.iter().copied().collect();
         // Newest segment last in self.segments; iterate newest-first and
         // keep the first (newest) version of each key.
         for seg in self.segments.iter().rev() {
@@ -187,7 +190,7 @@ impl LsmStore {
                     continue;
                 }
                 // Skip keys shadowed by the memtable.
-                if self.mem_keys.contains(&k) {
+                if mem_keys.contains(&k) {
                     continue;
                 }
                 seen.insert(k);
@@ -281,6 +284,19 @@ impl LsmStore {
     /// deletes to the main index).
     pub fn take_tombstones(&mut self) -> HashSet<u64> {
         std::mem::take(&mut self.tombstones)
+    }
+
+    /// Number of pending tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// The live buffered keys, sorted (state enumeration for recovery
+    /// audits and tests).
+    pub fn live_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.live.iter().copied().collect();
+        keys.sort_unstable();
+        keys
     }
 }
 

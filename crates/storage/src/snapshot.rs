@@ -1,0 +1,398 @@
+//! Checkpointed collection snapshots: the durable merged state.
+//!
+//! A snapshot captures everything the merge step folded into the main
+//! part of a collection — row keys, vectors, attribute columns, and a
+//! fingerprint of the index spec that was built over them — so recovery
+//! becomes *snapshot load + WAL-tail replay* instead of a full-history
+//! WAL replay, and the WAL can be truncated after every merge.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! "VDBSNAP1"                                    8-byte magic
+//! [tag u8][len u32][crc32 u32][payload]         CRC-framed sections:
+//!   1 META    fingerprint, dim, rows, #columns
+//!   2 KEYS    row keys (u64 × rows)
+//!   3 VECTORS row-major f32 × rows × dim
+//!   4 COLUMN  name, type, values (one section per column)
+//!   5 END     empty terminator
+//! ```
+//!
+//! Sections reuse the WAL's [`crc32`] framing. A snapshot is only ever
+//! observed complete: [`write`] builds `<name>.tmp` in the same
+//! directory, fsyncs it, renames it over the target, and fsyncs the
+//! directory — a crash at any point leaves either the old snapshot or
+//! the new one, never a mixture. [`read`] still verifies the magic,
+//! every section CRC, and the END terminator, so a snapshot damaged
+//! *after* it was written (bit rot, manual truncation) is reported as
+//! [`Error::Corrupt`] rather than silently replayed.
+//!
+//! Every durable step passes through a [`crate::failpoint`] crash point,
+//! which is how the crash-fault-injection harness sweeps this protocol.
+
+use crate::codec::{self, Reader};
+use crate::failpoint;
+use crate::file::sync_dir;
+use crate::wal::crc32;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use vdb_core::attr::{AttrType, AttrValue};
+use vdb_core::error::{Error, Result};
+use vdb_core::vector::Vectors;
+
+const MAGIC: &[u8; 8] = b"VDBSNAP1";
+
+const SEC_META: u8 = 1;
+const SEC_KEYS: u8 = 2;
+const SEC_VECTORS: u8 = 3;
+const SEC_COLUMN: u8 = 4;
+const SEC_END: u8 = 5;
+
+/// One attribute column of a snapshot, aligned with the row keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotColumn {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+    /// One value per row (Null for missing).
+    pub values: Vec<AttrValue>,
+}
+
+/// A collection's merged state at checkpoint time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Fingerprint of the index spec the main index was built with
+    /// (diagnostics: recovery rebuilds from vectors, so a changed spec
+    /// is honored rather than rejected).
+    pub fingerprint: String,
+    /// External key of each row, aligned with `vectors`.
+    pub row_keys: Vec<u64>,
+    /// The merged vectors.
+    pub vectors: Vectors,
+    /// Attribute columns, each aligned with `row_keys`.
+    pub columns: Vec<SnapshotColumn>,
+}
+
+impl Snapshot {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_keys.len()
+    }
+}
+
+fn write_section(file: &mut File, tag: u8, payload: &[u8], site: &'static str) -> Result<()> {
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    frame.push(tag);
+    codec::put_u32(&mut frame, payload.len() as u32);
+    codec::put_u32(&mut frame, crc32(payload));
+    frame.extend_from_slice(payload);
+    failpoint::write_all_torn(file, &frame, site)
+}
+
+/// Atomically replace the snapshot at `path` with `snap`:
+/// write-to-temp, fsync, rename, fsync-directory.
+pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
+    if snap.vectors.len() != snap.row_keys.len() {
+        return Err(Error::InvalidParameter(format!(
+            "snapshot has {} keys but {} vectors",
+            snap.row_keys.len(),
+            snap.vectors.len()
+        )));
+    }
+    for col in &snap.columns {
+        if col.values.len() != snap.row_keys.len() {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot column `{}` has {} values for {} rows",
+                col.name,
+                col.values.len(),
+                snap.row_keys.len()
+            )));
+        }
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| Error::InvalidParameter("snapshot path has no file name".into()))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+
+    // META (with the magic prepended so the first write stamps the file).
+    let mut meta = Vec::new();
+    codec::put_str(&mut meta, &snap.fingerprint);
+    codec::put_u32(&mut meta, snap.vectors.dim() as u32);
+    codec::put_u64(&mut meta, snap.row_keys.len() as u64);
+    codec::put_u32(&mut meta, snap.columns.len() as u32);
+    let mut head = Vec::with_capacity(8 + 9 + meta.len());
+    head.extend_from_slice(MAGIC);
+    head.push(SEC_META);
+    codec::put_u32(&mut head, meta.len() as u32);
+    codec::put_u32(&mut head, crc32(&meta));
+    head.extend_from_slice(&meta);
+    failpoint::write_all_torn(&mut file, &head, "snapshot.meta")?;
+
+    // KEYS.
+    let mut keys = Vec::with_capacity(snap.row_keys.len() * 8);
+    for &k in &snap.row_keys {
+        codec::put_u64(&mut keys, k);
+    }
+    write_section(&mut file, SEC_KEYS, &keys, "snapshot.keys")?;
+
+    // VECTORS.
+    let mut vecs = Vec::with_capacity(snap.vectors.as_flat().len() * 4);
+    for x in snap.vectors.as_flat() {
+        vecs.extend_from_slice(&x.to_le_bytes());
+    }
+    write_section(&mut file, SEC_VECTORS, &vecs, "snapshot.vectors")?;
+
+    // One section per COLUMN.
+    for col in &snap.columns {
+        let mut payload = Vec::new();
+        codec::put_str(&mut payload, &col.name);
+        payload.push(codec::attr_type_tag(col.ty));
+        for v in &col.values {
+            codec::put_attr(&mut payload, v);
+        }
+        write_section(&mut file, SEC_COLUMN, &payload, "snapshot.column")?;
+    }
+
+    // END terminator, then make it durable and visible.
+    write_section(&mut file, SEC_END, &[], "snapshot.end")?;
+    failpoint::hit("snapshot.sync")?;
+    file.sync_all()?;
+    drop(file);
+    failpoint::hit("snapshot.rename")?;
+    std::fs::rename(&tmp, path)?;
+    failpoint::hit("snapshot.dir_sync")?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Load the snapshot at `path`. Returns `Ok(None)` if no snapshot file
+/// exists (a collection that never checkpointed); any structural damage
+/// to an existing file is [`Error::Corrupt`].
+pub fn read(path: &Path) -> Result<Option<Snapshot>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |what: &str| Error::Corrupt(format!("snapshot {what}"));
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("has bad magic"));
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+
+    let mut fingerprint = None;
+    let mut dim = 0usize;
+    let mut rows = 0usize;
+    let mut ncols = 0usize;
+    let mut row_keys: Option<Vec<u64>> = None;
+    let mut vectors: Option<Vectors> = None;
+    let mut columns: Vec<SnapshotColumn> = Vec::new();
+    let mut ended = false;
+
+    while !r.is_empty() {
+        let tag = r.u8()?;
+        let len = r.u32()? as usize;
+        let crc = r.u32()?;
+        let payload = r.take(len)?;
+        if crc32(payload) != crc {
+            return Err(corrupt("section checksum mismatch"));
+        }
+        let mut p = Reader::new(payload);
+        match tag {
+            SEC_META => {
+                fingerprint = Some(p.string()?);
+                dim = p.u32()? as usize;
+                rows = p.u64()? as usize;
+                ncols = p.u32()? as usize;
+            }
+            SEC_KEYS => {
+                let mut keys = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    keys.push(p.u64()?);
+                }
+                if !p.is_empty() {
+                    return Err(corrupt("keys section has trailing bytes"));
+                }
+                row_keys = Some(keys);
+            }
+            SEC_VECTORS => {
+                let flat = p.f32s(rows * dim)?;
+                if !p.is_empty() {
+                    return Err(corrupt("vectors section has trailing bytes"));
+                }
+                vectors = Some(Vectors::from_flat(dim.max(1), flat)?);
+            }
+            SEC_COLUMN => {
+                let name = p.string()?;
+                let ty = codec::attr_type_from_tag(p.u8()?)?;
+                let mut values = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    values.push(p.attr()?);
+                }
+                if !p.is_empty() {
+                    return Err(corrupt("column section has trailing bytes"));
+                }
+                columns.push(SnapshotColumn { name, ty, values });
+            }
+            SEC_END => {
+                ended = true;
+                break;
+            }
+            other => return Err(Error::Corrupt(format!("unknown snapshot section {other}"))),
+        }
+    }
+    if !ended {
+        return Err(corrupt("is missing its END terminator"));
+    }
+    let fingerprint = fingerprint.ok_or_else(|| corrupt("is missing its META section"))?;
+    let row_keys = row_keys.ok_or_else(|| corrupt("is missing its KEYS section"))?;
+    let vectors = vectors.ok_or_else(|| corrupt("is missing its VECTORS section"))?;
+    if columns.len() != ncols {
+        return Err(corrupt("column count does not match META"));
+    }
+    Ok(Some(Snapshot {
+        fingerprint,
+        row_keys,
+        vectors,
+        columns,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TempDir;
+
+    fn sample(rows: usize) -> Snapshot {
+        let dim = 3;
+        let mut vectors = Vectors::new(dim);
+        let mut keys = Vec::new();
+        let mut tags = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..rows {
+            vectors.push(&[i as f32, 0.5, -1.0]).unwrap();
+            keys.push(100 + i as u64);
+            tags.push(if i % 3 == 0 {
+                AttrValue::Null
+            } else {
+                AttrValue::Str(format!("t{i}"))
+            });
+            scores.push(AttrValue::Int(i as i64 * 7));
+        }
+        Snapshot {
+            fingerprint: "hnsw:deadbeef".into(),
+            row_keys: keys,
+            vectors,
+            columns: vec![
+                SnapshotColumn {
+                    name: "tag".into(),
+                    ty: AttrType::Str,
+                    values: tags,
+                },
+                SnapshotColumn {
+                    name: "score".into(),
+                    ty: AttrType::Int,
+                    values: scores,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = TempDir::new("snap-rt").unwrap();
+        let path = dir.file("c.snap");
+        let snap = sample(17);
+        write(&path, &snap).unwrap();
+        let back = read(&path).unwrap().expect("snapshot exists");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_collection_roundtrip() {
+        let dir = TempDir::new("snap-empty").unwrap();
+        let path = dir.file("c.snap");
+        let mut snap = sample(0);
+        snap.columns.clear();
+        write(&path, &snap).unwrap();
+        let back = read(&path).unwrap().unwrap();
+        assert_eq!(back.rows(), 0);
+        assert!(back.columns.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let dir = TempDir::new("snap-miss").unwrap();
+        assert!(read(&dir.file("nope.snap")).unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let dir = TempDir::new("snap-ow").unwrap();
+        let path = dir.file("c.snap");
+        write(&path, &sample(5)).unwrap();
+        write(&path, &sample(9)).unwrap();
+        assert_eq!(read(&path).unwrap().unwrap().rows(), 9);
+        assert!(!path.with_file_name("c.snap.tmp").exists());
+    }
+
+    #[test]
+    fn truncation_and_bitflips_detected() {
+        let dir = TempDir::new("snap-corrupt").unwrap();
+        let path = dir.file("c.snap");
+        write(&path, &sample(6)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncations anywhere are Corrupt (never a panic, never Ok).
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(read(&path), Err(Error::Corrupt(_))),
+                "cut at {cut} must be corrupt"
+            );
+        }
+        // A flipped payload byte fails its section CRC.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(read(&path).is_err());
+    }
+
+    #[test]
+    fn crash_during_write_preserves_old_snapshot() {
+        let dir = TempDir::new("snap-crash").unwrap();
+        let path = dir.file("c.snap");
+        let old = sample(4);
+        let new = sample(8);
+        let (res, points) =
+            crate::failpoint::count_crash_points(|| write(&dir.file("scratch.snap"), &new));
+        res.unwrap();
+        assert!(points >= 9, "meta+keys+vectors+2 cols+end+sync+rename+dir");
+        for n in 1..=points {
+            write(&path, &old).unwrap();
+            crate::failpoint::arm(n);
+            let err = write(&path, &new).unwrap_err();
+            assert!(crate::failpoint::is_crash(&err));
+            crate::failpoint::disarm();
+            let back = read(&path).unwrap().unwrap();
+            assert!(
+                back == old || back == new,
+                "crash point {n} left a mixed snapshot"
+            );
+            if n < points - 1 {
+                // Every crash before the rename step preserves the old file.
+                assert_eq!(back, old, "crash point {n} must not touch the target");
+            }
+        }
+    }
+}

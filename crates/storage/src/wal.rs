@@ -4,21 +4,39 @@
 //! in-memory update buffer, so a crash between acknowledgement and merge
 //! loses nothing. Records are length-prefixed and checksummed; replay stops
 //! cleanly at the first torn or corrupt record (the crash point).
+//!
+//! Insert records are versioned: the current format (tag 3) carries the
+//! full attribute payload alongside the vector, so recovery reproduces
+//! hybrid state exactly; logs written by the original attribute-less
+//! format (tag 1) still replay, with empty attributes.
+//!
+//! Durability protocol: the log file is fsynced per batch ([`Wal::sync`]),
+//! the *directory* is fsynced when the log is first created (so the file
+//! name itself survives a crash), and truncation after a checkpoint
+//! ([`Wal::reset`]) truncates in place and fsyncs before returning —
+//! the append handle stays valid throughout.
 
+use crate::codec::{self, Reader};
+use crate::failpoint;
+use crate::file::sync_dir;
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
+use vdb_core::attr::AttrValue;
 use vdb_core::error::{Error, Result};
 
 /// A logged operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
-    /// Insert (or overwrite) `key` with a vector.
+    /// Insert (or overwrite) `key` with a vector and its attributes.
     Insert {
         /// External key.
         key: u64,
         /// The vector payload.
         vector: Vec<f32>,
+        /// Attribute assignments `(column, value)`; columns not listed
+        /// default to NULL at replay, matching the live insert path.
+        attrs: Vec<(String, AttrValue)>,
     },
     /// Delete `key`.
     Delete {
@@ -27,8 +45,12 @@ pub enum WalRecord {
     },
 }
 
-const TAG_INSERT: u8 = 1;
+/// Legacy insert without attributes (logs written before the attribute
+/// payload existed replay as this; decoded with empty `attrs`).
+const TAG_INSERT_V1: u8 = 1;
 const TAG_DELETE: u8 = 2;
+/// Current insert: vector + attribute list.
+const TAG_INSERT_V2: u8 = 3;
 
 /// CRC-32 (IEEE 802.3, reflected) over a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -51,15 +73,22 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Open (creating if absent) the log at `path` for appending.
+    /// Open (creating if absent) the log at `path` for appending. On
+    /// first creation the parent directory is fsynced so the new file
+    /// name survives a crash.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path.as_ref())?;
+        let path = path.as_ref();
+        let existed = path.exists();
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !existed {
+            failpoint::hit("wal.create_dir_sync")?;
+            if let Some(dir) = path.parent() {
+                sync_dir(dir)?;
+            }
+        }
         Ok(Wal {
             file,
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
         })
     }
 
@@ -70,12 +99,12 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        Ok(())
+        failpoint::write_all_torn(&mut self.file, &frame, "wal.append")
     }
 
     /// Flush to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        failpoint::hit("wal.sync")?;
         self.file.sync_data()?;
         Ok(())
     }
@@ -121,14 +150,21 @@ impl Wal {
         Ok(out)
     }
 
-    /// Truncate the log (after its contents have been merged durably).
+    /// Truncate the log in place (after its contents have been merged
+    /// durably) and fsync the truncation. The append handle is kept, so
+    /// a crash here can never resurrect stale bytes through a dangling
+    /// pre-truncation file descriptor.
     pub fn reset(&mut self) -> Result<()> {
-        self.file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&self.path)?;
+        failpoint::hit("wal.reset.truncate")?;
+        self.file.set_len(0)?;
+        failpoint::hit("wal.reset.sync")?;
+        self.file.sync_data()?;
         Ok(())
+    }
+
+    /// Size of the log file in bytes (durability/space accounting).
+    pub fn size_bytes(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
     }
 }
 
@@ -156,20 +192,25 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome> 
 
 fn encode(rec: &WalRecord) -> Vec<u8> {
     match rec {
-        WalRecord::Insert { key, vector } => {
-            let mut out = Vec::with_capacity(13 + vector.len() * 4);
-            out.push(TAG_INSERT);
-            out.extend_from_slice(&key.to_le_bytes());
-            out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+        WalRecord::Insert { key, vector, attrs } => {
+            let mut out = Vec::with_capacity(17 + vector.len() * 4);
+            out.push(TAG_INSERT_V2);
+            codec::put_u64(&mut out, *key);
+            codec::put_u32(&mut out, vector.len() as u32);
             for x in vector {
                 out.extend_from_slice(&x.to_le_bytes());
+            }
+            codec::put_u32(&mut out, attrs.len() as u32);
+            for (name, value) in attrs {
+                codec::put_str(&mut out, name);
+                codec::put_attr(&mut out, value);
             }
             out
         }
         WalRecord::Delete { key } => {
             let mut out = Vec::with_capacity(9);
             out.push(TAG_DELETE);
-            out.extend_from_slice(&key.to_le_bytes());
+            codec::put_u64(&mut out, *key);
             out
         }
     }
@@ -177,29 +218,42 @@ fn encode(rec: &WalRecord) -> Vec<u8> {
 
 fn decode(payload: &[u8]) -> Result<WalRecord> {
     let corrupt = || Error::Corrupt("malformed WAL payload".into());
-    let (&tag, rest) = payload.split_first().ok_or_else(corrupt)?;
-    match tag {
-        TAG_INSERT => {
-            if rest.len() < 12 {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        TAG_INSERT_V1 => {
+            let key = r.u64()?;
+            let dim = r.u32()? as usize;
+            let vector = r.f32s(dim)?;
+            if !r.is_empty() {
                 return Err(corrupt());
             }
-            let key = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes"));
-            let dim = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
-            let body = &rest[12..];
-            if body.len() != dim * 4 {
+            Ok(WalRecord::Insert {
+                key,
+                vector,
+                attrs: Vec::new(),
+            })
+        }
+        TAG_INSERT_V2 => {
+            let key = r.u64()?;
+            let dim = r.u32()? as usize;
+            let vector = r.f32s(dim)?;
+            let nattrs = r.u32()? as usize;
+            let mut attrs = Vec::with_capacity(nattrs.min(1024));
+            for _ in 0..nattrs {
+                let name = r.string()?;
+                let value = r.attr()?;
+                attrs.push((name, value));
+            }
+            if !r.is_empty() {
                 return Err(corrupt());
             }
-            let vector = body
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect();
-            Ok(WalRecord::Insert { key, vector })
+            Ok(WalRecord::Insert { key, vector, attrs })
         }
         TAG_DELETE => {
-            if rest.len() != 8 {
+            let key = r.u64()?;
+            if !r.is_empty() {
                 return Err(corrupt());
             }
-            let key = u64::from_le_bytes(rest.try_into().expect("8 bytes"));
             Ok(WalRecord::Delete { key })
         }
         _ => Err(corrupt()),
@@ -211,6 +265,14 @@ mod tests {
     use super::*;
     use crate::file::TempDir;
 
+    fn insert(key: u64, vector: Vec<f32>) -> WalRecord {
+        WalRecord::Insert {
+            key,
+            vector,
+            attrs: Vec::new(),
+        }
+    }
+
     #[test]
     fn append_and_replay() {
         let dir = TempDir::new("wal").unwrap();
@@ -219,12 +281,14 @@ mod tests {
             WalRecord::Insert {
                 key: 1,
                 vector: vec![1.0, 2.0],
+                attrs: vec![
+                    ("tag".into(), AttrValue::Str("a".into())),
+                    ("score".into(), AttrValue::Int(7)),
+                    ("flag".into(), AttrValue::Null),
+                ],
             },
             WalRecord::Delete { key: 9 },
-            WalRecord::Insert {
-                key: 2,
-                vector: vec![-0.5; 7],
-            },
+            insert(2, vec![-0.5; 7]),
         ];
         {
             let mut wal = Wal::open(&path).unwrap();
@@ -234,6 +298,24 @@ mod tests {
             wal.sync().unwrap();
         }
         assert_eq!(Wal::replay(&path).unwrap(), recs);
+    }
+
+    #[test]
+    fn legacy_v1_insert_still_replays() {
+        let dir = TempDir::new("wal-v1").unwrap();
+        let path = dir.file("old.wal");
+        // Hand-encode a v1 record: tag, key, dim, components.
+        let mut payload = vec![TAG_INSERT_V1];
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&1.5f32.to_le_bytes());
+        payload.extend_from_slice(&(-2.0f32).to_le_bytes());
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        std::fs::write(&path, &frame).unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs, vec![insert(5, vec![1.5, -2.0])]);
     }
 
     #[test]
@@ -248,16 +330,8 @@ mod tests {
         let path = dir.file("torn.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append(&WalRecord::Insert {
-                key: 1,
-                vector: vec![1.0],
-            })
-            .unwrap();
-            wal.append(&WalRecord::Insert {
-                key: 2,
-                vector: vec![2.0],
-            })
-            .unwrap();
+            wal.append(&insert(1, vec![1.0])).unwrap();
+            wal.append(&insert(2, vec![2.0])).unwrap();
             wal.sync().unwrap();
         }
         // Simulate a crash mid-write: chop off the last 3 bytes.
@@ -265,13 +339,7 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         let recs = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1, "only the complete record survives");
-        assert_eq!(
-            recs[0],
-            WalRecord::Insert {
-                key: 1,
-                vector: vec![1.0]
-            }
-        );
+        assert_eq!(recs[0], insert(1, vec![1.0]));
     }
 
     #[test]
@@ -280,11 +348,7 @@ mod tests {
         let path = dir.file("flip.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append(&WalRecord::Insert {
-                key: 1,
-                vector: vec![1.0, 2.0, 3.0],
-            })
-            .unwrap();
+            wal.append(&insert(1, vec![1.0, 2.0, 3.0])).unwrap();
             wal.sync().unwrap();
         }
         let mut bytes = std::fs::read(&path).unwrap();
@@ -295,7 +359,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_truncates() {
+    fn reset_truncates_in_place_and_appends_continue() {
         let dir = TempDir::new("wal-reset").unwrap();
         let path = dir.file("r.wal");
         let mut wal = Wal::open(&path).unwrap();
@@ -303,6 +367,14 @@ mod tests {
         wal.sync().unwrap();
         wal.reset().unwrap();
         assert!(Wal::replay(&path).unwrap().is_empty());
+        assert_eq!(wal.size_bytes().unwrap(), 0);
+        // The same handle keeps appending from offset zero.
+        wal.append(&WalRecord::Delete { key: 6 }).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(
+            Wal::replay(&path).unwrap(),
+            vec![WalRecord::Delete { key: 6 }]
+        );
     }
 
     #[test]

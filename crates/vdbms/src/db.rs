@@ -78,6 +78,40 @@ impl Vdbms {
         Ok(())
     }
 
+    /// Recover a collection from its durability directory (checkpoint
+    /// snapshot + WAL-tail replay) and register it under its schema name.
+    /// `cfg.wal_dir` must be set.
+    pub fn recover_collection(
+        &mut self,
+        schema: CollectionSchema,
+        cfg: CollectionConfig,
+    ) -> Result<()> {
+        let name = schema.name.clone();
+        if self.collections.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("collection `{name}`")));
+        }
+        let c = Collection::recover(schema, cfg)?;
+        self.collections.insert(name, c);
+        Ok(())
+    }
+
+    /// Durably checkpoint one collection: fold its update buffer into
+    /// the main part, snapshot the merged state, truncate its WAL.
+    pub fn checkpoint(&mut self, name: &str) -> Result<()> {
+        self.collection_mut(name)?.checkpoint()
+    }
+
+    /// Checkpoint every collection that has durability enabled (e.g. at
+    /// clean shutdown, so the next start replays an empty WAL tail).
+    pub fn checkpoint_all(&mut self) -> Result<()> {
+        for c in self.collections.values_mut() {
+            if c.wal_path().is_some() {
+                c.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Drop a collection.
     pub fn drop_collection(&mut self, name: &str) -> Result<()> {
         self.collections

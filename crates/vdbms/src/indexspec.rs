@@ -90,6 +90,19 @@ impl IndexSpec {
         }
     }
 
+    /// A stable fingerprint of this spec: its name plus a CRC of the
+    /// full parameterization. Recorded in checkpoint snapshots so a
+    /// recovered collection can tell which spec built the snapshotted
+    /// index (diagnostic — recovery rebuilds from the vectors, so a
+    /// changed spec is honored rather than rejected).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}:{:08x}",
+            self.name(),
+            vdb_storage::crc32(format!("{self:?}").as_bytes())
+        )
+    }
+
     /// Parse a spec by name with default parameters.
     pub fn parse(name: &str) -> Result<IndexSpec> {
         match name {

@@ -1,0 +1,290 @@
+//! Crash-fault-injection harness: for EVERY injectable durable step in
+//! insert / delete / merge / checkpoint, simulate a process crash at
+//! that step, recover from disk, and assert the collection's logical
+//! state (keys, vectors, AND attributes) equals exactly the pre-op or
+//! post-op state — never a torn intermediate.
+//!
+//! The crash model is a process kill: bytes already handed to the OS
+//! survive, the step that fires leaves a torn half-write, and every
+//! later durable step in the same "process" fails until `disarm()`
+//! (the dead process never runs again). `failpoint::count_crash_points`
+//! first counts how many injectable steps an operation performs; the
+//! sweep then re-runs the operation once per step with that step armed.
+
+use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec};
+use vdb_core::attr::{AttrType, AttrValue};
+use vdb_core::error::Result;
+use vdb_core::parallel::BuildOptions;
+use vdb_core::{Metric, SearchParams};
+use vdb_query::{PlannerMode, Predicate};
+use vdb_storage::{failpoint, TempDir};
+
+/// Logical collection state: sorted (key, vector, attributes) rows.
+type State = Vec<(u64, Vec<f32>, Vec<(String, AttrValue)>)>;
+
+fn dump(c: &Collection) -> State {
+    c.keys()
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                c.get(k).expect("live key has a vector"),
+                c.get_attrs(k).expect("live key has attributes"),
+            )
+        })
+        .collect()
+}
+
+fn schema() -> CollectionSchema {
+    CollectionSchema::new("crash", 4, Metric::Euclidean)
+        .column("tag", AttrType::Str)
+        .column("score", AttrType::Int)
+}
+
+fn cfg(dir: &TempDir, merge_threshold: usize) -> CollectionConfig {
+    CollectionConfig {
+        index: IndexSpec::Flat,
+        merge_threshold,
+        planner: PlannerMode::CostBased,
+        wal_dir: Some(dir.path().to_path_buf()),
+        build: BuildOptions::serial(),
+    }
+}
+
+fn vec_at(x: f32) -> Vec<f32> {
+    vec![x, x * 0.5, 0.0, 1.0]
+}
+
+fn insert_n(c: &mut Collection, n: u64) {
+    for i in 0..n {
+        let tag = if i % 2 == 0 { "even" } else { "odd" };
+        c.insert(
+            i,
+            &vec_at(i as f32),
+            &[("tag", tag.into()), ("score", (i as i64).into())],
+        )
+        .unwrap();
+    }
+}
+
+/// Exhaustive sweep: build the pre-op reference state and the post-op
+/// reference state on scratch directories, count the operation's
+/// injectable steps, then for each step N crash at N, recover, and
+/// require the recovered state to be exactly `pre` or exactly `post`.
+fn sweep(
+    name: &str,
+    threshold: usize,
+    setup: impl Fn(&mut Collection),
+    op: impl Fn(&mut Collection) -> Result<()>,
+) {
+    // Reference run (failpoints off): pre- and post-op states.
+    let refdir = TempDir::new("crash-ref").unwrap();
+    let mut c = Collection::create(schema(), cfg(&refdir, threshold)).unwrap();
+    setup(&mut c);
+    let pre = dump(&c);
+    op(&mut c).expect("reference op must succeed");
+    let post = dump(&c);
+
+    // Count injectable steps (Counting mode: hits increment, never fire).
+    let countdir = TempDir::new("crash-count").unwrap();
+    let mut c = Collection::create(schema(), cfg(&countdir, threshold)).unwrap();
+    setup(&mut c);
+    let (res, points) = failpoint::count_crash_points(|| op(&mut c));
+    res.expect("counting run must succeed");
+    assert!(points > 0, "{name}: op performed no durable steps");
+    drop(c);
+
+    for n in 1..=points {
+        let dir = TempDir::new("crash-sweep").unwrap();
+        let conf = cfg(&dir, threshold);
+        let mut c = Collection::create(schema(), conf.clone()).unwrap();
+        setup(&mut c);
+        failpoint::arm(n);
+        let err = op(&mut c);
+        failpoint::disarm();
+        let err = err.expect_err("armed op must report the crash");
+        assert!(
+            failpoint::is_crash(&err),
+            "{name}[{n}/{points}]: unexpected error kind: {err}"
+        );
+        drop(c); // the dead process: nothing else reaches disk
+
+        let r = Collection::recover(schema(), conf)
+            .unwrap_or_else(|e| panic!("{name}[{n}/{points}]: recovery failed: {e}"));
+        let got = dump(&r);
+        assert!(
+            got == pre || got == post,
+            "{name}[{n}/{points}]: recovered state is neither pre- nor \
+             post-op\n  pre:  {pre:?}\n  post: {post:?}\n  got:  {got:?}"
+        );
+    }
+}
+
+#[test]
+fn crash_sweep_insert_fresh_key() {
+    sweep(
+        "insert-fresh",
+        100,
+        |c| insert_n(c, 5),
+        |c| {
+            c.insert(
+                42,
+                &vec_at(42.0),
+                &[("tag", "new".into()), ("score", 42i64.into())],
+            )
+        },
+    );
+}
+
+#[test]
+fn crash_sweep_insert_overwrites_buffered_key() {
+    sweep(
+        "insert-overwrite-buffered",
+        100,
+        |c| insert_n(c, 5),
+        |c| c.insert(2, &vec_at(99.0), &[("tag", "updated".into())]),
+    );
+}
+
+#[test]
+fn crash_sweep_insert_overwrites_merged_key() {
+    // Setup crosses the merge threshold, so key 3 lives in the merged
+    // main part; the op shadows it through the buffer.
+    sweep(
+        "insert-overwrite-main",
+        8,
+        |c| insert_n(c, 8),
+        |c| c.insert(3, &vec_at(77.0), &[("score", 77i64.into())]),
+    );
+}
+
+#[test]
+fn crash_sweep_delete_buffered_key() {
+    sweep("delete-buffered", 100, |c| insert_n(c, 5), |c| c.delete(1));
+}
+
+#[test]
+fn crash_sweep_delete_merged_key() {
+    sweep("delete-main", 8, |c| insert_n(c, 8), |c| c.delete(3));
+}
+
+#[test]
+fn crash_sweep_insert_that_triggers_merge() {
+    // The 8th insert crosses the threshold: WAL append + sync, then the
+    // full checkpoint (snapshot sections, sync, rename, directory sync,
+    // WAL truncate, WAL sync) all run inside one op.
+    sweep(
+        "insert-triggers-merge",
+        8,
+        |c| insert_n(c, 7),
+        |c| {
+            c.insert(
+                7,
+                &vec_at(7.0),
+                &[("tag", "odd".into()), ("score", 7i64.into())],
+            )
+        },
+    );
+}
+
+#[test]
+fn crash_sweep_explicit_merge() {
+    // Merge is logically a no-op (pre == post), so this sweep checks
+    // that no checkpoint step can corrupt or lose state.
+    sweep(
+        "merge",
+        1000,
+        |c| {
+            insert_n(c, 10);
+            c.delete(4).unwrap();
+        },
+        |c| c.merge(),
+    );
+}
+
+#[test]
+fn crash_sweep_checkpoint_over_existing_snapshot() {
+    // A second checkpoint replaces an existing snapshot file: the
+    // rename must atomically swap old for new at every crash point.
+    sweep(
+        "checkpoint-replace",
+        1000,
+        |c| {
+            insert_n(c, 6);
+            c.checkpoint().unwrap();
+            c.insert(50, &vec_at(50.0), &[("tag", "post-ckpt".into())])
+                .unwrap();
+            c.delete(0).unwrap();
+        },
+        |c| c.checkpoint(),
+    );
+}
+
+#[test]
+fn hybrid_query_after_crash_replays_attributes() {
+    // Satellite regression: crash mid-insert after a batch of hybrid
+    // inserts, recover, and run a predicate query — the WAL must have
+    // carried the attributes (a vector-only log would return rows the
+    // predicate should exclude, or none at all).
+    let dir = TempDir::new("crash-hybrid").unwrap();
+    let conf = cfg(&dir, 100);
+    let mut c = Collection::create(schema(), conf.clone()).unwrap();
+    insert_n(&mut c, 10);
+    failpoint::arm(1); // torn WAL append on the next insert
+    let err = c.insert(99, &vec_at(99.0), &[("tag", "lost".into())]);
+    failpoint::disarm();
+    assert!(failpoint::is_crash(&err.unwrap_err()));
+    drop(c);
+
+    let r = Collection::recover(schema(), conf).unwrap();
+    assert_eq!(r.len(), 10, "torn final insert must not survive");
+    let pred = Predicate::eq("tag", "even");
+    let hits = r
+        .search_hybrid(&vec_at(4.0), 5, &pred, &SearchParams::default(), None)
+        .unwrap();
+    assert_eq!(hits.len(), 5);
+    assert!(
+        hits.iter().all(|h| h.key % 2 == 0),
+        "predicate must see recovered attributes: {hits:?}"
+    );
+    for h in &hits {
+        let attrs = r.get_attrs(h.key).unwrap();
+        assert_eq!(attrs[0].1, AttrValue::Str("even".into()));
+        assert_eq!(attrs[1].1, AttrValue::Int(h.key as i64));
+    }
+}
+
+#[test]
+fn wal_replays_only_post_checkpoint_tail() {
+    // Acceptance criterion: after a merge the WAL is truncated, so
+    // recovery = snapshot + tail, not a full-history replay.
+    let dir = TempDir::new("crash-tail").unwrap();
+    let conf = cfg(&dir, 8);
+    let mut c = Collection::create(schema(), conf.clone()).unwrap();
+    insert_n(&mut c, 8); // crosses the threshold: merge + checkpoint
+    let wal = c.wal_path().unwrap();
+    assert_eq!(
+        std::fs::metadata(&wal).unwrap().len(),
+        0,
+        "checkpoint must truncate the WAL"
+    );
+    assert!(c.snapshot_path().unwrap().exists());
+
+    c.insert(100, &vec_at(100.0), &[("tag", "tail".into())])
+        .unwrap();
+    c.delete(2).unwrap();
+    let tail_len = std::fs::metadata(&wal).unwrap().len();
+    assert!(tail_len > 0, "tail records live in the WAL");
+    let expected = dump(&c);
+    drop(c);
+
+    let r = Collection::recover(schema(), conf).unwrap();
+    assert_eq!(dump(&r), expected);
+    // The tail holds exactly the two post-checkpoint records: far
+    // smaller than the eight-insert history it replaced.
+    let two_record_cap = 2 * (64 + 4 * 4 + 32); // generous per-frame bound
+    assert!(
+        tail_len < two_record_cap,
+        "tail should be two records, got {tail_len} bytes"
+    );
+}
