@@ -38,6 +38,16 @@ echo "== crash-fault injection: durability sweep =="
 cargo test -q --test crash_recovery
 cargo test -q -p vdb-storage --test wal_torn_tail
 
+echo "== serving layer: loopback server integration =="
+# Real sockets on 127.0.0.1: N concurrent clients get correct results,
+# overload past max_queue is answered BUSY (not queued), a killed shard
+# socket degrades to a partial result within the deadline, and graceful
+# shutdown drains every in-flight request (DESIGN.md §10). The protocol
+# suite additionally rejects torn/oversized/CRC-flipped frames at every
+# byte offset against a live server.
+cargo test -q --release --test serving
+cargo test -q --release -p vdb-server --test protocol_robustness
+
 echo "== kernel equivalence with SIMD force-disabled =="
 # kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks
 # still run; this pass proves the *dispatched* entry points behave when

@@ -8,12 +8,14 @@ pub mod index_zoo;
 pub mod recovery;
 pub mod scale_out;
 pub mod score;
+pub mod serving;
 
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "f8", "t5", "k1",
+    "s1",
 ];
 
 /// Dispatch one experiment by id.
@@ -35,6 +37,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "f8" => score::f8_curse_of_dimensionality(scale),
         "t5" => execution::t5_kernels(),
         "k1" => score::k1_simd_dispatch(),
+        "s1" => serving::s1_serving(scale),
         other => Err(vdb_core::Error::InvalidParameter(format!(
             "unknown experiment `{other}`; known: {ALL:?}"
         ))),

@@ -1,0 +1,138 @@
+//! S1 (serving throughput and latency) — the network serving layer
+//! under concurrent clients, with request coalescing on and off.
+
+use crate::{fmt, print_table, Scale};
+use std::sync::Arc;
+use std::time::Instant;
+use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms};
+use vdb_core::index::SearchParams;
+use vdb_core::metric::Metric;
+use vdb_core::rng::Rng;
+use vdb_core::Result;
+use vdb_server::{serve, Client, ServerConfig};
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Drive `concurrency` client threads through `per_client` searches each
+/// against a freshly served copy of the dataset; returns (qps, p50_us,
+/// p99_us, batches, coalesced).
+fn drive(
+    data: &vdb_core::vector::Vectors,
+    queries: &[Vec<f32>],
+    concurrency: usize,
+    per_client: usize,
+    batching: bool,
+) -> Result<(f64, f64, f64, u64, u64)> {
+    let mut db = Vdbms::new(SystemProfile::MostlyVector);
+    db.create_collection(
+        CollectionSchema::new("bench", data.dim(), Metric::Euclidean),
+        IndexSpec::parse("hnsw")?,
+    )?;
+    for (i, v) in data.iter().enumerate() {
+        db.collection_mut("bench")?.insert(i as u64, v, &[])?;
+    }
+    // Default config: opportunistic coalescing (no batch window), so a
+    // lone client never stalls and batches form only under real queueing.
+    let cfg = ServerConfig {
+        batching,
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, "127.0.0.1:0", cfg)?;
+    let client = Arc::new(Client::connect(handle.addr())?);
+    let params = SearchParams::default().with_beam_width(64);
+
+    let start = Instant::now();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(concurrency * per_client);
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..concurrency {
+            let client = client.clone();
+            let params = params.clone();
+            joins.push(s.spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let q = &queries[(t * 31 + i) % queries.len()];
+                    let sent = Instant::now();
+                    client
+                        .search("bench", q, 10, &params)
+                        .expect("served search");
+                    lat.push(sent.elapsed().as_secs_f64() * 1e6);
+                }
+                lat
+            }));
+        }
+        for j in joins {
+            lat_us.extend(j.join().expect("client thread"));
+        }
+    });
+    let total = start.elapsed().as_secs_f64();
+    let stats = handle.stats();
+    handle.shutdown();
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    Ok((
+        (concurrency * per_client) as f64 / total,
+        percentile(&lat_us, 0.50),
+        percentile(&lat_us, 0.99),
+        stats.batches,
+        stats.coalesced,
+    ))
+}
+
+/// S1: serving throughput and tail latency vs client concurrency, with
+/// server-side coalescing of concurrent single-query searches on vs off.
+pub fn s1_serving(scale: Scale) -> Result<()> {
+    let mut rng = Rng::seed_from_u64(0x51);
+    let n = scale.n() / 2;
+    let dim = scale.dim();
+    let data = vdb_core::dataset::gaussian(n, dim, &mut rng);
+    let queries: Vec<Vec<f32>> = (0..scale.queries())
+        .map(|_| (0..dim).map(|_| rng.normal_f32()).collect())
+        .collect();
+    let per_client = match scale {
+        Scale::Quick => 50,
+        Scale::Full => 200,
+    };
+    let mut rows = Vec::new();
+    for concurrency in [1usize, 2, 4, 8] {
+        for batching in [false, true] {
+            let (qps, p50, p99, batches, coalesced) =
+                drive(&data, &queries, concurrency, per_client, batching)?;
+            rows.push(vec![
+                concurrency.to_string(),
+                if batching { "on" } else { "off" }.to_string(),
+                fmt(qps, 0),
+                fmt(p50, 0),
+                fmt(p99, 0),
+                batches.to_string(),
+                coalesced.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("S1: served search over loopback TCP (hnsw, {n} vectors, d={dim})"),
+        &[
+            "clients",
+            "batching",
+            "qps",
+            "p50_us",
+            "p99_us",
+            "batches",
+            "coalesced",
+        ],
+        &rows,
+    );
+    println!(
+        "  Expected shape: throughput grows with client concurrency until the\n  \
+         executor pool saturates. Coalescing is opportunistic (no added\n  \
+         wait), so batching on matches off at low concurrency and batches\n  \
+         form exactly when requests queue up (batches/coalesced > 0 once\n  \
+         clients outnumber workers)."
+    );
+    Ok(())
+}

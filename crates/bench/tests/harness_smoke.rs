@@ -20,10 +20,15 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_sixteen() {
-    assert_eq!(experiments::ALL.len(), 16);
+fn registry_lists_all_seventeen() {
+    assert_eq!(experiments::ALL.len(), 17);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 16, "no duplicate experiment ids");
+    assert_eq!(set.len(), 17, "no duplicate experiment ids");
+}
+
+#[test]
+fn s1_runs() {
+    experiments::run("s1", Scale::Quick).unwrap();
 }
 
 #[test]

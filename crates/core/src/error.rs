@@ -38,6 +38,9 @@ pub enum Error {
     Corrupt(String),
     /// The operation is not supported by this index or configuration.
     Unsupported(String),
+    /// A serving layer shed this request under load (admission control);
+    /// the caller should back off and retry.
+    Busy,
 }
 
 impl fmt::Display for Error {
@@ -61,6 +64,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::Busy => write!(f, "server busy: request shed by admission control"),
         }
     }
 }

@@ -26,6 +26,12 @@ pub struct SearchParams {
     /// Over-fetch factor used by post-filter fallbacks: fetch `alpha * k`
     /// candidates before applying a predicate (§2.6(3) of the paper).
     pub overfetch: f32,
+    /// Soft deadline for the whole search. In-process indexes ignore it
+    /// (their latency is bounded by structure size); transports honor it:
+    /// a distributed scatter-gather stops waiting for shards at the
+    /// deadline and returns a *partial* result, and a remote-shard client
+    /// uses it as its socket read timeout. `None` = wait indefinitely.
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl Default for SearchParams {
@@ -36,6 +42,7 @@ impl Default for SearchParams {
             rerank: 128,
             max_leaf_points: 512,
             overfetch: 3.0,
+            timeout: None,
         }
     }
 }
@@ -65,6 +72,16 @@ impl SearchParams {
     pub fn with_overfetch(mut self, v: f32) -> Self {
         self.overfetch = v;
         self
+    }
+    /// Builder-style setter for `timeout`.
+    pub fn with_timeout(mut self, v: std::time::Duration) -> Self {
+        self.timeout = Some(v);
+        self
+    }
+    /// The instant at which this search should give up, if a timeout is
+    /// set, measured from `start`.
+    pub fn deadline_from(&self, start: std::time::Instant) -> Option<std::time::Instant> {
+        self.timeout.map(|t| start + t)
     }
 }
 
@@ -339,11 +356,25 @@ mod tests {
             .with_nprobe(2)
             .with_rerank(5)
             .with_max_leaf_points(7)
-            .with_overfetch(1.5);
+            .with_overfetch(1.5)
+            .with_timeout(std::time::Duration::from_millis(250));
         assert_eq!(p.beam_width, 10);
         assert_eq!(p.nprobe, 2);
         assert_eq!(p.rerank, 5);
         assert_eq!(p.max_leaf_points, 7);
         assert_eq!(p.overfetch, 1.5);
+        assert_eq!(p.timeout, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(SearchParams::default().timeout, None);
+    }
+
+    #[test]
+    fn deadline_measured_from_start() {
+        let start = std::time::Instant::now();
+        assert_eq!(SearchParams::default().deadline_from(start), None);
+        let p = SearchParams::default().with_timeout(std::time::Duration::from_secs(1));
+        assert_eq!(
+            p.deadline_from(start),
+            Some(start + std::time::Duration::from_secs(1))
+        );
     }
 }

@@ -1,21 +1,24 @@
 //! Sharded, replicated, scatter-gather vector search (§2.3 "distributed
 //! search").
 //!
-//! Shards are in-process (the substitution DESIGN.md documents: the object
-//! of study is the partitioning/fan-out/merge algorithmics, not network
-//! latency). Each shard owns its own index over its slice of the
-//! collection; replicas are additional copies used for load spreading and
-//! failover; queries scatter to the routed shards on scoped threads and
-//! gather through a global top-k merge.
+//! Shards are in-process by default, or remote over TCP when the builder
+//! returns [`crate::RemoteShard`]s (see [`crate::remote`]). Each shard
+//! owns its own index over its slice of the collection; replicas are
+//! additional copies used for load spreading and failover; queries
+//! scatter to the routed shards on detached worker threads and gather
+//! through a global top-k merge — bounded by [`SearchParams::timeout`]
+//! when set, degrading to an explicit partial result instead of blocking
+//! on a slow or dead shard.
 
 use crate::partition::{partition, PartitionPolicy, Partitioning};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::metric::Metric;
 use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
-use vdb_core::sync::Mutex;
 use vdb_core::topk::{merge_sorted_topk, Neighbor};
 use vdb_core::vector::Vectors;
 
@@ -80,9 +83,58 @@ struct Shard {
     contexts: ContextPool,
 }
 
+impl Shard {
+    /// Search with replica failover: try live replicas in round-robin
+    /// order; a replica that *errors* (e.g. a [`crate::RemoteShard`]
+    /// whose socket died) falls over to the next one. Local row ids are
+    /// translated to global ids. Errors only if every replica is down or
+    /// failing.
+    fn search_failover(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
+        let n = self.replicas.len();
+        let start = self.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut last_err: Option<Error> = None;
+        for i in 0..n {
+            let replica = &self.replicas[(start + i) % n];
+            if !replica.up.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut ctx = self.contexts.acquire();
+            match replica.index.search_with(&mut ctx, query, k, params) {
+                Ok(hits) => {
+                    return Ok(hits
+                        .into_iter()
+                        .map(|nb| Neighbor::new(self.global_ids[nb.id], nb.dist))
+                        .collect())
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::Unsupported("shard has no live replica".into())))
+    }
+}
+
+/// Outcome of a scatter-gather search, including degradation metadata:
+/// when [`SearchParams::timeout`] is set, shards that fail or miss the
+/// deadline are dropped instead of failing the whole query, and the
+/// result is flagged `partial`.
+#[derive(Debug, Clone)]
+pub struct ScatterOutcome {
+    /// Merged global-id top-k over the shards that answered.
+    pub hits: Vec<Neighbor>,
+    /// Whether any probed shard's contribution is missing.
+    pub partial: bool,
+    /// Shards (by id) that errored or missed the deadline.
+    pub failed_shards: Vec<usize>,
+}
+
 /// A sharded, replicated collection with scatter-gather search.
 pub struct DistributedIndex {
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
     partitioning: Partitioning,
     cfg: DistributedConfig,
     /// Scatter/gather accounting: total shard probes issued.
@@ -142,12 +194,12 @@ impl DistributedIndex {
                     up: AtomicBool::new(true),
                 });
             }
-            shards.push(Shard {
+            shards.push(Arc::new(Shard {
                 global_ids: partitioning.shard_rows(s),
                 replicas,
                 next_replica: AtomicU64::new(0),
                 contexts: ContextPool::new(),
-            });
+            }));
         }
         Ok(DistributedIndex {
             shards,
@@ -189,21 +241,29 @@ impl DistributedIndex {
             .store(up, Ordering::Relaxed);
     }
 
-    /// Pick a live replica round-robin. `None` if the shard is fully down.
-    fn pick_replica(&self, shard: usize) -> Option<&Replica> {
-        let s = &self.shards[shard];
-        let n = s.replicas.len();
-        let start = s.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
-        (0..n)
-            .map(|i| &s.replicas[(start + i) % n])
-            .find(|r| r.up.load(Ordering::Relaxed))
-    }
-
-    /// Scatter-gather search. Returns global-id neighbors. Errors if every
-    /// replica of a probed shard is down.
-    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+    /// Scatter-gather search with full degradation metadata.
+    ///
+    /// Scatter workers run detached (one per probed shard, with replica
+    /// failover inside each shard); the gather waits for all of them —
+    /// or, when [`SearchParams::timeout`] is set, only until the
+    /// deadline. A shard that errors or misses the deadline is recorded
+    /// in `failed_shards` and the merged result is flagged `partial`;
+    /// the call errors only when *no* shard answered. Stragglers finish
+    /// in the background and their late answers are discarded, so a
+    /// slow or dead shard can never block the query past its deadline.
+    pub fn search_outcome(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<ScatterOutcome> {
+        let empty = ScatterOutcome {
+            hits: Vec::new(),
+            partial: false,
+            failed_shards: Vec::new(),
+        };
         if k == 0 || self.is_empty() {
-            return Ok(Vec::new());
+            return Ok(empty);
         }
         let order = self.partitioning.route(query);
         let probe = match (self.cfg.probe_shards, self.cfg.policy) {
@@ -213,45 +273,94 @@ impl DistributedIndex {
         let targets = &order[..probe];
         self.probes_issued
             .fetch_add(targets.len() as u64, Ordering::Relaxed);
+        let deadline = params.deadline_from(Instant::now());
 
-        // Scatter on scoped threads; gather into per-shard result slots.
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Neighbor>>)>();
+        for (slot, &shard_id) in targets.iter().enumerate() {
+            let shard = self.shards[shard_id].clone();
+            let tx = tx.clone();
+            let query = query.to_vec();
+            let params = params.clone();
+            std::thread::Builder::new()
+                .name(format!("scatter-{shard_id}"))
+                .spawn(move || {
+                    let out = shard.search_failover(&query, k, &params);
+                    tx.send((slot, out)).ok();
+                })
+                .expect("spawn scatter worker");
+        }
+        drop(tx);
+
         let mut slots: Vec<Option<Result<Vec<Neighbor>>>> = Vec::new();
         slots.resize_with(targets.len(), || None);
-        let results: Mutex<Vec<Option<Result<Vec<Neighbor>>>>> = Mutex::new(slots);
-        std::thread::scope(|scope| {
-            for (slot, &shard) in targets.iter().enumerate() {
-                let results = &results;
-                scope.spawn(move || {
-                    let out = match self.pick_replica(shard) {
-                        Some(replica) => {
-                            let mut ctx = self.shards[shard].contexts.acquire();
-                            replica
-                                .index
-                                .search_with(&mut ctx, query, k, params)
-                                .map(|hits| {
-                                    hits.into_iter()
-                                        .map(|n| {
-                                            Neighbor::new(
-                                                self.shards[shard].global_ids[n.id],
-                                                n.dist,
-                                            )
-                                        })
-                                        .collect()
-                                })
-                        }
-                        None => Err(Error::Unsupported(format!(
-                            "shard {shard} has no live replica"
-                        ))),
-                    };
-                    results.lock()[slot] = Some(out);
-                });
+        let mut filled = 0;
+        while filled < targets.len() {
+            let msg = match deadline {
+                None => rx.recv().ok(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break;
+                    }
+                    rx.recv_timeout(d - now).ok()
+                }
+            };
+            match msg {
+                Some((slot, out)) => {
+                    slots[slot] = Some(out);
+                    filled += 1;
+                }
+                None => break, // deadline hit, or every worker reported
             }
-        });
-        let mut lists = Vec::with_capacity(targets.len());
-        for slot in results.into_inner() {
-            lists.push(slot.expect("every scatter slot filled")?);
         }
-        Ok(merge_sorted_topk(&lists, k))
+
+        let mut lists = Vec::with_capacity(targets.len());
+        let mut failed_shards = Vec::new();
+        let mut first_err: Option<Error> = None;
+        for (slot, &shard_id) in targets.iter().enumerate() {
+            match slots[slot].take() {
+                Some(Ok(list)) => lists.push(list),
+                Some(Err(e)) => {
+                    failed_shards.push(shard_id);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                None => failed_shards.push(shard_id), // missed the deadline
+            }
+        }
+        if lists.is_empty() {
+            return Err(first_err.unwrap_or_else(|| {
+                Error::Unsupported(format!(
+                    "all {} probed shards missed the deadline {:?}",
+                    targets.len(),
+                    params.timeout
+                ))
+            }));
+        }
+        Ok(ScatterOutcome {
+            hits: merge_sorted_topk(&lists, k),
+            partial: !failed_shards.is_empty(),
+            failed_shards,
+        })
+    }
+
+    /// Scatter-gather search. Returns global-id neighbors.
+    ///
+    /// Without a [`SearchParams::timeout`], any failed shard (every
+    /// replica down or erroring) fails the query — silent partial
+    /// results must be opted into. With a timeout set, the search
+    /// degrades to the partial merged result instead; use
+    /// [`Self::search_outcome`] to observe the `partial` flag.
+    pub fn search(&self, query: &[f32], k: usize, params: &SearchParams) -> Result<Vec<Neighbor>> {
+        let outcome = self.search_outcome(query, k, params)?;
+        if outcome.partial && params.timeout.is_none() {
+            return Err(Error::Unsupported(format!(
+                "shard(s) {:?} failed; set SearchParams::timeout to accept partial results",
+                outcome.failed_shards
+            )));
+        }
+        Ok(outcome.hits)
     }
 }
 
@@ -430,6 +539,107 @@ mod tests {
         assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
         let ids: std::collections::HashSet<_> = hits.iter().map(|n| n.id).collect();
         assert_eq!(ids.len(), hits.len());
+    }
+
+    #[test]
+    fn downed_shard_degrades_to_partial_under_timeout() {
+        let (data, queries, _) = setup();
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(2),
+            &*flat_builder(),
+        )
+        .unwrap();
+        d.set_replica_up(0, 0, false);
+        // No timeout: a dead shard fails the query (no silent partials).
+        let strict = SearchParams::default();
+        assert!(d.search(queries.get(0), 5, &strict).is_err());
+        // With a timeout: partial result, failed shard recorded.
+        let lenient = SearchParams::default().with_timeout(std::time::Duration::from_millis(500));
+        let outcome = d.search_outcome(queries.get(0), 5, &lenient).unwrap();
+        assert!(outcome.partial);
+        assert_eq!(outcome.failed_shards, vec![0]);
+        assert_eq!(outcome.hits.len(), 5, "surviving shard still answers");
+        let hits = d.search(queries.get(0), 5, &lenient).unwrap();
+        assert_eq!(hits, outcome.hits);
+        // Healthy deployment under a timeout is not partial.
+        d.set_replica_up(0, 0, true);
+        let outcome = d.search_outcome(queries.get(0), 5, &lenient).unwrap();
+        assert!(!outcome.partial && outcome.failed_shards.is_empty());
+    }
+
+    /// A `VectorIndex` that answers correctly but slowly — the in-process
+    /// stand-in for a hung remote shard.
+    struct SlowIndex {
+        inner: FlatIndex,
+        delay: std::time::Duration,
+    }
+
+    impl VectorIndex for SlowIndex {
+        fn name(&self) -> &'static str {
+            "slow_flat"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn metric(&self) -> &Metric {
+            self.inner.metric()
+        }
+        fn search_with(
+            &self,
+            ctx: &mut vdb_core::context::SearchContext,
+            query: &[f32],
+            k: usize,
+            params: &SearchParams,
+        ) -> Result<Vec<Neighbor>> {
+            std::thread::sleep(self.delay);
+            self.inner.search_with(ctx, query, k, params)
+        }
+    }
+
+    #[test]
+    fn slow_shard_misses_deadline_and_result_is_partial() {
+        let (data, queries, _) = setup();
+        let slow_shard = std::sync::atomic::AtomicUsize::new(0);
+        let builder = move |v: Vectors, m: Metric| {
+            let job = slow_shard.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let inner = FlatIndex::build(v, m)?;
+            if job == 0 {
+                Ok(Box::new(SlowIndex {
+                    inner,
+                    delay: std::time::Duration::from_millis(400),
+                }) as Box<dyn VectorIndex>)
+            } else {
+                Ok(Box::new(inner) as Box<dyn VectorIndex>)
+            }
+        };
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(2),
+            &builder,
+        )
+        .unwrap();
+        let params = SearchParams::default().with_timeout(std::time::Duration::from_millis(60));
+        let start = std::time::Instant::now();
+        let outcome = d.search_outcome(queries.get(1), 5, &params).unwrap();
+        let elapsed = start.elapsed();
+        assert!(outcome.partial, "slow shard should miss the deadline");
+        assert_eq!(outcome.failed_shards.len(), 1);
+        assert_eq!(outcome.hits.len(), 5);
+        assert!(
+            elapsed < std::time::Duration::from_millis(350),
+            "gather must not wait for the straggler ({elapsed:?})"
+        );
+        // Without a deadline the same query waits and completes fully.
+        let outcome = d
+            .search_outcome(queries.get(1), 5, &SearchParams::default())
+            .unwrap();
+        assert!(!outcome.partial);
     }
 
     #[test]

@@ -7,16 +7,26 @@
 //! - [`partition`] — uniform (equal) and index-guided (k-means-aligned)
 //!   shard placement with query routing,
 //! - [`cluster`] — the sharded deployment: per-shard indexes, replica
-//!   failover, scoped-thread scatter, global top-k gather.
+//!   failover, detached-thread scatter with per-query deadlines, global
+//!   top-k gather with partial-result degradation,
+//! - [`wire`] — the length-prefixed, CRC-framed binary transport shared
+//!   with `vdb-server`,
+//! - [`remote`] — socket-backed shards: [`serve_index`] serves any
+//!   index over TCP and the [`RemoteShard`] client plugs into
+//!   [`DistributedIndex`] as a replica, turning the in-process cluster
+//!   into a networked one.
 //!
-//! Shards are in-process; the network is out of scope (see the
-//! substitution table in DESIGN.md).
+//! Shards may be in-process (the default builders) or remote over TCP
+//! (loopback in tests); DESIGN.md §10 documents the serving stack.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod partition;
+pub mod remote;
+pub mod wire;
 
-pub use cluster::{DistributedConfig, DistributedIndex, IndexBuilder};
+pub use cluster::{DistributedConfig, DistributedIndex, IndexBuilder, ScatterOutcome};
 pub use partition::{partition, PartitionPolicy, Partitioning};
+pub use remote::{serve_index, RemoteShard, RemoteShardConfig, ShardHandle};

@@ -1,0 +1,586 @@
+//! Socket-backed shards: a tiny shard-level wire protocol, a loopback
+//! [`ShardServer`] that serves any [`VectorIndex`] over TCP, and the
+//! [`RemoteShard`] client that *is* a [`VectorIndex`] — so a
+//! [`crate::DistributedIndex`] whose builder returns `RemoteShard`s runs
+//! its scatter-gather over real sockets instead of in-process calls.
+//!
+//! The protocol is deliberately minimal (the full query surface lives in
+//! `vdb-server`): a shard answers k-NN searches over its local rows plus
+//! an `Info` handshake. Frames use [`crate::wire`]; a request is one
+//! frame, the answer is one frame, and a connection carries any number of
+//! request/response pairs. Local row ids travel as `u64`; the owning
+//! [`crate::DistributedIndex`] translates them to global ids exactly as
+//! it does for in-process shards.
+//!
+//! Failure semantics match what the cluster layer needs for failover:
+//! every transport error surfaces as `Err`, a read deadline comes from
+//! `SearchParams::timeout` (falling back to the client's configured
+//! timeout), and a [`RemoteShard`] whose server died keeps failing fast
+//! (dial timeout) rather than hanging — the scatter layer then fails over
+//! to a replica or degrades to a partial result.
+
+use crate::wire::{self, Reader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vdb_core::context::SearchContext;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{IndexStats, SearchParams, VectorIndex};
+use vdb_core::metric::Metric;
+use vdb_core::sync::Mutex;
+use vdb_core::topk::Neighbor;
+
+const OP_SEARCH: u8 = 1;
+const OP_INFO: u8 = 2;
+const RESP_NEIGHBORS: u8 = 0x81;
+const RESP_INFO: u8 = 0x82;
+const RESP_ERR: u8 = 0xEE;
+
+/// Knobs of the [`RemoteShard`] transport.
+#[derive(Debug, Clone)]
+pub struct RemoteShardConfig {
+    /// TCP connect timeout per dial attempt.
+    pub connect_timeout: Duration,
+    /// Dial attempts before a connect error is returned.
+    pub connect_retries: u32,
+    /// Backoff after the first failed dial; doubles per retry.
+    pub connect_backoff: Duration,
+    /// Socket read deadline used when `SearchParams::timeout` is unset.
+    pub read_timeout: Duration,
+}
+
+impl Default for RemoteShardConfig {
+    fn default() -> Self {
+        RemoteShardConfig {
+            connect_timeout: Duration::from_millis(500),
+            connect_retries: 3,
+            connect_backoff: Duration::from_millis(10),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+fn dial(addr: &SocketAddr, cfg: &RemoteShardConfig) -> Result<TcpStream> {
+    let mut backoff = cfg.connect_backoff;
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..cfg.connect_retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(Error::Io(last.expect("at least one dial attempt")))
+}
+
+/// One request/response exchange on an open shard connection.
+fn exchange(conn: &mut TcpStream, request: &[u8], read_timeout: Duration) -> Result<Vec<u8>> {
+    conn.set_read_timeout(Some(read_timeout)).ok();
+    wire::write_frame(conn, request)?;
+    wire::read_frame(conn, wire::MAX_FRAME)?.ok_or_else(|| {
+        Error::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "shard closed connection",
+        ))
+    })
+}
+
+/// A [`VectorIndex`] whose search executes on a remote [`ShardServer`]
+/// over TCP. Connections are pooled per shard; concurrent searchers each
+/// check out (or dial) their own connection.
+pub struct RemoteShard {
+    addr: SocketAddr,
+    cfg: RemoteShardConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    len: usize,
+    dim: usize,
+    metric: Metric,
+}
+
+impl RemoteShard {
+    /// Connect to a shard server and run the `Info` handshake.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: RemoteShardConfig) -> Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::InvalidParameter("shard address resolves to nothing".into()))?;
+        let mut conn = dial(&addr, &cfg)?;
+        let reply = exchange(&mut conn, &[OP_INFO], cfg.read_timeout)?;
+        let mut r = Reader::new(&reply);
+        match r.u8()? {
+            RESP_INFO => {}
+            RESP_ERR => {
+                return Err(Error::Unsupported(format!(
+                    "shard info failed: {}",
+                    r.str()?
+                )))
+            }
+            tag => {
+                return Err(Error::Corrupt(format!(
+                    "unexpected shard reply tag {tag:#x}"
+                )))
+            }
+        }
+        let len = r.u64()? as usize;
+        let dim = r.u32()? as usize;
+        // Advisory: distances are computed server-side; an exotic metric
+        // name (e.g. parameterized Minkowski) degrades to Euclidean here.
+        let metric = Metric::parse(&r.str()?).unwrap_or(Metric::Euclidean);
+        r.finish()?;
+        Ok(RemoteShard {
+            addr,
+            cfg,
+            pool: Mutex::new(vec![conn]),
+            len,
+            dim,
+            metric,
+        })
+    }
+
+    /// The server address this shard talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn checkout(&self) -> Result<TcpStream> {
+        if let Some(conn) = self.pool.lock().pop() {
+            return Ok(conn);
+        }
+        dial(&self.addr, &self.cfg)
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < 8 {
+            pool.push(conn);
+        }
+    }
+
+    fn search_once(
+        &self,
+        conn: &mut TcpStream,
+        request: &[u8],
+        read_timeout: Duration,
+    ) -> Result<Vec<Neighbor>> {
+        let reply = exchange(conn, request, read_timeout)?;
+        let mut r = Reader::new(&reply);
+        match r.u8()? {
+            RESP_NEIGHBORS => {}
+            RESP_ERR => return Err(Error::Unsupported(format!("shard error: {}", r.str()?))),
+            tag => {
+                return Err(Error::Corrupt(format!(
+                    "unexpected shard reply tag {tag:#x}"
+                )))
+            }
+        }
+        let n = r.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let id = r.u64()? as usize;
+            let dist = r.f32()?;
+            out.push(Neighbor::new(id, dist));
+        }
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RemoteShard({}, n={}, dim={})",
+            self.addr, self.len, self.dim
+        )
+    }
+}
+
+impl VectorIndex for RemoteShard {
+    fn name(&self) -> &'static str {
+        "remote_shard"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
+    /// Ship the query to the shard server. `ctx` is unused — the scratch
+    /// lives on the server side, in the serving thread's context.
+    fn search_with(
+        &self,
+        _ctx: &mut SearchContext,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>> {
+        let mut request = Vec::with_capacity(16 + 4 * query.len() + 32);
+        wire::put_u8(&mut request, OP_SEARCH);
+        wire::put_vec_f32(&mut request, query);
+        wire::put_u32(&mut request, k as u32);
+        wire::put_search_params(&mut request, params);
+        let read_timeout = params.timeout.unwrap_or(self.cfg.read_timeout);
+        let mut conn = self.checkout()?;
+        match self.search_once(&mut conn, &request, read_timeout) {
+            Ok(hits) => {
+                self.checkin(conn);
+                Ok(hits)
+            }
+            Err(first) => {
+                // A pooled connection may be stale (server restarted, idle
+                // RST). Retry exactly once on a fresh dial; a second
+                // failure is the shard's answer.
+                drop(conn);
+                let mut conn = dial(&self.addr, &self.cfg).map_err(|_| first)?;
+                let hits = self.search_once(&mut conn, &request, read_timeout)?;
+                self.checkin(conn);
+                Ok(hits)
+            }
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            memory_bytes: 0,
+            structure_entries: 0,
+            detail: format!("remote addr={}", self.addr),
+        }
+    }
+}
+
+/// Handle to a running [`ShardServer`]: address for clients, graceful
+/// shutdown, and served-request accounting.
+pub struct ShardHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// The bound address (loopback + ephemeral port under tests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered since the server started.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, close the listener, and join the accept loop.
+    /// Open connections finish their in-flight request and then close on
+    /// the next read (the per-connection threads watch the stop flag).
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+
+    fn stop_accepting(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)).ok();
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+            if let Some(t) = self.accept_thread.take() {
+                t.join().ok();
+            }
+        }
+    }
+}
+
+/// Serve `index` over TCP. Binds `addr` (use `127.0.0.1:0` for an
+/// ephemeral loopback port) and answers each connection on its own
+/// thread; the per-thread search context makes repeated searches on one
+/// connection allocation-free after warmup.
+pub fn serve_index(index: Arc<dyn VectorIndex>, addr: impl ToSocketAddrs) -> Result<ShardHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let accept_stop = stop.clone();
+    let accept_served = served.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("shard-accept".into())
+        .spawn(move || {
+            let mut conn_threads = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                let index = index.clone();
+                let stop = accept_stop.clone();
+                let served = accept_served.clone();
+                conn_threads.push(std::thread::spawn(move || {
+                    serve_connection(stream, index, stop, served);
+                }));
+            }
+            drop(listener);
+            for t in conn_threads {
+                t.join().ok();
+            }
+        })
+        .expect("spawn shard accept thread");
+    Ok(ShardHandle {
+        addr,
+        stop,
+        served,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    index: Arc<dyn VectorIndex>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let idle = Duration::from_millis(50);
+    let frame_timeout = Duration::from_secs(5);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload =
+            match wire::read_server_frame(&mut stream, idle, frame_timeout, wire::MAX_FRAME) {
+                Ok(wire::ServerRead::Frame(p)) => p,
+                Ok(wire::ServerRead::Idle) => continue,
+                Ok(wire::ServerRead::Closed) => return,
+                Err(Error::Corrupt(msg)) => {
+                    // Framing is lost: answer once, then drop the connection.
+                    let mut reply = Vec::new();
+                    wire::put_u8(&mut reply, RESP_ERR);
+                    wire::put_str(&mut reply, &msg);
+                    wire::write_frame(&mut stream, &reply).ok();
+                    return;
+                }
+                Err(_) => return,
+            };
+        let reply = handle_request(&payload, index.as_ref());
+        served.fetch_add(1, Ordering::Relaxed);
+        if wire::write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(payload: &[u8], index: &dyn VectorIndex) -> Vec<u8> {
+    match try_handle(payload, index) {
+        Ok(reply) => reply,
+        Err(e) => {
+            let mut reply = Vec::new();
+            wire::put_u8(&mut reply, RESP_ERR);
+            wire::put_str(&mut reply, &e.to_string());
+            reply
+        }
+    }
+}
+
+fn try_handle(payload: &[u8], index: &dyn VectorIndex) -> Result<Vec<u8>> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        OP_SEARCH => {
+            let query = r.vec_f32()?;
+            let k = r.u32()? as usize;
+            let params = wire::read_search_params(&mut r)?;
+            r.finish()?;
+            let hits = index.search(&query, k, &params)?;
+            let mut reply = Vec::with_capacity(5 + 12 * hits.len());
+            wire::put_u8(&mut reply, RESP_NEIGHBORS);
+            wire::put_u32(&mut reply, hits.len() as u32);
+            for h in &hits {
+                wire::put_u64(&mut reply, h.id as u64);
+                wire::put_f32(&mut reply, h.dist);
+            }
+            Ok(reply)
+        }
+        OP_INFO => {
+            r.finish()?;
+            let mut reply = Vec::new();
+            wire::put_u8(&mut reply, RESP_INFO);
+            wire::put_u64(&mut reply, index.len() as u64);
+            wire::put_u32(&mut reply, index.dim() as u32);
+            wire::put_str(&mut reply, index.metric().name());
+            Ok(reply)
+        }
+        op => Err(Error::Corrupt(format!("unknown shard opcode {op:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_core::dataset;
+    use vdb_core::flat::FlatIndex;
+    use vdb_core::rng::Rng;
+
+    fn flat_fixture(n: usize) -> Arc<dyn VectorIndex> {
+        let mut rng = Rng::seed_from_u64(9);
+        let data = dataset::gaussian(n, 8, &mut rng);
+        Arc::new(FlatIndex::build(data, Metric::Euclidean).unwrap())
+    }
+
+    #[test]
+    fn remote_shard_matches_local_index() {
+        let index = flat_fixture(500);
+        let server = serve_index(index.clone(), "127.0.0.1:0").unwrap();
+        let remote = RemoteShard::connect(server.addr(), RemoteShardConfig::default()).unwrap();
+        assert_eq!(remote.len(), 500);
+        assert_eq!(remote.dim(), 8);
+        let mut rng = Rng::seed_from_u64(10);
+        let queries = dataset::gaussian(10, 8, &mut rng);
+        let params = SearchParams::default();
+        for q in queries.iter() {
+            let local = index.search(q, 7, &params).unwrap();
+            let over_wire = remote.search(q, 7, &params).unwrap();
+            assert_eq!(local, over_wire);
+        }
+        assert!(server.served() >= 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pooled_connection_survives_reuse_and_concurrency() {
+        let index = flat_fixture(300);
+        let server = serve_index(index, "127.0.0.1:0").unwrap();
+        let remote =
+            Arc::new(RemoteShard::connect(server.addr(), RemoteShardConfig::default()).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let remote = remote.clone();
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(20 + t);
+                    let queries = dataset::gaussian(25, 8, &mut rng);
+                    for q in queries.iter() {
+                        let hits = remote.search(q, 3, &SearchParams::default()).unwrap();
+                        assert_eq!(hits.len(), 3);
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_server_fails_fast_not_forever() {
+        let index = flat_fixture(100);
+        let server = serve_index(index, "127.0.0.1:0").unwrap();
+        let cfg = RemoteShardConfig {
+            connect_retries: 1,
+            connect_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let remote = RemoteShard::connect(server.addr(), cfg).unwrap();
+        server.shutdown();
+        // Drain the (now dead) pooled connection and the redial.
+        let params = SearchParams::default().with_timeout(Duration::from_millis(300));
+        let start = std::time::Instant::now();
+        let res = remote.search(&[0.0; 8], 3, &params);
+        assert!(res.is_err(), "search against a dead shard must fail");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "failure must be fast, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn networked_cluster_scatter_gather_and_killed_shard_partial() {
+        use crate::{DistributedConfig, DistributedIndex};
+        let mut rng = Rng::seed_from_u64(77);
+        let data = dataset::gaussian(900, 6, &mut rng);
+        let queries = dataset::gaussian(8, 6, &mut rng);
+        // Builder: build the shard index locally, serve it on loopback,
+        // hand the cluster a RemoteShard client as the replica.
+        let handles: Arc<Mutex<Vec<ShardHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let builder_handles = handles.clone();
+        let builder = move |v: vdb_core::vector::Vectors, m: Metric| {
+            let idx: Arc<dyn VectorIndex> = Arc::new(FlatIndex::build(v, m)?);
+            let handle = serve_index(idx, "127.0.0.1:0")?;
+            let remote = RemoteShard::connect(
+                handle.addr(),
+                RemoteShardConfig {
+                    connect_retries: 2,
+                    connect_timeout: Duration::from_millis(200),
+                    connect_backoff: Duration::from_millis(5),
+                    ..Default::default()
+                },
+            )?;
+            builder_handles.lock().push(handle);
+            Ok(Box::new(remote) as Box<dyn VectorIndex>)
+        };
+        let d = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            DistributedConfig::uniform(3),
+            &builder,
+        )
+        .unwrap();
+        // Socket-backed exact shards = exact global results.
+        let local = FlatIndex::build(data.clone(), Metric::Euclidean).unwrap();
+        let params = SearchParams::default().with_timeout(Duration::from_secs(2));
+        for q in queries.iter() {
+            let want = local.search(q, 5, &SearchParams::default()).unwrap();
+            let got = d.search(q, 5, &params).unwrap();
+            assert_eq!(want, got);
+        }
+        // Kill shard 0's server: the scatter degrades to a partial result
+        // within the deadline instead of hanging.
+        handles.lock().remove(0).shutdown();
+        let lenient = SearchParams::default().with_timeout(Duration::from_millis(800));
+        let start = std::time::Instant::now();
+        let outcome = d.search_outcome(queries.get(0), 5, &lenient).unwrap();
+        assert!(outcome.partial, "killed shard must yield a partial result");
+        assert_eq!(outcome.failed_shards.len(), 1);
+        assert_eq!(outcome.hits.len(), 5);
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "partial result must arrive within the deadline envelope ({:?})",
+            start.elapsed()
+        );
+        for h in handles.lock().drain(..) {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_protocol_error() {
+        let index = flat_fixture(50);
+        let server = serve_index(index, "127.0.0.1:0").unwrap();
+        let mut conn =
+            TcpStream::connect_timeout(&server.addr(), Duration::from_millis(500)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        wire::write_frame(&mut conn, &[0x7F, 1, 2, 3]).unwrap();
+        let reply = wire::read_frame(&mut conn, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let mut r = Reader::new(&reply);
+        assert_eq!(r.u8().unwrap(), RESP_ERR);
+        assert!(r.str().unwrap().contains("opcode"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,423 @@
+//! The blocking client: a connection-pooled, retrying counterpart to the
+//! server, exposing typed methods that return the same `vdb` types an
+//! in-process caller would get.
+//!
+//! One [`Client`] is safe to share across threads: concurrent callers
+//! each check out (or dial) their own pooled connection, so requests
+//! never serialize behind one socket. A pooled connection that went
+//! stale (server restart, idle reset) is retried exactly once on a
+//! fresh dial before the failure is surfaced.
+
+use crate::protocol::{Request, Response, ServerStatsSnapshot, WireCollectionStats};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use vdb::{SearchHit, VqlOutput};
+use vdb_core::attr::AttrValue;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::SearchParams;
+use vdb_core::sync::Mutex;
+use vdb_distributed::wire;
+
+/// Client-side transport knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout per dial attempt.
+    pub connect_timeout: Duration,
+    /// Dial attempts before `connect` gives up.
+    pub connect_retries: u32,
+    /// Initial backoff between dial attempts (doubles each retry).
+    pub connect_backoff: Duration,
+    /// Socket read timeout while waiting for a response (a search's own
+    /// [`SearchParams::timeout`] does not override this; it bounds the
+    /// server side).
+    pub read_timeout: Duration,
+    /// Cap on an accepted response frame.
+    pub max_frame: u32,
+    /// Connections kept warm in the pool.
+    pub pool_size: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            connect_retries: 3,
+            connect_backoff: Duration::from_millis(10),
+            read_timeout: Duration::from_secs(10),
+            max_frame: wire::MAX_FRAME,
+            pool_size: 8,
+        }
+    }
+}
+
+fn dial(addr: &SocketAddr, cfg: &ClientConfig) -> Result<TcpStream> {
+    let mut backoff = cfg.connect_backoff;
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..cfg.connect_retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                s.set_read_timeout(Some(cfg.read_timeout)).ok();
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(Error::Io(last.unwrap_or_else(|| {
+        std::io::Error::other("connect failed with no attempts")
+    })))
+}
+
+/// Blocking client for a [`crate::serve`]d database.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl Client {
+    /// Connect with default configuration and verify liveness with a
+    /// `Ping`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit configuration and verify liveness with a
+    /// `Ping`.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::InvalidParameter("server address resolves to nothing".into()))?;
+        let client = Client {
+            addr,
+            cfg,
+            pool: Mutex::new(Vec::new()),
+        };
+        client.ping()?;
+        Ok(client)
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn checkout(&self) -> Result<TcpStream> {
+        if let Some(conn) = self.pool.lock().pop() {
+            return Ok(conn);
+        }
+        dial(&self.addr, &self.cfg)
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.cfg.pool_size {
+            pool.push(conn);
+        }
+    }
+
+    fn call_once(&self, conn: &mut TcpStream, payload: &[u8]) -> Result<Response> {
+        wire::write_frame(conn, payload)?;
+        let reply = wire::read_frame(conn, self.cfg.max_frame)?
+            .ok_or_else(|| Error::Io(std::io::Error::other("server closed the connection")))?;
+        Response::decode(&reply)
+    }
+
+    /// Send one request and return the raw response (`Busy` and `Error`
+    /// included). The typed methods below convert those to [`Err`].
+    pub fn call(&self, request: &Request) -> Result<Response> {
+        let payload = request.encode();
+        let mut conn = self.checkout()?;
+        match self.call_once(&mut conn, &payload) {
+            Ok(resp) => {
+                self.checkin(conn);
+                Ok(resp)
+            }
+            Err(first) => {
+                // The pooled connection may be stale. Retry exactly once
+                // on a fresh dial; a second failure is the answer.
+                drop(conn);
+                let mut conn = dial(&self.addr, &self.cfg).map_err(|_| first)?;
+                let resp = self.call_once(&mut conn, &payload)?;
+                self.checkin(conn);
+                Ok(resp)
+            }
+        }
+    }
+
+    fn expect(&self, request: &Request) -> Result<Response> {
+        self.call(request)?.into_result()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<()> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Insert one entity.
+    pub fn insert(
+        &self,
+        collection: &str,
+        key: u64,
+        vector: &[f32],
+        attrs: &[(&str, AttrValue)],
+    ) -> Result<()> {
+        let req = Request::Insert {
+            collection: collection.into(),
+            key,
+            vector: vector.to_vec(),
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        };
+        match self.expect(&req)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Delete an entity by key.
+    pub fn delete(&self, collection: &str, key: u64) -> Result<()> {
+        let req = Request::Delete {
+            collection: collection.into(),
+            key,
+        };
+        match self.expect(&req)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Single k-NN search.
+    pub fn search(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
+        let req = Request::Search {
+            collection: collection.into(),
+            k: k as u32,
+            params: params.clone(),
+            query: query.to_vec(),
+        };
+        match self.expect(&req)? {
+            Response::Hits(hits) => Ok(hits),
+            other => Err(unexpected("Hits", &other)),
+        }
+    }
+
+    /// Batched k-NN search (one round trip, one warm context server-side).
+    pub fn search_batch(
+        &self,
+        collection: &str,
+        queries: &[&[f32]],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        let req = Request::SearchBatch {
+            collection: collection.into(),
+            k: k as u32,
+            params: params.clone(),
+            queries: queries.iter().map(|q| q.to_vec()).collect(),
+        };
+        match self.expect(&req)? {
+            Response::HitsBatch(lists) => Ok(lists),
+            other => Err(unexpected("HitsBatch", &other)),
+        }
+    }
+
+    /// Execute one VQL statement on the server.
+    pub fn vql(&self, statement: &str) -> Result<VqlOutput> {
+        let req = Request::Vql {
+            statement: statement.into(),
+        };
+        Ok(match self.expect(&req)? {
+            Response::Hits(hits) => VqlOutput::Hits(hits),
+            Response::Count(n) => VqlOutput::Count(n as usize),
+            Response::Done => VqlOutput::Done,
+            other => return Err(unexpected("Hits/Count/Done", &other)),
+        })
+    }
+
+    /// Durably checkpoint one collection, or every durable collection
+    /// when `collection` is empty.
+    pub fn checkpoint(&self, collection: &str) -> Result<()> {
+        let req = Request::Checkpoint {
+            collection: collection.into(),
+        };
+        match self.expect(&req)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Collection counters.
+    pub fn stats(&self, collection: &str) -> Result<WireCollectionStats> {
+        let req = Request::Stats {
+            collection: collection.into(),
+        };
+        match self.expect(&req)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Serving counters.
+    pub fn server_stats(&self) -> Result<ServerStatsSnapshot> {
+        match self.expect(&Request::ServerStats)? {
+            Response::ServerStats(s) => Ok(s),
+            other => Err(unexpected("ServerStats", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully. The server acknowledges
+    /// first and drains afterwards, so this returns once the request is
+    /// accepted, not once the server exits.
+    pub fn shutdown_server(&self) -> Result<()> {
+        match self.expect(&Request::Shutdown)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    Error::Corrupt(format!("expected {wanted} response, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServerConfig};
+    use std::sync::Arc;
+    use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms};
+    use vdb_core::metric::Metric;
+
+    fn fixture_db(n: usize) -> Vdbms {
+        let mut db = Vdbms::new(SystemProfile::MostlyVector);
+        db.create_collection(
+            CollectionSchema::new("docs", 3, Metric::Euclidean)
+                .column("tag", vdb_core::attr::AttrType::Int),
+            IndexSpec::Flat,
+        )
+        .unwrap();
+        for i in 0..n as u64 {
+            db.collection_mut("docs")
+                .unwrap()
+                .insert(i, &[i as f32, 0.0, 0.0], &[])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn typed_client_roundtrip() {
+        let handle = serve(fixture_db(16), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        client
+            .insert(
+                "docs",
+                100,
+                &[50.0, 0.0, 0.0],
+                &[("tag", AttrValue::Int(1))],
+            )
+            .unwrap();
+        let hits = client
+            .search("docs", &[50.1, 0.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
+        assert_eq!(hits[0].key, 100);
+        client.delete("docs", 100).unwrap();
+        let hits = client
+            .search("docs", &[50.1, 0.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
+        assert_ne!(hits[0].key, 100);
+        let lists = client
+            .search_batch(
+                "docs",
+                &[&[0.1, 0.0, 0.0], &[7.9, 0.0, 0.0]],
+                2,
+                &SearchParams::default(),
+            )
+            .unwrap();
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0][0].key, 0);
+        assert_eq!(lists[1][0].key, 8);
+        match client.vql("COUNT docs").unwrap() {
+            VqlOutput::Count(n) => assert_eq!(n, 16),
+            other => panic!("expected count, got {other:?}"),
+        }
+        let stats = client.stats("docs").unwrap();
+        assert_eq!(stats.live, 16);
+        let sstats = client.server_stats().unwrap();
+        assert!(sstats.served >= 7);
+        assert!(client
+            .search("ghosts", &[0.0; 3], 1, &SearchParams::default())
+            .is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_is_shareable_across_threads() {
+        let handle = serve(fixture_db(64), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Arc::new(Client::connect(handle.addr()).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let client = client.clone();
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let target = (t * 16 + i) % 64;
+                        let hits = client
+                            .search(
+                                "docs",
+                                &[target as f32 + 0.2, 0.0, 0.0],
+                                1,
+                                &SearchParams::default(),
+                            )
+                            .unwrap();
+                        assert_eq!(hits[0].key, target);
+                    }
+                });
+            }
+        });
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dead_server_fails_fast() {
+        let handle = serve(fixture_db(4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::connect_with(
+            handle.addr(),
+            ClientConfig {
+                connect_timeout: Duration::from_millis(200),
+                connect_retries: 2,
+                connect_backoff: Duration::from_millis(5),
+                read_timeout: Duration::from_millis(500),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        let start = std::time::Instant::now();
+        let res = client.search("docs", &[0.0; 3], 1, &SearchParams::default());
+        assert!(res.is_err(), "search against a dead server must fail");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "failure must be fast, took {:?}",
+            start.elapsed()
+        );
+        let _ = addr;
+    }
+}

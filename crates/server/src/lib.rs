@@ -1,0 +1,41 @@
+//! Network serving layer for vectordb-rs.
+//!
+//! Everything here is `std`-only: the transport is the length-prefixed,
+//! CRC-framed binary protocol of [`vdb_distributed::wire`], carried over
+//! `std::net` TCP.
+//!
+//! - [`protocol`] — typed [`Request`]/[`Response`] messages and their
+//!   wire codec (one opcode byte + little-endian body per frame).
+//! - [`server`] — [`serve`] a [`vdb::Vdbms`] on a socket: thread-pool
+//!   executors behind a bounded queue, admission control that sheds
+//!   load with an explicit [`Response::Busy`], per-request deadlines,
+//!   opportunistic coalescing of concurrent single-query searches into
+//!   batched calls, and graceful drain-then-stop shutdown.
+//! - [`client`] — the blocking [`Client`]: connection pool, retrying
+//!   connect with backoff, read timeouts, and typed methods returning
+//!   ordinary `vdb` values.
+//!
+//! ```no_run
+//! use vdb_server::{serve, Client, ServerConfig};
+//! use vdb_core::index::SearchParams;
+//! # use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms};
+//! # use vdb_core::metric::Metric;
+//! # let mut db = Vdbms::new(SystemProfile::MostlyVector);
+//! # db.create_collection(CollectionSchema::new("docs", 3, Metric::Euclidean), IndexSpec::Flat).unwrap();
+//! let handle = serve(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let client = Client::connect(handle.addr()).unwrap();
+//! client.insert("docs", 1, &[0.1, 0.2, 0.3], &[]).unwrap();
+//! let hits = client.search("docs", &[0.1, 0.2, 0.3], 5, &SearchParams::default()).unwrap();
+//! let db = handle.shutdown(); // graceful: drains in-flight requests
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientConfig};
+pub use protocol::{ErrorCode, Request, Response, ServerStatsSnapshot, WireCollectionStats};
+pub use server::{serve, ServerConfig, ServerHandle};

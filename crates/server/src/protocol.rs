@@ -1,0 +1,685 @@
+//! The vdb wire protocol: typed request/response messages over the
+//! CRC-framed transport of [`vdb_distributed::wire`].
+//!
+//! A message is one frame; the first payload byte is the opcode, the
+//! rest is the opcode's little-endian body. Every decode failure maps to
+//! [`Error::Corrupt`], which the server answers with a
+//! [`Response::Error`] of code [`ErrorCode::Protocol`] — a malformed
+//! client gets a diagnosable reply, not a dropped connection mid-frame.
+//!
+//! | opcode | message | body |
+//! |--------|---------|------|
+//! | `0x01` | `Ping` | — |
+//! | `0x02` | `Insert` | collection, key u64, vector, attrs |
+//! | `0x03` | `Delete` | collection, key u64 |
+//! | `0x04` | `Search` | collection, k u32, params, query |
+//! | `0x05` | `SearchBatch` | collection, k u32, params, queries |
+//! | `0x06` | `Vql` | statement |
+//! | `0x07` | `Checkpoint` | collection ("" = all durable) |
+//! | `0x08` | `Stats` | collection |
+//! | `0x09` | `ServerStats` | — |
+//! | `0x0A` | `Shutdown` | — |
+//! | `0x81` | `Pong` | — |
+//! | `0x82` | `Done` | — |
+//! | `0x83` | `Hits` | (key u64, dist f32)* |
+//! | `0x84` | `HitsBatch` | hits-list* |
+//! | `0x85` | `Count` | u64 |
+//! | `0x86` | `Stats` | live, indexed, buffered, merges, index name |
+//! | `0x87` | `ServerStats` | serving counters |
+//! | `0x8E` | `Busy` | — (admission control shed this request) |
+//! | `0x8F` | `Error` | code u8, message |
+
+use vdb::SearchHit;
+use vdb_core::attr::AttrValue;
+use vdb_core::error::{Error, Result};
+use vdb_core::index::SearchParams;
+use vdb_distributed::wire::{self, Reader};
+
+const OP_PING: u8 = 0x01;
+const OP_INSERT: u8 = 0x02;
+const OP_DELETE: u8 = 0x03;
+const OP_SEARCH: u8 = 0x04;
+const OP_SEARCH_BATCH: u8 = 0x05;
+const OP_VQL: u8 = 0x06;
+const OP_CHECKPOINT: u8 = 0x07;
+const OP_STATS: u8 = 0x08;
+const OP_SERVER_STATS: u8 = 0x09;
+const OP_SHUTDOWN: u8 = 0x0A;
+
+const RE_PONG: u8 = 0x81;
+const RE_DONE: u8 = 0x82;
+const RE_HITS: u8 = 0x83;
+const RE_HITS_BATCH: u8 = 0x84;
+const RE_COUNT: u8 = 0x85;
+const RE_STATS: u8 = 0x86;
+const RE_SERVER_STATS: u8 = 0x87;
+const RE_BUSY: u8 = 0x8E;
+const RE_ERROR: u8 = 0x8F;
+
+const ATTR_NULL: u8 = 0;
+const ATTR_INT: u8 = 1;
+const ATTR_FLOAT: u8 = 2;
+const ATTR_STR: u8 = 3;
+const ATTR_BOOL: u8 = 4;
+
+/// Machine-readable failure class carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed frame or message (CRC mismatch, bad opcode, torn body).
+    Protocol = 1,
+    /// Referenced collection/key does not exist.
+    NotFound = 2,
+    /// Invalid request (dimension mismatch, bad parameter, VQL parse).
+    Invalid = 3,
+    /// The request sat past its deadline before a worker picked it up.
+    Deadline = 4,
+    /// The server is shutting down and no longer accepts requests.
+    Shutdown = 5,
+    /// Everything else (I/O, internal invariants).
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::Invalid,
+            4 => ErrorCode::Deadline,
+            5 => ErrorCode::Shutdown,
+            6 => ErrorCode::Internal,
+            other => return Err(Error::Corrupt(format!("unknown error code {other}"))),
+        })
+    }
+
+    /// Classify a server-side [`Error`] for the wire.
+    pub fn classify(e: &Error) -> ErrorCode {
+        match e {
+            Error::Corrupt(_) => ErrorCode::Protocol,
+            Error::NotFound(_) => ErrorCode::NotFound,
+            Error::DimensionMismatch { .. }
+            | Error::NonFiniteVector { .. }
+            | Error::InvalidParameter(_)
+            | Error::InvalidQuery(_)
+            | Error::Parse(_)
+            | Error::AlreadyExists(_)
+            | Error::EmptyCollection => ErrorCode::Invalid,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// Collection counters as they travel over the wire (the in-process
+/// [`vdb::CollectionStats`] holds a `&'static str` index name, which a
+/// remote peer cannot reconstruct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCollectionStats {
+    /// Live entities.
+    pub live: u64,
+    /// Rows covered by the main index.
+    pub indexed: u64,
+    /// Rows waiting in the update buffer.
+    pub buffered: u64,
+    /// Merges (index rebuilds) performed.
+    pub merges: u64,
+    /// Main index name ("none" before the first merge).
+    pub index_name: String,
+}
+
+/// Serving counters reported by [`Request::ServerStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Requests answered (all kinds, including errors; excludes BUSY).
+    pub served: u64,
+    /// Executor batches that coalesced more than one search.
+    pub batches: u64,
+    /// Searches that rode along in someone else's batch.
+    pub coalesced: u64,
+    /// Requests shed with BUSY by admission control.
+    pub busy: u64,
+    /// Frames/messages rejected as malformed.
+    pub protocol_errors: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline by the connection thread.
+    Ping,
+    /// Insert one entity into a collection.
+    Insert {
+        /// Target collection.
+        collection: String,
+        /// Caller-assigned entity key.
+        key: u64,
+        /// The vector (must match the collection dimension).
+        vector: Vec<f32>,
+        /// Attribute values for hybrid predicates.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Delete an entity by key.
+    Delete {
+        /// Target collection.
+        collection: String,
+        /// Entity key to tombstone.
+        key: u64,
+    },
+    /// Single k-NN search.
+    Search {
+        /// Target collection.
+        collection: String,
+        /// Result size.
+        k: u32,
+        /// Search-time knobs (timeout travels too).
+        params: SearchParams,
+        /// The query vector.
+        query: Vec<f32>,
+    },
+    /// Batched k-NN search (client-side batching).
+    SearchBatch {
+        /// Target collection.
+        collection: String,
+        /// Result size per query.
+        k: u32,
+        /// Search-time knobs shared by the whole batch.
+        params: SearchParams,
+        /// The query vectors.
+        queries: Vec<Vec<f32>>,
+    },
+    /// Execute one VQL statement (INSERT/DELETE/SEARCH/COUNT over the
+    /// wire).
+    Vql {
+        /// The statement text.
+        statement: String,
+    },
+    /// Durably checkpoint one collection, or every durable collection
+    /// when `collection` is empty.
+    Checkpoint {
+        /// Collection name, or "" for all.
+        collection: String,
+    },
+    /// Collection counters.
+    Stats {
+        /// Target collection.
+        collection: String,
+    },
+    /// Serving counters.
+    ServerStats,
+    /// Ask the server to shut down gracefully (drain, then stop).
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// DML acknowledged.
+    Done,
+    /// Search hits (key + distance).
+    Hits(Vec<SearchHit>),
+    /// One hits list per batched query, in order.
+    HitsBatch(Vec<Vec<SearchHit>>),
+    /// Row count.
+    Count(u64),
+    /// Collection counters.
+    Stats(WireCollectionStats),
+    /// Serving counters.
+    ServerStats(ServerStatsSnapshot),
+    /// Admission control shed this request; back off and retry.
+    Busy,
+    /// The request failed.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_attr(out: &mut Vec<u8>, v: &AttrValue) {
+    match v {
+        AttrValue::Null => wire::put_u8(out, ATTR_NULL),
+        AttrValue::Int(i) => {
+            wire::put_u8(out, ATTR_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        AttrValue::Float(x) => {
+            wire::put_u8(out, ATTR_FLOAT);
+            wire::put_f64(out, *x);
+        }
+        AttrValue::Str(s) => {
+            wire::put_u8(out, ATTR_STR);
+            wire::put_str(out, s);
+        }
+        AttrValue::Bool(b) => {
+            wire::put_u8(out, ATTR_BOOL);
+            wire::put_u8(out, *b as u8);
+        }
+    }
+}
+
+fn read_attr(r: &mut Reader<'_>) -> Result<AttrValue> {
+    Ok(match r.u8()? {
+        ATTR_NULL => AttrValue::Null,
+        ATTR_INT => AttrValue::Int(i64::from_le_bytes(r.take(8)?.try_into().expect("8"))),
+        ATTR_FLOAT => AttrValue::Float(r.f64()?),
+        ATTR_STR => AttrValue::Str(r.str()?),
+        ATTR_BOOL => AttrValue::Bool(r.u8()? != 0),
+        tag => return Err(Error::Corrupt(format!("unknown attr tag {tag}"))),
+    })
+}
+
+fn put_hits(out: &mut Vec<u8>, hits: &[SearchHit]) {
+    wire::put_u32(out, hits.len() as u32);
+    for h in hits {
+        wire::put_u64(out, h.key);
+        wire::put_f32(out, h.dist);
+    }
+}
+
+fn read_hits(r: &mut Reader<'_>) -> Result<Vec<SearchHit>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let key = r.u64()?;
+        let dist = r.f32()?;
+        out.push(SearchHit { key, dist });
+    }
+    Ok(out)
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => wire::put_u8(&mut out, OP_PING),
+            Request::Insert {
+                collection,
+                key,
+                vector,
+                attrs,
+            } => {
+                wire::put_u8(&mut out, OP_INSERT);
+                wire::put_str(&mut out, collection);
+                wire::put_u64(&mut out, *key);
+                wire::put_vec_f32(&mut out, vector);
+                wire::put_u32(&mut out, attrs.len() as u32);
+                for (name, value) in attrs {
+                    wire::put_str(&mut out, name);
+                    put_attr(&mut out, value);
+                }
+            }
+            Request::Delete { collection, key } => {
+                wire::put_u8(&mut out, OP_DELETE);
+                wire::put_str(&mut out, collection);
+                wire::put_u64(&mut out, *key);
+            }
+            Request::Search {
+                collection,
+                k,
+                params,
+                query,
+            } => {
+                wire::put_u8(&mut out, OP_SEARCH);
+                wire::put_str(&mut out, collection);
+                wire::put_u32(&mut out, *k);
+                wire::put_search_params(&mut out, params);
+                wire::put_vec_f32(&mut out, query);
+            }
+            Request::SearchBatch {
+                collection,
+                k,
+                params,
+                queries,
+            } => {
+                wire::put_u8(&mut out, OP_SEARCH_BATCH);
+                wire::put_str(&mut out, collection);
+                wire::put_u32(&mut out, *k);
+                wire::put_search_params(&mut out, params);
+                wire::put_u32(&mut out, queries.len() as u32);
+                for q in queries {
+                    wire::put_vec_f32(&mut out, q);
+                }
+            }
+            Request::Vql { statement } => {
+                wire::put_u8(&mut out, OP_VQL);
+                wire::put_str(&mut out, statement);
+            }
+            Request::Checkpoint { collection } => {
+                wire::put_u8(&mut out, OP_CHECKPOINT);
+                wire::put_str(&mut out, collection);
+            }
+            Request::Stats { collection } => {
+                wire::put_u8(&mut out, OP_STATS);
+                wire::put_str(&mut out, collection);
+            }
+            Request::ServerStats => wire::put_u8(&mut out, OP_SERVER_STATS),
+            Request::Shutdown => wire::put_u8(&mut out, OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            OP_PING => Request::Ping,
+            OP_INSERT => {
+                let collection = r.str()?;
+                let key = r.u64()?;
+                let vector = r.vec_f32()?;
+                let n = r.u32()? as usize;
+                let mut attrs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = r.str()?;
+                    let value = read_attr(&mut r)?;
+                    attrs.push((name, value));
+                }
+                Request::Insert {
+                    collection,
+                    key,
+                    vector,
+                    attrs,
+                }
+            }
+            OP_DELETE => Request::Delete {
+                collection: r.str()?,
+                key: r.u64()?,
+            },
+            OP_SEARCH => {
+                let collection = r.str()?;
+                let k = r.u32()?;
+                let params = wire::read_search_params(&mut r)?;
+                let query = r.vec_f32()?;
+                Request::Search {
+                    collection,
+                    k,
+                    params,
+                    query,
+                }
+            }
+            OP_SEARCH_BATCH => {
+                let collection = r.str()?;
+                let k = r.u32()?;
+                let params = wire::read_search_params(&mut r)?;
+                let n = r.u32()? as usize;
+                let mut queries = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    queries.push(r.vec_f32()?);
+                }
+                Request::SearchBatch {
+                    collection,
+                    k,
+                    params,
+                    queries,
+                }
+            }
+            OP_VQL => Request::Vql {
+                statement: r.str()?,
+            },
+            OP_CHECKPOINT => Request::Checkpoint {
+                collection: r.str()?,
+            },
+            OP_STATS => Request::Stats {
+                collection: r.str()?,
+            },
+            OP_SERVER_STATS => Request::ServerStats,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(Error::Corrupt(format!("unknown request opcode {op:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => wire::put_u8(&mut out, RE_PONG),
+            Response::Done => wire::put_u8(&mut out, RE_DONE),
+            Response::Hits(hits) => {
+                wire::put_u8(&mut out, RE_HITS);
+                put_hits(&mut out, hits);
+            }
+            Response::HitsBatch(lists) => {
+                wire::put_u8(&mut out, RE_HITS_BATCH);
+                wire::put_u32(&mut out, lists.len() as u32);
+                for hits in lists {
+                    put_hits(&mut out, hits);
+                }
+            }
+            Response::Count(n) => {
+                wire::put_u8(&mut out, RE_COUNT);
+                wire::put_u64(&mut out, *n);
+            }
+            Response::Stats(s) => {
+                wire::put_u8(&mut out, RE_STATS);
+                wire::put_u64(&mut out, s.live);
+                wire::put_u64(&mut out, s.indexed);
+                wire::put_u64(&mut out, s.buffered);
+                wire::put_u64(&mut out, s.merges);
+                wire::put_str(&mut out, &s.index_name);
+            }
+            Response::ServerStats(s) => {
+                wire::put_u8(&mut out, RE_SERVER_STATS);
+                wire::put_u64(&mut out, s.served);
+                wire::put_u64(&mut out, s.batches);
+                wire::put_u64(&mut out, s.coalesced);
+                wire::put_u64(&mut out, s.busy);
+                wire::put_u64(&mut out, s.protocol_errors);
+                wire::put_u64(&mut out, s.connections);
+            }
+            Response::Busy => wire::put_u8(&mut out, RE_BUSY),
+            Response::Error { code, message } => {
+                wire::put_u8(&mut out, RE_ERROR);
+                wire::put_u8(&mut out, *code as u8);
+                wire::put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            RE_PONG => Response::Pong,
+            RE_DONE => Response::Done,
+            RE_HITS => Response::Hits(read_hits(&mut r)?),
+            RE_HITS_BATCH => {
+                let n = r.u32()? as usize;
+                let mut lists = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    lists.push(read_hits(&mut r)?);
+                }
+                Response::HitsBatch(lists)
+            }
+            RE_COUNT => Response::Count(r.u64()?),
+            RE_STATS => Response::Stats(WireCollectionStats {
+                live: r.u64()?,
+                indexed: r.u64()?,
+                buffered: r.u64()?,
+                merges: r.u64()?,
+                index_name: r.str()?,
+            }),
+            RE_SERVER_STATS => Response::ServerStats(ServerStatsSnapshot {
+                served: r.u64()?,
+                batches: r.u64()?,
+                coalesced: r.u64()?,
+                busy: r.u64()?,
+                protocol_errors: r.u64()?,
+                connections: r.u64()?,
+            }),
+            RE_BUSY => Response::Busy,
+            RE_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            op => return Err(Error::Corrupt(format!("unknown response opcode {op:#04x}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Build the error response for a server-side failure.
+    pub fn from_error(e: &Error) -> Response {
+        match e {
+            Error::Busy => Response::Busy,
+            other => Response::Error {
+                code: ErrorCode::classify(other),
+                message: other.to_string(),
+            },
+        }
+    }
+
+    /// Convert a response back into a [`Result`]-shaped outcome (client
+    /// side): `Busy` and `Error` become [`Err`], everything else is `Ok`.
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Busy => Err(Error::Busy),
+            Response::Error { code, message } => Err(match code {
+                ErrorCode::NotFound => Error::NotFound(message),
+                ErrorCode::Protocol => Error::Corrupt(message),
+                ErrorCode::Invalid => Error::InvalidQuery(message),
+                _ => Error::Unsupported(format!("server error ({code:?}): {message}")),
+            }),
+            ok => Ok(ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    pub(crate) fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Insert {
+                collection: "docs".into(),
+                key: 42,
+                vector: vec![1.0, -2.5, 3.25],
+                attrs: vec![
+                    ("brand".into(), AttrValue::Str("acme".into())),
+                    ("price".into(), AttrValue::Int(-7)),
+                    ("rating".into(), AttrValue::Float(4.5)),
+                    ("in_stock".into(), AttrValue::Bool(true)),
+                    ("note".into(), AttrValue::Null),
+                ],
+            },
+            Request::Delete {
+                collection: "docs".into(),
+                key: 7,
+            },
+            Request::Search {
+                collection: "docs".into(),
+                k: 10,
+                params: SearchParams::default().with_timeout(Duration::from_millis(250)),
+                query: vec![0.0; 8],
+            },
+            Request::SearchBatch {
+                collection: "docs".into(),
+                k: 3,
+                params: SearchParams::default().with_beam_width(128),
+                queries: vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![]],
+            },
+            Request::Vql {
+                statement: "SEARCH docs K 5 NEAR [1, 2, 3] WHERE brand = 'acme'".into(),
+            },
+            Request::Checkpoint {
+                collection: String::new(),
+            },
+            Request::Stats {
+                collection: "docs".into(),
+            },
+            Request::ServerStats,
+            Request::Shutdown,
+        ]
+    }
+
+    pub(crate) fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Done,
+            Response::Hits(vec![
+                SearchHit { key: 1, dist: 0.5 },
+                SearchHit { key: 2, dist: 1.5 },
+            ]),
+            Response::HitsBatch(vec![vec![SearchHit { key: 9, dist: 0.0 }], vec![]]),
+            Response::Count(12345),
+            Response::Stats(WireCollectionStats {
+                live: 10,
+                indexed: 8,
+                buffered: 2,
+                merges: 1,
+                index_name: "hnsw".into(),
+            }),
+            Response::ServerStats(ServerStatsSnapshot {
+                served: 100,
+                batches: 5,
+                coalesced: 17,
+                busy: 3,
+                protocol_errors: 1,
+                connections: 9,
+            }),
+            Response::Busy,
+            Response::Error {
+                code: ErrorCode::NotFound,
+                message: "collection `ghosts`".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for req in sample_requests() {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(req, decoded);
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        for resp in sample_responses() {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(resp, decoded);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert!(Request::decode(&[0x77]).is_err());
+        assert!(Response::decode(&[0x03]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn error_mapping_roundtrips_busy() {
+        assert_eq!(Response::from_error(&Error::Busy), Response::Busy);
+        assert!(matches!(
+            Response::Busy.into_result().unwrap_err(),
+            Error::Busy
+        ));
+        let e = Error::NotFound("collection `x`".into());
+        let resp = Response::from_error(&e);
+        assert!(matches!(
+            resp.into_result().unwrap_err(),
+            Error::NotFound(_)
+        ));
+    }
+}

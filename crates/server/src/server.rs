@@ -1,0 +1,764 @@
+//! The concurrent TCP server: per-connection reader threads feed a
+//! bounded request queue drained by a worker pool.
+//!
+//! Threading model (DESIGN.md §10):
+//!
+//! - one **acceptor** thread owns the listener,
+//! - one **reader** thread per connection decodes frames and writes
+//!   responses (requests on one connection are strictly ordered),
+//! - `workers` **executor** threads pop requests from one shared bounded
+//!   queue and run them against the database.
+//!
+//! Backpressure is explicit: when the queue is full the reader answers
+//! `BUSY` immediately instead of queueing unboundedly — the client is
+//! told to shed/retry rather than silently waiting (admission control).
+//! A request that waits in the queue past `request_deadline` is answered
+//! with a `DEADLINE` error instead of being executed late.
+//!
+//! Batching: an executor that pops a single-query `Search` drains every
+//! other compatible `Search` (same collection / k / params) currently
+//! queued — or waits up to `batch_window` for one to arrive — and runs
+//! them as one [`vdb::Collection::search_batch`] call, so concurrently
+//! arriving single queries pay the warm-context batched path.
+//!
+//! Graceful shutdown: the acceptor stops, readers stop pulling new
+//! frames, executors drain the queue, and every in-flight request gets
+//! its response before sockets close.
+
+use crate::protocol::{ErrorCode, Request, Response, ServerStatsSnapshot, WireCollectionStats};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vdb::{SearchHit, Vdbms, VqlOutput};
+use vdb_core::error::{Error, Result};
+use vdb_core::index::SearchParams;
+use vdb_distributed::wire;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Executor threads draining the request queue.
+    pub workers: usize,
+    /// Bound on queued (admitted but not yet executing) requests; a
+    /// request arriving at a full queue is answered `BUSY`.
+    pub max_queue: usize,
+    /// Coalesce concurrently arriving single-query searches into one
+    /// batched call.
+    pub batching: bool,
+    /// Maximum searches coalesced into one batch.
+    pub batch_max: usize,
+    /// How long an executor holding one search waits for a second one
+    /// before running the batch. Zero (the default) coalesces only
+    /// opportunistically — whatever is already queued rides along, and a
+    /// lone search never stalls; a positive window buys deeper batches
+    /// at the cost of idle-time latency.
+    pub batch_window: Duration,
+    /// Budget from admission to execution start; overdue requests are
+    /// answered with a `DEADLINE` error, not executed late.
+    pub request_deadline: Duration,
+    /// Idle tick between frames on a connection (shutdown latency bound).
+    pub idle_tick: Duration,
+    /// How long a peer may take to finish transmitting one started frame.
+    pub frame_timeout: Duration,
+    /// Cap on a single frame payload.
+    pub max_frame: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_queue: 64,
+            batching: true,
+            batch_max: 64,
+            batch_window: Duration::ZERO,
+            request_deadline: Duration::from_secs(5),
+            idle_tick: Duration::from_millis(25),
+            frame_timeout: Duration::from_secs(5),
+            max_frame: wire::MAX_FRAME,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    busy: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    db: RwLock<Vdbms>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals executors on enqueue and on shutdown.
+    wake: Condvar,
+    /// No new connections/requests; drain and exit.
+    stop: AtomicBool,
+    /// A wire `Shutdown` request asked the owner to stop the server.
+    shutdown_requested: AtomicBool,
+    stats: Counters,
+}
+
+// The workspace swallows mutex poisoning by policy (vdb_core::sync); the
+// server uses std's Mutex directly because it needs the paired Condvar.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
+    match shared.queue.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            served: self.stats.served.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            busy: self.stats.busy.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            connections: self.stats.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    /// `Some` while running; taken by [`ServerHandle::shutdown`] so the
+    /// last `Arc` can be unwrapped to hand the database back.
+    shared: Option<Arc<Shared>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    fn shared(&self) -> &Shared {
+        self.shared.as_ref().expect("server handle still live")
+    }
+
+    /// The bound address (loopback + ephemeral port under tests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared().snapshot()
+    }
+
+    /// Whether a client sent a wire `Shutdown` request.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared().shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Block until a wire `Shutdown` request arrives (polling at the
+    /// idle tick). Used by serve-style entrypoints.
+    pub fn wait_for_wire_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(self.shared().cfg.idle_tick);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted request
+    /// (each gets its response), join all threads, and hand the database
+    /// back to the caller (e.g. for a final checkpoint).
+    pub fn shutdown(mut self) -> Vdbms {
+        self.begin_stop();
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+        let shared = self.shared.take().expect("shutdown runs once");
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("all server threads joined; no other owners"));
+        match shared.db.into_inner() {
+            Ok(db) => db,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn begin_stop(&self) {
+        self.shared().stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection, and the
+        // executors so they observe the stop flag.
+        TcpStream::connect_timeout(&self.addr, Duration::from_millis(200)).ok();
+        self.shared().wake.notify_all();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.begin_stop();
+            if let Some(t) = self.accept_thread.take() {
+                t.join().ok();
+            }
+            for w in self.workers.drain(..) {
+                w.join().ok();
+            }
+        }
+    }
+}
+
+/// Serve `db` on `addr` (use `127.0.0.1:0` for an ephemeral loopback
+/// port). Returns once the listener is bound and the worker pool is up.
+pub fn serve(db: Vdbms, addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<ServerHandle> {
+    if cfg.workers == 0 {
+        return Err(Error::InvalidParameter("server needs >= 1 worker".into()));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        db: RwLock::new(db),
+        cfg: cfg.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        stop: AtomicBool::new(false),
+        shutdown_requested: AtomicBool::new(false),
+        stats: Counters::default(),
+    });
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for i in 0..cfg.workers {
+        let shared = shared.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("vdb-worker-{i}"))
+                .spawn(move || executor_loop(&shared))
+                .expect("spawn executor"),
+        );
+    }
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("vdb-accept".into())
+        .spawn(move || {
+            let mut readers = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                accept_shared
+                    .stats
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared = accept_shared.clone();
+                readers.push(std::thread::spawn(move || reader_loop(stream, &shared)));
+            }
+            drop(listener);
+            for r in readers {
+                r.join().ok();
+            }
+        })
+        .expect("spawn acceptor");
+    Ok(ServerHandle {
+        addr,
+        shared: Some(shared),
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Per-connection loop: decode one frame, dispatch, write the response.
+fn reader_loop(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return; // no request in flight on this connection by construction
+        }
+        let payload = match wire::read_server_frame(
+            &mut stream,
+            shared.cfg.idle_tick,
+            shared.cfg.frame_timeout,
+            shared.cfg.max_frame,
+        ) {
+            Ok(wire::ServerRead::Frame(p)) => p,
+            Ok(wire::ServerRead::Idle) => continue,
+            Ok(wire::ServerRead::Closed) => return,
+            Err(Error::Corrupt(msg)) => {
+                // Bad magic / oversized length / CRC mismatch: answer with
+                // a protocol error, then close — framing sync is gone.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: msg,
+                };
+                write_response(&mut stream, &resp).ok();
+                return;
+            }
+            Err(_) => return,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame was intact (CRC passed) but the message is
+                // malformed: answer and keep the connection.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                };
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = dispatch(shared, request);
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<()> {
+    wire::write_frame(stream, &resp.encode())
+}
+
+/// Route one decoded request: control messages are answered inline by
+/// the reader; everything else goes through the bounded queue.
+fn dispatch(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            Response::Done
+        }
+        Request::ServerStats => Response::ServerStats(shared.snapshot()),
+        request => {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Response::Error {
+                    code: ErrorCode::Shutdown,
+                    message: "server is shutting down".into(),
+                };
+            }
+            let (tx, rx) = mpsc::channel();
+            {
+                let mut queue = lock_queue(shared);
+                if queue.len() >= shared.cfg.max_queue {
+                    drop(queue);
+                    shared.stats.busy.fetch_add(1, Ordering::Relaxed);
+                    return Response::Busy;
+                }
+                queue.push_back(Job {
+                    request,
+                    reply: tx,
+                    enqueued: Instant::now(),
+                });
+            }
+            shared.wake.notify_one();
+            match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "executor dropped the request".into(),
+                },
+            }
+        }
+    }
+}
+
+/// Executor loop: pop, coalesce compatible searches, run, reply.
+fn executor_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock_queue(shared);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = match shared.wake.wait_timeout(queue, shared.cfg.idle_tick) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        let Some(job) = job else { return };
+        if job.enqueued.elapsed() > shared.cfg.request_deadline {
+            job.reply
+                .send(Response::Error {
+                    code: ErrorCode::Deadline,
+                    message: format!(
+                        "request waited past its {:?} deadline",
+                        shared.cfg.request_deadline
+                    ),
+                })
+                .ok();
+            continue;
+        }
+        match job.request {
+            Request::Search { .. } if shared.cfg.batching => run_coalesced(shared, job),
+            other => {
+                let resp = execute(shared, &other);
+                job.reply.send(resp).ok();
+            }
+        }
+    }
+}
+
+/// Whether a queued job is a single-query search batchable with the
+/// given head-of-batch search.
+fn compatible_search(job: &Job, collection: &str, k: u32, params: &SearchParams) -> bool {
+    matches!(
+        &job.request,
+        Request::Search {
+            collection: c,
+            k: jk,
+            params: p,
+            ..
+        } if c == collection && *jk == k && p == params
+    )
+}
+
+/// Run one `Search` plus every compatible `Search` currently queued (or
+/// arriving within `batch_window`) as a single batched call.
+fn run_coalesced(shared: &Shared, head: Job) {
+    let Request::Search {
+        collection,
+        k,
+        params,
+        query,
+    } = &head.request
+    else {
+        unreachable!("run_coalesced is only called with Search jobs");
+    };
+    let (collection, k, params) = (collection.clone(), *k, params.clone());
+    let mut batch: Vec<Job> = vec![];
+    let mut queries: Vec<Vec<f32>> = vec![query.clone()];
+    // Opportunistic drain of compatible searches queued right now. With
+    // no batch window, take only a fair share of the queue — coalescing
+    // runs the batch serially on this executor, so grabbing everything
+    // would idle the rest of the pool exactly when it has work to do.
+    let drain = |queue: &mut VecDeque<Job>, batch: &mut Vec<Job>, queries: &mut Vec<Vec<f32>>| {
+        let cap = if shared.cfg.batch_window.is_zero() {
+            queue.len().div_ceil(shared.cfg.workers.max(1))
+        } else {
+            shared.cfg.batch_max
+        };
+        let mut kept = VecDeque::with_capacity(queue.len());
+        while let Some(job) = queue.pop_front() {
+            if batch.len() < cap
+                && queries.len() < shared.cfg.batch_max
+                && compatible_search(&job, &collection, k, &params)
+            {
+                if let Request::Search { query, .. } = &job.request {
+                    queries.push(query.clone());
+                }
+                batch.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        *queue = kept;
+    };
+    {
+        let mut queue = lock_queue(shared);
+        drain(&mut queue, &mut batch, &mut queries);
+    }
+    // Nothing to coalesce yet: give concurrent arrivals one short window.
+    if batch.is_empty() && !shared.cfg.batch_window.is_zero() {
+        std::thread::sleep(shared.cfg.batch_window);
+        let mut queue = lock_queue(shared);
+        drain(&mut queue, &mut batch, &mut queries);
+    }
+    let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+    let result = read_db(shared)
+        .collection(&collection)
+        .and_then(|c| c.search_batch(&refs, k as usize, &params));
+    match result {
+        Ok(mut lists) => {
+            debug_assert_eq!(lists.len(), 1 + batch.len());
+            if !batch.is_empty() {
+                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .coalesced
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+            let mut rest = lists.split_off(1);
+            head.reply
+                .send(Response::Hits(lists.pop().unwrap_or_default()))
+                .ok();
+            for (job, hits) in batch.into_iter().zip(rest.drain(..)) {
+                job.reply.send(Response::Hits(hits)).ok();
+            }
+        }
+        Err(e) => {
+            let resp = Response::from_error(&e);
+            head.reply.send(resp.clone()).ok();
+            for job in batch {
+                job.reply.send(resp.clone()).ok();
+            }
+        }
+    }
+}
+
+fn read_db(shared: &Shared) -> std::sync::RwLockReadGuard<'_, Vdbms> {
+    match shared.db.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_db(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, Vdbms> {
+    match shared.db.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Execute one non-coalesced request against the database.
+fn execute(shared: &Shared, request: &Request) -> Response {
+    let result: Result<Response> = (|| {
+        Ok(match request {
+            Request::Ping => Response::Pong,
+            Request::ServerStats => Response::ServerStats(shared.snapshot()),
+            Request::Shutdown => Response::Done,
+            Request::Insert {
+                collection,
+                key,
+                vector,
+                attrs,
+            } => {
+                let attr_refs: Vec<(&str, vdb_core::attr::AttrValue)> =
+                    attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                write_db(shared)
+                    .collection_mut(collection)?
+                    .insert(*key, vector, &attr_refs)?;
+                Response::Done
+            }
+            Request::Delete { collection, key } => {
+                write_db(shared).collection_mut(collection)?.delete(*key)?;
+                Response::Done
+            }
+            Request::Search {
+                collection,
+                k,
+                params,
+                query,
+            } => {
+                let hits: Vec<SearchHit> =
+                    read_db(shared)
+                        .collection(collection)?
+                        .search(query, *k as usize, params)?;
+                Response::Hits(hits)
+            }
+            Request::SearchBatch {
+                collection,
+                k,
+                params,
+                queries,
+            } => {
+                let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+                let lists = read_db(shared).collection(collection)?.search_batch(
+                    &refs,
+                    *k as usize,
+                    params,
+                )?;
+                Response::HitsBatch(lists)
+            }
+            Request::Vql { statement } => match write_db(shared).execute(statement)? {
+                VqlOutput::Hits(hits) => Response::Hits(hits),
+                VqlOutput::Count(n) => Response::Count(n as u64),
+                VqlOutput::Done => Response::Done,
+            },
+            Request::Checkpoint { collection } => {
+                let mut db = write_db(shared);
+                if collection.is_empty() {
+                    db.checkpoint_all()?;
+                } else {
+                    db.checkpoint(collection)?;
+                }
+                Response::Done
+            }
+            Request::Stats { collection } => {
+                let db = read_db(shared);
+                let stats = db.collection(collection)?.stats();
+                Response::Stats(WireCollectionStats {
+                    live: stats.live as u64,
+                    indexed: stats.indexed as u64,
+                    buffered: stats.buffered as u64,
+                    merges: stats.merges as u64,
+                    index_name: stats.index_name.to_string(),
+                })
+            }
+        })
+    })();
+    result.unwrap_or_else(|e| Response::from_error(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb::{CollectionSchema, IndexSpec, SystemProfile};
+    use vdb_core::metric::Metric;
+
+    fn fixture_db(n: usize) -> Vdbms {
+        let mut db = Vdbms::new(SystemProfile::MostlyVector);
+        db.create_collection(
+            CollectionSchema::new("docs", 3, Metric::Euclidean),
+            IndexSpec::Flat,
+        )
+        .unwrap();
+        for i in 0..n as u64 {
+            db.collection_mut("docs")
+                .unwrap()
+                .insert(i, &[i as f32, 0.0, 0.0], &[])
+                .unwrap();
+        }
+        db
+    }
+
+    fn call(addr: SocketAddr, req: &Request) -> Response {
+        let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(1)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        wire::write_frame(&mut conn, &req.encode()).unwrap();
+        let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        Response::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn serve_search_vql_stats_roundtrip() {
+        let handle = serve(fixture_db(32), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+        assert_eq!(call(addr, &Request::Ping), Response::Pong);
+        let resp = call(
+            addr,
+            &Request::Search {
+                collection: "docs".into(),
+                k: 2,
+                params: SearchParams::default(),
+                query: vec![5.2, 0.0, 0.0],
+            },
+        );
+        match resp {
+            Response::Hits(hits) => {
+                assert_eq!(hits[0].key, 5);
+                assert_eq!(hits[1].key, 6);
+            }
+            other => panic!("expected hits, got {other:?}"),
+        }
+        let resp = call(
+            addr,
+            &Request::Vql {
+                statement: "COUNT docs".into(),
+            },
+        );
+        assert_eq!(resp, Response::Count(32));
+        match call(
+            addr,
+            &Request::Stats {
+                collection: "docs".into(),
+            },
+        ) {
+            Response::Stats(s) => assert_eq!(s.live, 32),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Unknown collection surfaces as a typed NOT_FOUND error.
+        match call(
+            addr,
+            &Request::Search {
+                collection: "ghosts".into(),
+                k: 1,
+                params: SearchParams::default(),
+                query: vec![0.0; 3],
+            },
+        ) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotFound),
+            other => panic!("expected error, got {other:?}"),
+        }
+        let db = handle.shutdown();
+        assert_eq!(db.collection("docs").unwrap().len(), 32);
+    }
+
+    #[test]
+    fn insert_then_search_over_wire() {
+        let handle = serve(fixture_db(0), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+        for i in 0..10u64 {
+            let resp = call(
+                addr,
+                &Request::Insert {
+                    collection: "docs".into(),
+                    key: i,
+                    vector: vec![i as f32, 0.0, 0.0],
+                    attrs: vec![],
+                },
+            );
+            assert_eq!(resp, Response::Done);
+        }
+        let resp = call(
+            addr,
+            &Request::Delete {
+                collection: "docs".into(),
+                key: 3,
+            },
+        );
+        assert_eq!(resp, Response::Done);
+        match call(
+            addr,
+            &Request::Search {
+                collection: "docs".into(),
+                k: 1,
+                params: SearchParams::default(),
+                query: vec![3.1, 0.0, 0.0],
+            },
+        ) {
+            Response::Hits(hits) => assert_ne!(hits[0].key, 3, "deleted key must not surface"),
+            other => panic!("expected hits, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn corrupt_frame_answered_with_protocol_error() {
+        let handle = serve(fixture_db(4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut conn = TcpStream::connect_timeout(&handle.addr(), Duration::from_secs(1)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &Request::Ping.encode()).unwrap();
+        *framed.last_mut().unwrap() ^= 0xFF; // flip a payload byte -> CRC mismatch
+        use std::io::Write;
+        conn.write_all(&framed).unwrap();
+        let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        assert_eq!(handle.stats().protocol_errors, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_request_sets_flag() {
+        let handle = serve(fixture_db(1), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        assert!(!handle.shutdown_requested());
+        assert_eq!(call(handle.addr(), &Request::Shutdown), Response::Done);
+        handle.wait_for_wire_shutdown();
+        assert!(handle.shutdown_requested());
+        handle.shutdown();
+    }
+}

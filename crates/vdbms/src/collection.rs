@@ -574,9 +574,42 @@ impl Collection {
         self.search_hybrid(vector, k, &Predicate::True, params, None)
     }
 
+    /// Batched k-NN search: every query runs through one warm scratch
+    /// context checked out of the collection's pool, so a coalesced batch
+    /// (e.g. concurrently arriving server requests) pays the context
+    /// setup once instead of per query. Results are identical to calling
+    /// [`Collection::search`] per query, in order.
+    pub fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        let mut ctx = self.contexts.acquire();
+        queries
+            .iter()
+            .map(|q| self.search_hybrid_with(&mut ctx, q, k, &Predicate::True, params, None))
+            .collect()
+    }
+
     /// Hybrid search with a predicate; `strategy` overrides the planner.
     pub fn search_hybrid(
         &self,
+        vector: &[f32],
+        k: usize,
+        predicate: &Predicate,
+        params: &SearchParams,
+        strategy: Option<Strategy>,
+    ) -> Result<Vec<SearchHit>> {
+        let mut ctx = self.contexts.acquire();
+        self.search_hybrid_with(&mut ctx, vector, k, predicate, params, strategy)
+    }
+
+    /// [`Collection::search_hybrid`] over caller-provided scratch — the
+    /// primitive both the per-query and the batched paths share.
+    fn search_hybrid_with(
+        &self,
+        sctx: &mut vdb_core::context::SearchContext,
         vector: &[f32],
         k: usize,
         predicate: &Predicate,
@@ -604,10 +637,9 @@ impl Collection {
                 let q = VectorQuery::knn(vector.to_vec(), fetch)
                     .filtered(predicate.clone())
                     .with_params(params.clone());
-                let mut sctx = self.contexts.acquire();
                 let main: Vec<Neighbor> = match strategy {
-                    Some(st) => execute_with(&ctx, &mut sctx, &q, st)?,
-                    None => self.planner.run_with(&ctx, &mut sctx, &q)?.1,
+                    Some(st) => execute_with(&ctx, sctx, &q, st)?,
+                    None => self.planner.run_with(&ctx, sctx, &q)?.1,
                 };
                 for n in main {
                     let key = self.row_keys[n.id];
@@ -745,6 +777,24 @@ mod tests {
 
     fn vec_at(x: f32) -> Vec<f32> {
         vec![x, 0.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn batched_search_matches_per_query() {
+        let mut c = Collection::create(schema(), small_cfg()).unwrap();
+        // 30 inserts with threshold 8: main part + live buffer both populated.
+        for i in 0..30u64 {
+            c.insert(i, &vec_at(i as f32), &[("score", AttrValue::Int(i as i64))])
+                .unwrap();
+        }
+        let queries: Vec<Vec<f32>> = (0..10).map(|i| vec_at(i as f32 + 0.3)).collect();
+        let refs: Vec<&[f32]> = queries.iter().map(|v| v.as_slice()).collect();
+        let params = SearchParams::default();
+        let batched = c.search_batch(&refs, 3, &params).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(&c.search(q, 3, &params).unwrap(), b);
+        }
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! End-to-end serving acceptance: concurrent clients over loopback TCP,
+//! admission control under overload, coalesced batching, graceful
+//! drain-then-stop shutdown, and socket-backed distributed shards
+//! degrading to partial results when a shard dies.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms, VqlOutput};
+use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex, Vectors};
+use vdb_distributed::{
+    serve_index, DistributedConfig, DistributedIndex, RemoteShard, RemoteShardConfig, ShardHandle,
+};
+use vdb_server::{serve, Client, Request, Response, ServerConfig};
+
+fn fixture_db(n: usize, dim: usize) -> Vdbms {
+    let mut db = Vdbms::new(SystemProfile::MostlyVector);
+    db.create_collection(
+        CollectionSchema::new("docs", dim, Metric::Euclidean),
+        IndexSpec::Flat,
+    )
+    .unwrap();
+    for i in 0..n as u64 {
+        let mut v = vec![0.0; dim];
+        v[0] = i as f32;
+        db.collection_mut("docs")
+            .unwrap()
+            .insert(i, &v, &[])
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn concurrent_clients_get_correct_results() {
+    let handle = serve(fixture_db(256, 4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Arc::new(Client::connect(handle.addr()).unwrap());
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let client = client.clone();
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    let target = (t * 31 + i * 7) % 256;
+                    let hits = client
+                        .search(
+                            "docs",
+                            &[target as f32 + 0.3, 0.0, 0.0, 0.0],
+                            3,
+                            &SearchParams::default(),
+                        )
+                        .unwrap();
+                    assert_eq!(hits[0].key, target, "client {t} query {i}");
+                    assert_eq!(hits[1].key, target + 1);
+                }
+            });
+        }
+    });
+    let stats = handle.stats();
+    assert!(stats.served >= 200, "all requests must be counted");
+    handle.shutdown();
+}
+
+/// Overload the server while its single worker is parked in the batch
+/// window: `max_queue` requests are admitted, the overflow is answered
+/// BUSY immediately (no hang), and every admitted search is coalesced
+/// into one batched call.
+#[test]
+fn overload_sheds_busy_and_admitted_requests_coalesce() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue: 4,
+        batching: true,
+        batch_max: 64,
+        batch_window: Duration::from_millis(800),
+        ..ServerConfig::default()
+    };
+    let handle = serve(fixture_db(64, 4), "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+    let search = |target: u64| Request::Search {
+        collection: "docs".into(),
+        k: 1,
+        params: SearchParams::default(),
+        query: vec![target as f32 + 0.1, 0.0, 0.0, 0.0],
+    };
+    let call_raw = move |req: Request| -> Response {
+        use std::net::TcpStream;
+        use vdb_distributed::wire;
+        let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(1)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        wire::write_frame(&mut conn, &req.encode()).unwrap();
+        let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        Response::decode(&payload).unwrap()
+    };
+    // Head request: the worker pops it, finds nothing to coalesce, and
+    // parks in the batch window — the queue is now drained by nobody.
+    let head = std::thread::spawn(move || call_raw(search(0)));
+    std::thread::sleep(Duration::from_millis(150));
+    // Flood: 4 fill the queue, the rest must be shed with BUSY *now*,
+    // not after the worker frees up.
+    let flood_start = Instant::now();
+    let mut floods = Vec::new();
+    for i in 1..=9u64 {
+        floods.push(std::thread::spawn(move || call_raw(search(i))));
+    }
+    let mut hits = 0;
+    let mut busy = 0;
+    for f in floods {
+        match f.join().unwrap() {
+            Response::Hits(h) => {
+                assert_eq!(h.len(), 1);
+                hits += 1;
+            }
+            Response::Busy => busy += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(matches!(head.join().unwrap(), Response::Hits(_)));
+    assert_eq!(busy, 5, "overflow past max_queue must be shed");
+    assert_eq!(hits, 4, "admitted requests must still be answered");
+    assert!(
+        flood_start.elapsed() < Duration::from_secs(5),
+        "BUSY must be immediate, not queued"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.busy, 5);
+    assert!(stats.batches >= 1, "queued searches must coalesce");
+    assert!(
+        stats.coalesced >= 4,
+        "the 4 queued searches must ride the head's batch, got {}",
+        stats.coalesced
+    );
+    handle.shutdown();
+}
+
+/// Graceful shutdown: requests admitted before the stop must all be
+/// answered (drained by the executors), never dropped.
+#[test]
+fn graceful_shutdown_completes_in_flight_requests() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue: 16,
+        batching: true,
+        batch_window: Duration::from_millis(600),
+        ..ServerConfig::default()
+    };
+    let handle = serve(fixture_db(32, 4), "127.0.0.1:0", cfg).unwrap();
+    let client = Arc::new(Client::connect(handle.addr()).unwrap());
+    let mut inflight = Vec::new();
+    // Head search parks the worker in its batch window; the rest queue
+    // up behind it.
+    for i in 0..5u64 {
+        let client = client.clone();
+        inflight.push(std::thread::spawn(move || {
+            client.search(
+                "docs",
+                &[i as f32 + 0.2, 0.0, 0.0, 0.0],
+                1,
+                &SearchParams::default(),
+            )
+        }));
+        if i == 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    // All 5 are in flight (1 executing, 4 queued). Shut down now.
+    let db = handle.shutdown();
+    for (i, t) in inflight.into_iter().enumerate() {
+        let hits = t
+            .join()
+            .unwrap()
+            .unwrap_or_else(|e| panic!("in-flight request {i} dropped during shutdown: {e}"));
+        assert_eq!(hits[0].key, i as u64);
+    }
+    assert_eq!(db.collection("docs").unwrap().len(), 32);
+}
+
+#[test]
+fn vql_roundtrips_over_the_wire() {
+    let handle = serve(fixture_db(0, 3), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    for i in 0..6 {
+        let stmt = format!("INSERT INTO docs KEY {i} VALUES [{i}, 0, 0]");
+        assert!(matches!(client.vql(&stmt).unwrap(), VqlOutput::Done));
+    }
+    match client.vql("COUNT docs").unwrap() {
+        VqlOutput::Count(n) => assert_eq!(n, 6),
+        other => panic!("expected count, got {other:?}"),
+    }
+    match client.vql("SEARCH docs K 2 NEAR [3.1, 0, 0]").unwrap() {
+        VqlOutput::Hits(hits) => {
+            assert_eq!(hits[0].key, 3);
+            assert_eq!(hits[1].key, 4);
+        }
+        other => panic!("expected hits, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Socket-backed scatter-gather: killing one shard's server yields a
+/// partial result within the query deadline instead of an error or a
+/// hang.
+#[test]
+fn killed_remote_shard_degrades_to_partial_within_deadline() {
+    let mut rng = Rng::seed_from_u64(991);
+    let data = dataset::gaussian(600, 8, &mut rng);
+    let handles: Arc<vdb_core::sync::Mutex<Vec<ShardHandle>>> =
+        Arc::new(vdb_core::sync::Mutex::new(Vec::new()));
+    let handles_in_builder = handles.clone();
+    let builder = move |v: Vectors, m: Metric| -> vdb_core::Result<Box<dyn VectorIndex>> {
+        let local: Arc<dyn VectorIndex> = Arc::new(FlatIndex::build(v, m)?);
+        let server = serve_index(local, "127.0.0.1:0")?;
+        let remote = RemoteShard::connect(server.addr(), RemoteShardConfig::default())?;
+        handles_in_builder.lock().push(server);
+        Ok(Box::new(remote))
+    };
+    let dist = DistributedIndex::build(
+        &data,
+        Metric::Euclidean,
+        DistributedConfig::uniform(3),
+        &builder,
+    )
+    .unwrap();
+    let params = SearchParams::default().with_timeout(Duration::from_millis(700));
+    let q = vec![0.0; 8];
+
+    let full = dist.search_outcome(&q, 10, &params).unwrap();
+    assert!(!full.partial, "all shards up: result must be complete");
+    assert_eq!(full.hits.len(), 10);
+
+    // Kill one shard's server socket, then search again under deadline.
+    let killed = handles.lock().remove(0);
+    killed.shutdown();
+    let start = Instant::now();
+    let degraded = dist.search_outcome(&q, 10, &params).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        degraded.partial,
+        "a dead shard must mark the result partial"
+    );
+    assert_eq!(degraded.failed_shards.len(), 1);
+    assert!(
+        !degraded.hits.is_empty(),
+        "surviving shards must still contribute"
+    );
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "partial result must arrive near the deadline, took {elapsed:?}"
+    );
+    for h in handles.lock().drain(..) {
+        h.shutdown();
+    }
+}
