@@ -38,6 +38,14 @@ echo "== crash-fault injection: durability sweep =="
 cargo test -q --test crash_recovery
 cargo test -q -p vdb-storage --test wal_torn_tail
 
+echo "== online maintenance: mutability + background-merge stress =="
+# Mixed insert/delete/search stress: per-family tombstone correctness
+# and post-repair recall, plus 20+ background rebuilds published
+# atomically under continuously-asserting concurrent searchers with
+# bounded-buffer (BUSY) backpressure on the writer (DESIGN.md §11).
+# Release profile: the concurrency test needs real rebuild throughput.
+cargo test -q --release --test online_maintenance
+
 echo "== serving layer: loopback server integration =="
 # Real sockets on 127.0.0.1: N concurrent clients get correct results,
 # overload past max_queue is answered BUSY (not queued), a killed shard

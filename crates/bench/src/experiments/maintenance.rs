@@ -1,0 +1,304 @@
+//! M1: online index maintenance — freshness vs recall vs QPS under a
+//! mixed insert/delete/search workload, comparing the three merge modes
+//! (DESIGN.md §11):
+//!
+//! - `blocking` — stop-the-world: the merge runs inline inside the
+//!   writer's critical section, so searches stall for the whole rebuild,
+//! - `incremental` — in-place index patching inside the same critical
+//!   section, trading rebuild stalls for gradual structure decay,
+//! - `background` — the maintenance thread rebuilds off the write path
+//!   and atomically publishes the new index; searches never stop.
+//!
+//! The headline number is search QPS **during rebuild windows**: the
+//! intervals where a merge is actually running. Background-swap must
+//! sustain ≥2× the stop-the-world rate there, with recall@10 within two
+//! points across modes.
+
+use crate::{fmt, print_table, Scale};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec, MergeMode};
+use vdb_core::error::Error;
+use vdb_core::metric::Metric;
+use vdb_core::parallel::BuildOptions;
+use vdb_core::rng::Rng;
+use vdb_core::vector::Vectors;
+use vdb_core::{dataset, FlatIndex, Result, SearchParams, VectorIndex};
+
+const DIM: usize = 16;
+const K: usize = 10;
+const SEARCH_THREADS: usize = 3;
+
+struct Sizes {
+    base: usize,
+    threshold: usize,
+    rounds: usize,
+    deletes_per_round: usize,
+    queries: usize,
+}
+
+fn sizes(scale: Scale) -> Sizes {
+    match scale {
+        Scale::Quick => Sizes {
+            base: 1_500,
+            threshold: 300,
+            rounds: 5,
+            deletes_per_round: 15,
+            queries: 48,
+        },
+        Scale::Full => Sizes {
+            base: 6_000,
+            threshold: 1_000,
+            rounds: 8,
+            deletes_per_round: 50,
+            queries: 64,
+        },
+    }
+}
+
+fn params() -> SearchParams {
+    SearchParams::default().with_beam_width(64)
+}
+
+fn insert_retrying(c: &RwLock<Collection>, key: u64, v: &[f32]) -> Result<()> {
+    loop {
+        match c.write().unwrap().insert(key, v, &[]) {
+            Ok(()) => return Ok(()),
+            Err(Error::Busy) => std::thread::sleep(Duration::from_micros(200)),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+struct RunOutcome {
+    window_ms_avg: f64,
+    qps_in_windows: f64,
+    qps_overall: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    recall: f64,
+    merges: u64,
+}
+
+/// Drive one mode through the full workload: preload + merge, then
+/// `rounds` rounds of (deletes + `threshold` inserts), each of which
+/// triggers exactly one rebuild, with searcher threads timestamping
+/// every completed search throughout.
+fn run_mode(mode: MergeMode, s: &Sizes, data: &Vectors, queries: &[usize]) -> Result<RunOutcome> {
+    let total = s.base + s.rounds * s.threshold;
+    // Background mode merges when the worker sees the threshold crossed;
+    // the foreground modes are driven by an explicit, precisely-timed
+    // `merge()` at the end of each round (threshold out of reach), so the
+    // rebuild window is exactly the merge call — no lock-acquisition
+    // noise on either side.
+    let threshold = if mode == MergeMode::Background {
+        s.threshold
+    } else {
+        usize::MAX
+    };
+    let cfg = CollectionConfig {
+        index: IndexSpec::parse("hnsw")?,
+        merge_threshold: threshold,
+        merge_mode: mode,
+        build: BuildOptions::serial(),
+        ..Default::default()
+    };
+    let mut c = Collection::create(CollectionSchema::new("m1", DIM, Metric::Euclidean), cfg)?;
+    let mut live: HashMap<u64, usize> = HashMap::new();
+    for key in 0..s.base as u64 {
+        loop {
+            match c.insert(key, data.get(key as usize), &[]) {
+                Ok(()) => break,
+                Err(Error::Busy) => std::thread::sleep(Duration::from_micros(200)),
+                Err(e) => return Err(e),
+            }
+        }
+        live.insert(key, key as usize);
+    }
+    c.merge()?;
+
+    let shared = RwLock::new(c);
+    let stop = AtomicBool::new(false);
+    let completions: Mutex<Vec<(Instant, Duration)>> = Mutex::new(Vec::with_capacity(1 << 16));
+    let mut windows: Vec<(Instant, Instant)> = Vec::with_capacity(s.rounds);
+    let mut rng = Rng::seed_from_u64(0xA11 + mode.name().len() as u64);
+    let run_start = Instant::now();
+
+    std::thread::scope(|scope| -> Result<()> {
+        for t in 0..SEARCH_THREADS {
+            let shared = &shared;
+            let stop = &stop;
+            let completions = &completions;
+            scope.spawn(move || {
+                let p = params();
+                let mut local = Vec::with_capacity(1 << 14);
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = queries[i % queries.len()];
+                    let begin = Instant::now();
+                    let _ = shared.read().unwrap().search(data.get(q), K, &p);
+                    local.push((Instant::now(), begin.elapsed()));
+                    i += 1;
+                }
+                completions.lock().unwrap().append(&mut local);
+            });
+        }
+
+        let mut next_key = s.base as u64;
+        let mut merges_seen = shared.read().unwrap().stats().merges;
+        for _ in 0..s.rounds {
+            // Mixed workload: retire a few established keys first.
+            for _ in 0..s.deletes_per_round {
+                if let Some(&key) = live.keys().nth((rng.next_u64() as usize) % live.len()) {
+                    shared.write().unwrap().delete(key)?;
+                    live.remove(&key);
+                }
+            }
+            // Exactly `threshold` fresh inserts per round; in background
+            // mode the last one crosses the threshold and wakes the
+            // worker.
+            let mut last_done = Instant::now();
+            for _ in 0..s.threshold {
+                insert_retrying(&shared, next_key, data.get(next_key as usize))?;
+                last_done = Instant::now();
+                live.insert(next_key, next_key as usize);
+                next_key += 1;
+            }
+            if mode == MergeMode::Background {
+                // The worker picked the rebuild up at the crossing
+                // insert; poll until it publishes.
+                loop {
+                    let m = shared.read().unwrap().stats().merges;
+                    if m > merges_seen {
+                        merges_seen = m;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                windows.push((last_done, Instant::now()));
+            } else {
+                // Stop-the-world / incremental: the merge runs here,
+                // inside the write lock — searches stall for exactly
+                // this window.
+                let mut g = shared.write().unwrap();
+                let t0 = Instant::now();
+                g.merge()?;
+                let t1 = Instant::now();
+                drop(g);
+                merges_seen += 1;
+                windows.push((t0, t1));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        Ok(())
+    })?;
+    let run_secs = run_start.elapsed().as_secs_f64();
+
+    // Post-run: drain the buffer, then score recall@10 against exact
+    // ground truth over the surviving rows.
+    let mut c = shared.into_inner().unwrap();
+    c.merge()?;
+    let stats = c.stats();
+    let mut keys: Vec<u64> = live.keys().copied().collect();
+    keys.sort_unstable();
+    let mut live_vecs = Vectors::new(DIM);
+    for &k in &keys {
+        live_vecs.push(data.get(live[&k]))?;
+    }
+    let gt = FlatIndex::build(live_vecs, Metric::Euclidean)?;
+    let p = params();
+    let mut hits = 0usize;
+    let mut total_gt = 0usize;
+    for &q in queries {
+        let truth: Vec<u64> = gt
+            .search(data.get(q), K, &p)?
+            .iter()
+            .map(|n| keys[n.id])
+            .collect();
+        total_gt += truth.len();
+        for h in c.search(data.get(q), K, &p)? {
+            if truth.contains(&h.key) {
+                hits += 1;
+            }
+        }
+    }
+
+    let done = completions.into_inner().unwrap();
+    let in_windows = done
+        .iter()
+        .filter(|(t, _)| windows.iter().any(|(a, b)| *t >= *a && *t <= *b))
+        .count();
+    let window_secs: f64 = windows
+        .iter()
+        .map(|(a, b)| b.duration_since(*a).as_secs_f64())
+        .sum();
+    let mut lat_ms: Vec<f64> = done.iter().map(|(_, d)| d.as_secs_f64() * 1e3).collect();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| lat_ms[((lat_ms.len() - 1) as f64 * q) as usize];
+    let _ = total;
+    Ok(RunOutcome {
+        window_ms_avg: window_secs * 1e3 / windows.len().max(1) as f64,
+        qps_in_windows: in_windows as f64 / window_secs.max(1e-9),
+        qps_overall: done.len() as f64 / run_secs,
+        p99_ms: pick(0.99),
+        max_ms: *lat_ms.last().unwrap_or(&0.0),
+        recall: hits as f64 / total_gt.max(1) as f64,
+        merges: stats.merges as u64,
+    })
+}
+
+/// M1: the same mixed workload through all three merge modes.
+pub fn m1_online_maintenance(scale: Scale) -> Result<()> {
+    let s = sizes(scale);
+    let total = s.base + s.rounds * s.threshold;
+    let mut rng = Rng::seed_from_u64(0x4D1);
+    let data = dataset::clustered(total + s.queries, DIM, 8, 0.6, &mut rng).vectors;
+    let queries: Vec<usize> = (total..total + s.queries).collect();
+
+    let mut rows = Vec::new();
+    let mut blocking_window_qps = None;
+    for mode in [
+        MergeMode::Blocking,
+        MergeMode::Incremental,
+        MergeMode::Background,
+    ] {
+        let out = run_mode(mode, &s, &data, &queries)?;
+        let speedup = match (mode, blocking_window_qps) {
+            (MergeMode::Blocking, _) => {
+                blocking_window_qps = Some(out.qps_in_windows);
+                "1.0x".to_string()
+            }
+            (_, Some(base)) if base > 0.0 => format!("{:.1}x", out.qps_in_windows / base),
+            _ => "inf".to_string(),
+        };
+        rows.push(vec![
+            mode.name().to_string(),
+            out.merges.to_string(),
+            fmt(out.window_ms_avg, 1),
+            fmt(out.qps_in_windows, 0),
+            speedup,
+            fmt(out.qps_overall, 0),
+            fmt(out.p99_ms, 2),
+            fmt(out.max_ms, 1),
+            fmt(out.recall * 100.0, 1),
+        ]);
+    }
+    print_table(
+        "M1: merge-mode freshness/QPS/recall under mixed workload",
+        &[
+            "mode",
+            "merges",
+            "window ms",
+            "QPS in windows",
+            "vs blocking",
+            "QPS overall",
+            "p99 ms",
+            "max ms",
+            "recall@10 %",
+        ],
+        &rows,
+    );
+    Ok(())
+}

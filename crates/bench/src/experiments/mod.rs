@@ -5,6 +5,7 @@ pub mod compression;
 pub mod execution;
 pub mod hybrid;
 pub mod index_zoo;
+pub mod maintenance;
 pub mod recovery;
 pub mod scale_out;
 pub mod score;
@@ -13,9 +14,9 @@ pub mod serving;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "f8", "t5", "k1",
-    "s1",
+    "s1", "m1",
 ];
 
 /// Dispatch one experiment by id.
@@ -38,6 +39,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "t5" => execution::t5_kernels(),
         "k1" => score::k1_simd_dispatch(),
         "s1" => serving::s1_serving(scale),
+        "m1" => maintenance::m1_online_maintenance(scale),
         other => Err(vdb_core::Error::InvalidParameter(format!(
             "unknown experiment `{other}`; known: {ALL:?}"
         ))),

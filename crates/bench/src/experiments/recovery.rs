@@ -28,6 +28,7 @@ fn config(dir: &TempDir, merge_threshold: usize) -> CollectionConfig {
         planner: PlannerMode::CostBased,
         wal_dir: Some(dir.path().to_path_buf()),
         build: BuildOptions::serial(),
+        ..Default::default()
     }
 }
 

@@ -20,10 +20,15 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_seventeen() {
-    assert_eq!(experiments::ALL.len(), 17);
+fn registry_lists_all_eighteen() {
+    assert_eq!(experiments::ALL.len(), 18);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 17, "no duplicate experiment ids");
+    assert_eq!(set.len(), 18, "no duplicate experiment ids");
+}
+
+#[test]
+fn m1_runs() {
+    experiments::run("m1", Scale::Quick).unwrap();
 }
 
 #[test]

@@ -6,8 +6,10 @@
 //! (where the paper notes single-stage brute-force scan wins).
 
 use crate::context::SearchContext;
-use crate::error::Result;
-use crate::index::{check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};
+use crate::error::{Error, Result};
+use crate::index::{
+    check_query, DynamicIndex, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
+};
 use crate::metric::Metric;
 use crate::topk::Neighbor;
 use crate::vector::Vectors;
@@ -18,13 +20,23 @@ use crate::vector::Vectors;
 pub struct FlatIndex {
     vectors: Vectors,
     metric: Metric,
+    /// Tombstoned rows (`deleted[id]`); ids stay allocated so row ids
+    /// remain aligned with the owning collection's storage.
+    deleted: Vec<bool>,
+    removed: usize,
 }
 
 impl FlatIndex {
     /// Build over an owned copy of the vectors.
     pub fn build(vectors: Vectors, metric: Metric) -> Result<Self> {
         metric.validate(vectors.dim())?;
-        Ok(FlatIndex { vectors, metric })
+        let n = vectors.len();
+        Ok(FlatIndex {
+            vectors,
+            metric,
+            deleted: vec![false; n],
+            removed: 0,
+        })
     }
 
     /// Borrow the underlying vectors.
@@ -39,6 +51,7 @@ impl FlatIndex {
             .vectors
             .iter()
             .enumerate()
+            .filter(|(id, _)| !self.deleted[*id])
             .map(|(id, row)| Neighbor::new(id, self.metric.distance(query, row)))
             .filter(|n| n.dist <= radius)
             .collect();
@@ -93,7 +106,9 @@ impl VectorIndex for FlatIndex {
                 &mut ctx.dists,
             );
             for (off, &d) in ctx.dists.iter().enumerate() {
-                ctx.pool.push(Neighbor::new(base + off, d));
+                if self.removed == 0 || !self.deleted[base + off] {
+                    ctx.pool.push(Neighbor::new(base + off, d));
+                }
             }
             base += rows;
         }
@@ -116,7 +131,7 @@ impl VectorIndex for FlatIndex {
         }
         ctx.pool.reset(k);
         for (id, row) in self.vectors.iter().enumerate() {
-            if !filter.accept(id) {
+            if self.deleted[id] || !filter.accept(id) {
                 continue;
             }
             ctx.pool
@@ -141,11 +156,39 @@ impl VectorIndex for FlatIndex {
             detail: String::new(),
         }
     }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        Some(self)
+    }
 }
 
 impl DynamicIndex for FlatIndex {
     fn insert(&mut self, vector: &[f32]) -> Result<usize> {
-        self.vectors.push(vector)
+        MutableIndex::insert(self, vector)
+    }
+}
+
+impl MutableIndex for FlatIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let id = self.vectors.push(vector)?;
+        self.deleted.push(false);
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.vectors.len() {
+            return Err(Error::NotFound(format!("flat row {id} out of range")));
+        }
+        if self.deleted[id] {
+            return Ok(false);
+        }
+        self.deleted[id] = true;
+        self.removed += 1;
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.vectors.len() - self.removed
     }
 }
 
@@ -218,11 +261,38 @@ mod tests {
     #[test]
     fn insert_then_search_finds_new_vector() {
         let mut idx = grid_index();
-        let id = idx.insert(&[100.0, 0.0]).unwrap();
+        let id = DynamicIndex::insert(&mut idx, &[100.0, 0.0]).unwrap();
         let hits = idx
             .search(&[99.0, 0.0], 1, &SearchParams::default())
             .unwrap();
         assert_eq!(hits[0].id, id);
+    }
+
+    #[test]
+    fn removed_rows_never_surface() {
+        let mut idx = grid_index();
+        assert!(MutableIndex::remove(&mut idx, 3).unwrap());
+        assert!(!MutableIndex::remove(&mut idx, 3).unwrap(), "idempotent");
+        assert_eq!(idx.live(), 9);
+        assert_eq!(idx.len(), 10, "ids stay allocated");
+        let hits = idx
+            .search(&[3.0, 0.0], 10, &SearchParams::default())
+            .unwrap();
+        assert!(hits.iter().all(|n| n.id != 3));
+        assert_eq!(hits.len(), 9);
+        let filtered = idx
+            .search_filtered(&[3.0, 0.0], 10, &SearchParams::default(), &|_id: usize| {
+                true
+            })
+            .unwrap();
+        assert!(filtered.iter().all(|n| n.id != 3));
+        let ranged = idx.range_scan(&[3.0, 0.0], 2.0).unwrap();
+        assert!(ranged.iter().all(|n| n.id != 3));
+        assert!(MutableIndex::remove(&mut idx, 99).is_err());
+        // Re-inserting after removals keeps ids dense.
+        let id = MutableIndex::insert(&mut idx, &[42.0, 0.0]).unwrap();
+        assert_eq!(id, 10);
+        assert_eq!(idx.live(), 10);
     }
 
     #[test]

@@ -294,6 +294,15 @@ pub trait VectorIndex: Send + Sync {
     fn stats(&self) -> IndexStats {
         IndexStats::default()
     }
+
+    /// The optional mutable capability: `Some` when this index supports
+    /// in-place insert *and* remove (tombstone + repair), `None` for
+    /// static structures that must be rebuilt out-of-place. Collections
+    /// use this to choose between incremental maintenance and a full
+    /// background rebuild.
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        None
+    }
 }
 
 /// Indexes supporting in-place insertion (LSH, IVF variants, NSW, HNSW).
@@ -302,6 +311,26 @@ pub trait VectorIndex: Send + Sync {
 pub trait DynamicIndex: VectorIndex {
     /// Insert a vector, returning its new row id.
     fn insert(&mut self, vector: &[f32]) -> Result<usize>;
+}
+
+/// The full mutable capability (§2.3 in-place updates): insertion plus
+/// removal. Removal is tombstone-based — the row id stays allocated (so
+/// ids remain stable and aligned with the owner's row storage) but the
+/// row stops surfacing in search results; graph indexes additionally
+/// patch neighbor edges and periodically re-prune so recall does not
+/// decay (the EXPERIMENTS.md §Vamana disconnection lesson).
+pub trait MutableIndex: VectorIndex {
+    /// Insert a vector, returning its new row id. Ids are dense and
+    /// include tombstoned rows: the id equals the pre-insert capacity.
+    fn insert(&mut self, vector: &[f32]) -> Result<usize>;
+
+    /// Tombstone row `id`. Returns `true` if the row was live, `false`
+    /// if it was already removed. `Err` only for out-of-range ids.
+    fn remove(&mut self, id: usize) -> Result<bool>;
+
+    /// Number of live (non-tombstoned) rows; `len()` keeps counting
+    /// tombstones because ids stay allocated.
+    fn live(&self) -> usize;
 }
 
 /// Validate a query vector against an index before searching.

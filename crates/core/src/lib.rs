@@ -59,7 +59,7 @@ pub use attr::{AttrType, AttrValue};
 pub use context::{ContextPool, SearchContext};
 pub use error::{Error, Result};
 pub use flat::FlatIndex;
-pub use index::{DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex};
+pub use index::{DynamicIndex, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex};
 pub use metric::Metric;
 pub use parallel::BuildOptions;
 pub use rng::Rng;

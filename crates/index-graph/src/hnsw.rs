@@ -13,7 +13,7 @@ use crate::graph::{
 use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
-    check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
+    check_query, DynamicIndex, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
 };
 use vdb_core::metric::Metric;
 use vdb_core::parallel::{parallel_queue, BuildOptions};
@@ -58,6 +58,31 @@ pub struct HnswIndex {
     /// Highest-layer node, the global entry point.
     entry: usize,
     rng: Rng,
+    /// Tombstones: deleted nodes keep their out-edges (so stray in-edges
+    /// still route through them) but never appear in results.
+    deleted: Vec<bool>,
+    removed: usize,
+    removed_since_repair: usize,
+}
+
+/// Minimum tombstone count before a local re-prune pass fires.
+const REPAIR_MIN: usize = 32;
+
+/// Live-rows-only view for tombstone traversal: the filtered beam still
+/// *visits* deleted nodes (they route) but never admits them to the
+/// result pool; an optional caller filter composes on top.
+struct LiveFilter<'a> {
+    deleted: &'a [bool],
+    inner: Option<&'a dyn RowFilter>,
+}
+
+impl RowFilter for LiveFilter<'_> {
+    fn accept(&self, id: usize) -> bool {
+        !self.deleted[id] && self.inner.is_none_or(|f| f.accept(id))
+    }
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.inner.and_then(|f| f.selectivity_hint())
+    }
 }
 
 impl HnswIndex {
@@ -78,6 +103,9 @@ impl HnswIndex {
             levels: Vec::new(),
             entry: 0,
             rng,
+            deleted: Vec::new(),
+            removed: 0,
+            removed_since_repair: 0,
         })
     }
 
@@ -85,7 +113,7 @@ impl HnswIndex {
     pub fn build(vectors: Vectors, metric: Metric, cfg: HnswConfig) -> Result<Self> {
         let mut idx = HnswIndex::new(vectors.dim(), metric, cfg)?;
         for row in vectors.iter() {
-            idx.insert(row)?;
+            DynamicIndex::insert(&mut idx, row)?;
         }
         Ok(idx)
     }
@@ -156,6 +184,7 @@ impl HnswIndex {
             .collect();
         idx.levels = levels;
         idx.entry = entry;
+        idx.deleted = vec![false; n];
         idx.vectors = vectors;
         idx.rng = level_rng;
         Ok(idx)
@@ -223,6 +252,61 @@ impl HnswIndex {
         let kept = robust_prune(&self.vectors, &self.metric, u, cands, 1.0, cap);
         self.layers[layer].set_neighbors(u, kept);
     }
+
+    /// Number of tombstoned nodes.
+    pub fn removed(&self) -> usize {
+        self.removed
+    }
+
+    /// Re-point `entry` at the highest-level live node (after the old
+    /// entry was tombstoned). Leaves `entry` untouched when no live
+    /// node remains — searches bail out on `live() == 0` before use.
+    fn promote_entry(&mut self) {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, &lv) in self.levels.iter().enumerate() {
+            if !self.deleted[i] && best.is_none_or(|(_, bl)| lv > bl) {
+                best = Some((i, lv));
+            }
+        }
+        if let Some((i, _)) = best {
+            self.entry = i;
+        }
+    }
+
+    /// Local re-pruning pass: rewrite every live node's list that still
+    /// points at tombstones, contracting each dead edge through the dead
+    /// node's live neighbors (2-hop), then robust-pruning back to the
+    /// degree cap. Keeps the live subgraph connected as tombstones
+    /// accumulate — the EXPERIMENTS.md §Vamana disconnection lesson.
+    pub fn repair(&mut self) {
+        for l in 0..self.layers.len() {
+            for u in 0..self.layers[l].len() {
+                if self.deleted[u] {
+                    continue;
+                }
+                let list: Vec<u32> = self.layers[l].neighbors(u).to_vec();
+                if !list.iter().any(|&v| self.deleted[v as usize]) {
+                    continue;
+                }
+                let mut patched: Vec<u32> = Vec::with_capacity(list.len());
+                for &v in &list {
+                    if self.deleted[v as usize] {
+                        for &w in self.layers[l].neighbors(v as usize) {
+                            if w as usize != u && !self.deleted[w as usize] && !patched.contains(&w)
+                            {
+                                patched.push(w);
+                            }
+                        }
+                    } else if !patched.contains(&v) {
+                        patched.push(v);
+                    }
+                }
+                self.layers[l].set_neighbors(u, patched);
+                self.shrink(u, l);
+            }
+        }
+        self.removed_since_repair = 0;
+    }
 }
 
 impl VectorIndex for HnswIndex {
@@ -250,11 +334,31 @@ impl VectorIndex for HnswIndex {
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.vectors.is_empty() || self.live() == 0 {
             return Ok(Vec::new());
         }
         let top = self.levels[self.entry];
         let entry = self.descend(query, top, 0);
+        if self.removed > 0 {
+            // Tombstone traversal: deleted nodes route, never surface.
+            let live = LiveFilter {
+                deleted: &self.deleted,
+                inner: None,
+            };
+            return Ok(beam_search_filtered(
+                &self.layers[0],
+                &self.vectors,
+                &self.metric,
+                query,
+                &[entry],
+                k,
+                params.beam_width,
+                ctx,
+                &live,
+                params.beam_width * 16,
+                None,
+            ));
+        }
         Ok(beam_search(
             &self.layers[0],
             &self.vectors,
@@ -280,7 +384,7 @@ impl VectorIndex for HnswIndex {
         filter: &dyn RowFilter,
     ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.vectors.is_empty() || self.live() == 0 {
             return Ok(Vec::new());
         }
         let top = self.levels[self.entry];
@@ -292,6 +396,10 @@ impl VectorIndex for HnswIndex {
             }
             _ => params.beam_width * 16,
         };
+        let live = LiveFilter {
+            deleted: &self.deleted,
+            inner: Some(filter),
+        };
         Ok(beam_search_filtered(
             &self.layers[0],
             &self.vectors,
@@ -301,7 +409,7 @@ impl VectorIndex for HnswIndex {
             k,
             params.beam_width,
             ctx,
-            filter,
+            if self.removed > 0 { &live } else { filter },
             cap,
             None,
         ))
@@ -319,11 +427,15 @@ impl VectorIndex for HnswIndex {
         filter: &dyn RowFilter,
     ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.vectors.is_empty() || self.live() == 0 {
             return Ok(Vec::new());
         }
         let top = self.levels[self.entry];
         let entry = self.descend(query, top, 0);
+        let live = LiveFilter {
+            deleted: &self.deleted,
+            inner: Some(filter),
+        };
         Ok(crate::graph::beam_search_blocked(
             &self.layers[0],
             &self.vectors,
@@ -333,7 +445,7 @@ impl VectorIndex for HnswIndex {
             k,
             params.beam_width,
             ctx,
-            filter,
+            if self.removed > 0 { &live } else { filter },
             None,
         ))
     }
@@ -345,12 +457,17 @@ impl VectorIndex for HnswIndex {
             memory_bytes: bytes + self.levels.len() * 8,
             structure_entries: edges,
             detail: format!(
-                "m={} layers={} mean_degree0={:.1}",
+                "m={} layers={} mean_degree0={:.1} removed={}",
                 self.cfg.m,
                 self.layers.len(),
-                self.layers[0].mean_degree()
+                self.layers[0].mean_degree(),
+                self.removed
             ),
         }
+    }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        Some(self)
     }
 }
 
@@ -370,6 +487,7 @@ impl DynamicIndex for HnswIndex {
             l.push_node();
         }
         self.levels.push(level);
+        self.deleted.push(false);
         if row == 0 {
             self.entry = 0;
             return Ok(0);
@@ -388,7 +506,7 @@ impl DynamicIndex for HnswIndex {
         // across the whole build loop).
         context::with_local(|ctx| {
             for l in (0..=level.min(top)).rev() {
-                let found = beam_search(
+                let mut found = beam_search(
                     &self.layers[l],
                     &self.vectors,
                     &self.metric,
@@ -399,22 +517,85 @@ impl DynamicIndex for HnswIndex {
                     ctx,
                     None,
                 );
+                if let Some(best) = found.first() {
+                    entry = best.id;
+                }
+                if self.removed > 0 {
+                    // Connect only to live nodes; tombstones just route.
+                    found.retain(|n| !self.deleted[n.id]);
+                }
                 let m = self.cfg.m;
-                let kept = robust_prune(&self.vectors, &self.metric, row, found.clone(), 1.0, m);
+                let kept = robust_prune(&self.vectors, &self.metric, row, found, 1.0, m);
                 for &v in &kept {
                     self.layers[l].add_edge(row, v);
                     self.layers[l].add_edge(v as usize, row as u32);
                     self.shrink(v as usize, l);
                 }
-                if let Some(best) = found.first() {
-                    entry = best.id;
-                }
             }
         });
-        if level > top {
+        if level > top || self.deleted[self.entry] {
             self.entry = row;
         }
         Ok(row)
+    }
+}
+
+impl MutableIndex for HnswIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        DynamicIndex::insert(self, vector)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.vectors.len() {
+            return Err(Error::NotFound(format!("hnsw row {id} out of range")));
+        }
+        if self.deleted[id] {
+            return Ok(false);
+        }
+        self.deleted[id] = true;
+        self.removed += 1;
+        self.removed_since_repair += 1;
+        // Patch: re-wire every symmetric in-neighbor of the tombstone to
+        // the tombstone's remaining live neighbors (path contraction),
+        // then re-prune it to the degree cap. The tombstone keeps its own
+        // out-edges so asymmetric in-edges still route through it.
+        for l in 0..=self.levels[id].min(self.layers.len() - 1) {
+            let nbrs: Vec<u32> = self.layers[l].neighbors(id).to_vec();
+            let live: Vec<u32> = nbrs
+                .iter()
+                .copied()
+                .filter(|&v| !self.deleted[v as usize])
+                .collect();
+            for &u in &nbrs {
+                let u = u as usize;
+                if self.deleted[u] {
+                    continue;
+                }
+                let list: Vec<u32> = self.layers[l].neighbors(u).to_vec();
+                if !list.contains(&(id as u32)) {
+                    continue;
+                }
+                let mut patched: Vec<u32> = list.into_iter().filter(|&v| v != id as u32).collect();
+                for &w in &live {
+                    if w as usize != u && !patched.contains(&w) {
+                        patched.push(w);
+                    }
+                }
+                self.layers[l].set_neighbors(u, patched);
+                self.shrink(u, l);
+            }
+        }
+        if id == self.entry {
+            self.promote_entry();
+        }
+        if self.removed_since_repair >= REPAIR_MIN.max(self.live() / 50) {
+            self.repair();
+        }
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.vectors.len() - self.removed
     }
 }
 
@@ -607,9 +788,70 @@ mod tests {
     fn insert_after_build_is_searchable() {
         let (mut idx, _, _) = setup(500);
         let v = vec![99.0f32; 16];
-        let row = idx.insert(&v).unwrap();
+        let row = DynamicIndex::insert(&mut idx, &v).unwrap();
         let hits = idx.search(&v, 1, &SearchParams::default()).unwrap();
         assert_eq!(hits[0].id, row);
+    }
+
+    #[test]
+    fn removed_nodes_route_but_never_surface() {
+        let (mut idx, queries, _) = setup(1000);
+        for id in (0..1000).step_by(3) {
+            assert!(MutableIndex::remove(&mut idx, id).unwrap());
+        }
+        assert!(!MutableIndex::remove(&mut idx, 0).unwrap(), "idempotent");
+        assert_eq!(idx.live(), 1000 - 334);
+        let params = SearchParams::default().with_beam_width(64);
+        for q in queries.iter() {
+            let hits = idx.search(q, 10, &params).unwrap();
+            assert_eq!(hits.len(), 10);
+            assert!(hits.iter().all(|n| n.id % 3 != 0), "tombstone surfaced");
+        }
+        // Live self-queries still find themselves: the patched graph
+        // stays navigable after repair passes.
+        for id in (1..1000).step_by(97) {
+            if id % 3 == 0 {
+                continue;
+            }
+            let v = idx.vectors.get(id).to_vec();
+            let hits = idx.search(&v, 1, &params).unwrap();
+            assert_eq!(hits[0].id, id, "self-query lost node {id}");
+        }
+        // Filtered search composes the caller filter with liveness.
+        let f = |id: usize| id.is_multiple_of(2);
+        for q in queries.iter().take(5) {
+            let hits = idx.search_filtered(q, 5, &params, &f).unwrap();
+            assert!(hits.iter().all(|n| n.id % 2 == 0 && n.id % 3 != 0));
+        }
+    }
+
+    #[test]
+    fn removing_entry_promotes_live_node() {
+        let (mut idx, _, _) = setup(300);
+        let old_entry = idx.entry;
+        assert!(MutableIndex::remove(&mut idx, old_entry).unwrap());
+        assert_ne!(idx.entry, old_entry);
+        assert!(!idx.deleted[idx.entry]);
+        let v = idx.vectors.get(1).to_vec();
+        let hits = idx.search(&v, 1, &SearchParams::default()).unwrap();
+        assert!(hits[0].id != old_entry);
+    }
+
+    #[test]
+    fn insert_after_remove_reconnects() {
+        let (mut idx, _, _) = setup(400);
+        for id in 0..100 {
+            MutableIndex::remove(&mut idx, id).unwrap();
+        }
+        let v = vec![7.0f32; 16];
+        let row = MutableIndex::insert(&mut idx, &v).unwrap();
+        assert_eq!(row, 400);
+        let hits = idx.search(&v, 1, &SearchParams::default()).unwrap();
+        assert_eq!(hits[0].id, row);
+        // New node connected only to live neighbors.
+        for &nb in idx.layer(0).neighbors(row) {
+            assert!(!idx.deleted[nb as usize]);
+        }
     }
 
     #[test]

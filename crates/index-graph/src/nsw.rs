@@ -6,10 +6,12 @@
 //! as the graph densifies around them, which is what makes the flat graph
 //! navigable.
 
-use crate::graph::{beam_search, AdjacencyList, SharedAdjacency};
+use crate::graph::{beam_search, beam_search_filtered, AdjacencyList, SharedAdjacency};
 use vdb_core::context::{self, SearchContext};
 use vdb_core::error::{Error, Result};
-use vdb_core::index::{check_query, DynamicIndex, IndexStats, SearchParams, VectorIndex};
+use vdb_core::index::{
+    check_query, DynamicIndex, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
+};
 use vdb_core::metric::Metric;
 use vdb_core::parallel::{parallel_queue, BuildOptions};
 use vdb_core::topk::Neighbor;
@@ -39,6 +41,27 @@ pub struct NswIndex {
     metric: Metric,
     adj: AdjacencyList,
     cfg: NswConfig,
+    /// Entry point for traversal: node 0 until that node is tombstoned,
+    /// then the lowest-id live node.
+    entry: usize,
+    /// Tombstones: deleted nodes keep their out-edges for routing.
+    deleted: Vec<bool>,
+    removed: usize,
+}
+
+/// Live-rows-only filter for tombstone traversal (see `hnsw::LiveFilter`).
+struct LiveFilter<'a> {
+    deleted: &'a [bool],
+    inner: Option<&'a dyn RowFilter>,
+}
+
+impl RowFilter for LiveFilter<'_> {
+    fn accept(&self, id: usize) -> bool {
+        !self.deleted[id] && self.inner.is_none_or(|f| f.accept(id))
+    }
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.inner.and_then(|f| f.selectivity_hint())
+    }
 }
 
 impl NswIndex {
@@ -53,6 +76,9 @@ impl NswIndex {
             metric,
             adj: AdjacencyList::default(),
             cfg,
+            entry: 0,
+            deleted: Vec::new(),
+            removed: 0,
         })
     }
 
@@ -60,7 +86,7 @@ impl NswIndex {
     pub fn build(vectors: Vectors, metric: Metric, cfg: NswConfig) -> Result<Self> {
         let mut idx = NswIndex::new(vectors.dim(), metric, cfg)?;
         for row in vectors.iter() {
-            idx.insert(row)?;
+            DynamicIndex::insert(&mut idx, row)?;
         }
         Ok(idx)
     }
@@ -116,6 +142,7 @@ impl NswIndex {
             });
         }
         idx.adj = shared.into_adjacency();
+        idx.deleted = vec![false; n];
         idx.vectors = vectors;
         Ok(idx)
     }
@@ -123,6 +150,11 @@ impl NswIndex {
     /// The underlying adjacency (diagnostics).
     pub fn adjacency(&self) -> &AdjacencyList {
         &self.adj
+    }
+
+    /// Number of tombstoned nodes.
+    pub fn removed(&self) -> usize {
+        self.removed
     }
 }
 
@@ -151,15 +183,35 @@ impl VectorIndex for NswIndex {
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>> {
         check_query(self.dim(), query)?;
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.vectors.is_empty() || self.live() == 0 {
             return Ok(Vec::new());
+        }
+        if self.removed > 0 {
+            // Tombstone traversal: deleted nodes route, never surface.
+            let live = LiveFilter {
+                deleted: &self.deleted,
+                inner: None,
+            };
+            return Ok(beam_search_filtered(
+                &self.adj,
+                &self.vectors,
+                &self.metric,
+                query,
+                &[self.entry],
+                k,
+                params.beam_width,
+                ctx,
+                &live,
+                params.beam_width * 16,
+                None,
+            ));
         }
         Ok(beam_search(
             &self.adj,
             &self.vectors,
             &self.metric,
             query,
-            &[0], // first inserted node doubles as the fixed entry point
+            &[self.entry], // lowest-id live node (node 0 until tombstoned)
             k,
             params.beam_width,
             ctx,
@@ -171,8 +223,17 @@ impl VectorIndex for NswIndex {
         IndexStats {
             memory_bytes: self.adj.memory_bytes(),
             structure_entries: self.adj.edge_count(),
-            detail: format!("m={} mean_degree={:.1}", self.cfg.m, self.adj.mean_degree()),
+            detail: format!(
+                "m={} mean_degree={:.1} removed={}",
+                self.cfg.m,
+                self.adj.mean_degree(),
+                self.removed
+            ),
         }
+    }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        Some(self)
     }
 }
 
@@ -180,22 +241,29 @@ impl DynamicIndex for NswIndex {
     fn insert(&mut self, vector: &[f32]) -> Result<usize> {
         let row = self.vectors.push(vector)?;
         self.adj.push_node();
+        self.deleted.push(false);
         if row == 0 {
             return Ok(0);
         }
-        let found = context::with_local(|ctx| {
+        if self.deleted[self.entry] {
+            self.entry = row; // re-anchor on the fresh live node
+        }
+        let mut found = context::with_local(|ctx| {
             beam_search(
                 &self.adj,
                 &self.vectors,
                 &self.metric,
                 self.vectors.get(row),
-                &[0],
+                &[self.entry],
                 self.cfg.m,
                 self.cfg.ef_construction,
                 ctx,
                 None,
             )
         });
+        if self.removed > 0 {
+            found.retain(|n| !self.deleted[n.id]);
+        }
         for n in found {
             if n.id != row {
                 self.adj.add_edge(row, n.id as u32);
@@ -203,6 +271,61 @@ impl DynamicIndex for NswIndex {
             }
         }
         Ok(row)
+    }
+}
+
+impl MutableIndex for NswIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        DynamicIndex::insert(self, vector)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.vectors.len() {
+            return Err(Error::NotFound(format!("nsw row {id} out of range")));
+        }
+        if self.deleted[id] {
+            return Ok(false);
+        }
+        self.deleted[id] = true;
+        self.removed += 1;
+        // Patch in-neighbors by contracting the tombstone: each live
+        // neighbor drops its edge to `id` and inherits `id`'s remaining
+        // live neighbors, keeping the live subgraph connected. The
+        // tombstone keeps its out-edges so stray in-edges still route.
+        let nbrs: Vec<u32> = self.adj.neighbors(id).to_vec();
+        let live_nbrs: Vec<u32> = nbrs
+            .iter()
+            .copied()
+            .filter(|&v| !self.deleted[v as usize])
+            .collect();
+        for &u in &nbrs {
+            let u = u as usize;
+            if self.deleted[u] {
+                continue;
+            }
+            let list: Vec<u32> = self.adj.neighbors(u).to_vec();
+            if !list.contains(&(id as u32)) {
+                continue;
+            }
+            let mut patched: Vec<u32> = list.into_iter().filter(|&v| v != id as u32).collect();
+            for &w in &live_nbrs {
+                if w as usize != u && !patched.contains(&w) {
+                    patched.push(w);
+                }
+            }
+            self.adj.set_neighbors(u, patched);
+        }
+        if id == self.entry {
+            // Lowest-id live node becomes the new anchor.
+            if let Some(e) = (0..self.vectors.len()).find(|&i| !self.deleted[i]) {
+                self.entry = e;
+            }
+        }
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.vectors.len() - self.removed
     }
 }
 
@@ -254,7 +377,7 @@ mod tests {
         let built = NswIndex::build(data.clone(), Metric::Euclidean, NswConfig::default()).unwrap();
         let mut incremental = NswIndex::new(6, Metric::Euclidean, NswConfig::default()).unwrap();
         for row in data.iter() {
-            incremental.insert(row).unwrap();
+            DynamicIndex::insert(&mut incremental, row).unwrap();
         }
         // Same construction path => identical graphs.
         for u in 0..200 {
@@ -287,6 +410,34 @@ mod tests {
     }
 
     #[test]
+    fn removed_nodes_never_surface_including_entry() {
+        let mut rng = Rng::seed_from_u64(11);
+        let data = dataset::clustered(800, 8, 5, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 10, 0.05, &mut rng);
+        let mut idx = NswIndex::build(data, Metric::Euclidean, NswConfig::default()).unwrap();
+        // Tombstone the fixed entry (node 0) plus a band of others.
+        for id in 0..200 {
+            assert!(MutableIndex::remove(&mut idx, id).unwrap());
+        }
+        assert_ne!(idx.entry, 0, "entry re-anchored off the tombstone");
+        assert_eq!(idx.live(), 600);
+        let params = SearchParams::default().with_beam_width(96);
+        for q in queries.iter() {
+            let hits = idx.search(q, 10, &params).unwrap();
+            assert_eq!(hits.len(), 10);
+            assert!(hits.iter().all(|n| n.id >= 200), "tombstone surfaced");
+        }
+        // Inserts after removal connect to live nodes only.
+        let v = vec![3.0f32; 8];
+        let row = MutableIndex::insert(&mut idx, &v).unwrap();
+        for &nb in idx.adjacency().neighbors(row) {
+            assert!(nb as usize >= 200);
+        }
+        let hits = idx.search(&v, 1, &params).unwrap();
+        assert_eq!(hits[0].id, row);
+    }
+
+    #[test]
     fn empty_and_singleton_behave() {
         let idx = NswIndex::new(4, Metric::Euclidean, NswConfig::default()).unwrap();
         assert!(idx
@@ -294,7 +445,7 @@ mod tests {
             .unwrap()
             .is_empty());
         let mut idx = idx;
-        idx.insert(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        DynamicIndex::insert(&mut idx, &[1.0, 0.0, 0.0, 0.0]).unwrap();
         let hits = idx
             .search(&[1.0, 0.0, 0.0, 0.0], 3, &SearchParams::default())
             .unwrap();

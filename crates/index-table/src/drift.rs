@@ -1,0 +1,98 @@
+//! Per-list centroid-drift detection for the IVF family.
+//!
+//! Out-of-place merges rebuild the whole coarse quantizer; online list
+//! appends cannot. Instead each list accumulates a running sum of the
+//! vectors appended since its centroid was last set. When a list has
+//! absorbed enough appends *and* their mean sits far from the list's
+//! centroid — measured against the mean inter-centroid spacing fixed at
+//! build time — the list is flagged for targeted re-clustering: its
+//! centroid is recomputed as the mean of its current members and rows
+//! that now sit closer to a sibling centroid are re-homed. Only drifted
+//! lists pay; undisturbed lists are never touched.
+
+use vdb_core::kernel;
+use vdb_quant::KMeans;
+
+/// Appends required before a list is even considered drifted.
+const MIN_APPENDS: u32 = 8;
+/// Appended mass must rival this fraction of the settled mass.
+const APPEND_FRACTION: f32 = 0.5;
+/// Drift fires when the appended mean is this fraction of the mean
+/// nearest-centroid spacing away from the list's centroid.
+const SPACING_FRACTION: f32 = 0.5;
+
+/// Per-list drift accounting (see module docs).
+pub(crate) struct DriftTracker {
+    dim: usize,
+    /// Appends per list since its centroid was last (re)set.
+    appended: Vec<u32>,
+    /// Running sum of appended vectors (allocated on first append).
+    sums: Vec<Vec<f32>>,
+    /// List length at the last (re)cluster.
+    base_len: Vec<u32>,
+    /// Mean L2 distance from each centroid to its nearest sibling.
+    spacing: f32,
+}
+
+impl DriftTracker {
+    pub(crate) fn new(coarse: &KMeans, lists: &[Vec<u32>], dim: usize) -> Self {
+        let k = coarse.k();
+        let cents = coarse.centroids();
+        let mut spacing = 0.0f64;
+        if k > 1 {
+            for i in 0..k {
+                let mut best = f32::INFINITY;
+                for j in 0..k {
+                    if i != j {
+                        best = best.min(kernel::l2_sq(cents.get(i), cents.get(j)));
+                    }
+                }
+                spacing += (best as f64).sqrt();
+            }
+            spacing /= k as f64;
+        }
+        DriftTracker {
+            dim,
+            appended: vec![0; k],
+            sums: vec![Vec::new(); k],
+            base_len: lists.iter().map(|l| l.len() as u32).collect(),
+            spacing: spacing as f32,
+        }
+    }
+
+    /// Account one append of `v` to list `c`.
+    pub(crate) fn record_append(&mut self, c: usize, v: &[f32]) {
+        if self.sums[c].is_empty() {
+            self.sums[c] = vec![0.0; self.dim];
+        }
+        for (s, &x) in self.sums[c].iter_mut().zip(v) {
+            *s += x;
+        }
+        self.appended[c] += 1;
+    }
+
+    /// Whether list `c` has drifted away from `centroid`.
+    pub(crate) fn drifted(&self, c: usize, centroid: &[f32]) -> bool {
+        let a = self.appended[c];
+        if a < MIN_APPENDS
+            || (a as f32) < APPEND_FRACTION * self.base_len[c] as f32
+            || self.spacing <= 0.0
+        {
+            return false;
+        }
+        let inv = 1.0 / a as f32;
+        let mut d = 0.0f32;
+        for (s, &cc) in self.sums[c].iter().zip(centroid) {
+            let diff = s * inv - cc;
+            d += diff * diff;
+        }
+        d.sqrt() > SPACING_FRACTION * self.spacing
+    }
+
+    /// Reset list `c`'s accounting after its centroid was recomputed.
+    pub(crate) fn reset(&mut self, c: usize, new_len: usize) {
+        self.appended[c] = 0;
+        self.sums[c].clear();
+        self.base_len[c] = new_len as u32;
+    }
+}

@@ -7,10 +7,11 @@
 //! cluster-aligned attribute can prune whole lists (offline blocking).
 
 use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
+use crate::drift::DriftTracker;
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{
-    check_query, DynamicIndex, IndexStats, RowFilter, SearchParams, VectorIndex,
+    check_query, DynamicIndex, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
 };
 use vdb_core::metric::Metric;
 use vdb_core::parallel::BuildOptions;
@@ -47,7 +48,15 @@ pub struct IvfFlatIndex {
     coarse: KMeans,
     /// `lists[c]` = row ids assigned to centroid `c`.
     lists: Vec<Vec<u32>>,
+    /// Row -> list id; `u32::MAX` marks a removed row.
+    assigns: Vec<u32>,
+    removed: usize,
+    drift: DriftTracker,
+    reclusters: usize,
 }
+
+/// Sentinel list id for removed rows.
+pub(crate) const REMOVED: u32 = u32::MAX;
 
 impl IvfFlatIndex {
     /// Build over an owned collection (serial, bit-deterministic).
@@ -69,11 +78,16 @@ impl IvfFlatIndex {
         let coarse = train_coarse_with(&vectors, cfg.nlist, cfg.train_iters, cfg.seed, opts)?;
         let assigns = assign_rows(&coarse, &vectors, opts);
         let lists = scatter_lists(&assigns, coarse.k());
+        let drift = DriftTracker::new(&coarse, &lists, vectors.dim());
         Ok(IvfFlatIndex {
+            assigns: assigns.iter().map(|&c| c as u32).collect(),
             vectors,
             metric,
             coarse,
             lists,
+            removed: 0,
+            drift,
+            reclusters: 0,
         })
     }
 
@@ -91,6 +105,51 @@ impl IvfFlatIndex {
     /// Number of lists.
     pub fn nlist(&self) -> usize {
         self.lists.len()
+    }
+
+    /// Targeted re-clusterings performed so far (drift repairs).
+    pub fn reclusters(&self) -> usize {
+        self.reclusters
+    }
+
+    /// Re-cluster list `c` if its appended mass has drifted: recompute
+    /// the centroid as the mean of current members and re-home members
+    /// that now sit closer to a sibling centroid (drifted lists only —
+    /// the targeted alternative to retraining the coarse quantizer).
+    fn maybe_recluster(&mut self, c: usize) {
+        if !self.drift.drifted(c, self.coarse.centroids().get(c)) {
+            return;
+        }
+        let members = std::mem::take(&mut self.lists[c]);
+        if members.is_empty() {
+            self.drift.reset(c, 0);
+            return;
+        }
+        let mut mean = vec![0.0f32; self.vectors.dim()];
+        for &row in &members {
+            for (m, &x) in mean.iter_mut().zip(self.vectors.get(row as usize)) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / members.len() as f32;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        self.coarse.set_centroid(c, &mean);
+        let mut keep = Vec::with_capacity(members.len());
+        for &row in &members {
+            let c2 = self.coarse.assign(self.vectors.get(row as usize)).0;
+            if c2 == c {
+                keep.push(row);
+            } else {
+                self.lists[c2].push(row);
+                self.assigns[row as usize] = c2 as u32;
+            }
+        }
+        let kept = keep.len();
+        self.lists[c] = keep;
+        self.drift.reset(c, kept);
+        self.reclusters += 1;
     }
 
     /// Probe the `nprobe` nearest lists into the context's probe buffer,
@@ -193,17 +252,59 @@ impl VectorIndex for IvfFlatIndex {
         IndexStats {
             memory_bytes: entries * 4 + self.coarse.k() * self.dim() * 4,
             structure_entries: entries,
-            detail: format!("nlist={}", self.lists.len()),
+            detail: format!(
+                "nlist={} removed={} reclusters={}",
+                self.lists.len(),
+                self.removed,
+                self.reclusters
+            ),
         }
+    }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        Some(self)
     }
 }
 
 impl DynamicIndex for IvfFlatIndex {
     fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        MutableIndex::insert(self, vector)
+    }
+}
+
+impl MutableIndex for IvfFlatIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
         let row = self.vectors.push(vector)?;
         let c = self.coarse.assign(self.vectors.get(row)).0;
         self.lists[c].push(row as u32);
+        self.assigns.push(c as u32);
+        let v = self.vectors.get(row).to_vec();
+        self.drift.record_append(c, &v);
+        self.maybe_recluster(c);
         Ok(row)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.assigns.len() {
+            return Err(Error::NotFound(format!("ivf row {id} out of range")));
+        }
+        let c = self.assigns[id];
+        if c == REMOVED {
+            return Ok(false);
+        }
+        let list = &mut self.lists[c as usize];
+        let pos = list
+            .iter()
+            .position(|&r| r == id as u32)
+            .expect("assigned row is in its list");
+        list.swap_remove(pos);
+        self.assigns[id] = REMOVED;
+        self.removed += 1;
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.vectors.len() - self.removed
     }
 }
 
@@ -306,7 +407,7 @@ mod tests {
     fn insert_goes_to_nearest_list() {
         let (mut idx, _, _) = setup(8);
         let v = vec![3.0f32; 16];
-        let row = idx.insert(&v).unwrap();
+        let row = DynamicIndex::insert(&mut idx, &v).unwrap();
         let c = idx.coarse().assign(&v).0;
         assert!(idx.list(c).contains(&(row as u32)));
         let hits = idx
@@ -320,6 +421,61 @@ mod tests {
         let (idx, _, _) = setup(16);
         let total: usize = (0..idx.nlist()).map(|c| idx.list(c).len()).sum();
         assert_eq!(total, idx.len());
+    }
+
+    #[test]
+    fn removed_rows_leave_their_list_and_never_surface() {
+        let (mut idx, queries, _) = setup(16);
+        for id in (0..3000).step_by(4) {
+            assert!(MutableIndex::remove(&mut idx, id).unwrap());
+        }
+        assert!(!MutableIndex::remove(&mut idx, 0).unwrap(), "idempotent");
+        assert_eq!(idx.live(), 3000 - 750);
+        let total: usize = (0..idx.nlist()).map(|c| idx.list(c).len()).sum();
+        assert_eq!(total, idx.live(), "removed rows leave the lists");
+        let params = SearchParams::default().with_nprobe(16);
+        for q in queries.iter() {
+            let hits = idx.search(q, 10, &params).unwrap();
+            assert!(hits.iter().all(|n| n.id % 4 != 0), "tombstone surfaced");
+        }
+    }
+
+    #[test]
+    fn drifted_list_recluster_moves_centroid() {
+        // Small uniform base, then a stream of appends far outside the
+        // trained region: the receiving list's centroid must chase them.
+        let mut rng = Rng::seed_from_u64(5);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let mut idx = IvfFlatIndex::build(data, Metric::Euclidean, &IvfConfig::new(4)).unwrap();
+        let far = vec![50.0f32; 8];
+        let c0 = idx.coarse().assign(&far).0;
+        let before = idx.coarse().centroids().get(c0).to_vec();
+        for i in 0..120 {
+            let v: Vec<f32> = (0..8).map(|j| 50.0 + ((i + j) % 7) as f32 * 0.1).collect();
+            DynamicIndex::insert(&mut idx, &v).unwrap();
+        }
+        assert!(idx.reclusters() > 0, "drift never fired");
+        let c1 = idx.coarse().assign(&far).0;
+        let after = idx.coarse().centroids().get(c1).to_vec();
+        let d_before: f32 = far
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let d_after: f32 = far.iter().zip(&after).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(
+            d_after < d_before,
+            "recluster should pull a centroid toward the appended mass"
+        );
+        // Every live row is still in exactly one list, in the list its
+        // assignment claims.
+        let total: usize = (0..idx.nlist()).map(|c| idx.list(c).len()).sum();
+        assert_eq!(total, idx.live());
+        for c in 0..idx.nlist() {
+            for &row in idx.list(c) {
+                assert_eq!(idx.assigns[row as usize], c as u32);
+            }
+        }
     }
 
     #[test]

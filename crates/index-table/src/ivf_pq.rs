@@ -8,11 +8,14 @@
 //! code — the loop SIMD-accelerated by QuickADC-style techniques (§2.3).
 
 use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
-use crate::ivf::IvfConfig;
+use crate::drift::DriftTracker;
+use crate::ivf::{IvfConfig, REMOVED};
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
-use vdb_core::error::Result;
-use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{
+    check_query, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
+};
 use vdb_core::metric::Metric;
 use vdb_core::parallel::BuildOptions;
 use vdb_core::topk::Neighbor;
@@ -59,6 +62,11 @@ pub struct IvfPqIndex {
     /// Per-list concatenated residual PQ codes.
     codes: Vec<Vec<u8>>,
     refine: Option<Arc<Vectors>>,
+    /// Row -> list id; `REMOVED` marks a tombstoned row.
+    assigns: Vec<u32>,
+    removed: usize,
+    drift: DriftTracker,
+    reclusters: usize,
 }
 
 impl IvfPqIndex {
@@ -115,16 +123,80 @@ impl IvfPqIndex {
             })
             .collect();
         let n = vectors.len();
+        let drift = DriftTracker::new(&coarse, &lists, dim);
         Ok(IvfPqIndex {
             dim,
             n,
             metric,
+            assigns: assigns.iter().map(|&c| c as u32).collect(),
             coarse,
             pq,
             lists,
             codes,
             refine: cfg.refine.then(|| Arc::new(vectors)),
+            removed: 0,
+            drift,
+            reclusters: 0,
         })
+    }
+
+    /// Targeted re-clusterings performed so far (drift repairs).
+    pub fn reclusters(&self) -> usize {
+        self.reclusters
+    }
+
+    /// Re-cluster list `c` if drifted. PQ codes quantize *residuals*
+    /// against the list centroid, so unlike IVF-Flat/IVF-SQ every member
+    /// is re-encoded: kept rows against the recomputed centroid, moved
+    /// rows against their new home's centroid.
+    fn maybe_recluster(&mut self, c: usize) {
+        if !self.drift.drifted(c, self.coarse.centroids().get(c)) {
+            return;
+        }
+        let full = match &self.refine {
+            Some(full) => Arc::clone(full),
+            None => return,
+        };
+        let members = std::mem::take(&mut self.lists[c]);
+        self.codes[c].clear();
+        if members.is_empty() {
+            self.drift.reset(c, 0);
+            return;
+        }
+        let mut mean = vec![0.0f32; self.dim];
+        for &row in &members {
+            for (m, &x) in mean.iter_mut().zip(full.get(row as usize)) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / members.len() as f32;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        self.coarse.set_centroid(c, &mean);
+        let m = self.pq.code_len();
+        let mut residual = vec![0.0f32; self.dim];
+        let mut code = vec![0u8; m];
+        let mut kept = 0;
+        for &row in &members {
+            let v = full.get(row as usize);
+            let c2 = self.coarse.assign(v).0;
+            let centroid = self.coarse.centroids().get(c2);
+            for i in 0..self.dim {
+                residual[i] = v[i] - centroid[i];
+            }
+            self.pq
+                .encode_into(&residual, &mut code)
+                .expect("row dim matches quantizer dim");
+            self.lists[c2].push(row);
+            self.codes[c2].extend_from_slice(&code);
+            self.assigns[row as usize] = c2 as u32;
+            if c2 == c {
+                kept += 1;
+            }
+        }
+        self.drift.reset(c, kept);
+        self.reclusters += 1;
     }
 
     /// Bytes of compressed code per vector.
@@ -256,8 +328,78 @@ impl VectorIndex for IvfPqIndex {
                 + self.coarse.k() * self.dim * 4
                 + self.pq.memory_bytes(),
             structure_entries: ids,
-            detail: format!("nlist={} m={}", self.lists.len(), self.pq.m()),
+            detail: format!(
+                "nlist={} m={} removed={} reclusters={}",
+                self.lists.len(),
+                self.pq.m(),
+                self.removed,
+                self.reclusters
+            ),
         }
+    }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        // Mutability needs the full-precision originals: inserts must
+        // encode fresh residuals and re-clustering re-encodes members.
+        if self.refine.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl MutableIndex for IvfPqIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let full = self.refine.as_mut().ok_or_else(|| {
+            Error::Unsupported("ivf_pq without refine vectors is immutable".into())
+        })?;
+        let row = Arc::make_mut(full).push(vector)?;
+        debug_assert_eq!(row, self.assigns.len());
+        let c = self.coarse.assign(vector).0;
+        let centroid = self.coarse.centroids().get(c);
+        let residual: Vec<f32> = vector.iter().zip(centroid).map(|(v, cc)| v - cc).collect();
+        let code = self.pq.encode(&residual)?;
+        self.lists[c].push(row as u32);
+        self.codes[c].extend_from_slice(&code);
+        self.assigns.push(c as u32);
+        self.n += 1;
+        self.drift.record_append(c, vector);
+        self.maybe_recluster(c);
+        Ok(row)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.assigns.len() {
+            return Err(Error::NotFound(format!("ivf_pq row {id} out of range")));
+        }
+        let c = self.assigns[id];
+        if c == REMOVED {
+            return Ok(false);
+        }
+        let c = c as usize;
+        let pos = self.lists[c]
+            .iter()
+            .position(|&r| r == id as u32)
+            .expect("assigned row is in its list");
+        self.lists[c].swap_remove(pos);
+        // Mirror the swap_remove on the aligned code block.
+        let m = self.pq.code_len();
+        let codes = &mut self.codes[c];
+        let last = codes.len() - m;
+        let start = pos * m;
+        if start < last {
+            let (head, tail) = codes.split_at_mut(last);
+            head[start..start + m].copy_from_slice(tail);
+        }
+        codes.truncate(last);
+        self.assigns[id] = REMOVED;
+        self.removed += 1;
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.n - self.removed
     }
 }
 
@@ -331,6 +473,82 @@ mod tests {
         assert_eq!(idx.bytes_per_vector(), 8);
         // 8 bytes vs 64 bytes raw = 8x compression.
         assert!(idx.stats().memory_bytes < idx.len() * 16 * 4);
+    }
+
+    #[test]
+    fn removed_rows_leave_their_list_and_never_surface() {
+        let (mut idx, queries, _) = setup(8, true);
+        for id in (0..2000).step_by(4) {
+            assert!(MutableIndex::remove(&mut idx, id).unwrap());
+        }
+        assert!(!MutableIndex::remove(&mut idx, 0).unwrap(), "idempotent");
+        assert_eq!(idx.live(), 2000 - 500);
+        let ids: usize = idx.lists.iter().map(Vec::len).sum();
+        assert_eq!(ids, idx.live(), "removed rows leave the lists");
+        let m = idx.pq.code_len();
+        for (rows, codes) in idx.lists.iter().zip(&idx.codes) {
+            assert_eq!(codes.len(), rows.len() * m, "codes track their list");
+        }
+        let params = SearchParams::default().with_nprobe(16);
+        for q in queries.iter() {
+            let hits = idx.search(q, 10, &params).unwrap();
+            assert!(hits.iter().all(|n| n.id % 4 != 0), "tombstone surfaced");
+        }
+    }
+
+    #[test]
+    fn mutation_requires_refine_vectors() {
+        let (mut idx, _, _) = setup(8, false);
+        assert!(idx.as_mutable().is_none());
+        assert!(MutableIndex::insert(&mut idx, &[0.0; 16]).is_err());
+        let (mut idx, _, _) = setup(8, true);
+        assert!(idx.as_mutable().is_some());
+    }
+
+    #[test]
+    fn drifted_list_recluster_reencodes_residuals() {
+        let mut rng = Rng::seed_from_u64(5);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let mut idx = IvfPqIndex::build(data, Metric::Euclidean, &IvfPqConfig::new(4, 4)).unwrap();
+        let far = vec![50.0f32; 8];
+        let before = idx
+            .coarse
+            .centroids()
+            .get(idx.coarse.assign(&far).0)
+            .to_vec();
+        for i in 0..120 {
+            let v: Vec<f32> = (0..8).map(|j| 50.0 + ((i + j) % 7) as f32 * 0.1).collect();
+            MutableIndex::insert(&mut idx, &v).unwrap();
+        }
+        assert!(idx.reclusters() > 0, "drift never fired");
+        let after = idx
+            .coarse
+            .centroids()
+            .get(idx.coarse.assign(&far).0)
+            .to_vec();
+        let d =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        assert!(
+            d(&far, &after) < d(&far, &before),
+            "recluster should pull a centroid toward the appended mass"
+        );
+        // Lists, code blocks, and assignments all stay consistent.
+        let m = idx.pq.code_len();
+        let mut seen = 0;
+        for c in 0..idx.lists.len() {
+            assert_eq!(idx.codes[c].len(), idx.lists[c].len() * m);
+            for &row in &idx.lists[c] {
+                assert_eq!(idx.assigns[row as usize], c as u32);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, idx.live());
+        // Residual codes were re-encoded against the moved centroid: a
+        // query at the appended mass must surface appended rows.
+        let hits = idx
+            .search(&far, 10, &SearchParams::default().with_nprobe(4))
+            .unwrap();
+        assert!(hits.iter().all(|n| n.id >= 200), "appended rows should win");
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! production deployment keeps on slower storage — see DESIGN.md).
 
 use crate::coarse::{assign_rows, scatter_lists, train_coarse_with};
-use crate::ivf::IvfConfig;
+use crate::drift::DriftTracker;
+use crate::ivf::{IvfConfig, REMOVED};
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
-use vdb_core::error::Result;
-use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIndex};
+use vdb_core::error::{Error, Result};
+use vdb_core::index::{
+    check_query, IndexStats, MutableIndex, RowFilter, SearchParams, VectorIndex,
+};
 use vdb_core::metric::Metric;
 use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
@@ -31,6 +34,11 @@ pub struct IvfSqIndex {
     /// Full-precision vectors for re-ranking (models the disk-resident
     /// originals; excluded from the index's memory accounting).
     refine: Option<Arc<Vectors>>,
+    /// Row -> list id; `REMOVED` marks a tombstoned row.
+    assigns: Vec<u32>,
+    removed: usize,
+    drift: DriftTracker,
+    reclusters: usize,
 }
 
 impl IvfSqIndex {
@@ -92,16 +100,77 @@ impl IvfSqIndex {
             })
             .collect();
         let (dim, n) = (vectors.dim(), vectors.len());
+        let drift = DriftTracker::new(&coarse, &lists, dim);
         Ok(IvfSqIndex {
             dim,
             n,
             metric,
+            assigns: assigns.iter().map(|&c| c as u32).collect(),
             coarse,
             sq,
             lists,
             codes,
             refine: refine.then(|| Arc::new(vectors)),
+            removed: 0,
+            drift,
+            reclusters: 0,
         })
+    }
+
+    /// Targeted re-clusterings performed so far (drift repairs).
+    pub fn reclusters(&self) -> usize {
+        self.reclusters
+    }
+
+    /// Re-cluster list `c` if drifted: recompute the centroid from the
+    /// full-precision members, then re-home rows now closer to a sibling
+    /// centroid. SQ codes quantize the vector itself (not a residual),
+    /// so moving a row just moves its code block — no re-encoding.
+    fn maybe_recluster(&mut self, c: usize) {
+        if !self.drift.drifted(c, self.coarse.centroids().get(c)) {
+            return;
+        }
+        let full = match &self.refine {
+            Some(full) => Arc::clone(full),
+            None => return,
+        };
+        let members = std::mem::take(&mut self.lists[c]);
+        let blocks = std::mem::take(&mut self.codes[c]);
+        if members.is_empty() {
+            self.drift.reset(c, 0);
+            return;
+        }
+        let mut mean = vec![0.0f32; self.dim];
+        for &row in &members {
+            for (m, &x) in mean.iter_mut().zip(full.get(row as usize)) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / members.len() as f32;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        self.coarse.set_centroid(c, &mean);
+        let cl = self.sq.code_len();
+        let mut keep = Vec::with_capacity(members.len());
+        let mut keep_codes = Vec::with_capacity(blocks.len());
+        for (i, &row) in members.iter().enumerate() {
+            let code = &blocks[i * cl..(i + 1) * cl];
+            let c2 = self.coarse.assign(full.get(row as usize)).0;
+            if c2 == c {
+                keep.push(row);
+                keep_codes.extend_from_slice(code);
+            } else {
+                self.lists[c2].push(row);
+                self.codes[c2].extend_from_slice(code);
+                self.assigns[row as usize] = c2 as u32;
+            }
+        }
+        let kept = keep.len();
+        self.lists[c] = keep;
+        self.codes[c] = keep_codes;
+        self.drift.reset(c, kept);
+        self.reclusters += 1;
     }
 
     /// Bytes of compressed code per vector.
@@ -222,11 +291,75 @@ impl VectorIndex for IvfSqIndex {
             memory_bytes: code_bytes + ids * 4 + self.coarse.k() * self.dim * 4,
             structure_entries: ids,
             detail: format!(
-                "nlist={} code_bytes/vec={}",
+                "nlist={} code_bytes/vec={} removed={} reclusters={}",
                 self.lists.len(),
-                self.sq.code_len()
+                self.sq.code_len(),
+                self.removed,
+                self.reclusters
             ),
         }
+    }
+
+    fn as_mutable(&mut self) -> Option<&mut dyn MutableIndex> {
+        // Mutability needs the full-precision originals: inserts must
+        // re-encode and re-clustering recomputes centroids from members.
+        if self.refine.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl MutableIndex for IvfSqIndex {
+    fn insert(&mut self, vector: &[f32]) -> Result<usize> {
+        let full = self.refine.as_mut().ok_or_else(|| {
+            Error::Unsupported("ivf_sq without refine vectors is immutable".into())
+        })?;
+        let row = Arc::make_mut(full).push(vector)?;
+        debug_assert_eq!(row, self.assigns.len());
+        let code = self.sq.encode(vector)?;
+        let c = self.coarse.assign(vector).0;
+        self.lists[c].push(row as u32);
+        self.codes[c].extend_from_slice(&code);
+        self.assigns.push(c as u32);
+        self.n += 1;
+        self.drift.record_append(c, vector);
+        self.maybe_recluster(c);
+        Ok(row)
+    }
+
+    fn remove(&mut self, id: usize) -> Result<bool> {
+        if id >= self.assigns.len() {
+            return Err(Error::NotFound(format!("ivf_sq row {id} out of range")));
+        }
+        let c = self.assigns[id];
+        if c == REMOVED {
+            return Ok(false);
+        }
+        let c = c as usize;
+        let pos = self.lists[c]
+            .iter()
+            .position(|&r| r == id as u32)
+            .expect("assigned row is in its list");
+        self.lists[c].swap_remove(pos);
+        // Mirror the swap_remove on the aligned code block.
+        let cl = self.sq.code_len();
+        let codes = &mut self.codes[c];
+        let last = codes.len() - cl;
+        let start = pos * cl;
+        if start < last {
+            let (head, tail) = codes.split_at_mut(last);
+            head[start..start + cl].copy_from_slice(tail);
+        }
+        codes.truncate(last);
+        self.assigns[id] = REMOVED;
+        self.removed += 1;
+        Ok(true)
+    }
+
+    fn live(&self) -> usize {
+        self.n - self.removed
     }
 }
 
@@ -296,6 +429,89 @@ mod tests {
             let hits = idx.search_filtered(q, 5, &params, &filter).unwrap();
             assert!(hits.iter().all(|n| n.id < 500));
         }
+    }
+
+    #[test]
+    fn removed_rows_leave_their_list_and_never_surface() {
+        let (mut idx, queries, _) = setup(SqBits::B8, true);
+        for id in (0..2000).step_by(4) {
+            assert!(MutableIndex::remove(&mut idx, id).unwrap());
+        }
+        assert!(!MutableIndex::remove(&mut idx, 0).unwrap(), "idempotent");
+        assert_eq!(idx.live(), 2000 - 500);
+        let ids: usize = idx.lists.iter().map(Vec::len).sum();
+        assert_eq!(ids, idx.live(), "removed rows leave the lists");
+        let cl = idx.sq.code_len();
+        for (rows, codes) in idx.lists.iter().zip(&idx.codes) {
+            assert_eq!(codes.len(), rows.len() * cl, "codes track their list");
+        }
+        let params = SearchParams::default().with_nprobe(16);
+        for q in queries.iter() {
+            let hits = idx.search(q, 10, &params).unwrap();
+            assert!(hits.iter().all(|n| n.id % 4 != 0), "tombstone surfaced");
+        }
+    }
+
+    #[test]
+    fn mutation_requires_refine_vectors() {
+        let (mut idx, _, _) = setup(SqBits::B8, false);
+        assert!(idx.as_mutable().is_none());
+        assert!(MutableIndex::insert(&mut idx, &[0.0; 16]).is_err());
+        let (mut idx, _, _) = setup(SqBits::B8, true);
+        assert!(idx.as_mutable().is_some());
+    }
+
+    #[test]
+    fn drifted_list_recluster_moves_centroid_and_codes_follow() {
+        let mut rng = Rng::seed_from_u64(5);
+        let data = dataset::gaussian(200, 8, &mut rng);
+        let mut idx = IvfSqIndex::build(
+            data,
+            Metric::Euclidean,
+            &IvfConfig::new(4),
+            SqBits::B8,
+            true,
+        )
+        .unwrap();
+        let far = vec![50.0f32; 8];
+        let before = idx
+            .coarse
+            .centroids()
+            .get(idx.coarse.assign(&far).0)
+            .to_vec();
+        for i in 0..120 {
+            let v: Vec<f32> = (0..8).map(|j| 50.0 + ((i + j) % 7) as f32 * 0.1).collect();
+            MutableIndex::insert(&mut idx, &v).unwrap();
+        }
+        assert!(idx.reclusters() > 0, "drift never fired");
+        let after = idx
+            .coarse
+            .centroids()
+            .get(idx.coarse.assign(&far).0)
+            .to_vec();
+        let d =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        assert!(
+            d(&far, &after) < d(&far, &before),
+            "recluster should pull a centroid toward the appended mass"
+        );
+        // Lists, code blocks, and assignments all stay consistent.
+        let cl = idx.sq.code_len();
+        let mut seen = 0;
+        for c in 0..idx.lists.len() {
+            assert_eq!(idx.codes[c].len(), idx.lists[c].len() * cl);
+            for &row in &idx.lists[c] {
+                assert_eq!(idx.assigns[row as usize], c as u32);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, idx.live());
+        // Moved rows keep searchable codes: a query at the appended mass
+        // must surface appended rows.
+        let hits = idx
+            .search(&far, 10, &SearchParams::default().with_nprobe(4))
+            .unwrap();
+        assert!(hits.iter().all(|n| n.id >= 200), "appended rows should win");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![allow(clippy::manual_is_multiple_of)]
 
 mod coarse;
+mod drift;
 pub mod ivf;
 pub mod ivf_pq;
 pub mod ivf_sq;

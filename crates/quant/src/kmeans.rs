@@ -265,6 +265,13 @@ impl KMeans {
     pub fn assign_all(&self, data: &Vectors) -> Vec<usize> {
         data.iter().map(|row| self.assign(row).0).collect()
     }
+
+    /// Overwrite centroid `c` in place (online maintenance: targeted
+    /// re-clustering recomputes a drifted list's centroid as the mean
+    /// of its current members). Panics on dimension mismatch.
+    pub fn set_centroid(&mut self, c: usize, v: &[f32]) {
+        self.centroids.get_mut(c).copy_from_slice(v);
+    }
 }
 
 /// Argmin over centroids, four at a time through the dispatched multi-row

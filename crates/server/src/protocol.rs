@@ -121,10 +121,22 @@ pub struct WireCollectionStats {
     pub indexed: u64,
     /// Rows waiting in the update buffer.
     pub buffered: u64,
-    /// Merges (index rebuilds) performed.
+    /// Merges (index rebuilds or in-place folds) performed.
     pub merges: u64,
     /// Main index name ("none" before the first merge).
     pub index_name: String,
+    /// Buffer depth that triggers maintenance.
+    pub merge_threshold: u64,
+    /// Buffer bound for background-mode admission control.
+    pub max_buffer: u64,
+    /// Active merge mode ("blocking", "incremental", or "background").
+    pub merge_mode: String,
+    /// Merges currently executing.
+    pub rebuilds_in_flight: u64,
+    /// Duration of the last atomic index publication, in microseconds.
+    pub last_swap_micros: u64,
+    /// Background merges that failed and were left for retry.
+    pub failed_merges: u64,
 }
 
 /// Serving counters reported by [`Request::ServerStats`].
@@ -142,6 +154,16 @@ pub struct ServerStatsSnapshot {
     pub protocol_errors: u64,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Total merges (rebuilds or in-place folds) across collections.
+    pub merges: u64,
+    /// Total rows waiting in update buffers across collections.
+    pub buffered: u64,
+    /// Merges currently executing across collections.
+    pub rebuilds_in_flight: u64,
+    /// Slowest recent atomic index publication, in microseconds.
+    pub last_swap_micros: u64,
+    /// Background merges that failed and were left for retry.
+    pub failed_merges: u64,
 }
 
 /// A client-to-server message.
@@ -466,6 +488,12 @@ impl Response {
                 wire::put_u64(&mut out, s.buffered);
                 wire::put_u64(&mut out, s.merges);
                 wire::put_str(&mut out, &s.index_name);
+                wire::put_u64(&mut out, s.merge_threshold);
+                wire::put_u64(&mut out, s.max_buffer);
+                wire::put_str(&mut out, &s.merge_mode);
+                wire::put_u64(&mut out, s.rebuilds_in_flight);
+                wire::put_u64(&mut out, s.last_swap_micros);
+                wire::put_u64(&mut out, s.failed_merges);
             }
             Response::ServerStats(s) => {
                 wire::put_u8(&mut out, RE_SERVER_STATS);
@@ -475,6 +503,11 @@ impl Response {
                 wire::put_u64(&mut out, s.busy);
                 wire::put_u64(&mut out, s.protocol_errors);
                 wire::put_u64(&mut out, s.connections);
+                wire::put_u64(&mut out, s.merges);
+                wire::put_u64(&mut out, s.buffered);
+                wire::put_u64(&mut out, s.rebuilds_in_flight);
+                wire::put_u64(&mut out, s.last_swap_micros);
+                wire::put_u64(&mut out, s.failed_merges);
             }
             Response::Busy => wire::put_u8(&mut out, RE_BUSY),
             Response::Error { code, message } => {
@@ -508,6 +541,12 @@ impl Response {
                 buffered: r.u64()?,
                 merges: r.u64()?,
                 index_name: r.str()?,
+                merge_threshold: r.u64()?,
+                max_buffer: r.u64()?,
+                merge_mode: r.str()?,
+                rebuilds_in_flight: r.u64()?,
+                last_swap_micros: r.u64()?,
+                failed_merges: r.u64()?,
             }),
             RE_SERVER_STATS => Response::ServerStats(ServerStatsSnapshot {
                 served: r.u64()?,
@@ -516,6 +555,11 @@ impl Response {
                 busy: r.u64()?,
                 protocol_errors: r.u64()?,
                 connections: r.u64()?,
+                merges: r.u64()?,
+                buffered: r.u64()?,
+                rebuilds_in_flight: r.u64()?,
+                last_swap_micros: r.u64()?,
+                failed_merges: r.u64()?,
             }),
             RE_BUSY => Response::Busy,
             RE_ERROR => Response::Error {
@@ -621,6 +665,12 @@ mod tests {
                 buffered: 2,
                 merges: 1,
                 index_name: "hnsw".into(),
+                merge_threshold: 512,
+                max_buffer: 2048,
+                merge_mode: "background".into(),
+                rebuilds_in_flight: 1,
+                last_swap_micros: 42,
+                failed_merges: 0,
             }),
             Response::ServerStats(ServerStatsSnapshot {
                 served: 100,
@@ -629,6 +679,11 @@ mod tests {
                 busy: 3,
                 protocol_errors: 1,
                 connections: 9,
+                merges: 7,
+                buffered: 130,
+                rebuilds_in_flight: 1,
+                last_swap_micros: 250,
+                failed_merges: 0,
             }),
             Response::Busy,
             Response::Error {

@@ -124,6 +124,10 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
 
 impl Shared {
     fn snapshot(&self) -> ServerStatsSnapshot {
+        let maint = match self.db.read() {
+            Ok(db) => db.maintenance_stats(),
+            Err(poisoned) => poisoned.into_inner().maintenance_stats(),
+        };
         ServerStatsSnapshot {
             served: self.stats.served.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
@@ -131,6 +135,11 @@ impl Shared {
             busy: self.stats.busy.load(Ordering::Relaxed),
             protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
             connections: self.stats.connections.load(Ordering::Relaxed),
+            merges: maint.merges,
+            buffered: maint.buffered,
+            rebuilds_in_flight: maint.rebuilds_in_flight,
+            last_swap_micros: maint.last_swap_micros,
+            failed_merges: maint.failed_merges,
         }
     }
 }
@@ -599,6 +608,12 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                     buffered: stats.buffered as u64,
                     merges: stats.merges as u64,
                     index_name: stats.index_name.to_string(),
+                    merge_threshold: stats.merge_threshold as u64,
+                    max_buffer: stats.max_buffer as u64,
+                    merge_mode: stats.merge_mode.to_string(),
+                    rebuilds_in_flight: stats.rebuilds_in_flight as u64,
+                    last_swap_micros: stats.last_swap_micros,
+                    failed_merges: stats.failed_merges as u64,
                 })
             }
         })

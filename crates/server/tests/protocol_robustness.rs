@@ -80,6 +80,12 @@ fn sample_responses() -> Vec<Response> {
             buffered: 2,
             merges: 1,
             index_name: "hnsw".into(),
+            merge_threshold: 512,
+            max_buffer: 2048,
+            merge_mode: "background".into(),
+            rebuilds_in_flight: 1,
+            last_swap_micros: 42,
+            failed_merges: 0,
         }),
         Response::ServerStats(ServerStatsSnapshot {
             served: 100,
@@ -88,6 +94,11 @@ fn sample_responses() -> Vec<Response> {
             busy: 3,
             protocol_errors: 1,
             connections: 9,
+            merges: 7,
+            buffered: 130,
+            rebuilds_in_flight: 1,
+            last_swap_micros: 250,
+            failed_merges: 0,
         }),
         Response::Busy,
         Response::Error {

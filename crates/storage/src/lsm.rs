@@ -286,6 +286,66 @@ impl LsmStore {
         std::mem::take(&mut self.tombstones)
     }
 
+    /// Copy of every live row, newest version wins, *without* draining —
+    /// the buffer keeps serving reads and absorbing writes while a
+    /// background merge folds the copy into a new main index.
+    pub fn snapshot_live(&self) -> (Vec<u64>, Vectors) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut keys = Vec::new();
+        let mut vectors = Vectors::new(self.dim);
+        for i in (0..self.mem_keys.len()).rev() {
+            let k = self.mem_keys[i];
+            if !self.live.contains(&k) || !seen.insert(k) {
+                continue;
+            }
+            keys.push(k);
+            vectors
+                .push(self.mem_vectors.get(i))
+                .expect("stored vector is valid");
+        }
+        for seg in self.segments.iter().rev() {
+            for i in (0..seg.keys.len()).rev() {
+                let k = seg.keys[i];
+                if !self.live.contains(&k) || !seen.insert(k) {
+                    continue;
+                }
+                keys.push(k);
+                vectors
+                    .push(seg.vectors.get(i))
+                    .expect("stored vector is valid");
+            }
+        }
+        (keys, vectors)
+    }
+
+    /// Retire rows that a finished merge folded into the main index:
+    /// each `(key, vector)` pair from an earlier [`LsmStore::snapshot_live`]
+    /// is dropped *only if* the buffer still holds exactly that version —
+    /// a key overwritten or deleted during the merge keeps its newer state
+    /// (which still shadows the main index). Space is reclaimed physically.
+    pub fn purge_merged(&mut self, keys: &[u64], vectors: &Vectors) {
+        for (i, &k) in keys.iter().enumerate() {
+            if self.get(k) == Some(vectors.get(i)) {
+                self.live.remove(&k);
+            }
+        }
+        self.seal();
+        self.compact();
+    }
+
+    /// Iterate the pending tombstones without clearing them.
+    pub fn tombstones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tombstones.iter().copied()
+    }
+
+    /// Clear only the given tombstones (the set a finished merge actually
+    /// applied); tombstones added during the merge stay pending.
+    pub fn clear_tombstones<I: IntoIterator<Item = u64>>(&mut self, applied: I) {
+        for k in applied {
+            self.tombstones.remove(&k);
+        }
+    }
+
     /// Number of pending tombstones.
     pub fn tombstone_count(&self) -> usize {
         self.tombstones.len()
@@ -407,6 +467,33 @@ mod tests {
         let t = s.take_tombstones();
         assert!(t.contains(&9));
         assert!(!s.is_deleted(9));
+    }
+
+    #[test]
+    fn snapshot_live_is_nondestructive_and_purge_respects_newer_versions() {
+        let mut s = store(3);
+        for i in 0..8u64 {
+            s.insert(i, &[i as f32, 0.0]).unwrap();
+        }
+        s.delete(7);
+        let (keys, vectors) = s.snapshot_live();
+        assert_eq!(keys.len(), 7, "8 keys - 1 delete");
+        assert_eq!(s.len(), 7, "snapshot leaves the buffer intact");
+        // Writes land while the "merge" is in flight.
+        s.insert(3, &[333.0, 0.0]).unwrap(); // overwritten since snapshot
+        s.delete(5); // deleted since snapshot
+        s.insert(100, &[9.0, 9.0]).unwrap(); // brand new
+        s.purge_merged(&keys, &vectors);
+        // Unchanged snapshot rows retired; newer state survives.
+        assert!(!s.contains(0) && !s.contains(6));
+        assert_eq!(s.get(3).unwrap(), &[333.0, 0.0]);
+        assert!(s.is_deleted(5));
+        assert_eq!(s.get(100).unwrap(), &[9.0, 9.0]);
+        assert_eq!(s.len(), 2, "only key 3 and key 100 remain live");
+        // Applied tombstones clear selectively; new ones stay.
+        s.clear_tombstones([7u64]);
+        assert!(!s.is_deleted(7));
+        assert!(s.is_deleted(5));
     }
 
     #[test]

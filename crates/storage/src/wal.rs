@@ -166,6 +166,48 @@ impl Wal {
     pub fn size_bytes(&self) -> Result<u64> {
         Ok(self.file.metadata()?.len())
     }
+
+    /// Atomically replace the log's contents with `records`:
+    /// write-to-temp, fsync, rename over the log, fsync-directory, then
+    /// swing the append handle to the new file. A crash at any point
+    /// leaves either the complete old log or the complete new one —
+    /// never a mixture — which is what lets a background merge retire
+    /// only the *merged prefix* of operations while preserving a tail of
+    /// operations that arrived during the rebuild.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<()> {
+        let file_name = self
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| Error::InvalidParameter("WAL path has no file name".into()))?;
+        let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        for rec in records {
+            let payload = encode(rec);
+            let mut frame = Vec::with_capacity(8 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            failpoint::write_all_torn(&mut file, &frame, "wal.rewrite.write")?;
+        }
+        failpoint::hit("wal.rewrite.sync")?;
+        file.sync_all()?;
+        drop(file);
+        failpoint::hit("wal.rewrite.rename")?;
+        std::fs::rename(&tmp, &self.path)?;
+        failpoint::hit("wal.rewrite.dir_sync")?;
+        if let Some(dir) = self.path.parent() {
+            sync_dir(dir)?;
+        }
+        // Appends must land after the preserved tail, not in the unlinked
+        // pre-rewrite file the old handle still points at.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
 }
 
 enum ReadOutcome {
@@ -375,6 +417,30 @@ mod tests {
             Wal::replay(&path).unwrap(),
             vec![WalRecord::Delete { key: 6 }]
         );
+    }
+
+    #[test]
+    fn rewrite_replaces_contents_atomically_and_appends_continue() {
+        let dir = TempDir::new("wal-rewrite").unwrap();
+        let path = dir.file("rw.wal");
+        let mut wal = Wal::open(&path).unwrap();
+        for k in 0..5 {
+            wal.append(&insert(k, vec![k as f32])).unwrap();
+        }
+        wal.sync().unwrap();
+        // Retire the merged prefix, preserve a two-record tail.
+        let tail = vec![insert(3, vec![3.0]), insert(4, vec![4.0])];
+        wal.rewrite(&tail).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap(), tail);
+        // The swung handle appends after the preserved tail.
+        wal.append(&WalRecord::Delete { key: 3 }).unwrap();
+        wal.sync().unwrap();
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], WalRecord::Delete { key: 3 });
+        // Rewrite to empty behaves like reset.
+        wal.rewrite(&[]).unwrap();
+        assert!(Wal::replay(&path).unwrap().is_empty());
     }
 
     #[test]

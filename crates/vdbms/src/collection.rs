@@ -1,32 +1,51 @@
 //! Collections: schema-validated vectors + attributes + a main index +
-//! an out-of-place update buffer (§2.3(3)).
+//! an out-of-place update buffer (§2.3(3)), with **online maintenance**.
 //!
 //! Writes land in a WAL (durability) and an LSM-style buffer (searchable
-//! immediately); the data-dependent main index is rebuilt in bulk when the
+//! immediately); the data-dependent main index is folded in bulk when the
 //! buffer crosses a threshold — the "apply updates in bulk at a more
 //! appropriate time" pattern of AnalyticDB-V/Vald, with Milvus-style
 //! LSM buffering. Reads merge both parts with newest-version-wins and
 //! tombstone semantics, so callers always observe their own writes.
 //!
+//! Three maintenance modes ([`MergeMode`]):
+//!
+//! - **Blocking** (default): the merge runs inline on the writing thread,
+//!   exactly like the classic stop-the-world rebuild.
+//! - **Incremental**: when the main index supports in-place mutation
+//!   (`VectorIndex::as_mutable`), buffered upserts and tombstones are
+//!   patched directly into the published index under a short write
+//!   section; a dead-row-fraction heuristic falls back to a full rebuild
+//!   when in-place patching would degrade the index.
+//! - **Background**: a maintenance thread rebuilds the index off to the
+//!   side while searches keep running against the old snapshot, then
+//!   swaps the replacement in atomically via [`vdb_core::sync::Published`].
+//!   Writers never block on a rebuild; a bounded buffer sheds load with
+//!   [`Error::Busy`] instead of stalling.
+//!
 //! Durability: every insert/delete is WAL-logged (vector *and*
 //! attributes) and fsynced before it is acknowledged. Each merge ends
 //! with a checkpoint — an atomic snapshot of the merged state
-//! ([`vdb_storage::snapshot`]) followed by WAL truncation — so the log
-//! stays bounded by one merge window and [`Collection::recover`] is
-//! *snapshot load + WAL-tail replay*, not a full-history replay. Replay
+//! ([`vdb_storage::snapshot`]) written durably *before* the new index is
+//! published, then a WAL rewrite that retires exactly the merged prefix
+//! (records buffered during the rebuild survive as the new tail). Replay
 //! over a snapshot is idempotent (inserts overwrite, deletes tombstone),
-//! so a crash between the snapshot rename and the WAL truncation only
-//! re-applies records the snapshot already contains.
+//! so every crash point in the protocol recovers to a consistent state.
 
 use crate::indexspec::IndexSpec;
 use crate::schema::CollectionSchema;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::Instant;
 use vdb_core::attr::AttrValue;
 use vdb_core::context::ContextPool;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::{SearchParams, VectorIndex};
 use vdb_core::parallel::BuildOptions;
+use vdb_core::sync::{Mutex, Published};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_query::{
@@ -45,6 +64,42 @@ pub struct SearchHit {
     pub dist: f32,
 }
 
+/// How buffered updates are folded into the main index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeMode {
+    /// Stop-the-world: the merge runs inline on the writing thread.
+    #[default]
+    Blocking,
+    /// Patch the published index in place when it supports mutation
+    /// (falls back to a rebuild when it does not, or when accumulated
+    /// dead rows would degrade it).
+    Incremental,
+    /// Rebuild on a maintenance thread and swap atomically; writers
+    /// shed load with [`Error::Busy`] once the buffer hits its bound.
+    Background,
+}
+
+impl MergeMode {
+    /// Short stable name (wire/config surface).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergeMode::Blocking => "blocking",
+            MergeMode::Incremental => "incremental",
+            MergeMode::Background => "background",
+        }
+    }
+
+    /// Parse a mode by its [`MergeMode::name`].
+    pub fn parse(name: &str) -> Result<MergeMode> {
+        match name {
+            "blocking" => Ok(MergeMode::Blocking),
+            "incremental" => Ok(MergeMode::Incremental),
+            "background" => Ok(MergeMode::Background),
+            other => Err(Error::Parse(format!("unknown merge mode `{other}`"))),
+        }
+    }
+}
+
 /// Collection tuning.
 #[derive(Debug, Clone)]
 pub struct CollectionConfig {
@@ -52,6 +107,14 @@ pub struct CollectionConfig {
     pub index: IndexSpec,
     /// Buffer size (live keys) that triggers a merge/rebuild.
     pub merge_threshold: usize,
+    /// How merges are applied (inline, in place, or on a background
+    /// thread with atomic publication).
+    pub merge_mode: MergeMode,
+    /// Buffer bound for [`MergeMode::Background`]: inserts beyond this
+    /// depth fail with [`Error::Busy`] until maintenance catches up.
+    /// `0` = auto (4× `merge_threshold`). Ignored in the other modes,
+    /// where the writer merges inline instead of outrunning it.
+    pub max_buffer: usize,
     /// Planner mode for hybrid queries.
     pub planner: PlannerMode,
     /// Directory for the write-ahead log (None = no durability).
@@ -67,6 +130,8 @@ impl Default for CollectionConfig {
         CollectionConfig {
             index: IndexSpec::Hnsw(Default::default()),
             merge_threshold: 512,
+            merge_mode: MergeMode::Blocking,
+            max_buffer: 0,
             planner: PlannerMode::CostBased,
             wal_dir: None,
             build: BuildOptions::serial(),
@@ -83,51 +148,112 @@ pub struct CollectionStats {
     pub indexed: usize,
     /// Rows waiting in the update buffer.
     pub buffered: usize,
-    /// Merges (index rebuilds) performed.
+    /// Merges (index rebuilds or in-place folds) performed.
     pub merges: usize,
     /// Main index name ("none" before the first merge).
     pub index_name: &'static str,
+    /// Buffer depth that triggers maintenance.
+    pub merge_threshold: usize,
+    /// Buffer bound for background-mode admission control.
+    pub max_buffer: usize,
+    /// Active [`MergeMode`] name.
+    pub merge_mode: &'static str,
+    /// Merges currently executing (0 or 1 per collection).
+    pub rebuilds_in_flight: usize,
+    /// Duration of the last atomic publication (the write-blocking
+    /// window), in microseconds.
+    pub last_swap_micros: u64,
+    /// Background merges that failed (left for the next nudge/retry).
+    pub failed_merges: usize,
 }
 
-/// A vector collection with hybrid search and out-of-place updates.
-pub struct Collection {
-    schema: CollectionSchema,
-    cfg: CollectionConfig,
-    // Main (indexed) part.
+/// The published (indexed) part: an immutable-by-readers snapshot that
+/// maintenance replaces atomically, or patches in place under the
+/// publication write lock.
+struct Main {
     vectors: Vectors,
     attrs: AttributeStore,
     row_keys: Vec<u64>,
     key_to_row: HashMap<u64, usize>,
+    /// Rows removed from the index in place but still occupying slots in
+    /// `vectors`/`row_keys` (incremental mode); reclaimed at the next
+    /// full rebuild.
+    dead_rows: usize,
     index: Option<Box<dyn VectorIndex>>,
-    // Out-of-place update buffer.
+}
+
+impl Main {
+    /// Whether `row` still backs its key (false once an in-place delete
+    /// or overwrite retired it).
+    fn row_is_live(&self, row: usize) -> bool {
+        self.key_to_row.get(&self.row_keys[row]) == Some(&row)
+    }
+}
+
+/// The write-side state: buffer, pending attributes, WAL handle, and the
+/// count of main rows hidden by newer buffered versions. One mutex —
+/// every acknowledged write holds it across WAL append + buffer insert.
+struct Pending {
     buffer: LsmStore,
     buffer_attrs: HashMap<u64, Vec<(String, AttrValue)>>,
     wal: Option<Wal>,
-    planner: Planner,
-    merges: usize,
-    /// Number of main-part rows hidden by the buffer (tombstoned or
-    /// shadowed by a newer buffered version), maintained incrementally so
-    /// `len()` and the search over-fetch never rescan `row_keys`.
+    /// Main-part rows hidden by the buffer (tombstoned or shadowed by a
+    /// newer buffered version), maintained incrementally so `len()` and
+    /// the search over-fetch never rescan `row_keys`.
     shadowed: usize,
+}
+
+/// Lock-free maintenance counters (readable without any lock).
+#[derive(Default)]
+struct MaintStats {
+    merges: AtomicUsize,
+    rebuilds_in_flight: AtomicUsize,
+    last_swap_micros: AtomicU64,
+    failed_merges: AtomicUsize,
+}
+
+struct MaintFlags {
+    shutdown: bool,
+    nudges: u64,
+}
+
+/// Condvar-based doorbell for the maintenance thread.
+struct MaintSignal {
+    state: Mutex<MaintFlags>,
+    cv: Condvar,
+}
+
+/// Shared collection state. Lock order everywhere: `merge_gate` →
+/// `pending` → `main` (never the reverse).
+struct Inner {
+    schema: CollectionSchema,
+    cfg: CollectionConfig,
+    main: Published<Main>,
+    pending: Mutex<Pending>,
+    /// Serializes merges (maintenance thread vs explicit `merge()`).
+    merge_gate: Mutex<()>,
+    stats: MaintStats,
+    maint: MaintSignal,
+}
+
+/// A vector collection with hybrid search, out-of-place updates, and
+/// online index maintenance.
+pub struct Collection {
+    inner: Arc<Inner>,
+    planner: Planner,
     // Warm search scratch shared by concurrent `&self` searchers.
     contexts: ContextPool,
+    worker: Option<JoinHandle<()>>,
 }
 
 impl Collection {
-    /// Create an empty collection.
-    pub fn create(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
+    /// Shared constructor core: everything but durability + the worker.
+    fn offline(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
         schema.validate()?;
         let mut attrs = AttributeStore::new();
         for (name, ty) in &schema.columns {
             attrs.add_column(Column::new(name.clone(), *ty))?;
         }
-        let wal = match &cfg.wal_dir {
-            Some(dir) => {
-                std::fs::create_dir_all(dir)?;
-                Some(Wal::open(dir.join(format!("{}.wal", schema.name)))?)
-            }
-            None => None,
-        };
         let buffer = LsmStore::new(
             schema.dim,
             schema.metric.clone(),
@@ -137,22 +263,52 @@ impl Collection {
             },
         );
         let planner = Planner::new(cfg.planner);
-        Ok(Collection {
+        let main = Main {
             vectors: Vectors::new(schema.dim),
             attrs,
             row_keys: Vec::new(),
             key_to_row: HashMap::new(),
+            dead_rows: 0,
             index: None,
-            buffer,
-            buffer_attrs: HashMap::new(),
-            wal,
-            planner,
-            merges: 0,
-            shadowed: 0,
-            contexts: ContextPool::new(),
+        };
+        let inner = Arc::new(Inner {
+            main: Published::new(main),
+            pending: Mutex::new(Pending {
+                buffer,
+                buffer_attrs: HashMap::new(),
+                wal: None,
+                shadowed: 0,
+            }),
+            merge_gate: Mutex::new(()),
+            stats: MaintStats::default(),
+            maint: MaintSignal {
+                state: Mutex::new(MaintFlags {
+                    shutdown: false,
+                    nudges: 0,
+                }),
+                cv: Condvar::new(),
+            },
             schema,
             cfg,
+        });
+        Ok(Collection {
+            inner,
+            planner,
+            contexts: ContextPool::new(),
+            worker: None,
         })
+    }
+
+    /// Create an empty collection.
+    pub fn create(schema: CollectionSchema, cfg: CollectionConfig) -> Result<Self> {
+        let mut c = Collection::offline(schema, cfg)?;
+        if let Some(dir) = &c.inner.cfg.wal_dir {
+            std::fs::create_dir_all(dir)?;
+            let wal = Wal::open(dir.join(format!("{}.wal", c.inner.schema.name)))?;
+            c.inner.pending.lock().wal = Some(wal);
+        }
+        c.start_maintenance();
+        Ok(c)
     }
 
     /// Recover a collection from its durability directory: load the last
@@ -167,13 +323,13 @@ impl Collection {
         };
         let wal_path = dir.join(format!("{}.wal", schema.name));
         let snap_path = dir.join(format!("{}.snap", schema.name));
+        std::fs::create_dir_all(&dir)?;
         let records = Wal::replay(&wal_path)?;
         let snap = snapshot::read(&snap_path)?;
-        let mut c = Collection::create(schema, cfg)?;
-        // Replay without re-logging (also disables checkpointing while
-        // replay-triggered merges run; the WAL tail must survive until
-        // the next live checkpoint).
-        let wal = c.wal.take();
+        // Replay without a WAL handle (no re-logging, no checkpointing —
+        // the WAL tail must survive until the next live checkpoint) and
+        // without the worker (replay merges run inline).
+        let mut c = Collection::offline(schema, cfg)?;
         if let Some(snap) = snap {
             c.install_snapshot(snap)?;
         }
@@ -182,12 +338,13 @@ impl Collection {
                 WalRecord::Insert { key, vector, attrs } => {
                     let attr_refs: Vec<(&str, AttrValue)> =
                         attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-                    c.insert(key, &vector, &attr_refs)?;
+                    c.insert_impl(key, &vector, &attr_refs, true)?;
                 }
                 WalRecord::Delete { key } => c.delete(key)?,
             }
         }
-        c.wal = wal;
+        c.inner.pending.lock().wal = Some(Wal::open(&wal_path)?);
+        c.start_maintenance();
         Ok(c)
     }
 
@@ -196,11 +353,12 @@ impl Collection {
     /// the snapshot vectors (the recorded fingerprint is diagnostic — a
     /// changed index spec is honored, not rejected).
     fn install_snapshot(&mut self, snap: Snapshot) -> Result<()> {
-        if snap.vectors.dim() != self.schema.dim {
+        let schema = &self.inner.schema;
+        if snap.vectors.dim() != schema.dim {
             return Err(Error::Corrupt(format!(
                 "snapshot dimension {} does not match schema dimension {}",
                 snap.vectors.dim(),
-                self.schema.dim
+                schema.dim
             )));
         }
         if snap.vectors.len() != snap.row_keys.len() {
@@ -208,13 +366,13 @@ impl Collection {
                 "snapshot keys and vectors are misaligned".into(),
             ));
         }
-        if snap.columns.len() != self.schema.columns.len() {
+        if snap.columns.len() != schema.columns.len() {
             return Err(Error::Corrupt(
                 "snapshot column set does not match schema".into(),
             ));
         }
         let mut attrs = AttributeStore::new();
-        for (col, (name, ty)) in snap.columns.iter().zip(&self.schema.columns) {
+        for (col, (name, ty)) in snap.columns.iter().zip(&schema.columns) {
             if col.name != *name || col.ty != *ty {
                 return Err(Error::Corrupt(format!(
                     "snapshot column `{}` does not match schema column `{name}`",
@@ -233,41 +391,49 @@ impl Collection {
                 return Err(Error::Corrupt(format!("duplicate key {key} in snapshot")));
             }
         }
-        self.index = if snap.vectors.is_empty() {
+        let index = if snap.vectors.is_empty() {
             None
         } else {
-            Some(self.cfg.index.build_with(
+            Some(self.inner.cfg.index.build_with(
                 snap.vectors.clone(),
-                self.schema.metric.clone(),
-                &self.cfg.build,
+                schema.metric.clone(),
+                &self.inner.cfg.build,
             )?)
         };
-        self.vectors = snap.vectors;
-        self.attrs = attrs;
-        self.row_keys = snap.row_keys;
-        self.key_to_row = key_to_row;
-        self.shadowed = 0;
+        self.inner.main.install(Main {
+            vectors: snap.vectors,
+            attrs,
+            row_keys: snap.row_keys,
+            key_to_row,
+            dead_rows: 0,
+            index,
+        });
+        self.inner.pending.lock().shadowed = 0;
         Ok(())
     }
 
     /// The schema.
     pub fn schema(&self) -> &CollectionSchema {
-        &self.schema
+        &self.inner.schema
     }
 
     /// Live entity count. O(1): the shadowed-row count is maintained
     /// incrementally by insert/delete/merge instead of rescanning
     /// `row_keys` per call.
     pub fn len(&self) -> usize {
+        let p = self.inner.pending.lock();
+        let m = self.inner.main.read();
         debug_assert_eq!(
-            self.shadowed,
-            self.row_keys
+            p.shadowed,
+            m.row_keys
                 .iter()
-                .filter(|&&k| self.buffer.is_deleted(k) || self.buffer.contains(k))
+                .enumerate()
+                .filter(|&(row, &k)| m.key_to_row.get(&k) == Some(&row))
+                .filter(|&(_, &k)| p.buffer.is_deleted(k) || p.buffer.contains(k))
                 .count(),
             "incremental shadowed count diverged from a full rescan"
         );
-        self.row_keys.len() - self.shadowed + self.buffer.len()
+        m.row_keys.len() - m.dead_rows - p.shadowed + p.buffer.len()
     }
 
     /// Whether the collection holds no live entities.
@@ -277,26 +443,50 @@ impl Collection {
 
     /// Counters.
     pub fn stats(&self) -> CollectionStats {
+        let p = self.inner.pending.lock();
+        let m = self.inner.main.read();
+        let stats = &self.inner.stats;
         CollectionStats {
-            live: self.len(),
-            indexed: self.vectors.len(),
-            buffered: self.buffer.len(),
-            merges: self.merges,
-            index_name: self.index.as_ref().map(|i| i.name()).unwrap_or("none"),
+            live: m.row_keys.len() - m.dead_rows - p.shadowed + p.buffer.len(),
+            indexed: m.vectors.len() - m.dead_rows,
+            buffered: p.buffer.len(),
+            merges: stats.merges.load(Ordering::Relaxed),
+            index_name: m.index.as_ref().map(|i| i.name()).unwrap_or("none"),
+            merge_threshold: self.inner.cfg.merge_threshold,
+            max_buffer: self.inner.max_buffer(),
+            merge_mode: self.inner.cfg.merge_mode.name(),
+            rebuilds_in_flight: stats.rebuilds_in_flight.load(Ordering::Relaxed),
+            last_swap_micros: stats.last_swap_micros.load(Ordering::Relaxed),
+            failed_merges: stats.failed_merges.load(Ordering::Relaxed),
         }
     }
 
     /// Insert (or overwrite) `key`. Attributes not listed default to NULL.
+    ///
+    /// In [`MergeMode::Background`], a full buffer makes this fail fast
+    /// with [`Error::Busy`] (admission control) instead of stalling the
+    /// writer behind a rebuild.
     pub fn insert(&mut self, key: u64, vector: &[f32], attrs: &[(&str, AttrValue)]) -> Result<()> {
-        if vector.len() != self.schema.dim {
+        self.insert_impl(key, vector, attrs, false)
+    }
+
+    fn insert_impl(
+        &self,
+        key: u64,
+        vector: &[f32],
+        attrs: &[(&str, AttrValue)],
+        replaying: bool,
+    ) -> Result<()> {
+        let inner = &self.inner;
+        if vector.len() != inner.schema.dim {
             return Err(Error::DimensionMismatch {
-                expected: self.schema.dim,
+                expected: inner.schema.dim,
                 actual: vector.len(),
             });
         }
         // Validate attribute names/types against the schema up front.
         for (name, value) in attrs {
-            let ty = self
+            let ty = inner
                 .schema
                 .columns
                 .iter()
@@ -309,58 +499,78 @@ impl Collection {
             .iter()
             .map(|(n, v)| (n.to_string(), v.clone()))
             .collect();
-        if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord::Insert {
-                key,
-                vector: vector.to_vec(),
-                attrs: owned_attrs.clone(),
-            })?;
-            wal.sync()?;
-        }
-        if self.main_row_becomes_shadowed(key) {
-            self.shadowed += 1;
-        }
-        self.buffer.insert(key, vector)?;
-        self.buffer_attrs.insert(key, owned_attrs);
-        if self.buffer.len() >= self.cfg.merge_threshold {
-            self.merge()?;
+        // Replay applies merges inline regardless of mode: the worker is
+        // not running yet and backpressure must not reject logged writes.
+        let background = inner.cfg.merge_mode == MergeMode::Background && !replaying;
+        let over = {
+            let mut p = inner.pending.lock();
+            if background && p.buffer.len() >= inner.max_buffer() {
+                return Err(Error::Busy);
+            }
+            if let Some(wal) = &mut p.wal {
+                wal.append(&WalRecord::Insert {
+                    key,
+                    vector: vector.to_vec(),
+                    attrs: owned_attrs.clone(),
+                })?;
+                wal.sync()?;
+            }
+            let newly_shadowed = {
+                let m = inner.main.read();
+                m.key_to_row.contains_key(&key)
+                    && !p.buffer.is_deleted(key)
+                    && !p.buffer.contains(key)
+            };
+            if newly_shadowed {
+                p.shadowed += 1;
+            }
+            p.buffer.insert(key, vector)?;
+            p.buffer_attrs.insert(key, owned_attrs);
+            p.buffer.len() >= inner.cfg.merge_threshold
+        };
+        if over {
+            if background {
+                inner.nudge();
+            } else {
+                inner.merge_now(false)?;
+            }
         }
         Ok(())
     }
 
     /// Delete `key` (tombstone; space reclaimed at the next merge).
     pub fn delete(&mut self, key: u64) -> Result<()> {
-        if let Some(wal) = &mut self.wal {
+        let inner = &self.inner;
+        let mut p = inner.pending.lock();
+        if let Some(wal) = &mut p.wal {
             wal.append(&WalRecord::Delete { key })?;
             wal.sync()?;
         }
-        if self.main_row_becomes_shadowed(key) {
-            self.shadowed += 1;
+        let newly_shadowed = {
+            let m = inner.main.read();
+            m.key_to_row.contains_key(&key) && !p.buffer.is_deleted(key) && !p.buffer.contains(key)
+        };
+        if newly_shadowed {
+            p.shadowed += 1;
         }
-        self.buffer.delete(key);
-        self.buffer_attrs.remove(&key);
+        p.buffer.delete(key);
+        p.buffer_attrs.remove(&key);
         Ok(())
-    }
-
-    /// Whether a write to `key` hides a main-part row that was visible
-    /// until now (already-hidden rows must not be double-counted).
-    fn main_row_becomes_shadowed(&self, key: u64) -> bool {
-        self.key_to_row.contains_key(&key)
-            && !self.buffer.is_deleted(key)
-            && !self.buffer.contains(key)
     }
 
     /// Fetch the newest live version of `key`'s attributes, in schema
     /// column order (columns never set are Null, matching query
     /// semantics).
     pub fn get_attrs(&self, key: u64) -> Option<Vec<(String, AttrValue)>> {
-        if self.buffer.is_deleted(key) {
+        let schema = &self.inner.schema;
+        let p = self.inner.pending.lock();
+        if p.buffer.is_deleted(key) {
             return None;
         }
-        if self.buffer.contains(key) {
-            let pending = self.buffer_attrs.get(&key);
+        if p.buffer.contains(key) {
+            let pending = p.buffer_attrs.get(&key);
             return Some(
-                self.schema
+                schema
                     .columns
                     .iter()
                     .map(|(name, _)| {
@@ -373,15 +583,16 @@ impl Collection {
                     .collect(),
             );
         }
-        let &row = self.key_to_row.get(&key)?;
+        let m = self.inner.main.read();
+        let &row = m.key_to_row.get(&key)?;
         Some(
-            self.schema
+            schema
                 .columns
                 .iter()
                 .map(|(name, _)| {
                     (
                         name.clone(),
-                        self.attrs
+                        m.attrs
                             .column(name)
                             .expect("schema column")
                             .get(row)
@@ -395,172 +606,82 @@ impl Collection {
     /// Every live key, sorted (state enumeration for audits and the
     /// crash-recovery harness).
     pub fn keys(&self) -> Vec<u64> {
-        let mut out: Vec<u64> = self
+        let p = self.inner.pending.lock();
+        let m = self.inner.main.read();
+        let mut out: Vec<u64> = m
             .row_keys
             .iter()
-            .copied()
-            .filter(|&k| !self.buffer.is_deleted(k) && !self.buffer.contains(k))
+            .enumerate()
+            .filter(|&(row, &k)| m.key_to_row.get(&k) == Some(&row))
+            .map(|(_, &k)| k)
+            .filter(|&k| !p.buffer.is_deleted(k) && !p.buffer.contains(k))
             .collect();
-        out.extend(self.buffer.live_keys());
+        out.extend(p.buffer.live_keys());
         out.sort_unstable();
         out
     }
 
     /// Fetch the newest live version of `key`'s vector.
     pub fn get(&self, key: u64) -> Option<Vec<f32>> {
-        if self.buffer.is_deleted(key) {
+        let p = self.inner.pending.lock();
+        if p.buffer.is_deleted(key) {
             return None;
         }
-        if let Some(v) = self.buffer.get(key) {
+        if let Some(v) = p.buffer.get(key) {
             return Some(v.to_vec());
         }
-        self.key_to_row
+        let m = self.inner.main.read();
+        m.key_to_row
             .get(&key)
-            .map(|&row| self.vectors.get(row).to_vec())
+            .map(|&row| m.vectors.get(row).to_vec())
     }
 
-    /// Force a merge: drain the buffer into the main part, rebuild the
-    /// index (§2.3(3) "applying them in bulk at a more appropriate
-    /// time"), then checkpoint: snapshot the merged state durably and
-    /// truncate the WAL, so the log never outgrows one merge window.
+    /// Force a merge: fold the buffer into the main part (§2.3(3)
+    /// "applying them in bulk at a more appropriate time") under the
+    /// active [`MergeMode`], then checkpoint when durable. When this
+    /// returns, every previously-acknowledged write is reflected by the
+    /// published index.
     pub fn merge(&mut self) -> Result<()> {
-        if self.merge_inner()? {
-            self.write_checkpoint()?;
-        }
-        Ok(())
+        self.inner.merge_now(false).map(|_| ())
     }
 
     /// Durably checkpoint the collection: fold any buffered updates into
     /// the main part, write an atomic snapshot of the merged state, and
-    /// truncate the WAL. Requires durability (`wal_dir`).
+    /// retire the merged WAL prefix. Requires durability (`wal_dir`).
     pub fn checkpoint(&mut self) -> Result<()> {
-        if self.wal.is_none() {
+        if self.inner.pending.lock().wal.is_none() {
             return Err(Error::Unsupported(
                 "checkpoint requires a collection with wal_dir".into(),
             ));
         }
-        self.merge_inner()?;
-        self.write_checkpoint()
-    }
-
-    /// The merge proper (no checkpoint). Returns whether anything was
-    /// merged.
-    fn merge_inner(&mut self) -> Result<bool> {
-        let (keys, drained) = self.buffer.drain_live();
-        let tombstones = self.buffer.take_tombstones();
-        if keys.is_empty() && tombstones.is_empty() {
-            return Ok(false);
-        }
-        // Rebuild the main part from live rows: surviving main rows first,
-        // then drained buffer rows (which shadow any same-key main row).
-        let drained_keys: std::collections::HashSet<u64> = keys.iter().copied().collect();
-        let mut new_vectors =
-            Vectors::with_capacity(self.schema.dim, self.vectors.len() + keys.len());
-        let mut new_attrs = AttributeStore::new();
-        for (name, ty) in &self.schema.columns {
-            new_attrs.add_column(Column::new(name.clone(), *ty))?;
-        }
-        let mut new_keys = Vec::new();
-        let mut new_map = HashMap::new();
-        for (row, &key) in self.row_keys.iter().enumerate() {
-            if tombstones.contains(&key) || drained_keys.contains(&key) {
-                continue;
-            }
-            let new_row = new_vectors.push(self.vectors.get(row))?;
-            let row_values: Vec<(&str, AttrValue)> = self
-                .schema
-                .columns
-                .iter()
-                .map(|(name, _)| {
-                    (
-                        name.as_str(),
-                        self.attrs
-                            .column(name)
-                            .expect("schema column")
-                            .get(row)
-                            .clone(),
-                    )
-                })
-                .collect();
-            new_attrs.push_row(&row_values)?;
-            new_keys.push(key);
-            new_map.insert(key, new_row);
-        }
-        for (i, &key) in keys.iter().enumerate() {
-            let new_row = new_vectors.push(drained.get(i))?;
-            let pending = self.buffer_attrs.remove(&key).unwrap_or_default();
-            let row_values: Vec<(&str, AttrValue)> = pending
-                .iter()
-                .map(|(n, v)| (n.as_str(), v.clone()))
-                .collect();
-            new_attrs.push_row(&row_values)?;
-            new_keys.push(key);
-            new_map.insert(key, new_row);
-        }
-        self.vectors = new_vectors;
-        self.attrs = new_attrs;
-        self.row_keys = new_keys;
-        self.key_to_row = new_map;
-        self.index = if self.vectors.is_empty() {
-            None
-        } else {
-            Some(self.cfg.index.build_with(
-                self.vectors.clone(),
-                self.schema.metric.clone(),
-                &self.cfg.build,
-            )?)
-        };
-        self.merges += 1;
-        self.shadowed = 0; // buffer drained: nothing hides a main row now
-        Ok(true)
-    }
-
-    /// Snapshot the merged state and truncate the WAL. No-op without an
-    /// active WAL handle (no durability, or replay in progress). The
-    /// snapshot is fully durable (fsync + rename + directory fsync)
-    /// *before* the WAL is truncated; a crash between the two only means
-    /// the next recovery re-applies a tail the snapshot already holds.
-    fn write_checkpoint(&mut self) -> Result<()> {
-        if self.wal.is_none() {
-            return Ok(());
-        }
-        let path = self.snapshot_path().expect("an open WAL implies a wal_dir");
-        let columns = self
-            .schema
-            .columns
-            .iter()
-            .map(|(name, ty)| {
-                Ok(SnapshotColumn {
-                    name: name.clone(),
-                    ty: *ty,
-                    values: self.attrs.column(name)?.values().to_vec(),
-                })
-            })
-            .collect::<Result<Vec<_>>>()?;
-        let snap = Snapshot {
-            fingerprint: self.cfg.index.fingerprint(),
-            row_keys: self.row_keys.clone(),
-            vectors: self.vectors.clone(),
-            columns,
-        };
-        snapshot::write(&path, &snap)?;
-        self.wal.as_mut().expect("checked above").reset()
+        self.inner.merge_now(true).map(|_| ())
     }
 
     /// Path of the write-ahead log, when durability is enabled.
     pub fn wal_path(&self) -> Option<PathBuf> {
-        self.cfg
+        self.inner
+            .cfg
             .wal_dir
             .as_ref()
-            .map(|d| d.join(format!("{}.wal", self.schema.name)))
+            .map(|d| d.join(format!("{}.wal", self.inner.schema.name)))
     }
 
     /// Path of the checkpoint snapshot, when durability is enabled.
     pub fn snapshot_path(&self) -> Option<PathBuf> {
-        self.cfg
-            .wal_dir
-            .as_ref()
-            .map(|d| d.join(format!("{}.snap", self.schema.name)))
+        self.inner.snapshot_path()
+    }
+
+    /// Spawn the maintenance worker (background mode only).
+    fn start_maintenance(&mut self) {
+        if self.inner.cfg.merge_mode != MergeMode::Background {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("vdb-maint-{}", self.inner.schema.name))
+            .spawn(move || maintenance_loop(inner))
+            .expect("spawn maintenance thread");
+        self.worker = Some(handle);
     }
 
     /// k-NN search returning external keys, merging the indexed part and
@@ -607,6 +728,13 @@ impl Collection {
 
     /// [`Collection::search_hybrid`] over caller-provided scratch — the
     /// primitive both the per-query and the batched paths share.
+    ///
+    /// Consistency under concurrent maintenance: the buffer is scanned
+    /// under the pending lock, and the main snapshot is pinned *before*
+    /// that lock drops — an install needs both, so the two views always
+    /// belong to one instant. A merge racing the query can only turn a
+    /// buffered hit into an identical indexed hit (deduplicated), never
+    /// hide a row.
     fn search_hybrid_with(
         &self,
         sctx: &mut vdb_core::context::SearchContext,
@@ -616,9 +744,9 @@ impl Collection {
         params: &SearchParams,
         strategy: Option<Strategy>,
     ) -> Result<Vec<SearchHit>> {
-        if vector.len() != self.schema.dim {
+        if vector.len() != self.inner.schema.dim {
             return Err(Error::DimensionMismatch {
-                expected: self.schema.dim,
+                expected: self.inner.schema.dim,
                 actual: vector.len(),
             });
         }
@@ -627,36 +755,13 @@ impl Collection {
         }
         let mut hits: Vec<SearchHit> = Vec::new();
 
-        // Main part: over-fetch to survive tombstoned/shadowed rows.
-        // `shadowed` is maintained incrementally — no O(n) rescan per query.
-        if let Some(index) = &self.index {
-            let dead = self.shadowed;
-            let fetch = (k + dead).min(self.vectors.len());
-            if fetch > 0 {
-                let ctx = QueryContext::new(&self.vectors, &self.attrs, index.as_ref())?;
-                let q = VectorQuery::knn(vector.to_vec(), fetch)
-                    .filtered(predicate.clone())
-                    .with_params(params.clone());
-                let main: Vec<Neighbor> = match strategy {
-                    Some(st) => execute_with(&ctx, sctx, &q, st)?,
-                    None => self.planner.run_with(&ctx, sctx, &q)?.1,
-                };
-                for n in main {
-                    let key = self.row_keys[n.id];
-                    if self.buffer.is_deleted(key) || self.buffer.contains(key) {
-                        continue;
-                    }
-                    hits.push(SearchHit { key, dist: n.dist });
-                }
-            }
-        }
-
         // Buffer part: brute force with predicate over pending attributes.
-        // Score every live buffered row (the buffer is bounded by the merge
-        // threshold) so a selective predicate cannot starve the result.
-        for hit in self.buffer.search(vector, self.buffer.len().max(k))? {
+        // Score every live buffered row (the buffer is bounded) so a
+        // selective predicate cannot starve the result.
+        let p = self.inner.pending.lock();
+        for hit in p.buffer.search(vector, p.buffer.len().max(k))? {
             let passes = predicate.eval_values(&|col: &str| {
-                self.buffer_attrs
+                p.buffer_attrs
                     .get(&hit.key)
                     .and_then(|vals| vals.iter().find(|(n, _)| n == col))
                     .map(|(_, v)| v.clone())
@@ -666,6 +771,42 @@ impl Collection {
                     key: hit.key,
                     dist: hit.dist,
                 });
+            }
+        }
+        let hidden: HashSet<u64> = p
+            .buffer
+            .live_keys()
+            .into_iter()
+            .chain(p.buffer.tombstones())
+            .collect();
+        let shadowed = p.shadowed;
+        let m = self.inner.main.read(); // pin before releasing `pending`
+        drop(p);
+
+        // Main part: over-fetch to survive shadowed rows. `shadowed` is
+        // maintained incrementally — no O(n) rescan per query. (In-place
+        // deleted rows are tombstoned inside the index and never surface.)
+        if let Some(index) = &m.index {
+            let fetch = (k + shadowed).min(m.vectors.len());
+            if fetch > 0 {
+                let ctx = QueryContext::new(&m.vectors, &m.attrs, index.as_ref())?;
+                let q = VectorQuery::knn(vector.to_vec(), fetch)
+                    .filtered(predicate.clone())
+                    .with_params(params.clone());
+                let main_hits: Vec<Neighbor> = match strategy {
+                    Some(st) => execute_with(&ctx, sctx, &q, st)?,
+                    None => self.planner.run_with(&ctx, sctx, &q)?.1,
+                };
+                for n in main_hits {
+                    let key = m.row_keys[n.id];
+                    if m.key_to_row.get(&key) != Some(&n.id) {
+                        continue; // retired in place, not yet reclaimed
+                    }
+                    if hidden.contains(&key) {
+                        continue;
+                    }
+                    hits.push(SearchHit { key, dist: n.dist });
+                }
             }
         }
 
@@ -686,31 +827,20 @@ impl Collection {
         predicate: &Predicate,
         params: &SearchParams,
     ) -> Result<Vec<SearchHit>> {
-        if vector.len() != self.schema.dim {
+        if vector.len() != self.inner.schema.dim {
             return Err(Error::DimensionMismatch {
-                expected: self.schema.dim,
+                expected: self.inner.schema.dim,
                 actual: vector.len(),
             });
         }
         let mut hits = Vec::new();
-        if let Some(index) = &self.index {
-            for n in index.range_search(vector, radius, params)? {
-                let key = self.row_keys[n.id];
-                if self.buffer.is_deleted(key) || self.buffer.contains(key) {
-                    continue;
-                }
-                if !predicate.eval(&self.attrs, n.id) {
-                    continue;
-                }
-                hits.push(SearchHit { key, dist: n.dist });
-            }
-        }
-        for hit in self.buffer.search(vector, self.buffer.len().max(1))? {
+        let p = self.inner.pending.lock();
+        for hit in p.buffer.search(vector, p.buffer.len().max(1))? {
             if hit.dist > radius {
                 continue;
             }
             let passes = predicate.eval_values(&|col: &str| {
-                self.buffer_attrs
+                p.buffer_attrs
                     .get(&hit.key)
                     .and_then(|vals| vals.iter().find(|(n, _)| n == col))
                     .map(|(_, v)| v.clone())
@@ -720,6 +850,29 @@ impl Collection {
                     key: hit.key,
                     dist: hit.dist,
                 });
+            }
+        }
+        let hidden: HashSet<u64> = p
+            .buffer
+            .live_keys()
+            .into_iter()
+            .chain(p.buffer.tombstones())
+            .collect();
+        let m = self.inner.main.read(); // pin before releasing `pending`
+        drop(p);
+        if let Some(index) = &m.index {
+            for n in index.range_search(vector, radius, params)? {
+                let key = m.row_keys[n.id];
+                if m.key_to_row.get(&key) != Some(&n.id) {
+                    continue;
+                }
+                if hidden.contains(&key) {
+                    continue;
+                }
+                if !predicate.eval(&m.attrs, n.id) {
+                    continue;
+                }
+                hits.push(SearchHit { key, dist: n.dist });
             }
         }
         hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.key.cmp(&b.key)));
@@ -734,7 +887,443 @@ impl Collection {
 
     /// Exact selectivity of a predicate over the indexed part (diagnostics).
     pub fn selectivity(&self, predicate: &Predicate) -> Result<f64> {
-        predicate.exact_selectivity(&self.attrs)
+        let m = self.inner.main.read();
+        predicate.exact_selectivity(&m.attrs)
+    }
+}
+
+impl Drop for Collection {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            self.inner.maint.state.lock().shutdown = true;
+            self.inner.maint.cv.notify_all();
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Inner {
+    /// Effective background-mode buffer bound (0 = auto).
+    fn max_buffer(&self) -> usize {
+        if self.cfg.max_buffer == 0 {
+            self.cfg.merge_threshold.saturating_mul(4)
+        } else {
+            self.cfg.max_buffer
+        }
+    }
+
+    fn snapshot_path(&self) -> Option<PathBuf> {
+        self.cfg
+            .wal_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.snap", self.schema.name)))
+    }
+
+    /// Ring the maintenance doorbell.
+    fn nudge(&self) {
+        self.maint.state.lock().nudges += 1;
+        self.maint.cv.notify_one();
+    }
+
+    /// Run one merge under the gate (serialized against other merges,
+    /// concurrent with searches and — in background mode — writes).
+    /// Returns whether anything was folded in.
+    fn merge_now(&self, force_checkpoint: bool) -> Result<bool> {
+        let _gate = self.merge_gate.lock();
+        self.stats
+            .rebuilds_in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        let out = self.merge_gated(force_checkpoint);
+        self.stats
+            .rebuilds_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        out
+    }
+
+    fn merge_gated(&self, force_checkpoint: bool) -> Result<bool> {
+        if self.cfg.merge_mode == MergeMode::Incremental {
+            if let Some(done) = self.try_incremental()? {
+                if force_checkpoint && !done {
+                    self.checkpoint_in_place()?;
+                }
+                return Ok(done);
+            }
+        }
+        self.rebuild_cycle(force_checkpoint)
+    }
+
+    /// The out-of-place merge cycle: copy a consistent view of the
+    /// buffer, rebuild the main part off to the side (searches keep
+    /// running against the published snapshot), write the checkpoint
+    /// snapshot durably, then atomically publish the new index and
+    /// retire exactly the merged prefix of buffer + WAL. Writes that
+    /// land during the rebuild stay buffered and survive as the WAL
+    /// tail.
+    fn rebuild_cycle(&self, force_checkpoint: bool) -> Result<bool> {
+        // 1. Consistent, non-destructive view of the buffer.
+        let (keys, drained, tombstones, drained_attrs, durable) = {
+            let p = self.pending.lock();
+            let (keys, drained) = p.buffer.snapshot_live();
+            let tombstones: HashSet<u64> = p.buffer.tombstones().collect();
+            let drained_attrs: Vec<Vec<(String, AttrValue)>> = keys
+                .iter()
+                .map(|k| p.buffer_attrs.get(k).cloned().unwrap_or_default())
+                .collect();
+            (keys, drained, tombstones, drained_attrs, p.wal.is_some())
+        };
+        if keys.is_empty() && tombstones.is_empty() {
+            if force_checkpoint && durable {
+                self.checkpoint_in_place()?;
+            }
+            return Ok(false);
+        }
+        let drained_keys: HashSet<u64> = keys.iter().copied().collect();
+
+        // 2. Copy surviving main rows under a shared read lock.
+        let mut new_attrs = AttributeStore::new();
+        for (name, ty) in &self.schema.columns {
+            new_attrs.add_column(Column::new(name.clone(), *ty))?;
+        }
+        let mut new_keys = Vec::new();
+        let mut new_map = HashMap::new();
+        let mut new_vectors = {
+            let m = self.main.read();
+            let mut new_vectors =
+                Vectors::with_capacity(self.schema.dim, m.vectors.len() + keys.len());
+            for (row, &key) in m.row_keys.iter().enumerate() {
+                if !m.row_is_live(row) || tombstones.contains(&key) || drained_keys.contains(&key) {
+                    continue;
+                }
+                let new_row = new_vectors.push(m.vectors.get(row))?;
+                let row_values: Vec<(&str, AttrValue)> = self
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|(name, _)| {
+                        (
+                            name.as_str(),
+                            m.attrs
+                                .column(name)
+                                .expect("schema column")
+                                .get(row)
+                                .clone(),
+                        )
+                    })
+                    .collect();
+                new_attrs.push_row(&row_values)?;
+                new_keys.push(key);
+                new_map.insert(key, new_row);
+            }
+            new_vectors
+        };
+
+        // 3. Append the buffered rows (shadowing same-key main rows).
+        for (i, &key) in keys.iter().enumerate() {
+            let new_row = new_vectors.push(drained.get(i))?;
+            let row_values: Vec<(&str, AttrValue)> = drained_attrs[i]
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            new_attrs.push_row(&row_values)?;
+            new_keys.push(key);
+            new_map.insert(key, new_row);
+        }
+
+        // 4. Build the replacement index off to the side — the expensive
+        // step, taken with no lock held.
+        let index = if new_vectors.is_empty() {
+            None
+        } else {
+            Some(self.cfg.index.build_with(
+                new_vectors.clone(),
+                self.schema.metric.clone(),
+                &self.cfg.build,
+            )?)
+        };
+
+        // 5. Checkpoint snapshot BEFORE publication. The snapshot holds
+        // only acknowledged (WAL-logged) operations and replay over it is
+        // idempotent, so a crash on either side of the install recovers
+        // correctly from (old snapshot, full WAL) or (new snapshot, full
+        // WAL) alike.
+        if durable {
+            let columns = self
+                .schema
+                .columns
+                .iter()
+                .map(|(name, ty)| {
+                    Ok(SnapshotColumn {
+                        name: name.clone(),
+                        ty: *ty,
+                        values: new_attrs.column(name)?.values().to_vec(),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let snap = Snapshot {
+                fingerprint: self.cfg.index.fingerprint(),
+                row_keys: new_keys.clone(),
+                vectors: new_vectors.clone(),
+                columns,
+            };
+            let path = self
+                .snapshot_path()
+                .expect("durable collection has a wal_dir");
+            snapshot::write(&path, &snap)?;
+        }
+
+        // 6. Atomic publication + retirement of the merged prefix, all
+        // under the pending lock so no write interleaves. The WAL is
+        // rewritten to exactly the still-buffered tail.
+        let swap = Instant::now();
+        {
+            let mut p = self.pending.lock();
+            self.main.install(Main {
+                vectors: new_vectors,
+                attrs: new_attrs,
+                row_keys: new_keys,
+                key_to_row: new_map,
+                dead_rows: 0,
+                index,
+            });
+            p.buffer.purge_merged(&keys, &drained);
+            p.buffer.clear_tombstones(tombstones.iter().copied());
+            for k in &keys {
+                if !p.buffer.contains(*k) {
+                    p.buffer_attrs.remove(k);
+                }
+            }
+            // Recompute `shadowed` against the fresh main (lock order
+            // pending → main holds).
+            {
+                let m = self.main.read();
+                p.shadowed = m
+                    .row_keys
+                    .iter()
+                    .enumerate()
+                    .filter(|&(row, &k)| m.key_to_row.get(&k) == Some(&row))
+                    .filter(|&(_, &k)| p.buffer.is_deleted(k) || p.buffer.contains(k))
+                    .count();
+            }
+            if durable {
+                let tail = wal_tail_of(&p.buffer, &p.buffer_attrs);
+                p.wal
+                    .as_mut()
+                    .expect("durable collection holds a WAL")
+                    .rewrite(&tail)?;
+            }
+        }
+        self.stats
+            .last_swap_micros
+            .store(swap.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.stats.merges.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Incremental-mode fast path: patch buffered upserts and tombstones
+    /// into the published index in place. Returns `None` when the index
+    /// cannot absorb the batch (unbuilt, immutable family, or too many
+    /// accumulated dead rows) — the caller falls back to a full rebuild.
+    fn try_incremental(&self) -> Result<Option<bool>> {
+        let mut p = self.pending.lock();
+        if p.buffer.is_empty() && p.buffer.tombstone_count() == 0 {
+            return Ok(Some(false));
+        }
+        let n_buf = p.buffer.len();
+        let n_tomb = p.buffer.tombstone_count();
+        let pend = &mut *p;
+        let swap = Instant::now();
+        let applied = self.main.update(|m| -> Result<bool> {
+            let mutable = m
+                .index
+                .as_mut()
+                .map(|i| i.as_mutable().is_some())
+                .unwrap_or(false);
+            if !mutable {
+                return Ok(false);
+            }
+            // Dead-row heuristic: once in-place patching would leave more
+            // than ~30% retired rows behind, a rebuild serves queries
+            // better than further patching.
+            if (m.dead_rows + n_tomb + n_buf) * 10 > (m.row_keys.len() + n_buf) * 3 {
+                return Ok(false);
+            }
+            let (keys, drained) = pend.buffer.drain_live();
+            let mut tombstones: Vec<u64> = pend.buffer.take_tombstones().into_iter().collect();
+            tombstones.sort_unstable(); // deterministic repair order
+            let Main {
+                vectors,
+                attrs,
+                row_keys,
+                key_to_row,
+                dead_rows,
+                index,
+            } = m;
+            let idx = index
+                .as_mut()
+                .expect("checked above")
+                .as_mutable()
+                .expect("checked above");
+            for &key in &tombstones {
+                if let Some(row) = key_to_row.remove(&key) {
+                    idx.remove(row)?;
+                    *dead_rows += 1;
+                }
+            }
+            for (i, &key) in keys.iter().enumerate() {
+                let v = drained.get(i);
+                if let Some(old) = key_to_row.remove(&key) {
+                    idx.remove(old)?;
+                    *dead_rows += 1;
+                }
+                let row = vectors.push(v)?;
+                let irow = idx.insert(v)?;
+                debug_assert_eq!(
+                    irow, row,
+                    "index rows must stay aligned with stored vectors"
+                );
+                let pend_attrs = pend.buffer_attrs.remove(&key).unwrap_or_default();
+                let row_values: Vec<(&str, AttrValue)> = pend_attrs
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.clone()))
+                    .collect();
+                attrs.push_row(&row_values)?;
+                row_keys.push(key);
+                key_to_row.insert(key, row);
+            }
+            Ok(true)
+        });
+        if !applied? {
+            return Ok(None);
+        }
+        self.stats
+            .last_swap_micros
+            .store(swap.elapsed().as_micros() as u64, Ordering::Relaxed);
+        pend.shadowed = 0; // buffer fully drained: nothing hides a main row
+        if let Some(wal) = &mut pend.wal {
+            // Publication already happened (the in-place update IS the
+            // publish); snapshot after it, then truncate — the buffer is
+            // empty so the retired prefix is the whole log.
+            let snap = {
+                let m = self.main.read();
+                self.snapshot_of_main(&m)?
+            };
+            let path = self
+                .snapshot_path()
+                .expect("durable collection has a wal_dir");
+            snapshot::write(&path, &snap)?;
+            wal.reset()?;
+        }
+        self.stats.merges.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(true))
+    }
+
+    /// Snapshot + WAL rewrite without folding anything (explicit
+    /// checkpoint with an empty buffer, or incremental mode where the
+    /// main part already reflects every merge).
+    fn checkpoint_in_place(&self) -> Result<()> {
+        let mut p = self.pending.lock();
+        if p.wal.is_none() {
+            return Ok(());
+        }
+        let snap = {
+            let m = self.main.read();
+            self.snapshot_of_main(&m)?
+        };
+        let path = self
+            .snapshot_path()
+            .expect("durable collection has a wal_dir");
+        snapshot::write(&path, &snap)?;
+        let tail = wal_tail_of(&p.buffer, &p.buffer_attrs);
+        p.wal.as_mut().expect("checked above").rewrite(&tail)
+    }
+
+    /// A checkpoint snapshot of the published main part, skipping rows
+    /// retired in place.
+    fn snapshot_of_main(&self, m: &Main) -> Result<Snapshot> {
+        let mut row_keys = Vec::new();
+        let mut vectors = Vectors::new(self.schema.dim);
+        let mut cols: Vec<Vec<AttrValue>> = vec![Vec::new(); self.schema.columns.len()];
+        for (row, &key) in m.row_keys.iter().enumerate() {
+            if !m.row_is_live(row) {
+                continue;
+            }
+            vectors.push(m.vectors.get(row))?;
+            row_keys.push(key);
+            for (ci, (name, _)) in self.schema.columns.iter().enumerate() {
+                cols[ci].push(m.attrs.column(name)?.get(row).clone());
+            }
+        }
+        let columns = self
+            .schema
+            .columns
+            .iter()
+            .zip(cols)
+            .map(|((name, ty), values)| SnapshotColumn {
+                name: name.clone(),
+                ty: *ty,
+                values,
+            })
+            .collect();
+        Ok(Snapshot {
+            fingerprint: self.cfg.index.fingerprint(),
+            row_keys,
+            vectors,
+            columns,
+        })
+    }
+}
+
+/// WAL records equivalent to the buffer's current contents (the
+/// not-yet-merged tail). Live and tombstoned key sets are disjoint, so
+/// record order across the two groups is immaterial.
+fn wal_tail_of(
+    buffer: &LsmStore,
+    buffer_attrs: &HashMap<u64, Vec<(String, AttrValue)>>,
+) -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    for key in buffer.live_keys() {
+        let vector = buffer.get(key).expect("live key has a vector").to_vec();
+        let attrs = buffer_attrs.get(&key).cloned().unwrap_or_default();
+        records.push(WalRecord::Insert { key, vector, attrs });
+    }
+    let mut tombs: Vec<u64> = buffer.tombstones().collect();
+    tombs.sort_unstable();
+    for key in tombs {
+        records.push(WalRecord::Delete { key });
+    }
+    records
+}
+
+/// Maintenance worker: sleep on the doorbell, then merge until the
+/// buffer is back under threshold. Failed merges are counted and left
+/// for the next nudge rather than crashing the worker.
+fn maintenance_loop(inner: Arc<Inner>) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut st = inner.maint.state.lock();
+            while !st.shutdown && st.nudges == seen {
+                st = inner.maint.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.nudges;
+        }
+        loop {
+            let depth = inner.pending.lock().buffer.len();
+            if depth < inner.cfg.merge_threshold {
+                break;
+            }
+            match inner.merge_now(false) {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(_) => {
+                    inner.stats.failed_merges.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
     }
 }
 
@@ -743,8 +1332,8 @@ impl std::fmt::Debug for Collection {
         write!(
             f,
             "Collection({}, dim={}, live={}, index={})",
-            self.schema.name,
-            self.schema.dim,
+            self.inner.schema.name,
+            self.inner.schema.dim,
             self.len(),
             self.stats().index_name
         )
@@ -769,9 +1358,7 @@ mod tests {
         CollectionConfig {
             index: IndexSpec::Flat,
             merge_threshold: 8,
-            planner: PlannerMode::CostBased,
-            wal_dir: None,
-            build: BuildOptions::serial(),
+            ..Default::default()
         }
     }
 
@@ -996,7 +1583,7 @@ mod tests {
         assert_eq!(
             std::fs::metadata(&wal_path).unwrap().len(),
             0,
-            "merge must truncate the WAL"
+            "merge must retire the whole log (empty tail)"
         );
         assert!(c.snapshot_path().unwrap().exists());
         // Post-merge tail: two more records, then recover from
@@ -1097,5 +1684,116 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hits[0].key, 17);
+    }
+
+    #[test]
+    fn background_merge_drains_and_preserves_search() {
+        let mut c = Collection::create(
+            schema(),
+            CollectionConfig {
+                merge_mode: MergeMode::Background,
+                ..small_cfg()
+            },
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            loop {
+                match c.insert(i, &vec_at(i as f32), &[]) {
+                    Ok(()) => break,
+                    Err(Error::Busy) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                    Err(e) => panic!("unexpected insert error: {e}"),
+                }
+            }
+        }
+        // Wait for the worker to drain below threshold.
+        for _ in 0..500 {
+            let s = c.stats();
+            if s.buffered < 8 && s.merges >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let s = c.stats();
+        assert!(s.merges >= 1, "worker must have merged: {s:?}");
+        assert!(s.buffered < 8, "buffer must drain below threshold: {s:?}");
+        assert_eq!(c.len(), 100);
+        // Exact index (Flat): every acknowledged write must be visible.
+        for probe in [0u64, 37, 99] {
+            let hits = c
+                .search(&vec_at(probe as f32), 1, &SearchParams::default())
+                .unwrap();
+            assert_eq!(hits[0].key, probe);
+        }
+    }
+
+    #[test]
+    fn background_backpressure_returns_busy() {
+        // Threshold high enough that the worker is never nudged: the
+        // bounded buffer alone must shed load deterministically.
+        let mut c = Collection::create(
+            schema(),
+            CollectionConfig {
+                index: IndexSpec::Flat,
+                merge_threshold: 1000,
+                merge_mode: MergeMode::Background,
+                max_buffer: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        assert!(
+            matches!(c.insert(10, &vec_at(10.0), &[]), Err(Error::Busy)),
+            "11th insert must be shed"
+        );
+        assert_eq!(c.len(), 10, "rejected write must not leak state");
+        // An explicit merge runs inline under the gate and drains it.
+        c.merge().unwrap();
+        assert_eq!(c.stats().buffered, 0);
+        c.insert(10, &vec_at(10.0), &[]).unwrap();
+        assert_eq!(c.len(), 11);
+    }
+
+    #[test]
+    fn incremental_mode_applies_in_place() {
+        let mut c = Collection::create(
+            schema(),
+            CollectionConfig {
+                merge_mode: MergeMode::Incremental,
+                ..small_cfg()
+            },
+        )
+        .unwrap();
+        // First merge has no index yet: falls back to a full build.
+        for i in 0..8u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        assert_eq!(c.stats().merges, 1);
+        assert_eq!(c.stats().index_name, "flat");
+        // Subsequent batches patch the flat index in place: upserts,
+        // an overwrite, and a delete.
+        for i in 8..16u64 {
+            c.insert(i, &vec_at(i as f32), &[]).unwrap();
+        }
+        assert_eq!(c.stats().merges, 2);
+        c.insert(3, &vec_at(300.0), &[]).unwrap();
+        c.delete(5).unwrap();
+        c.merge().unwrap();
+        assert_eq!(c.stats().merges, 3);
+        assert_eq!(c.stats().buffered, 0);
+        assert_eq!(c.len(), 15);
+        assert!(c.get(5).is_none());
+        assert_eq!(c.get(3).unwrap(), vec_at(300.0));
+        let hits = c
+            .search(&vec_at(300.0), 1, &SearchParams::default())
+            .unwrap();
+        assert_eq!(hits[0].key, 3);
+        let hits = c
+            .search(&vec_at(5.0), 15, &SearchParams::default())
+            .unwrap();
+        assert!(hits.iter().all(|h| h.key != 5), "deleted row surfaced");
+        assert_eq!(hits.len(), 15);
     }
 }

@@ -12,6 +12,22 @@ use vdb_core::attr::AttrValue;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
 
+/// Maintenance counters aggregated across a database's collections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Total merges (rebuilds or in-place folds) performed.
+    pub merges: u64,
+    /// Total rows waiting in update buffers.
+    pub buffered: u64,
+    /// Merges currently executing across all collections.
+    pub rebuilds_in_flight: u64,
+    /// Slowest recent atomic publication, in microseconds (max across
+    /// collections).
+    pub last_swap_micros: u64,
+    /// Background merges that failed and were left for retry.
+    pub failed_merges: u64,
+}
+
 /// Result of executing a VQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VqlOutput {
@@ -118,6 +134,21 @@ impl Vdbms {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| Error::NotFound(format!("collection `{name}`")))
+    }
+
+    /// Aggregate online-maintenance counters across every collection
+    /// (the `server-stats` surface: rebuild pressure at a glance).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        let mut agg = MaintenanceStats::default();
+        for c in self.collections.values() {
+            let s = c.stats();
+            agg.merges += s.merges as u64;
+            agg.buffered += s.buffered as u64;
+            agg.rebuilds_in_flight += s.rebuilds_in_flight as u64;
+            agg.last_swap_micros = agg.last_swap_micros.max(s.last_swap_micros);
+            agg.failed_merges += s.failed_merges as u64;
+        }
+        agg
     }
 
     /// Collection names.

@@ -154,15 +154,20 @@ impl IndexSpec {
 
     /// Whether the built index supports in-place insertion (otherwise the
     /// collection routes writes through the out-of-place buffer only).
+    /// IVF-SQ always keeps refine vectors when built through this spec;
+    /// IVF-PQ only mutates when its config retains them (residual codes
+    /// are re-encoded from the originals on centroid drift).
     pub fn supports_insert(&self) -> bool {
-        matches!(
-            self,
+        match self {
             IndexSpec::Flat
-                | IndexSpec::Lsh(_)
-                | IndexSpec::IvfFlat(_)
-                | IndexSpec::Nsw(_)
-                | IndexSpec::Hnsw(_)
-        )
+            | IndexSpec::Lsh(_)
+            | IndexSpec::IvfFlat(_)
+            | IndexSpec::IvfSq { .. }
+            | IndexSpec::Nsw(_)
+            | IndexSpec::Hnsw(_) => true,
+            IndexSpec::IvfPq(cfg) => cfg.refine,
+            _ => false,
+        }
     }
 
     /// Build an index over an owned collection (serial, deterministic).
@@ -275,6 +280,8 @@ mod tests {
     fn insert_support_flags() {
         assert!(IndexSpec::parse("hnsw").unwrap().supports_insert());
         assert!(IndexSpec::parse("flat").unwrap().supports_insert());
+        assert!(IndexSpec::parse("ivf_sq").unwrap().supports_insert());
+        assert!(IndexSpec::parse("ivf_pq").unwrap().supports_insert());
         assert!(!IndexSpec::parse("nsg").unwrap().supports_insert());
         assert!(!IndexSpec::parse("annoy").unwrap().supports_insert());
     }

@@ -43,8 +43,8 @@ pub mod profile;
 pub mod schema;
 pub mod vql;
 
-pub use collection::{Collection, CollectionConfig, CollectionStats, SearchHit};
-pub use db::{Vdbms, VqlOutput};
+pub use collection::{Collection, CollectionConfig, CollectionStats, MergeMode, SearchHit};
+pub use db::{MaintenanceStats, Vdbms, VqlOutput};
 pub use dsl::SearchRequest;
 pub use embed::TextEmbedder;
 pub use indexspec::IndexSpec;

@@ -11,7 +11,7 @@
 //! first counts how many injectable steps an operation performs; the
 //! sweep then re-runs the operation once per step with that step armed.
 
-use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec};
+use vdb::{Collection, CollectionConfig, CollectionSchema, IndexSpec, MergeMode};
 use vdb_core::attr::{AttrType, AttrValue};
 use vdb_core::error::Result;
 use vdb_core::parallel::BuildOptions;
@@ -42,12 +42,18 @@ fn schema() -> CollectionSchema {
 }
 
 fn cfg(dir: &TempDir, merge_threshold: usize) -> CollectionConfig {
+    cfg_mode(dir, merge_threshold, MergeMode::Blocking)
+}
+
+fn cfg_mode(dir: &TempDir, merge_threshold: usize, merge_mode: MergeMode) -> CollectionConfig {
     CollectionConfig {
         index: IndexSpec::Flat,
         merge_threshold,
+        merge_mode,
         planner: PlannerMode::CostBased,
         wal_dir: Some(dir.path().to_path_buf()),
         build: BuildOptions::serial(),
+        ..Default::default()
     }
 }
 
@@ -77,9 +83,24 @@ fn sweep(
     setup: impl Fn(&mut Collection),
     op: impl Fn(&mut Collection) -> Result<()>,
 ) {
+    sweep_mode(name, threshold, MergeMode::Blocking, setup, op)
+}
+
+/// Same sweep under a chosen merge mode. Background/Incremental sweeps
+/// keep the threshold above the row count so the maintenance worker is
+/// never nudged: `merge()` then runs inline on the test thread, where
+/// the thread-local failpoints are armed, making every crash point
+/// deterministic.
+fn sweep_mode(
+    name: &str,
+    threshold: usize,
+    mode: MergeMode,
+    setup: impl Fn(&mut Collection),
+    op: impl Fn(&mut Collection) -> Result<()>,
+) {
     // Reference run (failpoints off): pre- and post-op states.
     let refdir = TempDir::new("crash-ref").unwrap();
-    let mut c = Collection::create(schema(), cfg(&refdir, threshold)).unwrap();
+    let mut c = Collection::create(schema(), cfg_mode(&refdir, threshold, mode)).unwrap();
     setup(&mut c);
     let pre = dump(&c);
     op(&mut c).expect("reference op must succeed");
@@ -87,7 +108,7 @@ fn sweep(
 
     // Count injectable steps (Counting mode: hits increment, never fire).
     let countdir = TempDir::new("crash-count").unwrap();
-    let mut c = Collection::create(schema(), cfg(&countdir, threshold)).unwrap();
+    let mut c = Collection::create(schema(), cfg_mode(&countdir, threshold, mode)).unwrap();
     setup(&mut c);
     let (res, points) = failpoint::count_crash_points(|| op(&mut c));
     res.expect("counting run must succeed");
@@ -96,7 +117,7 @@ fn sweep(
 
     for n in 1..=points {
         let dir = TempDir::new("crash-sweep").unwrap();
-        let conf = cfg(&dir, threshold);
+        let conf = cfg_mode(&dir, threshold, mode);
         let mut c = Collection::create(schema(), conf.clone()).unwrap();
         setup(&mut c);
         failpoint::arm(n);
@@ -197,6 +218,76 @@ fn crash_sweep_explicit_merge() {
         |c| {
             insert_n(c, 10);
             c.delete(4).unwrap();
+        },
+        |c| c.merge(),
+    );
+}
+
+#[test]
+fn crash_sweep_insert_with_background_merge_enabled() {
+    // Background mode must not change insert durability: the WAL append
+    // is the only durable step, and a crash there loses exactly the one
+    // unacknowledged row.
+    sweep_mode(
+        "insert-background",
+        1000,
+        MergeMode::Background,
+        |c| insert_n(c, 5),
+        |c| {
+            c.insert(
+                42,
+                &vec_at(42.0),
+                &[("tag", "new".into()), ("score", 42i64.into())],
+            )
+        },
+    );
+}
+
+#[test]
+fn crash_sweep_explicit_merge_with_background_merge_enabled() {
+    // The same rebuild cycle the maintenance worker runs, driven inline
+    // so every checkpoint step can be crashed deterministically.
+    sweep_mode(
+        "merge-background",
+        1000,
+        MergeMode::Background,
+        |c| {
+            insert_n(c, 10);
+            c.delete(4).unwrap();
+        },
+        |c| c.merge(),
+    );
+}
+
+#[test]
+fn crash_sweep_delete_with_background_merge_enabled() {
+    sweep_mode(
+        "delete-background",
+        1000,
+        MergeMode::Background,
+        |c| insert_n(c, 6),
+        |c| c.delete(3),
+    );
+}
+
+#[test]
+fn crash_sweep_incremental_merge_over_existing_index() {
+    // Incremental mode patches the published index in place, then makes
+    // the result durable (snapshot + WAL reset). A crash between
+    // publication and checkpoint must recover from the OLD snapshot plus
+    // the full WAL — same logical state, different physical path.
+    sweep_mode(
+        "merge-incremental",
+        1000,
+        MergeMode::Incremental,
+        |c| {
+            insert_n(c, 10);
+            c.merge().unwrap(); // first merge: full build seeds the index
+            c.insert(20, &vec_at(20.0), &[("tag", "late".into())])
+                .unwrap();
+            c.insert(3, &vec_at(33.0), &[("tag", "shadow".into())])
+                .unwrap();
+            c.delete(7).unwrap();
         },
         |c| c.merge(),
     );
