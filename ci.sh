@@ -62,4 +62,15 @@ echo "== kernel equivalence with SIMD force-disabled =="
 # pinned to the portable fallback.
 VDB_FORCE_SCALAR=1 cargo test -q --release -p vdb-core --test kernel_equivalence
 
+echo "== disk pipeline: equivalence under every lever combination =="
+# The disk-serving pipeline (DESIGN.md §12) must be invisible to search
+# results: the equivalence suite already flips prefetch and layout per
+# index inside each test, and these passes additionally pin the whole
+# suite with the process-wide defaults forced off and on, and with the
+# batched rescoring kernels pinned to the scalar fallback.
+cargo test -q --release --test disk_pipeline
+VDB_DISK_PREFETCH=0 cargo test -q --release --test disk_pipeline
+VDB_DISK_PREFETCH=1 cargo test -q --release --test disk_pipeline
+VDB_FORCE_SCALAR=1 cargo test -q --release --test disk_pipeline
+
 echo "ci.sh: all green"

@@ -2,6 +2,7 @@
 
 pub mod build;
 pub mod compression;
+pub mod disk_pipeline;
 pub mod execution;
 pub mod hybrid;
 pub mod index_zoo;
@@ -14,9 +15,9 @@ pub mod serving;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 18] = [
-    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "f8", "t5", "k1",
-    "s1", "m1",
+pub const ALL: [&str; 19] = [
+    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "d1", "f8", "t5",
+    "k1", "s1", "m1",
 ];
 
 /// Dispatch one experiment by id.
@@ -35,6 +36,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "f6" => scale_out::f6_out_of_place_updates(scale),
         "r1" => recovery::r1_recovery(scale),
         "f7" => scale_out::f7_disk_resident(scale),
+        "d1" => disk_pipeline::d1_disk_pipeline(scale),
         "f8" => score::f8_curse_of_dimensionality(scale),
         "t5" => execution::t5_kernels(),
         "k1" => score::k1_simd_dispatch(),

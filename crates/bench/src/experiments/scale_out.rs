@@ -195,6 +195,7 @@ pub fn f7_disk_resident(scale: Scale) -> Result<()> {
             pq_m: 16,
             nav_nlist: 64,
             cache_pages: 0,
+            ..DiskAnnConfig::default()
         },
     )?;
     // SPANN.

@@ -20,10 +20,10 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_eighteen() {
-    assert_eq!(experiments::ALL.len(), 18);
+fn registry_lists_all_nineteen() {
+    assert_eq!(experiments::ALL.len(), 19);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 18, "no duplicate experiment ids");
+    assert_eq!(set.len(), 19, "no duplicate experiment ids");
 }
 
 #[test]
@@ -39,4 +39,9 @@ fn s1_runs() {
 #[test]
 fn r1_runs() {
     experiments::run("r1", Scale::Quick).unwrap();
+}
+
+#[test]
+fn d1_runs() {
+    experiments::run("d1", Scale::Quick).unwrap();
 }

@@ -61,6 +61,11 @@ pub struct SearchContext {
     /// the batched scoring kernels (flat scans, IVF list scans, graph
     /// neighbor expansion).
     pub dists: Vec<f32>,
+    /// Contiguous row-matrix scratch for frontier/page batches: disk
+    /// indexes decode a whole page (or expansion batch) of page-resident
+    /// vectors here and score them in one `distance_batch` kernel call
+    /// instead of per-float scalar loops.
+    pub rows: Vec<f32>,
     /// Index-specific typed scratch, keyed by type (see [`Self::ext`]).
     ext: HashMap<TypeId, Box<dyn Any + Send>>,
 }

@@ -5,11 +5,34 @@
 //! node during search costs exactly one page read. Navigation uses
 //! in-memory PQ codes (ADC distances steer the frontier without I/O);
 //! exact distances come free with each record read and form the result.
-//! Queries therefore cost ~`beam_width` page reads — the metric
-//! experiment F7 reports under different cache budgets.
+//!
+//! Three disk-serving techniques keep that read stream fast (DESIGN.md
+//! §12, experiment D1):
+//!
+//! - **Cache-aware layout** (`packed_layout`, on-disk layout version 1):
+//!   records are written in BFS order from the entry point, so the nodes
+//!   a beam search expands consecutively tend to share 4 KiB pages and
+//!   one page read serves several expansions. A node→slot map travels
+//!   with the file; version-0 images (identity order, the original
+//!   format) still load byte-for-byte.
+//! - **Pinned hot set**: the first `hot_pages` data pages — the entry
+//!   point's BFS neighborhood every query traverses — are pinned in the
+//!   [`PageCache`] outside the eviction budget. (Navigation centroids and
+//!   PQ codebooks are memory-resident fields by construction.)
+//! - **Asynchronous beam prefetch**: after each expansion the pages of
+//!   the few best frontier candidates — the nodes the beam will expand
+//!   next — are queued on the [`vdb_storage::prefetch`] worker pool, so
+//!   their I/O overlaps the ADC scoring of the current expansion. The
+//!   lookahead is bounded (not the whole frontier): most frontier entries
+//!   are never expanded, and prefetching them would multiply disk reads
+//!   and churn the cache for no overlap. Prefetch only warms the cache —
+//!   results are bit-identical with it on or off.
 
 use crate::vamana::VamanaIndex;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
@@ -17,21 +40,40 @@ use vdb_core::index::{check_query, IndexStats, RowFilter, SearchParams, VectorIn
 use vdb_core::metric::Metric;
 use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
-use vdb_quant::{KMeans, KMeansConfig};
+use vdb_quant::{AdcTable, KMeans, KMeansConfig};
 use vdb_quant::{PqConfig, ProductQuantizer};
-use vdb_storage::{Page, PageCache, PageId, PagedFile, PAGE_SIZE};
+use vdb_storage::{prefetch, Page, PageCache, PageId, PagedFile, PAGE_SIZE};
 
 const MAGIC: u32 = 0x4449_534B; // "DISK"
+/// On-disk layout versions (header word 8). Version 0 is the original
+/// identity-ordered record layout — pre-existing images read the zeroed
+/// header word as exactly this. Version 1 packs records in BFS order and
+/// stores a node→slot run between the code run and the data pages.
+const LAYOUT_IDENTITY: u32 = 0;
+const LAYOUT_PACKED: u32 = 1;
+
+/// How many of the best frontier candidates to prefetch after each
+/// expansion. Matches the default worker count of the prefetch pool: in
+/// steady state one read per worker is in flight while the current
+/// expansion's ADC batches run.
+const PREFETCH_LOOKAHEAD: usize = 4;
+
+/// Default prefetch setting: on, unless `VDB_DISK_PREFETCH=0`.
+pub(crate) fn prefetch_default() -> bool {
+    !matches!(std::env::var("VDB_DISK_PREFETCH").as_deref(), Ok("0"))
+}
 
 /// Per-query scratch kept in the [`SearchContext`] extension slot: lazily
 /// built per-cluster ADC tables, the residual buffer they are built from,
-/// and the ADC-ordered candidate list. Reusing these across queries keeps
-/// the hot path free of per-query heap allocation.
+/// the `(cluster, node)` pairs of one expansion batch, and the gathered
+/// code bytes the batch ADC kernel scans. Reusing these across queries
+/// keeps the hot path free of per-query heap allocation.
 #[derive(Debug, Default)]
 struct DiskAnnScratch {
-    tables: Vec<Option<vdb_quant::AdcTable>>,
+    tables: Vec<Option<AdcTable>>,
     residual: Vec<f32>,
-    cands: Vec<(f32, usize, bool)>,
+    pairs: Vec<(u32, u32)>,
+    codebuf: Vec<u8>,
 }
 
 /// Build-time configuration.
@@ -46,6 +88,15 @@ pub struct DiskAnnConfig {
     pub nav_nlist: usize,
     /// Page-cache budget in pages.
     pub cache_pages: usize,
+    /// Write records in BFS order from the entry point (layout v1) so
+    /// consecutively expanded nodes share pages. `false` reproduces the
+    /// original identity layout (v0) byte-for-byte.
+    pub packed_layout: bool,
+    /// Entry-region data pages pinned in the cache (skipped when the
+    /// cache budget is zero, which models "no memory at all").
+    pub hot_pages: usize,
+    /// Enqueue frontier page reads on the async prefetch pool.
+    pub prefetch: bool,
 }
 
 impl Default for DiskAnnConfig {
@@ -54,6 +105,9 @@ impl Default for DiskAnnConfig {
             pq_m: 8,
             nav_nlist: 64,
             cache_pages: 128,
+            packed_layout: true,
+            hot_pages: 4,
+            prefetch: prefetch_default(),
         }
     }
 }
@@ -72,9 +126,44 @@ pub struct DiskAnnIndex {
     nav_assign: Vec<u32>,
     /// In-memory residual PQ codes, `n × m` bytes.
     codes: Vec<u8>,
+    /// Node → record slot for the packed layout; empty = identity (v0).
+    slot_of: Vec<u32>,
     cache: Arc<PageCache>,
     records_per_page: usize,
     data_start: u64,
+    prefetch: AtomicBool,
+}
+
+/// BFS order over the graph from `start`; unreachable nodes (if any)
+/// append in id order. Returns `slot_of[node]`.
+fn bfs_slots(vamana: &VamanaIndex, n: usize) -> Vec<u32> {
+    let adj = vamana.adjacency();
+    let mut slot_of = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    if n > 0 {
+        let s = vamana.start().min(n - 1);
+        slot_of[s] = next;
+        next += 1;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in adj.neighbors(u) {
+            let v = v as usize;
+            if v < n && slot_of[v] == u32::MAX {
+                slot_of[v] = next;
+                next += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    for s in slot_of.iter_mut() {
+        if *s == u32::MAX {
+            *s = next;
+            next += 1;
+        }
+    }
+    slot_of
 }
 
 impl DiskAnnIndex {
@@ -160,6 +249,19 @@ impl DiskAnnIndex {
         let codes = pq.encode_all(&residuals, opts)?;
         let nlist = nav_centroids.len();
 
+        // Record placement: BFS-packed (v1) or identity (v0, the original
+        // format — written bit-for-bit when `packed_layout` is off).
+        let layout = if cfg.packed_layout {
+            LAYOUT_PACKED
+        } else {
+            LAYOUT_IDENTITY
+        };
+        let slot_of: Vec<u32> = if layout == LAYOUT_PACKED {
+            bfs_slots(vamana, n)
+        } else {
+            Vec::new()
+        };
+
         // Layout.
         let records_per_page = PAGE_SIZE / record_bytes;
         let ksub = pq.ksub();
@@ -168,10 +270,20 @@ impl DiskAnnIndex {
         let centroid_pages = (nlist * dim * 4).div_ceil(PAGE_SIZE) as u64;
         let assign_pages = (n * 4).div_ceil(PAGE_SIZE) as u64;
         let code_pages = (n * m).div_ceil(PAGE_SIZE) as u64;
+        let slot_pages = if layout == LAYOUT_PACKED {
+            (n * 4).div_ceil(PAGE_SIZE) as u64
+        } else {
+            0
+        };
         let data_pages = (n as u64).div_ceil(records_per_page as u64);
         let file = Arc::new(PagedFile::create(path)?);
         file.allocate(
-            1 + codebook_pages + centroid_pages + assign_pages + code_pages + data_pages,
+            1 + codebook_pages
+                + centroid_pages
+                + assign_pages
+                + code_pages
+                + slot_pages
+                + data_pages,
         )?;
 
         let mut header = Page::zeroed();
@@ -183,6 +295,7 @@ impl DiskAnnIndex {
         header.write_u32(20, m as u32);
         header.write_u32(24, ksub as u32);
         header.write_u32(28, nlist as u32);
+        header.write_u32(32, layout);
         file.write_page(PageId(0), &header)?;
 
         // Codebooks.
@@ -191,7 +304,7 @@ impl DiskAnnIndex {
             cb_bytes.extend_from_slice(&x.to_le_bytes());
         }
         write_run(&file, 1, &cb_bytes)?;
-        // Coarse centroids + assignments + codes.
+        // Coarse centroids + assignments + codes (+ slot map when packed).
         let mut cent_bytes = Vec::with_capacity(nlist * dim * 4);
         for &x in nav_centroids.as_flat() {
             cent_bytes.extend_from_slice(&x.to_le_bytes());
@@ -207,14 +320,37 @@ impl DiskAnnIndex {
             1 + codebook_pages + centroid_pages + assign_pages,
             &codes,
         )?;
+        if layout == LAYOUT_PACKED {
+            let mut slot_bytes = Vec::with_capacity(n * 4);
+            for &s in &slot_of {
+                slot_bytes.extend_from_slice(&s.to_le_bytes());
+            }
+            write_run(
+                &file,
+                1 + codebook_pages + centroid_pages + assign_pages + code_pages,
+                &slot_bytes,
+            )?;
+        }
 
-        // Node records.
-        let data_start = 1 + codebook_pages + centroid_pages + assign_pages + code_pages;
+        // Node records, written in slot order so BFS-adjacent nodes share
+        // pages under the packed layout.
+        let data_start =
+            1 + codebook_pages + centroid_pages + assign_pages + code_pages + slot_pages;
         let adj = vamana.adjacency();
         let mut page = Page::zeroed();
         let mut current = u64::MAX;
-        for u in 0..n {
-            let pid = data_start + (u / records_per_page) as u64;
+        // node_at[slot] = node id.
+        let node_at: Vec<usize> = if layout == LAYOUT_PACKED {
+            let mut node_at = vec![0usize; n];
+            for (node, &slot) in slot_of.iter().enumerate() {
+                node_at[slot as usize] = node;
+            }
+            node_at
+        } else {
+            (0..n).collect()
+        };
+        for (slot, &u) in node_at.iter().enumerate() {
+            let pid = data_start + (slot / records_per_page) as u64;
             if pid != current {
                 if current != u64::MAX {
                     file.write_page(PageId(current), &page)?;
@@ -222,7 +358,7 @@ impl DiskAnnIndex {
                 page = Page::zeroed();
                 current = pid;
             }
-            let base = (u % records_per_page) * record_bytes;
+            let base = (slot % records_per_page) * record_bytes;
             let nbrs = adj.neighbors(u);
             page.write_u32(base, nbrs.len().min(r) as u32);
             for (j, &v) in nbrs.iter().take(r).enumerate() {
@@ -238,7 +374,8 @@ impl DiskAnnIndex {
         }
         file.sync()?;
 
-        Ok(DiskAnnIndex {
+        let cache = Arc::new(PageCache::new(file, cfg.cache_pages));
+        let idx = DiskAnnIndex {
             dim,
             n,
             r,
@@ -248,13 +385,18 @@ impl DiskAnnIndex {
             nav_centroids,
             nav_assign,
             codes,
-            cache: Arc::new(PageCache::new(file, cfg.cache_pages)),
+            slot_of,
+            cache,
             records_per_page,
             data_start,
-        })
+            prefetch: AtomicBool::new(cfg.prefetch),
+        };
+        idx.pin_hot_set(cfg.hot_pages)?;
+        Ok(idx)
     }
 
-    /// Reopen a previously built index.
+    /// Reopen a previously built index. Both layout versions load: v0
+    /// (identity order, the original format) and v1 (BFS-packed).
     pub fn open<P: AsRef<Path>>(path: P, metric: Metric, cache_pages: usize) -> Result<Self> {
         let file = Arc::new(PagedFile::open(path)?);
         let header = file.read_page(PageId(0))?;
@@ -268,8 +410,14 @@ impl DiskAnnIndex {
         let m = header.read_u32(20) as usize;
         let ksub = header.read_u32(24) as usize;
         let nlist = header.read_u32(28) as usize;
+        let layout = header.read_u32(32);
         if dim == 0 || m == 0 || !dim.is_multiple_of(m) || nlist == 0 {
             return Err(Error::Corrupt("bad DiskANN header".into()));
+        }
+        if layout > LAYOUT_PACKED {
+            return Err(Error::Corrupt(format!(
+                "unknown DiskANN layout version {layout}"
+            )));
         }
         metric.validate(dim)?;
         let dsub = dim / m;
@@ -301,8 +449,25 @@ impl DiskAnnIndex {
             1 + codebook_pages + centroid_pages + assign_pages,
             n * m,
         )?;
+        let (slot_of, slot_pages) = if layout == LAYOUT_PACKED {
+            let bytes = read_run(
+                &file,
+                1 + codebook_pages + centroid_pages + assign_pages + code_pages,
+                n * 4,
+            )?;
+            let slots: Vec<u32> = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            if slots.iter().any(|&s| s as usize >= n) {
+                return Err(Error::Corrupt("DiskANN slot map out of range".into()));
+            }
+            (slots, (n * 4).div_ceil(PAGE_SIZE) as u64)
+        } else {
+            (Vec::new(), 0)
+        };
         let record_bytes = 4 + r * 4 + dim * 4;
-        Ok(DiskAnnIndex {
+        let idx = DiskAnnIndex {
             dim,
             n,
             r,
@@ -312,57 +477,124 @@ impl DiskAnnIndex {
             nav_centroids,
             nav_assign,
             codes,
+            slot_of,
             cache: Arc::new(PageCache::new(file, cache_pages)),
             records_per_page: PAGE_SIZE / record_bytes,
-            data_start: 1 + codebook_pages + centroid_pages + assign_pages + code_pages,
-        })
+            data_start: 1
+                + codebook_pages
+                + centroid_pages
+                + assign_pages
+                + code_pages
+                + slot_pages,
+            prefetch: AtomicBool::new(prefetch_default()),
+        };
+        idx.pin_hot_set(DiskAnnConfig::default().hot_pages)?;
+        Ok(idx)
     }
 
-    /// The page cache (F7 instrumentation).
+    /// Pin the entry-region pages: the page holding the start node plus
+    /// the first `hot` data pages (under the packed layout these are the
+    /// start's BFS neighborhood — the pages every query touches first).
+    /// Skipped when the cache budget is zero (no memory modeled at all).
+    fn pin_hot_set(&self, hot: usize) -> Result<()> {
+        if self.cache.budget() == 0 || self.n == 0 || hot == 0 {
+            return Ok(());
+        }
+        let data_pages = (self.n as u64).div_ceil(self.records_per_page as u64);
+        let mut ids = vec![self.page_of(self.start)];
+        ids.extend((0..(hot as u64).min(data_pages)).map(|p| PageId(self.data_start + p)));
+        self.cache.pin(ids)?;
+        Ok(())
+    }
+
+    /// Toggle asynchronous frontier prefetch (results are identical
+    /// either way; only I/O timing changes).
+    pub fn set_prefetch(&self, enabled: bool) {
+        self.prefetch.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The page cache (F7/D1 instrumentation).
     pub fn cache(&self) -> &Arc<PageCache> {
         &self.cache
     }
 
-    /// Bytes of memory-resident navigation state per vector.
-    pub fn memory_bytes_per_vector(&self) -> usize {
-        self.pq.code_len()
+    /// On-disk layout version (0 = identity, 1 = BFS-packed).
+    pub fn layout_version(&self) -> u32 {
+        if self.slot_of.is_empty() {
+            LAYOUT_IDENTITY
+        } else {
+            LAYOUT_PACKED
+        }
     }
 
-    /// Read node `u`'s record: (neighbors, exact distance to `query`).
-    fn read_node(&self, u: usize, query: &[f32]) -> Result<(Vec<u32>, f32)> {
+    /// Bytes of memory-resident navigation state per vector.
+    pub fn memory_bytes_per_vector(&self) -> usize {
+        self.pq.code_len() + if self.slot_of.is_empty() { 0 } else { 4 }
+    }
+
+    /// Record slot of node `u` under the active layout.
+    #[inline]
+    fn slot(&self, u: usize) -> usize {
+        if self.slot_of.is_empty() {
+            u
+        } else {
+            self.slot_of[u] as usize
+        }
+    }
+
+    /// Data page holding node `u`'s record.
+    #[inline]
+    fn page_of(&self, u: usize) -> PageId {
+        PageId(self.data_start + (self.slot(u) / self.records_per_page) as u64)
+    }
+
+    /// Read node `u`'s record: neighbor ids into `nbrs`, the stored
+    /// vector decoded *once* into `scratch`, and the exact distance to
+    /// `query` computed through the dispatched kernel layer.
+    fn read_node_into(
+        &self,
+        u: usize,
+        query: &[f32],
+        scratch: &mut Vec<f32>,
+        nbrs: &mut Vec<u32>,
+    ) -> Result<f32> {
         let record_bytes = 4 + self.r * 4 + self.dim * 4;
-        let pid = self.data_start + (u / self.records_per_page) as u64;
-        let page = self.cache.read(PageId(pid))?;
-        let base = (u % self.records_per_page) * record_bytes;
+        let page = self.cache.read(self.page_of(u))?;
+        let base = (self.slot(u) % self.records_per_page) * record_bytes;
         let degree = page.read_u32(base) as usize;
-        let mut nbrs = Vec::with_capacity(degree);
+        nbrs.clear();
         for j in 0..degree.min(self.r) {
             nbrs.push(page.read_u32(base + 4 + j * 4));
         }
-        // Exact distance from the stored vector.
+        // One contiguous decode into context scratch, then one kernel call
+        // (`Metric::distance` dispatches to the SIMD backend) — no
+        // per-float hand-rolled loop on the hot path.
         let voff = base + 4 + self.r * 4;
-        let dist = match self.metric {
-            Metric::SquaredEuclidean | Metric::Euclidean => {
-                let mut acc = 0.0f32;
-                for j in 0..self.dim {
-                    let d = page.read_f32(voff + j * 4) - query[j];
-                    acc += d * d;
-                }
-                if matches!(self.metric, Metric::Euclidean) {
-                    acc.sqrt()
-                } else {
-                    acc
-                }
+        scratch.clear();
+        scratch.extend(
+            page.bytes()[voff..voff + self.dim * 4]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))),
+        );
+        Ok(self.metric.distance(query, scratch))
+    }
+
+    /// Build (lazily) the ADC table for coarse cluster `c`.
+    fn ensure_table(
+        &self,
+        c: usize,
+        query: &[f32],
+        residual: &mut [f32],
+        tables: &mut [Option<AdcTable>],
+    ) -> Result<()> {
+        if tables[c].is_none() {
+            let cent = self.nav_centroids.get(c);
+            for i in 0..self.dim {
+                residual[i] = query[i] - cent[i];
             }
-            _ => {
-                let mut v = vec![0.0f32; self.dim];
-                for (j, o) in v.iter_mut().enumerate() {
-                    *o = page.read_f32(voff + j * 4);
-                }
-                self.metric.distance(query, &v)
-            }
-        };
-        Ok((nbrs, dist))
+            tables[c] = Some(self.pq.adc_table(residual)?);
+        }
+        Ok(())
     }
 
     fn scan(
@@ -375,81 +607,120 @@ impl DiskAnnIndex {
     ) -> Result<Vec<Neighbor>> {
         let beam = params.beam_width.max(k);
         let m = self.pq.code_len();
+        let prefetch_on = self.prefetch.load(Ordering::Relaxed);
         // Residual codes need one ADC table per coarse cluster, built from
         // the query's residual against that cluster's centroid. Tables are
         // materialized lazily: a query touches only a handful of clusters.
-        // The table slots, residual buffer, and candidate list live in the
-        // context's extension slot so a reused context allocates nothing.
+        // Tables, residual buffer, and batch buffers live in the context's
+        // extension slot so a reused context allocates nothing.
         ctx.begin(self.n);
         let DiskAnnScratch {
             mut tables,
             mut residual,
-            mut cands,
+            mut pairs,
+            mut codebuf,
         } = std::mem::take(ctx.ext::<DiskAnnScratch>());
         tables.clear();
         tables.resize_with(self.nav_centroids.len(), || None);
         residual.clear();
         residual.resize(self.dim, 0.0);
-        cands.clear();
-        let mut adc = |u: usize, tables: &mut Vec<Option<vdb_quant::AdcTable>>| -> Result<f32> {
-            let c = self.nav_assign[u] as usize;
-            if tables[c].is_none() {
-                let cent = self.nav_centroids.get(c);
-                for i in 0..self.dim {
-                    residual[i] = query[i] - cent[i];
-                }
-                tables[c] = Some(self.pq.adc_table(&residual)?);
-            }
-            Ok(tables[c]
-                .as_ref()
-                .expect("just built")
-                .distance(&self.codes[u * m..(u + 1) * m]))
-        };
 
-        // Candidate list ordered by ADC distance; expand the closest
-        // unexpanded entry (one page read each) until the top `beam` are
-        // all expanded — the DiskANN search loop.
-        ctx.visited.visit(self.start);
-        let d0 = adc(self.start, &mut tables)?;
-        cands.push((d0, self.start, false));
+        // Best-first beam search over a bounded frontier: `frontier` is a
+        // min-heap of unexpanded candidates ordered by ADC distance;
+        // `bound_pool` retains the `beam` best ADC distances seen and its
+        // threshold terminates the walk (the candidate-list rescan and
+        // O(n) sorted inserts of the original loop are gone).
+        ctx.frontier.clear();
+        ctx.bound_pool.reset(beam);
         ctx.rerank.reset(k.max(params.rerank.min(beam)));
-        // Expand the closest unexpanded candidate within the top `beam`
-        // until none remains (the DiskANN search loop).
-        while let Some(pos) = cands
-            .iter()
-            .take(beam)
-            .position(|&(_, _, expanded)| !expanded)
-        {
-            cands[pos].2 = true;
-            let u = cands[pos].1;
-            let (nbrs, dist) = self.read_node(u, query)?;
-            let accept = filter.is_none_or(|f| f.accept(u));
-            if accept {
-                ctx.rerank.push(Neighbor::new(u, dist));
+        ctx.visited.visit(self.start);
+        let c0 = self.nav_assign[self.start] as usize;
+        self.ensure_table(c0, query, &mut residual, &mut tables)?;
+        let d0 = tables[c0]
+            .as_ref()
+            .expect("just built")
+            .distance(&self.codes[self.start * m..(self.start + 1) * m]);
+        ctx.frontier.push(Reverse(Neighbor::new(self.start, d0)));
+        ctx.bound_pool.push(Neighbor::new(self.start, d0));
+
+        while let Some(Reverse(cand)) = ctx.frontier.pop() {
+            if ctx.bound_pool.is_full() && cand.dist > ctx.bound_pool.threshold() {
+                break;
             }
-            for &v in &nbrs {
-                let v = v as usize;
-                if !ctx.visited.visit(v) {
-                    continue;
+            // Expand: one page read (usually already resident thanks to
+            // prefetch-on-push below) + exact rescoring via the kernels.
+            let dist = self.read_node_into(cand.id, query, &mut ctx.scratch, &mut ctx.ids)?;
+            if filter.is_none_or(|f| f.accept(cand.id)) {
+                ctx.rerank.push(Neighbor::new(cand.id, dist));
+            }
+            // Batch-ADC the unvisited neighbors, grouped by coarse cluster
+            // so each group scans contiguous gathered codes through the
+            // dispatched `adc_scan` kernel.
+            pairs.clear();
+            for i in 0..ctx.ids.len() {
+                let v = ctx.ids[i] as usize;
+                if v < self.n && ctx.visited.visit(v) {
+                    pairs.push((self.nav_assign[v], v as u32));
                 }
-                let d = adc(v, &mut tables)?;
-                // Insert in sorted position.
-                let at = cands.partition_point(|&(cd, _, _)| cd <= d);
-                cands.insert(at, (d, v, false));
             }
-            if cands.len() > beam * 4 {
-                cands.truncate(beam * 4);
+            pairs.sort_unstable();
+            let mut i = 0;
+            while i < pairs.len() {
+                let c = pairs[i].0 as usize;
+                let mut j = i;
+                while j < pairs.len() && pairs[j].0 as usize == c {
+                    j += 1;
+                }
+                self.ensure_table(c, query, &mut residual, &mut tables)?;
+                codebuf.clear();
+                for &(_, v) in &pairs[i..j] {
+                    let v = v as usize;
+                    codebuf.extend_from_slice(&self.codes[v * m..(v + 1) * m]);
+                }
+                ctx.dists.resize(j - i, 0.0);
+                tables[c]
+                    .as_ref()
+                    .expect("just built")
+                    .distance_batch(&codebuf, &mut ctx.dists[..j - i]);
+                for (&(_, v), &d) in pairs[i..j].iter().zip(ctx.dists.iter()) {
+                    let v = v as usize;
+                    if !ctx.bound_pool.is_full() || d < ctx.bound_pool.threshold() {
+                        ctx.frontier.push(Reverse(Neighbor::new(v, d)));
+                        ctx.bound_pool.push(Neighbor::new(v, d));
+                    }
+                }
+                i = j;
+            }
+            if prefetch_on {
+                // Lookahead: queue page reads for the best few frontier
+                // candidates — the beam's next expansions — so their I/O
+                // runs while this iteration's scoring completes. Resident
+                // and in-flight pages are filtered inside `request`.
+                let mut best = [Neighbor::new(usize::MAX, f32::INFINITY); PREFETCH_LOOKAHEAD];
+                for Reverse(n) in ctx.frontier.iter() {
+                    if n.dist < best[PREFETCH_LOOKAHEAD - 1].dist {
+                        let mut at = PREFETCH_LOOKAHEAD - 1;
+                        best[at] = *n;
+                        while at > 0 && best[at].dist < best[at - 1].dist {
+                            best.swap(at, at - 1);
+                            at -= 1;
+                        }
+                    }
+                }
+                for n in best {
+                    if n.id != usize::MAX {
+                        prefetch::pool().request(&self.cache, self.page_of(n.id));
+                    }
+                }
             }
         }
-        // Release the closure's borrow of `residual` before returning it
-        // to the scratch slot.
-        let _ = adc;
         let mut out = ctx.rerank.drain_sorted();
         out.truncate(k);
         *ctx.ext::<DiskAnnScratch>() = DiskAnnScratch {
             tables,
             residual,
-            cands,
+            pairs,
+            codebuf,
         };
         Ok(out)
     }
@@ -503,9 +774,14 @@ impl VectorIndex for DiskAnnIndex {
 
     fn stats(&self) -> IndexStats {
         IndexStats {
-            memory_bytes: self.codes.len() + self.pq.memory_bytes(),
+            memory_bytes: self.codes.len() + self.pq.memory_bytes() + self.slot_of.len() * 4,
             structure_entries: self.n,
-            detail: format!("r={} pq_m={}", self.r, self.pq.m()),
+            detail: format!(
+                "r={} pq_m={} layout=v{}",
+                self.r,
+                self.pq.m(),
+                self.layout_version()
+            ),
         }
     }
 }
@@ -560,6 +836,7 @@ mod tests {
                 pq_m: 8,
                 nav_nlist: 64,
                 cache_pages,
+                ..DiskAnnConfig::default()
             },
         )
         .unwrap();
@@ -587,7 +864,7 @@ mod tests {
         for q in queries.iter() {
             idx.search(q, 10, &params).unwrap();
         }
-        let reads = idx.cache().stats().misses;
+        let reads = idx.cache().stats().disk_reads();
         let per_query = reads as f64 / nq as f64;
         assert!(
             per_query < 100.0,
@@ -614,6 +891,55 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_identity_layouts_return_identical_results() {
+        let mut rng = Rng::seed_from_u64(73);
+        let data = dataset::clustered(800, 16, 8, 0.5, &mut rng).vectors;
+        let queries = dataset::split_queries(&data, 10, 0.05, &mut rng);
+        let vam =
+            VamanaIndex::build(data.clone(), Metric::Euclidean, VamanaConfig::default()).unwrap();
+        let dir = TempDir::new("diskann-layout").unwrap();
+        let mut cfg = DiskAnnConfig {
+            packed_layout: true,
+            ..DiskAnnConfig::default()
+        };
+        let packed = DiskAnnIndex::build(dir.file("p.idx"), &vam, &cfg).unwrap();
+        cfg.packed_layout = false;
+        let identity = DiskAnnIndex::build(dir.file("i.idx"), &vam, &cfg).unwrap();
+        assert_eq!(packed.layout_version(), 1);
+        assert_eq!(identity.layout_version(), 0);
+        let params = SearchParams::default().with_beam_width(48);
+        for q in queries.iter() {
+            assert_eq!(
+                packed.search(q, 10, &params).unwrap(),
+                identity.search(q, 10, &params).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_toggle_is_bit_identical() {
+        let (_d, idx, queries, _) = setup(64);
+        let params = SearchParams::default().with_beam_width(48);
+        for q in queries.iter() {
+            idx.set_prefetch(false);
+            let off = idx.search(q, 10, &params).unwrap();
+            idx.set_prefetch(true);
+            let on = idx.search(q, 10, &params).unwrap();
+            assert_eq!(off, on);
+        }
+    }
+
+    #[test]
+    fn entry_region_is_pinned() {
+        let (_d, idx, _, _) = setup(64);
+        assert!(idx.cache().pinned_pages() > 0);
+        assert_eq!(
+            idx.cache().stats().pinned_pages as usize,
+            idx.cache().pinned_pages()
+        );
+    }
+
+    #[test]
     fn reopen_matches_built() {
         let mut rng = Rng::seed_from_u64(71);
         let data = dataset::clustered(500, 8, 6, 0.4, &mut rng).vectors;
@@ -635,8 +961,9 @@ mod tests {
     #[test]
     fn memory_footprint_is_codes_not_vectors() {
         let (_d, idx, _, _) = setup(64);
-        // 8 bytes of PQ code per vector vs 64 bytes of raw vector.
-        assert_eq!(idx.memory_bytes_per_vector(), 8);
+        // 8 bytes of PQ code + 4 bytes of slot map per vector vs 64 bytes
+        // of raw vector.
+        assert_eq!(idx.memory_bytes_per_vector(), 12);
         assert!(idx.stats().memory_bytes < idx.len() * 16 * 4 / 2);
     }
 

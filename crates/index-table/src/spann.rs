@@ -7,8 +7,20 @@
 //! near several cluster boundaries is replicated into every cluster whose
 //! centroid is within `(1 + ε)` of its nearest, trading disk space for
 //! fewer I/Os at a given recall.
+//!
+//! The disk pipeline (DESIGN.md §12) applies here too: once the probe set
+//! is ranked, *every* posting page the query will touch is known, so the
+//! scan keeps a sliding readahead window of page reads queued on the
+//! async prefetch pool — posting I/O overlaps with the scoring of earlier
+//! pages. (A bounded window rather than the whole probe set: flooding the
+//! pool would race the prefetcher against the scan for the same cache
+//! space and evict pages before they are consumed.) Page-resident vectors
+//! are gathered into context scratch and scored through one
+//! `distance_batch` kernel call per page instead of per-float loops.
+//! Results are bit-identical with prefetch on or off.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vdb_core::context::SearchContext;
 use vdb_core::error::{Error, Result};
@@ -19,9 +31,27 @@ use vdb_core::parallel::{clamp_threads, parallel_map_chunks, BuildOptions};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_quant::{KMeans, KMeansConfig};
-use vdb_storage::{Page, PageCache, PagedFile, PAGE_SIZE};
+use vdb_storage::{prefetch, Page, PageCache, PageId, PagedFile, PAGE_SIZE};
 
 const MAGIC: u32 = 0x5350_414E; // "SPAN"
+
+/// Default prefetch setting: on, unless `VDB_DISK_PREFETCH=0`.
+fn prefetch_default() -> bool {
+    !matches!(std::env::var("VDB_DISK_PREFETCH").as_deref(), Ok("0"))
+}
+
+/// Readahead window: pages kept in flight ahead of the scan position.
+/// Twice the prefetch pool's default worker count — enough to keep every
+/// worker busy, small enough that prefetched pages cannot be evicted
+/// before the scan reaches them.
+const READAHEAD_WINDOW: usize = 8;
+
+/// Per-query scratch in the [`SearchContext`] extension slot: the
+/// flattened `(page, records)` sequence of the probed posting lists.
+#[derive(Debug, Default)]
+struct SpannScratch {
+    pages: Vec<(PageId, u32)>,
+}
 
 /// Build-time configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +67,8 @@ pub struct SpannConfig {
     pub seed: u64,
     /// Page-cache budget (pages) for searches.
     pub cache_pages: usize,
+    /// Queue probed posting pages on the async prefetch pool.
+    pub prefetch: bool,
 }
 
 impl SpannConfig {
@@ -48,6 +80,7 @@ impl SpannConfig {
             train_iters: 15,
             seed: 0x5AA5,
             cache_pages: 64,
+            prefetch: prefetch_default(),
         }
     }
 }
@@ -64,6 +97,7 @@ pub struct SpannIndex {
     records_per_page: usize,
     /// Total records including closure replicas.
     replicated: usize,
+    prefetch: AtomicBool,
 }
 
 impl SpannIndex {
@@ -226,6 +260,7 @@ impl SpannIndex {
             cache: Arc::new(PageCache::new(file, cfg.cache_pages)),
             records_per_page,
             replicated,
+            prefetch: AtomicBool::new(cfg.prefetch),
         })
     }
 
@@ -268,12 +303,19 @@ impl SpannIndex {
             cache: Arc::new(PageCache::new(file, cache_pages)),
             records_per_page: PAGE_SIZE / record_bytes,
             replicated,
+            prefetch: AtomicBool::new(prefetch_default()),
         })
     }
 
     /// The page cache (I/O accounting for experiment F7).
     pub fn cache(&self) -> &Arc<PageCache> {
         &self.cache
+    }
+
+    /// Toggle asynchronous posting-page prefetch (results are identical
+    /// either way; only I/O timing changes).
+    pub fn set_prefetch(&self, enabled: bool) {
+        self.prefetch.store(enabled, Ordering::Relaxed);
     }
 
     /// Replication factor caused by closure assignment.
@@ -289,72 +331,102 @@ impl SpannIndex {
         params: &SearchParams,
         filter: Option<&dyn RowFilter>,
     ) -> Result<Vec<Neighbor>> {
-        // Rank centroids in memory (into the context's reusable buffer).
+        // Rank centroids in memory: one batched kernel sweep over the
+        // centroid matrix (identical results to per-row scoring), ordered
+        // with an id tie-break so probe order is deterministic.
         ctx.begin(self.n);
-        ctx.order.clear();
-        ctx.order.extend(
-            self.centroids
-                .iter()
-                .enumerate()
-                .map(|(c, cent)| (kernel::l2_sq(query, cent), c as u32)),
+        let nlist = self.centroids.len();
+        ctx.dists.resize(nlist, 0.0);
+        kernel::l2_sq_batch(
+            query,
+            self.centroids.as_flat(),
+            self.dim,
+            &mut ctx.dists[..nlist],
         );
+        ctx.order.clear();
+        ctx.order
+            .extend(ctx.dists.iter().enumerate().map(|(c, &d)| (d, c as u32)));
         ctx.order
             .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let probes = params.nprobe.max(1).min(ctx.order.len());
         let record_bytes = 4 + self.dim * 4;
         ctx.pool.reset(k);
+        let prefetch_on = self.prefetch.load(Ordering::Relaxed);
+
+        // The probe set fixes every page this query will read. Flatten
+        // that sequence once; the scan below keeps a readahead window of
+        // it in flight on the prefetch pool, so posting I/O overlaps with
+        // the scoring of earlier pages. (Prefetch only warms the cache;
+        // demand reads wait on in-flight fetches, so results are
+        // identical with prefetch disabled.)
+        let mut probe_pages = std::mem::take(&mut ctx.ext::<SpannScratch>().pages);
+        probe_pages.clear();
+        for &(_, c) in ctx.order.iter().take(probes) {
+            let (start, count) = self.postings[c as usize];
+            let mut remaining = count as usize;
+            let mut p = 0u64;
+            while remaining > 0 {
+                let in_page = remaining.min(self.records_per_page);
+                probe_pages.push((PageId(start + p), in_page as u32));
+                remaining -= in_page;
+                p += 1;
+            }
+        }
+
         let SearchContext {
             visited: seen,
             pool: top,
-            order,
-            scratch,
+            ids,
+            dists,
+            rows,
             ..
         } = ctx;
-        for &(_, c) in order.iter().take(probes) {
-            let (start, count) = self.postings[c as usize];
-            let pages = (count as usize).div_ceil(self.records_per_page);
-            let mut remaining = count as usize;
-            for p in 0..pages {
-                let page = self.cache.read(vdb_storage::PageId(start + p as u64))?;
-                let in_page = remaining.min(self.records_per_page);
-                for slot in 0..in_page {
-                    let base = slot * record_bytes;
-                    let row = page.read_u32(base) as usize;
-                    if !seen.visit(row) {
-                        continue; // closure replica already scored
+        for i in 0..probe_pages.len() {
+            if prefetch_on {
+                if i == 0 {
+                    for &(pid, _) in probe_pages.iter().take(READAHEAD_WINDOW).skip(1) {
+                        prefetch::pool().request(&self.cache, pid);
                     }
-                    if let Some(f) = filter {
-                        if !f.accept(row) {
-                            continue;
-                        }
-                    }
-                    // Decode the vector inline and score it.
-                    let mut d = 0.0f32;
-                    match self.metric {
-                        Metric::SquaredEuclidean | Metric::Euclidean => {
-                            for j in 0..self.dim {
-                                let x = page.read_f32(base + 4 + j * 4) - query[j];
-                                d += x * x;
-                            }
-                            if matches!(self.metric, Metric::Euclidean) {
-                                d = d.sqrt();
-                            }
-                        }
-                        _ => {
-                            scratch.clear();
-                            scratch.resize(self.dim, 0.0);
-                            for (j, o) in scratch.iter_mut().enumerate() {
-                                *o = page.read_f32(base + 4 + j * 4);
-                            }
-                            d = self.metric.distance(query, scratch);
-                        }
-                    }
-                    top.push(Neighbor::new(row, d));
+                } else if let Some(&(pid, _)) = probe_pages.get(i + READAHEAD_WINDOW - 1) {
+                    // Slide the window: one new page enters as one is read.
+                    prefetch::pool().request(&self.cache, pid);
                 }
-                remaining -= in_page;
+            }
+            let (pid, in_page) = probe_pages[i];
+            let page = self.cache.read(pid)?;
+            // Gather the page's surviving records (dedup closure replicas,
+            // apply the filter) into contiguous scratch, then score the
+            // whole page in one kernel batch.
+            ids.clear();
+            rows.clear();
+            for slot in 0..in_page as usize {
+                let base = slot * record_bytes;
+                let row = page.read_u32(base) as usize;
+                if !seen.visit(row) {
+                    continue; // closure replica already scored
+                }
+                if let Some(f) = filter {
+                    if !f.accept(row) {
+                        continue;
+                    }
+                }
+                ids.push(row as u32);
+                rows.extend(
+                    page.bytes()[base + 4..base + 4 + self.dim * 4]
+                        .chunks_exact(4)
+                        .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes"))),
+                );
+            }
+            dists.resize(ids.len(), 0.0);
+            self.metric
+                .distance_batch(query, rows, self.dim, &mut dists[..ids.len()]);
+            for (&row, &d) in ids.iter().zip(dists.iter()) {
+                top.push(Neighbor::new(row as usize, d));
             }
         }
-        Ok(top.drain_sorted())
+        let out = top.drain_sorted();
+        ctx.ext::<SpannScratch>().pages = probe_pages;
+        Ok(out)
     }
 }
 
@@ -552,6 +624,19 @@ mod tests {
             warm.search(q, 10, &params).unwrap();
         }
         assert!(warm.cache().stats().hit_ratio() > cold.cache().stats().hit_ratio());
+    }
+
+    #[test]
+    fn prefetch_toggle_is_bit_identical() {
+        let (_d, idx, queries, _) = setup(0.1, 32);
+        let params = SearchParams::default().with_nprobe(8);
+        for q in queries.iter() {
+            idx.set_prefetch(false);
+            let off = idx.search(q, 10, &params).unwrap();
+            idx.set_prefetch(true);
+            let on = idx.search(q, 10, &params).unwrap();
+            assert_eq!(off, on);
+        }
     }
 
     #[test]

@@ -1,26 +1,64 @@
-//! LRU page cache with I/O accounting.
+//! Admission-controlled page cache with pinning, prefetch integration,
+//! and lock-free I/O accounting.
 //!
 //! The cache sits between disk-resident indexes and their [`PagedFile`]s.
-//! Its budget (in pages) models available memory; its counters let
-//! experiment F7 report page reads per query under different budgets,
-//! reproducing the DiskANN/SPANN design tradeoff without real NVMe timing.
+//! Its budget (in pages) models available memory; its counters let the
+//! disk experiments (F7/D1) report page reads per query under different
+//! budgets, reproducing the DiskANN/SPANN design tradeoff without real
+//! NVMe timing. Three mechanisms beyond plain LRU serve the §2.2
+//! disk-serving story:
+//!
+//! - **Pinned hot set** ([`PageCache::pin`]): entry-region pages and other
+//!   navigation state are held resident outside the eviction pool, so a
+//!   scan can never push the pages every query touches out of memory.
+//! - **Scan-resistant eviction**: resident pages are *probationary* until
+//!   re-referenced, then *protected*; eviction takes the LRU probationary
+//!   page first. One sequential sweep over a large posting file therefore
+//!   recycles a single probationary slice instead of flushing the working
+//!   set. The protected segment is capped (SLRU-style) at 4/5 of the
+//!   budget — promoting past the cap demotes the LRU protected page — so
+//!   stale once-hot pages cannot monopolize the cache and starve the
+//!   probationary slice that prefetched pages land in.
+//! - **Frequency-based admission**: when the cache is full, a page whose
+//!   access frequency is lower than the victim's is returned to the
+//!   caller but *not cached* (counted in `admission_rejects`), the
+//!   TinyLFU admission idea at page granularity.
+//!
+//! Prefetch workers ([`crate::prefetch`]) install pages through
+//! [`PageCache::prefetch_read`]; an in-flight table keyed by page id makes
+//! a concurrent demand read *wait* for the already-issued I/O instead of
+//! duplicating it, which is exactly the I/O/compute overlap the async
+//! disk pipeline exists for.
+//!
+//! Counters are plain atomics outside the page-table lock, so
+//! [`PageCache::stats`] is a cheap wait-free snapshot safe to poll from
+//! serving threads.
 
 use crate::file::PagedFile;
 use crate::page::{Page, PageId};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
 use vdb_core::error::Result;
 use vdb_core::sync::Mutex;
 
-/// Cache hit/miss counters (monotonic).
+/// Cache counters (monotonic, except the `pinned_pages` gauge).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Page requests served from memory.
+    /// Page requests served from memory (including pinned pages and
+    /// demand reads that waited on an in-flight prefetch).
     pub hits: u64,
-    /// Page requests that went to disk.
+    /// Page requests that went to disk on the demand path.
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+    /// Pages read from disk by the prefetcher. Total disk reads are
+    /// `misses + prefetched`.
+    pub prefetched: u64,
+    /// Demand-filled pages the admission policy declined to cache.
+    pub admission_rejects: u64,
+    /// Currently pinned pages (gauge, not a counter).
+    pub pinned_pages: u64,
 }
 
 impl CacheStats {
@@ -38,38 +76,103 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Total pages read from disk (demand misses + prefetch reads) — the
+    /// I/O metric of experiments F7/D1.
+    pub fn disk_reads(&self) -> u64 {
+        self.misses + self.prefetched
+    }
+}
+
+struct Entry {
+    page: Arc<Page>,
+    stamp: u64,
+    /// Probationary until re-referenced (scan resistance).
+    protected: bool,
 }
 
 struct CacheInner {
-    /// Resident pages with their LRU stamp.
-    pages: HashMap<PageId, (Arc<Page>, u64)>,
+    /// Evictable resident pages.
+    pages: HashMap<PageId, Entry>,
+    /// Pinned pages: resident for the cache's lifetime, never evicted,
+    /// not counted against the budget.
+    pinned: HashMap<PageId, Arc<Page>>,
+    /// Pages a prefetch worker is currently reading; demand readers wait
+    /// on `filled` instead of issuing a duplicate read.
+    inflight: HashSet<PageId>,
+    /// Access-frequency sketch for the admission policy, aged by halving.
+    freq: HashMap<PageId, u32>,
+    freq_ops: u64,
+    /// Number of `pages` entries currently protected (kept ≤ the SLRU cap).
+    protected: usize,
     clock: u64,
-    stats: CacheStats,
 }
 
-/// A read-through LRU cache over one paged file.
+impl CacheInner {
+    fn bump_freq(&mut self, id: PageId, budget: usize) {
+        *self.freq.entry(id).or_insert(0) += 1;
+        self.freq_ops += 1;
+        // Age the sketch so stale popularity decays and its size stays
+        // bounded relative to the budget.
+        let cap = (budget.max(64) as u64) * 16;
+        if self.freq_ops >= cap {
+            self.freq_ops = 0;
+            self.freq.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+    }
+
+    fn freq_of(&self, id: PageId) -> u32 {
+        self.freq.get(&id).copied().unwrap_or(0)
+    }
+}
+
+/// A read-through page cache over one paged file (see the module docs for
+/// the eviction, admission, pinning, and prefetch semantics).
 ///
-/// Writes go straight to the file and update the cached copy (write-through),
-/// keeping the cache trivially consistent — appropriate for the mostly-read
-/// index workloads it serves.
+/// Writes go straight to the file and update the cached copy
+/// (write-through), keeping the cache trivially consistent — appropriate
+/// for the mostly-read index workloads it serves.
 pub struct PageCache {
     file: Arc<PagedFile>,
     budget_pages: usize,
     inner: Mutex<CacheInner>,
+    /// Signaled when an in-flight prefetch completes (or is abandoned).
+    filled: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    prefetched: AtomicU64,
+    admission_rejects: AtomicU64,
+    pinned_count: AtomicU64,
 }
 
 impl PageCache {
-    /// Wrap `file` with a cache holding at most `budget_pages` pages.
-    /// A budget of zero disables caching (every read hits the disk).
+    /// Wrap `file` with a cache holding at most `budget_pages` evictable
+    /// pages. A budget of zero disables caching (every read hits the
+    /// disk) except for explicitly pinned pages.
     pub fn new(file: Arc<PagedFile>, budget_pages: usize) -> Self {
         PageCache {
             file,
             budget_pages,
             inner: Mutex::new(CacheInner {
                 pages: HashMap::new(),
+                pinned: HashMap::new(),
+                inflight: HashSet::new(),
+                freq: HashMap::new(),
+                freq_ops: 0,
+                protected: 0,
                 clock: 0,
-                stats: CacheStats::default(),
             }),
+            filled: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            pinned_count: AtomicU64::new(0),
         }
     }
 
@@ -78,81 +181,290 @@ impl PageCache {
         &self.file
     }
 
-    /// Cache budget in pages.
+    /// Cache budget in evictable pages (pinned pages live outside it).
     pub fn budget(&self) -> usize {
         self.budget_pages
     }
 
-    /// Fetch a page, consulting the cache first.
+    /// SLRU cap on the protected segment: 4/5 of the budget, so at least
+    /// a fifth of the cache always recycles as probationary space for
+    /// new and prefetched pages.
+    fn protected_cap(&self) -> usize {
+        (self.budget_pages * 4 / 5).max(1)
+    }
+
+    /// Evict the least-valuable resident page: LRU probationary first,
+    /// then LRU protected. Returns the victim's frequency estimate.
+    fn evict_one(&self, inner: &mut CacheInner) -> Option<u32> {
+        let victim = inner
+            .pages
+            .iter()
+            .min_by_key(|(_, e)| (e.protected, e.stamp))
+            .map(|(&id, _)| id)?;
+        if let Some(e) = inner.pages.remove(&victim) {
+            if e.protected {
+                inner.protected -= 1;
+            }
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Some(inner.freq_of(victim))
+    }
+
+    /// Install a freshly read page. `admit_always` bypasses the admission
+    /// filter (used by prefetch, whose pages are about to be demanded, and
+    /// by write-through, which must keep the cached copy coherent).
+    fn install(&self, inner: &mut CacheInner, id: PageId, page: &Arc<Page>, admit_always: bool) {
+        if self.budget_pages == 0 || inner.pinned.contains_key(&id) {
+            return;
+        }
+        if let Some(e) = inner.pages.get_mut(&id) {
+            e.page = Arc::clone(page);
+            return;
+        }
+        if inner.pages.len() >= self.budget_pages {
+            if !admit_always {
+                // Admission: only displace the victim for a page at least
+                // as frequently accessed; otherwise serve without caching.
+                let victim = inner
+                    .pages
+                    .iter()
+                    .min_by_key(|(_, e)| (e.protected, e.stamp))
+                    .map(|(&vid, _)| vid);
+                if let Some(vid) = victim {
+                    if inner.freq_of(id) < inner.freq_of(vid) {
+                        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            while inner.pages.len() >= self.budget_pages {
+                if self.evict_one(inner).is_none() {
+                    break;
+                }
+            }
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.pages.insert(
+            id,
+            Entry {
+                page: Arc::clone(page),
+                stamp,
+                protected: false,
+            },
+        );
+    }
+
+    /// Fetch a page, consulting the cache first. A demand read that finds
+    /// the page in flight under the prefetcher blocks until that read
+    /// completes (counted as a hit: the disk read was already accounted
+    /// to `prefetched`).
     pub fn read(&self, id: PageId) -> Result<Arc<Page>> {
         {
             let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if let Some((page, stamp)) = inner.pages.get_mut(&id) {
-                *stamp = clock;
-                let page = Arc::clone(page);
-                inner.stats.hits += 1;
-                return Ok(page);
+            loop {
+                if let Some(page) = inner.pinned.get(&id) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(page));
+                }
+                if inner.pages.contains_key(&id) {
+                    inner.clock += 1;
+                    let clock = inner.clock;
+                    let e = inner.pages.get_mut(&id).expect("resident");
+                    e.stamp = clock;
+                    let promoted = !e.protected;
+                    e.protected = true; // re-referenced: survives scans
+                    let page = Arc::clone(&e.page);
+                    if promoted {
+                        inner.protected += 1;
+                        if inner.protected > self.protected_cap() {
+                            // SLRU: demote the LRU protected page to the
+                            // MRU end of probationary (one more chance)
+                            // so stale hot pages cannot fill the cache.
+                            let lru = inner
+                                .pages
+                                .iter()
+                                .filter(|(&pid, e)| e.protected && pid != id)
+                                .min_by_key(|(_, e)| e.stamp)
+                                .map(|(&pid, _)| pid);
+                            if let Some(pid) = lru {
+                                let d = inner.pages.get_mut(&pid).expect("resident");
+                                d.protected = false;
+                                d.stamp = clock;
+                                inner.protected -= 1;
+                            }
+                        }
+                    }
+                    inner.bump_freq(id, self.budget_pages);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(page);
+                }
+                if inner.inflight.contains(&id) {
+                    // A prefetch worker is already reading this page;
+                    // waiting for it *is* the I/O overlap.
+                    inner = self
+                        .filled
+                        .wait(inner)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    continue;
+                }
+                inner.bump_freq(id, self.budget_pages);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                break;
             }
-            inner.stats.misses += 1;
         }
         // Miss path: read outside the lock, then install.
         let page = Arc::new(self.file.read_page(id)?);
         let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        if self.budget_pages > 0 {
-            if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
-                // Evict the least recently used page.
-                if let Some((&victim, _)) = inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
-                {
-                    inner.pages.remove(&victim);
-                    inner.stats.evictions += 1;
+        self.install(&mut inner, id, &page, false);
+        Ok(page)
+    }
+
+    /// Prefetch `id` into the cache if it is not resident or already in
+    /// flight. Called by [`crate::prefetch`] workers; the read happens
+    /// outside the lock and is accounted to `prefetched`, not `misses`.
+    /// Returns whether this call performed a disk read. No-op (false)
+    /// when caching is disabled, since an uncacheable prefetch is pure
+    /// wasted I/O.
+    pub fn prefetch_read(&self, id: PageId) -> Result<bool> {
+        if self.budget_pages == 0 {
+            return Ok(false);
+        }
+        {
+            let mut inner = self.inner.lock();
+            if inner.pinned.contains_key(&id)
+                || inner.pages.contains_key(&id)
+                || !inner.inflight.insert(id)
+            {
+                return Ok(false);
+            }
+        }
+        let read = self.file.read_page(id);
+        let mut inner = self.inner.lock();
+        inner.inflight.remove(&id);
+        let result = match read {
+            Ok(page) => {
+                let page = Arc::new(page);
+                // Prefetched pages bypass admission (they are about to be
+                // demanded) but enter probationary, so a mispredicted
+                // prefetch is the first thing evicted.
+                self.install(&mut inner, id, &page, true);
+                self.prefetched.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            // Swallow the error: the demand read will retry and surface it.
+            Err(_) => Ok(false),
+        };
+        drop(inner);
+        self.filled.notify_all();
+        result
+    }
+
+    /// Whether `id` is resident (pinned or cached) right now.
+    pub fn contains(&self, id: PageId) -> bool {
+        let inner = self.inner.lock();
+        inner.pinned.contains_key(&id) || inner.pages.contains_key(&id)
+    }
+
+    /// Whether `id` is resident or already being read by a prefetch
+    /// worker — i.e. requesting it again would be pure queue churn.
+    pub fn contains_or_inflight(&self, id: PageId) -> bool {
+        let inner = self.inner.lock();
+        inner.pinned.contains_key(&id)
+            || inner.pages.contains_key(&id)
+            || inner.inflight.contains(&id)
+    }
+
+    /// Pin a set of pages: read them (from cache or disk) and hold them
+    /// resident for the cache's lifetime, outside the eviction pool and
+    /// budget. Used for the hot set — entry-region graph pages a query
+    /// always touches. Pinning an already-pinned page is a no-op.
+    /// Returns the number of pages newly pinned.
+    pub fn pin<I: IntoIterator<Item = PageId>>(&self, ids: I) -> Result<usize> {
+        let mut newly = 0usize;
+        for id in ids {
+            {
+                let mut inner = self.inner.lock();
+                if inner.pinned.contains_key(&id) {
+                    continue;
+                }
+                if let Some(e) = inner.pages.remove(&id) {
+                    if e.protected {
+                        inner.protected -= 1;
+                    }
+                    inner.pinned.insert(id, e.page);
+                    self.pinned_count.fetch_add(1, Ordering::Relaxed);
+                    newly += 1;
+                    continue;
                 }
             }
-            inner.pages.insert(id, (Arc::clone(&page), clock));
+            let page = Arc::new(self.file.read_page(id)?);
+            let mut inner = self.inner.lock();
+            if inner.pinned.insert(id, page).is_none() {
+                self.pinned_count.fetch_add(1, Ordering::Relaxed);
+                newly += 1;
+            }
         }
-        Ok(page)
+        Ok(newly)
+    }
+
+    /// Number of currently pinned pages.
+    pub fn pinned_pages(&self) -> usize {
+        self.pinned_count.load(Ordering::Relaxed) as usize
     }
 
     /// Write a page through the cache to disk.
     pub fn write(&self, id: PageId, page: Page) -> Result<()> {
         self.file.write_page(id, &page)?;
+        let page = Arc::new(page);
+        let mut inner = self.inner.lock();
+        if let Some(p) = inner.pinned.get_mut(&id) {
+            *p = page;
+            return Ok(());
+        }
         if self.budget_pages > 0 {
-            let mut inner = self.inner.lock();
-            inner.clock += 1;
-            let clock = inner.clock;
-            if inner.pages.len() >= self.budget_pages && !inner.pages.contains_key(&id) {
-                if let Some((&victim, _)) = inner.pages.iter().min_by_key(|(_, (_, stamp))| *stamp)
-                {
-                    inner.pages.remove(&victim);
-                    inner.stats.evictions += 1;
-                }
-            }
-            inner.pages.insert(id, (Arc::new(page), clock));
+            self.install(&mut inner, id, &page, true);
         }
         Ok(())
     }
 
-    /// Snapshot of the counters.
+    /// Wait-free snapshot of the counters (no lock taken; counters are
+    /// atomics, so concurrent searchers never contend with a stats poll).
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            pinned_pages: self.pinned_count.load(Ordering::Relaxed),
+        }
     }
 
-    /// Reset counters (e.g. after warmup, before a measured run).
+    /// Reset counters (e.g. after warmup, before a measured run). The
+    /// `pinned_pages` gauge is preserved — the pages are still pinned.
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = CacheStats::default();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.admission_rejects.store(0, Ordering::Relaxed);
     }
 
-    /// Number of currently resident pages.
+    /// Number of currently resident pages (evictable + pinned).
     pub fn resident(&self) -> usize {
-        self.inner.lock().pages.len()
+        let inner = self.inner.lock();
+        inner.pages.len() + inner.pinned.len()
     }
 
-    /// Drop all resident pages (cold-cache experiments).
+    /// Drop all evictable resident pages (cold-cache experiments). Pinned
+    /// pages stay — they model state that is always memory-resident.
     pub fn clear(&self) {
-        self.inner.lock().pages.clear();
+        let mut inner = self.inner.lock();
+        inner.pages.clear();
+        inner.freq.clear();
+        inner.freq_ops = 0;
+        inner.protected = 0;
     }
 }
 
@@ -199,8 +511,8 @@ mod tests {
         let (_dir, cache) = setup(3, 2);
         cache.read(PageId(0)).unwrap(); // miss
         cache.read(PageId(1)).unwrap(); // miss
-        cache.read(PageId(0)).unwrap(); // hit (0 now most recent)
-        cache.read(PageId(2)).unwrap(); // miss, evicts 1
+        cache.read(PageId(0)).unwrap(); // hit (0 now protected)
+        cache.read(PageId(2)).unwrap(); // miss, evicts probationary 1
         cache.read(PageId(0)).unwrap(); // hit
         cache.read(PageId(1)).unwrap(); // miss again
         let s = cache.stats();
@@ -230,6 +542,9 @@ mod tests {
         assert_eq!(s.hits, 0);
         assert_eq!(s.misses, 2);
         assert_eq!(cache.resident(), 0);
+        // Prefetch into a budget-0 cache is refused, not wasted I/O.
+        assert!(!cache.prefetch_read(PageId(1)).unwrap());
+        assert_eq!(cache.stats().prefetched, 0);
     }
 
     #[test]
@@ -254,5 +569,144 @@ mod tests {
         assert_eq!(cache.resident(), 0);
         cache.read(PageId(0)).unwrap();
         assert_eq!(cache.stats().misses, 1, "cold after clear");
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let (_dir, cache) = setup(8, 2);
+        assert_eq!(cache.pin([PageId(0), PageId(1)]).unwrap(), 2);
+        assert_eq!(cache.pinned_pages(), 2);
+        cache.reset_stats();
+        // A sweep much larger than the budget cannot displace the pins.
+        for round in 0..4 {
+            for i in 2..8u64 {
+                cache.read(PageId(i)).unwrap();
+            }
+            assert_eq!(cache.read(PageId(0)).unwrap().read_u32(0), 0);
+            assert_eq!(cache.read(PageId(1)).unwrap().read_u32(0), 1);
+            let _ = round;
+        }
+        let s = cache.stats();
+        assert_eq!(s.pinned_pages, 2);
+        // Every pinned access was a hit: 8 pinned reads, zero pinned misses.
+        assert_eq!(s.hits, 8);
+        // Pinning twice is a no-op.
+        assert_eq!(cache.pin([PageId(0)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn pins_resident_even_at_zero_budget() {
+        let (_dir, cache) = setup(2, 0);
+        cache.pin([PageId(1)]).unwrap();
+        cache.reset_stats();
+        assert_eq!(cache.read(PageId(1)).unwrap().read_u32(0), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn scan_does_not_flush_protected_set() {
+        let (_dir, cache) = setup(16, 4);
+        // Build a protected working set: pages 0..2 referenced twice.
+        for _ in 0..2 {
+            for i in 0..3u64 {
+                cache.read(PageId(i)).unwrap();
+            }
+        }
+        // One sequential scan over everything else.
+        for i in 3..16u64 {
+            cache.read(PageId(i)).unwrap();
+        }
+        cache.reset_stats();
+        for i in 0..3u64 {
+            cache.read(PageId(i)).unwrap();
+        }
+        let s = cache.stats();
+        assert!(
+            s.hits >= 2,
+            "protected pages should survive the scan: {s:?}"
+        );
+    }
+
+    #[test]
+    fn protected_segment_is_capped() {
+        // Budget 5 → protected cap 4. Make all 5 resident pages protected
+        // candidates by double-reading; the cap forces at least one back
+        // to probationary, so a prefetched page can enter and survive
+        // until its demand read instead of self-evicting against a fully
+        // protected cache.
+        let (_dir, cache) = setup(8, 5);
+        for _ in 0..2 {
+            for i in 0..5u64 {
+                cache.read(PageId(i)).unwrap();
+            }
+        }
+        assert!(cache.prefetch_read(PageId(6)).unwrap());
+        cache.reset_stats();
+        assert_eq!(cache.read(PageId(6)).unwrap().read_u32(0), 6);
+        let s = cache.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (1, 0),
+            "prefetched page displaced a demoted page, not itself: {s:?}"
+        );
+    }
+
+    #[test]
+    fn admission_rejects_cold_pages_under_pressure() {
+        let (_dir, cache) = setup(16, 2);
+        // Make pages 0 and 1 hot.
+        for _ in 0..6 {
+            cache.read(PageId(0)).unwrap();
+            cache.read(PageId(1)).unwrap();
+        }
+        // Cold single-touch sweep: rejected by admission, hot set intact.
+        for i in 2..16u64 {
+            cache.read(PageId(i)).unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.admission_rejects > 0, "expected rejects: {s:?}");
+        cache.reset_stats();
+        cache.read(PageId(0)).unwrap();
+        cache.read(PageId(1)).unwrap();
+        assert_eq!(cache.stats().hits, 2, "hot set survived the cold sweep");
+    }
+
+    #[test]
+    fn prefetch_read_installs_and_dedups() {
+        let (_dir, cache) = setup(4, 4);
+        assert!(cache.prefetch_read(PageId(2)).unwrap());
+        assert!(!cache.prefetch_read(PageId(2)).unwrap(), "already resident");
+        let s = cache.stats();
+        assert_eq!((s.prefetched, s.misses), (1, 0));
+        // The demand read is now a hit.
+        assert_eq!(cache.read(PageId(2)).unwrap().read_u32(0), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.disk_reads()), (1, 0, 1));
+    }
+
+    #[test]
+    fn stats_snapshot_is_lock_free_under_concurrency() {
+        let (_dir, cache) = setup(8, 4);
+        let cache = Arc::new(cache);
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        c.read(PageId((i + t) % 8)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..100 {
+            let s = cache.stats();
+            assert!(s.hits + s.misses <= 800 + 100);
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.accesses(), 800);
     }
 }

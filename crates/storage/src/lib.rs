@@ -4,8 +4,11 @@
 //!
 //! - [`page`] / [`file`] — fixed-size pages over files, the unit of I/O
 //!   accounting for disk-resident indexes (§2.2),
-//! - [`cache`] — read-through LRU page cache with hit/miss/eviction
-//!   counters (experiment F7's instrument),
+//! - [`cache`] — read-through page cache with pinning, scan-resistant
+//!   admission-controlled eviction, and lock-free hit/miss/eviction
+//!   counters (the instrument of experiments F7/D1),
+//! - [`prefetch`] — std-only asynchronous I/O worker pool feeding the
+//!   cache (the disk pipeline's overlap engine, with an io_uring seam),
 //! - [`vector_store`] — page-aligned disk-resident vector records,
 //! - [`column`] — typed, nullable attribute columns with statistics for
 //!   selectivity estimation (§2.1 hybrid queries),
@@ -31,6 +34,7 @@ pub mod failpoint;
 pub mod file;
 pub mod lsm;
 pub mod page;
+pub mod prefetch;
 pub mod snapshot;
 pub mod vector_store;
 pub mod wal;
@@ -40,6 +44,7 @@ pub use column::{AttributeStore, Column, ColumnStats};
 pub use file::{PagedFile, TempDir};
 pub use lsm::{KeyedNeighbor, LsmConfig, LsmStore};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use prefetch::{IoBackend, PrefetchPool};
 pub use snapshot::{Snapshot, SnapshotColumn};
 pub use vector_store::DiskVectorStore;
 pub use wal::{crc32, Wal, WalRecord};
