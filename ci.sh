@@ -46,15 +46,22 @@ echo "== online maintenance: mutability + background-merge stress =="
 # Release profile: the concurrency test needs real rebuild throughput.
 cargo test -q --release --test online_maintenance
 
-echo "== serving layer: loopback server integration =="
+echo "== serving layer: loopback server integration, both connection cores =="
 # Real sockets on 127.0.0.1: N concurrent clients get correct results,
-# overload past max_queue is answered BUSY (not queued), a killed shard
-# socket degrades to a partial result within the deadline, and graceful
-# shutdown drains every in-flight request (DESIGN.md §10). The protocol
-# suite additionally rejects torn/oversized/CRC-flipped frames at every
-# byte offset against a live server.
-cargo test -q --release --test serving
-cargo test -q --release -p vdb-server --test protocol_robustness
+# overload past max_queue is answered BUSY (not queued), the bulk lane
+# sheds before interactive search, per-collection token buckets throttle,
+# a killed shard socket degrades to a partial result within the deadline,
+# and graceful shutdown drains every in-flight request (DESIGN.md §10,
+# §13). The protocol suite additionally rejects torn/oversized/
+# CRC-flipped frames at every byte offset against a live server and
+# reaps a 200-connection slow-loris trickle without blocking other
+# clients. Both passes run under the readiness-polling event loop
+# (VDB_SERVER_EVENTLOOP=1, the default) and the legacy
+# thread-per-connection readers (=0): results must be bit-identical.
+VDB_SERVER_EVENTLOOP=1 cargo test -q --release --test serving
+VDB_SERVER_EVENTLOOP=0 cargo test -q --release --test serving
+VDB_SERVER_EVENTLOOP=1 cargo test -q --release -p vdb-server --test protocol_robustness
+VDB_SERVER_EVENTLOOP=0 cargo test -q --release -p vdb-server --test protocol_robustness
 
 echo "== kernel equivalence with SIMD force-disabled =="
 # kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks

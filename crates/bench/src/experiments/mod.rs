@@ -15,9 +15,9 @@ pub mod serving;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "d1", "f8", "t5",
-    "k1", "s1", "m1",
+    "k1", "s1", "s2", "m1",
 ];
 
 /// Dispatch one experiment by id.
@@ -41,6 +41,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "t5" => execution::t5_kernels(),
         "k1" => score::k1_simd_dispatch(),
         "s1" => serving::s1_serving(scale),
+        "s2" => serving::s2_connection_scaling(scale),
         "m1" => maintenance::m1_online_maintenance(scale),
         other => Err(vdb_core::Error::InvalidParameter(format!(
             "unknown experiment `{other}`; known: {ALL:?}"

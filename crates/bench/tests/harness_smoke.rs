@@ -20,10 +20,10 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_nineteen() {
-    assert_eq!(experiments::ALL.len(), 19);
+fn registry_lists_all_twenty() {
+    assert_eq!(experiments::ALL.len(), 20);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 19, "no duplicate experiment ids");
+    assert_eq!(set.len(), 20, "no duplicate experiment ids");
 }
 
 #[test]
@@ -34,6 +34,11 @@ fn m1_runs() {
 #[test]
 fn s1_runs() {
     experiments::run("s1", Scale::Quick).unwrap();
+}
+
+#[test]
+fn s2_runs() {
+    experiments::run("s2", Scale::Quick).unwrap();
 }
 
 #[test]

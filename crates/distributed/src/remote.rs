@@ -81,6 +81,24 @@ fn dial(addr: &SocketAddr, cfg: &RemoteShardConfig) -> Result<TcpStream> {
     Err(Error::Io(last.expect("at least one dial attempt")))
 }
 
+/// Zero-byte readiness probe: between exchanges a healthy pooled shard
+/// connection has nothing to read. `Ok(0)` means the shard server
+/// half-closed it (restart, reap); `Ok(n)` means stray unread bytes and
+/// a desynced frame stream. Either way, don't write a request into it.
+fn pooled_socket_is_live(conn: &TcpStream) -> bool {
+    if conn.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let live = match conn.peek(&mut probe) {
+        Ok(0) => false,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+        Err(_) => false,
+    };
+    conn.set_nonblocking(false).is_ok() && live
+}
+
 /// One request/response exchange on an open shard connection.
 fn exchange(conn: &mut TcpStream, request: &[u8], read_timeout: Duration) -> Result<Vec<u8>> {
     conn.set_read_timeout(Some(read_timeout)).ok();
@@ -151,8 +169,16 @@ impl RemoteShard {
     }
 
     fn checkout(&self) -> Result<TcpStream> {
-        if let Some(conn) = self.pool.lock().pop() {
-            return Ok(conn);
+        // Pop until a pooled connection passes the staleness probe;
+        // half-closed sockets are discarded before a request is risked
+        // on them (the retry-once below covers the remaining race).
+        loop {
+            let Some(conn) = self.pool.lock().pop() else {
+                break;
+            };
+            if pooled_socket_is_live(&conn) {
+                return Ok(conn);
+            }
         }
         dial(&self.addr, &self.cfg)
     }

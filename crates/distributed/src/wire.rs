@@ -118,7 +118,11 @@ pub enum ServerRead {
 /// serving thread can observe a shutdown flag between requests without
 /// ever tearing a frame) and a `frame_timeout` that bounds how long a
 /// peer may dribble one frame once its first byte has arrived. The idle
-/// wait uses `peek`, so a timeout there consumes nothing.
+/// wait uses `peek`, so a timeout there consumes nothing. The frame
+/// timeout is a *whole-frame* budget — [`DeadlineReader`] re-arms the
+/// socket timeout with the remaining budget before every read, so a
+/// peer trickling one byte per timeout (slow loris) still gets cut off
+/// at `frame_timeout` total.
 pub fn read_server_frame(
     stream: &mut std::net::TcpStream,
     idle: std::time::Duration,
@@ -139,11 +143,37 @@ pub fn read_server_frame(
         }
         Err(e) => return Err(e.into()),
     }
-    stream.set_read_timeout(Some(frame_timeout))?;
-    Ok(match read_frame(stream, max_len)? {
+    let mut reader = DeadlineReader {
+        stream,
+        deadline: std::time::Instant::now() + frame_timeout,
+    };
+    Ok(match read_frame(&mut reader, max_len)? {
         Some(payload) => ServerRead::Frame(payload),
         None => ServerRead::Closed,
     })
+}
+
+/// Enforces an absolute deadline across a multi-read operation by
+/// shrinking the socket read timeout to the remaining budget before
+/// each read. A plain `set_read_timeout` is per-`read` — each arriving
+/// byte resets it, which is exactly the hole slow-loris clients exploit.
+struct DeadlineReader<'a> {
+    stream: &'a std::net::TcpStream,
+    deadline: std::time::Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|r| !r.is_zero())
+            .ok_or_else(|| std::io::Error::new(ErrorKind::TimedOut, "frame deadline exceeded"))?;
+        self.stream
+            .set_read_timeout(Some(remaining.max(std::time::Duration::from_millis(1))))?;
+        let mut s = self.stream;
+        s.read(buf)
+    }
 }
 
 /// Append a `u8`.

@@ -4,11 +4,14 @@
 //!
 //! One [`Client`] is safe to share across threads: concurrent callers
 //! each check out (or dial) their own pooled connection, so requests
-//! never serialize behind one socket. A pooled connection that went
-//! stale (server restart, idle reset) is retried exactly once on a
-//! fresh dial before the failure is surfaced.
+//! never serialize behind one socket. Checkout probes each pooled
+//! connection with a zero-byte readiness read, so a half-closed socket
+//! (server restart, idle reap) is discarded *before* a request is
+//! written into it; the retry-once-on-fresh-dial fallback remains for
+//! the race where the peer dies between the probe and the write.
 
 use crate::protocol::{Request, Response, ServerStatsSnapshot, WireCollectionStats};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use vdb::{SearchHit, VqlOutput};
@@ -35,6 +38,9 @@ pub struct ClientConfig {
     pub max_frame: u32,
     /// Connections kept warm in the pool.
     pub pool_size: usize,
+    /// Set `TCP_NODELAY` on dialed sockets (request frames are small;
+    /// Nagle batching delays them behind unacked responses).
+    pub nodelay: bool,
 }
 
 impl Default for ClientConfig {
@@ -46,8 +52,28 @@ impl Default for ClientConfig {
             read_timeout: Duration::from_secs(10),
             max_frame: wire::MAX_FRAME,
             pool_size: 8,
+            nodelay: true,
         }
     }
+}
+
+/// Zero-byte readiness probe for a pooled connection. Between complete
+/// request/response exchanges a healthy socket has nothing to read, so:
+/// `WouldBlock` = healthy; `Ok(0)` = the peer half-closed (FIN) while
+/// the socket sat in the pool; `Ok(n)` = stray unread bytes, the
+/// framing is desynced — either way the socket must not be reused.
+fn pooled_socket_is_live(conn: &TcpStream) -> bool {
+    if conn.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let live = match conn.peek(&mut probe) {
+        Ok(0) => false,
+        Ok(_) => false,
+        Err(e) if e.kind() == ErrorKind::WouldBlock => true,
+        Err(_) => false,
+    };
+    conn.set_nonblocking(false).is_ok() && live
 }
 
 fn dial(addr: &SocketAddr, cfg: &ClientConfig) -> Result<TcpStream> {
@@ -60,7 +86,9 @@ fn dial(addr: &SocketAddr, cfg: &ClientConfig) -> Result<TcpStream> {
         }
         match TcpStream::connect_timeout(addr, cfg.connect_timeout) {
             Ok(s) => {
-                s.set_nodelay(true).ok();
+                if cfg.nodelay {
+                    s.set_nodelay(true).ok();
+                }
                 s.set_read_timeout(Some(cfg.read_timeout)).ok();
                 return Ok(s);
             }
@@ -108,8 +136,15 @@ impl Client {
     }
 
     fn checkout(&self) -> Result<TcpStream> {
-        if let Some(conn) = self.pool.lock().pop() {
-            return Ok(conn);
+        // Pop until a pooled connection passes the staleness probe;
+        // half-closed or desynced sockets are dropped on the floor.
+        loop {
+            let Some(conn) = self.pool.lock().pop() else {
+                break;
+            };
+            if pooled_socket_is_live(&conn) {
+                return Ok(conn);
+            }
         }
         dial(&self.addr, &self.cfg)
     }
@@ -391,6 +426,56 @@ mod tests {
                 });
             }
         });
+        handle.shutdown();
+    }
+
+    #[test]
+    fn staleness_probe_classifies_sockets() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Healthy: connected, nothing pending.
+        let healthy = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        assert!(pooled_socket_is_live(&healthy));
+        // Desynced: the peer wrote bytes nobody consumed.
+        use std::io::Write;
+        (&server_side).write_all(b"stray").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!pooled_socket_is_live(&healthy));
+        // Half-closed: the peer dropped its side (FIN in flight).
+        let stale = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(server_side);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!pooled_socket_is_live(&stale));
+    }
+
+    #[test]
+    fn pooled_connection_reaped_by_server_is_replaced_on_checkout() {
+        let handle = serve(
+            fixture_db(8),
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_timeout: Duration::from_millis(150),
+                idle_tick: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = Client::connect(handle.addr()).unwrap();
+        let hits = client
+            .search("docs", &[2.1, 0.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
+        assert_eq!(hits[0].key, 2);
+        // Outlive the server's idle timeout: the pooled socket gets
+        // reaped server-side; checkout must detect the FIN and dial
+        // fresh instead of writing into a dead socket.
+        std::thread::sleep(Duration::from_millis(600));
+        assert!(handle.stats().reaped >= 1, "server must reap idle conns");
+        let hits = client
+            .search("docs", &[5.1, 0.0, 0.0], 1, &SearchParams::default())
+            .unwrap();
+        assert_eq!(hits[0].key, 5);
         handle.shutdown();
     }
 

@@ -6,14 +6,21 @@
 //!
 //! - [`protocol`] — typed [`Request`]/[`Response`] messages and their
 //!   wire codec (one opcode byte + little-endian body per frame).
-//! - [`server`] — [`serve`] a [`vdb::Vdbms`] on a socket: thread-pool
-//!   executors behind a bounded queue, admission control that sheds
-//!   load with an explicit [`Response::Busy`], per-request deadlines,
-//!   opportunistic coalescing of concurrent single-query searches into
-//!   batched calls, and graceful drain-then-stop shutdown.
-//! - [`client`] — the blocking [`Client`]: connection pool, retrying
-//!   connect with backoff, read timeouts, and typed methods returning
-//!   ordinary `vdb` values.
+//! - [`net`] — dependency-free readiness polling: a `poll(2)` shim and
+//!   a self-wake channel for the event-loop connection core (unix).
+//! - [`server`] — [`serve`] a [`vdb::Vdbms`] on a socket: a
+//!   readiness-polling event loop holds every connection (legacy
+//!   thread-per-connection readers behind `VDB_SERVER_EVENTLOOP=0`),
+//!   thread-pool executors behind a bounded two-lane queue (interactive
+//!   search before bulk mutation), per-collection token-bucket rate
+//!   limits, admission control that sheds load with an explicit
+//!   [`Response::Busy`], per-request deadlines, opportunistic
+//!   coalescing of concurrent single-query searches into batched
+//!   calls, a p50/p99/QPS metrics plane served via `server-stats`, and
+//!   graceful drain-then-stop shutdown.
+//! - [`client`] — the blocking [`Client`]: connection pool with
+//!   staleness probing, retrying connect with backoff, read timeouts,
+//!   and typed methods returning ordinary `vdb` values.
 //!
 //! ```no_run
 //! use vdb_server::{serve, Client, ServerConfig};
@@ -29,13 +36,17 @@
 //! let db = handle.shutdown(); // graceful: drains in-flight requests
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so `net` can carve out the one `poll(2)` FFI
+// declaration the event loop needs; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+pub mod net;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientConfig};
 pub use protocol::{ErrorCode, Request, Response, ServerStatsSnapshot, WireCollectionStats};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, RateLimit, ServerConfig, ServerHandle};

@@ -148,12 +148,39 @@ pub struct ServerStatsSnapshot {
     pub batches: u64,
     /// Searches that rode along in someone else's batch.
     pub coalesced: u64,
-    /// Requests shed with BUSY by admission control.
+    /// Requests shed with BUSY by admission control (queue full, bulk
+    /// lane full, or rate limited).
     pub busy: u64,
+    /// BUSY responses caused specifically by a per-collection token
+    /// bucket running dry (also counted in `busy`).
+    pub rate_limited: u64,
+    /// Requests that waited in the queue past their deadline and were
+    /// answered with a `DEADLINE` error instead of executed late.
+    pub deadline_expired: u64,
     /// Frames/messages rejected as malformed.
     pub protocol_errors: u64,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// Connections closed by the server for idling past the idle
+    /// timeout or trickling a frame past the frame timeout.
+    pub reaped: u64,
+    /// Requests currently queued in the interactive lane.
+    pub interactive_depth: u64,
+    /// Requests currently queued in the bulk lane.
+    pub bulk_depth: u64,
+    /// Completed requests per second over the recent window.
+    pub qps: u64,
+    /// Median queue-admission-to-response latency, in microseconds
+    /// (log2-bucketed histogram: values are upper-bound estimates with
+    /// 2x resolution).
+    pub p50_us: u64,
+    /// 99th-percentile admission-to-response latency, in microseconds.
+    pub p99_us: u64,
+    /// Whether the server is running the readiness-polling event loop
+    /// (`false` = legacy thread-per-connection readers).
+    pub event_loop: bool,
     /// Total merges (rebuilds or in-place folds) across collections.
     pub merges: u64,
     /// Total rows waiting in update buffers across collections.
@@ -501,8 +528,18 @@ impl Response {
                 wire::put_u64(&mut out, s.batches);
                 wire::put_u64(&mut out, s.coalesced);
                 wire::put_u64(&mut out, s.busy);
+                wire::put_u64(&mut out, s.rate_limited);
+                wire::put_u64(&mut out, s.deadline_expired);
                 wire::put_u64(&mut out, s.protocol_errors);
                 wire::put_u64(&mut out, s.connections);
+                wire::put_u64(&mut out, s.open_connections);
+                wire::put_u64(&mut out, s.reaped);
+                wire::put_u64(&mut out, s.interactive_depth);
+                wire::put_u64(&mut out, s.bulk_depth);
+                wire::put_u64(&mut out, s.qps);
+                wire::put_u64(&mut out, s.p50_us);
+                wire::put_u64(&mut out, s.p99_us);
+                wire::put_u8(&mut out, u8::from(s.event_loop));
                 wire::put_u64(&mut out, s.merges);
                 wire::put_u64(&mut out, s.buffered);
                 wire::put_u64(&mut out, s.rebuilds_in_flight);
@@ -553,8 +590,18 @@ impl Response {
                 batches: r.u64()?,
                 coalesced: r.u64()?,
                 busy: r.u64()?,
+                rate_limited: r.u64()?,
+                deadline_expired: r.u64()?,
                 protocol_errors: r.u64()?,
                 connections: r.u64()?,
+                open_connections: r.u64()?,
+                reaped: r.u64()?,
+                interactive_depth: r.u64()?,
+                bulk_depth: r.u64()?,
+                qps: r.u64()?,
+                p50_us: r.u64()?,
+                p99_us: r.u64()?,
+                event_loop: r.u8()? != 0,
                 merges: r.u64()?,
                 buffered: r.u64()?,
                 rebuilds_in_flight: r.u64()?,
@@ -677,8 +724,18 @@ mod tests {
                 batches: 5,
                 coalesced: 17,
                 busy: 3,
+                rate_limited: 2,
+                deadline_expired: 1,
                 protocol_errors: 1,
                 connections: 9,
+                open_connections: 4,
+                reaped: 2,
+                interactive_depth: 3,
+                bulk_depth: 1,
+                qps: 4200,
+                p50_us: 512,
+                p99_us: 8192,
+                event_loop: true,
                 merges: 7,
                 buffered: 130,
                 rebuilds_in_flight: 1,

@@ -92,8 +92,18 @@ fn sample_responses() -> Vec<Response> {
             batches: 5,
             coalesced: 17,
             busy: 3,
+            rate_limited: 2,
+            deadline_expired: 1,
             protocol_errors: 1,
             connections: 9,
+            open_connections: 4,
+            reaped: 2,
+            interactive_depth: 3,
+            bulk_depth: 1,
+            qps: 4200,
+            p50_us: 512,
+            p99_us: 8192,
+            event_loop: true,
             merges: 7,
             buffered: 130,
             rebuilds_in_flight: 1,
@@ -288,6 +298,118 @@ fn clean_disconnect_mid_frame_does_not_wedge_server() {
     let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
         .unwrap()
         .expect("server must still serve after a torn peer");
+    assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+    handle.shutdown();
+}
+
+/// Slow-loris defense, both connection cores: hundreds of connections
+/// that trickle a partial frame one byte at a time (or send nothing at
+/// all) must not block real clients, and the frame/idle timeouts must
+/// reap every one of them.
+#[test]
+fn slow_loris_trickle_is_reaped_and_does_not_block_other_clients() {
+    let mut db = Vdbms::new(SystemProfile::MostlyVector);
+    db.create_collection(
+        CollectionSchema::new("docs", 3, Metric::Euclidean),
+        IndexSpec::Flat,
+    )
+    .unwrap();
+    for i in 0..8u64 {
+        db.collection_mut("docs")
+            .unwrap()
+            .insert(i, &[i as f32, 0.0, 0.0], &[])
+            .unwrap();
+    }
+    let handle = serve(
+        db,
+        "127.0.0.1:0",
+        ServerConfig {
+            frame_timeout: Duration::from_millis(400),
+            idle_timeout: Duration::from_millis(800),
+            idle_tick: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let attack_start = std::time::Instant::now();
+    let frame = framed(&Request::Ping.encode());
+    // 120 tricklers start a frame and dribble it; 80 idlers connect and
+    // go silent.
+    let mut tricklers: Vec<TcpStream> = Vec::new();
+    let mut idlers: Vec<TcpStream> = Vec::new();
+    for i in 0..200 {
+        let conn = TcpStream::connect_timeout(&handle.addr(), Duration::from_secs(2))
+            .expect("accepts must not fail under connection load");
+        if i % 5 < 3 {
+            tricklers.push(conn);
+        } else {
+            idlers.push(conn);
+        }
+    }
+    for conn in &mut tricklers {
+        conn.write_all(&frame[..1]).ok();
+    }
+    // While the attackers dangle, a real client must be served promptly.
+    let victim_start = std::time::Instant::now();
+    let mut victim = raw_conn(&handle);
+    for i in 0..5u64 {
+        let req = Request::Search {
+            collection: "docs".into(),
+            k: 1,
+            params: SearchParams::default(),
+            query: vec![i as f32 + 0.1, 0.0, 0.0],
+        };
+        victim.write_all(&framed(&req.encode())).unwrap();
+        let payload = wire::read_frame(&mut victim, wire::MAX_FRAME)
+            .unwrap()
+            .expect("victim must get a response during the attack");
+        match Response::decode(&payload).unwrap() {
+            Response::Hits(hits) => assert_eq!(hits[0].key, i),
+            other => panic!("expected hits, got {other:?}"),
+        }
+    }
+    assert!(
+        victim_start.elapsed() < Duration::from_secs(3),
+        "victim searches took {:?} behind 200 slow-loris connections",
+        victim_start.elapsed()
+    );
+    // Keep trickling: the frame timeout is an absolute budget, so more
+    // bytes must not extend a trickler's life.
+    for byte in 2..4 {
+        std::thread::sleep(Duration::from_millis(150));
+        for conn in &mut tricklers {
+            conn.write_all(&frame[byte - 1..byte]).ok();
+        }
+    }
+    // Past both deadlines (frame 400ms, idle 800ms) everyone should be
+    // reaped; poll with a generous allowance for scheduler contention.
+    let reap_deadline = attack_start + Duration::from_secs(15);
+    loop {
+        let reaped = handle.stats().reaped;
+        if reaped >= 200 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < reap_deadline,
+            "server reaped only {reaped} of 200 attackers"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for mut conn in tricklers.into_iter().chain(idlers) {
+        conn.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        let mut sink = [0u8; 16];
+        use std::io::Read;
+        match conn.read(&mut sink) {
+            Ok(0) | Err(_) => {} // FIN or RST: the server hung up
+            Ok(n) => panic!("reaped connection unexpectedly received {n} bytes"),
+        }
+    }
+    // And the server still serves fresh connections afterwards.
+    let mut conn = raw_conn(&handle);
+    conn.write_all(&framed(&Request::Ping.encode())).unwrap();
+    let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
+        .unwrap()
+        .expect("server must serve after reaping the attack");
     assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
     handle.shutdown();
 }

@@ -69,12 +69,26 @@ fn main() -> vdb_core::Result<()> {
         println!("live products: {n}");
     }
 
-    // Serving counters, then a graceful goodbye: the server drains
+    // The metrics plane, then a graceful goodbye: the server drains
     // in-flight requests before it stops.
     let stats = client.server_stats()?;
     println!(
-        "\nserver counters: {} served, {} busy, {} connections",
-        stats.served, stats.busy, stats.connections
+        "\nserver counters: {} served, {} busy ({} rate-limited), {} connections ({} open, {} reaped)",
+        stats.served,
+        stats.busy,
+        stats.rate_limited,
+        stats.connections,
+        stats.open_connections,
+        stats.reaped,
+    );
+    println!(
+        "latency p50 {} us, p99 {} us at {} qps over the {} core (lanes: {} interactive / {} bulk queued)",
+        stats.p50_us,
+        stats.p99_us,
+        stats.qps,
+        if stats.event_loop { "event-loop" } else { "legacy" },
+        stats.interactive_depth,
+        stats.bulk_depth,
     );
     client.shutdown_server()?;
     println!("asked the server to shut down");

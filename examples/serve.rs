@@ -24,10 +24,16 @@ fn main() -> vdb_core::Result<()> {
         IndexSpec::parse("hnsw")?,
     )?;
 
-    // Four executor threads behind a bounded queue: when more than 64
-    // requests are waiting, new arrivals get an immediate BUSY instead
-    // of unbounded queueing. Concurrent single-query searches coalesce
-    // into batched calls automatically.
+    // A readiness-polling event loop holds every connection (thousands
+    // of mostly-idle sockets cost one poll set, not one thread each) and
+    // feeds four executor threads behind a bounded two-lane queue:
+    // interactive searches are drained before bulk mutations, the bulk
+    // lane sheds BUSY first when it fills, and past 64 queued requests
+    // new arrivals get an immediate BUSY instead of unbounded queueing.
+    // Concurrent single-query searches coalesce into batched calls
+    // automatically. Collections listed in `rate_limits` are throttled
+    // by per-collection token buckets; set `VDB_SERVER_EVENTLOOP=0` to
+    // fall back to thread-per-connection readers.
     let cfg = ServerConfig::default();
     let handle = serve(db, addr.as_str(), cfg)?;
     println!("serving on {}", handle.addr());

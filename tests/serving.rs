@@ -10,7 +10,7 @@ use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex, Vecto
 use vdb_distributed::{
     serve_index, DistributedConfig, DistributedIndex, RemoteShard, RemoteShardConfig, ShardHandle,
 };
-use vdb_server::{serve, Client, Request, Response, ServerConfig};
+use vdb_server::{serve, Client, RateLimit, Request, Response, ServerConfig};
 
 fn fixture_db(n: usize, dim: usize) -> Vdbms {
     let mut db = Vdbms::new(SystemProfile::MostlyVector);
@@ -196,6 +196,241 @@ fn vql_roundtrips_over_the_wire() {
         }
         other => panic!("expected hits, got {other:?}"),
     }
+    handle.shutdown();
+}
+
+/// One blocking round trip on a fresh socket, so admission-control
+/// responses (BUSY) surface as values instead of being retried away by
+/// the pooled [`Client`].
+fn call_raw(addr: std::net::SocketAddr, req: Request) -> Response {
+    use std::net::TcpStream;
+    use vdb_distributed::wire;
+    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(1)).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    wire::write_frame(&mut conn, &req.encode()).unwrap();
+    let payload = wire::read_frame(&mut conn, wire::MAX_FRAME)
+        .unwrap()
+        .unwrap();
+    Response::decode(&payload).unwrap()
+}
+
+/// The readiness-polling event loop and the legacy thread-per-connection
+/// readers must be pure transport swaps: the same fixture and the same
+/// queries produce bit-identical hits under both cores.
+#[test]
+fn event_loop_and_legacy_serve_bit_identical_results() {
+    let mut per_core: Vec<Vec<Vec<(u64, u32)>>> = Vec::new();
+    for mode in [Some(true), Some(false)] {
+        let cfg = ServerConfig {
+            event_loop: mode,
+            ..ServerConfig::default()
+        };
+        let handle = serve(fixture_db(128, 4), "127.0.0.1:0", cfg).unwrap();
+        assert_eq!(
+            handle.stats().event_loop,
+            cfg!(unix) && mode == Some(true),
+            "snapshot must report which connection core is running"
+        );
+        let client = Client::connect(handle.addr()).unwrap();
+        let mut results = Vec::new();
+        for q in 0..32u64 {
+            let hits = client
+                .search(
+                    "docs",
+                    &[(q * 3 % 128) as f32 + 0.4, 0.25, 0.0, 0.0],
+                    5,
+                    &SearchParams::default(),
+                )
+                .unwrap();
+            results.push(
+                hits.iter()
+                    .map(|h| (h.key, h.dist.to_bits()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        per_core.push(results);
+        handle.shutdown();
+    }
+    assert_eq!(
+        per_core[0], per_core[1],
+        "event loop and legacy readers must return bit-identical hits"
+    );
+}
+
+/// The bulk lane has its own, smaller bound: with the single worker
+/// parked, overflowing inserts are shed BUSY while interactive searches
+/// are still admitted into the remaining `max_queue` headroom.
+#[test]
+fn bulk_lane_sheds_before_interactive_searches() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue: 8,
+        bulk_queue: 2,
+        batching: true,
+        batch_max: 64,
+        batch_window: Duration::from_millis(800),
+        ..ServerConfig::default()
+    };
+    let handle = serve(fixture_db(64, 4), "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+    // Head search: the worker pops it and parks in the batch window,
+    // so nothing drains the lanes while we flood them.
+    let head = std::thread::spawn(move || {
+        call_raw(
+            addr,
+            Request::Search {
+                collection: "docs".into(),
+                k: 1,
+                params: SearchParams::default(),
+                query: vec![0.1, 0.0, 0.0, 0.0],
+            },
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let mut inserts = Vec::new();
+    for i in 0..5u64 {
+        inserts.push(std::thread::spawn(move || {
+            call_raw(
+                addr,
+                Request::Insert {
+                    collection: "docs".into(),
+                    key: 1000 + i,
+                    vector: vec![500.0 + i as f32, 0.0, 0.0, 0.0],
+                    attrs: Vec::new(),
+                },
+            )
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut searches = Vec::new();
+    for i in 1..=3u64 {
+        searches.push(std::thread::spawn(move || {
+            call_raw(
+                addr,
+                Request::Search {
+                    collection: "docs".into(),
+                    k: 1,
+                    params: SearchParams::default(),
+                    query: vec![i as f32 + 0.1, 0.0, 0.0, 0.0],
+                },
+            )
+        }));
+    }
+    let (mut done, mut busy) = (0, 0);
+    for t in inserts {
+        match t.join().unwrap() {
+            Response::Done => done += 1,
+            Response::Busy => busy += 1,
+            other => panic!("unexpected insert response {other:?}"),
+        }
+    }
+    assert_eq!(busy, 3, "inserts past bulk_queue must be shed");
+    assert_eq!(done, 2, "admitted inserts must still execute");
+    for t in searches {
+        assert!(
+            matches!(t.join().unwrap(), Response::Hits(_)),
+            "interactive searches must be admitted while bulk sheds"
+        );
+    }
+    assert!(matches!(head.join().unwrap(), Response::Hits(_)));
+    let stats = handle.stats();
+    assert_eq!(stats.busy, 3);
+    assert_eq!(stats.rate_limited, 0);
+    handle.shutdown();
+}
+
+/// Per-collection token buckets: a limited collection sheds BUSY once
+/// its burst is spent (counted in `rate_limited`), while an unlimited
+/// collection on the same server is untouched.
+#[test]
+fn per_collection_rate_limit_sheds_and_counts() {
+    let mut db = fixture_db(32, 4);
+    db.create_collection(
+        CollectionSchema::new("free", 4, Metric::Euclidean),
+        IndexSpec::Flat,
+    )
+    .unwrap();
+    for i in 0..32u64 {
+        db.collection_mut("free")
+            .unwrap()
+            .insert(i, &[i as f32, 0.0, 0.0, 0.0], &[])
+            .unwrap();
+    }
+    let cfg = ServerConfig {
+        rate_limits: vec![(
+            "docs".into(),
+            RateLimit {
+                per_sec: 0.1,
+                burst: 2.0,
+            },
+        )],
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+    let search = |collection: &str, target: u64| Request::Search {
+        collection: collection.into(),
+        k: 1,
+        params: SearchParams::default(),
+        query: vec![target as f32 + 0.1, 0.0, 0.0, 0.0],
+    };
+    let (mut hits, mut busy) = (0, 0);
+    for i in 0..5u64 {
+        match call_raw(addr, search("docs", i)) {
+            Response::Hits(_) => hits += 1,
+            Response::Busy => busy += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(hits, 2, "the burst allowance must be served");
+    assert_eq!(busy, 3, "past the burst the bucket must shed");
+    for i in 0..5u64 {
+        assert!(
+            matches!(call_raw(addr, search("free", i)), Response::Hits(_)),
+            "an unlimited collection must not be throttled"
+        );
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.rate_limited, 3);
+    assert_eq!(stats.busy, 3, "rate-limit sheds are also counted busy");
+    handle.shutdown();
+}
+
+/// The metrics plane over the wire: after a burst of traffic the
+/// `server-stats` snapshot carries live latency percentiles, QPS, and
+/// connection gauges.
+#[test]
+fn metrics_snapshot_reports_latency_qps_and_gauges() {
+    let handle = serve(fixture_db(64, 4), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    for i in 0..40u64 {
+        let hits = client
+            .search(
+                "docs",
+                &[(i % 64) as f32 + 0.2, 0.0, 0.0, 0.0],
+                1,
+                &SearchParams::default(),
+            )
+            .unwrap();
+        assert_eq!(hits[0].key, i % 64);
+    }
+    let s = client.server_stats().unwrap();
+    assert!(s.served >= 40, "served={}", s.served);
+    assert!(s.p50_us > 0, "median latency must be recorded");
+    assert!(s.p99_us >= s.p50_us, "p99 must dominate p50");
+    assert!(s.qps > 0, "recent completions must show up as QPS");
+    assert_eq!(s.interactive_depth, 0, "lanes must be drained at rest");
+    assert_eq!(s.bulk_depth, 0);
+    assert!(s.open_connections >= 1, "our own connection is open");
+    assert_eq!(
+        s.connections,
+        s.open_connections + s.reaped,
+        "accepted = open + closed on an idle server (no client hangups)"
+    );
+    assert_eq!(s.event_loop, handle.stats().event_loop);
+    assert_eq!(s.busy, 0);
+    assert_eq!(s.deadline_expired, 0);
     handle.shutdown();
 }
 
