@@ -63,6 +63,19 @@ VDB_SERVER_EVENTLOOP=0 cargo test -q --release --test serving
 VDB_SERVER_EVENTLOOP=1 cargo test -q --release -p vdb-server --test protocol_robustness
 VDB_SERVER_EVENTLOOP=0 cargo test -q --release -p vdb-server --test protocol_robustness
 
+echo "== replication: torn-stream sweep, bootstrap convergence, failover drill =="
+# The replicated write path (DESIGN.md §14): the shipping codec survives
+# truncation at every byte and reports every flipped byte; a replica
+# bootstrapping WHILE the primary takes writes converges bit-identically
+# (snapshot + WAL tail + catch-up); and the kill-primary drill promotes
+# the replica via a manifest bump and proves zero lost acknowledged
+# writes. The server-level suite runs under both connection cores; the
+# retry-restriction regression test (MaybeApplied instead of silent
+# double-apply) lives in the vdb-server lib tests covered above.
+cargo test -q --release -p vdb-storage --test repl_stream_torn
+VDB_SERVER_EVENTLOOP=1 cargo test -q --release --test replication
+VDB_SERVER_EVENTLOOP=0 cargo test -q --release --test replication
+
 echo "== kernel equivalence with SIMD force-disabled =="
 # kernel_sets() ignores the escape hatch, so the SIMD-vs-scalar checks
 # still run; this pass proves the *dispatched* entry points behave when

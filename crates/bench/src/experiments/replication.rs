@@ -1,0 +1,204 @@
+//! S3 (replicated write path and failover) — the headline crash drill
+//! for the cluster layer: a `ClusterClient` fleet writes through the
+//! manifest while the primary replicates synchronously (`min_acks = 1`)
+//! to one replica; mid-run the primary is killed, a coordinator promotes
+//! the replica via a bumped manifest, and the writers re-route. Reported:
+//! write QPS per phase (steady / outage / recovered), time to first
+//! post-kill ack, and the acked-write survival audit — every insert the
+//! client saw acknowledged must be present bit-exact on the survivor.
+
+use crate::{fmt, print_table, Scale};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vdb::{CollectionSchema, IndexSpec, SystemProfile, Vdbms};
+use vdb_core::metric::Metric;
+use vdb_core::Result;
+use vdb_distributed::ClusterManifest;
+use vdb_server::{attach_primary, serve, Client, ClusterClient, ReplicationConfig, ServerConfig};
+
+const DIM: usize = 16;
+
+fn vector_of(key: u64) -> Vec<f32> {
+    (0..DIM)
+        .map(|i| ((key.wrapping_mul(2654435761) >> i) & 0xFF) as f32 / 255.0)
+        .collect()
+}
+
+fn node(name: &str, with_collection: bool) -> Result<vdb_server::ServerHandle> {
+    let mut db = Vdbms::new(SystemProfile::MostlyVector);
+    if with_collection {
+        db.create_collection(
+            CollectionSchema::new(name, DIM, Metric::Euclidean),
+            IndexSpec::Flat,
+        )?;
+    }
+    serve(db, "127.0.0.1:0", ServerConfig::default())
+}
+
+/// S3: kill-the-primary-under-load. Loses nothing it acked, recovers
+/// write availability in well under a second.
+pub fn s3_failover(scale: Scale) -> Result<()> {
+    let (steady, recovered, writers) = match scale {
+        Scale::Quick => (Duration::from_millis(600), Duration::from_millis(600), 2),
+        Scale::Full => (Duration::from_secs(2), Duration::from_secs(2), 4),
+    };
+    let primary = node("docs", true)?;
+    let replica = node("docs", false)?;
+    let (p_addr, r_addr) = (primary.addr().to_string(), replica.addr().to_string());
+    let manifest = {
+        let mut m = ClusterManifest::new("docs", 1, std::slice::from_ref(&p_addr))?;
+        m.shards[0].replicas.push(r_addr.clone());
+        m
+    };
+    primary.set_cluster(p_addr.clone(), manifest.clone());
+    replica.set_cluster(r_addr.clone(), manifest.clone());
+    attach_primary(
+        &primary,
+        "docs",
+        std::slice::from_ref(&r_addr),
+        ReplicationConfig {
+            min_acks: 1,
+            ..ReplicationConfig::default()
+        },
+    )?;
+
+    // Each acked write is recorded with its ack instant so QPS can be
+    // sliced into phases after the fact.
+    let acked: Arc<Mutex<Vec<(u64, Instant)>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let epoch = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        let seed = p_addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let Ok(client) = ClusterClient::connect(&seed, "docs") else {
+                return;
+            };
+            let mut key = w as u64;
+            while !stop.load(Ordering::SeqCst) {
+                if client.insert(key, &vector_of(key), &[]).is_ok() {
+                    acked.lock().unwrap().push((key, Instant::now()));
+                }
+                key += writers as u64;
+            }
+        }));
+    }
+
+    std::thread::sleep(steady);
+    let killed_at = Instant::now();
+    // `shutdown` drains in-flight requests, so a few post-kill acks are
+    // legitimate drain-era acks from the dying primary; recovery is
+    // therefore measured from the manifest publication, after which
+    // only the promoted replica can ack.
+    primary.shutdown();
+    let mut promoted = manifest.clone();
+    promoted.promote(0)?;
+    Client::connect(replica.addr())?.manifest_put(&promoted)?;
+    let promoted_at = Instant::now();
+
+    // Run until write availability has been back for `recovered`.
+    let recovered_at = loop {
+        let last = acked.lock().unwrap().last().map(|&(_, t)| t);
+        match last {
+            Some(t) if t > promoted_at => break t,
+            _ => {
+                if killed_at.elapsed() > Duration::from_secs(30) {
+                    stop.store(true, Ordering::SeqCst);
+                    for h in handles {
+                        h.join().ok();
+                    }
+                    return Err(vdb_core::Error::Io(std::io::Error::other(
+                        "failover never recovered write availability",
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    std::thread::sleep(recovered);
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().ok();
+    }
+
+    // Phase slicing.
+    let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+    let end = acked.last().map(|&(_, t)| t).unwrap_or(killed_at);
+    let outage = recovered_at.duration_since(killed_at);
+    let phase = |from: Instant, to: Instant| {
+        let n = acked.iter().filter(|&&(_, t)| t > from && t <= to).count();
+        let secs = to.duration_since(from).as_secs_f64().max(1e-9);
+        (n, n as f64 / secs)
+    };
+    let (n_pre, qps_pre) = phase(epoch, killed_at);
+    let (n_out, qps_out) = phase(killed_at, recovered_at);
+    let (n_post, qps_post) = phase(recovered_at, end);
+
+    // The audit: every acked key must be on the survivor, bit-exact.
+    let survivor = replica.shutdown();
+    let c = survivor.collection("docs")?;
+    let mut lost = 0usize;
+    let mut corrupt = 0usize;
+    for &(key, _) in &acked {
+        match c.get(key) {
+            None => lost += 1,
+            Some(v) if v != vector_of(key) => corrupt += 1,
+            Some(_) => {}
+        }
+    }
+
+    print_table(
+        &format!(
+            "S3: kill-primary failover under load ({} writers, min_acks=1, d={DIM})",
+            writers
+        ),
+        &["phase", "duration_s", "acked", "write_qps"],
+        &[
+            vec![
+                "steady".into(),
+                fmt(killed_at.duration_since(epoch).as_secs_f64(), 2),
+                n_pre.to_string(),
+                fmt(qps_pre, 0),
+            ],
+            vec![
+                "outage".into(),
+                fmt(outage.as_secs_f64(), 2),
+                n_out.to_string(),
+                fmt(qps_out, 0),
+            ],
+            vec![
+                "recovered".into(),
+                fmt(end.duration_since(recovered_at).as_secs_f64(), 2),
+                n_post.to_string(),
+                fmt(qps_post, 0),
+            ],
+        ],
+    );
+    println!(
+        "  acked={} survived={} lost={} corrupt={}  kill_to_first_new-primary_ack={}ms \
+         (drain+promote {}ms of that)",
+        acked.len(),
+        acked.len() - lost - corrupt,
+        lost,
+        corrupt,
+        outage.as_millis(),
+        promoted_at.duration_since(killed_at).as_millis(),
+    );
+    println!(
+        "  Expected shape: zero lost and zero corrupt — min_acks=1 means an\n  \
+         ack implies the write is already on the replica, so promoting that\n  \
+         replica preserves every acknowledged write. The outage window is\n  \
+         client retry/backoff plus one manifest publication; recovered QPS\n  \
+         returns to the same order as steady (one fewer replication hop,\n  \
+         one fewer node)."
+    );
+    if lost > 0 || corrupt > 0 {
+        return Err(vdb_core::Error::Io(std::io::Error::other(format!(
+            "failover lost {lost} / corrupted {corrupt} acked writes"
+        ))));
+    }
+    Ok(())
+}

@@ -20,10 +20,10 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_twenty() {
-    assert_eq!(experiments::ALL.len(), 20);
+fn registry_lists_all_twenty_one() {
+    assert_eq!(experiments::ALL.len(), 21);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 20, "no duplicate experiment ids");
+    assert_eq!(set.len(), 21, "no duplicate experiment ids");
 }
 
 #[test]
@@ -49,4 +49,9 @@ fn r1_runs() {
 #[test]
 fn d1_runs() {
     experiments::run("d1", Scale::Quick).unwrap();
+}
+
+#[test]
+fn s3_runs() {
+    experiments::run("s3", Scale::Quick).unwrap();
 }

@@ -41,6 +41,19 @@ pub enum Error {
     /// A serving layer shed this request under load (admission control);
     /// the caller should back off and retry.
     Busy,
+    /// A serving layer shed this request because the target collection's
+    /// token-bucket rate limit ran dry. Distinct from [`Error::Busy`]
+    /// (executor-queue overload): a rate-limited client should pace itself
+    /// to the configured budget, not just retry after a short jittered
+    /// backoff. Historically this travelled on the wire as `Busy`; new
+    /// decoders see a dedicated error code.
+    RateLimited,
+    /// A transport failure cut the connection after a request had been
+    /// written but before its response arrived: the outcome on the server
+    /// is unknown, so the client refused to auto-retry a non-idempotent
+    /// operation. Callers whose operation is idempotent at the application
+    /// level (keyed insert/delete overwrite by key) may safely re-issue it.
+    MaybeApplied(String),
 }
 
 impl fmt::Display for Error {
@@ -65,6 +78,12 @@ impl fmt::Display for Error {
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             Error::Busy => write!(f, "server busy: request shed by admission control"),
+            Error::RateLimited => {
+                write!(f, "rate limited: collection's request budget exhausted")
+            }
+            Error::MaybeApplied(msg) => {
+                write!(f, "request outcome unknown (connection lost mid-request, not auto-retried): {msg}")
+            }
         }
     }
 }

@@ -39,6 +39,11 @@ pub struct DistributedConfig {
     pub probe_shards: Option<usize>,
     /// Seed for partitioning.
     pub seed: u64,
+    /// Hedged probes: when set, a shard that has not answered within
+    /// this delay gets a backup probe on its next live replica (tail
+    /// latency insurance for a slow-but-alive primary replica). `None`
+    /// disables hedging; replica failover on *error* always applies.
+    pub hedge_delay: Option<std::time::Duration>,
 }
 
 impl DistributedConfig {
@@ -50,6 +55,7 @@ impl DistributedConfig {
             policy: PartitionPolicy::Uniform,
             probe_shards: None,
             seed: 0xD157,
+            hedge_delay: None,
         }
     }
 
@@ -61,6 +67,7 @@ impl DistributedConfig {
             policy: PartitionPolicy::IndexGuided,
             probe_shards: Some(probe_shards),
             seed: 0xD157,
+            hedge_delay: None,
         }
     }
 }
@@ -84,37 +91,35 @@ struct Shard {
 }
 
 impl Shard {
-    /// Search with replica failover: try live replicas in round-robin
-    /// order; a replica that *errors* (e.g. a [`crate::RemoteShard`]
-    /// whose socket died) falls over to the next one. Local row ids are
-    /// translated to global ids. Errors only if every replica is down or
-    /// failing.
-    fn search_failover(
+    /// Replica indices in round-robin try order, live ones only. The
+    /// cursor advances per query so load spreads across replicas.
+    fn live_order(&self) -> Vec<usize> {
+        let n = self.replicas.len();
+        let start = self.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
+        (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&r| self.replicas[r].up.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Probe one replica; local row ids are translated to global ids.
+    fn probe(
         &self,
+        replica: usize,
         query: &[f32],
         k: usize,
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>> {
-        let n = self.replicas.len();
-        let start = self.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
-        let mut last_err: Option<Error> = None;
-        for i in 0..n {
-            let replica = &self.replicas[(start + i) % n];
-            if !replica.up.load(Ordering::Relaxed) {
-                continue;
-            }
-            let mut ctx = self.contexts.acquire();
-            match replica.index.search_with(&mut ctx, query, k, params) {
-                Ok(hits) => {
-                    return Ok(hits
-                        .into_iter()
-                        .map(|nb| Neighbor::new(self.global_ids[nb.id], nb.dist))
-                        .collect())
-                }
-                Err(e) => last_err = Some(e),
-            }
+        let rep = &self.replicas[replica];
+        if !rep.up.load(Ordering::Relaxed) {
+            return Err(Error::Unsupported("replica is down".into()));
         }
-        Err(last_err.unwrap_or_else(|| Error::Unsupported("shard has no live replica".into())))
+        let mut ctx = self.contexts.acquire();
+        let hits = rep.index.search_with(&mut ctx, query, k, params)?;
+        Ok(hits
+            .into_iter()
+            .map(|nb| Neighbor::new(self.global_ids[nb.id], nb.dist))
+            .collect())
     }
 }
 
@@ -139,6 +144,12 @@ pub struct DistributedIndex {
     cfg: DistributedConfig,
     /// Scatter/gather accounting: total shard probes issued.
     probes_issued: AtomicU64,
+    /// Backup probes issued by the hedging policy.
+    hedges_issued: AtomicU64,
+    /// Late answers discarded because the shard's slot was already
+    /// filled by an earlier arrival (first-arrival wins; a hedged shard
+    /// can never contribute twice to a merge).
+    late_dropped: AtomicU64,
 }
 
 impl DistributedIndex {
@@ -206,6 +217,8 @@ impl DistributedIndex {
             partitioning,
             cfg,
             probes_issued: AtomicU64::new(0),
+            hedges_issued: AtomicU64::new(0),
+            late_dropped: AtomicU64::new(0),
         })
     }
 
@@ -234,6 +247,17 @@ impl DistributedIndex {
         self.probes_issued.load(Ordering::Relaxed)
     }
 
+    /// Backup probes issued by the hedging policy since construction.
+    pub fn hedges_issued(&self) -> u64 {
+        self.hedges_issued.load(Ordering::Relaxed)
+    }
+
+    /// Late answers dropped by the first-arrival-wins gather since
+    /// construction (each one is a merge double-count avoided).
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped.load(Ordering::Relaxed)
+    }
+
     /// Simulate a replica failure.
     pub fn set_replica_up(&self, shard: usize, replica: usize, up: bool) {
         self.shards[shard].replicas[replica]
@@ -243,14 +267,25 @@ impl DistributedIndex {
 
     /// Scatter-gather search with full degradation metadata.
     ///
-    /// Scatter workers run detached (one per probed shard, with replica
-    /// failover inside each shard); the gather waits for all of them —
-    /// or, when [`SearchParams::timeout`] is set, only until the
-    /// deadline. A shard that errors or misses the deadline is recorded
-    /// in `failed_shards` and the merged result is flagged `partial`;
-    /// the call errors only when *no* shard answered. Stragglers finish
-    /// in the background and their late answers are discarded, so a
-    /// slow or dead shard can never block the query past its deadline.
+    /// Scatter probes run detached, one per probed shard initially; a
+    /// probe that *errors* (e.g. a [`crate::RemoteShard`] whose socket
+    /// died) fails over to the shard's next live replica, and when
+    /// [`DistributedConfig::hedge_delay`] is set a shard that has not
+    /// answered by then gets a *backup* probe on its sibling replica.
+    /// The gather keeps the **first arrival per shard** — a primary
+    /// replica answering late after its sibling was already hedged is
+    /// dropped, never merged twice (each shard holds disjoint rows, but
+    /// double-merging one shard's list would crowd out other shards'
+    /// rows from the global top-k and double-count its contribution).
+    ///
+    /// The gather waits for every shard to resolve — or, when
+    /// [`SearchParams::timeout`] is set, only until the deadline. A
+    /// shard whose probes all error or that misses the deadline is
+    /// recorded in `failed_shards` and the merged result is flagged
+    /// `partial`; the call errors only when *no* shard answered.
+    /// Stragglers finish in the background and their late answers are
+    /// discarded, so a slow or dead shard can never block the query
+    /// past its deadline.
     pub fn search_outcome(
         &self,
         query: &[f32],
@@ -273,44 +308,141 @@ impl DistributedIndex {
         let targets = &order[..probe];
         self.probes_issued
             .fetch_add(targets.len() as u64, Ordering::Relaxed);
-        let deadline = params.deadline_from(Instant::now());
+        let start = Instant::now();
+        let deadline = params.deadline_from(start);
+        let mut hedge_at = self.cfg.hedge_delay.map(|d| start + d);
 
+        // One message per probe attempt; the master sender stays alive so
+        // failover/hedge attempts can be spawned mid-gather.
         let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Neighbor>>)>();
-        for (slot, &shard_id) in targets.iter().enumerate() {
+        let spawn_probe = |slot: usize, shard_id: usize, replica: usize| {
             let shard = self.shards[shard_id].clone();
             let tx = tx.clone();
             let query = query.to_vec();
             let params = params.clone();
             std::thread::Builder::new()
-                .name(format!("scatter-{shard_id}"))
+                .name(format!("scatter-{shard_id}-r{replica}"))
                 .spawn(move || {
-                    let out = shard.search_failover(&query, k, &params);
+                    let out = shard.probe(replica, &query, k, &params);
                     tx.send((slot, out)).ok();
                 })
                 .expect("spawn scatter worker");
-        }
-        drop(tx);
+        };
 
-        let mut slots: Vec<Option<Result<Vec<Neighbor>>>> = Vec::new();
-        slots.resize_with(targets.len(), || None);
-        let mut filled = 0;
-        while filled < targets.len() {
-            let msg = match deadline {
-                None => rx.recv().ok(),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        break;
-                    }
-                    rx.recv_timeout(d - now).ok()
+        struct SlotState {
+            /// Replica try order fixed at scatter time (live ones only).
+            tries: Vec<usize>,
+            /// Next entry of `tries` to probe.
+            next: usize,
+            /// Probes in flight for this shard.
+            outstanding: usize,
+            /// First successful answer (first arrival wins).
+            result: Option<Vec<Neighbor>>,
+            /// First error seen (for diagnostics if the slot fails).
+            err: Option<Error>,
+            /// Whether the hedging policy already fired for this shard.
+            hedged: bool,
+        }
+        let mut slots: Vec<SlotState> = Vec::with_capacity(targets.len());
+        // Shards still unresolved (no answer yet, probes in flight or
+        // replicas left to try).
+        let mut pending = 0usize;
+        for (slot, &shard_id) in targets.iter().enumerate() {
+            let mut st = SlotState {
+                tries: self.shards[shard_id].live_order(),
+                next: 0,
+                outstanding: 0,
+                result: None,
+                err: None,
+                hedged: false,
+            };
+            if st.tries.is_empty() {
+                st.err = Some(Error::Unsupported("shard has no live replica".into()));
+            } else {
+                let replica = st.tries[st.next];
+                st.next += 1;
+                st.outstanding += 1;
+                pending += 1;
+                spawn_probe(slot, shard_id, replica);
+            }
+            slots.push(st);
+        }
+
+        while pending > 0 {
+            let now = Instant::now();
+            if let Some(d) = deadline {
+                if now >= d {
+                    break;
                 }
+            }
+            // Wake at the earlier of the query deadline and the hedge
+            // trigger; block indefinitely when neither is armed.
+            let wake = match (deadline, hedge_at) {
+                (Some(d), Some(h)) => Some(d.min(h)),
+                (Some(d), None) => Some(d),
+                (None, h) => h,
+            };
+            let msg = match wake {
+                None => rx.recv().ok(),
+                Some(w) => match rx.recv_timeout(w.saturating_duration_since(now)) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                },
             };
             match msg {
-                Some((slot, out)) => {
-                    slots[slot] = Some(out);
-                    filled += 1;
+                Some((slot, Ok(list))) => {
+                    let st = &mut slots[slot];
+                    st.outstanding -= 1;
+                    if st.result.is_some() {
+                        // A sibling already answered this shard: drop the
+                        // late arrival instead of double-merging the
+                        // shard's rows.
+                        self.late_dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        st.result = Some(list);
+                        pending -= 1;
+                    }
                 }
-                None => break, // deadline hit, or every worker reported
+                Some((slot, Err(e))) => {
+                    let shard_id = targets[slot];
+                    let st = &mut slots[slot];
+                    st.outstanding -= 1;
+                    if st.result.is_some() {
+                        continue;
+                    }
+                    if st.err.is_none() {
+                        st.err = Some(e);
+                    }
+                    if st.next < st.tries.len() {
+                        // Error failover: try the next live replica.
+                        let replica = st.tries[st.next];
+                        st.next += 1;
+                        st.outstanding += 1;
+                        spawn_probe(slot, shard_id, replica);
+                    } else if st.outstanding == 0 {
+                        pending -= 1; // every replica tried and failed
+                    }
+                }
+                None => {
+                    // recv timed out: fire due hedges (once per shard).
+                    if let Some(h) = hedge_at {
+                        if Instant::now() >= h {
+                            hedge_at = None;
+                            for (slot, &shard_id) in targets.iter().enumerate() {
+                                let st = &mut slots[slot];
+                                if st.result.is_none() && !st.hedged && st.next < st.tries.len() {
+                                    st.hedged = true;
+                                    let replica = st.tries[st.next];
+                                    st.next += 1;
+                                    st.outstanding += 1;
+                                    self.hedges_issued.fetch_add(1, Ordering::Relaxed);
+                                    spawn_probe(slot, shard_id, replica);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -318,15 +450,16 @@ impl DistributedIndex {
         let mut failed_shards = Vec::new();
         let mut first_err: Option<Error> = None;
         for (slot, &shard_id) in targets.iter().enumerate() {
-            match slots[slot].take() {
-                Some(Ok(list)) => lists.push(list),
-                Some(Err(e)) => {
+            let st = &mut slots[slot];
+            match st.result.take() {
+                Some(list) => lists.push(list),
+                None => {
+                    // Errored out or missed the deadline.
                     failed_shards.push(shard_id);
                     if first_err.is_none() {
-                        first_err = Some(e);
+                        first_err = st.err.take();
                     }
                 }
-                None => failed_shards.push(shard_id), // missed the deadline
             }
         }
         if lists.is_empty() {
@@ -640,6 +773,115 @@ mod tests {
             .search_outcome(queries.get(1), 5, &SearchParams::default())
             .unwrap();
         assert!(!outcome.partial);
+    }
+
+    /// Regression (distributed-edge sweep): a hedged shard's primary
+    /// replica answering *late* — after the backup probe on its sibling
+    /// already filled the slot — must be dropped, not treated as another
+    /// shard resolving. A gather that counts raw arrivals instead of
+    /// first-arrivals-per-shard exits early here, wrongly marking the
+    /// genuinely-slow shard 1 as failed (partial result) even though it
+    /// answers well within the deadline.
+    #[test]
+    fn late_primary_after_hedge_is_dropped_not_double_counted() {
+        let (data, queries, _) = setup();
+        let job_no = std::sync::atomic::AtomicUsize::new(0);
+        // Shard 0: replica 0 slow (400ms), replica 1 fast.
+        // Shard 1: both replicas slow (800ms) — the shard is healthy but
+        // genuinely slow, and must still be waited for.
+        let builder = move |v: Vectors, m: Metric| {
+            let job = job_no.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let inner = FlatIndex::build(v, m)?;
+            let delay = match job {
+                0 => std::time::Duration::from_millis(400),
+                1 => std::time::Duration::ZERO,
+                _ => std::time::Duration::from_millis(800),
+            };
+            if delay.is_zero() {
+                Ok(Box::new(inner) as Box<dyn VectorIndex>)
+            } else {
+                Ok(Box::new(SlowIndex { inner, delay }) as Box<dyn VectorIndex>)
+            }
+        };
+        let mut cfg = DistributedConfig::uniform(2);
+        cfg.replicas = 2;
+        cfg.hedge_delay = Some(std::time::Duration::from_millis(100));
+        let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &builder).unwrap();
+        let params = SearchParams::default().with_timeout(std::time::Duration::from_secs(10));
+        let start = std::time::Instant::now();
+        let outcome = d.search_outcome(queries.get(0), 10, &params).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            !outcome.partial,
+            "slow-but-alive shard 1 must not be dropped (failed: {:?})",
+            outcome.failed_shards
+        );
+        assert_eq!(outcome.hits.len(), 10);
+        let ids: std::collections::HashSet<_> = outcome.hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids.len(), outcome.hits.len(), "no double-merged rows");
+        assert!(
+            elapsed >= std::time::Duration::from_millis(500),
+            "gather exited at {elapsed:?}, before slow shard 1 answered: \
+             the late hedged-primary arrival was miscounted as a resolution"
+        );
+        assert_eq!(
+            d.hedges_issued(),
+            2,
+            "both unanswered shards hedge at 100ms"
+        );
+        assert_eq!(d.late_dropped(), 1, "shard 0's late primary answer dropped");
+        // The merged result equals an un-hedged healthy deployment's.
+        let healthy = DistributedIndex::build(
+            &data,
+            Metric::Euclidean,
+            {
+                let mut c = DistributedConfig::uniform(2);
+                c.replicas = 2;
+                c
+            },
+            &*flat_builder(),
+        )
+        .unwrap();
+        let expect = healthy
+            .search(queries.get(0), 10, &SearchParams::default())
+            .unwrap();
+        assert_eq!(outcome.hits, expect);
+    }
+
+    /// Hedging cuts tail latency: with a slow primary replica and a fast
+    /// sibling, the hedged deployment answers at roughly the hedge delay
+    /// instead of the slow replica's full latency.
+    #[test]
+    fn hedge_cuts_tail_latency_of_slow_replica() {
+        let (data, queries, _) = setup();
+        let job_no = std::sync::atomic::AtomicUsize::new(0);
+        let builder = move |v: Vectors, m: Metric| {
+            let job = job_no.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let inner = FlatIndex::build(v, m)?;
+            if job == 0 {
+                Ok(Box::new(SlowIndex {
+                    inner,
+                    delay: std::time::Duration::from_millis(1500),
+                }) as Box<dyn VectorIndex>)
+            } else {
+                Ok(Box::new(inner) as Box<dyn VectorIndex>)
+            }
+        };
+        let mut cfg = DistributedConfig::uniform(1);
+        cfg.replicas = 2;
+        cfg.hedge_delay = Some(std::time::Duration::from_millis(50));
+        let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &builder).unwrap();
+        let start = std::time::Instant::now();
+        let hits = d
+            .search(queries.get(0), 5, &SearchParams::default())
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(hits.len(), 5);
+        assert!(
+            elapsed < std::time::Duration::from_millis(1000),
+            "hedge should answer long before the 1500ms replica ({elapsed:?})"
+        );
+        assert_eq!(d.hedges_issued(), 1);
     }
 
     #[test]

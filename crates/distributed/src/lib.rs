@@ -7,8 +7,11 @@
 //! - [`partition`] — uniform (equal) and index-guided (k-means-aligned)
 //!   shard placement with query routing,
 //! - [`cluster`] — the sharded deployment: per-shard indexes, replica
-//!   failover, detached-thread scatter with per-query deadlines, global
-//!   top-k gather with partial-result degradation,
+//!   failover with optional hedged backup probes, detached-thread scatter
+//!   with per-query deadlines, global top-k gather with partial-result
+//!   degradation,
+//! - [`manifest`] — the versioned shard → node assignment of a
+//!   replicated deployment, persisted and served over the wire,
 //! - [`wire`] — the length-prefixed, CRC-framed binary transport shared
 //!   with `vdb-server`,
 //! - [`remote`] — socket-backed shards: [`serve_index`] serves any
@@ -23,10 +26,12 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod manifest;
 pub mod partition;
 pub mod remote;
 pub mod wire;
 
 pub use cluster::{DistributedConfig, DistributedIndex, IndexBuilder, ScatterOutcome};
+pub use manifest::{ClusterManifest, ShardRoute};
 pub use partition::{partition, PartitionPolicy, Partitioning};
 pub use remote::{serve_index, RemoteShard, RemoteShardConfig, ShardHandle};

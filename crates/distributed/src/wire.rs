@@ -207,6 +207,12 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Append a length-prefixed opaque byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
 /// Append a length-prefixed `f32` vector.
 pub fn put_vec_f32(out: &mut Vec<u8>, v: &[f32]) {
     put_u32(out, v.len() as u32);
@@ -305,6 +311,12 @@ impl<'a> Reader<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| Error::Corrupt("non-UTF-8 string".into()))
+    }
+
+    /// Decode a length-prefixed opaque byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Decode a length-prefixed `f32` vector.

@@ -10,7 +10,9 @@
 //! written into it; the retry-once-on-fresh-dial fallback remains for
 //! the race where the peer dies between the probe and the write.
 
-use crate::protocol::{Request, Response, ServerStatsSnapshot, WireCollectionStats};
+use crate::protocol::{
+    ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -20,6 +22,7 @@ use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
 use vdb_core::sync::Mutex;
 use vdb_distributed::wire;
+use vdb_distributed::ClusterManifest;
 
 /// Client-side transport knobs.
 #[derive(Debug, Clone)]
@@ -165,6 +168,14 @@ impl Client {
 
     /// Send one request and return the raw response (`Busy` and `Error`
     /// included). The typed methods below convert those to [`Err`].
+    ///
+    /// A failed exchange is retried exactly once on a fresh dial — but
+    /// only for idempotent requests ([`Request::is_idempotent`]). For a
+    /// mutation, a connection that dies mid-exchange leaves the first
+    /// attempt's outcome unknown: the server may have applied it and
+    /// lost only the acknowledgement, so a blind retry can double-apply.
+    /// Those surface as [`Error::MaybeApplied`]; the caller decides
+    /// whether re-issuing is safe for its keys.
     pub fn call(&self, request: &Request) -> Result<Response> {
         let payload = request.encode();
         let mut conn = self.checkout()?;
@@ -177,6 +188,9 @@ impl Client {
                 // The pooled connection may be stale. Retry exactly once
                 // on a fresh dial; a second failure is the answer.
                 drop(conn);
+                if !request.is_idempotent() {
+                    return Err(Error::MaybeApplied(first.to_string()));
+                }
                 let mut conn = dial(&self.addr, &self.cfg).map_err(|_| first)?;
                 let resp = self.call_once(&mut conn, &payload)?;
                 self.checkin(conn);
@@ -323,6 +337,76 @@ impl Client {
         match self.expect(&Request::Shutdown)? {
             Response::Done => Ok(()),
             other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Ship a replication stream; returns the replica's LSN afterwards.
+    pub fn repl_apply(&self, collection: &str, stream: &[u8]) -> Result<u64> {
+        let req = Request::ReplApply {
+            collection: collection.into(),
+            stream: stream.to_vec(),
+        };
+        match self.expect(&req)? {
+            Response::ReplState { lsn } => Ok(lsn),
+            other => Err(unexpected("ReplState", &other)),
+        }
+    }
+
+    /// The node's replication LSN for a collection.
+    pub fn repl_status(&self, collection: &str) -> Result<u64> {
+        let req = Request::ReplStatus {
+            collection: collection.into(),
+        };
+        match self.expect(&req)? {
+            Response::ReplState { lsn } => Ok(lsn),
+            other => Err(unexpected("ReplState", &other)),
+        }
+    }
+
+    /// Pull a consistent bootstrap state from the node.
+    pub fn repl_snapshot(&self, collection: &str) -> Result<ReplicaPayload> {
+        let req = Request::ReplSnapshot {
+            collection: collection.into(),
+        };
+        match self.expect(&req)? {
+            Response::ReplicaState(state) => Ok(state),
+            other => Err(unexpected("ReplicaState", &other)),
+        }
+    }
+
+    /// Push a bootstrap state onto the node (creating the collection if
+    /// needed); returns the node's LSN afterwards.
+    pub fn repl_install(&self, collection: &str, state: ReplicaPayload) -> Result<u64> {
+        let req = Request::ReplInstall {
+            collection: collection.into(),
+            state,
+        };
+        match self.expect(&req)? {
+            Response::ReplState { lsn } => Ok(lsn),
+            other => Err(unexpected("ReplState", &other)),
+        }
+    }
+
+    /// Fetch the node's cluster manifest for a collection.
+    pub fn manifest_get(&self, collection: &str) -> Result<ClusterManifest> {
+        let req = Request::ManifestGet {
+            collection: collection.into(),
+        };
+        match self.expect(&req)? {
+            Response::Manifest(bytes) => ClusterManifest::decode(&bytes),
+            other => Err(unexpected("Manifest", &other)),
+        }
+    }
+
+    /// Publish a manifest; returns the copy the node holds afterwards
+    /// (which is newer than the published one if the publisher is stale).
+    pub fn manifest_put(&self, manifest: &ClusterManifest) -> Result<ClusterManifest> {
+        let req = Request::ManifestPut {
+            manifest: manifest.encode(),
+        };
+        match self.expect(&req)? {
+            Response::Manifest(bytes) => ClusterManifest::decode(&bytes),
+            other => Err(unexpected("Manifest", &other)),
         }
     }
 }
@@ -477,6 +561,96 @@ mod tests {
             .unwrap();
         assert_eq!(hits[0].key, 5);
         handle.shutdown();
+    }
+
+    /// Regression (replication PR): `call` used to retry EVERY failed
+    /// exchange once on a fresh dial — including mutations. A server
+    /// that applied an insert and died before acking would then apply
+    /// it a second time through the retry. The fix restricts auto-retry
+    /// to idempotent requests and surfaces `Error::MaybeApplied` for
+    /// mutations, letting the caller decide. This fake server applies
+    /// the insert, then kills the connection without responding: the
+    /// fixed client must NOT re-send it (exactly one apply), while a
+    /// read on the same flaky server must still ride the retry path.
+    #[test]
+    fn mutation_is_not_auto_retried_when_connection_dies_post_apply() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let inserts_applied = Arc::new(AtomicUsize::new(0));
+        let searches_seen = Arc::new(AtomicUsize::new(0));
+        let server = {
+            let inserts_applied = Arc::clone(&inserts_applied);
+            let searches_seen = Arc::clone(&searches_seen);
+            std::thread::spawn(move || {
+                // Serve connections until the client is done (it closes
+                // by dropping; accept errors end the loop via timeout).
+                listener.set_nonblocking(false).expect("blocking listener");
+                for _ in 0..8 {
+                    let Ok((mut conn, _)) = listener.accept() else {
+                        return;
+                    };
+                    conn.set_read_timeout(Some(Duration::from_secs(2))).ok();
+                    while let Ok(Some(payload)) = wire::read_frame(&mut conn, wire::MAX_FRAME) {
+                        match Request::decode(&payload).expect("well-formed request") {
+                            Request::Ping => {
+                                wire::write_frame(&mut conn, &Response::Pong.encode()).unwrap();
+                            }
+                            Request::Insert { .. } => {
+                                // "Apply", then die before the ack.
+                                inserts_applied.fetch_add(1, Ordering::SeqCst);
+                                break;
+                            }
+                            Request::Search { .. } => {
+                                // First attempt dies post-read; the
+                                // retry gets a real answer.
+                                if searches_seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                wire::write_frame(
+                                    &mut conn,
+                                    &Response::Hits(vec![SearchHit { key: 7, dist: 0.0 }]).encode(),
+                                )
+                                .unwrap();
+                            }
+                            other => panic!("unexpected request {other:?}"),
+                        }
+                    }
+                }
+            })
+        };
+        let client = Client::connect_with(
+            addr,
+            ClientConfig {
+                read_timeout: Duration::from_millis(500),
+                connect_retries: 1,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        // Mutation: the connection dies after the server applied it.
+        let err = client
+            .insert("docs", 1, &[1.0], &[])
+            .expect_err("ack was lost; the client cannot claim success");
+        assert!(
+            matches!(err, Error::MaybeApplied(_)),
+            "mutations must surface the typed unknown-outcome error, got {err:?}"
+        );
+        assert_eq!(
+            inserts_applied.load(Ordering::SeqCst),
+            1,
+            "the insert must NOT be re-sent: a retry would double-apply"
+        );
+        // Read-only request on the same flaky server: auto-retry is
+        // still allowed and succeeds on the fresh dial.
+        let hits = client
+            .search("docs", &[1.0], 1, &SearchParams::default())
+            .expect("read-only requests ride the retry-once path");
+        assert_eq!(hits[0].key, 7);
+        assert_eq!(searches_seen.load(Ordering::SeqCst), 2);
+        // The accept loop is still parked on the listener; detach it
+        // rather than joining (the process teardown reaps it).
+        drop(server);
     }
 
     #[test]

@@ -20,7 +20,19 @@
 //!   graceful drain-then-stop shutdown.
 //! - [`client`] — the blocking [`Client`]: connection pool with
 //!   staleness probing, retrying connect with backoff, read timeouts,
-//!   and typed methods returning ordinary `vdb` values.
+//!   and typed methods returning ordinary `vdb` values. Auto-retry is
+//!   restricted to idempotent requests; a mutation whose connection died
+//!   mid-exchange surfaces `Error::MaybeApplied` instead of risking a
+//!   double apply.
+//! - [`replication`] — the replicated write path (DESIGN.md §14):
+//!   [`attach_primary`] installs a WAL-shipping sink on a collection, so
+//!   every acked write is forwarded (with its LSN, idempotently) to the
+//!   replica set before the acknowledgement is released; replicas
+//!   bootstrap from a consistent snapshot + WAL-tail payload.
+//! - [`cluster`] — the manifest-routed [`ClusterClient`]: writes go to
+//!   the key's shard primary, `Redirect` responses are followed, and a
+//!   failover (promoted manifest) is picked up by refreshing from any
+//!   reachable node; searches scatter to all shard primaries and merge.
 //!
 //! ```no_run
 //! use vdb_server::{serve, Client, ServerConfig};
@@ -42,11 +54,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 #[cfg(unix)]
 pub mod net;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 
 pub use client::{Client, ClientConfig};
-pub use protocol::{ErrorCode, Request, Response, ServerStatsSnapshot, WireCollectionStats};
+pub use cluster::ClusterClient;
+pub use protocol::{
+    ErrorCode, ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+};
+pub use replication::{attach_primary, detach_primary, ReplicationConfig, Replicator};
 pub use server::{serve, RateLimit, ServerConfig, ServerHandle};

@@ -19,6 +19,12 @@
 //! | `0x08` | `Stats` | collection |
 //! | `0x09` | `ServerStats` | — |
 //! | `0x0A` | `Shutdown` | — |
+//! | `0x0B` | `ReplApply` | collection, shipped WAL stream |
+//! | `0x0C` | `ReplStatus` | collection |
+//! | `0x0D` | `ReplSnapshot` | collection |
+//! | `0x0E` | `ReplInstall` | collection, schema, lsn, snapshot, tail |
+//! | `0x0F` | `ManifestGet` | collection |
+//! | `0x10` | `ManifestPut` | encoded manifest |
 //! | `0x81` | `Pong` | — |
 //! | `0x82` | `Done` | — |
 //! | `0x83` | `Hits` | (key u64, dist f32)* |
@@ -26,13 +32,18 @@
 //! | `0x85` | `Count` | u64 |
 //! | `0x86` | `Stats` | live, indexed, buffered, merges, index name |
 //! | `0x87` | `ServerStats` | serving counters |
+//! | `0x88` | `ReplState` | lsn u64 |
+//! | `0x89` | `ReplicaState` | schema, lsn, snapshot, tail |
+//! | `0x8A` | `Manifest` | encoded manifest |
+//! | `0x8B` | `Redirect` | primary address |
 //! | `0x8E` | `Busy` | — (admission control shed this request) |
 //! | `0x8F` | `Error` | code u8, message |
 
 use vdb::SearchHit;
-use vdb_core::attr::AttrValue;
+use vdb_core::attr::{AttrType, AttrValue};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
+use vdb_core::metric::Metric;
 use vdb_distributed::wire::{self, Reader};
 
 const OP_PING: u8 = 0x01;
@@ -45,6 +56,12 @@ const OP_CHECKPOINT: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
 const OP_SERVER_STATS: u8 = 0x09;
 const OP_SHUTDOWN: u8 = 0x0A;
+const OP_REPL_APPLY: u8 = 0x0B;
+const OP_REPL_STATUS: u8 = 0x0C;
+const OP_REPL_SNAPSHOT: u8 = 0x0D;
+const OP_REPL_INSTALL: u8 = 0x0E;
+const OP_MANIFEST_GET: u8 = 0x0F;
+const OP_MANIFEST_PUT: u8 = 0x10;
 
 const RE_PONG: u8 = 0x81;
 const RE_DONE: u8 = 0x82;
@@ -53,6 +70,10 @@ const RE_HITS_BATCH: u8 = 0x84;
 const RE_COUNT: u8 = 0x85;
 const RE_STATS: u8 = 0x86;
 const RE_SERVER_STATS: u8 = 0x87;
+const RE_REPL_STATE: u8 = 0x88;
+const RE_REPLICA_STATE: u8 = 0x89;
+const RE_MANIFEST: u8 = 0x8A;
+const RE_REDIRECT: u8 = 0x8B;
 const RE_BUSY: u8 = 0x8E;
 const RE_ERROR: u8 = 0x8F;
 
@@ -78,6 +99,12 @@ pub enum ErrorCode {
     Shutdown = 5,
     /// Everything else (I/O, internal invariants).
     Internal = 6,
+    /// The collection's per-second request budget is exhausted. Distinct
+    /// from the `Busy` response (`0x8E`), which remains the legacy alias
+    /// covering every admission shed: older servers answered `Busy` for
+    /// rate-limit sheds too, so clients must treat both as retryable —
+    /// but only this code means "slow down" rather than "queue is full".
+    RateLimited = 7,
 }
 
 impl ErrorCode {
@@ -89,6 +116,7 @@ impl ErrorCode {
             4 => ErrorCode::Deadline,
             5 => ErrorCode::Shutdown,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::RateLimited,
             other => return Err(Error::Corrupt(format!("unknown error code {other}"))),
         })
     }
@@ -96,6 +124,7 @@ impl ErrorCode {
     /// Classify a server-side [`Error`] for the wire.
     pub fn classify(e: &Error) -> ErrorCode {
         match e {
+            Error::RateLimited => ErrorCode::RateLimited,
             Error::Corrupt(_) => ErrorCode::Protocol,
             Error::NotFound(_) => ErrorCode::NotFound,
             Error::DimensionMismatch { .. }
@@ -193,6 +222,98 @@ pub struct ServerStatsSnapshot {
     pub failed_merges: u64,
 }
 
+/// Everything a node needs to become a replica of a collection: the
+/// schema (so it can create the collection), the bootstrap LSN, the
+/// encoded main-part snapshot, and the buffered WAL tail as a shipped
+/// stream. Travels in both directions — pushed by a primary
+/// ([`Request::ReplInstall`]) or pulled by a joining replica
+/// ([`Request::ReplSnapshot`] → [`Response::ReplicaState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPayload {
+    /// Vector dimensionality of the collection.
+    pub dim: u32,
+    /// Distance metric (simple variants only; parameterized metrics
+    /// other than Minkowski cannot travel and fail decode).
+    pub metric: Metric,
+    /// Attribute columns as `(name, type)`.
+    pub columns: Vec<(String, AttrType)>,
+    /// The primary's replication LSN at export time.
+    pub lsn: u64,
+    /// Encoded snapshot of the merged main part
+    /// (`vdb_storage::snapshot::encode`).
+    pub snapshot: Vec<u8>,
+    /// The buffered tail as a shipped-record stream.
+    pub tail: Vec<u8>,
+}
+
+const TYPE_INT: u8 = 1;
+const TYPE_FLOAT: u8 = 2;
+const TYPE_STR: u8 = 3;
+const TYPE_BOOL: u8 = 4;
+
+fn put_metric(out: &mut Vec<u8>, m: &Metric) {
+    wire::put_str(out, m.name());
+    if let Metric::Minkowski(p) = m {
+        wire::put_f32(out, *p);
+    }
+}
+
+fn read_metric(r: &mut Reader<'_>) -> Result<Metric> {
+    let name = r.str()?;
+    if name == "minkowski" {
+        return Ok(Metric::Minkowski(r.f32()?));
+    }
+    Metric::parse(&name)
+        .map_err(|_| Error::Corrupt(format!("metric `{name}` cannot travel over the wire")))
+}
+
+fn put_replica_payload(out: &mut Vec<u8>, s: &ReplicaPayload) {
+    wire::put_u32(out, s.dim);
+    put_metric(out, &s.metric);
+    wire::put_u32(out, s.columns.len() as u32);
+    for (name, ty) in &s.columns {
+        wire::put_str(out, name);
+        wire::put_u8(
+            out,
+            match ty {
+                AttrType::Int => TYPE_INT,
+                AttrType::Float => TYPE_FLOAT,
+                AttrType::Str => TYPE_STR,
+                AttrType::Bool => TYPE_BOOL,
+            },
+        );
+    }
+    wire::put_u64(out, s.lsn);
+    wire::put_bytes(out, &s.snapshot);
+    wire::put_bytes(out, &s.tail);
+}
+
+fn read_replica_payload(r: &mut Reader<'_>) -> Result<ReplicaPayload> {
+    let dim = r.u32()?;
+    let metric = read_metric(r)?;
+    let n = r.u32()? as usize;
+    let mut columns = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.str()?;
+        let ty = match r.u8()? {
+            TYPE_INT => AttrType::Int,
+            TYPE_FLOAT => AttrType::Float,
+            TYPE_STR => AttrType::Str,
+            TYPE_BOOL => AttrType::Bool,
+            tag => return Err(Error::Corrupt(format!("unknown column type {tag}"))),
+        };
+        columns.push((name, ty));
+    }
+    Ok(ReplicaPayload {
+        dim,
+        metric,
+        columns,
+        lsn: r.u64()?,
+        snapshot: r.bytes()?,
+        tail: r.bytes()?,
+    })
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -259,6 +380,84 @@ pub enum Request {
     ServerStats,
     /// Ask the server to shut down gracefully (drain, then stop).
     Shutdown,
+    /// Primary → replica: apply a shipped WAL stream. Idempotent — the
+    /// replica skips records at or below its LSN, so a re-shipped tail
+    /// after a lost acknowledgement is harmless.
+    ReplApply {
+        /// Target collection.
+        collection: String,
+        /// Shipped-record frames (`vdb_storage::ship_record`).
+        stream: Vec<u8>,
+    },
+    /// Ask a node for its replication LSN of a collection.
+    ReplStatus {
+        /// Target collection.
+        collection: String,
+    },
+    /// Pull a consistent bootstrap state (schema + snapshot + WAL tail)
+    /// from the node serving `collection`.
+    ReplSnapshot {
+        /// Target collection.
+        collection: String,
+    },
+    /// Push a bootstrap state onto a node, creating the collection if it
+    /// does not exist yet (an existing collection keeps its configuration
+    /// and only has the state installed). Idempotent: re-installing the
+    /// same state converges to the same bytes.
+    ReplInstall {
+        /// Target collection.
+        collection: String,
+        /// Schema + snapshot + tail + LSN.
+        state: ReplicaPayload,
+    },
+    /// Fetch the node's current cluster manifest for a collection.
+    ManifestGet {
+        /// The routed collection.
+        collection: String,
+    },
+    /// Publish a manifest; the node adopts it if strictly newer
+    /// (idempotent re-publication) and answers with the copy it now
+    /// holds, so a stale publisher learns the newer assignment.
+    ManifestPut {
+        /// Encoded [`vdb_distributed::ClusterManifest`].
+        manifest: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// Whether the request cannot mutate server state. Read-only requests
+    /// are safe for a client to retry automatically after a connection
+    /// failure, even when the failure left the first attempt's outcome
+    /// unknown.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Search { .. }
+                | Request::SearchBatch { .. }
+                | Request::Stats { .. }
+                | Request::ServerStats
+                | Request::ReplStatus { .. }
+                | Request::ReplSnapshot { .. }
+                | Request::ManifestGet { .. }
+        )
+    }
+
+    /// Whether a duplicate delivery of this request converges to the same
+    /// state as a single delivery. Everything read-only qualifies, plus
+    /// the replication/manifest writes, which carry LSNs or versions that
+    /// make re-delivery a no-op. `Insert`/`Delete`/`Vql` do NOT: the
+    /// server applies them unconditionally, so an unknowing retry can
+    /// double-apply (see `Client::call`).
+    pub fn is_idempotent(&self) -> bool {
+        self.is_read_only()
+            || matches!(
+                self,
+                Request::ReplApply { .. }
+                    | Request::ReplInstall { .. }
+                    | Request::ManifestPut { .. }
+            )
+    }
 }
 
 /// A server-to-client message.
@@ -278,6 +477,20 @@ pub enum Response {
     Stats(WireCollectionStats),
     /// Serving counters.
     ServerStats(ServerStatsSnapshot),
+    /// Replication acknowledgement: the node's LSN after the operation.
+    ReplState {
+        /// The answering node's replication LSN for the collection.
+        lsn: u64,
+    },
+    /// Bootstrap state answering [`Request::ReplSnapshot`].
+    ReplicaState(ReplicaPayload),
+    /// The node's current manifest (answers `ManifestGet`/`ManifestPut`).
+    Manifest(Vec<u8>),
+    /// This node is not the primary for the written key; retry at `addr`.
+    Redirect {
+        /// Address (`host:port`) of the shard's primary.
+        addr: String,
+    },
     /// Admission control shed this request; back off and retry.
     Busy,
     /// The request failed.
@@ -409,6 +622,32 @@ impl Request {
             }
             Request::ServerStats => wire::put_u8(&mut out, OP_SERVER_STATS),
             Request::Shutdown => wire::put_u8(&mut out, OP_SHUTDOWN),
+            Request::ReplApply { collection, stream } => {
+                wire::put_u8(&mut out, OP_REPL_APPLY);
+                wire::put_str(&mut out, collection);
+                wire::put_bytes(&mut out, stream);
+            }
+            Request::ReplStatus { collection } => {
+                wire::put_u8(&mut out, OP_REPL_STATUS);
+                wire::put_str(&mut out, collection);
+            }
+            Request::ReplSnapshot { collection } => {
+                wire::put_u8(&mut out, OP_REPL_SNAPSHOT);
+                wire::put_str(&mut out, collection);
+            }
+            Request::ReplInstall { collection, state } => {
+                wire::put_u8(&mut out, OP_REPL_INSTALL);
+                wire::put_str(&mut out, collection);
+                put_replica_payload(&mut out, state);
+            }
+            Request::ManifestGet { collection } => {
+                wire::put_u8(&mut out, OP_MANIFEST_GET);
+                wire::put_str(&mut out, collection);
+            }
+            Request::ManifestPut { manifest } => {
+                wire::put_u8(&mut out, OP_MANIFEST_PUT);
+                wire::put_bytes(&mut out, manifest);
+            }
         }
         out
     }
@@ -479,6 +718,26 @@ impl Request {
             },
             OP_SERVER_STATS => Request::ServerStats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_REPL_APPLY => Request::ReplApply {
+                collection: r.str()?,
+                stream: r.bytes()?,
+            },
+            OP_REPL_STATUS => Request::ReplStatus {
+                collection: r.str()?,
+            },
+            OP_REPL_SNAPSHOT => Request::ReplSnapshot {
+                collection: r.str()?,
+            },
+            OP_REPL_INSTALL => Request::ReplInstall {
+                collection: r.str()?,
+                state: read_replica_payload(&mut r)?,
+            },
+            OP_MANIFEST_GET => Request::ManifestGet {
+                collection: r.str()?,
+            },
+            OP_MANIFEST_PUT => Request::ManifestPut {
+                manifest: r.bytes()?,
+            },
             op => return Err(Error::Corrupt(format!("unknown request opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -546,6 +805,22 @@ impl Response {
                 wire::put_u64(&mut out, s.last_swap_micros);
                 wire::put_u64(&mut out, s.failed_merges);
             }
+            Response::ReplState { lsn } => {
+                wire::put_u8(&mut out, RE_REPL_STATE);
+                wire::put_u64(&mut out, *lsn);
+            }
+            Response::ReplicaState(state) => {
+                wire::put_u8(&mut out, RE_REPLICA_STATE);
+                put_replica_payload(&mut out, state);
+            }
+            Response::Manifest(bytes) => {
+                wire::put_u8(&mut out, RE_MANIFEST);
+                wire::put_bytes(&mut out, bytes);
+            }
+            Response::Redirect { addr } => {
+                wire::put_u8(&mut out, RE_REDIRECT);
+                wire::put_str(&mut out, addr);
+            }
             Response::Busy => wire::put_u8(&mut out, RE_BUSY),
             Response::Error { code, message } => {
                 wire::put_u8(&mut out, RE_ERROR);
@@ -608,6 +883,10 @@ impl Response {
                 last_swap_micros: r.u64()?,
                 failed_merges: r.u64()?,
             }),
+            RE_REPL_STATE => Response::ReplState { lsn: r.u64()? },
+            RE_REPLICA_STATE => Response::ReplicaState(read_replica_payload(&mut r)?),
+            RE_MANIFEST => Response::Manifest(r.bytes()?),
+            RE_REDIRECT => Response::Redirect { addr: r.str()? },
             RE_BUSY => Response::Busy,
             RE_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.u8()?)?,
@@ -639,6 +918,7 @@ impl Response {
                 ErrorCode::NotFound => Error::NotFound(message),
                 ErrorCode::Protocol => Error::Corrupt(message),
                 ErrorCode::Invalid => Error::InvalidQuery(message),
+                ErrorCode::RateLimited => Error::RateLimited,
                 _ => Error::Unsupported(format!("server error ({code:?}): {message}")),
             }),
             ok => Ok(ok),
@@ -693,7 +973,43 @@ mod tests {
             },
             Request::ServerStats,
             Request::Shutdown,
+            Request::ReplApply {
+                collection: "docs".into(),
+                stream: vec![1, 2, 3, 4, 5],
+            },
+            Request::ReplStatus {
+                collection: "docs".into(),
+            },
+            Request::ReplSnapshot {
+                collection: "docs".into(),
+            },
+            Request::ReplInstall {
+                collection: "docs".into(),
+                state: sample_payload(),
+            },
+            Request::ManifestGet {
+                collection: "docs".into(),
+            },
+            Request::ManifestPut {
+                manifest: vec![9, 8, 7],
+            },
         ]
+    }
+
+    fn sample_payload() -> ReplicaPayload {
+        ReplicaPayload {
+            dim: 8,
+            metric: Metric::Minkowski(1.5),
+            columns: vec![
+                ("brand".into(), AttrType::Str),
+                ("price".into(), AttrType::Int),
+                ("rating".into(), AttrType::Float),
+                ("in_stock".into(), AttrType::Bool),
+            ],
+            lsn: 99,
+            snapshot: vec![0xAB; 32],
+            tail: vec![0xCD; 16],
+        }
     }
 
     pub(crate) fn sample_responses() -> Vec<Response> {
@@ -742,10 +1058,20 @@ mod tests {
                 last_swap_micros: 250,
                 failed_merges: 0,
             }),
+            Response::ReplState { lsn: 123 },
+            Response::ReplicaState(sample_payload()),
+            Response::Manifest(vec![5, 4, 3, 2]),
+            Response::Redirect {
+                addr: "10.0.0.2:7070".into(),
+            },
             Response::Busy,
             Response::Error {
                 code: ErrorCode::NotFound,
                 message: "collection `ghosts`".into(),
+            },
+            Response::Error {
+                code: ErrorCode::RateLimited,
+                message: "rate limited".into(),
             },
         ]
     }
@@ -778,6 +1104,50 @@ mod tests {
         let mut payload = Request::Ping.encode();
         payload.push(0);
         assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn retry_classes_are_conservative() {
+        for req in sample_requests() {
+            let read_only = req.is_read_only();
+            let idempotent = req.is_idempotent();
+            assert!(!read_only || idempotent, "read-only implies idempotent");
+            match &req {
+                Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::Vql { .. }
+                | Request::Checkpoint { .. }
+                | Request::Shutdown => {
+                    assert!(!idempotent, "{req:?} must not be auto-retried")
+                }
+                Request::ReplApply { .. }
+                | Request::ReplInstall { .. }
+                | Request::ManifestPut { .. } => {
+                    assert!(idempotent && !read_only, "{req:?}")
+                }
+                _ => assert!(read_only, "{req:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rate_limited_is_distinct_from_busy_on_the_wire() {
+        let resp = Response::from_error(&Error::RateLimited);
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::RateLimited,
+                    ..
+                }
+            ),
+            "rate limiting must not hide behind the Busy opcode: {resp:?}"
+        );
+        assert_ne!(resp.encode()[0], Response::Busy.encode()[0]);
+        assert!(matches!(
+            resp.into_result().unwrap_err(),
+            Error::RateLimited
+        ));
     }
 
     #[test]

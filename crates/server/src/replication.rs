@@ -1,0 +1,285 @@
+//! Primary-side WAL shipping: the replicated write path.
+//!
+//! A [`Replicator`] is installed on a collection's primary node
+//! ([`attach_primary`]) as its replication sink. From then on, every
+//! acknowledged insert/delete produces one shipped frame
+//! (`vdb_storage::ship_record`: the WAL's CRC framing plus a per-record
+//! LSN), which the replicator forwards to each replica over the wire
+//! (`ReplApply`) **before** the client's acknowledgement is released —
+//! an acked write is on `min_acks` replicas or it is not acked.
+//!
+//! Shipping is idempotent end to end: frames carry gap-free LSNs and a
+//! replica skips anything at or below the LSN it already holds, so a
+//! re-shipped tail after a lost acknowledgement (or a full retained-log
+//! replay after a reconnect) converges instead of double-applying.
+//!
+//! Bootstrap never loses a write: the bootstrap state (snapshot + WAL
+//! tail + LSN) is exported and the sink installed under one database
+//! write lock, so a concurrent write lands either in the exported state
+//! or in the retained frame log the replica catches up from — never in
+//! the gap between them.
+//!
+//! The retained log is bounded ([`ReplicationConfig::retain_frames`]): a
+//! replica that falls further behind than the log reaches is marked down
+//! and must re-bootstrap, keeping primary memory O(retained), not
+//! O(history).
+
+use crate::client::Client;
+use crate::protocol::ReplicaPayload;
+use crate::server::ServerHandle;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vdb_core::error::{Error, Result};
+use vdb_core::sync::Mutex;
+
+/// Shipping knobs.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Replicas that must acknowledge a shipped record before the
+    /// primary acks the write. `0` = ship best-effort, never fail the
+    /// write (asynchronous replication).
+    pub min_acks: usize,
+    /// Shipped frames kept for catch-up after a transient replica
+    /// failure; a replica lagging past this must re-bootstrap.
+    pub retain_frames: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            min_acks: 1,
+            retain_frames: 4096,
+        }
+    }
+}
+
+/// One replica connection and how far it has acknowledged.
+struct Link {
+    addr: String,
+    client: Client,
+    /// Highest LSN this replica has acknowledged.
+    lsn: u64,
+    /// Cleared when a ship fails; a down link is skipped until
+    /// [`Replicator::reattach`] re-bootstraps it.
+    live: bool,
+}
+
+struct Inner {
+    /// Retained `(lsn, frame)` log, oldest first, gap-free.
+    frames: VecDeque<(u64, Vec<u8>)>,
+    links: Vec<Link>,
+}
+
+/// Ships a collection's write stream to its replicas. Created by
+/// [`attach_primary`]; shared between the collection's sink closure and
+/// the owner that monitors replica health.
+pub struct Replicator {
+    collection: String,
+    cfg: ReplicationConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Replicator {
+    /// The collection this replicator ships.
+    pub fn collection(&self) -> &str {
+        &self.collection
+    }
+
+    /// `(addr, acked lsn, live)` per replica.
+    pub fn replica_states(&self) -> Vec<(String, u64, bool)> {
+        self.inner
+            .lock()
+            .links
+            .iter()
+            .map(|l| (l.addr.clone(), l.lsn, l.live))
+            .collect()
+    }
+
+    /// The sink entry point: retain the frame, forward to every live
+    /// replica (including any catch-up backlog it is owed), and fail the
+    /// write if fewer than `min_acks` replicas hold it.
+    fn ship(&self, lsn: u64, frame: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.frames.push_back((lsn, frame.to_vec()));
+        let retain = self.cfg.retain_frames.max(1);
+        while inner.frames.len() > retain {
+            inner.frames.pop_front();
+        }
+        let oldest = inner.frames.front().map(|(l, _)| *l).unwrap_or(lsn);
+        let mut streams: Vec<Option<Vec<u8>>> = Vec::with_capacity(inner.links.len());
+        for link in &inner.links {
+            if !link.live {
+                streams.push(None);
+            } else if link.lsn + 1 < oldest {
+                // The retained log no longer reaches back to this
+                // replica's position; it must re-bootstrap.
+                streams.push(None);
+            } else {
+                let mut stream = Vec::new();
+                for (l, f) in &inner.frames {
+                    if *l > link.lsn {
+                        stream.extend_from_slice(f);
+                    }
+                }
+                streams.push(Some(stream));
+            }
+        }
+        let mut acks = 0usize;
+        for (link, stream) in inner.links.iter_mut().zip(streams) {
+            let Some(stream) = stream else {
+                link.live = false;
+                continue;
+            };
+            match link.client.repl_apply(&self.collection, &stream) {
+                Ok(remote) if remote >= lsn => {
+                    link.lsn = remote;
+                    acks += 1;
+                }
+                Ok(remote) => {
+                    // The replica answered but sits behind what we just
+                    // shipped — treat as a failed ack; catch-up rides
+                    // along with the next ship.
+                    link.lsn = remote;
+                }
+                Err(_) => link.live = false,
+            }
+        }
+        if acks < self.cfg.min_acks {
+            return Err(Error::Io(std::io::Error::other(format!(
+                "replication quorum not met for `{}`: {acks}/{} acks at lsn {lsn}",
+                self.collection, self.cfg.min_acks
+            ))));
+        }
+        Ok(())
+    }
+
+    /// Register a freshly bootstrapped replica at `bootstrap_lsn` and
+    /// immediately ship it everything retained past that point, so it is
+    /// current the moment it joins.
+    fn add_link(&self, addr: String, client: Client, bootstrap_lsn: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut stream = Vec::new();
+        let mut last = bootstrap_lsn;
+        for (l, f) in &inner.frames {
+            if *l > bootstrap_lsn {
+                stream.extend_from_slice(f);
+                last = *l;
+            }
+        }
+        let lsn = if stream.is_empty() {
+            bootstrap_lsn
+        } else {
+            let remote = client.repl_apply(&self.collection, &stream)?;
+            debug_assert!(remote >= last, "replica behind after catch-up");
+            remote
+        };
+        inner.links.retain(|l| l.addr != addr);
+        inner.links.push(Link {
+            addr,
+            client,
+            lsn,
+            live: true,
+        });
+        Ok(())
+    }
+
+    /// Re-bootstrap a down (or new) replica from the primary's current
+    /// state and rejoin it to the ship set.
+    pub fn reattach(&self, handle: &ServerHandle, addr: &str) -> Result<()> {
+        let client = Client::connect(addr)?;
+        let state = export_payload(handle, &self.collection)?;
+        let lsn = state.lsn;
+        client.repl_install(&self.collection, state)?;
+        self.add_link(addr.to_string(), client, lsn)
+    }
+}
+
+/// Export a collection's bootstrap payload (schema + snapshot + tail +
+/// LSN) under the server's database lock.
+fn export_payload(handle: &ServerHandle, collection: &str) -> Result<ReplicaPayload> {
+    handle.with_db_mut(|db| {
+        let c = db.collection(collection)?;
+        let schema = c.schema();
+        let (dim, metric, columns) = (
+            schema.dim as u32,
+            schema.metric.clone(),
+            schema.columns.clone(),
+        );
+        let (lsn, snapshot, tail) = c.export_replica_state()?;
+        Ok(ReplicaPayload {
+            dim,
+            metric,
+            columns,
+            lsn,
+            snapshot,
+            tail,
+        })
+    })
+}
+
+/// Make `handle`'s node the replicating primary for `collection`: export
+/// a consistent bootstrap state and install the shipping sink atomically
+/// (one database write lock — no write can fall between them), push the
+/// state onto every replica, and catch each one up with whatever was
+/// written while its siblings bootstrapped.
+///
+/// Returns the [`Replicator`]; keep it to monitor replica health or
+/// [`Replicator::reattach`] recovered nodes.
+pub fn attach_primary(
+    handle: &ServerHandle,
+    collection: &str,
+    replicas: &[String],
+    cfg: ReplicationConfig,
+) -> Result<Arc<Replicator>> {
+    // Dial first: an unreachable replica fails attach before the
+    // collection is touched.
+    let clients: Vec<Client> = replicas
+        .iter()
+        .map(|addr| Client::connect(addr.as_str()))
+        .collect::<Result<_>>()?;
+    let replicator = Arc::new(Replicator {
+        collection: collection.to_string(),
+        cfg,
+        inner: Mutex::new(Inner {
+            frames: VecDeque::new(),
+            links: Vec::new(),
+        }),
+    });
+    let state = handle.with_db_mut(|db| -> Result<ReplicaPayload> {
+        let c = db.collection_mut(collection)?;
+        let schema = c.schema();
+        let (dim, metric, columns) = (
+            schema.dim as u32,
+            schema.metric.clone(),
+            schema.columns.clone(),
+        );
+        let (lsn, snapshot, tail) = c.export_replica_state()?;
+        let sink = {
+            let r = Arc::clone(&replicator);
+            Arc::new(move |lsn: u64, frame: &[u8]| r.ship(lsn, frame)) as vdb::ReplicationSink
+        };
+        c.set_replication_sink(Some(sink));
+        Ok(ReplicaPayload {
+            dim,
+            metric,
+            columns,
+            lsn,
+            snapshot,
+            tail,
+        })
+    })?;
+    for (addr, client) in replicas.iter().zip(clients) {
+        client.repl_install(collection, state.clone())?;
+        replicator.add_link(addr.clone(), client, state.lsn)?;
+    }
+    Ok(replicator)
+}
+
+/// Stop shipping: clear the collection's sink. The retained log and
+/// links die with the returned-from-scope `Replicator`.
+pub fn detach_primary(handle: &ServerHandle, collection: &str) -> Result<()> {
+    handle.with_db_mut(|db| {
+        db.collection_mut(collection)?.set_replication_sink(None);
+        Ok(())
+    })
+}

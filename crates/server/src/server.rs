@@ -41,7 +41,9 @@
 //! gets its response), write buffers flush, and only then do sockets
 //! close.
 
-use crate::protocol::{ErrorCode, Request, Response, ServerStatsSnapshot, WireCollectionStats};
+use crate::protocol::{
+    ErrorCode, ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -50,10 +52,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vdb::{SearchHit, Vdbms, VqlOutput};
+use vdb::{CollectionSchema, IndexSpec, SearchHit, Vdbms, VqlOutput};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
 use vdb_distributed::wire;
+use vdb_distributed::ClusterManifest;
 
 #[cfg(unix)]
 use crate::net;
@@ -298,6 +301,15 @@ fn lane_of(request: &Request) -> Lane {
             }
         }
         Request::Shutdown => Lane::Interactive,
+        // Replication traffic moves bulk data and must not starve
+        // interactive queries; manifest/status exchanges are tiny
+        // control-plane messages.
+        Request::ReplApply { .. } | Request::ReplSnapshot { .. } | Request::ReplInstall { .. } => {
+            Lane::Bulk
+        }
+        Request::ReplStatus { .. } | Request::ManifestGet { .. } | Request::ManifestPut { .. } => {
+            Lane::Interactive
+        }
     }
 }
 
@@ -381,6 +393,15 @@ struct TokenBucket {
     limit: RateLimit,
 }
 
+/// One node's view of the cluster it belongs to.
+struct ClusterNode {
+    /// The address peers and clients reach this node at (as it appears
+    /// in the manifest).
+    self_addr: String,
+    /// The newest manifest this node has adopted.
+    manifest: ClusterManifest,
+}
+
 struct Shared {
     db: RwLock<Vdbms>,
     cfg: ServerConfig,
@@ -398,6 +419,10 @@ struct Shared {
     latency: Histogram,
     qps: QpsWindow,
     limiters: vdb_core::sync::Mutex<HashMap<String, TokenBucket>>,
+    /// Cluster membership, `None` on a standalone server: the manifest
+    /// this node routes by, and the address peers reach this node at
+    /// (so it can tell "my shard" from "redirect elsewhere").
+    cluster: vdb_core::sync::Mutex<Option<ClusterNode>>,
     /// Which connection core `serve` picked.
     use_event_loop: bool,
     /// Set when the event loop is running, so `begin_stop` can
@@ -484,6 +509,24 @@ impl Shared {
         }
     }
 
+    /// Where a write for `key` must go instead of here: `Some(primary)`
+    /// when this node is clustered for `collection` but does not own the
+    /// key's shard. Standalone servers (and other collections on a
+    /// clustered node) never redirect.
+    fn redirect_for(&self, collection: &str, key: u64) -> Option<String> {
+        let cluster = self.cluster.lock();
+        let node = cluster.as_ref()?;
+        if node.manifest.collection != collection {
+            return None;
+        }
+        let primary = node.manifest.primary_of(key);
+        if primary == node.self_addr {
+            None
+        } else {
+            Some(primary.to_string())
+        }
+    }
+
     /// Deliver an executor-produced response: time it, count it, route
     /// it back to whichever connection core owns the socket.
     fn respond(&self, reply: Reply, enqueued: Instant, resp: Response) {
@@ -517,9 +560,13 @@ fn admit(shared: &Shared, request: Request, reply: Reply) -> Option<Response> {
     }
     if let Some(collection) = charged_collection(&request) {
         if !shared.admit_rate(collection) {
+            // Counted as busy too (rate-limit sheds are a kind of shed),
+            // but answered with the dedicated RATE_LIMITED error code —
+            // the plain Busy opcode is reserved for queue overload, so
+            // clients can tell "slow down" from "server is drowning".
             shared.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
             shared.stats.busy.fetch_add(1, Ordering::Relaxed);
-            return Some(Response::Busy);
+            return Some(Response::from_error(&Error::RateLimited));
         }
     }
     let lane = lane_of(&request);
@@ -571,6 +618,34 @@ impl ServerHandle {
     /// Current serving counters.
     pub fn stats(&self) -> ServerStatsSnapshot {
         self.shared().snapshot()
+    }
+
+    /// Join a cluster: adopt `manifest` and declare the address peers
+    /// reach this node at. From here on, clustered writes whose shard
+    /// primary is another node answer `Redirect` instead of applying.
+    pub fn set_cluster(&self, self_addr: impl Into<String>, manifest: ClusterManifest) {
+        *self.shared().cluster.lock() = Some(ClusterNode {
+            self_addr: self_addr.into(),
+            manifest,
+        });
+    }
+
+    /// The manifest this node currently routes by, if clustered.
+    pub fn manifest(&self) -> Option<ClusterManifest> {
+        self.shared()
+            .cluster
+            .lock()
+            .as_ref()
+            .map(|n| n.manifest.clone())
+    }
+
+    /// Run `f` against the served database under the write lock, with
+    /// every wire request excluded for the duration. This is the hook
+    /// replication setup uses to export a bootstrap state and install
+    /// the shipping sink *atomically* — no write can slip between the
+    /// two and go unshipped.
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut Vdbms) -> R) -> R {
+        f(&mut write_db(self.shared()))
     }
 
     /// Whether a client sent a wire `Shutdown` request.
@@ -660,6 +735,7 @@ pub fn serve(db: Vdbms, addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<S
         latency: Histogram::new(),
         qps: QpsWindow::new(),
         limiters: vdb_core::sync::Mutex::new(HashMap::new()),
+        cluster: vdb_core::sync::Mutex::new(None),
         use_event_loop,
         #[cfg(unix)]
         loop_waker: vdb_core::sync::Mutex::new(None),
@@ -1037,6 +1113,9 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                 vector,
                 attrs,
             } => {
+                if let Some(addr) = shared.redirect_for(collection, *key) {
+                    return Ok(Response::Redirect { addr });
+                }
                 let attr_refs: Vec<(&str, vdb_core::attr::AttrValue)> =
                     attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
                 write_db(shared)
@@ -1045,6 +1124,9 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                 Response::Done
             }
             Request::Delete { collection, key } => {
+                if let Some(addr) = shared.redirect_for(collection, *key) {
+                    return Ok(Response::Redirect { addr });
+                }
                 write_db(shared).collection_mut(collection)?.delete(*key)?;
                 Response::Done
             }
@@ -1104,6 +1186,89 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                     last_swap_micros: stats.last_swap_micros,
                     failed_merges: stats.failed_merges as u64,
                 })
+            }
+            Request::ReplApply { collection, stream } => {
+                let lsn = write_db(shared)
+                    .collection_mut(collection)?
+                    .apply_replication_stream(stream)?;
+                Response::ReplState { lsn }
+            }
+            Request::ReplStatus { collection } => {
+                let lsn = read_db(shared).collection(collection)?.replication_lsn();
+                Response::ReplState { lsn }
+            }
+            Request::ReplSnapshot { collection } => {
+                let db = read_db(shared);
+                let c = db.collection(collection)?;
+                let schema = c.schema();
+                let (lsn, snapshot, tail) = c.export_replica_state()?;
+                Response::ReplicaState(ReplicaPayload {
+                    dim: schema.dim as u32,
+                    metric: schema.metric.clone(),
+                    columns: schema.columns.clone(),
+                    lsn,
+                    snapshot,
+                    tail,
+                })
+            }
+            Request::ReplInstall { collection, state } => {
+                let mut db = write_db(shared);
+                if db.collection(collection).is_err() {
+                    // First contact: create the collection from the
+                    // shipped schema. Replicas index with Flat — exact,
+                    // always valid, and rebuilt from the snapshot anyway;
+                    // an existing collection keeps its own index choice.
+                    let mut schema = CollectionSchema::new(
+                        collection.clone(),
+                        state.dim as usize,
+                        state.metric.clone(),
+                    );
+                    for (name, ty) in &state.columns {
+                        schema = schema.column(name.clone(), *ty);
+                    }
+                    db.create_collection(schema, IndexSpec::Flat)?;
+                }
+                db.collection_mut(collection)?.install_replica_state(
+                    state.lsn,
+                    &state.snapshot,
+                    &state.tail,
+                )?;
+                Response::ReplState { lsn: state.lsn }
+            }
+            Request::ManifestGet { collection } => {
+                let cluster = shared.cluster.lock();
+                match cluster
+                    .as_ref()
+                    .filter(|n| n.manifest.collection == *collection)
+                {
+                    Some(node) => Response::Manifest(node.manifest.encode()),
+                    None => {
+                        return Err(Error::NotFound(format!(
+                            "node holds no manifest for collection `{collection}`"
+                        )))
+                    }
+                }
+            }
+            Request::ManifestPut { manifest } => {
+                let published = ClusterManifest::decode(manifest)?;
+                let mut cluster = shared.cluster.lock();
+                match cluster.as_mut() {
+                    Some(node) => {
+                        node.manifest.adopt(&published)?;
+                        Response::Manifest(node.manifest.encode())
+                    }
+                    None => {
+                        // A node that was never told its own address can
+                        // still cache and serve the manifest; with no
+                        // self identity every clustered write redirects.
+                        let bytes = published.encode();
+                        *cluster = Some(ClusterNode {
+                            self_addr: String::new(),
+                            manifest: published,
+                        });
+                        Response::Manifest(bytes)
+                    }
+                }
             }
         })
     })();

@@ -47,4 +47,4 @@ pub use page::{Page, PageId, PAGE_SIZE};
 pub use prefetch::{IoBackend, PrefetchPool};
 pub use snapshot::{Snapshot, SnapshotColumn};
 pub use vector_store::DiskVectorStore;
-pub use wal::{crc32, Wal, WalRecord};
+pub use wal::{crc32, decode_shipped, ship_record, ShippedRecord, Wal, WalRecord};

@@ -81,18 +81,55 @@ impl Snapshot {
     }
 }
 
-fn write_section(file: &mut File, tag: u8, payload: &[u8], site: &'static str) -> Result<()> {
+fn section_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(9 + payload.len());
     frame.push(tag);
     codec::put_u32(&mut frame, payload.len() as u32);
     codec::put_u32(&mut frame, crc32(payload));
     frame.extend_from_slice(payload);
-    failpoint::write_all_torn(file, &frame, site)
+    frame
 }
 
-/// Atomically replace the snapshot at `path` with `snap`:
-/// write-to-temp, fsync, rename, fsync-directory.
-pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
+fn write_section(file: &mut File, tag: u8, payload: &[u8], site: &'static str) -> Result<()> {
+    failpoint::write_all_torn(file, &section_frame(tag, payload), site)
+}
+
+fn meta_payload(snap: &Snapshot) -> Vec<u8> {
+    let mut meta = Vec::new();
+    codec::put_str(&mut meta, &snap.fingerprint);
+    codec::put_u32(&mut meta, snap.vectors.dim() as u32);
+    codec::put_u64(&mut meta, snap.row_keys.len() as u64);
+    codec::put_u32(&mut meta, snap.columns.len() as u32);
+    meta
+}
+
+fn keys_payload(snap: &Snapshot) -> Vec<u8> {
+    let mut keys = Vec::with_capacity(snap.row_keys.len() * 8);
+    for &k in &snap.row_keys {
+        codec::put_u64(&mut keys, k);
+    }
+    keys
+}
+
+fn vectors_payload(snap: &Snapshot) -> Vec<u8> {
+    let mut vecs = Vec::with_capacity(snap.vectors.as_flat().len() * 4);
+    for x in snap.vectors.as_flat() {
+        vecs.extend_from_slice(&x.to_le_bytes());
+    }
+    vecs
+}
+
+fn column_payload(col: &SnapshotColumn) -> Vec<u8> {
+    let mut payload = Vec::new();
+    codec::put_str(&mut payload, &col.name);
+    payload.push(codec::attr_type_tag(col.ty));
+    for v in &col.values {
+        codec::put_attr(&mut payload, v);
+    }
+    payload
+}
+
+fn validate(snap: &Snapshot) -> Result<()> {
     if snap.vectors.len() != snap.row_keys.len() {
         return Err(Error::InvalidParameter(format!(
             "snapshot has {} keys but {} vectors",
@@ -110,6 +147,31 @@ pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
             )));
         }
     }
+    Ok(())
+}
+
+/// Serialize a snapshot to bytes in the on-disk format (magic included),
+/// for shipping over the wire during replica bootstrap. The bytes are
+/// exactly what [`write`] would put on disk, so [`decode`] and [`read`]
+/// verify the same magic, section CRCs, and END terminator.
+pub fn encode(snap: &Snapshot) -> Result<Vec<u8>> {
+    validate(snap)?;
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&section_frame(SEC_META, &meta_payload(snap)));
+    out.extend_from_slice(&section_frame(SEC_KEYS, &keys_payload(snap)));
+    out.extend_from_slice(&section_frame(SEC_VECTORS, &vectors_payload(snap)));
+    for col in &snap.columns {
+        out.extend_from_slice(&section_frame(SEC_COLUMN, &column_payload(col)));
+    }
+    out.extend_from_slice(&section_frame(SEC_END, &[]));
+    Ok(out)
+}
+
+/// Atomically replace the snapshot at `path` with `snap`:
+/// write-to-temp, fsync, rename, fsync-directory.
+pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
+    validate(snap)?;
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -123,42 +185,31 @@ pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
         .open(&tmp)?;
 
     // META (with the magic prepended so the first write stamps the file).
-    let mut meta = Vec::new();
-    codec::put_str(&mut meta, &snap.fingerprint);
-    codec::put_u32(&mut meta, snap.vectors.dim() as u32);
-    codec::put_u64(&mut meta, snap.row_keys.len() as u64);
-    codec::put_u32(&mut meta, snap.columns.len() as u32);
+    let meta = meta_payload(snap);
     let mut head = Vec::with_capacity(8 + 9 + meta.len());
     head.extend_from_slice(MAGIC);
-    head.push(SEC_META);
-    codec::put_u32(&mut head, meta.len() as u32);
-    codec::put_u32(&mut head, crc32(&meta));
-    head.extend_from_slice(&meta);
+    head.extend_from_slice(&section_frame(SEC_META, &meta));
     failpoint::write_all_torn(&mut file, &head, "snapshot.meta")?;
 
     // KEYS.
-    let mut keys = Vec::with_capacity(snap.row_keys.len() * 8);
-    for &k in &snap.row_keys {
-        codec::put_u64(&mut keys, k);
-    }
-    write_section(&mut file, SEC_KEYS, &keys, "snapshot.keys")?;
+    write_section(&mut file, SEC_KEYS, &keys_payload(snap), "snapshot.keys")?;
 
     // VECTORS.
-    let mut vecs = Vec::with_capacity(snap.vectors.as_flat().len() * 4);
-    for x in snap.vectors.as_flat() {
-        vecs.extend_from_slice(&x.to_le_bytes());
-    }
-    write_section(&mut file, SEC_VECTORS, &vecs, "snapshot.vectors")?;
+    write_section(
+        &mut file,
+        SEC_VECTORS,
+        &vectors_payload(snap),
+        "snapshot.vectors",
+    )?;
 
     // One section per COLUMN.
     for col in &snap.columns {
-        let mut payload = Vec::new();
-        codec::put_str(&mut payload, &col.name);
-        payload.push(codec::attr_type_tag(col.ty));
-        for v in &col.values {
-            codec::put_attr(&mut payload, v);
-        }
-        write_section(&mut file, SEC_COLUMN, &payload, "snapshot.column")?;
+        write_section(
+            &mut file,
+            SEC_COLUMN,
+            &column_payload(col),
+            "snapshot.column",
+        )?;
     }
 
     // END terminator, then make it durable and visible.
@@ -184,6 +235,13 @@ pub fn read(path: &Path) -> Result<Option<Snapshot>> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
+    decode(&bytes).map(Some)
+}
+
+/// Parse snapshot bytes produced by [`encode`] (or read back from a file
+/// [`write`] produced). Verifies magic, every section CRC, and the END
+/// terminator — identical guarantees to [`read`].
+pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
     let corrupt = |what: &str| Error::Corrupt(format!("snapshot {what}"));
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
         return Err(corrupt("has bad magic"));
@@ -260,12 +318,12 @@ pub fn read(path: &Path) -> Result<Option<Snapshot>> {
     if columns.len() != ncols {
         return Err(corrupt("column count does not match META"));
     }
-    Ok(Some(Snapshot {
+    Ok(Snapshot {
         fingerprint,
         row_keys,
         vectors,
         columns,
-    }))
+    })
 }
 
 #[cfg(test)]
@@ -328,6 +386,18 @@ mod tests {
         let back = read(&path).unwrap().unwrap();
         assert_eq!(back.rows(), 0);
         assert!(back.columns.is_empty());
+    }
+
+    #[test]
+    fn encode_matches_on_disk_bytes_and_decodes() {
+        let dir = TempDir::new("snap-enc").unwrap();
+        let path = dir.file("c.snap");
+        let snap = sample(11);
+        write(&path, &snap).unwrap();
+        let disk = std::fs::read(&path).unwrap();
+        let wire = encode(&snap).unwrap();
+        assert_eq!(wire, disk, "wire encoding is byte-identical to disk");
+        assert_eq!(decode(&wire).unwrap(), snap);
     }
 
     #[test]

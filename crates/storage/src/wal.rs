@@ -210,6 +210,71 @@ impl Wal {
     }
 }
 
+/// A WAL record stamped with its log sequence number, as shipped from a
+/// replication primary to its replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShippedRecord {
+    /// The primary's logical mutation counter at the time this record was
+    /// applied (1-based, strictly increasing, gap-free within a primary
+    /// incarnation).
+    pub lsn: u64,
+    /// The logged operation itself.
+    pub record: WalRecord,
+}
+
+/// Append one LSN-stamped record to a replication stream buffer.
+///
+/// The framing is the WAL's own: `[len u32][crc32 u32][payload]`, where the
+/// payload is the LSN (little-endian u64) followed by the record encoding.
+/// Because the stream reuses the torn-tail-tolerant frame layout, a
+/// truncated stream decodes to an exact record prefix — a replica that
+/// receives a partial shipment applies a prefix and asks for the rest.
+pub fn ship_record(out: &mut Vec<u8>, lsn: u64, rec: &WalRecord) {
+    let mut payload = Vec::with_capacity(16);
+    codec::put_u64(&mut payload, lsn);
+    payload.extend_from_slice(&encode(rec));
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Decode a replication stream produced by [`ship_record`].
+///
+/// Mirrors [`Wal::replay`]: a torn tail (truncated final frame) ends the
+/// decode cleanly with the complete prefix, while a checksum mismatch on a
+/// *complete* frame — actual corruption rather than truncation — is an
+/// error.
+pub fn decode_shipped(stream: &[u8]) -> Result<Vec<ShippedRecord>> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while stream.len() - at >= 8 {
+        let len = u32::from_le_bytes(stream[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(stream[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len > 1 << 30 {
+            return Err(Error::Corrupt(
+                "unreasonable replication record length".into(),
+            ));
+        }
+        if stream.len() - at - 8 < len {
+            break; // torn payload
+        }
+        let payload = &stream[at + 8..at + 8 + len];
+        if crc32(payload) != crc {
+            return Err(Error::Corrupt(
+                "replication stream checksum mismatch".into(),
+            ));
+        }
+        if payload.len() < 8 {
+            return Err(Error::Corrupt("replication record shorter than LSN".into()));
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let record = decode(&payload[8..])?;
+        out.push(ShippedRecord { lsn, record });
+        at += 8 + len;
+    }
+    Ok(out)
+}
+
 enum ReadOutcome {
     Full,
     Partial,
@@ -441,6 +506,33 @@ mod tests {
         // Rewrite to empty behaves like reset.
         wal.rewrite(&[]).unwrap();
         assert!(Wal::replay(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shipped_stream_roundtrips() {
+        let recs = [
+            WalRecord::Insert {
+                key: 1,
+                vector: vec![1.0, 2.0],
+                attrs: vec![("tag".into(), AttrValue::Str("a".into()))],
+            },
+            WalRecord::Delete { key: 9 },
+        ];
+        let mut stream = Vec::new();
+        for (i, r) in recs.iter().enumerate() {
+            ship_record(&mut stream, i as u64 + 1, r);
+        }
+        let shipped = decode_shipped(&stream).unwrap();
+        assert_eq!(shipped.len(), 2);
+        assert_eq!(shipped[0].lsn, 1);
+        assert_eq!(shipped[1].lsn, 2);
+        assert_eq!(shipped[0].record, recs[0]);
+        assert_eq!(shipped[1].record, recs[1]);
+        // A flipped bit in a complete frame is corruption, not truncation.
+        let mut bad = stream.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(decode_shipped(&bad), Err(Error::Corrupt(_))));
     }
 
     #[test]

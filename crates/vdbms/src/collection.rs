@@ -52,8 +52,19 @@ use vdb_query::{
     execute_with, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery,
 };
 use vdb_storage::{
-    snapshot, AttributeStore, Column, LsmConfig, LsmStore, Snapshot, SnapshotColumn, Wal, WalRecord,
+    decode_shipped, ship_record, snapshot, AttributeStore, Column, LsmConfig, LsmStore, Snapshot,
+    SnapshotColumn, Wal, WalRecord,
 };
+
+/// Primary-side replication hook: called under the write lock with each
+/// acknowledged mutation's LSN and its shipped frame (one
+/// [`vdb_storage::ship_record`] frame — LSN-stamped, CRC-framed WAL
+/// encoding), *after* the mutation is locally durable and applied but
+/// *before* the write is acknowledged. Returning an error fails the
+/// write's acknowledgement (the local apply stands: at-least-once, which
+/// is safe because keyed inserts/deletes are idempotent). The sink must
+/// not call back into the collection (it runs under the write-side lock).
+pub type ReplicationSink = Arc<dyn Fn(u64, &[u8]) -> Result<()> + Send + Sync>;
 
 /// A search result at the facade level: external key plus distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,6 +212,11 @@ struct Pending {
     /// newer buffered version), maintained incrementally so `len()` and
     /// the search over-fetch never rescan `row_keys`.
     shadowed: usize,
+    /// Logical mutation counter (replication LSN): incremented by every
+    /// applied insert/delete, including replay. Gap-free within a
+    /// process lifetime; a replica whose counter matches the primary's
+    /// holds the same logical state.
+    lsn: u64,
 }
 
 /// Lock-free maintenance counters (readable without any lock).
@@ -234,6 +250,8 @@ struct Inner {
     merge_gate: Mutex<()>,
     stats: MaintStats,
     maint: MaintSignal,
+    /// Primary-side replication hook (None when not replicating).
+    repl: Mutex<Option<ReplicationSink>>,
 }
 
 /// A vector collection with hybrid search, out-of-place updates, and
@@ -278,7 +296,9 @@ impl Collection {
                 buffer_attrs: HashMap::new(),
                 wal: None,
                 shadowed: 0,
+                lsn: 0,
             }),
+            repl: Mutex::new(None),
             merge_gate: Mutex::new(()),
             stats: MaintStats::default(),
             maint: MaintSignal {
@@ -502,17 +522,23 @@ impl Collection {
         // Replay applies merges inline regardless of mode: the worker is
         // not running yet and backpressure must not reject logged writes.
         let background = inner.cfg.merge_mode == MergeMode::Background && !replaying;
+        let sink = if replaying {
+            None
+        } else {
+            inner.repl.lock().clone()
+        };
         let over = {
             let mut p = inner.pending.lock();
             if background && p.buffer.len() >= inner.max_buffer() {
                 return Err(Error::Busy);
             }
+            let record = (p.wal.is_some() || sink.is_some()).then(|| WalRecord::Insert {
+                key,
+                vector: vector.to_vec(),
+                attrs: owned_attrs.clone(),
+            });
             if let Some(wal) = &mut p.wal {
-                wal.append(&WalRecord::Insert {
-                    key,
-                    vector: vector.to_vec(),
-                    attrs: owned_attrs.clone(),
-                })?;
+                wal.append(record.as_ref().expect("built when wal present"))?;
                 wal.sync()?;
             }
             let newly_shadowed = {
@@ -526,6 +552,19 @@ impl Collection {
             }
             p.buffer.insert(key, vector)?;
             p.buffer_attrs.insert(key, owned_attrs);
+            p.lsn += 1;
+            if let Some(sink) = sink {
+                // Ship after the local apply, before the ack: an error
+                // here fails the acknowledgement (the idempotent local
+                // apply stands), so an acked write is always replicated.
+                let mut frame = Vec::new();
+                ship_record(
+                    &mut frame,
+                    p.lsn,
+                    record.as_ref().expect("built when sink present"),
+                );
+                sink(p.lsn, &frame)?;
+            }
             p.buffer.len() >= inner.cfg.merge_threshold
         };
         if over {
@@ -541,6 +580,7 @@ impl Collection {
     /// Delete `key` (tombstone; space reclaimed at the next merge).
     pub fn delete(&mut self, key: u64) -> Result<()> {
         let inner = &self.inner;
+        let sink = inner.repl.lock().clone();
         let mut p = inner.pending.lock();
         if let Some(wal) = &mut p.wal {
             wal.append(&WalRecord::Delete { key })?;
@@ -555,6 +595,12 @@ impl Collection {
         }
         p.buffer.delete(key);
         p.buffer_attrs.remove(&key);
+        p.lsn += 1;
+        if let Some(sink) = sink {
+            let mut frame = Vec::new();
+            ship_record(&mut frame, p.lsn, &WalRecord::Delete { key });
+            sink(p.lsn, &frame)?;
+        }
         Ok(())
     }
 
@@ -669,6 +715,152 @@ impl Collection {
     /// Path of the checkpoint snapshot, when durability is enabled.
     pub fn snapshot_path(&self) -> Option<PathBuf> {
         self.inner.snapshot_path()
+    }
+
+    /// Current replication LSN: the number of mutations applied over the
+    /// collection's lifetime in this process (see [`Pending::lsn`] rules:
+    /// gap-free, strictly increasing, bumped by replay too).
+    pub fn replication_lsn(&self) -> u64 {
+        self.inner.pending.lock().lsn
+    }
+
+    /// Install (or clear) the primary-side replication sink. Once set,
+    /// every subsequent acknowledged insert/delete invokes the sink with
+    /// its LSN and shipped frame before the write returns. Setting the
+    /// sink does not replay history — pair it with
+    /// [`Collection::export_replica_state`] under the caller's write
+    /// exclusion so no mutation falls between the export and the hook.
+    pub fn set_replication_sink(&self, sink: Option<ReplicationSink>) {
+        *self.inner.repl.lock() = sink;
+    }
+
+    /// Apply one replicated record with idempotent, gap-detecting LSN
+    /// rules: `lsn <= current` is a re-shipped duplicate and is skipped
+    /// (`Ok(false)`); `lsn == current + 1` applies (`Ok(true)`); anything
+    /// further ahead is a gap — the replica missed records and must
+    /// re-bootstrap ([`Error::Corrupt`]).
+    pub fn apply_replicated(&mut self, lsn: u64, record: &WalRecord) -> Result<bool> {
+        let applied = self.inner.pending.lock().lsn;
+        if lsn <= applied {
+            return Ok(false);
+        }
+        if lsn != applied + 1 {
+            return Err(Error::Corrupt(format!(
+                "replication gap: replica at LSN {applied}, received {lsn}"
+            )));
+        }
+        match record {
+            WalRecord::Insert { key, vector, attrs } => {
+                let attr_refs: Vec<(&str, AttrValue)> =
+                    attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                self.insert_impl(*key, vector, &attr_refs, false)?;
+            }
+            WalRecord::Delete { key } => self.delete(*key)?,
+        }
+        Ok(true)
+    }
+
+    /// Apply a shipped replication stream ([`vdb_storage::ship_record`]
+    /// frames). A torn tail — the stream was cut mid-frame — applies the
+    /// complete record prefix and stops cleanly, exactly like WAL replay;
+    /// duplicates are skipped per [`Collection::apply_replicated`].
+    /// Returns the replica's LSN after the apply.
+    pub fn apply_replication_stream(&mut self, stream: &[u8]) -> Result<u64> {
+        for shipped in decode_shipped(stream)? {
+            self.apply_replicated(shipped.lsn, &shipped.record)?;
+        }
+        Ok(self.replication_lsn())
+    }
+
+    /// Export a consistent replica-bootstrap state: the LSN, an encoded
+    /// snapshot of the merged main part, and the buffered WAL tail as a
+    /// shipped stream (positional LSNs — the installer trusts the
+    /// returned LSN, not the tail stamps). Taken under the merge gate +
+    /// write lock, so the three pieces are mutually consistent even with
+    /// concurrent writers and background merges.
+    pub fn export_replica_state(&self) -> Result<(u64, Vec<u8>, Vec<u8>)> {
+        let _gate = self.inner.merge_gate.lock();
+        let p = self.inner.pending.lock();
+        let m = self.inner.main.read();
+        let snap = self.inner.snapshot_of_main(&m)?;
+        let snap_bytes = snapshot::encode(&snap)?;
+        let tail = wal_tail_of(&p.buffer, &p.buffer_attrs);
+        let mut tail_stream = Vec::new();
+        for (i, rec) in tail.iter().enumerate() {
+            ship_record(&mut tail_stream, i as u64 + 1, rec);
+        }
+        Ok((p.lsn, snap_bytes, tail_stream))
+    }
+
+    /// Install a bootstrap state exported by
+    /// [`Collection::export_replica_state`]: replace the main part with
+    /// the snapshot, reset the buffer, replay the tail, and set the LSN.
+    /// On a durable collection the snapshot is persisted and the local
+    /// WAL rewritten to the tail, so a replica restart recovers the
+    /// installed state. After this returns, the collection's state is
+    /// bit-identical to the primary's at `lsn`.
+    pub fn install_replica_state(
+        &mut self,
+        lsn: u64,
+        snapshot_bytes: &[u8],
+        tail_stream: &[u8],
+    ) -> Result<()> {
+        let snap = snapshot::decode(snapshot_bytes)?;
+        let tail: Vec<WalRecord> = decode_shipped(tail_stream)?
+            .into_iter()
+            .map(|s| s.record)
+            .collect();
+        let disk_snap = snap.clone();
+        self.install_snapshot(snap)?;
+        // Reset the write side and detach WAL + sink for the tail replay
+        // (the replay must neither re-log records the WAL rewrite below
+        // will install wholesale, nor ship them back out).
+        let (wal, sink) = {
+            let mut p = self.inner.pending.lock();
+            let schema = &self.inner.schema;
+            p.buffer = LsmStore::new(
+                schema.dim,
+                schema.metric.clone(),
+                LsmConfig {
+                    memtable_capacity: self.inner.cfg.merge_threshold.max(16),
+                    max_segments: 8,
+                },
+            );
+            p.buffer_attrs.clear();
+            p.shadowed = 0;
+            p.lsn = 0;
+            (p.wal.take(), self.inner.repl.lock().take())
+        };
+        let mut replay_result = Ok(());
+        for rec in &tail {
+            replay_result = match rec {
+                WalRecord::Insert { key, vector, attrs } => {
+                    let attr_refs: Vec<(&str, AttrValue)> =
+                        attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                    self.insert_impl(*key, vector, &attr_refs, true)
+                }
+                WalRecord::Delete { key } => self.delete(*key),
+            };
+            if replay_result.is_err() {
+                break;
+            }
+        }
+        {
+            let mut p = self.inner.pending.lock();
+            p.wal = wal;
+            *self.inner.repl.lock() = sink;
+            replay_result?;
+            if p.wal.is_some() {
+                let path = self
+                    .inner
+                    .snapshot_path()
+                    .expect("durable collection has a wal_dir");
+                snapshot::write(&path, &disk_snap)?;
+                p.wal.as_mut().expect("checked above").rewrite(&tail)?;
+            }
+            p.lsn = lsn;
+        }
+        Ok(())
     }
 
     /// Spawn the maintenance worker (background mode only).

@@ -43,7 +43,9 @@ pub mod profile;
 pub mod schema;
 pub mod vql;
 
-pub use collection::{Collection, CollectionConfig, CollectionStats, MergeMode, SearchHit};
+pub use collection::{
+    Collection, CollectionConfig, CollectionStats, MergeMode, ReplicationSink, SearchHit,
+};
 pub use db::{MaintenanceStats, Vdbms, VqlOutput};
 pub use dsl::SearchRequest;
 pub use embed::TextEmbedder;

@@ -25,6 +25,7 @@ fn full_fanout_equals_single_node_for_all_configs() {
                 policy,
                 probe_shards: None,
                 seed: 42,
+                hedge_delay: None,
             };
             let d = DistributedIndex::build(&data, Metric::Euclidean, cfg, &flat_builder).unwrap();
             for q in queries.iter() {

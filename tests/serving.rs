@@ -10,7 +10,7 @@ use vdb_core::{dataset, FlatIndex, Metric, Rng, SearchParams, VectorIndex, Vecto
 use vdb_distributed::{
     serve_index, DistributedConfig, DistributedIndex, RemoteShard, RemoteShardConfig, ShardHandle,
 };
-use vdb_server::{serve, Client, RateLimit, Request, Response, ServerConfig};
+use vdb_server::{serve, Client, ErrorCode, RateLimit, Request, Response, ServerConfig};
 
 fn fixture_db(n: usize, dim: usize) -> Vdbms {
     let mut db = Vdbms::new(SystemProfile::MostlyVector);
@@ -340,9 +340,11 @@ fn bulk_lane_sheds_before_interactive_searches() {
     handle.shutdown();
 }
 
-/// Per-collection token buckets: a limited collection sheds BUSY once
-/// its burst is spent (counted in `rate_limited`), while an unlimited
-/// collection on the same server is untouched.
+/// Per-collection token buckets: a limited collection sheds with the
+/// dedicated RATE_LIMITED error code once its burst is spent (counted in
+/// `rate_limited` AND `busy` — the plain Busy opcode stays reserved for
+/// queue overload), while an unlimited collection on the same server is
+/// untouched.
 #[test]
 fn per_collection_rate_limit_sheds_and_counts() {
     let mut db = fixture_db(32, 4);
@@ -375,16 +377,23 @@ fn per_collection_rate_limit_sheds_and_counts() {
         params: SearchParams::default(),
         query: vec![target as f32 + 0.1, 0.0, 0.0, 0.0],
     };
-    let (mut hits, mut busy) = (0, 0);
+    let (mut hits, mut limited) = (0, 0);
     for i in 0..5u64 {
         match call_raw(addr, search("docs", i)) {
             Response::Hits(_) => hits += 1,
-            Response::Busy => busy += 1,
+            Response::Error {
+                code: ErrorCode::RateLimited,
+                ..
+            } => limited += 1,
+            Response::Busy => panic!(
+                "rate-limit sheds must use the RATE_LIMITED code, \
+                 not the queue-overload Busy opcode"
+            ),
             other => panic!("unexpected response {other:?}"),
         }
     }
     assert_eq!(hits, 2, "the burst allowance must be served");
-    assert_eq!(busy, 3, "past the burst the bucket must shed");
+    assert_eq!(limited, 3, "past the burst the bucket must shed");
     for i in 0..5u64 {
         assert!(
             matches!(call_raw(addr, search("free", i)), Response::Hits(_)),
