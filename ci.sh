@@ -93,4 +93,17 @@ VDB_DISK_PREFETCH=0 cargo test -q --release --test disk_pipeline
 VDB_DISK_PREFETCH=1 cargo test -q --release --test disk_pipeline
 VDB_FORCE_SCALAR=1 cargo test -q --release --test disk_pipeline
 
+echo "== hybrid text + vector: fusion correctness, scalar kernels, merge modes =="
+# The hybrid subsystem (DESIGN.md §15) must rank identically no matter
+# which kernels or merge machinery sit underneath: the acceptance suite
+# (BM25 vs naive reference, block-max skipping equivalence, predicate-
+# respecting deterministic fusion, background-merge freshness,
+# distributed fusion parity) runs plain and with SIMD pinned to the
+# scalar fallback; the torn-snapshot sweep of the inverted index rides
+# in crash_recovery above. VDB_BUILD_THREADS=4 re-proves fusion
+# determinism when index builds are parallel.
+cargo test -q --release --test hybrid_text
+VDB_FORCE_SCALAR=1 cargo test -q --release --test hybrid_text
+VDB_BUILD_THREADS=4 cargo test -q --release --test hybrid_text
+
 echo "ci.sh: all green"

@@ -16,9 +16,9 @@ pub mod serving;
 use crate::Scale;
 
 /// All experiment ids in presentation order.
-pub const ALL: [&str; 21] = [
-    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "f4", "t4", "f5", "f6", "r1", "f7", "d1", "f8", "t5",
-    "k1", "s1", "s2", "m1", "s3",
+pub const ALL: [&str; 22] = [
+    "f1", "t1", "b1", "t2", "f2", "f3", "t3", "h1", "f4", "t4", "f5", "f6", "r1", "f7", "d1", "f8",
+    "t5", "k1", "s1", "s2", "m1", "s3",
 ];
 
 /// Dispatch one experiment by id.
@@ -31,6 +31,7 @@ pub fn run(id: &str, scale: Scale) -> vdb_core::Result<()> {
         "f2" => compression::f2_lsh_sweep(scale),
         "f3" => hybrid::f3_strategies_vs_selectivity(scale),
         "t3" => hybrid::t3_plan_selection(scale),
+        "h1" => hybrid::h1_text_fusion(scale),
         "f4" => execution::f4_batched_queries(scale),
         "t4" => execution::t4_multivector(scale),
         "f5" => scale_out::f5_distributed(scale),

@@ -20,10 +20,10 @@ fn unknown_experiment_is_rejected() {
 }
 
 #[test]
-fn registry_lists_all_twenty_one() {
-    assert_eq!(experiments::ALL.len(), 21);
+fn registry_lists_all_twenty_two() {
+    assert_eq!(experiments::ALL.len(), 22);
     let set: std::collections::HashSet<_> = experiments::ALL.iter().collect();
-    assert_eq!(set.len(), 21, "no duplicate experiment ids");
+    assert_eq!(set.len(), 22, "no duplicate experiment ids");
 }
 
 #[test]

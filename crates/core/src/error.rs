@@ -32,6 +32,16 @@ pub enum Error {
     InvalidQuery(String),
     /// Parsing a textual query failed.
     Parse(String),
+    /// Parsing a textual query failed at a known character offset — the
+    /// typed form surfaced by the VQL parser (and over the wire), so
+    /// clients can point at the offending token instead of grepping a
+    /// message string.
+    ParseAt {
+        /// What went wrong.
+        msg: String,
+        /// Character offset of the offending token in the statement.
+        pos: usize,
+    },
     /// The storage layer failed.
     Io(std::io::Error),
     /// Data on disk is corrupt or has an unexpected format.
@@ -74,6 +84,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::ParseAt { msg, pos } => write!(f, "parse error at {pos}: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),

@@ -236,6 +236,179 @@ fn visit_first(
         .search_filtered_with(sctx, &query.vector, query.k, &query.params, &compiled)
 }
 
+// ---------------------------------------------------------------------
+// Hybrid text + vector fusion operators (§2.3).
+
+/// How BM25 and similarity scores combine into one ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fusion {
+    /// Reciprocal rank fusion: `Σ 1/(k0 + rank)` over the two rankings.
+    /// Rank-only, so it needs no score normalization.
+    Rrf {
+        /// Rank damping constant (60 in the original RRF paper).
+        k0: u32,
+    },
+    /// Convex score combination `α·sim + (1-α)·bm25`, both min-max
+    /// normalized within the candidate list.
+    Convex {
+        /// Weight of the vector similarity (`1.0` = vector only).
+        alpha: f32,
+    },
+}
+
+impl Default for Fusion {
+    fn default() -> Self {
+        Fusion::Rrf { k0: 60 }
+    }
+}
+
+/// Physical strategy for a hybrid text + vector query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridStrategy {
+    /// Run the text index first; compute exact distances only for its
+    /// top candidates. Wins when the text predicate is selective.
+    TextFirst,
+    /// Run the vector index first; BM25-score only its top candidates.
+    /// Wins when the text predicate matches most of the corpus.
+    VectorFirst,
+    /// Run both retrievers to top-M and fuse their union.
+    Fused,
+}
+
+impl HybridStrategy {
+    /// Every strategy, for sweeps.
+    pub const ALL: [HybridStrategy; 3] = [
+        HybridStrategy::TextFirst,
+        HybridStrategy::VectorFirst,
+        HybridStrategy::Fused,
+    ];
+
+    /// Stable lowercase name (wire format, VQL, harness tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HybridStrategy::TextFirst => "text_first",
+            HybridStrategy::VectorFirst => "vector_first",
+            HybridStrategy::Fused => "fused",
+        }
+    }
+
+    /// Inverse of [`HybridStrategy::name`].
+    pub fn parse(name: &str) -> Option<HybridStrategy> {
+        HybridStrategy::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One candidate entering fusion: both component scores attached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridCandidate {
+    /// External entity key.
+    pub key: u64,
+    /// Vector distance (lower is better).
+    pub dist: f32,
+    /// BM25 score (higher is better; 0 when no query term matches).
+    pub text_score: f32,
+}
+
+/// One fused result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridHit {
+    /// External entity key.
+    pub key: u64,
+    /// Vector distance of the entity.
+    pub dist: f32,
+    /// BM25 score of the entity.
+    pub text_score: f32,
+    /// The fused score (higher is better) the ranking is by.
+    pub fused: f32,
+}
+
+/// Fuse a candidate list into a ranked top-`k`.
+///
+/// Pure function of the candidate *set*: ranks and normalization bounds
+/// are derived internally with total tie-breaks (distance then key, and
+/// score then key), so coordinators that re-score the same candidates
+/// reproduce single-node fusion exactly.
+pub fn fuse(candidates: &[HybridCandidate], fusion: Fusion, k: usize) -> Vec<HybridHit> {
+    let mut hits: Vec<HybridHit> = match fusion {
+        Fusion::Rrf { k0 } => {
+            let mut by_vec: Vec<usize> = (0..candidates.len()).collect();
+            by_vec.sort_by(|&a, &b| {
+                candidates[a]
+                    .dist
+                    .total_cmp(&candidates[b].dist)
+                    .then(candidates[a].key.cmp(&candidates[b].key))
+            });
+            let mut by_text: Vec<usize> = (0..candidates.len()).collect();
+            by_text.sort_by(|&a, &b| {
+                candidates[b]
+                    .text_score
+                    .total_cmp(&candidates[a].text_score)
+                    .then(candidates[a].key.cmp(&candidates[b].key))
+            });
+            let mut fused = vec![0.0f32; candidates.len()];
+            for (rank, &i) in by_vec.iter().enumerate() {
+                fused[i] += 1.0 / (k0 as f32 + rank as f32 + 1.0);
+            }
+            for (rank, &i) in by_text.iter().enumerate() {
+                fused[i] += 1.0 / (k0 as f32 + rank as f32 + 1.0);
+            }
+            candidates
+                .iter()
+                .zip(fused)
+                .map(|(c, f)| HybridHit {
+                    key: c.key,
+                    dist: c.dist,
+                    text_score: c.text_score,
+                    fused: f,
+                })
+                .collect()
+        }
+        Fusion::Convex { alpha } => {
+            let (mut dlo, mut dhi) = (f32::INFINITY, f32::NEG_INFINITY);
+            let (mut tlo, mut thi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for c in candidates {
+                dlo = dlo.min(c.dist);
+                dhi = dhi.max(c.dist);
+                tlo = tlo.min(c.text_score);
+                thi = thi.max(c.text_score);
+            }
+            candidates
+                .iter()
+                .map(|c| {
+                    // Distances invert (lower = more similar); a
+                    // degenerate span means every candidate ties.
+                    let sim = if dhi > dlo {
+                        (dhi - c.dist) / (dhi - dlo)
+                    } else {
+                        1.0
+                    };
+                    let txt = if thi > tlo {
+                        (c.text_score - tlo) / (thi - tlo)
+                    } else if thi > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    HybridHit {
+                        key: c.key,
+                        dist: c.dist,
+                        text_score: c.text_score,
+                        fused: alpha * sim + (1.0 - alpha) * txt,
+                    }
+                })
+                .collect()
+        }
+    };
+    hits.sort_by(|a, b| {
+        b.fused
+            .total_cmp(&a.fused)
+            .then(a.dist.total_cmp(&b.dist))
+            .then(a.key.cmp(&b.key))
+    });
+    hits.truncate(k);
+    hits
+}
+
 fn check_dims(ctx: &QueryContext<'_>, query: &VectorQuery) -> Result<()> {
     if query.vector.len() != ctx.vectors.dim() {
         return Err(Error::DimensionMismatch {
@@ -381,6 +554,80 @@ mod tests {
         let out = execute(&ctx, &q, Strategy::BruteForce).unwrap();
         assert!(out.len() < 50);
         assert!(out.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));
+    }
+
+    fn fusion_candidates() -> Vec<HybridCandidate> {
+        vec![
+            HybridCandidate {
+                key: 1,
+                dist: 0.1,
+                text_score: 0.0,
+            },
+            HybridCandidate {
+                key: 2,
+                dist: 0.5,
+                text_score: 3.0,
+            },
+            HybridCandidate {
+                key: 3,
+                dist: 0.9,
+                text_score: 5.0,
+            },
+            HybridCandidate {
+                key: 4,
+                dist: 0.2,
+                text_score: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn rrf_fuses_by_rank_and_is_order_independent() {
+        let cands = fusion_candidates();
+        let fused = fuse(&cands, Fusion::Rrf { k0: 60 }, 4);
+        assert_eq!(fused.len(), 4);
+        // key 4: vector rank 2, text rank 3 — beats key 1 (ranks 1, 4)?
+        // 1/62+1/63 vs 1/61+1/64: compare explicitly instead of guessing.
+        let score = |v: u32, t: u32| 1.0 / (60.0 + v as f32) + 1.0 / (60.0 + t as f32);
+        let by_key = |k: u64| fused.iter().find(|h| h.key == k).unwrap().fused;
+        assert_eq!(by_key(1), score(1, 4));
+        assert_eq!(by_key(2), score(3, 2));
+        assert_eq!(by_key(3), score(4, 1));
+        assert_eq!(by_key(4), score(2, 3));
+        // Fusion is a function of the candidate *set*.
+        let mut rev = cands.clone();
+        rev.reverse();
+        assert_eq!(fuse(&rev, Fusion::Rrf { k0: 60 }, 4), fused);
+    }
+
+    #[test]
+    fn convex_interpolates_between_pure_rankings() {
+        let cands = fusion_candidates();
+        let vector_only = fuse(&cands, Fusion::Convex { alpha: 1.0 }, 4);
+        let keys: Vec<u64> = vector_only.iter().map(|h| h.key).collect();
+        assert_eq!(keys, vec![1, 4, 2, 3], "α=1 ranks by distance");
+        let text_only = fuse(&cands, Fusion::Convex { alpha: 0.0 }, 4);
+        let keys: Vec<u64> = text_only.iter().map(|h| h.key).collect();
+        assert_eq!(keys, vec![3, 2, 4, 1], "α=0 ranks by BM25");
+        let mixed = fuse(&cands, Fusion::Convex { alpha: 0.5 }, 2);
+        assert_eq!(mixed.len(), 2);
+        assert!(mixed[0].fused >= mixed[1].fused);
+    }
+
+    #[test]
+    fn fusion_handles_degenerate_candidate_sets() {
+        assert!(fuse(&[], Fusion::default(), 5).is_empty());
+        let one = [HybridCandidate {
+            key: 9,
+            dist: 0.3,
+            text_score: 0.0,
+        }];
+        for f in [Fusion::Rrf { k0: 60 }, Fusion::Convex { alpha: 0.7 }] {
+            let out = fuse(&one, f, 5);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].key, 9);
+            assert!(out[0].fused.is_finite());
+        }
     }
 
     #[test]

@@ -30,10 +30,14 @@ pub mod multivector;
 pub mod optimizer;
 pub mod plan;
 pub mod selectivity;
+pub mod text;
 
 pub use batch::{execute_batch, BatchOptions};
 pub use compiled::CompiledPredicate;
-pub use exec::{execute, execute_with, PredicateFilter, QueryContext};
+pub use exec::{
+    execute, execute_with, fuse, Fusion, HybridCandidate, HybridHit, HybridStrategy,
+    PredicateFilter, QueryContext,
+};
 pub use expr::{CmpOp, Predicate};
 pub use incremental::IncrementalSearch;
 pub use multivector::{
@@ -41,3 +45,5 @@ pub use multivector::{
 };
 pub use optimizer::{CostModel, Planner, PlannerMode};
 pub use plan::{PhysicalPlan, Strategy, VectorQuery};
+pub use selectivity::text_selectivity;
+pub use text::{bm25_score, tokenize, CorpusStats, TextHit, TextIndex, DEFAULT_STOPWORDS};

@@ -10,7 +10,7 @@
 //!   distance-evaluation units and picks the cheapest plan (AnalyticDB-V,
 //!   Milvus).
 
-use crate::exec::QueryContext;
+use crate::exec::{HybridStrategy, QueryContext};
 use crate::plan::{PhysicalPlan, Strategy, VectorQuery};
 use crate::selectivity;
 
@@ -126,6 +126,12 @@ pub struct Planner {
     pub pre_filter_below: f64,
     /// Rule-based threshold: above this selectivity, post-filter.
     pub post_filter_above: f64,
+    /// Hybrid rule threshold: below this *text* selectivity, run the
+    /// inverted index first and rescore its matches by distance.
+    pub text_first_below: f64,
+    /// Hybrid rule threshold: above this text selectivity, run the
+    /// vector index first and BM25-rescore its matches.
+    pub vector_first_above: f64,
 }
 
 impl Planner {
@@ -136,6 +142,48 @@ impl Planner {
             cost_model: CostModel::default(),
             pre_filter_below: 0.01,
             post_filter_above: 0.30,
+            text_first_below: 0.05,
+            vector_first_above: 0.50,
+        }
+    }
+
+    /// Choose a hybrid text + vector strategy from the estimated text
+    /// selectivity (fraction of documents matching any query term; see
+    /// [`selectivity::text_selectivity`]).
+    ///
+    /// - **Fixed** mode always runs both retrievers ([`HybridStrategy::Fused`]).
+    /// - **Rule-based** applies the `text_first_below` /
+    ///   `vector_first_above` thresholds.
+    /// - **Cost-based** compares a postings-scan cost (`s·n` + M exact
+    ///   distances) against an index-probe cost (M neighbor expansions +
+    ///   M term lookups) and hedges with `Fused` when neither wins by 2×.
+    pub fn plan_hybrid(&self, n: usize, k: usize, text_selectivity: f64) -> HybridStrategy {
+        let s = text_selectivity.clamp(0.0, 1.0);
+        match self.mode {
+            PlannerMode::Fixed(_) => HybridStrategy::Fused,
+            PlannerMode::RuleBased => {
+                if s < self.text_first_below {
+                    HybridStrategy::TextFirst
+                } else if s > self.vector_first_above {
+                    HybridStrategy::VectorFirst
+                } else {
+                    HybridStrategy::Fused
+                }
+            }
+            PlannerMode::CostBased => {
+                let m = (4 * k.max(1)).max(32).min(n.max(1)) as f64;
+                let text_cost = s * n as f64 + m;
+                let vector_cost = self.cost_model.probe_overhead
+                    + m * self.cost_model.graph_degree
+                    + m * self.cost_model.predicate_eval;
+                if text_cost * 2.0 < vector_cost {
+                    HybridStrategy::TextFirst
+                } else if vector_cost * 2.0 < text_cost {
+                    HybridStrategy::VectorFirst
+                } else {
+                    HybridStrategy::Fused
+                }
+            }
         }
     }
 
@@ -349,6 +397,33 @@ mod tests {
         assert!(plan.est_cost > 0.0);
         assert!(!out.is_empty());
         assert!(out.iter().all(|n| q.predicate.eval(&f.attrs, n.id)));
+    }
+
+    #[test]
+    fn hybrid_strategy_tracks_text_selectivity() {
+        let rule = Planner::new(PlannerMode::RuleBased);
+        assert_eq!(
+            rule.plan_hybrid(10_000, 10, 0.001),
+            HybridStrategy::TextFirst
+        );
+        assert_eq!(
+            rule.plan_hybrid(10_000, 10, 0.9),
+            HybridStrategy::VectorFirst
+        );
+        assert_eq!(rule.plan_hybrid(10_000, 10, 0.2), HybridStrategy::Fused);
+        let fixed = Planner::new(PlannerMode::Fixed(Strategy::PostFilter));
+        assert_eq!(fixed.plan_hybrid(10_000, 10, 0.001), HybridStrategy::Fused);
+        let cost = Planner::new(PlannerMode::CostBased);
+        // Rare terms: postings scan is far cheaper than index probes.
+        assert_eq!(
+            cost.plan_hybrid(100_000, 10, 0.0001),
+            HybridStrategy::TextFirst
+        );
+        // Ubiquitous terms: the postings union is ~the whole corpus.
+        assert_eq!(
+            cost.plan_hybrid(100_000, 10, 0.95),
+            HybridStrategy::VectorFirst
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! experiment T3.
 
 use crate::expr::{CmpOp, Predicate};
+use crate::text::TextIndex;
 use vdb_core::attr::AttrValue;
 use vdb_storage::{AttributeStore, ColumnStats};
 
@@ -59,6 +60,28 @@ pub fn estimate(pred: &Predicate, store: &AttributeStore) -> f64 {
         Predicate::Not(p) => 1.0 - estimate(p, store),
     };
     s.clamp(0.0, 1.0)
+}
+
+/// Estimate the fraction of documents matching *any* term of a text
+/// query, from the inverted index's document frequencies under an
+/// independence assumption (`1 - Π(1 - df_i/N)`). This grounds the
+/// planner's hybrid strategy choice: a query of rare terms touches a
+/// short postings union (text-first wins), a query of ubiquitous terms
+/// matches nearly everything (vector-first wins).
+pub fn text_selectivity(index: &TextIndex, query: &str) -> f64 {
+    let n = index.n_docs();
+    if n == 0 {
+        return 0.0;
+    }
+    let terms = index.query_terms(query);
+    if terms.is_empty() {
+        return 0.0;
+    }
+    let miss: f64 = terms
+        .iter()
+        .map(|(t, _)| 1.0 - index.df(t) as f64 / n as f64)
+        .product();
+    (1.0 - miss).clamp(0.0, 1.0)
 }
 
 fn eq_selectivity(stats: &ColumnStats, rows: usize) -> f64 {
@@ -207,6 +230,31 @@ mod tests {
             let e = estimate(&p, &s);
             assert!((0.0..=1.0).contains(&e), "{p}: {e}");
         }
+    }
+
+    #[test]
+    fn text_selectivity_matches_exact_document_frequency() {
+        let mut ix = TextIndex::new();
+        for i in 0..100 {
+            // "common" in every doc, "rare" in 5%, "unique" in one.
+            let mut d = String::from("common filler words");
+            if i % 20 == 0 {
+                d.push_str(" rare");
+            }
+            if i == 42 {
+                d.push_str(" unique");
+            }
+            ix.push_doc(&d);
+        }
+        assert_eq!(text_selectivity(&ix, "common"), 1.0);
+        assert!((text_selectivity(&ix, "rare") - 0.05).abs() < 1e-9);
+        assert!((text_selectivity(&ix, "unique") - 0.01).abs() < 1e-9);
+        assert_eq!(text_selectivity(&ix, "absent"), 0.0);
+        assert_eq!(text_selectivity(&ix, ""), 0.0);
+        // Union of independent terms ≥ each alone, ≤ their sum.
+        let both = text_selectivity(&ix, "rare unique");
+        assert!((0.05..=0.06 + 1e-9).contains(&both), "{both}");
+        assert_eq!(text_selectivity(&TextIndex::new(), "anything"), 0.0);
     }
 
     #[test]

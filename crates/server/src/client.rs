@@ -11,12 +11,15 @@
 //! the race where the peer dies between the probe and the write.
 
 use crate::protocol::{
-    ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+    FusedHit, ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
 };
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use vdb::{SearchHit, VqlOutput};
+use vdb::{
+    CorpusStats, Fusion, HybridDetail, HybridHit, HybridResult, HybridStrategy, SearchHit,
+    VqlOutput,
+};
 use vdb_core::attr::AttrValue;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
@@ -286,6 +289,41 @@ impl Client {
         }
     }
 
+    /// Hybrid text + vector search: BM25 over the collection's inverted
+    /// index fused with k-NN, returning the same [`HybridResult`] an
+    /// in-process caller would get. `strategy: None` lets the server's
+    /// planner pick the retrieval order from the text predicate's
+    /// estimated selectivity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_search(
+        &self,
+        collection: &str,
+        query: &[f32],
+        text: &str,
+        k: usize,
+        fusion: Fusion,
+        strategy: Option<HybridStrategy>,
+        params: &SearchParams,
+    ) -> Result<HybridResult> {
+        let req = Request::HybridSearch {
+            collection: collection.into(),
+            k: k as u32,
+            params: params.clone(),
+            query: query.to_vec(),
+            text: text.into(),
+            fusion,
+            strategy,
+        };
+        match self.expect(&req)? {
+            Response::Fused {
+                hits,
+                stats,
+                strategy,
+            } => Ok(assemble_hybrid(hits, stats, strategy)),
+            other => Err(unexpected("Fused", &other)),
+        }
+    }
+
     /// Execute one VQL statement on the server.
     pub fn vql(&self, statement: &str) -> Result<VqlOutput> {
         let req = Request::Vql {
@@ -293,9 +331,14 @@ impl Client {
         };
         Ok(match self.expect(&req)? {
             Response::Hits(hits) => VqlOutput::Hits(hits),
+            Response::Fused {
+                hits,
+                stats,
+                strategy,
+            } => VqlOutput::FusedHits(assemble_hybrid(hits, stats, strategy)),
             Response::Count(n) => VqlOutput::Count(n as usize),
             Response::Done => VqlOutput::Done,
-            other => return Err(unexpected("Hits/Count/Done", &other)),
+            other => return Err(unexpected("Hits/Fused/Count/Done", &other)),
         })
     }
 
@@ -413,6 +456,36 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
     Error::Corrupt(format!("expected {wanted} response, got {got:?}"))
+}
+
+/// Reassemble a wire `Fused` response into the [`HybridResult`] shape
+/// in-process callers get, splitting each hit back into ranking + BM25
+/// evidence.
+fn assemble_hybrid(
+    hits: Vec<FusedHit>,
+    stats: CorpusStats,
+    strategy: HybridStrategy,
+) -> HybridResult {
+    let mut ranked = Vec::with_capacity(hits.len());
+    let mut details = Vec::with_capacity(hits.len());
+    for h in hits {
+        ranked.push(HybridHit {
+            key: h.key,
+            dist: h.dist,
+            text_score: h.text_score,
+            fused: h.fused,
+        });
+        details.push(HybridDetail {
+            doc_len: h.doc_len,
+            tfs: h.tfs,
+        });
+    }
+    HybridResult {
+        hits: ranked,
+        details,
+        stats,
+        strategy,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ use crate::client::{Client, ClientConfig};
 use crate::protocol::{ErrorCode, Request, Response};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vdb::SearchHit;
+use vdb::{
+    bm25_score, fuse, CorpusStats, Fusion, HybridCandidate, HybridResult, HybridStrategy,
+    SearchHit, TextIndex, DEFAULT_STOPWORDS,
+};
 use vdb_core::attr::AttrValue;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
@@ -279,5 +282,96 @@ impl ClusterClient {
         });
         merged.truncate(k);
         Ok(merged)
+    }
+
+    /// Scatter a hybrid text + vector search to every shard primary and
+    /// merge rank-aware: shard BM25 scores are computed under *local*
+    /// statistics, so the coordinator re-scores every candidate from its
+    /// shipped integer evidence (`doc_len`, per-term `tfs`) under the
+    /// element-wise sum of the shard statistics — shards hold disjoint
+    /// keys, so the sum is the exact global corpus — and re-fuses the
+    /// union. Because scoring and fusion go through the same pure
+    /// functions the shards use, the merged ranking is identical to what
+    /// a single node holding the whole corpus would return (given the
+    /// per-shard `k` covers the global top-k candidates).
+    ///
+    /// Unreachable shards degrade the result like [`ClusterClient::search`].
+    /// The reported strategy is the caller's forced choice, or the first
+    /// reachable shard's planner decision under "auto" (shards may
+    /// legitimately differ when their local selectivities do).
+    pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        text: &str,
+        k: usize,
+        fusion: Fusion,
+        strategy: Option<HybridStrategy>,
+        params: &SearchParams,
+    ) -> Result<HybridResult> {
+        let primaries: Vec<String> = {
+            let m = self.manifest.lock();
+            m.primaries().into_iter().map(String::from).collect()
+        };
+        let collection = &self.collection;
+        let results: Vec<Option<HybridResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = primaries
+                .iter()
+                .map(|addr| {
+                    s.spawn(move || {
+                        let client = self.client_for(addr).ok()?;
+                        client
+                            .hybrid_search(collection, query, text, k, fusion, strategy, params)
+                            .ok()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(None))
+                .collect()
+        });
+        let mut stats = CorpusStats::default();
+        let mut pool = Vec::new();
+        let mut executed: Option<HybridStrategy> = None;
+        let mut reachable = 0usize;
+        for shard in results.into_iter().flatten() {
+            reachable += 1;
+            stats.add(&shard.stats);
+            executed.get_or_insert(shard.strategy);
+            pool.extend(shard.hits.into_iter().zip(shard.details));
+        }
+        if reachable == 0 {
+            return Err(Error::Io(std::io::Error::other(
+                "no shard primary reachable",
+            )));
+        }
+        // Every analyzer in the system runs the default stopword list, so
+        // the client derives the same query terms — in the same order —
+        // the shards aligned their `tfs`/`dfs` vectors to.
+        let terms = TextIndex::with_stopwords(DEFAULT_STOPWORDS.iter().copied()).query_terms(text);
+        let candidates: Vec<HybridCandidate> = pool
+            .iter()
+            .map(|(h, d)| HybridCandidate {
+                key: h.key,
+                dist: h.dist,
+                text_score: bm25_score(&terms, &d.tfs, d.doc_len, &stats),
+            })
+            .collect();
+        let hits = fuse(&candidates, fusion, k);
+        let details = hits
+            .iter()
+            .map(|h| {
+                pool.iter()
+                    .find(|(p, _)| p.key == h.key)
+                    .map(|(_, d)| d.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        Ok(HybridResult {
+            hits,
+            details,
+            stats,
+            strategy: strategy.or(executed).unwrap_or(HybridStrategy::VectorFirst),
+        })
     }
 }

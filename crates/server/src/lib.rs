@@ -64,7 +64,8 @@ pub mod server;
 pub use client::{Client, ClientConfig};
 pub use cluster::ClusterClient;
 pub use protocol::{
-    ErrorCode, ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+    ErrorCode, FusedHit, ReplicaPayload, Request, Response, ServerStatsSnapshot,
+    WireCollectionStats, WireReplLink,
 };
 pub use replication::{attach_primary, detach_primary, ReplicationConfig, Replicator};
 pub use server::{serve, RateLimit, ServerConfig, ServerHandle};

@@ -25,6 +25,7 @@
 //! | `0x0E` | `ReplInstall` | collection, schema, lsn, snapshot, tail |
 //! | `0x0F` | `ManifestGet` | collection |
 //! | `0x10` | `ManifestPut` | encoded manifest |
+//! | `0x11` | `HybridSearch` | collection, k u32, params, query, text, fusion, strategy |
 //! | `0x81` | `Pong` | — |
 //! | `0x82` | `Done` | — |
 //! | `0x83` | `Hits` | (key u64, dist f32)* |
@@ -36,10 +37,11 @@
 //! | `0x89` | `ReplicaState` | schema, lsn, snapshot, tail |
 //! | `0x8A` | `Manifest` | encoded manifest |
 //! | `0x8B` | `Redirect` | primary address |
+//! | `0x8C` | `Fused` | strategy, corpus stats, (key, dist, text, fused, doc_len, tfs)* |
 //! | `0x8E` | `Busy` | — (admission control shed this request) |
-//! | `0x8F` | `Error` | code u8, message |
+//! | `0x8F` | `Error` | code u8, message (+ pos u32 when code = Parse) |
 
-use vdb::SearchHit;
+use vdb::{CorpusStats, Fusion, HybridStrategy, SearchHit};
 use vdb_core::attr::{AttrType, AttrValue};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
@@ -62,6 +64,7 @@ const OP_REPL_SNAPSHOT: u8 = 0x0D;
 const OP_REPL_INSTALL: u8 = 0x0E;
 const OP_MANIFEST_GET: u8 = 0x0F;
 const OP_MANIFEST_PUT: u8 = 0x10;
+const OP_HYBRID_SEARCH: u8 = 0x11;
 
 const RE_PONG: u8 = 0x81;
 const RE_DONE: u8 = 0x82;
@@ -74,6 +77,7 @@ const RE_REPL_STATE: u8 = 0x88;
 const RE_REPLICA_STATE: u8 = 0x89;
 const RE_MANIFEST: u8 = 0x8A;
 const RE_REDIRECT: u8 = 0x8B;
+const RE_FUSED: u8 = 0x8C;
 const RE_BUSY: u8 = 0x8E;
 const RE_ERROR: u8 = 0x8F;
 
@@ -105,6 +109,11 @@ pub enum ErrorCode {
     /// rate-limit sheds too, so clients must treat both as retryable —
     /// but only this code means "slow down" rather than "queue is full".
     RateLimited = 7,
+    /// A textual statement failed to parse at a known character offset.
+    /// The error response carries an extra `u32` position after the
+    /// message so clients can point at the offending token. Statements
+    /// rejected without position information still travel as `Invalid`.
+    Parse = 8,
 }
 
 impl ErrorCode {
@@ -117,6 +126,7 @@ impl ErrorCode {
             5 => ErrorCode::Shutdown,
             6 => ErrorCode::Internal,
             7 => ErrorCode::RateLimited,
+            8 => ErrorCode::Parse,
             other => return Err(Error::Corrupt(format!("unknown error code {other}"))),
         })
     }
@@ -125,6 +135,7 @@ impl ErrorCode {
     pub fn classify(e: &Error) -> ErrorCode {
         match e {
             Error::RateLimited => ErrorCode::RateLimited,
+            Error::ParseAt { .. } => ErrorCode::Parse,
             Error::Corrupt(_) => ErrorCode::Protocol,
             Error::NotFound(_) => ErrorCode::NotFound,
             Error::DimensionMismatch { .. }
@@ -220,6 +231,47 @@ pub struct ServerStatsSnapshot {
     pub last_swap_micros: u64,
     /// Background merges that failed and were left for retry.
     pub failed_merges: u64,
+    /// Disk-page reads answered from the process-wide page cache.
+    pub cache_hits: u64,
+    /// Disk-page reads that missed the page cache and went to storage.
+    pub cache_misses: u64,
+    /// Per-link replication state for every collection this node is a
+    /// primary of: how far each replica's acknowledged LSN trails the
+    /// WAL the primary retains for it.
+    pub repl_links: Vec<WireReplLink>,
+}
+
+/// One primary→replica shipping link as reported in
+/// [`ServerStatsSnapshot::repl_links`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireReplLink {
+    /// Replica address (`host:port`).
+    pub addr: String,
+    /// Retained-minus-acknowledged LSN gap: how many WAL records the
+    /// primary still holds that this replica has not confirmed.
+    pub lag: u64,
+    /// Whether the link is currently healthy (recent ship succeeded).
+    pub live: bool,
+}
+
+/// One fused hybrid hit as it travels over the wire: the fused ranking
+/// plus the per-document text evidence (`doc_len`, per-term `tfs`) a
+/// distributed merger needs to re-score BM25 under *global* corpus
+/// statistics before re-fusing shard results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedHit {
+    /// Entity key.
+    pub key: u64,
+    /// Vector distance to the query.
+    pub dist: f32,
+    /// BM25 score under the answering node's corpus statistics.
+    pub text_score: f32,
+    /// Fused score the hit was ranked by.
+    pub fused: f32,
+    /// Token count of the document's indexed text.
+    pub doc_len: u32,
+    /// Term frequency per query term, in query-term order.
+    pub tfs: Vec<u32>,
 }
 
 /// Everything a node needs to become a replica of a collection: the
@@ -422,6 +474,27 @@ pub enum Request {
         /// Encoded [`vdb_distributed::ClusterManifest`].
         manifest: Vec<u8>,
     },
+    /// Hybrid text + vector search: BM25 over the collection's inverted
+    /// index fused with k-NN over its vectors. Answered with
+    /// [`Response::Fused`]. Predicated hybrid search travels as VQL
+    /// (`SEARCH … MATCH … WHERE …`) instead.
+    HybridSearch {
+        /// Target collection.
+        collection: String,
+        /// Result size.
+        k: u32,
+        /// Search-time knobs for the vector side.
+        params: SearchParams,
+        /// The query vector.
+        query: Vec<f32>,
+        /// The text query run through the collection's analyzer.
+        text: String,
+        /// How the two rankings are fused.
+        fusion: Fusion,
+        /// Retrieval order, or `None` to let the planner pick from the
+        /// text predicate's estimated selectivity.
+        strategy: Option<HybridStrategy>,
+    },
 }
 
 impl Request {
@@ -435,6 +508,7 @@ impl Request {
             Request::Ping
                 | Request::Search { .. }
                 | Request::SearchBatch { .. }
+                | Request::HybridSearch { .. }
                 | Request::Stats { .. }
                 | Request::ServerStats
                 | Request::ReplStatus { .. }
@@ -486,6 +560,19 @@ pub enum Response {
     ReplicaState(ReplicaPayload),
     /// The node's current manifest (answers `ManifestGet`/`ManifestPut`).
     Manifest(Vec<u8>),
+    /// Fused hybrid hits plus the answering node's corpus statistics, so
+    /// a distributed merger can combine shard answers under exact global
+    /// statistics (disjoint shards sum element-wise).
+    Fused {
+        /// Fused hits, best first.
+        hits: Vec<FusedHit>,
+        /// BM25 statistics of the answering node's corpus, in query-term
+        /// order (matching each hit's `tfs`).
+        stats: CorpusStats,
+        /// Retrieval order the node actually executed (planner-chosen
+        /// when the request said "auto").
+        strategy: HybridStrategy,
+    },
     /// This node is not the primary for the written key; retry at `addr`.
     Redirect {
         /// Address (`host:port`) of the shard's primary.
@@ -499,6 +586,10 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Character offset of the offending token for
+        /// [`ErrorCode::Parse`]; `0` (and absent from the wire) for every
+        /// other code.
+        pos: u32,
     },
 }
 
@@ -552,6 +643,118 @@ fn read_hits(r: &mut Reader<'_>) -> Result<Vec<SearchHit>> {
         out.push(SearchHit { key, dist });
     }
     Ok(out)
+}
+
+const FUSE_RRF: u8 = 1;
+const FUSE_CONVEX: u8 = 2;
+
+fn put_fusion(out: &mut Vec<u8>, fusion: &Fusion) {
+    match fusion {
+        Fusion::Rrf { k0 } => {
+            wire::put_u8(out, FUSE_RRF);
+            wire::put_u32(out, *k0);
+        }
+        Fusion::Convex { alpha } => {
+            wire::put_u8(out, FUSE_CONVEX);
+            wire::put_f32(out, *alpha);
+        }
+    }
+}
+
+fn read_fusion(r: &mut Reader<'_>) -> Result<Fusion> {
+    Ok(match r.u8()? {
+        FUSE_RRF => Fusion::Rrf { k0: r.u32()? },
+        FUSE_CONVEX => Fusion::Convex { alpha: r.f32()? },
+        tag => return Err(Error::Corrupt(format!("unknown fusion tag {tag}"))),
+    })
+}
+
+// Retrieval order on the wire: 0 = planner's choice.
+fn put_strategy(out: &mut Vec<u8>, strategy: &Option<HybridStrategy>) {
+    wire::put_u8(
+        out,
+        match strategy {
+            None => 0,
+            Some(HybridStrategy::TextFirst) => 1,
+            Some(HybridStrategy::VectorFirst) => 2,
+            Some(HybridStrategy::Fused) => 3,
+        },
+    );
+}
+
+fn read_strategy(r: &mut Reader<'_>) -> Result<Option<HybridStrategy>> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(HybridStrategy::TextFirst),
+        2 => Some(HybridStrategy::VectorFirst),
+        3 => Some(HybridStrategy::Fused),
+        tag => return Err(Error::Corrupt(format!("unknown hybrid strategy tag {tag}"))),
+    })
+}
+
+fn put_fused_hits(out: &mut Vec<u8>, hits: &[FusedHit]) {
+    wire::put_u32(out, hits.len() as u32);
+    for h in hits {
+        wire::put_u64(out, h.key);
+        wire::put_f32(out, h.dist);
+        wire::put_f32(out, h.text_score);
+        wire::put_f32(out, h.fused);
+        wire::put_u32(out, h.doc_len);
+        wire::put_u32(out, h.tfs.len() as u32);
+        for tf in &h.tfs {
+            wire::put_u32(out, *tf);
+        }
+    }
+}
+
+fn read_fused_hits(r: &mut Reader<'_>) -> Result<Vec<FusedHit>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let key = r.u64()?;
+        let dist = r.f32()?;
+        let text_score = r.f32()?;
+        let fused = r.f32()?;
+        let doc_len = r.u32()?;
+        let n_tfs = r.u32()? as usize;
+        let mut tfs = Vec::with_capacity(n_tfs.min(1024));
+        for _ in 0..n_tfs {
+            tfs.push(r.u32()?);
+        }
+        out.push(FusedHit {
+            key,
+            dist,
+            text_score,
+            fused,
+            doc_len,
+            tfs,
+        });
+    }
+    Ok(out)
+}
+
+fn put_corpus_stats(out: &mut Vec<u8>, stats: &CorpusStats) {
+    wire::put_u64(out, stats.n_docs);
+    wire::put_u64(out, stats.total_len);
+    wire::put_u32(out, stats.dfs.len() as u32);
+    for df in &stats.dfs {
+        wire::put_u64(out, *df);
+    }
+}
+
+fn read_corpus_stats(r: &mut Reader<'_>) -> Result<CorpusStats> {
+    let n_docs = r.u64()?;
+    let total_len = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut dfs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        dfs.push(r.u64()?);
+    }
+    Ok(CorpusStats {
+        n_docs,
+        total_len,
+        dfs,
+    })
 }
 
 impl Request {
@@ -648,6 +851,24 @@ impl Request {
                 wire::put_u8(&mut out, OP_MANIFEST_PUT);
                 wire::put_bytes(&mut out, manifest);
             }
+            Request::HybridSearch {
+                collection,
+                k,
+                params,
+                query,
+                text,
+                fusion,
+                strategy,
+            } => {
+                wire::put_u8(&mut out, OP_HYBRID_SEARCH);
+                wire::put_str(&mut out, collection);
+                wire::put_u32(&mut out, *k);
+                wire::put_search_params(&mut out, params);
+                wire::put_vec_f32(&mut out, query);
+                wire::put_str(&mut out, text);
+                put_fusion(&mut out, fusion);
+                put_strategy(&mut out, strategy);
+            }
         }
         out
     }
@@ -738,6 +959,24 @@ impl Request {
             OP_MANIFEST_PUT => Request::ManifestPut {
                 manifest: r.bytes()?,
             },
+            OP_HYBRID_SEARCH => {
+                let collection = r.str()?;
+                let k = r.u32()?;
+                let params = wire::read_search_params(&mut r)?;
+                let query = r.vec_f32()?;
+                let text = r.str()?;
+                let fusion = read_fusion(&mut r)?;
+                let strategy = read_strategy(&mut r)?;
+                Request::HybridSearch {
+                    collection,
+                    k,
+                    params,
+                    query,
+                    text,
+                    fusion,
+                    strategy,
+                }
+            }
             op => return Err(Error::Corrupt(format!("unknown request opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -804,6 +1043,14 @@ impl Response {
                 wire::put_u64(&mut out, s.rebuilds_in_flight);
                 wire::put_u64(&mut out, s.last_swap_micros);
                 wire::put_u64(&mut out, s.failed_merges);
+                wire::put_u64(&mut out, s.cache_hits);
+                wire::put_u64(&mut out, s.cache_misses);
+                wire::put_u32(&mut out, s.repl_links.len() as u32);
+                for link in &s.repl_links {
+                    wire::put_str(&mut out, &link.addr);
+                    wire::put_u64(&mut out, link.lag);
+                    wire::put_u8(&mut out, u8::from(link.live));
+                }
             }
             Response::ReplState { lsn } => {
                 wire::put_u8(&mut out, RE_REPL_STATE);
@@ -821,11 +1068,24 @@ impl Response {
                 wire::put_u8(&mut out, RE_REDIRECT);
                 wire::put_str(&mut out, addr);
             }
+            Response::Fused {
+                hits,
+                stats,
+                strategy,
+            } => {
+                wire::put_u8(&mut out, RE_FUSED);
+                put_strategy(&mut out, &Some(*strategy));
+                put_corpus_stats(&mut out, stats);
+                put_fused_hits(&mut out, hits);
+            }
             Response::Busy => wire::put_u8(&mut out, RE_BUSY),
-            Response::Error { code, message } => {
+            Response::Error { code, message, pos } => {
                 wire::put_u8(&mut out, RE_ERROR);
                 wire::put_u8(&mut out, *code as u8);
                 wire::put_str(&mut out, message);
+                if *code == ErrorCode::Parse {
+                    wire::put_u32(&mut out, *pos);
+                }
             }
         }
         out
@@ -882,16 +1142,48 @@ impl Response {
                 rebuilds_in_flight: r.u64()?,
                 last_swap_micros: r.u64()?,
                 failed_merges: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+                repl_links: {
+                    let n = r.u32()? as usize;
+                    let mut links = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        links.push(WireReplLink {
+                            addr: r.str()?,
+                            lag: r.u64()?,
+                            live: r.u8()? != 0,
+                        });
+                    }
+                    links
+                },
             }),
             RE_REPL_STATE => Response::ReplState { lsn: r.u64()? },
             RE_REPLICA_STATE => Response::ReplicaState(read_replica_payload(&mut r)?),
             RE_MANIFEST => Response::Manifest(r.bytes()?),
             RE_REDIRECT => Response::Redirect { addr: r.str()? },
+            RE_FUSED => {
+                let strategy = read_strategy(&mut r)?.ok_or_else(|| {
+                    Error::Corrupt("fused response must name its executed strategy".into())
+                })?;
+                let stats = read_corpus_stats(&mut r)?;
+                let hits = read_fused_hits(&mut r)?;
+                Response::Fused {
+                    hits,
+                    stats,
+                    strategy,
+                }
+            }
             RE_BUSY => Response::Busy,
-            RE_ERROR => Response::Error {
-                code: ErrorCode::from_u8(r.u8()?)?,
-                message: r.str()?,
-            },
+            RE_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)?;
+                let message = r.str()?;
+                let pos = if code == ErrorCode::Parse {
+                    r.u32()?
+                } else {
+                    0
+                };
+                Response::Error { code, message, pos }
+            }
             op => return Err(Error::Corrupt(format!("unknown response opcode {op:#04x}"))),
         };
         r.finish()?;
@@ -902,9 +1194,15 @@ impl Response {
     pub fn from_error(e: &Error) -> Response {
         match e {
             Error::Busy => Response::Busy,
+            Error::ParseAt { msg, pos } => Response::Error {
+                code: ErrorCode::Parse,
+                message: msg.clone(),
+                pos: *pos as u32,
+            },
             other => Response::Error {
                 code: ErrorCode::classify(other),
                 message: other.to_string(),
+                pos: 0,
             },
         }
     }
@@ -914,11 +1212,15 @@ impl Response {
     pub fn into_result(self) -> Result<Response> {
         match self {
             Response::Busy => Err(Error::Busy),
-            Response::Error { code, message } => Err(match code {
+            Response::Error { code, message, pos } => Err(match code {
                 ErrorCode::NotFound => Error::NotFound(message),
                 ErrorCode::Protocol => Error::Corrupt(message),
                 ErrorCode::Invalid => Error::InvalidQuery(message),
                 ErrorCode::RateLimited => Error::RateLimited,
+                ErrorCode::Parse => Error::ParseAt {
+                    msg: message,
+                    pos: pos as usize,
+                },
                 _ => Error::Unsupported(format!("server error ({code:?}): {message}")),
             }),
             ok => Ok(ok),
@@ -993,6 +1295,24 @@ mod tests {
             Request::ManifestPut {
                 manifest: vec![9, 8, 7],
             },
+            Request::HybridSearch {
+                collection: "docs".into(),
+                k: 5,
+                params: SearchParams::default().with_timeout(Duration::from_millis(100)),
+                query: vec![0.5, -1.5, 2.0],
+                text: "rust systems programming".into(),
+                fusion: Fusion::Convex { alpha: 0.75 },
+                strategy: Some(HybridStrategy::TextFirst),
+            },
+            Request::HybridSearch {
+                collection: "docs".into(),
+                k: 3,
+                params: SearchParams::default(),
+                query: vec![1.0, 2.0],
+                text: String::new(),
+                fusion: Fusion::Rrf { k0: 60 },
+                strategy: None,
+            },
         ]
     }
 
@@ -1057,6 +1377,20 @@ mod tests {
                 rebuilds_in_flight: 1,
                 last_swap_micros: 250,
                 failed_merges: 0,
+                cache_hits: 900,
+                cache_misses: 100,
+                repl_links: vec![
+                    WireReplLink {
+                        addr: "10.0.0.3:7071".into(),
+                        lag: 12,
+                        live: true,
+                    },
+                    WireReplLink {
+                        addr: "10.0.0.4:7071".into(),
+                        lag: 4096,
+                        live: false,
+                    },
+                ],
             }),
             Response::ReplState { lsn: 123 },
             Response::ReplicaState(sample_payload()),
@@ -1064,14 +1398,47 @@ mod tests {
             Response::Redirect {
                 addr: "10.0.0.2:7070".into(),
             },
+            Response::Fused {
+                hits: vec![
+                    FusedHit {
+                        key: 3,
+                        dist: 0.25,
+                        text_score: 2.5,
+                        fused: 0.031,
+                        doc_len: 17,
+                        tfs: vec![2, 0, 1],
+                    },
+                    FusedHit {
+                        key: 9,
+                        dist: 1.5,
+                        text_score: 0.0,
+                        fused: 0.015,
+                        doc_len: 0,
+                        tfs: vec![],
+                    },
+                ],
+                stats: CorpusStats {
+                    n_docs: 1000,
+                    total_len: 23_456,
+                    dfs: vec![40, 0, 7],
+                },
+                strategy: HybridStrategy::Fused,
+            },
             Response::Busy,
             Response::Error {
                 code: ErrorCode::NotFound,
                 message: "collection `ghosts`".into(),
+                pos: 0,
             },
             Response::Error {
                 code: ErrorCode::RateLimited,
                 message: "rate limited".into(),
+                pos: 0,
+            },
+            Response::Error {
+                code: ErrorCode::Parse,
+                message: "expected a number".into(),
+                pos: 23,
             },
         ]
     }
@@ -1128,6 +1495,36 @@ mod tests {
                 _ => assert!(read_only, "{req:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_position_over_the_wire() {
+        let e = Error::ParseAt {
+            msg: "expected `]`".into(),
+            pos: 31,
+        };
+        let resp = Response::from_error(&e);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(resp, decoded);
+        match decoded.into_result().unwrap_err() {
+            Error::ParseAt { msg, pos } => {
+                assert_eq!(msg, "expected `]`");
+                assert_eq!(pos, 31);
+            }
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Non-parse errors stay byte-compatible: no position trailer.
+        let invalid = Response::Error {
+            code: ErrorCode::Invalid,
+            message: "m".into(),
+            pos: 0,
+        };
+        let parse = Response::Error {
+            code: ErrorCode::Parse,
+            message: "m".into(),
+            pos: 0,
+        };
+        assert_eq!(parse.encode().len(), invalid.encode().len() + 4);
     }
 
     #[test]

@@ -95,6 +95,20 @@ impl Replicator {
             .collect()
     }
 
+    /// `(addr, lag, live)` per replica, where lag is how far the link's
+    /// acknowledged LSN trails the newest retained WAL record — the
+    /// shipping backlog a failed-over replica would lose. Zero when the
+    /// retained log is empty (nothing shipped yet).
+    pub fn link_lags(&self) -> Vec<(String, u64, bool)> {
+        let inner = self.inner.lock();
+        let newest = inner.frames.back().map(|(l, _)| *l).unwrap_or(0);
+        inner
+            .links
+            .iter()
+            .map(|l| (l.addr.clone(), newest.saturating_sub(l.lsn), l.live))
+            .collect()
+    }
+
     /// The sink entry point: retain the frame, forward to every live
     /// replica (including any catch-up backlog it is owed), and fail the
     /// write if fewer than `min_acks` replicas hold it.
@@ -272,6 +286,10 @@ pub fn attach_primary(
         client.repl_install(collection, state.clone())?;
         replicator.add_link(addr.clone(), client, state.lsn)?;
     }
+    // Register with the serving node so `ServerStats` reports this
+    // collection's per-link WAL lag; the weak reference dies with the
+    // caller's `Arc`, unregistering the link set automatically.
+    handle.register_replicator(&replicator);
     Ok(replicator)
 }
 

@@ -42,8 +42,10 @@
 //! close.
 
 use crate::protocol::{
-    ErrorCode, ReplicaPayload, Request, Response, ServerStatsSnapshot, WireCollectionStats,
+    ErrorCode, FusedHit, ReplicaPayload, Request, Response, ServerStatsSnapshot,
+    WireCollectionStats, WireReplLink,
 };
+use crate::replication::Replicator;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,7 +54,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vdb::{CollectionSchema, IndexSpec, SearchHit, Vdbms, VqlOutput};
+use vdb::{CollectionSchema, HybridResult, IndexSpec, Predicate, SearchHit, Vdbms, VqlOutput};
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
 use vdb_distributed::wire;
@@ -288,6 +290,7 @@ fn lane_of(request: &Request) -> Lane {
     match request {
         Request::Search { .. }
         | Request::SearchBatch { .. }
+        | Request::HybridSearch { .. }
         | Request::Stats { .. }
         | Request::ServerStats
         | Request::Ping => Lane::Interactive,
@@ -321,7 +324,8 @@ fn charged_collection(request: &Request) -> Option<&str> {
         Request::Insert { collection, .. }
         | Request::Delete { collection, .. }
         | Request::Search { collection, .. }
-        | Request::SearchBatch { collection, .. } => Some(collection),
+        | Request::SearchBatch { collection, .. }
+        | Request::HybridSearch { collection, .. } => Some(collection),
         _ => None,
     }
 }
@@ -423,6 +427,10 @@ struct Shared {
     /// this node routes by, and the address peers reach this node at
     /// (so it can tell "my shard" from "redirect elsewhere").
     cluster: vdb_core::sync::Mutex<Option<ClusterNode>>,
+    /// Replicators this node primaries, registered by `attach_primary`
+    /// so `ServerStats` can report per-link WAL lag. Weak: a replicator
+    /// dies (and drops out of the stats) with its owner's `Arc`.
+    replicators: vdb_core::sync::Mutex<Vec<std::sync::Weak<Replicator>>>,
     /// Which connection core `serve` picked.
     use_event_loop: bool,
     /// Set when the event loop is running, so `begin_stop` can
@@ -450,6 +458,19 @@ impl Shared {
             let lanes = lock_queue(self);
             (lanes.interactive.len() as u64, lanes.bulk.len() as u64)
         };
+        let (cache_hits, cache_misses) = vdb::global_cache_stats();
+        let repl_links = {
+            let mut reg = self.replicators.lock();
+            reg.retain(|w| w.strong_count() > 0);
+            reg.iter()
+                .filter_map(|w| w.upgrade())
+                .flat_map(|r| {
+                    r.link_lags()
+                        .into_iter()
+                        .map(|(addr, lag, live)| WireReplLink { addr, lag, live })
+                })
+                .collect()
+        };
         ServerStatsSnapshot {
             served: self.stats.served.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
@@ -472,6 +493,9 @@ impl Shared {
             rebuilds_in_flight: maint.rebuilds_in_flight,
             last_swap_micros: maint.last_swap_micros,
             failed_merges: maint.failed_merges,
+            cache_hits,
+            cache_misses,
+            repl_links,
         }
     }
 
@@ -556,6 +580,7 @@ fn admit(shared: &Shared, request: Request, reply: Reply) -> Option<Response> {
         return Some(Response::Error {
             code: ErrorCode::Shutdown,
             message: "server is shutting down".into(),
+            pos: 0,
         });
     }
     if let Some(collection) = charged_collection(&request) {
@@ -648,6 +673,11 @@ impl ServerHandle {
         f(&mut write_db(self.shared()))
     }
 
+    /// Track a replicator for the stats plane (see `Shared::replicators`).
+    pub(crate) fn register_replicator(&self, r: &Arc<Replicator>) {
+        self.shared().replicators.lock().push(Arc::downgrade(r));
+    }
+
     /// Whether a client sent a wire `Shutdown` request.
     pub fn shutdown_requested(&self) -> bool {
         self.shared().shutdown_requested.load(Ordering::SeqCst)
@@ -736,6 +766,7 @@ pub fn serve(db: Vdbms, addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<S
         qps: QpsWindow::new(),
         limiters: vdb_core::sync::Mutex::new(HashMap::new()),
         cluster: vdb_core::sync::Mutex::new(None),
+        replicators: vdb_core::sync::Mutex::new(Vec::new()),
         use_event_loop,
         #[cfg(unix)]
         loop_waker: vdb_core::sync::Mutex::new(None),
@@ -861,6 +892,7 @@ fn reader_loop(mut stream: TcpStream, shared: &Shared) {
                 let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: msg,
+                    pos: 0,
                 };
                 write_response(&mut stream, &resp).ok();
                 return;
@@ -887,6 +919,7 @@ fn reader_loop(mut stream: TcpStream, shared: &Shared) {
                 let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: e.to_string(),
+                    pos: 0,
                 };
                 if write_response(&mut stream, &resp).is_err() {
                     return;
@@ -933,6 +966,7 @@ fn dispatch_blocking(shared: &Shared, request: Request) -> Response {
                 Err(_) => Response::Error {
                     code: ErrorCode::Internal,
                     message: "executor dropped the request".into(),
+                    pos: 0,
                 },
             }
         }
@@ -971,6 +1005,7 @@ fn executor_loop(shared: &Shared) {
                 Response::Error {
                     code: ErrorCode::Deadline,
                     message: format!("request waited past its {deadline:?} deadline"),
+                    pos: 0,
                 },
             );
             continue;
@@ -1086,6 +1121,30 @@ fn run_coalesced(shared: &Shared, head: Job) {
     }
 }
 
+/// Flatten a collection's hybrid result into the wire shape: fused
+/// ranking plus the per-document BM25 evidence a distributed merger
+/// needs to re-score under global statistics.
+fn fused_response(result: HybridResult) -> Response {
+    let hits = result
+        .hits
+        .into_iter()
+        .zip(result.details)
+        .map(|(h, d)| FusedHit {
+            key: h.key,
+            dist: h.dist,
+            text_score: h.text_score,
+            fused: h.fused,
+            doc_len: d.doc_len,
+            tfs: d.tfs,
+        })
+        .collect();
+    Response::Fused {
+        hits,
+        stats: result.stats,
+        strategy: result.strategy,
+    }
+}
+
 fn read_db(shared: &Shared) -> std::sync::RwLockReadGuard<'_, Vdbms> {
     match shared.db.read() {
         Ok(g) => g,
@@ -1156,8 +1215,29 @@ fn execute(shared: &Shared, request: &Request) -> Response {
                 )?;
                 Response::HitsBatch(lists)
             }
+            Request::HybridSearch {
+                collection,
+                k,
+                params,
+                query,
+                text,
+                fusion,
+                strategy,
+            } => {
+                let result = read_db(shared).collection(collection)?.hybrid_text_search(
+                    query,
+                    text,
+                    *k as usize,
+                    &Predicate::True,
+                    *fusion,
+                    *strategy,
+                    params,
+                )?;
+                fused_response(result)
+            }
             Request::Vql { statement } => match write_db(shared).execute(statement)? {
                 VqlOutput::Hits(hits) => Response::Hits(hits),
+                VqlOutput::FusedHits(result) => fused_response(result),
                 VqlOutput::Count(n) => Response::Count(n as u64),
                 VqlOutput::Done => Response::Done,
             },
@@ -1700,6 +1780,7 @@ mod event_loop {
                     conn.deliver_next(&Response::Error {
                         code: ErrorCode::Protocol,
                         message: e.to_string(),
+                        pos: 0,
                     });
                 }
             }
@@ -1728,6 +1809,7 @@ mod event_loop {
         conn.deliver_next(&Response::Error {
             code: ErrorCode::Protocol,
             message,
+            pos: 0,
         });
         conn.closing = true;
     }

@@ -109,11 +109,24 @@ fn sample_responses() -> Vec<Response> {
             rebuilds_in_flight: 1,
             last_swap_micros: 250,
             failed_merges: 0,
+            cache_hits: 800,
+            cache_misses: 20,
+            repl_links: vec![vdb_server::WireReplLink {
+                addr: "10.0.0.9:7071".into(),
+                lag: 3,
+                live: true,
+            }],
         }),
         Response::Busy,
         Response::Error {
             code: ErrorCode::NotFound,
             message: "collection `ghosts`".into(),
+            pos: 0,
+        },
+        Response::Error {
+            code: ErrorCode::Parse,
+            message: "expected K".into(),
+            pos: 12,
         },
     ]
 }

@@ -84,6 +84,22 @@ impl CacheStats {
     }
 }
 
+/// Process-wide hit/miss totals, summed across every [`PageCache`]
+/// instance that ever served a read. The serving layer's `server-stats`
+/// reports these: a server hosts one cache per disk-resident index, and
+/// the operator-facing signal ("is the page budget big enough?") is the
+/// aggregate hit rate, not any single instance's.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` accumulated by every page cache in this process.
+pub fn global_cache_stats() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 struct Entry {
     page: Arc<Page>,
     stamp: u64,
@@ -265,6 +281,7 @@ impl PageCache {
             loop {
                 if let Some(page) = inner.pinned.get(&id) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(page));
                 }
                 if inner.pages.contains_key(&id) {
@@ -297,6 +314,7 @@ impl PageCache {
                     }
                     inner.bump_freq(id, self.budget_pages);
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
                     return Ok(page);
                 }
                 if inner.inflight.contains(&id) {
@@ -310,6 +328,7 @@ impl PageCache {
                 }
                 inner.bump_freq(id, self.budget_pages);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
                 break;
             }
         }

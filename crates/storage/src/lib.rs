@@ -39,7 +39,7 @@ pub mod snapshot;
 pub mod vector_store;
 pub mod wal;
 
-pub use cache::{CacheStats, PageCache};
+pub use cache::{global_cache_stats, CacheStats, PageCache};
 pub use column::{AttributeStore, Column, ColumnStats};
 pub use file::{PagedFile, TempDir};
 pub use lsm::{KeyedNeighbor, LsmConfig, LsmStore};

@@ -47,6 +47,12 @@ const SEC_KEYS: u8 = 2;
 const SEC_VECTORS: u8 = 3;
 const SEC_COLUMN: u8 = 4;
 const SEC_END: u8 = 5;
+/// Serialized full-text index over the rows (optional; absent in
+/// snapshots from before text indexing existed and in collections with
+/// no text-indexed column). The payload is opaque to the storage layer —
+/// the text subsystem owns its own versioned format, and a reader that
+/// cannot use the bytes rebuilds the index from the source column.
+const SEC_TEXT: u8 = 6;
 
 /// One attribute column of a snapshot, aligned with the row keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +78,10 @@ pub struct Snapshot {
     pub vectors: Vectors,
     /// Attribute columns, each aligned with `row_keys`.
     pub columns: Vec<SnapshotColumn>,
+    /// Serialized full-text index (row-aligned doc ids), if the
+    /// collection maintains one. `None` round-trips to a byte-identical
+    /// legacy snapshot.
+    pub text: Option<Vec<u8>>,
 }
 
 impl Snapshot {
@@ -164,6 +174,9 @@ pub fn encode(snap: &Snapshot) -> Result<Vec<u8>> {
     for col in &snap.columns {
         out.extend_from_slice(&section_frame(SEC_COLUMN, &column_payload(col)));
     }
+    if let Some(text) = &snap.text {
+        out.extend_from_slice(&section_frame(SEC_TEXT, text));
+    }
     out.extend_from_slice(&section_frame(SEC_END, &[]));
     Ok(out)
 }
@@ -212,6 +225,11 @@ pub fn write(path: &Path, snap: &Snapshot) -> Result<()> {
         )?;
     }
 
+    // TEXT (only when the collection maintains a text index).
+    if let Some(text) = &snap.text {
+        write_section(&mut file, SEC_TEXT, text, "snapshot.text")?;
+    }
+
     // END terminator, then make it durable and visible.
     write_section(&mut file, SEC_END, &[], "snapshot.end")?;
     failpoint::hit("snapshot.sync")?;
@@ -255,6 +273,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
     let mut row_keys: Option<Vec<u64>> = None;
     let mut vectors: Option<Vectors> = None;
     let mut columns: Vec<SnapshotColumn> = Vec::new();
+    let mut text: Option<Vec<u8>> = None;
     let mut ended = false;
 
     while !r.is_empty() {
@@ -302,6 +321,9 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
                 }
                 columns.push(SnapshotColumn { name, ty, values });
             }
+            SEC_TEXT => {
+                text = Some(payload.to_vec());
+            }
             SEC_END => {
                 ended = true;
                 break;
@@ -323,6 +345,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
         row_keys,
         vectors,
         columns,
+        text,
     })
 }
 
@@ -351,6 +374,7 @@ mod tests {
             fingerprint: "hnsw:deadbeef".into(),
             row_keys: keys,
             vectors,
+            text: None,
             columns: vec![
                 SnapshotColumn {
                     name: "tag".into(),
@@ -398,6 +422,27 @@ mod tests {
         let wire = encode(&snap).unwrap();
         assert_eq!(wire, disk, "wire encoding is byte-identical to disk");
         assert_eq!(decode(&wire).unwrap(), snap);
+    }
+
+    #[test]
+    fn text_section_roundtrips_and_stays_optional() {
+        let dir = TempDir::new("snap-text").unwrap();
+        let path = dir.file("c.snap");
+        let mut snap = sample(5);
+        snap.text = Some(vec![0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F]);
+        write(&path, &snap).unwrap();
+        let back = read(&path).unwrap().unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.text.as_deref(), Some(&snap.text.clone().unwrap()[..]));
+        // A text-less snapshot stays byte-identical to the legacy format:
+        // the section is simply absent, so old readers keep working.
+        let legacy = sample(5);
+        let with = encode(&snap).unwrap();
+        let without = encode(&legacy).unwrap();
+        assert!(with.len() > without.len());
+        assert!(read(&path).unwrap().unwrap().text.is_some());
+        write(&path, &legacy).unwrap();
+        assert!(read(&path).unwrap().unwrap().text.is_none());
     }
 
     #[test]

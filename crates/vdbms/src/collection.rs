@@ -34,7 +34,7 @@
 
 use crate::indexspec::IndexSpec;
 use crate::schema::CollectionSchema;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
@@ -49,7 +49,9 @@ use vdb_core::sync::{Mutex, Published};
 use vdb_core::topk::Neighbor;
 use vdb_core::vector::Vectors;
 use vdb_query::{
-    execute_with, Planner, PlannerMode, Predicate, QueryContext, Strategy, VectorQuery,
+    bm25_score, execute_with, fuse, text_selectivity, CorpusStats, Fusion, HybridCandidate,
+    HybridHit, HybridStrategy, Planner, PlannerMode, Predicate, QueryContext, Strategy, TextIndex,
+    VectorQuery, DEFAULT_STOPWORDS,
 };
 use vdb_storage::{
     decode_shipped, ship_record, snapshot, AttributeStore, Column, LsmConfig, LsmStore, Snapshot,
@@ -73,6 +75,58 @@ pub struct SearchHit {
     pub key: u64,
     /// Distance under the collection metric (lower = more similar).
     pub dist: f32,
+}
+
+/// Integer scoring inputs behind one hybrid hit — what a distributed
+/// merger needs to re-score the hit under *global* corpus statistics
+/// (term frequencies and lengths add across shards; floats do not).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridDetail {
+    /// Token count of the hit's document.
+    pub doc_len: u32,
+    /// Term frequency per analyzed query term, in query-term order.
+    pub tfs: Vec<u32>,
+}
+
+/// Result of a hybrid text + vector search over one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridResult {
+    /// Fused top-k, best first.
+    pub hits: Vec<HybridHit>,
+    /// Scoring inputs aligned with `hits`.
+    pub details: Vec<HybridDetail>,
+    /// This node's corpus statistics for the analyzed query terms;
+    /// element-wise addable across disjoint shards.
+    pub stats: CorpusStats,
+    /// Strategy actually executed (planned or caller-forced).
+    pub strategy: HybridStrategy,
+}
+
+/// The text-column payload of an attribute value (NULL and non-string
+/// values index as the empty document).
+fn text_of(value: &AttrValue) -> &str {
+    match value {
+        AttrValue::Str(s) => s.as_str(),
+        _ => "",
+    }
+}
+
+/// Tokenize rows `0..n_rows` of the schema's text column into a fresh
+/// inverted index (None when the schema registers no text column).
+fn build_text_index(
+    schema: &CollectionSchema,
+    attrs: &AttributeStore,
+    n_rows: usize,
+) -> Result<Option<TextIndex>> {
+    let Some(col) = &schema.text_column else {
+        return Ok(None);
+    };
+    let column = attrs.column(col)?;
+    let mut ix = TextIndex::with_stopwords(DEFAULT_STOPWORDS.iter().copied());
+    for row in 0..n_rows {
+        ix.push_doc(text_of(column.get(row)));
+    }
+    Ok(Some(ix))
 }
 
 /// How buffered updates are folded into the main index.
@@ -191,6 +245,11 @@ struct Main {
     /// full rebuild.
     dead_rows: usize,
     index: Option<Box<dyn VectorIndex>>,
+    /// BM25 inverted index over the schema's text column, doc ids
+    /// aligned with row indices (Some iff the schema registers one).
+    /// Retired rows keep stale postings until the next rebuild; readers
+    /// filter them through `row_is_live`.
+    text: Option<TextIndex>,
 }
 
 impl Main {
@@ -288,6 +347,10 @@ impl Collection {
             key_to_row: HashMap::new(),
             dead_rows: 0,
             index: None,
+            text: schema
+                .text_column
+                .as_ref()
+                .map(|_| TextIndex::with_stopwords(DEFAULT_STOPWORDS.iter().copied())),
         };
         let inner = Arc::new(Inner {
             main: Published::new(main),
@@ -420,6 +483,23 @@ impl Collection {
                 &self.inner.cfg.build,
             )?)
         };
+        // Prefer the snapshot's serialized inverted index; fall back to a
+        // rebuild from the text column for legacy images, damaged/alien
+        // text sections, or doc-count misalignment. Either path yields
+        // the same postings — the section only skips retokenization.
+        let text = if schema.text_column.is_some() {
+            let decoded = snap
+                .text
+                .as_ref()
+                .and_then(|bytes| TextIndex::decode(bytes).ok())
+                .filter(|ix| ix.n_docs() as usize == snap.row_keys.len());
+            match decoded {
+                Some(ix) => Some(ix),
+                None => build_text_index(schema, &attrs, snap.row_keys.len())?,
+            }
+        } else {
+            None
+        };
         self.inner.main.install(Main {
             vectors: snap.vectors,
             attrs,
@@ -427,6 +507,7 @@ impl Collection {
             key_to_row,
             dead_rows: 0,
             index,
+            text,
         });
         self.inner.pending.lock().shadowed = 0;
         Ok(())
@@ -1008,6 +1089,248 @@ impl Collection {
         Ok(hits)
     }
 
+    /// Hybrid text + vector search: BM25 over the schema's text column
+    /// fused with k-NN under the collection metric.
+    ///
+    /// Candidates are gathered per `strategy` (planned from the query's
+    /// text selectivity when `None`), every candidate is scored on BOTH
+    /// axes — distances computed directly for text-only candidates, BM25
+    /// re-derived from integer term frequencies under merged
+    /// main + buffer corpus statistics for vector-only candidates — and
+    /// the union is ranked by `fusion`. Scoring is a pure function of
+    /// `(terms, tfs, doc_len, stats)`, so re-fusing shard results under
+    /// summed statistics reproduces single-node fused scores bit for
+    /// bit. A query that analyzes to no terms (empty, or all stopwords)
+    /// degrades to vector-only candidates with zero text scores.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_text_search(
+        &self,
+        vector: &[f32],
+        query: &str,
+        k: usize,
+        predicate: &Predicate,
+        fusion: Fusion,
+        strategy: Option<HybridStrategy>,
+        params: &SearchParams,
+    ) -> Result<HybridResult> {
+        if vector.len() != self.inner.schema.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.inner.schema.dim,
+                actual: vector.len(),
+            });
+        }
+        let Some(text_col) = self.inner.schema.text_column.as_deref() else {
+            return Err(Error::Unsupported(format!(
+                "collection `{}` has no text-indexed column",
+                self.inner.schema.name
+            )));
+        };
+        if k == 0 {
+            return Ok(HybridResult {
+                hits: Vec::new(),
+                details: Vec::new(),
+                stats: CorpusStats::default(),
+                strategy: strategy.unwrap_or(HybridStrategy::Fused),
+            });
+        }
+        let mut sctx = self.contexts.acquire();
+        // Over-fetch per retriever: fusion ranks the union, so each side
+        // contributes a candidate pool a few multiples of k deep.
+        let m_over = (4 * k).max(32);
+
+        // --- one consistent view: buffer under the pending lock, main
+        // pinned before that lock drops (same dance as vector search).
+        struct BufCand {
+            key: u64,
+            dist: f32,
+            text: String,
+        }
+        let p = self.inner.pending.lock();
+        let mut buf: Vec<BufCand> = Vec::new();
+        for hit in p.buffer.search(vector, p.buffer.len().max(k))? {
+            let passes = predicate.eval_values(&|col: &str| {
+                p.buffer_attrs
+                    .get(&hit.key)
+                    .and_then(|vals| vals.iter().find(|(n, _)| n == col))
+                    .map(|(_, v)| v.clone())
+            });
+            if !passes {
+                continue;
+            }
+            let text = p
+                .buffer_attrs
+                .get(&hit.key)
+                .and_then(|vals| vals.iter().find(|(n, _)| n == text_col))
+                .map(|(_, v)| text_of(v).to_string())
+                .unwrap_or_default();
+            buf.push(BufCand {
+                key: hit.key,
+                dist: hit.dist,
+                text,
+            });
+        }
+        let hidden: HashSet<u64> = p
+            .buffer
+            .live_keys()
+            .into_iter()
+            .chain(p.buffer.tombstones())
+            .collect();
+        let shadowed = p.shadowed;
+        let m = self.inner.main.read(); // pin before releasing `pending`
+        drop(p);
+
+        let text_ix = m.text.as_ref().expect("text column implies text index");
+        let terms = text_ix.query_terms(query);
+
+        // Global corpus statistics: main segment + buffered docs. (Rows
+        // shadowed by a newer buffered version are counted in both
+        // segments until the next merge folds them — a bounded, transient
+        // skew of the integer stats, never of the candidate set.)
+        let mut stats = text_ix.corpus_stats(&terms);
+        let buf_tok: Vec<(Vec<u32>, u32)> = buf
+            .iter()
+            .map(|c| {
+                let toks = text_ix.analyze(&c.text);
+                let tfs: Vec<u32> = terms
+                    .iter()
+                    .map(|(t, _)| toks.iter().filter(|w| *w == t).count() as u32)
+                    .collect();
+                (tfs, toks.len() as u32)
+            })
+            .collect();
+        for (tfs, dl) in &buf_tok {
+            stats.n_docs += 1;
+            stats.total_len += u64::from(*dl);
+            for (i, tf) in tfs.iter().enumerate() {
+                if *tf > 0 {
+                    stats.dfs[i] += 1;
+                }
+            }
+        }
+
+        let chosen = strategy.unwrap_or_else(|| {
+            let n = m.row_keys.len() - m.dead_rows + buf.len();
+            self.planner
+                .plan_hybrid(n, k, text_selectivity(text_ix, query))
+        });
+        let effective = if terms.is_empty() {
+            HybridStrategy::VectorFirst // nothing for the text side to rank
+        } else {
+            chosen
+        };
+
+        // --- candidate gathering. `dist: None` marks text-side main rows
+        // whose distance is computed lazily below.
+        enum Src {
+            Main(usize),
+            Buf(usize),
+        }
+        let mut cand: BTreeMap<u64, (Src, Option<f32>)> = BTreeMap::new();
+        let want_text = effective != HybridStrategy::VectorFirst;
+        let want_vector = effective != HybridStrategy::TextFirst;
+        if want_text {
+            // Over-fetch past rows the filters will discard: hidden or
+            // retired rows plus (heuristically) predicate failures.
+            let fetch_t = 2 * (m_over + shadowed) + hidden.len();
+            let mut kept = 0usize;
+            for hit in text_ix.search_terms(&terms, fetch_t, true) {
+                if kept >= m_over {
+                    break;
+                }
+                let row = hit.doc as usize;
+                if !m.row_is_live(row) {
+                    continue;
+                }
+                let key = m.row_keys[row];
+                if hidden.contains(&key) || !predicate.eval(&m.attrs, row) {
+                    continue;
+                }
+                cand.insert(key, (Src::Main(row), None));
+                kept += 1;
+            }
+            for (i, c) in buf.iter().enumerate() {
+                if buf_tok[i].0.iter().any(|&tf| tf > 0) {
+                    cand.insert(c.key, (Src::Buf(i), Some(c.dist)));
+                }
+            }
+        }
+        if want_vector {
+            if let Some(index) = &m.index {
+                let fetch = (m_over + shadowed).min(m.vectors.len());
+                if fetch > 0 {
+                    let ctx = QueryContext::new(&m.vectors, &m.attrs, index.as_ref())?;
+                    let q = VectorQuery::knn(vector.to_vec(), fetch)
+                        .filtered(predicate.clone())
+                        .with_params(params.clone());
+                    for n in self.planner.run_with(&ctx, &mut sctx, &q)?.1 {
+                        let key = m.row_keys[n.id];
+                        if m.key_to_row.get(&key) != Some(&n.id) || hidden.contains(&key) {
+                            continue;
+                        }
+                        let entry = cand.entry(key).or_insert((Src::Main(n.id), None));
+                        entry.1.get_or_insert(n.dist);
+                    }
+                }
+            }
+            for (i, c) in buf.iter().enumerate() {
+                cand.entry(c.key).or_insert((Src::Buf(i), Some(c.dist)));
+            }
+        }
+
+        // --- score both axes uniformly and fuse.
+        let mut candidates = Vec::with_capacity(cand.len());
+        let mut detail_of: HashMap<u64, HybridDetail> = HashMap::with_capacity(cand.len());
+        for (key, (src, dist)) in cand {
+            let (dist, doc_len, tfs) = match src {
+                Src::Main(row) => {
+                    let dist = dist.unwrap_or_else(|| {
+                        self.inner
+                            .schema
+                            .metric
+                            .distance(vector, m.vectors.get(row))
+                    });
+                    let doc = row as u32;
+                    (dist, text_ix.doc_len(doc), text_ix.tf_vector(doc, &terms))
+                }
+                Src::Buf(i) => {
+                    let (tfs, dl) = &buf_tok[i];
+                    let dist = dist.expect("buffer candidates carry their scan distance");
+                    (dist, *dl, tfs.clone())
+                }
+            };
+            candidates.push(HybridCandidate {
+                key,
+                dist,
+                text_score: bm25_score(&terms, &tfs, doc_len, &stats),
+            });
+            detail_of.insert(key, HybridDetail { doc_len, tfs });
+        }
+        let hits = fuse(&candidates, fusion, k);
+        let details = hits
+            .iter()
+            .map(|h| detail_of.remove(&h.key).expect("hit came from a candidate"))
+            .collect();
+        Ok(HybridResult {
+            hits,
+            details,
+            stats,
+            strategy: effective,
+        })
+    }
+
+    /// Estimated fraction of indexed documents matching at least one
+    /// term of `query` (the planner's hybrid-strategy input).
+    pub fn text_selectivity(&self, query: &str) -> Result<f64> {
+        let m = self.inner.main.read();
+        match &m.text {
+            Some(ix) => Ok(text_selectivity(ix, query)),
+            None => Err(Error::Unsupported(format!(
+                "collection `{}` has no text-indexed column",
+                self.inner.schema.name
+            ))),
+        }
+    }
+
     /// Range query (§2.1): every live entity within `radius` of the query
     /// under the collection metric that passes `predicate`, sorted
     /// best-first. (Predicates on range results filter exactly — the range
@@ -1221,8 +1544,10 @@ impl Inner {
             new_map.insert(key, new_row);
         }
 
-        // 4. Build the replacement index off to the side — the expensive
-        // step, taken with no lock held.
+        // 4. Build the replacement indexes off to the side — the
+        // expensive step, taken with no lock held. The inverted index is
+        // rebuilt alongside the vector index, so rebuilds also compact
+        // away stale postings of retired rows.
         let index = if new_vectors.is_empty() {
             None
         } else {
@@ -1232,6 +1557,7 @@ impl Inner {
                 &self.cfg.build,
             )?)
         };
+        let new_text = build_text_index(&self.schema, &new_attrs, new_keys.len())?;
 
         // 5. Checkpoint snapshot BEFORE publication. The snapshot holds
         // only acknowledged (WAL-logged) operations and replay over it is
@@ -1256,6 +1582,7 @@ impl Inner {
                 row_keys: new_keys.clone(),
                 vectors: new_vectors.clone(),
                 columns,
+                text: new_text.as_ref().map(|t| t.encode()),
             };
             let path = self
                 .snapshot_path()
@@ -1276,6 +1603,7 @@ impl Inner {
                 key_to_row: new_map,
                 dead_rows: 0,
                 index,
+                text: new_text,
             });
             p.buffer.purge_merged(&keys, &drained);
             p.buffer.clear_tombstones(tombstones.iter().copied());
@@ -1342,6 +1670,7 @@ impl Inner {
             let (keys, drained) = pend.buffer.drain_live();
             let mut tombstones: Vec<u64> = pend.buffer.take_tombstones().into_iter().collect();
             tombstones.sort_unstable(); // deterministic repair order
+            let text_col = self.schema.text_column.as_deref();
             let Main {
                 vectors,
                 attrs,
@@ -1349,6 +1678,7 @@ impl Inner {
                 key_to_row,
                 dead_rows,
                 index,
+                text,
             } = m;
             let idx = index
                 .as_mut()
@@ -1379,9 +1709,26 @@ impl Inner {
                     .map(|(n, v)| (n.as_str(), v.clone()))
                     .collect();
                 attrs.push_row(&row_values)?;
+                if let Some(t) = text.as_mut() {
+                    // Keep doc ids aligned with row indices: one doc per
+                    // pushed vector. Retired rows keep stale postings —
+                    // compacted at the next full rebuild, filtered by
+                    // `row_is_live` until then.
+                    let doc = text_col
+                        .and_then(|c| pend_attrs.iter().find(|(n, _)| n == c))
+                        .map(|(_, v)| text_of(v))
+                        .unwrap_or("");
+                    t.push_doc(doc);
+                }
                 row_keys.push(key);
                 key_to_row.insert(key, row);
             }
+            debug_assert!(
+                text.as_ref()
+                    .map(|t| t.n_docs() as usize == vectors.len())
+                    .unwrap_or(true),
+                "text docs must stay aligned with stored vectors"
+            );
             Ok(true)
         });
         if !applied? {
@@ -1435,6 +1782,15 @@ impl Inner {
         let mut row_keys = Vec::new();
         let mut vectors = Vectors::new(self.schema.dim);
         let mut cols: Vec<Vec<AttrValue>> = vec![Vec::new(); self.schema.columns.len()];
+        // Re-tokenize live rows instead of serializing `m.text`: the
+        // in-memory index may still carry retired rows' postings whose
+        // doc ids would misalign with the compacted snapshot.
+        let mut text = self
+            .schema
+            .text_column
+            .as_ref()
+            .map(|_| TextIndex::with_stopwords(DEFAULT_STOPWORDS.iter().copied()));
+        let text_col = self.schema.text_column.as_deref();
         for (row, &key) in m.row_keys.iter().enumerate() {
             if !m.row_is_live(row) {
                 continue;
@@ -1443,6 +1799,9 @@ impl Inner {
             row_keys.push(key);
             for (ci, (name, _)) in self.schema.columns.iter().enumerate() {
                 cols[ci].push(m.attrs.column(name)?.get(row).clone());
+            }
+            if let (Some(ix), Some(col)) = (text.as_mut(), text_col) {
+                ix.push_doc(text_of(m.attrs.column(col)?.get(row)));
             }
         }
         let columns = self
@@ -1461,6 +1820,7 @@ impl Inner {
             row_keys,
             vectors,
             columns,
+            text: text.map(|t| t.encode()),
         })
     }
 }

@@ -1,7 +1,7 @@
 //! The database facade: named collections, DDL/DML, VQL execution, and
 //! indirect (embedding-backed) manipulation.
 
-use crate::collection::{Collection, CollectionConfig, SearchHit};
+use crate::collection::{Collection, CollectionConfig, HybridResult, SearchHit};
 use crate::embed::TextEmbedder;
 use crate::indexspec::IndexSpec;
 use crate::profile::SystemProfile;
@@ -33,6 +33,9 @@ pub struct MaintenanceStats {
 pub enum VqlOutput {
     /// Search hits.
     Hits(Vec<SearchHit>),
+    /// Hybrid text + vector hits with fused scores, scoring evidence,
+    /// and the corpus statistics they were scored under.
+    FusedHits(HybridResult),
     /// Row count.
     Count(usize),
     /// DML acknowledged.
@@ -211,6 +214,22 @@ impl Vdbms {
                 let c = self.collection(&collection)?;
                 let hits = c.search_hybrid(&vector, k, &predicate, &params, strategy)?;
                 Ok(VqlOutput::Hits(hits))
+            }
+            VqlStatement::HybridSearch {
+                collection,
+                vector,
+                query,
+                k,
+                predicate,
+                fusion,
+                strategy,
+                params,
+            } => {
+                let c = self.collection(&collection)?;
+                let result = c.hybrid_text_search(
+                    &vector, &query, k, &predicate, fusion, strategy, &params,
+                )?;
+                Ok(VqlOutput::FusedHits(result))
             }
             VqlStatement::RangeSearch {
                 collection,
@@ -408,6 +427,59 @@ mod tests {
         db.execute("DELETE FROM docs KEY 4").unwrap();
         let out = db.execute("SEARCH docs WITHIN 0.5 NEAR [4, 0, 0]").unwrap();
         assert_eq!(out, VqlOutput::Hits(vec![]));
+    }
+
+    #[test]
+    fn vql_match_end_to_end() {
+        let mut db = Vdbms::new(SystemProfile::MostlyMixed);
+        db.create_collection(
+            CollectionSchema::new("articles", 3, Metric::Euclidean)
+                .column("body", AttrType::Str)
+                .text_index("body"),
+            IndexSpec::Flat,
+        )
+        .unwrap();
+        for (i, body) in [
+            "rust vector database",
+            "cooking with saffron",
+            "database index tuning",
+            "vector search at scale",
+        ]
+        .iter()
+        .enumerate()
+        {
+            db.execute(&format!(
+                "INSERT INTO articles KEY {i} VALUES [{i}.0, 0, 0] SET body = '{body}'"
+            ))
+            .unwrap();
+        }
+        let out = db
+            .execute(
+                "SEARCH articles K 2 NEAR [3.0, 0, 0] MATCH 'vector database'                  FUSE rrf 60 HYBRID fused",
+            )
+            .unwrap();
+        match out {
+            VqlOutput::FusedHits(result) => {
+                assert_eq!(result.hits.len(), 2);
+                assert_eq!(result.stats.n_docs, 4);
+                // Doc 3 ("vector search at scale") matches a term AND is
+                // nearest to [3,0,0] — it must lead the fused ranking.
+                assert_eq!(result.hits[0].key, 3, "{result:?}");
+                assert!(result.hits.iter().all(|h| h.text_score > 0.0));
+            }
+            other => panic!("expected FusedHits, got {other:?}"),
+        }
+        // MATCH against a collection with no text index is a typed error.
+        let mut plain = db;
+        plain
+            .create_collection(
+                CollectionSchema::new("docs", 3, Metric::Euclidean),
+                IndexSpec::Flat,
+            )
+            .unwrap();
+        assert!(plain
+            .execute("SEARCH docs K 1 NEAR [1, 0, 0] MATCH 'anything'")
+            .is_err());
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub mod schema;
 pub mod vql;
 
 pub use collection::{
-    Collection, CollectionConfig, CollectionStats, MergeMode, ReplicationSink, SearchHit,
+    Collection, CollectionConfig, CollectionStats, HybridDetail, HybridResult, MergeMode,
+    ReplicationSink, SearchHit,
 };
 pub use db::{MaintenanceStats, Vdbms, VqlOutput};
 pub use dsl::SearchRequest;
@@ -53,3 +54,10 @@ pub use indexspec::IndexSpec;
 pub use profile::SystemProfile;
 pub use schema::CollectionSchema;
 pub use vql::{parse as parse_vql, VqlStatement};
+// Hybrid text + vector search surface (re-exported so facade users and
+// the serving layer see one coherent API).
+pub use vdb_query::{
+    bm25_score, fuse, tokenize, CorpusStats, Fusion, HybridCandidate, HybridHit, HybridStrategy,
+    Predicate, TextIndex, DEFAULT_STOPWORDS,
+};
+pub use vdb_storage::global_cache_stats;

@@ -16,6 +16,9 @@ pub struct CollectionSchema {
     pub metric: Metric,
     /// Attribute columns as `(name, type)`.
     pub columns: Vec<(String, AttrType)>,
+    /// String column carrying the documents of the collection's
+    /// full-text (BM25) index, if one is registered.
+    pub text_column: Option<String>,
 }
 
 impl CollectionSchema {
@@ -26,12 +29,21 @@ impl CollectionSchema {
             dim,
             metric,
             columns: Vec::new(),
+            text_column: None,
         }
     }
 
     /// Add an attribute column.
     pub fn column(mut self, name: impl Into<String>, ty: AttrType) -> Self {
         self.columns.push((name.into(), ty));
+        self
+    }
+
+    /// Register a full-text (BM25) index over an existing string column.
+    /// The column's values are tokenized and kept searchable through
+    /// `MATCH` / hybrid fusion queries.
+    pub fn text_index(mut self, column: impl Into<String>) -> Self {
+        self.text_column = Some(column.into());
         self
     }
 
@@ -50,6 +62,21 @@ impl CollectionSchema {
         names.sort_unstable();
         if names.windows(2).any(|w| w[0] == w[1]) {
             return Err(Error::InvalidParameter("duplicate column name".into()));
+        }
+        if let Some(tc) = &self.text_column {
+            match self.columns.iter().find(|(n, _)| n == tc) {
+                Some((_, AttrType::Str)) => {}
+                Some((_, ty)) => {
+                    return Err(Error::InvalidParameter(format!(
+                        "text index column `{tc}` must be Str, is {ty:?}"
+                    )));
+                }
+                None => {
+                    return Err(Error::InvalidParameter(format!(
+                        "text index references unknown column `{tc}`"
+                    )));
+                }
+            }
         }
         Ok(())
     }

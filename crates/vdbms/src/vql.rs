@@ -8,21 +8,28 @@
 //! SEARCH docs K 10 NEAR [0.1, 0.2, 0.3]
 //!        WHERE price < 50 AND (brand = 'acme' OR brand = 'zen')
 //!        USING visit_first BEAM 64 NPROBE 8
+//! SEARCH docs K 10 NEAR [0.1, 0.2, 0.3] MATCH 'rust vector database'
+//!        FUSE rrf 60 HYBRID fused WHERE price < 50
 //! SEARCH docs WITHIN 2.5 NEAR [0.1, 0.2, 0.3] WHERE price < 50
 //! INSERT INTO docs KEY 42 VALUES [0.1, 0.2, 0.3] SET brand = 'acme', price = 10
 //! DELETE FROM docs KEY 42
 //! COUNT docs
 //! ```
+//!
+//! Malformed statements fail with [`Error::ParseAt`] carrying the
+//! character offset of the offending token, so clients (including
+//! remote ones — the error round-trips the wire) can point at the
+//! mistake instead of grepping a message.
 
 use vdb_core::attr::AttrValue;
 use vdb_core::error::{Error, Result};
 use vdb_core::index::SearchParams;
-use vdb_query::{CmpOp, Predicate, Strategy};
+use vdb_query::{CmpOp, Fusion, HybridStrategy, Predicate, Strategy};
 
 /// A parsed VQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VqlStatement {
-    /// k-NN / hybrid search.
+    /// k-NN / hybrid-predicate search.
     Search {
         /// Target collection.
         collection: String,
@@ -34,6 +41,25 @@ pub enum VqlStatement {
         predicate: Predicate,
         /// Optional strategy override from USING.
         strategy: Option<Strategy>,
+        /// Search parameters from BEAM / NPROBE.
+        params: SearchParams,
+    },
+    /// Hybrid text + vector search (NEAR … MATCH '…').
+    HybridSearch {
+        /// Target collection.
+        collection: String,
+        /// Query vector literal.
+        vector: Vec<f32>,
+        /// Full-text query from the MATCH clause.
+        query: String,
+        /// Result size.
+        k: usize,
+        /// Predicate (True when no WHERE clause).
+        predicate: Predicate,
+        /// Rank/score fusion from the FUSE clause (RRF k0=60 default).
+        fusion: Fusion,
+        /// Optional retrieval strategy override from HYBRID.
+        strategy: Option<HybridStrategy>,
         /// Search parameters from BEAM / NPROBE.
         params: SearchParams,
     },
@@ -88,26 +114,34 @@ enum Tok {
     Sym(&'static str),
 }
 
-fn lex(input: &str) -> Result<Vec<Tok>> {
+/// Positional parse error.
+fn err_at(pos: usize, msg: impl Into<String>) -> Error {
+    Error::ParseAt {
+        msg: msg.into(),
+        pos,
+    }
+}
+
+/// Tokens paired with the character offset where each starts.
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
     let mut out = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
+        let start = i;
         if c.is_whitespace() {
             i += 1;
         } else if c.is_alphabetic() || c == '_' {
-            let start = i;
             while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                 i += 1;
             }
-            out.push(Tok::Ident(chars[start..i].iter().collect()));
+            out.push((Tok::Ident(chars[start..i].iter().collect()), start));
         } else if c.is_ascii_digit()
             || (c == '-'
                 && i + 1 < chars.len()
                 && (chars[i + 1].is_ascii_digit() || chars[i + 1] == '.'))
         {
-            let start = i;
             i += 1;
             let mut is_float = false;
             while i < chars.len()
@@ -124,39 +158,43 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             let text: String = chars[start..i].iter().collect();
             if is_float {
-                out.push(Tok::Float(
-                    text.parse()
-                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                out.push((
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| err_at(start, format!("bad number `{text}`")))?,
+                    ),
+                    start,
                 ));
             } else {
-                out.push(Tok::Int(
-                    text.parse()
-                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                out.push((
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err_at(start, format!("bad number `{text}`")))?,
+                    ),
+                    start,
                 ));
             }
         } else if c == '\'' {
-            let start = i + 1;
             i += 1;
+            let body = i;
             while i < chars.len() && chars[i] != '\'' {
                 i += 1;
             }
             if i >= chars.len() {
-                return Err(Error::Parse("unterminated string literal".into()));
+                return Err(err_at(start, "unterminated string literal"));
             }
-            out.push(Tok::Str(chars[start..i].iter().collect()));
+            out.push((Tok::Str(chars[body..i].iter().collect()), start));
             i += 1;
         } else {
             let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
             let sym = match two.as_str() {
-                "!=" | "<=" | ">=" => Some(match two.as_str() {
-                    "!=" => "!=",
-                    "<=" => "<=",
-                    _ => ">=",
-                }),
+                "!=" => Some("!="),
+                "<=" => Some("<="),
+                ">=" => Some(">="),
                 _ => None,
             };
             if let Some(s) = sym {
-                out.push(Tok::Sym(s));
+                out.push((Tok::Sym(s), start));
                 i += 2;
             } else {
                 let s = match c {
@@ -168,9 +206,9 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                     '=' => "=",
                     '<' => "<",
                     '>' => ">",
-                    _ => return Err(Error::Parse(format!("unexpected character `{c}`"))),
+                    _ => return Err(err_at(start, format!("unexpected character `{c}`"))),
                 };
-                out.push(Tok::Sym(s));
+                out.push((Tok::Sym(s), start));
                 i += 1;
             }
         }
@@ -183,29 +221,37 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
 // ---------------------------------------------------------------------------
 
 struct Parser {
-    toks: Vec<Tok>,
+    toks: Vec<(Tok, usize)>,
     pos: usize,
+    /// Character length of the input — the position blamed when a
+    /// statement ends too early.
+    end: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn next(&mut self) -> Result<Tok> {
+    /// Position of the current token (input length at end-of-statement).
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|&(_, p)| p).unwrap_or(self.end)
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize)> {
         let t = self
             .toks
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| Error::Parse("unexpected end of statement".into()))?;
+            .ok_or_else(|| err_at(self.end, "unexpected end of statement"))?;
         self.pos += 1;
         Ok(t)
     }
 
     fn keyword(&mut self, kw: &str) -> Result<()> {
         match self.next()? {
-            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(Error::Parse(format!("expected `{kw}`, got {other:?}"))),
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            (other, at) => Err(err_at(at, format!("expected `{kw}`, got {other:?}"))),
         }
     }
 
@@ -221,62 +267,82 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
-            Tok::Ident(s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+            (Tok::Ident(s), _) => Ok(s),
+            (other, at) => Err(err_at(at, format!("expected identifier, got {other:?}"))),
         }
     }
 
     fn uint(&mut self) -> Result<u64> {
         match self.next()? {
-            Tok::Int(v) if v >= 0 => Ok(v as u64),
-            other => Err(Error::Parse(format!(
-                "expected non-negative integer, got {other:?}"
-            ))),
+            (Tok::Int(v), _) if v >= 0 => Ok(v as u64),
+            (other, at) => Err(err_at(
+                at,
+                format!("expected non-negative integer, got {other:?}"),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next()? {
+            (Tok::Float(f), _) => Ok(f),
+            (Tok::Int(i), _) => Ok(i as f64),
+            (other, at) => Err(err_at(at, format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next()? {
+            (Tok::Str(s), _) => Ok(s),
+            (other, at) => Err(err_at(at, format!("expected quoted string, got {other:?}"))),
         }
     }
 
     fn sym(&mut self, s: &str) -> Result<()> {
         match self.next()? {
-            Tok::Sym(t) if t == s => Ok(()),
-            other => Err(Error::Parse(format!("expected `{s}`, got {other:?}"))),
+            (Tok::Sym(t), _) if t == s => Ok(()),
+            (other, at) => Err(err_at(at, format!("expected `{s}`, got {other:?}"))),
         }
     }
 
     fn vector_literal(&mut self) -> Result<Vec<f32>> {
+        let open = self.here();
         self.sym("[")?;
         let mut out = Vec::new();
         loop {
             match self.next()? {
-                Tok::Float(f) => out.push(f as f32),
-                Tok::Int(i) => out.push(i as f32),
-                Tok::Sym("]") if out.is_empty() => break,
-                other => {
-                    return Err(Error::Parse(format!(
-                        "expected number in vector, got {other:?}"
-                    )))
+                (Tok::Float(f), _) => out.push(f as f32),
+                (Tok::Int(i), _) => out.push(i as f32),
+                (Tok::Sym("]"), _) if out.is_empty() => break,
+                (other, at) => {
+                    return Err(err_at(
+                        at,
+                        format!("expected number in vector, got {other:?}"),
+                    ))
                 }
             }
             match self.next()? {
-                Tok::Sym(",") => continue,
-                Tok::Sym("]") => break,
-                other => return Err(Error::Parse(format!("expected `,` or `]`, got {other:?}"))),
+                (Tok::Sym(","), _) => continue,
+                (Tok::Sym("]"), _) => break,
+                (other, at) => {
+                    return Err(err_at(at, format!("expected `,` or `]`, got {other:?}")))
+                }
             }
         }
         if out.is_empty() {
-            return Err(Error::Parse("empty vector literal".into()));
+            return Err(err_at(open, "empty vector literal"));
         }
         Ok(out)
     }
 
     fn value(&mut self) -> Result<AttrValue> {
         match self.next()? {
-            Tok::Int(v) => Ok(AttrValue::Int(v)),
-            Tok::Float(v) => Ok(AttrValue::Float(v)),
-            Tok::Str(s) => Ok(AttrValue::Str(s)),
-            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(AttrValue::Bool(true)),
-            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(AttrValue::Bool(false)),
-            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(AttrValue::Null),
-            other => Err(Error::Parse(format!("expected literal, got {other:?}"))),
+            (Tok::Int(v), _) => Ok(AttrValue::Int(v)),
+            (Tok::Float(v), _) => Ok(AttrValue::Float(v)),
+            (Tok::Str(s), _) => Ok(AttrValue::Str(s)),
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("true") => Ok(AttrValue::Bool(true)),
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("false") => Ok(AttrValue::Bool(false)),
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("null") => Ok(AttrValue::Null),
+            (other, at) => Err(err_at(at, format!("expected literal, got {other:?}"))),
         }
     }
 
@@ -326,7 +392,7 @@ impl Parser {
     fn atom(&mut self) -> Result<Predicate> {
         let column = self.ident()?;
         match self.next()? {
-            Tok::Sym(op @ ("=" | "!=" | "<" | "<=" | ">" | ">=")) => {
+            (Tok::Sym(op @ ("=" | "!=" | "<" | "<=" | ">" | ">=")), _) => {
                 let op = match op {
                     "=" => CmpOp::Eq,
                     "!=" => CmpOp::Ne,
@@ -341,42 +407,36 @@ impl Parser {
                     value: self.value()?,
                 })
             }
-            Tok::Ident(s) if s.eq_ignore_ascii_case("is") => {
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("is") => {
                 self.keyword("null")?;
                 Ok(Predicate::IsNull { column })
             }
-            Tok::Ident(s) if s.eq_ignore_ascii_case("in") => {
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("in") => {
                 self.sym("(")?;
                 let mut values = vec![self.value()?];
                 loop {
                     match self.next()? {
-                        Tok::Sym(",") => values.push(self.value()?),
-                        Tok::Sym(")") => break,
-                        other => {
-                            return Err(Error::Parse(format!("expected `,` or `)`, got {other:?}")))
+                        (Tok::Sym(","), _) => values.push(self.value()?),
+                        (Tok::Sym(")"), _) => break,
+                        (other, at) => {
+                            return Err(err_at(at, format!("expected `,` or `)`, got {other:?}")))
                         }
                     }
                 }
                 Ok(Predicate::In { column, values })
             }
-            Tok::Ident(s) if s.eq_ignore_ascii_case("between") => {
+            (Tok::Ident(s), _) if s.eq_ignore_ascii_case("between") => {
                 let lo = self.value()?;
                 self.keyword("and")?;
                 let hi = self.value()?;
                 Ok(Predicate::Between { column, lo, hi })
             }
-            other => Err(Error::Parse(format!(
-                "expected operator after `{column}`, got {other:?}"
-            ))),
+            (other, at) => Err(err_at(
+                at,
+                format!("expected operator after `{column}`, got {other:?}"),
+            )),
         }
     }
-}
-
-fn parse_strategy(name: &str) -> Result<Strategy> {
-    Strategy::ALL
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| Error::Parse(format!("unknown strategy `{name}`")))
 }
 
 /// Parse one VQL statement.
@@ -384,18 +444,16 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
     let mut p = Parser {
         toks: lex(input)?,
         pos: 0,
+        end: input.chars().count(),
     };
     let head = p.ident()?;
     let stmt = if head.eq_ignore_ascii_case("search") {
         let collection = p.ident()?;
         if p.try_keyword("within") {
-            let radius = match p.next()? {
-                Tok::Float(f) => f as f32,
-                Tok::Int(i) => i as f32,
-                other => return Err(Error::Parse(format!("expected radius, got {other:?}"))),
-            };
-            if radius.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) && radius != 0.0 {
-                return Err(Error::Parse("radius must be non-negative".into()));
+            let radius_at = p.here();
+            let radius = p.number()? as f32;
+            if radius.is_nan() || radius < 0.0 {
+                return Err(err_at(radius_at, "radius must be non-negative"));
             }
             p.keyword("near")?;
             let vector = p.vector_literal()?;
@@ -413,10 +471,13 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                 }
             }
             if p.pos != p.toks.len() {
-                return Err(Error::Parse(format!(
-                    "trailing tokens after statement: {:?}",
-                    &p.toks[p.pos..]
-                )));
+                return Err(err_at(
+                    p.here(),
+                    format!(
+                        "trailing tokens after statement: {:?}",
+                        p.toks[p.pos..].iter().map(|(t, _)| t).collect::<Vec<_>>()
+                    ),
+                ));
             }
             return Ok(VqlStatement::RangeSearch {
                 collection,
@@ -431,13 +492,66 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
         p.keyword("near")?;
         let vector = p.vector_literal()?;
         let mut predicate = Predicate::True;
-        let mut strategy = None;
+        let mut strategy: Option<(Strategy, usize)> = None;
         let mut params = SearchParams::default();
+        let mut match_text: Option<String> = None;
+        let mut fusion: Option<Fusion> = None;
+        let mut hybrid: Option<HybridStrategy> = None;
+        let mut fuse_at = 0usize;
+        let mut hybrid_at = 0usize;
         loop {
+            let clause_at = p.here();
             if p.try_keyword("where") {
                 predicate = p.predicate()?;
             } else if p.try_keyword("using") {
-                strategy = Some(parse_strategy(&p.ident()?)?);
+                let at = p.here();
+                let name = p.ident()?;
+                let st = Strategy::ALL
+                    .into_iter()
+                    .find(|s| s.name() == name)
+                    .ok_or_else(|| err_at(at, format!("unknown strategy `{name}`")))?;
+                strategy = Some((st, clause_at));
+            } else if p.try_keyword("match") {
+                match_text = Some(p.string()?);
+            } else if p.try_keyword("fuse") {
+                let at = p.here();
+                let name = p.ident()?;
+                fusion = Some(if name.eq_ignore_ascii_case("rrf") {
+                    let k0 = if matches!(p.peek(), Some(Tok::Int(_))) {
+                        p.uint()? as u32
+                    } else {
+                        60
+                    };
+                    Fusion::Rrf { k0 }
+                } else if name.eq_ignore_ascii_case("convex") {
+                    let alpha_at = p.here();
+                    let alpha = if matches!(p.peek(), Some(Tok::Int(_) | Tok::Float(_))) {
+                        p.number()? as f32
+                    } else {
+                        0.5
+                    };
+                    if !(0.0..=1.0).contains(&alpha) {
+                        return Err(err_at(
+                            alpha_at,
+                            format!("convex alpha must be in [0, 1], got {alpha}"),
+                        ));
+                    }
+                    Fusion::Convex { alpha }
+                } else {
+                    return Err(err_at(
+                        at,
+                        format!("unknown fusion `{name}` (expected rrf or convex)"),
+                    ));
+                });
+                fuse_at = clause_at;
+            } else if p.try_keyword("hybrid") {
+                let at = p.here();
+                let name = p.ident()?;
+                hybrid = Some(
+                    HybridStrategy::parse(&name)
+                        .ok_or_else(|| err_at(at, format!("unknown hybrid strategy `{name}`")))?,
+                );
+                hybrid_at = clause_at;
             } else if p.try_keyword("beam") {
                 params.beam_width = p.uint()? as usize;
             } else if p.try_keyword("nprobe") {
@@ -446,13 +560,39 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
                 break;
             }
         }
-        VqlStatement::Search {
-            collection,
-            vector,
-            k,
-            predicate,
-            strategy,
-            params,
+        if match_text.is_none() {
+            if fusion.is_some() {
+                return Err(err_at(fuse_at, "FUSE requires a MATCH clause"));
+            }
+            if hybrid.is_some() {
+                return Err(err_at(hybrid_at, "HYBRID requires a MATCH clause"));
+            }
+        }
+        if let (Some(_), Some((_, using_at))) = (&match_text, &strategy) {
+            return Err(err_at(
+                *using_at,
+                "USING applies to vector-only search; pick the retrieval order with HYBRID",
+            ));
+        }
+        match match_text {
+            Some(query) => VqlStatement::HybridSearch {
+                collection,
+                vector,
+                query,
+                k,
+                predicate,
+                fusion: fusion.unwrap_or_default(),
+                strategy: hybrid,
+                params,
+            },
+            None => VqlStatement::Search {
+                collection,
+                vector,
+                k,
+                predicate,
+                strategy: strategy.map(|(s, _)| s),
+                params,
+            },
         }
     } else if head.eq_ignore_ascii_case("insert") {
         p.keyword("into")?;
@@ -491,13 +631,16 @@ pub fn parse(input: &str) -> Result<VqlStatement> {
             collection: p.ident()?,
         }
     } else {
-        return Err(Error::Parse(format!("unknown statement `{head}`")));
+        return Err(err_at(0, format!("unknown statement `{head}`")));
     };
     if p.pos != p.toks.len() {
-        return Err(Error::Parse(format!(
-            "trailing tokens after statement: {:?}",
-            &p.toks[p.pos..]
-        )));
+        return Err(err_at(
+            p.here(),
+            format!(
+                "trailing tokens after statement: {:?}",
+                p.toks[p.pos..].iter().map(|(t, _)| t).collect::<Vec<_>>()
+            ),
+        ));
     }
     Ok(stmt)
 }
@@ -550,6 +693,113 @@ mod tests {
                 );
             }
             _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn parse_match_and_fuse_clauses() {
+        let s = parse(
+            "SEARCH docs K 5 NEAR [1, 0] MATCH 'rust vector database' FUSE convex 0.7 HYBRID text_first WHERE year > 2020",
+        )
+        .unwrap();
+        match s {
+            VqlStatement::HybridSearch {
+                collection,
+                query,
+                k,
+                fusion,
+                strategy,
+                predicate,
+                ..
+            } => {
+                assert_eq!(collection, "docs");
+                assert_eq!(query, "rust vector database");
+                assert_eq!(k, 5);
+                assert_eq!(fusion, Fusion::Convex { alpha: 0.7 });
+                assert_eq!(strategy, Some(HybridStrategy::TextFirst));
+                assert_eq!(predicate.to_string(), "year > 2020");
+            }
+            _ => panic!("wrong statement"),
+        }
+        // Defaults: RRF k0=60, planner-chosen strategy.
+        match parse("SEARCH docs K 3 NEAR [1] MATCH 'query'").unwrap() {
+            VqlStatement::HybridSearch {
+                fusion, strategy, ..
+            } => {
+                assert_eq!(fusion, Fusion::Rrf { k0: 60 });
+                assert!(strategy.is_none());
+            }
+            _ => panic!("wrong statement"),
+        }
+        match parse("SEARCH docs K 3 NEAR [1] MATCH 'q' FUSE rrf 10").unwrap() {
+            VqlStatement::HybridSearch { fusion, .. } => {
+                assert_eq!(fusion, Fusion::Rrf { k0: 10 })
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn hybrid_clause_errors_carry_positions() {
+        // FUSE without MATCH: blamed at the FUSE keyword.
+        let input = "SEARCH docs K 5 NEAR [1] FUSE rrf";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, msg } => {
+                assert_eq!(pos, input.find("FUSE").unwrap());
+                assert!(msg.contains("MATCH"), "{msg}");
+            }
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Unknown fusion name: blamed at the name.
+        let input = "SEARCH docs K 5 NEAR [1] MATCH 'q' FUSE borda";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find("borda").unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Alpha outside [0, 1]: blamed at the number.
+        let input = "SEARCH docs K 5 NEAR [1] MATCH 'q' FUSE convex 1.5";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find("1.5").unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // USING conflicts with MATCH.
+        let input = "SEARCH docs K 5 NEAR [1] MATCH 'q' USING pre_filter";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find("USING").unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // MATCH wants a quoted string.
+        let input = "SEARCH docs K 5 NEAR [1] MATCH unquoted";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find("unquoted").unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        // Offending token mid-statement.
+        let input = "SEARCH docs K nope NEAR [1]";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find("nope").unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Truncated statement: blamed at end of input.
+        let input = "SEARCH docs K 5 NEAR [1] WHERE";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.chars().count()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        // Lexer errors are positional too.
+        let input = "SEARCH docs K 5 NEAR [1] WHERE a = 'unterminated";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find('\'').unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
+        }
+        let input = "SEARCH docs K 5 NEAR [1] WHERE a ? 1";
+        match parse(input).unwrap_err() {
+            Error::ParseAt { pos, .. } => assert_eq!(pos, input.find('?').unwrap()),
+            other => panic!("expected ParseAt, got {other:?}"),
         }
     }
 
@@ -613,6 +863,9 @@ mod tests {
             "INSERT INTO docs KEY -1 VALUES [1]",
             "SEARCH docs K 5 NEAR [1] trailing garbage",
             "SEARCH docs K 5 NEAR [1] WHERE a = 'unterminated",
+            "SEARCH docs K 5 NEAR [1] MATCH",
+            "SEARCH docs K 5 NEAR [1] MATCH 'q' FUSE",
+            "SEARCH docs K 5 NEAR [1] MATCH 'q' HYBRID warp",
         ] {
             assert!(parse(bad).is_err(), "should fail: {bad}");
         }

@@ -379,3 +379,123 @@ fn wal_replays_only_post_checkpoint_tail() {
         "tail should be two records, got {tail_len} bytes"
     );
 }
+
+/// Torn-snapshot recovery of the inverted index: sweep every crash
+/// point of a checkpoint whose snapshot carries a text section, recover,
+/// and require the recovered collection to answer the SAME hybrid
+/// text+vector query as the reference — whichever of the pre- or
+/// post-op snapshot survived, the inverted index rebuilt from it must
+/// be complete (the fixture's logical rows are identical either way).
+#[test]
+fn crash_sweep_checkpoint_preserves_inverted_index() {
+    use vdb::{Fusion, HybridResult, HybridStrategy};
+
+    let tschema = || {
+        CollectionSchema::new("crashtext", 4, Metric::Euclidean)
+            .column("body", AttrType::Str)
+            .text_index("body")
+    };
+    let tcfg = |dir: &TempDir, threshold: usize| CollectionConfig {
+        index: IndexSpec::Flat,
+        merge_threshold: threshold,
+        merge_mode: MergeMode::Blocking,
+        planner: PlannerMode::CostBased,
+        wal_dir: Some(dir.path().to_path_buf()),
+        build: BuildOptions::serial(),
+        ..Default::default()
+    };
+    let texts = [
+        "grape harvest ledger",
+        "volcanic soil survey",
+        "ledger of glacier cores",
+        "survey notes on grape rot",
+        "core drilling ledger appendix",
+        "harvest appendix tables",
+    ];
+    let seed = |c: &mut Collection| {
+        for (i, t) in texts.iter().enumerate() {
+            c.insert(i as u64, &vec_at(i as f32), &[("body", (*t).into())])
+                .unwrap();
+        }
+    };
+    let hybrid = |c: &Collection| -> HybridResult {
+        c.hybrid_text_search(
+            &vec_at(2.0),
+            "ledger survey",
+            texts.len(),
+            &Predicate::True,
+            Fusion::Rrf { k0: 60 },
+            Some(HybridStrategy::Fused),
+            &SearchParams::default(),
+        )
+        .unwrap()
+    };
+
+    // Sweep both layouts: all rows merged into the snapshot's text
+    // section (threshold 4) and a split main/WAL-tail state (threshold
+    // 100, rows only in the WAL until the explicit checkpoint).
+    for threshold in [4usize, 100] {
+        // Reference run (failpoints off): hybrid answer is checkpoint-
+        // invariant, so one reference covers pre and post states.
+        let refdir = TempDir::new("crash-text-ref").unwrap();
+        let mut c = Collection::create(tschema(), tcfg(&refdir, threshold)).unwrap();
+        seed(&mut c);
+        let want_state = dump(&c);
+        let want_hybrid = hybrid(&c);
+        assert!(!want_hybrid.hits.is_empty());
+        c.checkpoint().expect("reference checkpoint");
+        assert_eq!(hybrid(&c), want_hybrid, "checkpoint changed the answer");
+        drop(c);
+
+        let countdir = TempDir::new("crash-text-count").unwrap();
+        let mut c = Collection::create(tschema(), tcfg(&countdir, threshold)).unwrap();
+        seed(&mut c);
+        let (res, points) = failpoint::count_crash_points(|| c.checkpoint());
+        res.expect("counting run must succeed");
+        assert!(points > 0);
+        drop(c);
+
+        for n in 1..=points {
+            let dir = TempDir::new("crash-text-sweep").unwrap();
+            let conf = tcfg(&dir, threshold);
+            let mut c = Collection::create(tschema(), conf.clone()).unwrap();
+            seed(&mut c);
+            failpoint::arm(n);
+            let err = c.checkpoint();
+            failpoint::disarm();
+            assert!(
+                failpoint::is_crash(&err.expect_err("armed checkpoint must crash")),
+                "threshold {threshold} point {n}"
+            );
+            drop(c);
+
+            let r = Collection::recover(tschema(), conf).unwrap_or_else(|e| {
+                panic!("threshold {threshold} point {n}/{points}: recovery failed: {e}")
+            });
+            assert_eq!(
+                dump(&r),
+                want_state,
+                "threshold {threshold} point {n}/{points}: rows diverged"
+            );
+            // Immediately queryable: the fused ranking is correct even
+            // before maintenance (WAL-tail rows replayed into the buffer
+            // may transiently double-count in the corpus stats, which
+            // perturbs absolute BM25 scores but not the candidate set).
+            let fresh = hybrid(&r);
+            assert_eq!(
+                fresh.hits.iter().map(|h| h.key).collect::<Vec<_>>(),
+                want_hybrid.hits.iter().map(|h| h.key).collect::<Vec<_>>(),
+                "threshold {threshold} point {n}/{points}: recovered ranking diverged"
+            );
+            // After one merge the replayed tail is folded and the
+            // inverted index answers bit-identically to the reference.
+            let mut r = r;
+            r.merge().unwrap();
+            assert_eq!(
+                hybrid(&r),
+                want_hybrid,
+                "threshold {threshold} point {n}/{points}: inverted index diverged"
+            );
+        }
+    }
+}

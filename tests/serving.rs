@@ -497,3 +497,79 @@ fn killed_remote_shard_degrades_to_partial_within_deadline() {
         h.shutdown();
     }
 }
+
+/// Satellite regression: a malformed MATCH/FUSE clause sent over the
+/// wire comes back as a TYPED parse error carrying the byte position of
+/// the offending token — not a stringly Invalid — and a well-formed
+/// hybrid statement on the same connection returns fused hits.
+#[test]
+fn malformed_match_clause_returns_typed_parse_error_with_position() {
+    use vdb_core::attr::{AttrType, AttrValue};
+    use vdb_core::Error;
+
+    let mut db = Vdbms::new(SystemProfile::MostlyMixed);
+    db.create_collection(
+        CollectionSchema::new("docs", 4, Metric::Euclidean)
+            .column("body", AttrType::Str)
+            .text_index("body"),
+        IndexSpec::Flat,
+    )
+    .unwrap();
+    for (i, body) in [
+        "vector search engine",
+        "text ranking notes",
+        "fusion of rankings",
+    ]
+    .iter()
+    .enumerate()
+    {
+        db.collection_mut("docs")
+            .unwrap()
+            .insert(
+                i as u64,
+                &[i as f32, 0.0, 0.0, 1.0],
+                &[("body", AttrValue::Str((*body).to_string()))],
+            )
+            .unwrap();
+    }
+    let handle = serve(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+
+    // FUSE without MATCH: blamed at the FUSE keyword, position intact
+    // across the encode/decode round trip.
+    let bad = "SEARCH docs K 3 NEAR [1, 0, 0, 1] FUSE rrf 60";
+    match client.vql(bad) {
+        Err(Error::ParseAt { msg, pos }) => {
+            assert_eq!(pos, bad.find("FUSE").unwrap(), "{msg}");
+            assert!(msg.contains("MATCH"), "{msg}");
+        }
+        other => panic!("expected ParseAt over the wire, got {other:?}"),
+    }
+    // Unquoted MATCH argument: blamed at the argument.
+    let bad = "SEARCH docs K 3 NEAR [1, 0, 0, 1] MATCH unquoted";
+    match client.vql(bad) {
+        Err(Error::ParseAt { pos, .. }) => {
+            assert_eq!(pos, bad.find("unquoted").unwrap())
+        }
+        other => panic!("expected ParseAt over the wire, got {other:?}"),
+    }
+    // Malformed fusion parameter: convex alpha out of range.
+    let bad = "SEARCH docs K 3 NEAR [1, 0, 0, 1] MATCH 'text' FUSE convex 1.5";
+    match client.vql(bad) {
+        Err(Error::ParseAt { pos, .. }) => assert_eq!(pos, bad.find("1.5").unwrap()),
+        other => panic!("expected ParseAt over the wire, got {other:?}"),
+    }
+
+    // The same connection still serves a well-formed hybrid statement.
+    let out = client
+        .vql("SEARCH docs K 2 NEAR [1, 0, 0, 1] MATCH 'ranking text' FUSE rrf 60 HYBRID fused")
+        .unwrap();
+    match out {
+        VqlOutput::FusedHits(result) => {
+            assert_eq!(result.hits.len(), 2);
+            assert!(result.hits.iter().any(|h| h.key == 1), "{result:?}");
+        }
+        other => panic!("expected FusedHits, got {other:?}"),
+    }
+    handle.shutdown();
+}
